@@ -1,0 +1,74 @@
+"""The compiler stack: graph passes and the KNYFE kernel DSL.
+
+Walks the paper's Section 5 software stack top to bottom on a real
+model: FX-like graph capture, EB->TBE merging, epilogue fusion, SRAM
+tensor placement, multi-card partitioning, and finally a KNYFE-compiled
+fused kernel running on the cycle-level simulator.
+
+Run:  python examples/compiler_pipeline.py
+"""
+
+import numpy as np
+
+from repro import Accelerator
+from repro.compiler.fusion import fuse_graph
+from repro.compiler.knyfe import KernelSpec, compile_kernel
+from repro.compiler.partitioner import partition_by_memory
+from repro.compiler.placement import place_tensors
+from repro.config import MTIA_V1
+from repro.models.configs import MODEL_ZOO
+from repro.models.dlrm import build_dlrm_graph, operator_census
+
+
+def main():
+    print("=== graph passes on MC1 (batch 64) ===")
+    graph = build_dlrm_graph(MODEL_ZOO["MC1"], 64)
+    before = operator_census(graph)
+    graph, report = fuse_graph(graph)
+    after = operator_census(graph)
+    print(f"before fusion: {before['total']} ops "
+          f"({before['embedding_bag']} EmbeddingBag)")
+    print(f"after fusion:  {after['total']} ops "
+          f"({report.tbe_created} TBE operators absorb "
+          f"{report.eb_merged} EBs; {report.epilogues_fused} activation "
+          "epilogues folded into their GEMMs)")
+
+    placement = place_tensors(graph, MTIA_V1.sram.capacity_bytes)
+    print(f"placement: peak SRAM residency "
+          f"{placement.sram_peak_bytes / 1e6:.1f} MB of "
+          f"{MTIA_V1.sram.capacity_bytes / 1e6:.0f} MB; "
+          f"{len(placement.spilled)} tensors spilled; "
+          f"{placement.sram_hit_fraction(graph) * 100:.0f}% of activation "
+          "traffic stays on-chip")
+
+    print("\n=== multi-card partitioning (HC, 725 GB) ===")
+    hc = build_dlrm_graph(MODEL_ZOO["HC"], 4)
+    partitions = partition_by_memory(hc, card_capacity_bytes=32 * 10 ** 9)
+    print(f"{len(partitions)} cards needed; card 0 owns the dense pipeline "
+          f"plus {len(partitions[0].weight_nodes)} weights "
+          f"({partitions[0].weight_bytes / 1e9:.1f} GB)")
+
+    print("\n=== KNYFE: a fused dequantise+tanh kernel ===")
+    spec = (KernelSpec("dq_tanh")
+            .tile(4096)
+            .load("x", dtype="int8")
+            .dequantize(scale=0.05)
+            .apply("tanh")
+            .store("y"))
+    kernel = compile_kernel(spec)
+    print("stages:", " -> ".join(p.stage.kind for p in kernel.plans))
+    print(f"generated {len(kernel.cb_sizes)} circular buffers: "
+          f"{kernel.cb_sizes}")
+
+    rng = np.random.default_rng(0)
+    q = rng.integers(-128, 128, 32768, dtype=np.int8)
+    acc = Accelerator()
+    out = kernel.run(acc, {"x": q}, subgrid=acc.subgrid((0, 0), 4, 4))
+    expected = np.tanh(q.astype(np.float32) * 0.05)
+    err = float(np.max(np.abs(out["y"] - expected)))
+    print(f"ran on a 4x4 sub-grid in {kernel.cycles:,.0f} cycles; "
+          f"max error vs numpy {err:.2e} (LUT interpolation)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Section 4 walkthrough: how an FC operator maps onto the PE grid.
+
+Reproduces the paper's Figure 7 example — a 512(m) x 1024(k) x 256(n)
+FC distributed over a 4x4 sub-grid — and narrates each mechanism as the
+simulator exercises it: work distribution, row/column multicast,
+dual-core producer/consumer decoupling through circular buffers, and
+west-to-east accumulation over the reduction network.
+
+Run:  python examples/fc_mapping.py
+"""
+
+import numpy as np
+
+from repro import Accelerator
+from repro.kernels.fc import plan_fc, run_fc
+
+
+def main():
+    acc = Accelerator()
+    sub = acc.subgrid((0, 0), 4, 4)
+    m, k, n = 512, 1024, 256
+
+    plan = plan_fc(sub, m, k, n, k_split=2)
+    print("=== Figure 7: work distribution ===")
+    print(f"m={m} split over {sub.rows} rows -> {plan.m_per_row} rows/PE")
+    print(f"k={k} split over {plan.k_split} PEs/row -> "
+          f"{plan.k_per_pe} deep per PE (reduction chain)")
+    print(f"n={n} split over {plan.n_split} column groups -> "
+          f"{plan.n_per_group} per group")
+    cb_a, cb_b, cb_c = plan.cb_bytes()
+    print(f"per-PE circular buffers: CB_A={cb_a} B (one 64-row A stripe), "
+          f"CB_B={cb_b} B (whole B^T slice), CB_C={cb_c} B (64x64 block)")
+
+    print("\nper-PE assignments (row, col) -> m x n x k ranges:")
+    for work in plan.work_items[:4]:
+        print(f"  {work.coord}: m[{work.m_begin}:{work.m_end}] "
+              f"n[{work.n_begin}:{work.n_end}] k[{work.k_begin}:{work.k_end}]"
+              f"  chain {work.chain_index + 1}/{work.chain_length}")
+    print("  ... (12 more)")
+
+    print("\n=== executing on the simulator ===")
+    rng = np.random.default_rng(1)
+    a = rng.integers(-128, 128, (m, k), dtype=np.int8)
+    b_t = rng.integers(-128, 128, (n, k), dtype=np.int8)
+    result = run_fc(acc, a, b_t, subgrid=sub, k_split=2)
+    ref = b_t.astype(np.int32) @ a.astype(np.int32).T
+    assert np.array_equal(result.c_t, ref)
+    print(f"verified bit-exact; {result.cycles:,.0f} cycles")
+
+    print("\n=== what the provisioned features did ===")
+    stats = acc.collect_stats()
+    operand_bytes = a.nbytes + b_t.nbytes
+    read = stats["dram.read_bytes"]
+    print(f"multicast: DRAM read {read:,.0f} B for {operand_bytes:,} B of "
+          f"operands ({read / operand_bytes:.2f}x — without coalescing the "
+          "4x4 grid would read each operand 2-4x)")
+    red_bytes = stats["rednet.bytes"]
+    print(f"reduction network: {stats['rednet.transfers']:.0f} transfers, "
+          f"{red_bytes:,.0f} B of partial sums that never touched the NoC")
+    hits = stats["dpe.operand_cache_hits"]
+    misses = stats["dpe.operand_cache_misses"]
+    print(f"DPE operand cache: {hits:.0f} hits / {misses:.0f} misses "
+          "(each 32x32 block reused by the 2x2 accumulator arrangement)")
+
+    pe = acc.grid.pe(0, 0)
+    print(f"\nPE(0,0) DPE busy cycles: {pe.dpe_unit.stats['busy_cycles']:,.0f}"
+          f" of {result.cycles:,.0f} "
+          f"({100 * pe.dpe_unit.stats['busy_cycles'] / result.cycles:.0f}% "
+          "occupancy)")
+    print(f"PE(0,0) FI stall cycles waiting on CB space: "
+          f"{pe.fi_unit.stats.get('stall_cycles', 0):,.0f} "
+          "(producer running ahead of the consumer)")
+
+
+if __name__ == "__main__":
+    main()

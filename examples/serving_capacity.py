@@ -1,0 +1,54 @@
+"""Fleet sizing: the TCO argument in numbers.
+
+The paper's Motivation is that perf/TCO — dominated by power — decides
+what serves recommendation models in the datacenter. This example runs
+the request-level serving simulator (Poisson arrivals, batching window,
+latency SLA) over the analytical platform models and sizes a fleet for
+a target aggregate QPS on each platform.
+
+Run:  python examples/serving_capacity.py
+"""
+
+from repro.models.configs import MODEL_ZOO
+from repro.serving import BatchingConfig, plan_capacity, simulate_serving
+from repro.serving.simulator import BatchLatencyModel
+from repro.eval.machines import MACHINES
+
+
+def main():
+    model = MODEL_ZOO["LC2"]
+    sla_us = 2_000.0
+    target_qps = 1_000_000
+
+    print(f"model: {model.name}; SLA: p99 <= {sla_us:.0f} us; "
+          f"target: {target_qps:,} QPS aggregate\n")
+
+    print("single-card behaviour on MTIA under increasing load:")
+    latency = BatchLatencyModel(model, MACHINES["mtia"])
+    batching = BatchingConfig(max_batch=128, max_wait_us=300)
+    print(f"{'QPS':>10}{'p50 us':>10}{'p99 us':>10}{'mean batch':>12}"
+          f"{'busy':>7}")
+    for qps in (2_000, 10_000, 30_000, 60_000):
+        report = simulate_serving(latency, qps, batching,
+                                  num_requests=4000)
+        print(f"{qps:>10,}{report.p50_us:>10.0f}{report.p99_us:>10.0f}"
+              f"{report.mean_batch:>12.1f}{report.busy_fraction:>7.2f}")
+
+    print("\nfleet plans per platform:")
+    plans = plan_capacity(model, target_qps=target_qps, sla_us=sla_us,
+                          batching=batching)
+    print(f"{'platform':<22}{'cards':>7}{'QPS/card':>10}{'fleet kW':>10}"
+          f"{'QPS/W':>8}")
+    for plan in plans.values():
+        print(f"{plan.platform:<22}{plan.cards:>7}{plan.card_qps:>10.0f}"
+              f"{plan.total_watts / 1000:>10.1f}"
+              f"{plan.qps_per_watt:>8.0f}")
+
+    mtia, gpu = plans["mtia"], plans["gpu"]
+    print(f"\nthe headline: serving this model costs "
+          f"{gpu.total_watts / mtia.total_watts:.1f}x more provisioned "
+          "power on the GPU fleet than on MTIA.")
+
+
+if __name__ == "__main__":
+    main()

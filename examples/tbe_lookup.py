@@ -1,0 +1,56 @@
+"""The sparse path: TableBatchedEmbedding on the cycle-level simulator.
+
+Runs a TBE operator (the dominant memory consumer in DLRMs) across the
+full 64-PE grid and sweeps the software-pipelining depth — the knob
+behind the paper's observation that the production kernel reached only
+10-20 % of memory bandwidth while hand-tuned kernels exceeded 60 % of
+roofline (Section 6.1).
+
+Run:  python examples/tbe_lookup.py
+"""
+
+import numpy as np
+
+from repro import Accelerator, MTIA_V1
+from repro.kernels.tbe import (TBEConfig, generate_indices, generate_tables,
+                               pooled_reference, run_tbe)
+
+
+def main():
+    config = TBEConfig(num_tables=8, rows_per_table=50_000,
+                       embedding_dim=128, pooling_factor=32, batch_size=16)
+    print(f"TBE operator: {config.num_tables} tables x "
+          f"{config.rows_per_table:,} rows x {config.embedding_dim} B rows, "
+          f"pooling {config.pooling_factor}, batch {config.batch_size}")
+    print(f"gather volume: {config.lookup_bytes / 1e6:.1f} MB useful bytes "
+          f"({config.total_lookups:,} row lookups)\n")
+
+    # Correctness first, on a small instance.
+    small = TBEConfig(num_tables=4, rows_per_table=1000, embedding_dim=64,
+                      pooling_factor=8, batch_size=16)
+    acc = Accelerator()
+    tables = generate_tables(small)
+    indices = generate_indices(small)
+    result = run_tbe(acc, small, tables, indices,
+                     subgrid=acc.subgrid((0, 0), 2, 2))
+    reference = pooled_reference(tables, indices, small.scale)
+    assert np.allclose(result.output, reference, atol=1e-3)
+    print("small-instance output verified against numpy\n")
+
+    print(f"{'outstanding rows/PE':>20}{'GB/s':>8}{'% of DRAM peak':>16}")
+    peak = MTIA_V1.dram_gbs()
+    for depth in (1, 2, 4, 8, 16):
+        acc = Accelerator()
+        result = run_tbe(acc, config, subgrid=acc.subgrid(),
+                         prefetch_rows=depth)
+        gbs = result.gbs(MTIA_V1.frequency_ghz)
+        print(f"{depth:>20}{gbs:>8.1f}{100 * gbs / peak:>15.0f}%")
+
+    print("\nshallow pipelining = the paper's production-kernel regime "
+          "(10-20%);")
+    print("deep pipelining = the hand-tuned RTL-validation regime "
+          "(>60% of roofline).")
+
+
+if __name__ == "__main__":
+    main()

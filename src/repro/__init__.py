@@ -1,0 +1,29 @@
+"""repro — a Python reproduction of MTIA v1 (ISCA 2023).
+
+The package provides:
+
+* a functional, timing-annotated simulator of the MTIA accelerator
+  (:mod:`repro.core`, :mod:`repro.memory`, :mod:`repro.noc`);
+* a kernel library implementing the paper's operators on that simulator
+  (:mod:`repro.kernels`), including the Section 4 FC mapping;
+* a compiler/runtime layer mirroring the paper's software stack
+  (:mod:`repro.compiler`, :mod:`repro.runtime`);
+* DLRM workload models and the evaluation harness reproducing every
+  table and figure in the paper (:mod:`repro.models`, :mod:`repro.eval`,
+  :mod:`repro.baselines`, :mod:`repro.platforms`).
+
+Quickstart::
+
+    from repro import Accelerator
+    from repro.kernels.fc import run_fc
+
+    acc = Accelerator()
+    result = run_fc(acc, m=128, k=256, n=64)   # C^T = A x B^T on the grid
+"""
+
+from repro.config import MTIA_V1, ChipConfig
+from repro.core import Accelerator
+
+__version__ = "1.0.0"
+
+__all__ = ["Accelerator", "ChipConfig", "MTIA_V1", "__version__"]

@@ -1,0 +1,19 @@
+"""Baseline accelerator models and roofline analysis.
+
+The evaluation compares MTIA against the NNPI accelerator (Yosemite V2)
+and the A100 GPU (Zion4S).  Their analytical machine models live in
+:mod:`repro.eval.machines`; this package adds the roofline framework
+used to reason about them and the per-device convenience wrappers.
+"""
+
+from repro.baselines.roofline import Roofline, RooflinePoint
+from repro.baselines.devices import (gpu_roofline, mtia_roofline,
+                                     nnpi_roofline)
+
+__all__ = [
+    "Roofline",
+    "RooflinePoint",
+    "gpu_roofline",
+    "mtia_roofline",
+    "nnpi_roofline",
+]

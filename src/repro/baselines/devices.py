@@ -1,0 +1,36 @@
+"""Per-device roofline constructors.
+
+Built from the same Table I/II specifications as the analytical machine
+models, so roofline reasoning and operator timing share one source of
+truth.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.roofline import Roofline
+from repro.eval.machines import (A100_MACHINE, MTIA_MACHINE, NNPI_MACHINE,
+                                 MachineModel)
+
+
+def _from_machine(machine: MachineModel, dtype: str) -> Roofline:
+    return Roofline(
+        name=f"{machine.name} ({dtype})",
+        peak_gflops=machine.peak_tops[dtype] * 1000.0,
+        bandwidth_gbs={"dram": machine.dram_gbs,
+                       "onchip": machine.onchip_gbs},
+    )
+
+
+def mtia_roofline(dtype: str = "int8") -> Roofline:
+    """MTIA's roofline: 102.4 INT8 TOPS over 176 GB/s DRAM / 800 GB/s SRAM."""
+    return _from_machine(MTIA_MACHINE, dtype)
+
+
+def gpu_roofline(dtype: str = "int8") -> Roofline:
+    """A100's roofline: 624 INT8 TOPS over ~1.5 TB/s HBM."""
+    return _from_machine(A100_MACHINE, dtype)
+
+
+def nnpi_roofline(dtype: str = "int8") -> Roofline:
+    """NNPI's roofline: 50 INT8 TOPS over 50 GB/s LPDDR."""
+    return _from_machine(NNPI_MACHINE, dtype)

@@ -1,0 +1,83 @@
+"""Roofline model.
+
+The paper uses roofline reasoning throughout Section 6 ("roofline
+modeling indicates there is significant room for improvement", ">60 %
+of roofline").  This module implements the classic two-ceiling model:
+attainable performance = min(peak compute, arithmetic intensity x
+bandwidth), with optional extra bandwidth ceilings for multi-level
+memory (DRAM vs on-chip SRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload placed on a roofline."""
+
+    name: str
+    arithmetic_intensity: float     #: FLOPs per byte
+    achieved_gflops: float
+
+    def efficiency(self, roofline: "Roofline",
+                   ceiling: Optional[str] = None) -> float:
+        """Achieved / attainable at this intensity."""
+        attainable = roofline.attainable_gflops(self.arithmetic_intensity,
+                                                ceiling)
+        return self.achieved_gflops / attainable if attainable else 0.0
+
+
+@dataclass
+class Roofline:
+    """A compute ceiling plus one or more bandwidth ceilings."""
+
+    name: str
+    peak_gflops: float
+    #: bandwidth ceilings in GB/s, keyed by level name ("dram", "sram")
+    bandwidth_gbs: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.peak_gflops <= 0:
+            raise ValueError("peak must be positive")
+        if not self.bandwidth_gbs:
+            raise ValueError("need at least one bandwidth ceiling")
+        for level, bw in self.bandwidth_gbs.items():
+            if bw <= 0:
+                raise ValueError(f"bandwidth {level!r} must be positive")
+
+    def attainable_gflops(self, intensity: float,
+                          ceiling: Optional[str] = None) -> float:
+        """Attainable GFLOP/s at ``intensity`` under one ceiling.
+
+        ``ceiling=None`` uses the *highest* bandwidth level (data
+        resident at the fastest level), the optimistic bound.
+        """
+        if intensity <= 0:
+            return 0.0
+        if ceiling is None:
+            bw = max(self.bandwidth_gbs.values())
+        else:
+            bw = self.bandwidth_gbs[ceiling]
+        return min(self.peak_gflops, intensity * bw)
+
+    def ridge_intensity(self, ceiling: Optional[str] = None) -> float:
+        """Intensity where the workload turns compute bound."""
+        if ceiling is None:
+            bw = max(self.bandwidth_gbs.values())
+        else:
+            bw = self.bandwidth_gbs[ceiling]
+        return self.peak_gflops / bw
+
+    def bound_kind(self, intensity: float,
+                   ceiling: Optional[str] = None) -> str:
+        """"memory" or "compute" at this intensity."""
+        return ("compute" if intensity >= self.ridge_intensity(ceiling)
+                else "memory")
+
+    def sweep(self, intensities, ceiling: Optional[str] = None
+              ) -> List[Tuple[float, float]]:
+        """(intensity, attainable) series for plotting."""
+        return [(x, self.attainable_gflops(x, ceiling)) for x in intensities]

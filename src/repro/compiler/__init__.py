@@ -1,0 +1,40 @@
+"""The MTIA compiler stack (Section 5).
+
+Mirrors the paper's three-layer stack:
+
+* :mod:`repro.compiler.ir` / :mod:`repro.compiler.ops` — an FX-like
+  graph IR with shape inference and per-operator cost metadata;
+* graph-level passes: :mod:`repro.compiler.fusion` (operator fusion,
+  EB->TBE merging, DCE), :mod:`repro.compiler.placement` (best-effort
+  producer-consumer tensor placement into on-chip SRAM) and
+  :mod:`repro.compiler.partitioner` (multi-card and sub-grid splits);
+* :mod:`repro.compiler.knyfe` — a small declarative kernel DSL that
+  generates PE core programs, standing in for the paper's KNYFE
+  DSL-to-C++ compiler.
+
+The LLVM layer of the real stack (register allocation, codegen) has no
+analogue here: our "machine code" is the command stream itself.
+"""
+
+from repro.compiler.ir import Graph, GraphBuilder, Node
+from repro.compiler.ops import OP_REGISTRY, OpCosts, infer_meta, op_costs
+from repro.compiler.fusion import fuse_graph
+from repro.compiler.placement import PlacementResult, place_tensors
+from repro.compiler.partitioner import (Partition, choose_subgrid,
+                                        partition_by_memory)
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "Node",
+    "OP_REGISTRY",
+    "OpCosts",
+    "Partition",
+    "PlacementResult",
+    "choose_subgrid",
+    "fuse_graph",
+    "infer_meta",
+    "op_costs",
+    "partition_by_memory",
+    "place_tensors",
+]

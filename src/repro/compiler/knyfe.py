@@ -1,0 +1,297 @@
+"""KNYFE: the kernel DSL (Section 5).
+
+The paper's KNYFE compiler "takes a short high-level description of an
+ML kernel and produces low-level optimized C++ code" against the
+hardware APIs.  Our analogue takes a declarative pipeline description
+and *generates the PE core programs* directly: circular-buffer
+assignment, DMA staging, SE command selection, and tile distribution
+over a sub-grid all happen in the compiler, exactly the chores the
+paper says KNYFE automates (Section 7, "Automated Code Generation").
+
+Example — a fused dequantise+tanh kernel::
+
+    spec = (KernelSpec("dq_tanh")
+            .tile(2048)
+            .load("x", dtype="int8")
+            .dequantize(scale=0.05)
+            .apply("tanh")
+            .store("y"))
+    kernel = compile_kernel(spec)
+    out = kernel.run(acc, {"x": q_values})["y"]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dtypes import DType, FP32, INT8, dtype as resolve_dtype
+from repro.isa.commands import (DMALoad, DMAStore, ElementwiseCmd, InitCB,
+                                NonlinearCmd, QuantizeCmd)
+from repro.core.accelerator import Accelerator
+from repro.core.grid import SubGrid
+from repro.core.sync import Barrier
+from repro.sim import SimulationError
+
+
+@dataclass
+class Stage:
+    kind: str                 # load / quantize / dequantize / apply /
+                              # binary / store
+    name: str = ""            # tensor name for load/binary/store
+    func: str = ""            # nonlinear function for apply
+    op: str = ""              # binary op
+    scale: float = 1.0
+    dtype: Optional[DType] = None
+
+
+class KernelSpec:
+    """A declarative elementwise-pipeline kernel description."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.tile_elems = 4096
+        self.stages: List[Stage] = []
+
+    def tile(self, elements: int) -> "KernelSpec":
+        if elements <= 0:
+            raise ValueError("tile size must be positive")
+        self.tile_elems = elements
+        return self
+
+    def load(self, name: str, dtype="fp32") -> "KernelSpec":
+        if self.stages:
+            raise SimulationError("load must be the first stage")
+        self.stages.append(Stage("load", name=name,
+                                 dtype=resolve_dtype(dtype)))
+        return self
+
+    def quantize(self, scale: float) -> "KernelSpec":
+        self.stages.append(Stage("quantize", scale=scale))
+        return self
+
+    def dequantize(self, scale: float) -> "KernelSpec":
+        self.stages.append(Stage("dequantize", scale=scale))
+        return self
+
+    def apply(self, func: str) -> "KernelSpec":
+        self.stages.append(Stage("apply", func=func))
+        return self
+
+    def binary(self, op: str, operand: str, dtype="fp32") -> "KernelSpec":
+        self.stages.append(Stage("binary", op=op, name=operand,
+                                 dtype=resolve_dtype(dtype)))
+        return self
+
+    def store(self, name: str) -> "KernelSpec":
+        self.stages.append(Stage("store", name=name))
+        return self
+
+
+@dataclass
+class _Plan:
+    """Per-stage CB/dtype bookkeeping produced by compilation."""
+
+    stage: Stage
+    src_cb: int = -1
+    dst_cb: int = -1
+    operand_cb: int = -1
+    in_dtype: Optional[DType] = None
+    out_dtype: Optional[DType] = None
+
+
+class CompiledKernel:
+    """A KNYFE-compiled kernel ready to launch."""
+
+    def __init__(self, spec: KernelSpec, plans: List[_Plan],
+                 cb_sizes: Dict[int, int]) -> None:
+        self.spec = spec
+        self.plans = plans
+        self.cb_sizes = cb_sizes
+        self.cycles: float = 0.0
+
+    @property
+    def output_dtype(self) -> DType:
+        return self.plans[-1].in_dtype
+
+    def run(self, acc: Accelerator, inputs: Dict[str, np.ndarray],
+            subgrid: Optional[SubGrid] = None,
+            in_sram: bool = False) -> Dict[str, np.ndarray]:
+        """Execute on the accelerator; returns {output_name: array}."""
+        loads = [p for p in self.plans if p.stage.kind in ("load", "binary")]
+        store = self.plans[-1]
+        count = None
+        addrs: Dict[str, int] = {}
+        alloc = acc.alloc_sram if in_sram else acc.alloc_dram
+        for plan in loads:
+            arr = np.ascontiguousarray(inputs[plan.stage.name])
+            if arr.dtype != plan.stage.dtype.numpy_dtype:
+                raise SimulationError(
+                    f"input {plan.stage.name!r} dtype {arr.dtype} does not "
+                    f"match declared {plan.stage.dtype.name}")
+            if count is None:
+                count = arr.size
+            elif arr.size != count:
+                raise SimulationError("kernel inputs must be equal length")
+            addr = alloc(arr.nbytes)
+            acc.memory.poke(addr, arr)
+            addrs[plan.stage.name] = addr
+        out_elem = self.output_dtype.bytes
+        out_addr = alloc(count * out_elem)
+        addrs[store.stage.name] = out_addr
+
+        if subgrid is None:
+            subgrid = acc.subgrid()
+        tile = self.spec.tile_elems
+        num_tiles = (count + tile - 1) // tile
+        pes = list(subgrid)
+        assignments: List[List[int]] = [[] for _ in pes]
+        for t in range(num_tiles):
+            assignments[t % len(pes)].append(t)
+        active = [(pe, ts) for pe, ts in zip(pes, assignments) if ts]
+        barrier = acc.barrier(len(active), f"{self.spec.name}.start")
+        start = acc.engine.now
+        for pe, ts in active:
+            acc.launch(self._program, pe.cores[0], ts, count, addrs, barrier,
+                       name=f"{self.spec.name}{pe.coord}")
+        acc.run()
+        self.cycles = acc.engine.now - start
+        output = acc.download(out_addr, (count,),
+                              self.output_dtype.numpy_dtype)
+        return {store.stage.name: output}
+
+    def _program(self, ctx, tile_ids: Sequence[int], count: int,
+                 addrs: Dict[str, int], barrier: Barrier) -> Generator:
+        tile = self.spec.tile_elems
+        base = 0
+        for cb_id in sorted(self.cb_sizes):
+            size = self.cb_sizes[cb_id]
+            yield from ctx.issue(InitCB(cb_id=cb_id, base=base, size=size))
+            base += size
+        yield from ctx.drain()
+        yield from barrier.wait()
+        for t in tile_ids:
+            elems = min(tile, count - t * tile)
+            for plan in self.plans:
+                yield from self._stage_commands(ctx, plan, t, elems, addrs)
+        yield from ctx.drain()
+
+    def _stage_commands(self, ctx, plan: _Plan, t: int, elems: int,
+                        addrs: Dict[str, int]) -> Generator:
+        stage = plan.stage
+        tile = self.spec.tile_elems
+        if stage.kind == "load":
+            eb = stage.dtype.bytes
+            yield from ctx.issue(DMALoad(
+                addr=addrs[stage.name] + t * tile * eb,
+                row_bytes=elems * eb, cb_id=plan.dst_cb))
+        elif stage.kind == "binary":
+            eb = stage.dtype.bytes
+            yield from ctx.issue(DMALoad(
+                addr=addrs[stage.name] + t * tile * eb,
+                row_bytes=elems * eb, cb_id=plan.operand_cb))
+            yield from ctx.issue(ElementwiseCmd(
+                op=stage.op, src_cb_a=plan.src_cb, src_cb_b=plan.operand_cb,
+                dst_cb=plan.dst_cb, count=elems, dtype=plan.out_dtype))
+        elif stage.kind in ("quantize", "dequantize"):
+            yield from ctx.issue(QuantizeCmd(
+                src_cb=plan.src_cb, dst_cb=plan.dst_cb, count=elems,
+                scale=stage.scale, direction=stage.kind,
+                src_dtype=plan.in_dtype, dst_dtype=plan.out_dtype))
+        elif stage.kind == "apply":
+            yield from ctx.issue(NonlinearCmd(
+                func=stage.func, src_cb=plan.src_cb, dst_cb=plan.dst_cb,
+                count=elems, src_dtype=plan.in_dtype))
+        elif stage.kind == "store":
+            eb = plan.in_dtype.bytes
+            yield from ctx.issue(DMAStore(
+                addr=addrs[stage.name] + t * tile * eb,
+                row_bytes=elems * eb, cb_id=plan.src_cb))
+        else:  # pragma: no cover - spec construction prevents this
+            raise SimulationError(f"unknown stage kind {stage.kind!r}")
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        """Numpy semantics of the pipeline (for verification)."""
+        value = None
+        for plan in self.plans:
+            stage = plan.stage
+            if stage.kind == "load":
+                value = np.asarray(inputs[stage.name])
+            elif stage.kind == "quantize":
+                q = np.round(value.astype(np.float32) / stage.scale)
+                value = np.clip(q, -128, 127).astype(np.int8)
+            elif stage.kind == "dequantize":
+                value = value.astype(np.float32) * stage.scale
+            elif stage.kind == "apply":
+                fns = {"tanh": np.tanh, "relu": lambda x: np.maximum(x, 0),
+                       "sigmoid": lambda x: 1 / (1 + np.exp(-x)),
+                       "exp": np.exp}
+                value = fns[stage.func](value.astype(np.float32)).astype(
+                    np.float32)
+            elif stage.kind == "binary":
+                other = np.asarray(inputs[stage.name])
+                ops = {"add": np.add, "mul": np.multiply,
+                       "sub": np.subtract, "max": np.maximum}
+                value = ops[stage.op](
+                    value.astype(plan.out_dtype.numpy_dtype),
+                    other.astype(plan.out_dtype.numpy_dtype))
+            elif stage.kind == "store":
+                value = value.astype(plan.in_dtype.numpy_dtype)
+        return value
+
+
+def compile_kernel(spec: KernelSpec) -> CompiledKernel:
+    """Type-check the pipeline, assign CBs, and size them."""
+    if not spec.stages or spec.stages[0].kind != "load":
+        raise SimulationError("kernel must start with a load stage")
+    if spec.stages[-1].kind != "store":
+        raise SimulationError("kernel must end with a store stage")
+    plans: List[_Plan] = []
+    cb_sizes: Dict[int, int] = {}
+    next_cb = 0
+    current_dtype: Optional[DType] = None
+    current_cb = -1
+
+    def new_cb(dtype: DType) -> int:
+        nonlocal next_cb
+        cb = next_cb
+        next_cb += 1
+        cb_sizes[cb] = 2 * spec.tile_elems * dtype.bytes
+        return cb
+
+    for stage in spec.stages:
+        plan = _Plan(stage=stage, src_cb=current_cb, in_dtype=current_dtype)
+        if stage.kind == "load":
+            plan.out_dtype = stage.dtype
+            plan.dst_cb = new_cb(stage.dtype)
+        elif stage.kind == "quantize":
+            if not current_dtype.is_float:
+                raise SimulationError("quantize needs a float input")
+            plan.out_dtype = INT8
+            plan.dst_cb = new_cb(INT8)
+        elif stage.kind == "dequantize":
+            if current_dtype.name != "int8":
+                raise SimulationError("dequantize needs an int8 input")
+            plan.out_dtype = FP32
+            plan.dst_cb = new_cb(FP32)
+        elif stage.kind == "apply":
+            plan.out_dtype = FP32
+            plan.dst_cb = new_cb(FP32)
+        elif stage.kind == "binary":
+            if stage.dtype.name != current_dtype.name:
+                raise SimulationError(
+                    f"binary operand dtype {stage.dtype.name} does not "
+                    f"match pipeline dtype {current_dtype.name}")
+            plan.operand_cb = new_cb(stage.dtype)
+            plan.out_dtype = current_dtype
+            plan.dst_cb = new_cb(current_dtype)
+        elif stage.kind == "store":
+            plan.out_dtype = current_dtype
+        else:
+            raise SimulationError(f"unknown stage kind {stage.kind!r}")
+        plans.append(plan)
+        current_dtype = plan.out_dtype
+        current_cb = plan.dst_cb
+    return CompiledKernel(spec, plans, cb_sizes)

@@ -1,0 +1,127 @@
+"""Model partitioning: across cards and across sub-grids.
+
+Two mechanisms from the paper:
+
+* Section 5: the runtime "supports running models split into partitions
+  spanning multiple cards" — necessary because Table IV's models reach
+  725 GB against 32 GB of device memory per card.  We shard by memory:
+  embedding tables are assigned card-by-card first-fit by size; the
+  dense pipeline runs on every card against its local tables, with the
+  pooled sparse outputs gathered to the card owning the dense part.
+* Section 7 ("Architecture Hierarchy"): small jobs don't fill the 8x8
+  grid, so the firmware carves sub-grids.  :func:`choose_subgrid`
+  replicates that decision from an operator's work size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.compiler.ir import Graph, Node
+from repro.config import ChipConfig, MTIA_V1
+
+
+@dataclass
+class Partition:
+    """One card's share of a model."""
+
+    card: int
+    weight_nodes: List[str] = field(default_factory=list)
+    weight_bytes: int = 0
+    #: whether the dense (MLP/interaction) pipeline runs here
+    owns_dense: bool = False
+
+
+def partition_by_memory(graph: Graph, card_capacity_bytes: int,
+                        max_cards: int = 64) -> List[Partition]:
+    """Shard a model's weights across cards by capacity, first-fit.
+
+    Embedding tables (the memory hogs) are placed largest-first; dense
+    weights ride with card 0, which also owns the dense pipeline.
+    Raises if the model cannot fit in ``max_cards`` cards.
+    """
+    weights = [(n.name, n.meta.nbytes) for n in graph.nodes_by_op("weight")]
+    dense = [(name, size) for name, size in weights
+             if not name.startswith("table")]
+    tables = sorted((ws for ws in weights if ws[0].startswith("table")),
+                    key=lambda ws: -ws[1])
+    partitions = [Partition(card=0, owns_dense=True)]
+    for name, size in dense:
+        partitions[0].weight_nodes.append(name)
+        partitions[0].weight_bytes += size
+    for name, size in tables:
+        target = None
+        for part in partitions:
+            if part.weight_bytes + size <= card_capacity_bytes:
+                target = part
+                break
+        if target is None:
+            if len(partitions) >= max_cards:
+                raise MemoryError(
+                    f"model needs more than {max_cards} cards of "
+                    f"{card_capacity_bytes} B")
+            target = Partition(card=len(partitions))
+            partitions.append(target)
+        if size > card_capacity_bytes:
+            raise MemoryError(
+                f"table {name!r} ({size} B) exceeds a whole card; "
+                "row-sharding is not implemented")
+        target.weight_nodes.append(name)
+        target.weight_bytes += size
+    return partitions
+
+
+def cross_card_traffic(graph: Graph, partitions: List[Partition]) -> int:
+    """Bytes of pooled embedding output gathered to the dense card."""
+    owner: Dict[str, int] = {}
+    for part in partitions:
+        for name in part.weight_nodes:
+            owner[name] = part.card
+    traffic = 0
+    for node in graph:
+        if node.op not in ("embedding_bag", "tbe"):
+            continue
+        table_inputs = node.inputs[0::2]
+        cards = {owner.get(t, 0) for t in table_inputs}
+        if cards - {0}:
+            traffic += node.meta.nbytes
+    return traffic
+
+
+def choose_subgrid(node: Node, config: ChipConfig = MTIA_V1) -> Tuple[int, int]:
+    """Pick a sub-grid size for one operator (Section 7 discussion).
+
+    Sizing keeps every PE busy with at least one 64x64 output tile for
+    GEMM-like work, or one work item for data-parallel operators —
+    smaller jobs get smaller sub-grids so the rest of the grid can run
+    other sub-graphs concurrently.
+    """
+    max_rows, max_cols = config.grid_rows, config.grid_cols
+    if node.op == "fc":
+        batch = int(node.meta.shape[0])
+        n = int(node.meta.shape[-1])
+        rows = _fit_pow2(math.ceil(batch / 64), max_rows)
+        cols = _fit_pow2(math.ceil(n / 64), max_cols)
+        return rows, cols
+    if node.op in ("embedding_bag", "tbe", "batch_matmul"):
+        items = int(node.meta.shape[0])
+        if node.op == "tbe":
+            items *= max(1, len(node.inputs) // 2)
+        total = _fit_pow2(items, max_rows * max_cols)
+        rows = _fit_pow2(int(math.sqrt(total)), max_rows)
+        return rows, min(max_cols, max(1, total // rows))
+    # Data movement / elementwise: size by tiles of 4 KB.
+    tiles = max(1, node.meta.nbytes // 4096)
+    total = _fit_pow2(tiles, max_rows * max_cols)
+    rows = _fit_pow2(int(math.sqrt(total)), max_rows)
+    return rows, min(max_cols, max(1, total // rows))
+
+
+def _fit_pow2(value: int, cap: int) -> int:
+    """Largest power of two <= max(value, 1), capped at ``cap``."""
+    power = 1
+    while power * 2 <= min(value, cap):
+        power *= 2
+    return power

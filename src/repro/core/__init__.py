@@ -1,0 +1,35 @@
+"""The MTIA accelerator core model: PEs, grid, and fixed-function units.
+
+This package implements Section 3 of the paper as an executable model:
+
+* :mod:`repro.core.circular_buffer` — the buffet-style CB abstraction;
+* :mod:`repro.core.command_processor` — per-core schedulers, CB-ID
+  dependency interlocks, element/space checks, atomic sync primitives;
+* :mod:`repro.core.units` — MLU, DPE, RE, SE, FI functional units;
+* :mod:`repro.core.cores` — the processor-core model (command issue +
+  the RISC-V-vector-like compute path);
+* :mod:`repro.core.pe` — one Processing Element;
+* :mod:`repro.core.grid` / :mod:`repro.core.accelerator` — the 8x8 grid
+  and the chip-level facade.
+"""
+
+from repro.core.accelerator import Accelerator
+from repro.core.circular_buffer import CircularBuffer
+from repro.core.command_processor import CommandProcessor
+from repro.core.cores import CoreContext
+from repro.core.grid import Grid, SubGrid
+from repro.core.pe import ProcessingElement
+from repro.core.sync import AtomicCounter, Barrier, TicketLock
+
+__all__ = [
+    "Accelerator",
+    "AtomicCounter",
+    "Barrier",
+    "CircularBuffer",
+    "CommandProcessor",
+    "CoreContext",
+    "Grid",
+    "ProcessingElement",
+    "SubGrid",
+    "TicketLock",
+]

@@ -1,0 +1,217 @@
+"""Circular buffers: the buffet-style local-memory abstraction (Section 3.3).
+
+A CB maps a region of PE local memory and adds:
+
+* read/write pointers implementing a hardware FIFO;
+* *offset* addressing relative to the pointers, so data can be reused
+  several times before being marked consumed;
+* element/space accounting used by the Command Processor to stall
+  operations until their inputs exist and their outputs fit.
+
+The fill level is tracked explicitly (not derived from pointer
+difference) so a completely full buffer is representable.
+"""
+
+from __future__ import annotations
+
+from typing import Deque, List, Tuple
+
+import numpy as np
+
+from repro.memory.local_memory import LocalMemory
+from repro.sim import Engine, Event, SimulationError
+
+
+class CircularBuffer:
+    """One circular buffer over a PE's local memory."""
+
+    def __init__(self, engine: Engine, memory: LocalMemory,
+                 cb_id: int, base: int, size: int) -> None:
+        if size <= 0:
+            raise ValueError("CB size must be positive")
+        if base < 0 or base + size > memory.config.capacity_bytes:
+            raise ValueError(
+                f"CB {cb_id} [{base}, {base + size}) outside local memory")
+        self.engine = engine
+        self.memory = memory
+        self.cb_id = cb_id
+        self.base = base
+        self.size = size
+        self.read_ptr = 0
+        self.write_ptr = 0
+        self._fill = 0
+        #: space claimed by in-flight DMA loads (reserved at dispatch,
+        #: converted to fill at commit) so overlapping loads cannot
+        #: oversubscribe the buffer.
+        self._reserved = 0
+        #: waiters for data: (required_bytes, event)
+        self._element_waiters: List[Tuple[int, Event]] = []
+        #: waiters for space: (required_bytes, event)
+        self._space_waiters: List[Tuple[int, Event]] = []
+        self.total_produced = 0
+        self.total_consumed = 0
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def available(self) -> int:
+        """Bytes of produced-but-unconsumed data."""
+        return self._fill
+
+    @property
+    def space(self) -> int:
+        """Bytes free for new production (net of reservations)."""
+        return self.size - self._fill - self._reserved
+
+    @property
+    def reserved(self) -> int:
+        return self._reserved
+
+    def _wake(self) -> None:
+        still = []
+        for required, ev in self._element_waiters:
+            if self.available >= required:
+                ev.succeed()
+            else:
+                still.append((required, ev))
+        self._element_waiters = still
+        still = []
+        for required, ev in self._space_waiters:
+            if self.space >= required:
+                ev.succeed()
+            else:
+                still.append((required, ev))
+        self._space_waiters = still
+
+    def wait_elements(self, nbytes: int) -> Event:
+        """Event firing once ``nbytes`` of data are readable."""
+        if nbytes > self.size:
+            raise SimulationError(
+                f"CB {self.cb_id}: waiting for {nbytes} B of data in a "
+                f"{self.size} B buffer can never succeed")
+        ev = self.engine.event(f"cb{self.cb_id}.elements({nbytes})")
+        if self.available >= nbytes:
+            ev.succeed()
+        else:
+            self._element_waiters.append((nbytes, ev))
+        return ev
+
+    def wait_space(self, nbytes: int) -> Event:
+        """Event firing once ``nbytes`` of space are writable."""
+        if nbytes > self.size:
+            raise SimulationError(
+                f"CB {self.cb_id}: waiting for {nbytes} B of space in a "
+                f"{self.size} B buffer can never succeed")
+        ev = self.engine.event(f"cb{self.cb_id}.space({nbytes})")
+        if self.space >= nbytes:
+            ev.succeed()
+        else:
+            self._space_waiters.append((nbytes, ev))
+        return ev
+
+    # -- reservations (pipelined DMA, Section 3.5 "MLP") -------------------
+    def reserve(self, nbytes: int) -> None:
+        """Claim space for an in-flight load (call after wait_space)."""
+        if nbytes > self.space:
+            raise SimulationError(
+                f"CB {self.cb_id}: reserving {nbytes} B with only "
+                f"{self.space} B free")
+        self._reserved += nbytes
+
+    def commit(self, data: np.ndarray) -> None:
+        """Land a previously-reserved load at the tail, in issue order."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        if raw.size > self._reserved:
+            raise SimulationError(
+                f"CB {self.cb_id}: committing {raw.size} B with only "
+                f"{self._reserved} B reserved")
+        self._reserved -= raw.size
+        self._wrapped_write(self.write_ptr, raw)
+        self.write_ptr = (self.write_ptr + raw.size) % self.size
+        self._fill += raw.size
+        self.total_produced += raw.size
+        self._wake()
+
+    # -- pointer movement -------------------------------------------------
+    def push(self, nbytes: int) -> None:
+        """Mark ``nbytes`` produced (advance the write pointer)."""
+        if nbytes > self.space:
+            raise SimulationError(
+                f"CB {self.cb_id}: push {nbytes} B exceeds free space "
+                f"{self.space} B")
+        self.write_ptr = (self.write_ptr + nbytes) % self.size
+        self._fill += nbytes
+        self.total_produced += nbytes
+        self._wake()
+
+    def pop(self, nbytes: int) -> None:
+        """Mark ``nbytes`` consumed (advance the read pointer)."""
+        if nbytes > self.available:
+            raise SimulationError(
+                f"CB {self.cb_id}: pop {nbytes} B exceeds available "
+                f"{self.available} B")
+        self.read_ptr = (self.read_ptr + nbytes) % self.size
+        self._fill -= nbytes
+        self.total_consumed += nbytes
+        self._wake()
+
+    # -- data access (functional; timing charged by the caller) -----------
+    def _wrapped(self, start: int, nbytes: int) -> np.ndarray:
+        """Read possibly-wrapping bytes starting at CB offset ``start``."""
+        start %= self.size
+        end = start + nbytes
+        if end <= self.size:
+            return self.memory.peek(self.base + start, nbytes)
+        first = self.size - start
+        return np.concatenate([
+            self.memory.peek(self.base + start, first),
+            self.memory.peek(self.base, nbytes - first),
+        ])
+
+    def _wrapped_write(self, start: int, data: np.ndarray) -> None:
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        start %= self.size
+        end = start + raw.size
+        if end <= self.size:
+            self.memory.poke(self.base + start, raw)
+            return
+        first = self.size - start
+        self.memory.poke(self.base + start, raw[:first])
+        self.memory.poke(self.base, raw[first:])
+
+    def read_at(self, offset: int, nbytes: int) -> np.ndarray:
+        """Read ``nbytes`` at ``read_ptr + offset`` without consuming."""
+        if offset + nbytes > self.size:
+            raise SimulationError(
+                f"CB {self.cb_id}: read offset {offset}+{nbytes} exceeds "
+                f"buffer size {self.size}")
+        return self._wrapped(self.read_ptr + offset, nbytes)
+
+    def write_at(self, offset: int, data: np.ndarray) -> None:
+        """Write at ``write_ptr + offset`` without producing."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        if offset + raw.size > self.size:
+            raise SimulationError(
+                f"CB {self.cb_id}: write offset {offset}+{raw.size} exceeds "
+                f"buffer size {self.size}")
+        self._wrapped_write(self.write_ptr + offset, raw)
+
+    def write_and_push(self, data: np.ndarray) -> None:
+        """Produce ``data`` at the tail (DMA-load semantics)."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        if raw.size > self.space:
+            raise SimulationError(
+                f"CB {self.cb_id}: producing {raw.size} B with only "
+                f"{self.space} B free")
+        self._wrapped_write(self.write_ptr, raw)
+        self.push(raw.size)
+
+    def read_and_pop(self, nbytes: int) -> np.ndarray:
+        """Consume ``nbytes`` from the head (DMA-store semantics)."""
+        data = self.read_at(0, nbytes)
+        self.pop(nbytes)
+        return data
+
+    def __repr__(self) -> str:
+        return (f"CircularBuffer(id={self.cb_id}, base={self.base:#x}, "
+                f"size={self.size}, fill={self._fill}, "
+                f"rp={self.read_ptr}, wp={self.write_ptr})")

@@ -1,0 +1,172 @@
+"""Command Processor (Section 3.1.6).
+
+The CP is the PE's orchestrator.  It owns:
+
+* two *schedulers*, one per processor core, each with a bounded command
+  queue (issuing into a full queue backpressures the core);
+* the CB-ID based *dependency interlocks*: commands from one core that
+  access-and-modify the same circular buffer execute in program order,
+  while commands on different CBs proceed in parallel (Section 3.3);
+* the CB-management operations themselves (INIT/POP/PUSH), executed on
+  a per-core CP pseudo-unit;
+* the atomic synchronisation registers (exposed via
+  :mod:`repro.core.sync` objects shared between cores/PEs).
+
+Cross-core ordering is deliberately *not* enforced here: the paper's
+producer-consumer model relies on element/space checks, not program
+order, between the two cores (Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Generator, List, Tuple
+
+from repro.isa.commands import Command, InitCB, PopCB, PushCB
+from repro.core.units.base import DispatchedCommand, FunctionalUnit
+from repro.sim import Engine, Event, Queue, SimulationError, StatGroup
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pe import ProcessingElement
+
+
+class CPUnit(FunctionalUnit):
+    """Executes CB-management commands (one instance per core).
+
+    Keeping these per-core prevents a blocked POP from one core's stream
+    from head-of-line blocking the other core's PUSH that would unblock
+    it — in hardware the schedulers are likewise independent.
+    """
+
+    name = "cp"
+
+    def __init__(self, engine, pe, core_id: int) -> None:
+        self.name = f"cp{core_id}"
+        super().__init__(engine, pe)
+
+    def execute(self, cmd: Command) -> Generator:
+        if isinstance(cmd, InitCB):
+            self.pe.define_cb(cmd.cb_id, cmd.base, cmd.size)
+        elif isinstance(cmd, PopCB):
+            self.pe.cb(cmd.cb_id).pop(cmd.nbytes)
+        elif isinstance(cmd, PushCB):
+            self.pe.cb(cmd.cb_id).push(cmd.nbytes)
+        else:
+            raise SimulationError(f"CP cannot execute {type(cmd).__name__}")
+        yield 1
+
+
+class _Scheduler:
+    """One core's in-order command scheduler with CB interlocks."""
+
+    def __init__(self, engine: Engine, pe: "ProcessingElement",
+                 core_id: int) -> None:
+        self.engine = engine
+        self.pe = pe
+        self.core_id = core_id
+        depth = pe.config.cp.queue_depth
+        self.queue = Queue(engine, capacity=depth,
+                           name=f"pe{pe.index}.sched{core_id}")
+        #: per-CB event+unit of the last read-pointer-moving command
+        self._last_consumer: Dict[int, tuple] = {}
+        #: per-CB events of pointer-relative readers since that consumer
+        self._readers: Dict[int, List[Event]] = {}
+        #: per-CB event+unit of the last write-pointer-moving command
+        self._last_producer: Dict[int, tuple] = {}
+        #: per-register (accumulator bank) event of the last writer
+        self._reg_writer: Dict[str, Event] = {}
+        self.stats = StatGroup(f"pe{pe.index}.sched{core_id}")
+        engine.process(self._run(), f"pe{pe.index}.sched{core_id}")
+
+    def submit(self, cmd: Command, done: Event) -> Event:
+        """Enqueue; the returned event fires when the slot is taken."""
+        return self.queue.put((cmd, done))
+
+    def _dependencies(self, cmd: Command) -> List[Event]:
+        """Interlocks through CB IDs and accumulator banks (Section 3.3).
+
+        The rules distinguish FIFO-side effects from pointer-relative
+        accesses, because producer->consumer data flow is ordered by the
+        element/space checks, not by interlocks:
+
+        * a *read* (offset-addressed, pointer not moved) must wait for
+          the last command that moved the read pointer, so its offsets
+          are computed against settled state;
+        * a *consume* (read-pointer move) must additionally wait for all
+          reads issued since the previous consume — popping under a
+          reader would shift its window;
+        * a *produce* (write-pointer move) must wait for the previous
+          produce only when it executes on a *different* unit: each
+          engine commits its own productions in issue order already;
+        * accumulator-bank writers chain WAW (MML -> REDUCE -> INIT).
+        """
+        deps: List[Event] = []
+
+        def alive(ev: Event) -> bool:
+            return ev is not None and not ev.triggered
+
+        consumes = set(cmd.consumes_cbs())
+        for cb_id in set(cmd.reads_cbs()) | consumes:
+            entry = self._last_consumer.get(cb_id)
+            if entry and alive(entry[0]):
+                deps.append(entry[0])
+        for cb_id in consumes:
+            for reader in self._readers.get(cb_id, ()):
+                if alive(reader):
+                    deps.append(reader)
+        for cb_id in cmd.produces_cbs():
+            entry = self._last_producer.get(cb_id)
+            if entry and entry[1] != cmd.unit and alive(entry[0]):
+                deps.append(entry[0])
+        for reg in cmd.writes_regs():
+            ev = self._reg_writer.get(reg)
+            if alive(ev):
+                deps.append(ev)
+        return deps
+
+    def _record(self, cmd: Command, done: Event) -> None:
+        for cb_id in cmd.consumes_cbs():
+            self._last_consumer[cb_id] = (done, cmd.unit)
+            self._readers[cb_id] = []
+        for cb_id in cmd.reads_cbs():
+            if cb_id not in cmd.consumes_cbs():
+                self._readers.setdefault(cb_id, []).append(done)
+        for cb_id in cmd.produces_cbs():
+            self._last_producer[cb_id] = (done, cmd.unit)
+        for reg in cmd.writes_regs():
+            self._reg_writer[reg] = done
+
+    def _run(self) -> Generator:
+        cp_cfg = self.pe.config.cp
+        while True:
+            cmd, done = yield self.queue.get()
+            deps = self._dependencies(cmd)
+            self._record(cmd, done)
+            yield cp_cfg.dispatch_cycles
+            unit = self.pe.unit_for(cmd, self.core_id)
+            yield unit.dispatch(DispatchedCommand(cmd, deps, done))
+            self.stats.add("dispatched")
+
+
+class CommandProcessor:
+    """The per-PE CP: two schedulers plus the CP pseudo-units."""
+
+    def __init__(self, engine: Engine, pe: "ProcessingElement") -> None:
+        self.engine = engine
+        self.pe = pe
+        self.cp_units = [CPUnit(engine, pe, core_id) for core_id in (0, 1)]
+        self.schedulers = [_Scheduler(engine, pe, core_id)
+                           for core_id in (0, 1)]
+
+    def issue(self, core_id: int, cmd: Command) -> Tuple[Event, Event]:
+        """Issue ``cmd`` from core ``core_id``.
+
+        Returns ``(accepted, done)``: ``accepted`` fires when the
+        command enters the scheduler queue (the core stalls on this if
+        the queue is full); ``done`` fires at command completion.
+        """
+        if core_id not in (0, 1):
+            raise SimulationError(f"PE has cores 0 and 1, not {core_id}")
+        done = self.engine.event(f"pe{self.pe.index}.c{core_id}."
+                                 f"{type(cmd).__name__}")
+        accepted = self.schedulers[core_id].submit(cmd, done)
+        return accepted, done

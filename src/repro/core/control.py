@@ -1,0 +1,137 @@
+"""The control subsystem and host interface (Sections 3 and 5).
+
+Figure 3 shows "a separate control subsystem with dedicated processors
+and peripherals to run the system's control software" plus a host
+interface unit with PCIe, DMA engines and a secure-boot processor.
+Section 5's firmware list: ROM pre-boot, secure-boot firmware, the
+Control Core Processor runtime, and the PE monitor.
+
+This module models the *lifecycle and control plane*:
+
+* a boot state machine (RESET -> ROM -> SECURE_BOOT -> FIRMWARE ->
+  READY) with per-stage cycle costs;
+* per-PE monitor status registers published on the register network;
+* host doorbells: the host rings a job doorbell over PCIe, the control
+  processor dispatches, and completion is visible in a status CSR.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Generator, Optional
+
+from repro.config import ChipConfig
+from repro.noc.register_network import RegisterNetwork
+from repro.sim import Engine, Event, SimulationError, StatGroup
+
+
+class BootStage(enum.Enum):
+    RESET = 0
+    ROM = 1
+    SECURE_BOOT = 2
+    FIRMWARE = 3
+    READY = 4
+
+
+#: Cycles each boot stage takes (ROM copy, signature check, Zephyr
+#: bring-up).  Coarse but ordered: secure boot dominates.
+BOOT_STAGE_CYCLES = {
+    BootStage.ROM: 20_000,
+    BootStage.SECURE_BOOT: 120_000,
+    BootStage.FIRMWARE: 60_000,
+}
+
+# CSR offsets in the control block.
+REG_BOOT_STAGE = 0x00
+REG_JOBS_SUBMITTED = 0x08
+REG_JOBS_COMPLETED = 0x10
+REG_DOORBELL = 0x18
+
+# CSR offsets in each PE monitor block.
+REG_PE_STATE = 0x00      # 0 idle, 1 assigned, 2 running
+REG_PE_JOBS = 0x08
+
+
+class ControlSubsystem:
+    """The control core processor + PE monitors, on the register network."""
+
+    def __init__(self, engine: Engine, config: ChipConfig,
+                 registers: Optional[RegisterNetwork] = None) -> None:
+        self.engine = engine
+        self.config = config
+        self.registers = registers or RegisterNetwork(engine, config)
+        self.stats = StatGroup("control")
+        self.stage = BootStage.RESET
+        self._ready = engine.event("control.ready")
+
+        self.csr = self.registers.register_block("control")
+        self.csr.define(REG_BOOT_STAGE, BootStage.RESET.value)
+        self.csr.define(REG_JOBS_SUBMITTED, 0)
+        self.csr.define(REG_JOBS_COMPLETED, 0)
+        self.csr.define(REG_DOORBELL, 0, on_write=self._on_doorbell)
+        self._doorbell_waiters = []
+
+        self.pe_monitors: Dict[int, object] = {}
+        for index in range(config.num_pes):
+            block = self.registers.register_block(f"pe{index}.monitor")
+            block.define(REG_PE_STATE, 0)
+            block.define(REG_PE_JOBS, 0)
+            self.pe_monitors[index] = block
+
+    # -- boot ---------------------------------------------------------------
+    def boot(self) -> Event:
+        """Start the boot sequence; returns the READY event."""
+        if self.stage is not BootStage.RESET:
+            raise SimulationError("boot() called twice")
+        self.engine.process(self._boot_sequence(), "control.boot")
+        return self._ready
+
+    def _boot_sequence(self) -> Generator:
+        for stage in (BootStage.ROM, BootStage.SECURE_BOOT,
+                      BootStage.FIRMWARE):
+            self.stage = stage
+            self.csr.poke(REG_BOOT_STAGE, stage.value)
+            yield BOOT_STAGE_CYCLES[stage]
+        self.stage = BootStage.READY
+        self.csr.poke(REG_BOOT_STAGE, BootStage.READY.value)
+        self._ready.succeed()
+
+    @property
+    def ready(self) -> bool:
+        return self.stage is BootStage.READY
+
+    # -- PE monitor interface -------------------------------------------------
+    def mark_pe(self, index: int, state: int) -> None:
+        monitor = self.pe_monitors[index]
+        monitor.poke(REG_PE_STATE, state)
+        if state == 2:
+            monitor.poke(REG_PE_JOBS, monitor.read(REG_PE_JOBS) + 1)
+
+    def busy_pes(self) -> int:
+        return sum(1 for m in self.pe_monitors.values()
+                   if m.read(REG_PE_STATE) != 0)
+
+    # -- host doorbells ---------------------------------------------------------
+    def _on_doorbell(self, value: int) -> None:
+        self.stats.add("doorbells")
+        self.csr.poke(REG_JOBS_SUBMITTED,
+                      self.csr.read(REG_JOBS_SUBMITTED) + 1)
+        waiters, self._doorbell_waiters = self._doorbell_waiters, []
+        for event in waiters:
+            event.succeed(value)
+
+    def ring_doorbell(self, value: int = 1) -> Generator:
+        """Process: host rings the job doorbell over the register net."""
+        if not self.ready:
+            raise SimulationError("device not booted; doorbell ignored")
+        yield from self.registers.write("control", REG_DOORBELL, value)
+
+    def next_doorbell(self) -> Event:
+        """Event firing at the next doorbell (control-firmware side)."""
+        event = self.engine.event("control.doorbell")
+        self._doorbell_waiters.append(event)
+        return event
+
+    def complete_job(self) -> None:
+        self.csr.poke(REG_JOBS_COMPLETED,
+                      self.csr.read(REG_JOBS_COMPLETED) + 1)

@@ -1,0 +1,215 @@
+"""Processor-core model (Section 3.2).
+
+Kernels are written as Python generator functions over a
+:class:`CoreContext` — the analogue of C++ kernel code running on one
+of the PE's two RISC-V cores.  The context provides:
+
+* ``issue(cmd)`` — assemble a command (custom registers) and issue it
+  (custom instruction) to the Command Processor; charges the
+  per-command issue cost and backpressures on a full scheduler queue;
+* ``wait(handle)`` / ``wait_all(handles)`` — stall until completion;
+* ``vector`` — the RISC-V vector unit (core 1 only), for operators that
+  do not map to the fixed-function units (Section 7,
+  "General-Purpose Compute");
+* direct (cached) loads/stores to local memory.
+
+The command-issue path validates commands eagerly — the hardware's
+"custom exceptions ... raise an exception in case of illegal values in
+the command".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Generator, Iterable, List, Optional
+
+import numpy as np
+
+from repro.isa.commands import Command
+from repro.sim import Engine, Event, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pe import ProcessingElement
+
+
+class VectorUnit:
+    """The RISC-V vector extension path (RVV 0.8.1 subset, Section 3.2).
+
+    Operations work directly on local-memory regions.  Timing charges
+    ``ceil(elements / lanes)`` plus a fixed strip-mining overhead per
+    call; Section 7 ("Memory Latency") notes register-pressure limits on
+    grouping, which the overhead term stands in for.
+    """
+
+    #: Fixed per-call overhead in cycles (loop setup, strip mining).
+    CALL_OVERHEAD = 12
+
+    def __init__(self, engine: Engine, pe: "ProcessingElement") -> None:
+        self.engine = engine
+        self.pe = pe
+        self.config = pe.config.vector
+
+    def _lanes(self, dtype: np.dtype) -> int:
+        width = np.dtype(dtype).itemsize
+        return max(1, self.config.register_bytes // width)
+
+    def _cycles(self, count: int, dtype: np.dtype, passes: int = 1) -> int:
+        return self.CALL_OVERHEAD + passes * max(
+            1, math.ceil(count / self._lanes(dtype)))
+
+    def binary_op(self, op: str, addr_a: int, addr_b: int, addr_out: int,
+                  count: int, dtype=np.float32) -> Generator:
+        """Process: elementwise binary op over local-memory arrays."""
+        np_dtype = np.dtype(dtype)
+        a = self.pe.local_memory.peek_array(addr_a, (count,), np_dtype)
+        b = self.pe.local_memory.peek_array(addr_b, (count,), np_dtype)
+        if op == "add":
+            out = a + b
+        elif op == "sub":
+            out = a - b
+        elif op == "mul":
+            out = a * b
+        elif op == "max":
+            out = np.maximum(a, b)
+        else:
+            raise SimulationError(f"vector unit: unknown op {op!r}")
+        yield from self.pe.local_memory.port.use(3 * count * np_dtype.itemsize)
+        self.pe.local_memory.poke(addr_out, out.astype(np_dtype))
+        yield self._cycles(count, np_dtype)
+
+    def scale(self, addr_src: int, addr_out: int, count: int,
+              factor: float, dtype=np.float32) -> Generator:
+        """Process: multiply a local-memory array by a scalar."""
+        np_dtype = np.dtype(dtype)
+        data = self.pe.local_memory.peek_array(addr_src, (count,), np_dtype)
+        out = (data.astype(np.float64) * factor).astype(np_dtype)
+        yield from self.pe.local_memory.port.use(2 * count * np_dtype.itemsize)
+        self.pe.local_memory.poke(addr_out, out)
+        yield self._cycles(count, np_dtype)
+
+    def reduce_add(self, addr: int, count: int, dtype=np.float32) -> Generator:
+        """Process: sum-reduce a local-memory array; returns the sum."""
+        np_dtype = np.dtype(dtype)
+        data = self.pe.local_memory.peek_array(addr, (count,), np_dtype)
+        yield from self.pe.local_memory.port.use(count * np_dtype.itemsize)
+        yield self._cycles(count, np_dtype)
+        return float(data.astype(np.float64).sum())
+
+    def batched_reduce_add(self, addr: int, rows: int, cols: int,
+                           addr_out: int, dtype=np.float32) -> Generator:
+        """Process: row-wise sum of a (rows, cols) array -> (cols,).
+
+        The paper's BatchedReduceAdd example of a vector-implemented
+        operator (Section 7, "General-Purpose Compute").
+        """
+        np_dtype = np.dtype(dtype)
+        data = self.pe.local_memory.peek_array(addr, (rows, cols), np_dtype)
+        out = data.astype(np.float64).sum(axis=0).astype(np_dtype)
+        total = rows * cols
+        yield from self.pe.local_memory.port.use(
+            (total + cols) * np_dtype.itemsize)
+        self.pe.local_memory.poke(addr_out, out)
+        yield self._cycles(total, np_dtype)
+
+    def fill(self, addr: int, count: int, value: float = 0.0,
+             dtype=np.float32) -> Generator:
+        """Process: fill a local-memory array with a constant."""
+        np_dtype = np.dtype(dtype)
+        out = np.full(count, value, dtype=np_dtype)
+        yield from self.pe.local_memory.port.use(count * np_dtype.itemsize)
+        self.pe.local_memory.poke(addr, out)
+        yield self._cycles(count, np_dtype)
+
+    def dequant_accumulate(self, addr_src: int, addr_acc: int, count: int,
+                           scale: float, bias: float = 0.0) -> Generator:
+        """Process: widen an INT8 row and FMA it onto an FP32 accumulator.
+
+        ``acc[i] += src_int8[i] * scale + bias`` — the inner loop of a
+        hand-written embedding-bag kernel on the vector core (8-bit
+        quantised rows, Section 6.1 "Sparse computation").
+        """
+        row = self.pe.local_memory.peek_array(addr_src, (count,), np.int8)
+        acc = self.pe.local_memory.peek_array(addr_acc, (count,), np.float32)
+        acc = acc + row.astype(np.float32) * scale + bias
+        yield from self.pe.local_memory.port.use(count * (1 + 4 + 4))
+        self.pe.local_memory.poke(addr_acc, acc.astype(np.float32))
+        # Widening int8->fp32 quarters the effective lane count.
+        yield self._cycles(count, np.float32)
+
+    def layernorm(self, addr: int, count: int, addr_out: int,
+                  eps: float = 1e-5, dtype=np.float32) -> Generator:
+        """Process: LayerNorm over a local-memory vector (Section 7)."""
+        np_dtype = np.dtype(dtype)
+        x = self.pe.local_memory.peek_array(addr, (count,), np_dtype)
+        x64 = x.astype(np.float64)
+        mean = x64.mean()
+        var = x64.var()
+        out = ((x64 - mean) / math.sqrt(var + eps)).astype(np_dtype)
+        yield from self.pe.local_memory.port.use(2 * count * np_dtype.itemsize)
+        self.pe.local_memory.poke(addr_out, out)
+        # Three passes: mean, variance, normalise.
+        yield self._cycles(count, np_dtype, passes=3)
+
+
+class CoreContext:
+    """The kernel-visible view of one processor core."""
+
+    def __init__(self, pe: "ProcessingElement", core_id: int) -> None:
+        if core_id not in (0, 1):
+            raise SimulationError("PE cores are numbered 0 and 1")
+        self.pe = pe
+        self.core_id = core_id
+        self.engine = pe.engine
+        #: Only core 1 carries the vector extension (Section 3.2).
+        self.vector: Optional[VectorUnit] = (
+            VectorUnit(pe.engine, pe) if core_id == 1 else None)
+        self._outstanding: List[Event] = []
+
+    @property
+    def coord(self):
+        return self.pe.coord
+
+    def issue(self, cmd: Command) -> Generator:
+        """Process: issue a command; returns its completion event.
+
+        The issue cost (assembling parameters into the custom command
+        registers) is charged here; the core then continues without
+        waiting for the command to execute.
+        """
+        if not isinstance(cmd, Command):
+            raise SimulationError(f"cannot issue {cmd!r}: not a Command")
+        yield self.pe.config.cp.issue_cycles
+        accepted, done = self.pe.command_processor.issue(self.core_id, cmd)
+        yield accepted  # backpressure on a full scheduler queue
+        self._outstanding.append(done)
+        return done
+
+    def issue_and_wait(self, cmd: Command) -> Generator:
+        """Process: issue a command and stall until it completes."""
+        done = yield from self.issue(cmd)
+        yield done
+
+    def wait(self, handle: Event) -> Generator:
+        """Process: stall until ``handle`` (a completion event) fires."""
+        yield handle
+
+    def wait_all(self, handles: Iterable[Event]) -> Generator:
+        """Process: stall until every handle fires."""
+        yield self.engine.all_of(list(handles))
+
+    def drain(self) -> Generator:
+        """Process: stall until every command this core issued completes."""
+        pending = [ev for ev in self._outstanding if not ev.triggered]
+        self._outstanding = []
+        if pending:
+            yield self.engine.all_of(pending)
+
+    # -- direct local-memory access (cached loads/stores) -----------------
+    def load(self, addr: int, nbytes: int) -> Generator:
+        """Process: scalar-core load from local memory."""
+        data = yield from self.pe.local_memory.read(addr, nbytes)
+        return data
+
+    def store(self, addr: int, data: np.ndarray) -> Generator:
+        """Process: scalar-core store to local memory."""
+        yield from self.pe.local_memory.write(addr, data)

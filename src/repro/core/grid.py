@@ -1,0 +1,133 @@
+"""The PE grid and sub-grid management (Sections 3 and 7).
+
+The grid instantiates the PEs and wires them to the NoC, the reduction
+network, and the memory system.  :class:`SubGrid` captures the firmware
+notion the paper discusses under "Architecture Hierarchy": a rectangular
+region of PEs set up to run one job, with helpers for row/column
+multicast groups and reduction chains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.config import ChipConfig
+from repro.memory.system import MemorySystem
+from repro.noc import MulticastGroup, NoC, ReductionNetwork
+from repro.core.pe import ProcessingElement
+from repro.sim import Engine, SimulationError
+
+Coord = Tuple[int, int]
+
+
+class Grid:
+    """The full rows x cols array of PEs."""
+
+    def __init__(self, engine: Engine, config: ChipConfig,
+                 memory: MemorySystem, noc: NoC,
+                 reduction_network: ReductionNetwork) -> None:
+        self.engine = engine
+        self.config = config
+        self.memory = memory
+        self.noc = noc
+        self.reduction_network = reduction_network
+        self.pes: List[List[ProcessingElement]] = []
+        for r in range(config.grid_rows):
+            row = []
+            for c in range(config.grid_cols):
+                pe = ProcessingElement(engine, config, (r, c), noc,
+                                       reduction_network)
+                memory.register_local_memory(pe.index, pe.local_memory)
+                row.append(pe)
+            self.pes.append(row)
+
+    def pe(self, row: int, col: int) -> ProcessingElement:
+        if not (0 <= row < self.config.grid_rows
+                and 0 <= col < self.config.grid_cols):
+            raise SimulationError(f"PE ({row},{col}) outside the grid")
+        return self.pes[row][col]
+
+    def __iter__(self) -> Iterator[ProcessingElement]:
+        for row in self.pes:
+            yield from row
+
+    @property
+    def num_pes(self) -> int:
+        return self.config.num_pes
+
+    def subgrid(self, origin: Coord = (0, 0),
+                rows: int = 0, cols: int = 0) -> "SubGrid":
+        """Carve out a rectangular sub-grid (defaults to the whole grid)."""
+        rows = rows or self.config.grid_rows
+        cols = cols or self.config.grid_cols
+        return SubGrid(self, origin, rows, cols)
+
+
+class SubGrid:
+    """A rectangular region of PEs assigned to one job.
+
+    The paper notes that "for smaller jobs the grid must be divided into
+    smaller sub-grids so that each can handle a smaller job" (Section 7,
+    "Architecture Hierarchy"); this class is the unit of that division.
+    """
+
+    def __init__(self, grid: Grid, origin: Coord, rows: int, cols: int) -> None:
+        orow, ocol = origin
+        if rows <= 0 or cols <= 0:
+            raise SimulationError("sub-grid must have positive dimensions")
+        if (orow < 0 or ocol < 0
+                or orow + rows > grid.config.grid_rows
+                or ocol + cols > grid.config.grid_cols):
+            raise SimulationError(
+                f"sub-grid {origin}+{rows}x{cols} exceeds the "
+                f"{grid.config.grid_rows}x{grid.config.grid_cols} grid")
+        self.grid = grid
+        self.origin = (orow, ocol)
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    def coords(self) -> List[Coord]:
+        orow, ocol = self.origin
+        return [(orow + r, ocol + c)
+                for r in range(self.rows) for c in range(self.cols)]
+
+    def pe(self, local_row: int, local_col: int) -> ProcessingElement:
+        """PE by *sub-grid local* coordinates."""
+        if not (0 <= local_row < self.rows and 0 <= local_col < self.cols):
+            raise SimulationError(
+                f"local ({local_row},{local_col}) outside {self.rows}x{self.cols}")
+        return self.grid.pe(self.origin[0] + local_row,
+                            self.origin[1] + local_col)
+
+    def __iter__(self) -> Iterator[ProcessingElement]:
+        for coord in self.coords():
+            yield self.grid.pe(*coord)
+
+    # -- communication helpers ------------------------------------------
+    def row_multicast_group(self, local_row: int,
+                            local_cols: Sequence[int]) -> MulticastGroup:
+        """Multicast group over selected PEs of one sub-grid row."""
+        members = [(self.origin[0] + local_row, self.origin[1] + c)
+                   for c in local_cols]
+        return self.grid.noc.multicast_group(members)
+
+    def col_multicast_group(self, local_col: int,
+                            local_rows: Sequence[int]) -> MulticastGroup:
+        """Multicast group over selected PEs of one sub-grid column."""
+        members = [(self.origin[0] + r, self.origin[1] + local_col)
+                   for r in local_rows]
+        return self.grid.noc.multicast_group(members)
+
+    def reduction_chain_east(self, local_row: int) -> List[Coord]:
+        """West-to-east reduction chain along a sub-grid row."""
+        return [(self.origin[0] + local_row, self.origin[1] + c)
+                for c in range(self.cols)]
+
+    def reduction_chain_south(self, local_col: int) -> List[Coord]:
+        """North-to-south reduction chain along a sub-grid column."""
+        return [(self.origin[0] + r, self.origin[1] + local_col)
+                for r in range(self.rows)]

@@ -1,0 +1,108 @@
+"""One Processing Element (Figure 4).
+
+A PE aggregates: two processor cores (as :class:`CoreContext` handles),
+the Command Processor, 128 KB of local memory, the circular buffers
+defined over it, and the five fixed-function units.  It holds references
+to the chip-level NoC and reduction network through which it reaches
+the rest of the system.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.config import ChipConfig
+from repro.isa.commands import Command
+from repro.memory.local_memory import LocalMemory
+from repro.core.circular_buffer import CircularBuffer
+from repro.core.command_processor import CommandProcessor
+from repro.core.cores import CoreContext
+from repro.core.units import (DotProductEngine, FabricInterface,
+                              MemoryLayoutUnit, ReductionEngine, SIMDEngine)
+from repro.sim import Engine, SimulationError, StatGroup
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.noc import NoC, ReductionNetwork
+
+
+class ProcessingElement:
+    """A single PE in the grid."""
+
+    def __init__(self, engine: Engine, config: ChipConfig,
+                 coord: Tuple[int, int], noc: "NoC",
+                 reduction_network: "ReductionNetwork") -> None:
+        self.engine = engine
+        self.config = config
+        self.coord = tuple(coord)
+        self.index = coord[0] * config.grid_cols + coord[1]
+        self.noc = noc
+        self.reduction_network = reduction_network
+        self.stats = StatGroup(f"pe{self.index}")
+
+        self.local_memory = LocalMemory(engine, config.local_memory,
+                                        name=f"pe{self.index}.lm")
+        self._cbs: Dict[int, CircularBuffer] = {}
+
+        self.mlu_unit = MemoryLayoutUnit(engine, self)
+        self.dpe_unit = DotProductEngine(engine, self)
+        self.re_unit = ReductionEngine(engine, self)
+        self.se_unit = SIMDEngine(engine, self)
+        self.fi_unit = FabricInterface(engine, self)
+        self.command_processor = CommandProcessor(engine, self)
+
+        self.cores = (CoreContext(self, 0), CoreContext(self, 1))
+
+    # -- circular buffers --------------------------------------------------
+    def define_cb(self, cb_id: int, base: int, size: int) -> CircularBuffer:
+        """(Re)define circular buffer ``cb_id`` over local memory."""
+        if len(self._cbs) >= self.config.local_memory.max_circular_buffers \
+                and cb_id not in self._cbs:
+            raise SimulationError(
+                f"PE {self.index}: exceeded "
+                f"{self.config.local_memory.max_circular_buffers} CBs")
+        cb = CircularBuffer(self.engine, self.local_memory, cb_id, base, size)
+        self._cbs[cb_id] = cb
+        return cb
+
+    def cb(self, cb_id: int) -> CircularBuffer:
+        try:
+            return self._cbs[cb_id]
+        except KeyError:
+            raise SimulationError(
+                f"PE {self.index}: circular buffer {cb_id} not defined "
+                "(issue an InitCB first)") from None
+
+    @property
+    def circular_buffers(self) -> Dict[int, CircularBuffer]:
+        return dict(self._cbs)
+
+    # -- unit routing --------------------------------------------------------
+    def unit_for(self, cmd: Command, core_id: int):
+        """Route a command to its executing unit (Figure 4's pipeline)."""
+        unit = cmd.unit
+        if unit == "cp":
+            return self.command_processor.cp_units[core_id]
+        if unit == "mlu":
+            return self.mlu_unit
+        if unit == "dpe":
+            return self.dpe_unit
+        if unit == "re":
+            return self.re_unit
+        if unit == "se":
+            return self.se_unit
+        if unit == "fi":
+            return self.fi_unit
+        raise SimulationError(f"no unit {unit!r} in the PE")
+
+    # -- statistics -----------------------------------------------------------
+    def collect_stats(self) -> StatGroup:
+        """Roll up unit statistics into one group."""
+        rollup = StatGroup(f"pe{self.index}")
+        for unit in (self.mlu_unit, self.dpe_unit, self.re_unit,
+                     self.se_unit, self.fi_unit):
+            rollup.merge(unit.stats, prefix=f"{unit.name}.")
+        rollup.merge(self.local_memory.stats, prefix="lm.")
+        return rollup
+
+    def __repr__(self) -> str:
+        return f"ProcessingElement(coord={self.coord})"

@@ -1,0 +1,115 @@
+"""Synchronisation primitives (Section 3.1.6).
+
+The hardware provides atomic update of predefined registers integrated
+with the Command Processor, with the ability to stall a core until an
+externally-satisfied condition holds (e.g. a counter reaching a value).
+Locks, ticketing locks, mutexes and barriers are built on top.  We model
+the primitives directly; the higher-level constructs are provided as
+classes kernels can share across cores and PEs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Tuple
+
+from repro.sim import Engine, Event
+
+
+class AtomicCounter:
+    """An atomically-updated register with wait-until-value support."""
+
+    def __init__(self, engine: Engine, value: int = 0, name: str = "ctr") -> None:
+        self.engine = engine
+        self.name = name
+        self._value = value
+        self._waiters: List[Tuple[int, Event]] = []
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def _wake(self) -> None:
+        still = []
+        for threshold, ev in self._waiters:
+            if self._value >= threshold:
+                ev.succeed(self._value)
+            else:
+                still.append((threshold, ev))
+        self._waiters = still
+
+    def add(self, amount: int = 1) -> int:
+        """Atomic fetch-and-add; returns the *previous* value."""
+        previous = self._value
+        self._value += amount
+        self._wake()
+        return previous
+
+    def set(self, value: int) -> None:
+        self._value = value
+        self._wake()
+
+    def wait_for(self, threshold: int) -> Event:
+        """Event firing once the counter reaches ``threshold``."""
+        ev = self.engine.event(f"{self.name}.wait({threshold})")
+        if self._value >= threshold:
+            ev.succeed(self._value)
+        else:
+            self._waiters.append((threshold, ev))
+        return ev
+
+
+class Barrier:
+    """A reusable barrier over ``parties`` participants.
+
+    Built from an atomic counter per generation, as the firmware would
+    build it from the CP's primitives.
+    """
+
+    def __init__(self, engine: Engine, parties: int, name: str = "barrier") -> None:
+        if parties <= 0:
+            raise ValueError("parties must be positive")
+        self.engine = engine
+        self.parties = parties
+        self.name = name
+        self._generation = 0
+        self._counters: Dict[int, AtomicCounter] = {}
+
+    def _counter(self, generation: int) -> AtomicCounter:
+        ctr = self._counters.get(generation)
+        if ctr is None:
+            ctr = AtomicCounter(self.engine, name=f"{self.name}.gen{generation}")
+            self._counters[generation] = ctr
+        return ctr
+
+    def wait(self) -> Generator:
+        """Process: arrive at the barrier and wait for everyone."""
+        generation = self._generation
+        ctr = self._counter(generation)
+        arrivals = ctr.add(1) + 1
+        if arrivals == self.parties:
+            self._generation += 1
+            self._counters.pop(generation - 2, None)  # garbage-collect
+        yield ctr.wait_for(self.parties)
+
+
+class TicketLock:
+    """A FIFO lock built from two atomic counters (ticket + now-serving)."""
+
+    def __init__(self, engine: Engine, name: str = "lock") -> None:
+        self.engine = engine
+        self.name = name
+        self._next_ticket = AtomicCounter(engine, name=f"{name}.ticket")
+        self._now_serving = AtomicCounter(engine, name=f"{name}.serving")
+
+    def acquire(self) -> Generator:
+        """Process: take a ticket and wait until it is served."""
+        ticket = self._next_ticket.add(1)
+        yield self._now_serving.wait_for(ticket)
+        return ticket
+
+    def release(self) -> None:
+        self._now_serving.add(1)
+
+    @property
+    def locked(self) -> bool:
+        return self._next_ticket.value > self._now_serving.value

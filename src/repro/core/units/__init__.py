@@ -1,0 +1,23 @@
+"""Fixed-function units inside each PE (Section 3.1).
+
+Each unit is a serially-serviced server fed by the Command Processor:
+commands arrive with their CB-order dependencies already attached, and
+the unit performs the element/space checks, the functional effect (on
+real numpy data), and the timing charge.
+"""
+
+from repro.core.units.base import FunctionalUnit
+from repro.core.units.dpe import DotProductEngine
+from repro.core.units.fi import FabricInterface
+from repro.core.units.mlu import MemoryLayoutUnit
+from repro.core.units.re import ReductionEngine
+from repro.core.units.se import SIMDEngine
+
+__all__ = [
+    "DotProductEngine",
+    "FabricInterface",
+    "FunctionalUnit",
+    "MemoryLayoutUnit",
+    "ReductionEngine",
+    "SIMDEngine",
+]

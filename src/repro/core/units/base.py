@@ -1,0 +1,94 @@
+"""Common machinery for fixed-function units.
+
+A unit runs a single server process: it pulls dispatched commands from
+its queue in order, waits for the CB-order dependencies the Command
+Processor attached, performs the CP's element/space checks (stalling
+until producers/consumers catch up — the hardware producer-consumer
+synchronisation of Section 3.3), executes the command's functional
+effect, charges its latency, and fires the completion event.
+
+Because an operation "is guaranteed to have the necessary resources to
+complete and will not stall the functional unit in the middle of its
+execution" (Section 3.3), the element/space check happens entirely
+before the timed execution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, List
+
+from repro.isa.commands import Command
+from repro.sim import Engine, Event, Queue, StatGroup
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.pe import ProcessingElement
+
+
+class DispatchedCommand:
+    """A command in flight, with its dependencies and completion event."""
+
+    __slots__ = ("command", "dependencies", "done")
+
+    def __init__(self, command: Command, dependencies: List[Event],
+                 done: Event) -> None:
+        self.command = command
+        self.dependencies = dependencies
+        self.done = done
+
+
+class FunctionalUnit:
+    """Base class: a serially-serviced execution unit."""
+
+    name = "unit"
+
+    def __init__(self, engine: Engine, pe: "ProcessingElement") -> None:
+        self.engine = engine
+        self.pe = pe
+        # Bounded per-unit command queues (the CP's "set of command
+        # queues"); a full queue backpressures the scheduler and, in
+        # turn, the issuing core.
+        self.queue = Queue(engine, capacity=pe.config.cp.queue_depth,
+                           name=f"pe{pe.index}.{self.name}.q")
+        self.stats = StatGroup(f"pe{pe.index}.{self.name}")
+        self._server = engine.process(self._run(), f"pe{pe.index}.{self.name}")
+
+    def dispatch(self, dispatched: DispatchedCommand) -> Event:
+        """Called by the Command Processor; returns the enqueue event."""
+        return self.queue.put(dispatched)
+
+    def _run(self) -> Generator:
+        while True:
+            dispatched = yield self.queue.get()
+            cmd = dispatched.command
+            if dispatched.dependencies:
+                yield self.engine.all_of(dispatched.dependencies)
+            start = self.engine.now
+            try:
+                # The CP's element/space check (Section 3.3).
+                waits = []
+                for cb_id, nbytes in cmd.required_elements().items():
+                    waits.append(self.pe.cb(cb_id).wait_elements(nbytes))
+                for cb_id, nbytes in cmd.required_space().items():
+                    waits.append(self.pe.cb(cb_id).wait_space(nbytes))
+                if waits:
+                    yield self.engine.all_of(waits)
+                    self.stats.add("stall_cycles", self.engine.now - start)
+                start = self.engine.now
+                yield from self.execute(cmd)
+            except Exception as exc:
+                # Deliver the failure to whoever waits on the command
+                # (the hardware's "custom exceptions" path) and keep
+                # serving the queue.
+                dispatched.done.fail(exc)
+                continue
+            self.stats.add("busy_cycles", self.engine.now - start)
+            self.stats.add("commands")
+            self.engine.tracer.record(
+                f"pe{self.pe.index}.{self.name}", type(cmd).__name__,
+                start, self.engine.now)
+            dispatched.done.succeed()
+
+    def execute(self, cmd: Command) -> Generator:
+        """Functional effect + timing of one command (subclass hook)."""
+        raise NotImplementedError
+        yield  # pragma: no cover

@@ -1,0 +1,106 @@
+"""Dot-Product Engine (Section 3.1.2).
+
+The DPE holds operand A resident, streams operand B through, and emits
+an ``n x m`` block of partial products per MML command, which the
+Reduction Engine accumulates.  INT8 runs 1024 MACs/cycle (a 32x32
+block per cycle of streamed B row); FP16/BF16 runs at half rate.
+
+The operand cache (Section 3.5 "Caching") holds recently-loaded operand
+blocks keyed by their CB/offset; a hit skips the A-load phase and the
+local-memory traffic for it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Generator, Tuple
+
+import numpy as np
+
+from repro.dtypes import DType
+from repro.isa.commands import MML, Command
+from repro.core.units.base import FunctionalUnit
+from repro.sim import SimulationError
+
+
+class DotProductEngine(FunctionalUnit):
+    name = "dpe"
+
+    def __init__(self, engine, pe) -> None:
+        super().__init__(engine, pe)
+        cfg = pe.config.dpe
+        self._cache: OrderedDict = OrderedDict()
+        self._cache_entries = cfg.operand_cache_entries
+
+    # -- operand handling -------------------------------------------------
+    def _load_block(self, cb_id: int, offset: int, rows: int, cols: int,
+                    dtype: DType) -> Tuple[np.ndarray, bool]:
+        """Read a row-major block from a CB; returns (block, cache_hit)."""
+        cb = self.pe.cb(cb_id)
+        nbytes = rows * cols * dtype.bytes
+        # Key on the absolute FIFO stream position: unlike the raw read
+        # pointer it never aliases when the buffer wraps, so a block from
+        # an earlier residency can never produce a stale hit.
+        key = (cb_id, cb.total_consumed + offset, nbytes, dtype.name)
+        hit = key in self._cache
+        if hit:
+            self._cache.move_to_end(key)
+            block = self._cache[key]
+            self.stats.add("operand_cache_hits")
+        else:
+            raw = cb.read_at(offset, nbytes)
+            block = raw.view(dtype.numpy_dtype)[: rows * cols].reshape(rows, cols)
+            if dtype.name == "fp16":
+                block = block.astype(np.float32)
+            self._cache[key] = block
+            if len(self._cache) > self._cache_entries:
+                self._cache.popitem(last=False)
+            self.stats.add("operand_cache_misses")
+        return block, hit
+
+    def _block_cycles(self, cmd: MML, a_hit: bool) -> int:
+        """Latency of one MML command.
+
+        Streaming the B operand takes one cycle per row at INT8 (32x32
+        MACs per cycle) and two at FP16 (32x16 per cycle); a full
+        32x32x32 INT8 block therefore takes the paper's 32 cycles.
+        Loading the resident A operand costs one cycle per row on an
+        operand-cache miss.
+        """
+        per_row = 1 if cmd.dtype.name == "int8" else 2
+        stream = cmd.n * per_row * max(1, math.ceil(cmd.k / 32))
+        load_a = 0 if a_hit else cmd.m
+        return stream + load_a
+
+    # -- execution ----------------------------------------------------------
+    def execute(self, cmd: Command) -> Generator:
+        if not isinstance(cmd, MML):
+            raise SimulationError(f"DPE cannot execute {type(cmd).__name__}")
+        if cmd.dtype.name == "bf16":
+            raise SimulationError(
+                "bf16 operands are value-emulated in fp32 and cannot be "
+                "packed into circular buffers; use fp16 on the simulator "
+                "(bf16 is supported by the analytical timing model only)")
+        if cmd.m > 32 or cmd.n > 32 or cmd.k > 32:
+            raise SimulationError(
+                f"MML block ({cmd.m},{cmd.k},{cmd.n}) exceeds the DPE's "
+                "32x32x32 maximum; tile the operation")
+        a_block, a_hit = self._load_block(cmd.cb_a, cmd.offset_a,
+                                          cmd.m, cmd.k, cmd.dtype)
+        b_block, _ = self._load_block(cmd.cb_b, cmd.offset_b,
+                                      cmd.n, cmd.k, cmd.dtype)
+        # Charge local-memory bandwidth for the operand reads that missed.
+        lm_bytes = b_block.nbytes + (0 if a_hit else a_block.nbytes)
+        if lm_bytes:
+            yield from self.pe.local_memory.port.use(lm_bytes)
+        if cmd.dtype.name == "int8":
+            partial = b_block.astype(np.int32) @ a_block.astype(np.int32).T
+        else:
+            partial = (b_block.astype(np.float32)
+                       @ a_block.astype(np.float32).T)
+        # "The result is always sent to the next functional unit in the
+        # pipeline for storage and accumulation" (Section 3.1.2).
+        self.pe.re_unit.accumulate(cmd.acc, partial)
+        self.stats.add("macs", cmd.m * cmd.n * cmd.k)
+        yield self._block_cycles(cmd, a_hit)

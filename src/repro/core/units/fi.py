@@ -1,0 +1,155 @@
+"""Fabric Interface (Section 3.1.5).
+
+The PE's gateway to the rest of the chip: DMA-like transfers between
+system memory (DRAM / on-chip SRAM / other PEs' local apertures) and
+the PE's circular buffers.  Loads may ride a multicast group so that
+identical reads from PEs on the same row/column coalesce at the memory
+(Section 3.4).
+
+Two properties of the real hardware matter enough to model explicitly:
+
+* **Separate load and store engines.**  A store waiting on circular
+  buffer elements must not be head-of-line blocked behind inbound loads
+  that are waiting on the space that store's POP would free.
+* **Memory-level parallelism.**  Each engine keeps several requests in
+  flight (``FIConfig.max_outstanding_*``); Section 3.5 calls out "many
+  outstanding requests" as the MLP mechanism, and the EmbeddingBag
+  discussion in Section 7 shows what happens when there are too few.
+  Loads *reserve* CB space at dispatch and *commit* their data in issue
+  order, so overlap never reorders or oversubscribes the FIFO.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.isa.commands import Command, DMALoad, DMAStore
+from repro.core.units.base import DispatchedCommand, FunctionalUnit
+from repro.sim import Event, Queue, Semaphore, SimulationError
+
+
+class FabricInterface(FunctionalUnit):
+    name = "fi"
+
+    def __init__(self, engine, pe) -> None:
+        super().__init__(engine, pe)
+        fi_cfg = pe.config.fi
+        self.store_queue = Queue(engine, capacity=pe.config.cp.queue_depth,
+                                 name=f"pe{pe.index}.fi.storeq")
+        self._load_slots = Semaphore(engine, fi_cfg.max_outstanding_loads,
+                                     f"pe{pe.index}.fi.loads")
+        self._store_slots = Semaphore(engine, fi_cfg.max_outstanding_stores,
+                                      f"pe{pe.index}.fi.stores")
+        #: completion event of the most recently dispatched load, used to
+        #: chain in-order CB commits.
+        self._commit_chain: Optional[Event] = None
+        engine.process(self._run_store(), f"pe{pe.index}.fi.store")
+
+    def dispatch(self, dispatched: DispatchedCommand) -> Event:
+        if isinstance(dispatched.command, DMAStore):
+            return self.store_queue.put(dispatched)
+        return self.queue.put(dispatched)
+
+    # -- load engine -------------------------------------------------------
+    def _run(self) -> Generator:
+        """Load engine front end: order, reserve, then fetch in parallel."""
+        while True:
+            dispatched = yield self.queue.get()
+            cmd = dispatched.command
+            if not isinstance(cmd, DMALoad):
+                raise SimulationError(
+                    f"FI load engine cannot execute {type(cmd).__name__}")
+            if dispatched.dependencies:
+                yield self.engine.all_of(dispatched.dependencies)
+            try:
+                cb = self.pe.cb(cmd.cb_id)
+            except Exception as exc:
+                dispatched.done.fail(exc)
+                continue
+            stall_start = self.engine.now
+            yield cb.wait_space(cmd.nbytes)
+            yield self._load_slots.acquire()
+            self.stats.add("stall_cycles", self.engine.now - stall_start)
+            cb.reserve(cmd.nbytes)
+            predecessor = self._commit_chain
+            self._commit_chain = dispatched.done
+            self.engine.process(
+                self._do_load(cmd, dispatched.done, predecessor),
+                f"pe{self.pe.index}.fi.load")
+
+    def _do_load(self, cmd: DMALoad, done: Event,
+                 predecessor: Optional[Event]) -> Generator:
+        start = self.engine.now
+        try:
+            if cmd.multicast is not None:
+                data = yield from cmd.multicast.read_2d(
+                    self.pe.coord, cmd.addr, cmd.rows, cmd.row_bytes,
+                    cmd.stride)
+            else:
+                data = yield from self.pe.noc.read_2d(
+                    self.pe.coord, cmd.addr, cmd.rows, cmd.row_bytes,
+                    cmd.stride)
+        except Exception as exc:
+            self._load_slots.release()
+            done.fail(exc)
+            return
+        # Landing the data in local memory consumes local bandwidth.
+        yield from self.pe.local_memory.port.use(cmd.nbytes)
+        if predecessor is not None and not predecessor.triggered:
+            yield predecessor          # commit strictly in issue order
+        self.pe.cb(cmd.cb_id).commit(data)
+        self.stats.add("load_bytes", cmd.nbytes)
+        self.stats.add("busy_cycles", self.engine.now - start)
+        self.stats.add("commands")
+        self.engine.tracer.record(f"pe{self.pe.index}.fi", "DMALoad",
+                                  start, self.engine.now,
+                                  bytes=cmd.nbytes)
+        self._load_slots.release()
+        done.succeed()
+
+    # -- store engine -------------------------------------------------------
+    def _run_store(self) -> Generator:
+        while True:
+            dispatched = yield self.store_queue.get()
+            cmd = dispatched.command
+            if not isinstance(cmd, DMAStore):
+                raise SimulationError(
+                    f"FI store engine cannot execute {type(cmd).__name__}")
+            if dispatched.dependencies:
+                yield self.engine.all_of(dispatched.dependencies)
+            try:
+                cb = self.pe.cb(cmd.cb_id)
+            except Exception as exc:
+                dispatched.done.fail(exc)
+                continue
+            stall_start = self.engine.now
+            yield cb.wait_elements(cmd.nbytes)
+            yield self._store_slots.acquire()
+            self.stats.add("stall_cycles", self.engine.now - stall_start)
+            yield from self.pe.local_memory.port.use(cmd.nbytes)
+            data = cb.read_and_pop(cmd.nbytes)   # pop in issue order
+            self.engine.process(self._do_store(cmd, data, dispatched.done),
+                                f"pe{self.pe.index}.fi.storexfer")
+
+    def _do_store(self, cmd: DMAStore, data, done: Event) -> Generator:
+        start = self.engine.now
+        try:
+            yield from self.pe.noc.write_2d(self.pe.coord, cmd.addr, data,
+                                            cmd.rows, cmd.row_bytes,
+                                            cmd.stride)
+        except Exception as exc:
+            self._store_slots.release()
+            done.fail(exc)
+            return
+        self.stats.add("store_bytes", cmd.nbytes)
+        self.stats.add("busy_cycles", self.engine.now - start)
+        self.stats.add("commands")
+        self.engine.tracer.record(f"pe{self.pe.index}.fi", "DMAStore",
+                                  start, self.engine.now,
+                                  bytes=cmd.nbytes)
+        self._store_slots.release()
+        done.succeed()
+
+    def execute(self, cmd: Command) -> Generator:  # pragma: no cover
+        raise SimulationError("FI uses dedicated engine loops")
+        yield

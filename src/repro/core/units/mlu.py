@@ -1,0 +1,72 @@
+"""Memory Layout Unit (Section 3.1.1).
+
+Copies and re-layouts data in local memory: transpose, concatenation,
+reshape/copy, on 4/8/16/32-bit element types, at 64 B/cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+import numpy as np
+
+from repro.isa.commands import Command, ConcatCmd, CopyCmd, TransposeCmd
+from repro.core.units.base import FunctionalUnit
+from repro.sim import SimulationError
+
+
+class MemoryLayoutUnit(FunctionalUnit):
+    name = "mlu"
+
+    def _move_cycles(self, nbytes: int) -> int:
+        return max(1, math.ceil(nbytes / self.pe.config.mlu.bytes_per_cycle))
+
+    def execute(self, cmd: Command) -> Generator:
+        if isinstance(cmd, TransposeCmd):
+            yield from self._execute_transpose(cmd)
+        elif isinstance(cmd, ConcatCmd):
+            yield from self._execute_concat(cmd)
+        elif isinstance(cmd, CopyCmd):
+            yield from self._execute_copy(cmd)
+        else:
+            raise SimulationError(f"MLU cannot execute {type(cmd).__name__}")
+
+    def _execute_transpose(self, cmd: TransposeCmd) -> Generator:
+        if cmd.dtype.bits not in self.pe.config.mlu.supported_element_bits:
+            raise SimulationError(
+                f"MLU cannot transpose {cmd.dtype.bits}-bit elements")
+        src = self.pe.cb(cmd.src_cb)
+        raw = src.read_at(cmd.src_offset, cmd.nbytes)
+        tile = raw.view(cmd.dtype.numpy_dtype)[: cmd.rows * cmd.cols]
+        transposed = np.ascontiguousarray(tile.reshape(cmd.rows, cmd.cols).T)
+        if cmd.pop_input:
+            src.pop(cmd.src_offset + cmd.nbytes)
+        # Transpose reads and writes every byte through local memory.
+        yield from self.pe.local_memory.port.use(2 * cmd.nbytes)
+        self.pe.cb(cmd.dst_cb).write_and_push(transposed)
+        self.stats.add("bytes", cmd.nbytes)
+        yield self._move_cycles(cmd.nbytes)
+
+    def _execute_concat(self, cmd: ConcatCmd) -> Generator:
+        pieces = []
+        for cb_id, nbytes in zip(cmd.src_cbs, cmd.src_nbytes):
+            cb = self.pe.cb(cb_id)
+            pieces.append(cb.read_at(0, nbytes))
+            if cmd.pop_inputs:
+                cb.pop(nbytes)
+        out = np.concatenate(pieces) if pieces else np.zeros(0, np.uint8)
+        yield from self.pe.local_memory.port.use(2 * out.size)
+        self.pe.cb(cmd.dst_cb).write_and_push(out)
+        self.stats.add("bytes", out.size)
+        yield self._move_cycles(out.size)
+
+    def _execute_copy(self, cmd: CopyCmd) -> Generator:
+        src = self.pe.cb(cmd.src_cb)
+        raw = src.read_at(cmd.src_offset, cmd.nbytes)
+        if cmd.pop_input:
+            src.pop(cmd.src_offset + cmd.nbytes)
+        yield from self.pe.local_memory.port.use(2 * cmd.nbytes)
+        self.pe.cb(cmd.dst_cb).write_and_push(raw)
+        self.stats.add("bytes", cmd.nbytes)
+        yield self._move_cycles(cmd.nbytes)

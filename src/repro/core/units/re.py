@@ -1,0 +1,137 @@
+"""Reduction Engine (Section 3.1.3).
+
+Hosts four independent accumulator banks (32x32 INT32/FP32 each) that
+collect DPE partial products.  A :class:`repro.isa.commands.Reduce`
+command arranges banks into a block, optionally accumulates one inbound
+block from the reduction network first, and either forwards the result
+to a south/east neighbour or stores it to local memory through a CB
+(optionally converting dtype via the SE path on the way out).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.dtypes import dtype as resolve_dtype
+from repro.isa.commands import Command, InitAccumulators, Reduce
+from repro.core.units.base import FunctionalUnit
+from repro.sim import SimulationError
+
+
+class ReductionEngine(FunctionalUnit):
+    name = "re"
+
+    def __init__(self, engine, pe) -> None:
+        super().__init__(engine, pe)
+        cfg = pe.config.re
+        self.banks = [
+            np.zeros((cfg.bank_rows, cfg.bank_cols), dtype=np.float64)
+            for _ in range(cfg.accumulator_banks)
+        ]
+        #: dtype discipline per bank: "int32" or "fp32" (set on first use)
+        self._bank_mode = [None] * cfg.accumulator_banks
+
+    # -- accumulation interface used by the DPE ---------------------------
+    def accumulate(self, bank: int, partial: np.ndarray) -> None:
+        """Add an ``n x m`` partial block into accumulator ``bank``."""
+        if not 0 <= bank < len(self.banks):
+            raise SimulationError(f"RE bank {bank} out of range")
+        rows, cols = partial.shape
+        mode = "int32" if np.issubdtype(partial.dtype, np.integer) else "fp32"
+        if self._bank_mode[bank] is None:
+            self._bank_mode[bank] = mode
+        self.banks[bank][:rows, :cols] += partial
+
+    def bank_value(self, bank: int, rows: int = 32, cols: int = 32) -> np.ndarray:
+        """Current contents of a bank in its accumulation dtype."""
+        raw = self.banks[bank][:rows, :cols]
+        if self._bank_mode[bank] == "int32":
+            return raw.astype(np.int64).astype(np.int32)
+        return raw.astype(np.float32)
+
+    def _gather(self, layout) -> np.ndarray:
+        """Arrange banks per ``layout`` into one block."""
+        rows = []
+        for bank_row in layout:
+            rows.append(np.hstack([self.banks[b] for b in bank_row]))
+        return np.vstack(rows)
+
+    def _scatter_add(self, layout, block: np.ndarray) -> None:
+        """Add an inbound block back onto the banks per ``layout``."""
+        r0 = 0
+        for bank_row in layout:
+            c0 = 0
+            for bank in bank_row:
+                h, w = self.banks[bank].shape
+                self.banks[bank] += block[r0:r0 + h, c0:c0 + w]
+                c0 += w
+            r0 += h
+
+    # -- execution ----------------------------------------------------------
+    def execute(self, cmd: Command) -> Generator:
+        if isinstance(cmd, InitAccumulators):
+            yield from self._execute_init(cmd)
+        elif isinstance(cmd, Reduce):
+            yield from self._execute_reduce(cmd)
+        else:
+            raise SimulationError(f"RE cannot execute {type(cmd).__name__}")
+
+    def _execute_init(self, cmd: InitAccumulators) -> Generator:
+        for i, bank in enumerate(cmd.banks):
+            if cmd.bias_cb is None:
+                self.banks[bank][:] = 0.0
+                self._bank_mode[bank] = None
+            else:
+                cb = self.pe.cb(cmd.bias_cb)
+                nbytes = self.banks[bank].size * 4
+                raw = cb.read_at(cmd.bias_offset + i * nbytes, nbytes)
+                bias = raw.view(np.int32).reshape(self.banks[bank].shape)
+                self.banks[bank][:] = bias
+                self._bank_mode[bank] = "int32"
+        yield len(cmd.banks) * self.pe.config.re.reduction_hop_cycles // 4 + 1
+
+    def _mode_of(self, layout) -> str:
+        for bank_row in layout:
+            for bank in bank_row:
+                if self._bank_mode[bank] is not None:
+                    return self._bank_mode[bank]
+        return "fp32"
+
+    def _execute_reduce(self, cmd: Reduce) -> Generator:
+        mode = self._mode_of(cmd.banks_layout)
+        if cmd.receive:
+            inbound = yield from self.pe.reduction_network.receive(self.pe.coord)
+            self._scatter_add(cmd.banks_layout, inbound.astype(np.float64))
+            self.stats.add("received_blocks")
+        block64 = self._gather(cmd.banks_layout)
+        if mode == "int32":
+            block = block64.astype(np.int64).astype(np.int32)
+        else:
+            block = block64.astype(np.float32)
+        banks_moved = sum(len(row) for row in cmd.banks_layout)
+        yield banks_moved * self.pe.config.re.reduction_hop_cycles
+        if cmd.dest_pe is not None:
+            yield from self.pe.reduction_network.send(
+                self.pe.coord, tuple(cmd.dest_pe), block)
+            self.stats.add("sent_blocks")
+            return
+        # Store to local memory through the destination CB, converting on
+        # the way out if requested (the RE "can then send the result to
+        # ... the SE, or store it in the PE's local memory directly").
+        out = block
+        if cmd.out_dtype is not None:
+            target = resolve_dtype(cmd.out_dtype)
+            if target.name == "int8":
+                scaled = np.round(block.astype(np.float64) * cmd.out_scale)
+                out = np.clip(scaled, -128, 127).astype(np.int8)
+            elif target.name in ("fp16", "bf16", "fp32"):
+                out = (block.astype(np.float32) * cmd.out_scale).astype(
+                    target.numpy_dtype)
+            else:
+                raise SimulationError(f"Reduce cannot convert to {target.name}")
+        cb = self.pe.cb(cmd.dest_cb)
+        yield from self.pe.local_memory.port.use(out.nbytes)
+        cb.write_and_push(out)
+        self.stats.add("stored_blocks")

@@ -1,0 +1,124 @@
+"""SIMD Engine (Section 3.1.4).
+
+Quantisation/dequantisation, LUT-approximated nonlinear functions, and
+predefined elementwise operations.  The nonlinear path uses a 256-entry
+lookup table with linear interpolation — matching the paper's "linear
+or cubic approximation of nonlinear functions" — so results carry a
+small, bounded approximation error relative to numpy, which the tests
+assert explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Generator
+
+import numpy as np
+
+from repro.dtypes import dtype as resolve_dtype
+from repro.isa.commands import (Command, ElementwiseCmd, NonlinearCmd,
+                                QuantizeCmd)
+from repro.core.units.base import FunctionalUnit
+from repro.sim import SimulationError
+
+#: Domain over which the LUTs are tabulated; inputs are clamped.
+_LUT_LO, _LUT_HI = -8.0, 8.0
+
+_FUNCS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "exp": np.exp,
+    "sigmoid": lambda x: 1.0 / (1.0 + np.exp(-x)),
+    "tanh": np.tanh,
+    "relu": lambda x: np.maximum(x, 0.0),
+    "gelu": lambda x: 0.5 * x * (1.0 + np.tanh(
+        math.sqrt(2.0 / math.pi) * (x + 0.044715 * x ** 3))),
+}
+
+
+class SIMDEngine(FunctionalUnit):
+    name = "se"
+
+    def __init__(self, engine, pe) -> None:
+        super().__init__(engine, pe)
+        entries = pe.config.se.lut_entries
+        self._lut_x = np.linspace(_LUT_LO, _LUT_HI, entries, dtype=np.float32)
+        self._luts = {fn: f(self._lut_x.astype(np.float64)).astype(np.float32)
+                      for fn, f in _FUNCS.items()}
+
+    # -- helpers -----------------------------------------------------------
+    def _lut_apply(self, func: str, x: np.ndarray) -> np.ndarray:
+        """Linear interpolation through the function's lookup table."""
+        clamped = np.clip(x.astype(np.float32), _LUT_LO, _LUT_HI)
+        return np.interp(clamped, self._lut_x, self._luts[func]).astype(np.float32)
+
+    def _elem_cycles(self, count: int, dtype_name: str) -> int:
+        lanes = self.pe.config.se.lanes(dtype_name)
+        return max(1, math.ceil(count / lanes))
+
+    # -- execution -----------------------------------------------------------
+    def execute(self, cmd: Command) -> Generator:
+        if isinstance(cmd, QuantizeCmd):
+            yield from self._execute_quantize(cmd)
+        elif isinstance(cmd, NonlinearCmd):
+            yield from self._execute_nonlinear(cmd)
+        elif isinstance(cmd, ElementwiseCmd):
+            yield from self._execute_elementwise(cmd)
+        else:
+            raise SimulationError(f"SE cannot execute {type(cmd).__name__}")
+
+    def _io(self, src_cb: int, src_bytes: int, pop: bool) -> np.ndarray:
+        cb = self.pe.cb(src_cb)
+        raw = cb.read_at(0, src_bytes)
+        if pop:
+            cb.pop(src_bytes)
+        return raw
+
+    def _execute_quantize(self, cmd: QuantizeCmd) -> Generator:
+        if cmd.direction == "quantize":
+            src = resolve_dtype(cmd.src_dtype or "fp32")
+            raw = self._io(cmd.src_cb, cmd.count * src.bytes, cmd.pop_input)
+            values = raw.view(src.numpy_dtype)[:cmd.count].astype(np.float32)
+            q = np.round(values / cmd.scale) + cmd.zero_point
+            out = np.clip(q, -128, 127).astype(np.int8)
+        else:
+            raw = self._io(cmd.src_cb, cmd.count, cmd.pop_input)
+            values = raw.view(np.int8)[:cmd.count].astype(np.float32)
+            dst = resolve_dtype(cmd.dst_dtype or "fp32")
+            out = ((values - cmd.zero_point) * cmd.scale).astype(dst.numpy_dtype)
+        yield from self.pe.local_memory.port.use(raw.size + out.nbytes)
+        self.pe.cb(cmd.dst_cb).write_and_push(out)
+        self.stats.add("elements", cmd.count)
+        yield self._elem_cycles(cmd.count, "fp16")
+
+    def _execute_nonlinear(self, cmd: NonlinearCmd) -> Generator:
+        src = cmd.src_dtype
+        raw = self._io(cmd.src_cb, cmd.count * src.bytes, cmd.pop_input)
+        x = raw.view(src.numpy_dtype)[:cmd.count].astype(np.float32)
+        if cmd.func == "relu":
+            out = np.maximum(x, 0.0).astype(np.float32)
+        else:
+            out = self._lut_apply(cmd.func, x)
+        yield from self.pe.local_memory.port.use(raw.size + out.nbytes)
+        self.pe.cb(cmd.dst_cb).write_and_push(out)
+        self.stats.add("elements", cmd.count)
+        yield (self._elem_cycles(cmd.count, src.name)
+               + self.pe.config.se.nonlinear_latency)
+
+    def _execute_elementwise(self, cmd: ElementwiseCmd) -> Generator:
+        nbytes = cmd.count * cmd.dtype.bytes
+        raw_a = self._io(cmd.src_cb_a, nbytes, cmd.pop_inputs)
+        raw_b = self._io(cmd.src_cb_b, nbytes, cmd.pop_inputs)
+        a = raw_a.view(cmd.dtype.numpy_dtype)[:cmd.count]
+        b = raw_b.view(cmd.dtype.numpy_dtype)[:cmd.count]
+        if cmd.op == "add":
+            out = a + b
+        elif cmd.op == "sub":
+            out = a - b
+        elif cmd.op == "mul":
+            out = a * b
+        else:
+            out = np.maximum(a, b)
+        out = out.astype(cmd.dtype.numpy_dtype)
+        yield from self.pe.local_memory.port.use(2 * nbytes + out.nbytes)
+        self.pe.cb(cmd.dst_cb).write_and_push(out)
+        self.stats.add("elements", cmd.count)
+        yield self._elem_cycles(cmd.count, cmd.dtype.name)

@@ -1,0 +1,92 @@
+"""Data types supported by the accelerator and their numpy emulation.
+
+MTIA's fixed-function units operate on INT8 / FP16 / BF16 inputs with
+INT32 / FP32 accumulation (Section 3.1.2).  This module centralises the
+dtype metadata (byte width, accumulator type) and the quantisation
+helpers used by the SE model and the quantize/dequantize kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DType:
+    """A device data type."""
+
+    name: str
+    bits: int
+    numpy_dtype: np.dtype
+    is_float: bool
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT8 = DType("int8", 8, np.dtype(np.int8), False)
+INT32 = DType("int32", 32, np.dtype(np.int32), False)
+FP16 = DType("fp16", 16, np.dtype(np.float16), True)
+# BF16 has no native numpy dtype; we emulate values in float32 and only
+# the *timing* treats it as a 16-bit type.
+BF16 = DType("bf16", 16, np.dtype(np.float32), True)
+FP32 = DType("fp32", 32, np.dtype(np.float32), True)
+
+_BY_NAME: Dict[str, DType] = {t.name: t for t in (INT8, INT32, FP16, BF16, FP32)}
+
+
+def dtype(name) -> DType:
+    """Look up a :class:`DType` by name (idempotent for DType inputs)."""
+    if isinstance(name, DType):
+        return name
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown dtype {name!r}") from None
+
+
+def accumulator_for(t: DType) -> DType:
+    """Accumulation type used by the DPE/RE pipeline (Section 3.1.2/3)."""
+    return INT32 if not t.is_float else FP32
+
+
+def quantize(values: np.ndarray, scale: float, zero_point: int = 0) -> np.ndarray:
+    """Symmetric/affine quantisation of float data to INT8.
+
+    ``q = clamp(round(x / scale) + zero_point, -128, 127)``.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    q = np.round(values / scale) + zero_point
+    return np.clip(q, -128, 127).astype(np.int8)
+
+
+def dequantize(values: np.ndarray, scale: float, zero_point: int = 0) -> np.ndarray:
+    """Inverse of :func:`quantize` (lossy)."""
+    return (values.astype(np.float32) - zero_point) * scale
+
+
+def choose_qparams(values: np.ndarray) -> Tuple[float, int]:
+    """Pick symmetric INT8 quantisation parameters covering ``values``."""
+    peak = float(np.max(np.abs(values))) if values.size else 0.0
+    scale = peak / 127.0 if peak > 0 else 1.0
+    return scale, 0
+
+
+def to_fp16(values: np.ndarray) -> np.ndarray:
+    """Round float data through IEEE FP16 (value emulation)."""
+    return values.astype(np.float16).astype(np.float32)
+
+
+def to_bf16(values: np.ndarray) -> np.ndarray:
+    """Round float32 data to bfloat16 precision (round-to-nearest-even)."""
+    raw = np.asarray(values, dtype=np.float32).view(np.uint32)
+    rounded = (raw + 0x7FFF + ((raw >> 16) & 1)) & 0xFFFF0000
+    return rounded.astype(np.uint32).view(np.float32)

@@ -1,0 +1,36 @@
+"""Evaluation harness: machine models, operator timing, metrics.
+
+This package turns operator graphs into the performance numbers the
+paper reports:
+
+* :mod:`repro.eval.machines` — analytical machine models of the three
+  accelerators (MTIA, A100, NNPI) built from Table I/II specs;
+* :mod:`repro.eval.calibration` — the software-efficiency curves that
+  stand in for each platform's kernel maturity (documented, first-class
+  model inputs);
+* :mod:`repro.eval.opmodel` — per-operator time estimation;
+* :mod:`repro.eval.metrics` — perf/W computation and aggregation.
+
+The analytical model is calibrated against the cycle-level simulator
+for small operators (``tests/eval/test_calibration.py``) and against
+the paper's reported relative results for full models
+(``benchmarks/``).
+"""
+
+from repro.eval.machines import (A100_MACHINE, MACHINES, MTIA_MACHINE,
+                                 NNPI_MACHINE, MachineModel)
+from repro.eval.metrics import geomean, perf_per_watt
+from repro.eval.opmodel import OpEstimate, estimate_graph, estimate_op
+
+__all__ = [
+    "A100_MACHINE",
+    "MACHINES",
+    "MTIA_MACHINE",
+    "MachineModel",
+    "NNPI_MACHINE",
+    "OpEstimate",
+    "estimate_graph",
+    "estimate_op",
+    "geomean",
+    "perf_per_watt",
+]

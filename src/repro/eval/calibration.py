@@ -1,0 +1,153 @@
+"""Software-efficiency curves — the calibrated model inputs.
+
+The paper is explicit that measured efficiency is a product of hardware
+ceilings *and* software maturity: the MTIA stack was "not currently as
+optimized as the GPU's software stack" (Section 6); TBE kernels reached
+"just 10-20 % of its memory bandwidth" while hand-written kernels hit
+">60 % of roofline" (Section 6.1); the GPU "is able to achieve higher
+utilization with the increased amount of work" at large batch sizes.
+
+Every function here encodes one of those statements as a documented
+curve.  They are inputs to the analytical model, calibrated so that
+
+* small-operator estimates agree with the cycle-level simulator
+  (``tests/eval/test_calibration.py``), and
+* relative platform results reproduce the paper's evaluation shapes
+  (``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.eval.machines import MachineModel
+
+
+def gemm_utilization(machine: MachineModel, gflops: float) -> float:
+    """Fraction of peak MACs a GEMM of ``gflops`` total work achieves.
+
+    A saturation curve ``util_max * W / (W + half_sat)``: devices with
+    more parallelism to fill (the GPU's 108 SMs vs MTIA's 64 small PEs)
+    have a larger ``half_sat`` and therefore suffer more at the small
+    shapes DLRM serving produces — the central effect behind Figure 10's
+    "particularly effective for low batch sizes".
+    """
+    if gflops <= 0:
+        return 0.0
+    return (machine.gemm_util_max * gflops
+            / (gflops + machine.gemm_half_sat_gflops))
+
+
+def gemm_memory_gbs(machine: MachineModel, bytes_total: float,
+                    in_sram: bool) -> float:
+    """Effective bandwidth feeding a GEMM.
+
+    MTIA "is most efficient when tensors can be streamed directly from
+    SRAM" (Section 6.1); when the placement pass keeps operands
+    on-chip the operand path runs at on-chip bandwidth.
+    """
+    if in_sram:
+        return machine.onchip_gbs
+    return machine.dram_gbs * machine.stream_eff
+
+
+def model_context_utilization(machine: MachineModel) -> float:
+    """GEMM utilisation factor for FCs inside a *full model*.
+
+    Standalone GemmBench shapes run with ideal blocking; the same FC
+    inside a 750-operator model loses efficiency to graph overheads:
+    operand layout produced by upstream operators, sub-grid setup and
+    teardown (Section 7, "Architecture Hierarchy"), and missed fusion.
+    The GPU stack's "aggressive operator fusion" and mature graph
+    optimisations keep more of the benchmark efficiency than MTIA's
+    under-development stack does (Section 6.2) — this gap is exactly
+    what the paper attributes the HC-model loss to.
+    """
+    return {"mtia": 0.16, "gpu": 1.0, "nnpi": 0.65}[machine.family]
+
+
+#: Per-family embedding-gather curve parameters: how quickly the kernel
+#: amortises per-bag setup (pooling), how strongly small batches starve
+#: the request pipeline, and how many bytes of bus overfetch each row
+#: read drags along (GPU cache-sector/line quantisation on short rows).
+_TBE_PARAMS = {
+    "mtia": {"pooling_half": 4.0, "batch_half": 75.0, "overfetch": 0.0},
+    "gpu": {"pooling_half": 40.0, "batch_half": 8.0, "overfetch": 48.0},
+    "nnpi": {"pooling_half": 8.0, "batch_half": 40.0, "overfetch": 16.0},
+}
+
+#: Reference shape the ``machine.tbe_bw_frac`` anchor is quoted at.
+_TBE_REF = (32, 128, 256)   # pooling, dim, batch
+
+
+def tbe_bw_fraction(machine: MachineModel, pooling: int, dim: int,
+                    batch: int = 256, hand_tuned: bool = False) -> float:
+    """Fraction of DRAM bandwidth an embedding gather puts to *useful*
+    row bytes.
+
+    Anchored at ``machine.tbe_bw_frac`` for the reference shape
+    (pooling 32, 128 B rows, saturating batch) and scaled by:
+
+    * **pooling factor** — longer pooled reads amortise per-bag setup;
+      Section 7 notes "EmbeddingBag operators with small pooling
+      groups" expose latency.  MTIA's per-PE bags amortise quickly
+      (small half-constant); the GPU needs longer bags to fill a warp's
+      access stream.
+    * **batch** — more concurrent bags = deeper request pipelining.
+      MTIA's production kernel is the slow-to-saturate one ("there are
+      not enough outstanding requests to hide the latency"); the GPU's
+      massive thread-level parallelism saturates almost immediately.
+    * **row-size overfetch** — the GPU's 128 B-class sector/line
+      granularity wastes bus bytes on short rows, so its *useful*
+      fraction sits well below its ~60 % bus utilisation; MTIA's 32 B
+      LPDDR granularity wastes almost nothing on >=32 B rows.
+
+    ``hand_tuned`` models the paper's RTL-validation kernels ("as high
+    as 500 GB/s ... given sufficient locality in the SRAM"): deep
+    software pipelining raises the anchor to the mid-60 % range (the
+    cycle-level simulator reproduces this regime directly, see
+    ``tests/kernels/test_tbe.py``).
+    """
+    params = _TBE_PARAMS[machine.family]
+    base = 0.65 if hand_tuned else machine.tbe_bw_frac
+
+    def shape_terms(p: float, d: float, b: float) -> float:
+        pooling_term = p / (p + params["pooling_half"])
+        dim_term = (d / (d + 16.0)) ** 0.5
+        batch_term = b / (b + params["batch_half"])
+        return pooling_term * dim_term * batch_term
+
+    ref = shape_terms(*_TBE_REF)
+    useful = dim / (dim + params["overfetch"])
+    frac = base * shape_terms(pooling, dim, batch) / ref * useful
+    return max(0.02, min(frac, 0.9))
+
+
+def move_bw_fraction(machine: MachineModel, in_sram: bool) -> float:
+    """Efficiency of pure data-movement operators (Figure 13).
+
+    With operands resident on-chip, BatchMatMul and Tanh "reach more
+    than 90 % and 80 % of the SRAM bandwidth"; from DRAM "the
+    efficiency drops down to around 40 % on average" because the longer
+    latency is harder to hide.
+    """
+    if machine.family == "mtia":
+        return 0.93 if in_sram else 0.42
+    if machine.family == "gpu":
+        return 0.8 if in_sram else 0.65
+    return 0.7 if in_sram else 0.65
+
+
+def elementwise_ops_per_sec(machine: MachineModel, dtype: str) -> float:
+    """Elementwise compute ceiling (SE/SIMD path, CUDA cores, etc.)."""
+    if machine.family == "mtia":
+        table = {"int8": 3.2e12, "fp16": 1.6e12, "fp32": 0.8e12}
+        return table.get(dtype, 0.8e12)
+    if machine.family == "gpu":
+        return 19.5e12
+    return 3.0e12
+
+
+def dispatch_overhead_s(machine: MachineModel, fused_ops: int = 1) -> float:
+    """Per-operator dispatch cost after fusion amortisation."""
+    return machine.launch_overhead_s / max(1, fused_ops)

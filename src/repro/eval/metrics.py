@@ -1,0 +1,47 @@
+"""Metric helpers: perf/W and aggregation.
+
+Performance-per-watt is the paper's primary metric ("we report perf/W
+as a proxy for perf/TCO, given the sensitive nature of TCO",
+Section 6), always against *provisioned* power (platform / cards).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+from repro.eval.machines import MachineModel
+
+
+def perf_per_watt(performance: float, machine: MachineModel) -> float:
+    """Normalise any performance number by provisioned card power."""
+    return performance / machine.provisioned_watts
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [v for v in values]
+    if not values:
+        raise ValueError("geomean of nothing")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def weighted_mean(values: Sequence[float],
+                  weights: Sequence[float]) -> float:
+    if len(values) != len(weights):
+        raise ValueError("values and weights must align")
+    total = sum(weights)
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return sum(v * w for v, w in zip(values, weights)) / total
+
+
+def relative(series: Dict[str, float], baseline: str) -> Dict[str, float]:
+    """Normalise a {name: value} series by one entry."""
+    if baseline not in series:
+        raise KeyError(f"baseline {baseline!r} not in series")
+    base = series[baseline]
+    if base == 0:
+        raise ZeroDivisionError("baseline value is zero")
+    return {name: value / base for name, value in series.items()}

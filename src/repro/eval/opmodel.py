@@ -1,0 +1,167 @@
+"""Per-operator analytical timing.
+
+``estimate_op`` maps one operator instance (category + costs + attrs +
+placement) to seconds on a machine model, as
+``launch_overhead + max(compute_time, memory_time)`` with the
+shape-dependent efficiencies from :mod:`repro.eval.calibration`.
+``estimate_graph`` runs a whole IR graph through the model and returns
+the per-category breakdown Table III reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compiler.ir import Graph
+from repro.compiler.ops import OpCosts, op_costs
+from repro.eval import calibration
+from repro.eval.machines import MachineModel
+
+
+@dataclass
+class OpEstimate:
+    """Timing of one operator instance."""
+
+    name: str
+    category: str
+    seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    launch_seconds: float
+    flops: float
+    bytes_total: float
+
+    @property
+    def bound(self) -> str:
+        """Which term dominates: "compute", "memory" or "launch"."""
+        parts = {"compute": self.compute_seconds,
+                 "memory": self.memory_seconds,
+                 "launch": self.launch_seconds}
+        return max(parts, key=parts.get)
+
+
+def estimate_op(machine: MachineModel, category: str, costs: OpCosts,
+                dtype: str = "fp16", in_sram: bool = False,
+                attrs: Optional[dict] = None) -> OpEstimate:
+    """Estimate one operator's execution time on ``machine``."""
+    attrs = attrs or {}
+    launch = calibration.dispatch_overhead_s(
+        machine, attrs.get("fused_ops", 1))
+    compute = memory = 0.0
+
+    if category in ("fc", "bmm"):
+        gflops = costs.flops / 1e9
+        util = calibration.gemm_utilization(machine, gflops)
+        util *= attrs.get("util_factor", 1.0)
+        peak = machine.peak_ops(dtype if dtype in machine.peak_tops
+                                else "fp16")
+        compute = costs.flops / (peak * util) if util > 0 else 0.0
+        bw = calibration.gemm_memory_gbs(machine, costs.bytes_total, in_sram)
+        memory = costs.bytes_total / (bw * 1e9)
+    elif category == "eb":
+        pooling = attrs.get("pooling", 32)
+        dim = attrs.get("dim", 128)
+        frac = calibration.tbe_bw_fraction(
+            machine, pooling, dim, batch=attrs.get("batch", 256),
+            hand_tuned=attrs.get("hand_tuned", False))
+        memory = costs.bytes_in / (machine.dram_gbs * 1e9 * frac)
+        compute = costs.flops / calibration.elementwise_ops_per_sec(
+            machine, "fp32")
+    elif category in ("concat", "transpose"):
+        frac = calibration.move_bw_fraction(machine, in_sram)
+        bw = (machine.onchip_gbs if in_sram else machine.dram_gbs) * frac
+        memory = costs.bytes_total / (bw * 1e9)
+    elif category in ("quantize", "dequantize", "other"):
+        ops_per_sec = calibration.elementwise_ops_per_sec(machine, dtype)
+        compute = costs.flops / ops_per_sec if costs.flops else 0.0
+        frac = calibration.move_bw_fraction(machine, in_sram)
+        bw = (machine.onchip_gbs if in_sram else machine.dram_gbs) * frac
+        memory = costs.bytes_total / (bw * 1e9)
+    else:
+        raise ValueError(f"unknown operator category {category!r}")
+
+    seconds = launch + max(compute, memory)
+    return OpEstimate(name=attrs.get("name", category), category=category,
+                      seconds=seconds, compute_seconds=compute,
+                      memory_seconds=memory, launch_seconds=launch,
+                      flops=costs.flops, bytes_total=costs.bytes_total)
+
+
+@dataclass
+class GraphEstimate:
+    """Whole-graph timing with per-category breakdown."""
+
+    total_seconds: float
+    estimates: List[OpEstimate] = field(default_factory=list)
+
+    def category_seconds(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for est in self.estimates:
+            out[est.category] = out.get(est.category, 0.0) + est.seconds
+        return out
+
+    def category_fractions(self) -> Dict[str, float]:
+        seconds = self.category_seconds()
+        total = sum(seconds.values())
+        if total <= 0:
+            return {k: 0.0 for k in seconds}
+        return {k: v / total for k, v in seconds.items()}
+
+    @property
+    def total_flops(self) -> float:
+        return sum(e.flops for e in self.estimates)
+
+    def tflops_per_sec(self) -> float:
+        return (self.total_flops / self.total_seconds / 1e12
+                if self.total_seconds else 0.0)
+
+
+def estimate_graph(machine: MachineModel, graph: Graph,
+                   placement: Optional[object] = None,
+                   dtype: str = "fp16") -> GraphEstimate:
+    """Estimate every operator of a compiled graph.
+
+    ``placement`` is a :class:`repro.compiler.placement.PlacementResult`;
+    when given, an operator counts as SRAM-resident if all its
+    activation inputs are placed in SRAM.  GPU/NNPI machines ignore
+    placement (their on-chip staging is implicit in the efficiency
+    curves) except that their large caches are modelled through
+    ``move_bw_fraction``.
+    """
+    estimates: List[OpEstimate] = []
+    for node in graph:
+        if node.op in ("input", "weight"):
+            continue
+        input_metas = [graph.node(i).meta for i in node.inputs]
+        costs = op_costs(node, input_metas)
+        in_sram = False
+        if placement is not None and machine.family == "mtia":
+            activations = [i for i in node.inputs
+                           if graph.node(i).op not in ("weight",)]
+            in_sram = bool(activations) and all(
+                placement.region(i) == "sram" for i in activations)
+        attrs = {"name": node.name,
+                 "util_factor":
+                     calibration.model_context_utilization(machine)}
+        if node.op in ("embedding_bag", "tbe"):
+            attrs["pooling"] = node.attrs.get("pooling", 32)
+            attrs["batch"] = node.attrs.get("batch", 256)
+            tables = node.inputs[0::2]
+            dims = [graph.node(t).meta.shape[1] for t in tables]
+            attrs["dim"] = int(sum(dims) / len(dims)) if dims else 128
+        if "epilogue" in node.attrs:
+            attrs["fused_ops"] = 2
+        if node.op in ("fc", "batch_matmul") and input_metas:
+            # GEMMs run at the *operand* precision (INT8 after the
+            # quantize bracket), not the accumulator's output precision.
+            op_dtype = input_metas[0].dtype.name
+        else:
+            op_dtype = node.meta.dtype.name if node.meta else dtype
+        if op_dtype not in ("int8", "fp16", "fp32"):
+            op_dtype = dtype
+        estimates.append(estimate_op(machine, costs.category, costs,
+                                     dtype=op_dtype, in_sram=in_sram,
+                                     attrs=attrs))
+    total = sum(e.seconds for e in estimates)
+    return GraphEstimate(total_seconds=total, estimates=estimates)

@@ -1,0 +1,84 @@
+"""Row generators for every table in the paper.
+
+Table I comes from the chip configuration's derived quantities; Table
+II from the platform specs; Table III from the operator-level estimate
+of the medium-complexity model; Table IV from the model zoo.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import MTIA_V1, ChipConfig
+from repro.eval.machines import MACHINES
+from repro.eval.opmodel import estimate_graph
+from repro.platforms.server import PLATFORMS
+
+#: Paper values for Table III (percent of execution time), used by the
+#: benchmark to compare shape.
+TABLE_III_PAPER = {
+    64: {"fc": 42.10, "eb": 31.19, "concat": 2.86, "transpose": 8.47,
+         "quantize": 1.55, "dequantize": 2.94, "bmm": 3.30, "other": 7.59},
+    256: {"fc": 32.4, "eb": 30.0, "concat": 11.5, "transpose": 5.9,
+          "quantize": 5.3, "dequantize": 3.3, "bmm": 1.7, "other": 11.0},
+}
+
+
+def table_i(config: ChipConfig = MTIA_V1) -> Dict[str, object]:
+    """Table I: chip feature summary, with derived headline numbers."""
+    return config.summary()
+
+
+def table_ii() -> Dict[str, Dict[str, object]]:
+    """Table II: the three platform columns."""
+    return {spec.name: spec.as_table_row() for spec in PLATFORMS.values()}
+
+
+def table_iii(batch_size: int, model_name: str = "MC1") -> Dict[str, float]:
+    """Table III: operator-time percentage breakdown on MTIA.
+
+    Runs the medium-complexity model through the compiled-graph
+    estimate and returns percentages by Table III bucket.
+    """
+    from repro.models.configs import MODEL_ZOO
+    from repro.models.dlrm import build_dlrm_graph
+    from repro.runtime.executor import GraphExecutor
+
+    graph = build_dlrm_graph(MODEL_ZOO[model_name], batch_size)
+    executor = GraphExecutor(MACHINES["mtia"], mode="graph")
+    placement = executor.compile(graph)
+    estimate = estimate_graph(MACHINES["mtia"], graph, placement)
+    return {category: 100.0 * fraction
+            for category, fraction in estimate.category_fractions().items()}
+
+
+def table_iv() -> Dict[str, Dict[str, float]]:
+    """Table IV: the model zoo's size/complexity, from the solver."""
+    from repro.models.configs import table_iv_rows
+    return table_iv_rows()
+
+
+def format_table(rows: Dict[str, Dict], title: str = "") -> str:
+    """Render nested dicts as an aligned text table (for bench output)."""
+    columns = list(rows)
+    keys: List[str] = []
+    for col in columns:
+        for key in rows[col]:
+            if key not in keys:
+                keys.append(key)
+    width = max(len(k) for k in keys) + 2
+    col_width = max(max(len(str(c)) for c in columns) + 2, 14)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" " * width + "".join(str(c).rjust(col_width)
+                                       for c in columns))
+    for key in keys:
+        cells = []
+        for col in columns:
+            value = rows[col].get(key, "")
+            if isinstance(value, float):
+                value = f"{value:.3g}"
+            cells.append(str(value).rjust(col_width))
+        lines.append(key.ljust(width) + "".join(cells))
+    return "\n".join(lines)

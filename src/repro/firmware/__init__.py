@@ -1,0 +1,26 @@
+"""Control-subsystem firmware: job scheduling over the PE grid.
+
+The paper's device firmware includes "the Control Core Processor
+firmware ... performing runtime and management operations, and finally
+the PE monitor that runs on the PEs in the compute grid, which
+schedules and monitors workloads running on the PEs" (Section 5), and
+Section 7 ("Architecture Hierarchy") describes its hardest problem:
+small jobs must be packed onto sub-grids, and "the task of setting up
+and tearing down these sub-grids is part of the system's firmware".
+
+This package implements that layer over the simulator:
+
+* :class:`SubGridAllocator` — carves rectangular sub-grids out of the
+  8x8 grid, optionally at *cluster* granularity (the paper's proposed
+  next-generation hierarchy);
+* :class:`Job` / :class:`JobScheduler` — a firmware run queue that
+  allocates a sub-grid per job, charges the setup/teardown overhead,
+  launches the kernel programs, and frees the PEs at completion, so
+  multiple operators genuinely execute concurrently on disjoint
+  sub-grids of one simulated chip.
+"""
+
+from repro.firmware.allocator import SubGridAllocator
+from repro.firmware.scheduler import Job, JobScheduler, JobStats
+
+__all__ = ["Job", "JobScheduler", "JobStats", "SubGridAllocator"]

@@ -1,0 +1,110 @@
+"""Sub-grid allocation over the PE grid.
+
+The firmware divides the monolithic 8x8 grid into rectangular sub-grids
+per job (Section 7, "Architecture Hierarchy").  The allocator tracks
+per-PE occupancy and places requests first-fit in row-major order.
+
+``cluster`` optionally forces allocations onto a coarser granularity
+(e.g. 2x2 PE clusters) — the paper's suggested "another level of
+hierarchy in the architecture itself ... clusters of PEs" that would
+provide "natural units of isolation and management".  Cluster-granular
+bookkeeping wastes some PEs on odd-shaped jobs but makes setup cheaper
+(fewer, larger management units); the scheduler charges setup cost
+accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.grid import Grid, SubGrid
+from repro.sim import SimulationError
+
+Coord = Tuple[int, int]
+
+
+class SubGridAllocator:
+    """First-fit rectangular allocator over the grid."""
+
+    def __init__(self, grid: Grid, cluster: int = 1) -> None:
+        if cluster < 1:
+            raise ValueError("cluster granularity must be >= 1")
+        if (grid.config.grid_rows % cluster
+                or grid.config.grid_cols % cluster):
+            raise ValueError(
+                f"cluster={cluster} must divide the "
+                f"{grid.config.grid_rows}x{grid.config.grid_cols} grid")
+        self.grid = grid
+        self.cluster = cluster
+        self._busy = [[False] * grid.config.grid_cols
+                      for _ in range(grid.config.grid_rows)]
+
+    # -- geometry helpers -------------------------------------------------
+    def _round_up(self, value: int) -> int:
+        c = self.cluster
+        return (value + c - 1) // c * c
+
+    def _fits(self, origin: Coord, rows: int, cols: int) -> bool:
+        orow, ocol = origin
+        if (orow + rows > self.grid.config.grid_rows
+                or ocol + cols > self.grid.config.grid_cols):
+            return False
+        return not any(self._busy[r][c]
+                       for r in range(orow, orow + rows)
+                       for c in range(ocol, ocol + cols))
+
+    def _mark(self, origin: Coord, rows: int, cols: int,
+              value: bool) -> None:
+        orow, ocol = origin
+        for r in range(orow, orow + rows):
+            for c in range(ocol, ocol + cols):
+                self._busy[r][c] = value
+
+    # -- allocation interface ----------------------------------------------
+    def allocate(self, rows: int, cols: int) -> Optional[SubGrid]:
+        """Place a rows x cols job; returns None when nothing fits.
+
+        With cluster granularity the *reservation* is rounded up to
+        whole clusters, but the returned sub-grid is the requested
+        shape — the surplus PEs sit idle (the isolation cost of the
+        hierarchy).
+        """
+        if rows <= 0 or cols <= 0:
+            raise SimulationError("job needs a positive sub-grid shape")
+        res_rows, res_cols = self._round_up(rows), self._round_up(cols)
+        step = self.cluster
+        for orow in range(0, self.grid.config.grid_rows, step):
+            for ocol in range(0, self.grid.config.grid_cols, step):
+                if self._fits((orow, ocol), res_rows, res_cols):
+                    self._mark((orow, ocol), res_rows, res_cols, True)
+                    return self.grid.subgrid((orow, ocol), rows, cols)
+        return None
+
+    def release(self, subgrid: SubGrid) -> None:
+        """Free a previously allocated sub-grid."""
+        rows = self._round_up(subgrid.rows)
+        cols = self._round_up(subgrid.cols)
+        origin = (subgrid.origin[0] - subgrid.origin[0] % self.cluster,
+                  subgrid.origin[1] - subgrid.origin[1] % self.cluster)
+        self._mark(origin, rows, cols, False)
+
+    @property
+    def busy_pes(self) -> int:
+        return sum(sum(row) for row in self._busy)
+
+    @property
+    def free_pes(self) -> int:
+        return self.grid.num_pes - self.busy_pes
+
+    def utilization(self) -> float:
+        return self.busy_pes / self.grid.num_pes
+
+    def management_units(self, rows: int, cols: int) -> int:
+        """How many firmware-managed units a job of this shape touches.
+
+        At PE granularity every PE is individually set up; with clusters
+        the unit count shrinks by ``cluster**2`` — the mechanism behind
+        the hierarchy's cheaper job launch.
+        """
+        return ((self._round_up(rows) // self.cluster)
+                * (self._round_up(cols) // self.cluster))

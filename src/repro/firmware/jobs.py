@@ -1,0 +1,61 @@
+"""Ready-made job constructors for the firmware scheduler."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.accelerator import Accelerator
+from repro.core.grid import SubGrid
+from repro.firmware.scheduler import Job
+from repro.kernels.fc import launch_fc_programs, plan_fc
+
+
+def make_fc_job(name: str, accelerator: Accelerator, m: int, k: int, n: int,
+                rows: int, cols: int, k_split: Optional[int] = None,
+                dual_core: bool = True, seed: int = 0) -> Job:
+    """An FC job: operands are uploaded now, the mapping is planned at
+    dispatch time against whichever sub-grid the firmware assigns."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-128, 128, (m, k), dtype=np.int8)
+    b_t = rng.integers(-128, 128, (n, k), dtype=np.int8)
+    a_addr = accelerator.upload(a)
+    bt_addr = accelerator.upload(b_t)
+    c_addr = accelerator.alloc_dram(n * m * 4)
+
+    def body(acc: Accelerator, subgrid: SubGrid) -> List:
+        plan = plan_fc(subgrid, m, k, n, k_split=k_split)
+        return launch_fc_programs(acc, plan, (a_addr, bt_addr, c_addr),
+                                  dual_core=dual_core)
+
+    job = Job(name=name, rows=rows, cols=cols, body=body)
+    job.expected = (b_t.astype(np.int32) @ a.astype(np.int32).T)
+    job.result_addr = c_addr
+    job.result_shape = (n, m)
+    return job
+
+
+def make_tbe_job(name: str, accelerator: Accelerator, config, rows: int,
+                 cols: int, prefetch_rows: int = 4, seed: int = 0) -> Job:
+    """A TBE job over whichever sub-grid the firmware assigns."""
+    from repro.kernels.tbe import (generate_indices, generate_tables,
+                                   launch_tbe_programs, pooled_reference)
+    tables = generate_tables(config, seed)
+    indices = generate_indices(config, seed + 1)
+    table_addrs = [accelerator.upload(tables[t])
+                   for t in range(config.num_tables)]
+    out_addr = accelerator.alloc_dram(
+        config.num_bags * config.embedding_dim * 4)
+
+    def body(acc: Accelerator, subgrid: SubGrid) -> List:
+        return launch_tbe_programs(acc, config, table_addrs, out_addr,
+                                   subgrid, prefetch_rows=prefetch_rows,
+                                   indices=indices)
+
+    job = Job(name=name, rows=rows, cols=cols, body=body)
+    job.expected = pooled_reference(tables, indices, config.scale)
+    job.result_addr = out_addr
+    job.result_shape = (config.num_tables, config.batch_size,
+                        config.embedding_dim)
+    return job

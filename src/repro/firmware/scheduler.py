@@ -1,0 +1,161 @@
+"""The firmware job scheduler.
+
+Jobs arrive in a run queue; the scheduler allocates each a sub-grid,
+pays the setup cost (configuring the PEs' monitors, circular buffers,
+address windows — "the task of setting up and tearing down these
+sub-grids is part of the system's firmware", Section 7), launches the
+job's kernel programs, and tears the sub-grid down at completion.
+Multiple jobs run concurrently on disjoint sub-grids — the sub-graph
+parallelism the paper says small layers must exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.core.accelerator import Accelerator
+from repro.core.grid import SubGrid
+from repro.firmware.allocator import SubGridAllocator
+from repro.sim import Event, SimulationError
+
+#: Firmware cycles to set up / tear down one management unit (one PE,
+#: or one cluster when the allocator is cluster-granular).
+SETUP_CYCLES_PER_UNIT = 150
+TEARDOWN_CYCLES_PER_UNIT = 60
+
+
+@dataclass
+class Job:
+    """One schedulable unit of work.
+
+    ``body(accelerator, subgrid)`` must *launch* the kernel's core
+    programs (without running the engine) and return the list of
+    processes to wait on.
+    """
+
+    name: str
+    rows: int
+    cols: int
+    body: Callable[[Accelerator, SubGrid], List]
+    #: populated by the scheduler
+    submit_cycle: float = 0.0
+    start_cycle: float = 0.0
+    finish_cycle: float = 0.0
+    subgrid: Optional[SubGrid] = None
+
+    @property
+    def queueing_cycles(self) -> float:
+        return self.start_cycle - self.submit_cycle
+
+    @property
+    def service_cycles(self) -> float:
+        return self.finish_cycle - self.start_cycle
+
+
+@dataclass
+class JobStats:
+    completed: int = 0
+    failed: int = 0
+    total_setup_cycles: float = 0.0
+    total_queueing_cycles: float = 0.0
+    makespan: float = 0.0
+
+
+class JobScheduler:
+    """FIFO run queue with first-fit sub-grid placement."""
+
+    def __init__(self, accelerator: Accelerator, cluster: int = 1) -> None:
+        self.accelerator = accelerator
+        self.allocator = SubGridAllocator(accelerator.grid, cluster=cluster)
+        self.stats = JobStats()
+        self._pending: List[Job] = []
+        self._completion_events: List[Event] = []
+        self._grid_freed = accelerator.engine.event("sched.init")
+        self._grid_freed.succeed()
+
+    def submit(self, job: Job) -> Event:
+        """Queue a job; returns an event firing at job completion."""
+        if (job.rows > self.accelerator.config.grid_rows
+                or job.cols > self.accelerator.config.grid_cols):
+            raise SimulationError(
+                f"job {job.name!r} ({job.rows}x{job.cols}) can never fit "
+                "the grid")
+        job.submit_cycle = self.accelerator.engine.now
+        done = self.accelerator.engine.event(f"job.{job.name}")
+        self._pending.append(job)
+        self._completion_events.append(done)
+        return done
+
+    def run(self) -> JobStats:
+        """Dispatch everything submitted so far; returns the statistics.
+
+        Jobs start in submission order as soon as a sub-grid is free
+        (FIFO with head-of-line blocking, like a simple firmware run
+        queue); the engine runs until all complete.
+        """
+        engine = self.accelerator.engine
+        start = engine.now
+        engine.process(self._dispatch_loop(), "firmware.dispatch")
+        engine.run()
+        stuck = [j.name for j in self._pending]
+        if stuck:
+            raise SimulationError(f"jobs never started: {stuck}")
+        self.stats.makespan = engine.now - start
+        return self.stats
+
+    # -- internals ---------------------------------------------------------
+    def _dispatch_loop(self) -> Generator:
+        engine = self.accelerator.engine
+        while self._pending:
+            job = self._pending[0]
+            subgrid = self.allocator.allocate(job.rows, job.cols)
+            if subgrid is None:
+                # Wait for any running job to free its PEs.
+                freed = self._grid_freed
+                if freed.triggered:
+                    self._grid_freed = engine.event("sched.freed")
+                    freed = self._grid_freed
+                yield freed
+                continue
+            done = self._completion_events.pop(0)
+            self._pending.pop(0)
+            job.subgrid = subgrid
+            engine.process(self._run_job(job, done),
+                           f"firmware.job.{job.name}")
+
+    def _run_job(self, job: Job, done: Event) -> Generator:
+        engine = self.accelerator.engine
+        control = self.accelerator.control
+        units = self.allocator.management_units(job.rows, job.cols)
+        setup = units * SETUP_CYCLES_PER_UNIT
+        self.stats.total_setup_cycles += setup
+        for pe in job.subgrid:
+            control.mark_pe(pe.index, 1)       # assigned
+        yield setup
+        job.start_cycle = engine.now
+        self.stats.total_queueing_cycles += job.queueing_cycles
+        for pe in job.subgrid:
+            control.mark_pe(pe.index, 2)       # running
+        failure: Optional[BaseException] = None
+        try:
+            procs = job.body(self.accelerator, job.subgrid)
+            if procs:
+                yield engine.all_of(procs)
+        except Exception as exc:               # job failed: free the PEs
+            failure = exc
+            self.stats.failed += 1
+        job.finish_cycle = engine.now
+        yield units * TEARDOWN_CYCLES_PER_UNIT
+        for pe in job.subgrid:
+            control.mark_pe(pe.index, 0)       # idle
+        self.allocator.release(job.subgrid)
+        if failure is None:
+            self.stats.completed += 1
+            control.complete_job()
+        if not self._grid_freed.triggered:
+            self._grid_freed.succeed()
+        if failure is None:
+            done.succeed(job)
+        else:
+            done.fail(failure)

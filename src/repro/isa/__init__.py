@@ -1,0 +1,44 @@
+"""The PE command set.
+
+MTIA's cores drive the fixed-function units by assembling *commands*
+(the paper's custom instructions + custom registers, Section 3.2) and
+issuing them to the Command Processor, which performs dependency
+checking against circular-buffer IDs and dispatches to the units.
+This package defines those commands as plain dataclasses.
+"""
+
+from repro.isa.commands import (
+    Command,
+    ConcatCmd,
+    CopyCmd,
+    DMALoad,
+    DMAStore,
+    ElementwiseCmd,
+    InitAccumulators,
+    InitCB,
+    MML,
+    NonlinearCmd,
+    PopCB,
+    PushCB,
+    QuantizeCmd,
+    Reduce,
+    TransposeCmd,
+)
+
+__all__ = [
+    "Command",
+    "ConcatCmd",
+    "CopyCmd",
+    "DMALoad",
+    "DMAStore",
+    "ElementwiseCmd",
+    "InitAccumulators",
+    "InitCB",
+    "MML",
+    "NonlinearCmd",
+    "PopCB",
+    "PushCB",
+    "QuantizeCmd",
+    "Reduce",
+    "TransposeCmd",
+]

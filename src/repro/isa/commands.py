@@ -1,0 +1,509 @@
+"""Command definitions for the PE's fixed-function units.
+
+Every command names the circular buffers it *reads* and *writes*; the
+Command Processor uses these ID sets — not absolute addresses — for its
+dependency interlocks, exactly as Section 3.3 describes ("the circular
+buffer IDs were used as units of dependency checks, similar to register
+IDs in the processor cores").
+
+Commands also carry their *element/space requirements*: how many bytes
+must be available in each input CB and free in each output CB before the
+operation may start.  The CP's element/space check stalls the operation
+until producers/consumers catch up — this is the hardware realisation
+of producer-consumer synchronisation (Sections 3.3 and 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.dtypes import DType, INT8
+
+
+@dataclass
+class Command:
+    """Base class for all PE commands."""
+
+    #: Which functional unit executes the command; subclasses override.
+    unit: str = field(default="cp", init=False)
+
+    def reads_cbs(self) -> Tuple[int, ...]:
+        """CBs read pointer-relatively *without* moving pointers."""
+        return ()
+
+    def produces_cbs(self) -> Tuple[int, ...]:
+        """CBs whose write pointer this command advances."""
+        return ()
+
+    def consumes_cbs(self) -> Tuple[int, ...]:
+        """CBs whose read pointer this command advances."""
+        return ()
+
+    def writes_regs(self) -> Tuple[str, ...]:
+        """Non-CB architectural state written (accumulator banks)."""
+        return ()
+
+    def required_elements(self) -> Dict[int, int]:
+        """Bytes that must be readable per input CB before start."""
+        return {}
+
+    def required_space(self) -> Dict[int, int]:
+        """Bytes that must be free per output CB before start."""
+        return {}
+
+
+# ---------------------------------------------------------------------------
+# Circular-buffer management (executed by the Command Processor itself)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class InitCB(Command):
+    """Define circular buffer ``cb_id`` over local memory [base, base+size)."""
+
+    cb_id: int = 0
+    base: int = 0
+    size: int = 0
+
+    # Redefining a CB is a full barrier against every prior use of it.
+    def reads_cbs(self):
+        return (self.cb_id,)
+
+    def produces_cbs(self):
+        return (self.cb_id,)
+
+    def consumes_cbs(self):
+        return (self.cb_id,)
+
+
+@dataclass
+class PopCB(Command):
+    """Advance the read pointer: mark ``nbytes`` as consumed."""
+
+    cb_id: int = 0
+    nbytes: int = 0
+
+    def consumes_cbs(self):
+        return (self.cb_id,)
+
+    def required_elements(self):
+        return {self.cb_id: self.nbytes}
+
+
+@dataclass
+class PushCB(Command):
+    """Advance the write pointer: mark ``nbytes`` as produced.
+
+    Used by operations that wrote data via offsets without moving the
+    pointer (Section 3.3: "Hardware provides additional custom
+    instructions that can adjust both read and write pointers").
+    """
+
+    cb_id: int = 0
+    nbytes: int = 0
+
+    def produces_cbs(self):
+        return (self.cb_id,)
+
+    def required_space(self):
+        return {self.cb_id: self.nbytes}
+
+
+# ---------------------------------------------------------------------------
+# Fabric Interface (DMA)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DMALoad(Command):
+    """Copy data from system memory into a circular buffer.
+
+    The descriptor is 2D: ``rows`` rows of ``row_bytes`` bytes, ``stride``
+    bytes apart in memory (``rows=1`` for a contiguous transfer) — this
+    is how the paper's ``DMA GetAddr(A, (m, k)), size=(64, 32)`` loads a
+    sub-block of a larger row-major matrix.  The transfer goes over the
+    NoC; if ``multicast`` names a group the read is coalesced with
+    identical reads from other group members (Section 3.4).  On
+    completion the CB's write pointer advances — DMAs "automatically
+    adjust the read and write pointers" (Section 3.3).
+    """
+
+    addr: int = 0
+    row_bytes: int = 0
+    rows: int = 1
+    stride: Optional[int] = None
+    cb_id: int = 0
+    multicast: Optional[object] = None
+
+    def __post_init__(self):
+        self.unit = "fi"
+        if self.stride is None:
+            self.stride = self.row_bytes
+
+    @property
+    def nbytes(self) -> int:
+        return self.rows * self.row_bytes
+
+    def produces_cbs(self):
+        return (self.cb_id,)
+
+    def required_space(self):
+        return {self.cb_id: self.nbytes}
+
+
+@dataclass
+class DMAStore(Command):
+    """Copy data from a circular buffer out to system memory.
+
+    2D descriptor semantics mirror :class:`DMALoad` (the paper's
+    ``DMA PutAddr(C, (n, m)), size=(64, 64)``).  Consumes the bytes
+    (advances the read pointer) on completion.
+    """
+
+    addr: int = 0
+    row_bytes: int = 0
+    rows: int = 1
+    stride: Optional[int] = None
+    cb_id: int = 0
+
+    def __post_init__(self):
+        self.unit = "fi"
+        if self.stride is None:
+            self.stride = self.row_bytes
+
+    @property
+    def nbytes(self) -> int:
+        return self.rows * self.row_bytes
+
+    def consumes_cbs(self):
+        # the store pops the CB, moving its read pointer
+        return (self.cb_id,)
+
+    def required_elements(self):
+        return {self.cb_id: self.nbytes}
+
+
+# ---------------------------------------------------------------------------
+# Dot-Product Engine / Reduction Engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class InitAccumulators(Command):
+    """Load RE accumulator banks with zero (or a bias from a CB)."""
+
+    banks: Tuple[int, ...] = (0, 1, 2, 3)
+    bias_cb: Optional[int] = None
+    bias_offset: int = 0
+
+    def __post_init__(self):
+        self.unit = "re"
+
+    def reads_cbs(self):
+        return (self.bias_cb,) if self.bias_cb is not None else ()
+
+    def writes_regs(self):
+        # Accumulator banks participate in the CP's dependency tracking
+        # exactly like CB IDs ("similar to register IDs", Section 3.3).
+        return tuple(f"acc{b}" for b in self.banks)
+
+
+@dataclass
+class MML(Command):
+    """Matrix-multiply a block of A against a block of B into RE bank ``acc``.
+
+    Follows the paper's Figure 8 operand order: the B block
+    (``n x k``, row-major at ``cb_b``+``offset_b``) is streamed against
+    the resident A block (``m x k`` at ``cb_a``+``offset_a``), producing
+    an ``n x m`` partial result accumulated into bank ``acc``.  Offsets
+    address data *relative to the read pointer* without consuming it,
+    enabling reuse (Section 3.3).
+    """
+
+    acc: int = 0
+    m: int = 32
+    k: int = 32
+    n: int = 32
+    cb_b: int = 0
+    cb_a: int = 1
+    offset_b: int = 0
+    offset_a: int = 0
+    dtype: DType = INT8
+
+    def __post_init__(self):
+        self.unit = "dpe"
+
+    def reads_cbs(self):
+        return (self.cb_b, self.cb_a)
+
+    def writes_regs(self):
+        return (f"acc{self.acc}",)
+
+    def required_elements(self):
+        elem = self.dtype.bytes
+        return {
+            self.cb_b: self.offset_b + self.n * self.k * elem,
+            self.cb_a: self.offset_a + self.m * self.k * elem,
+        }
+
+
+@dataclass
+class Reduce(Command):
+    """Combine accumulator banks and forward/store the result.
+
+    ``banks_layout`` arranges banks into a 2D block (the FC mapping uses
+    a 2x2 arrangement for a 64x64 output).  If ``receive`` is set the RE
+    first waits for one inbound block on the reduction network and
+    accumulates it on top of the local banks.  ``dest_pe`` sends the
+    result to a south/east neighbour; ``dest_cb`` stores it into local
+    memory through the CB abstraction.  Exactly one of ``dest_pe`` /
+    ``dest_cb`` must be given (Section 3.1.3).
+    """
+
+    banks_layout: Tuple[Tuple[int, ...], ...] = ((0, 1), (2, 3))
+    receive: bool = False
+    dest_pe: Optional[Tuple[int, int]] = None
+    dest_cb: Optional[int] = None
+    #: Optional output conversion performed by the SE on the way out.
+    out_dtype: Optional[DType] = None
+    out_scale: float = 1.0
+
+    def __post_init__(self):
+        self.unit = "re"
+        if (self.dest_pe is None) == (self.dest_cb is None):
+            raise ValueError("Reduce needs exactly one of dest_pe / dest_cb")
+
+    def writes_regs(self):
+        return tuple(f"acc{b}" for row in self.banks_layout for b in row)
+
+    def produces_cbs(self):
+        return (self.dest_cb,) if self.dest_cb is not None else ()
+
+    def output_shape(self) -> Tuple[int, int]:
+        rows = len(self.banks_layout) * 32
+        cols = len(self.banks_layout[0]) * 32
+        return rows, cols
+
+    def required_space(self):
+        if self.dest_cb is None:
+            return {}
+        rows, cols = self.output_shape()
+        out_bytes = (self.out_dtype.bytes if self.out_dtype else 4)
+        return {self.dest_cb: rows * cols * out_bytes}
+
+
+# ---------------------------------------------------------------------------
+# Memory Layout Unit
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TransposeCmd(Command):
+    """Transpose a ``rows x cols`` tile from ``src_cb`` into ``dst_cb``."""
+
+    src_cb: int = 0
+    dst_cb: int = 1
+    rows: int = 0
+    cols: int = 0
+    dtype: DType = INT8
+    src_offset: int = 0
+    pop_input: bool = False
+
+    def __post_init__(self):
+        self.unit = "mlu"
+
+    def reads_cbs(self):
+        return (self.src_cb,)
+
+    def produces_cbs(self):
+        return (self.dst_cb,)
+
+    def consumes_cbs(self):
+        return (self.src_cb,) if self.pop_input else ()
+
+    @property
+    def nbytes(self) -> int:
+        return self.rows * self.cols * self.dtype.bytes
+
+    def required_elements(self):
+        return {self.src_cb: self.src_offset + self.nbytes}
+
+    def required_space(self):
+        return {self.dst_cb: self.nbytes}
+
+
+@dataclass
+class ConcatCmd(Command):
+    """Concatenate byte ranges from several CBs into ``dst_cb``."""
+
+    src_cbs: Tuple[int, ...] = ()
+    src_nbytes: Tuple[int, ...] = ()
+    dst_cb: int = 0
+    pop_inputs: bool = True
+
+    def __post_init__(self):
+        self.unit = "mlu"
+        if len(self.src_cbs) != len(self.src_nbytes):
+            raise ValueError("src_cbs and src_nbytes must align")
+
+    def reads_cbs(self):
+        return tuple(self.src_cbs)
+
+    def produces_cbs(self):
+        return (self.dst_cb,)
+
+    def consumes_cbs(self):
+        return tuple(self.src_cbs) if self.pop_inputs else ()
+
+    @property
+    def nbytes(self) -> int:
+        return sum(self.src_nbytes)
+
+    def required_elements(self):
+        return {cb: n for cb, n in zip(self.src_cbs, self.src_nbytes)}
+
+    def required_space(self):
+        return {self.dst_cb: self.nbytes}
+
+
+@dataclass
+class CopyCmd(Command):
+    """Copy ``nbytes`` from ``src_cb`` to ``dst_cb`` (reshape/copy)."""
+
+    src_cb: int = 0
+    dst_cb: int = 1
+    nbytes: int = 0
+    src_offset: int = 0
+    pop_input: bool = False
+
+    def __post_init__(self):
+        self.unit = "mlu"
+
+    def reads_cbs(self):
+        return (self.src_cb,)
+
+    def produces_cbs(self):
+        return (self.dst_cb,)
+
+    def consumes_cbs(self):
+        return (self.src_cb,) if self.pop_input else ()
+
+    def required_elements(self):
+        return {self.src_cb: self.src_offset + self.nbytes}
+
+    def required_space(self):
+        return {self.dst_cb: self.nbytes}
+
+
+# ---------------------------------------------------------------------------
+# SIMD Engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class QuantizeCmd(Command):
+    """Quantize (fp->int8) or dequantize (int8->fp) ``count`` elements."""
+
+    src_cb: int = 0
+    dst_cb: int = 1
+    count: int = 0
+    scale: float = 1.0
+    zero_point: int = 0
+    direction: str = "quantize"  # or "dequantize"
+    src_dtype: Optional[DType] = None
+    dst_dtype: Optional[DType] = None
+    pop_input: bool = True
+
+    def __post_init__(self):
+        self.unit = "se"
+        if self.direction not in ("quantize", "dequantize"):
+            raise ValueError(f"bad direction {self.direction!r}")
+
+    def reads_cbs(self):
+        return (self.src_cb,)
+
+    def produces_cbs(self):
+        return (self.dst_cb,)
+
+    def consumes_cbs(self):
+        return (self.src_cb,) if self.pop_input else ()
+
+    def required_elements(self):
+        src_bytes = self.src_dtype.bytes if self.src_dtype else (
+            4 if self.direction == "quantize" else 1)
+        return {self.src_cb: self.count * src_bytes}
+
+    def required_space(self):
+        dst_bytes = self.dst_dtype.bytes if self.dst_dtype else (
+            1 if self.direction == "quantize" else 4)
+        return {self.dst_cb: self.count * dst_bytes}
+
+
+@dataclass
+class NonlinearCmd(Command):
+    """Apply a LUT-approximated nonlinear function elementwise.
+
+    Supported functions mirror Section 3.1.4: exp, sigmoid, tanh, relu.
+    Input INT8 or FP16/FP32-held data; output FP32.
+    """
+
+    func: str = "tanh"
+    src_cb: int = 0
+    dst_cb: int = 1
+    count: int = 0
+    src_dtype: DType = INT8
+    pop_input: bool = True
+
+    SUPPORTED = ("exp", "sigmoid", "tanh", "relu", "gelu")
+
+    def __post_init__(self):
+        self.unit = "se"
+        if self.func not in self.SUPPORTED:
+            raise ValueError(f"unsupported nonlinear {self.func!r}")
+
+    def reads_cbs(self):
+        return (self.src_cb,)
+
+    def produces_cbs(self):
+        return (self.dst_cb,)
+
+    def consumes_cbs(self):
+        return (self.src_cb,) if self.pop_input else ()
+
+    def required_elements(self):
+        return {self.src_cb: self.count * self.src_dtype.bytes}
+
+    def required_space(self):
+        return {self.dst_cb: self.count * 4}
+
+
+@dataclass
+class ElementwiseCmd(Command):
+    """Binary elementwise op on two CBs (add/mul/max) into a third."""
+
+    op: str = "add"
+    src_cb_a: int = 0
+    src_cb_b: int = 1
+    dst_cb: int = 2
+    count: int = 0
+    dtype: DType = INT8
+    pop_inputs: bool = True
+
+    SUPPORTED = ("add", "mul", "sub", "max")
+
+    def __post_init__(self):
+        self.unit = "se"
+        if self.op not in self.SUPPORTED:
+            raise ValueError(f"unsupported elementwise op {self.op!r}")
+
+    def reads_cbs(self):
+        return (self.src_cb_a, self.src_cb_b)
+
+    def produces_cbs(self):
+        return (self.dst_cb,)
+
+    def consumes_cbs(self):
+        return (self.src_cb_a, self.src_cb_b) if self.pop_inputs else ()
+
+    def required_elements(self):
+        n = self.count * self.dtype.bytes
+        return {self.src_cb_a: n, self.src_cb_b: n}
+
+    def required_space(self):
+        return {self.dst_cb: self.count * self.dtype.bytes}

@@ -1,0 +1,21 @@
+"""The kernel library (Section 5, "Library of ML kernels").
+
+Hand-written kernels for the operators the paper's evaluation exercises:
+
+* :mod:`repro.kernels.fc` — the fully-connected (GEMM) kernel, a direct
+  implementation of the Section 4 mapping (Figures 7 and 8);
+* :mod:`repro.kernels.tbe` — EmbeddingBag / TableBatchedEmbedding;
+* :mod:`repro.kernels.batch_matmul` — batched GEMM on a single PE group;
+* :mod:`repro.kernels.memory_ops` — Concat / Transpose (MLU kernels);
+* :mod:`repro.kernels.quantize` — quantize / dequantize (SE kernels);
+* :mod:`repro.kernels.elementwise` — tanh & friends (SE kernels);
+* :mod:`repro.kernels.vector_ops` — LayerNorm / BatchedReduceAdd on the
+  RISC-V vector path (Section 7, "General-Purpose Compute").
+
+All kernels run on the functional simulator and are verified against
+numpy references by the test suite.
+"""
+
+from repro.kernels.fc import FCPlan, plan_fc, run_fc
+
+__all__ = ["FCPlan", "plan_fc", "run_fc"]

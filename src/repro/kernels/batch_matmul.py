@@ -1,0 +1,187 @@
+"""BatchMatMul kernel: many small independent GEMMs.
+
+DLRMs use batched matrix multiplies in their feature-interaction layers
+(Table III shows BatchMatMul at a few percent of execution time).
+Unlike the Section 4 FC mapping, each matmul here is small enough to
+live entirely inside one PE, so batches are simply distributed over the
+sub-grid (thread-level parallelism) and each PE runs a local
+producer/consumer pipeline: DMA the operand blocks in, MML with RE-bank
+accumulation over ``k``, reduce each 32x32 output block to local
+memory, and DMA it out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dtypes import DType, dtype as resolve_dtype
+from repro.isa.commands import (DMALoad, DMAStore, InitAccumulators, InitCB,
+                                MML, PopCB, Reduce)
+from repro.core.accelerator import Accelerator
+from repro.core.grid import SubGrid
+from repro.core.sync import Barrier
+from repro.sim import SimulationError
+
+CB_A, CB_B, CB_C = 0, 1, 2
+BLOCK = 32
+
+
+@dataclass
+class BMMConfig:
+    """One batched matmul: ``batch`` independent (m, k) x (k, n) GEMMs."""
+
+    batch: int
+    m: int
+    k: int
+    n: int
+    dtype: DType = None  # set in __post_init__
+
+    def __post_init__(self):
+        self.dtype = resolve_dtype(self.dtype or "int8")
+        for name, dim in (("m", self.m), ("k", self.k), ("n", self.n)):
+            if dim % BLOCK:
+                raise SimulationError(
+                    f"BMM {name}={dim} must be a multiple of {BLOCK} "
+                    "(pad on the host)")
+
+    @property
+    def macs_per_batch(self) -> int:
+        return self.m * self.k * self.n
+
+    @property
+    def total_macs(self) -> int:
+        return self.batch * self.macs_per_batch
+
+
+@dataclass
+class BMMResult:
+    output: np.ndarray      #: (batch, n, m) C^T blocks, INT32/FP32
+    cycles: float
+    config: BMMConfig
+
+    def tops(self, frequency_ghz: float) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return 2 * self.config.total_macs * frequency_ghz / self.cycles / 1e3
+
+
+def _program(ctx, batches: Sequence[int], config: BMMConfig, a_addr: int,
+             bt_addr: int, c_addr: int, barrier: Barrier) -> Generator:
+    """Single-core program: stream one batch at a time through the DPE."""
+    elem = config.dtype.bytes
+    m, k, n = config.m, config.k, config.n
+    mb, kb, nb = m // BLOCK, k // BLOCK, n // BLOCK
+    block_bytes = BLOCK * BLOCK * elem
+    a_bytes = m * k * elem
+    b_bytes = n * k * elem
+    out_block = BLOCK * BLOCK * 4
+    yield from ctx.issue(InitCB(cb_id=CB_A, base=0, size=a_bytes))
+    yield from ctx.issue(InitCB(cb_id=CB_B, base=a_bytes, size=b_bytes))
+    yield from ctx.issue(InitCB(cb_id=CB_C, base=a_bytes + b_bytes,
+                                size=2 * out_block))
+    yield from ctx.drain()
+    yield from barrier.wait()
+
+    for batch in batches:
+        # Load operands in 32x32 blocks so MML offsets are contiguous.
+        for mi in range(mb):
+            for ki in range(kb):
+                yield from ctx.issue(DMALoad(
+                    addr=a_addr + batch * a_bytes
+                    + (mi * BLOCK * k + ki * BLOCK) * elem,
+                    rows=BLOCK, row_bytes=BLOCK * elem, stride=k * elem,
+                    cb_id=CB_A))
+        for ni in range(nb):
+            for ki in range(kb):
+                yield from ctx.issue(DMALoad(
+                    addr=bt_addr + batch * b_bytes
+                    + (ni * BLOCK * k + ki * BLOCK) * elem,
+                    rows=BLOCK, row_bytes=BLOCK * elem, stride=k * elem,
+                    cb_id=CB_B))
+        bank = 0
+        for ni in range(nb):
+            for mi in range(mb):
+                yield from ctx.issue(InitAccumulators(banks=(bank,)))
+                for ki in range(kb):
+                    yield from ctx.issue(MML(
+                        acc=bank, m=BLOCK, k=BLOCK, n=BLOCK,
+                        cb_b=CB_B, cb_a=CB_A,
+                        offset_b=(ni * kb + ki) * block_bytes,
+                        offset_a=(mi * kb + ki) * block_bytes,
+                        dtype=config.dtype))
+                yield from ctx.issue(Reduce(banks_layout=((bank,),),
+                                            dest_cb=CB_C))
+                yield from ctx.issue(DMAStore(
+                    addr=c_addr + (batch * n * m
+                                   + ni * BLOCK * m + mi * BLOCK) * 4,
+                    rows=BLOCK, row_bytes=BLOCK * 4, stride=m * 4,
+                    cb_id=CB_C))
+                bank = (bank + 1) % 4
+        yield from ctx.issue(PopCB(cb_id=CB_A, nbytes=a_bytes))
+        yield from ctx.issue(PopCB(cb_id=CB_B, nbytes=b_bytes))
+    yield from ctx.drain()
+
+
+def run_bmm(acc: Accelerator, config: BMMConfig,
+            a: Optional[np.ndarray] = None,
+            b_t: Optional[np.ndarray] = None,
+            subgrid: Optional[SubGrid] = None,
+            seed: int = 0) -> BMMResult:
+    """Run a batched matmul; returns (batch, n, m) results + cycles.
+
+    ``a`` has shape (batch, m, k) and ``b_t`` (batch, n, k); random
+    operands are generated when omitted.
+    """
+    rng = np.random.default_rng(seed)
+    if a is None:
+        if config.dtype.name == "int8":
+            a = rng.integers(-128, 128, (config.batch, config.m, config.k),
+                             dtype=np.int8)
+            b_t = rng.integers(-128, 128, (config.batch, config.n, config.k),
+                               dtype=np.int8)
+        else:
+            a = rng.standard_normal(
+                (config.batch, config.m, config.k)).astype(
+                    config.dtype.numpy_dtype)
+            b_t = rng.standard_normal(
+                (config.batch, config.n, config.k)).astype(
+                    config.dtype.numpy_dtype)
+    if subgrid is None:
+        subgrid = acc.subgrid()
+    elem = config.dtype.bytes
+    need = (config.m * config.k + config.n * config.k) * elem + 2 * 32 * 32 * 4
+    if need > acc.config.local_memory.capacity_bytes:
+        raise SimulationError(
+            f"BMM operands need {need} B of local memory; tile the batch")
+
+    a_addr = acc.upload(np.ascontiguousarray(a))
+    bt_addr = acc.upload(np.ascontiguousarray(b_t))
+    c_addr = acc.alloc_dram(config.batch * config.n * config.m * 4)
+
+    pes = list(subgrid)
+    assignments: List[List[int]] = [[] for _ in pes]
+    for batch in range(config.batch):
+        assignments[batch % len(pes)].append(batch)
+    active = [(pe, b) for pe, b in zip(pes, assignments) if b]
+    barrier = acc.barrier(len(active), "bmm.start")
+    start = acc.engine.now
+    for pe, batches in active:
+        acc.launch(_program, pe.cores[0], batches, config, a_addr, bt_addr,
+                   c_addr, barrier, name=f"bmm{pe.coord}")
+    acc.run()
+    cycles = acc.engine.now - start
+    out_np = np.int32 if config.dtype.name == "int8" else np.float32
+    output = acc.download(c_addr, (config.batch, config.n, config.m), out_np)
+    return BMMResult(output=output, cycles=cycles, config=config)
+
+
+def bmm_reference(a: np.ndarray, b_t: np.ndarray) -> np.ndarray:
+    """Numpy reference: per-batch ``C^T = B^T x A^T``."""
+    if np.issubdtype(a.dtype, np.integer):
+        return np.einsum("bnk,bmk->bnm", b_t.astype(np.int64),
+                         a.astype(np.int64)).astype(np.int32)
+    return np.einsum("bnk,bmk->bnm", b_t.astype(np.float32),
+                     a.astype(np.float32)).astype(np.float32)

@@ -1,0 +1,162 @@
+"""Elementwise kernels: nonlinear functions and binary operations.
+
+The SE's LUT-based approximation path (Section 3.1.4) handles tanh,
+sigmoid, exp and friends; binary adds/muls use its FP ALUs.  Figure 13
+benchmarks Tanh among the "other operators" with SRAM/DRAM placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dtypes import FP32, dtype as resolve_dtype
+from repro.isa.commands import (DMALoad, DMAStore, ElementwiseCmd, InitCB,
+                                NonlinearCmd)
+from repro.core.accelerator import Accelerator
+from repro.core.grid import SubGrid
+from repro.core.sync import Barrier
+
+CB_IN, CB_IN2, CB_OUT = 0, 1, 2
+
+
+@dataclass
+class ElementwiseResult:
+    output: np.ndarray
+    cycles: float
+    moved_bytes: int
+
+    def gbs(self, frequency_ghz: float) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.moved_bytes * frequency_ghz / self.cycles
+
+
+def _nonlinear_program(ctx, tile_ids: Sequence[int], count: int,
+                       tile_elems: int, func: str, in_addr: int,
+                       out_addr: int, barrier: Barrier) -> Generator:
+    in_tile = tile_elems * 4
+    out_tile = tile_elems * 4
+    yield from ctx.issue(InitCB(cb_id=CB_IN, base=0, size=2 * in_tile))
+    yield from ctx.issue(InitCB(cb_id=CB_OUT, base=2 * in_tile,
+                                size=2 * out_tile))
+    yield from ctx.drain()
+    yield from barrier.wait()
+    for t in tile_ids:
+        elems = min(tile_elems, count - t * tile_elems)
+        yield from ctx.issue(DMALoad(addr=in_addr + t * in_tile,
+                                     row_bytes=elems * 4, cb_id=CB_IN))
+        yield from ctx.issue(NonlinearCmd(func=func, src_cb=CB_IN,
+                                          dst_cb=CB_OUT, count=elems,
+                                          src_dtype=FP32))
+        yield from ctx.issue(DMAStore(addr=out_addr + t * out_tile,
+                                      row_bytes=elems * 4, cb_id=CB_OUT))
+    yield from ctx.drain()
+
+
+def run_nonlinear(acc: Accelerator, values: Optional[np.ndarray] = None, *,
+                  count: Optional[int] = None, func: str = "tanh",
+                  tile_elems: int = 4096,
+                  subgrid: Optional[SubGrid] = None,
+                  in_sram: bool = False, seed: int = 0) -> ElementwiseResult:
+    """Apply a nonlinear function elementwise over a flat FP32 array."""
+    rng = np.random.default_rng(seed)
+    if values is None:
+        values = (rng.standard_normal(count) * 2).astype(np.float32)
+    count = values.size
+    alloc = acc.alloc_sram if in_sram else acc.alloc_dram
+    in_addr = alloc(values.nbytes)
+    acc.memory.poke(in_addr, np.ascontiguousarray(values))
+    out_addr = alloc(count * 4)
+
+    if subgrid is None:
+        subgrid = acc.subgrid()
+    num_tiles = (count + tile_elems - 1) // tile_elems
+    pes = list(subgrid)
+    assignments: List[List[int]] = [[] for _ in pes]
+    for t in range(num_tiles):
+        assignments[t % len(pes)].append(t)
+    active = [(pe, ts) for pe, ts in zip(pes, assignments) if ts]
+    barrier = acc.barrier(len(active), f"{func}.start")
+    start = acc.engine.now
+    for pe, ts in active:
+        acc.launch(_nonlinear_program, pe.cores[0], ts, count, tile_elems,
+                   func, in_addr, out_addr, barrier, name=f"{func}{pe.coord}")
+    acc.run()
+    output = acc.download(out_addr, (count,), np.float32)
+    return ElementwiseResult(output=output, cycles=acc.engine.now - start,
+                             moved_bytes=count * 8)
+
+
+def _binary_program(ctx, tile_ids: Sequence[int], count: int,
+                    tile_elems: int, op: str, elem_bytes: int, dtype,
+                    a_addr: int, b_addr: int, out_addr: int,
+                    barrier: Barrier) -> Generator:
+    tile_bytes = tile_elems * elem_bytes
+    yield from ctx.issue(InitCB(cb_id=CB_IN, base=0, size=2 * tile_bytes))
+    yield from ctx.issue(InitCB(cb_id=CB_IN2, base=2 * tile_bytes,
+                                size=2 * tile_bytes))
+    yield from ctx.issue(InitCB(cb_id=CB_OUT, base=4 * tile_bytes,
+                                size=2 * tile_bytes))
+    yield from ctx.drain()
+    yield from barrier.wait()
+    for t in tile_ids:
+        elems = min(tile_elems, count - t * tile_elems)
+        nbytes = elems * elem_bytes
+        yield from ctx.issue(DMALoad(addr=a_addr + t * tile_bytes,
+                                     row_bytes=nbytes, cb_id=CB_IN))
+        yield from ctx.issue(DMALoad(addr=b_addr + t * tile_bytes,
+                                     row_bytes=nbytes, cb_id=CB_IN2))
+        yield from ctx.issue(ElementwiseCmd(op=op, src_cb_a=CB_IN,
+                                            src_cb_b=CB_IN2, dst_cb=CB_OUT,
+                                            count=elems, dtype=dtype))
+        yield from ctx.issue(DMAStore(addr=out_addr + t * tile_bytes,
+                                      row_bytes=nbytes, cb_id=CB_OUT))
+    yield from ctx.drain()
+
+
+def run_binary(acc: Accelerator, a: Optional[np.ndarray] = None,
+               b: Optional[np.ndarray] = None, *,
+               count: Optional[int] = None, op: str = "add",
+               dtype="fp32", tile_elems: int = 4096,
+               subgrid: Optional[SubGrid] = None,
+               in_sram: bool = False, seed: int = 0) -> ElementwiseResult:
+    """Binary elementwise op over two flat arrays."""
+    dtype = resolve_dtype(dtype)
+    rng = np.random.default_rng(seed)
+    if a is None:
+        if dtype.name == "int8":
+            a = rng.integers(-64, 64, count, dtype=np.int8)
+            b = rng.integers(-64, 64, count, dtype=np.int8)
+        else:
+            a = rng.standard_normal(count).astype(dtype.numpy_dtype)
+            b = rng.standard_normal(count).astype(dtype.numpy_dtype)
+    count = a.size
+    elem = a.dtype.itemsize
+    alloc = acc.alloc_sram if in_sram else acc.alloc_dram
+    a_addr = alloc(a.nbytes)
+    acc.memory.poke(a_addr, np.ascontiguousarray(a))
+    b_addr = alloc(b.nbytes)
+    acc.memory.poke(b_addr, np.ascontiguousarray(b))
+    out_addr = alloc(a.nbytes)
+
+    if subgrid is None:
+        subgrid = acc.subgrid()
+    num_tiles = (count + tile_elems - 1) // tile_elems
+    pes = list(subgrid)
+    assignments: List[List[int]] = [[] for _ in pes]
+    for t in range(num_tiles):
+        assignments[t % len(pes)].append(t)
+    active = [(pe, ts) for pe, ts in zip(pes, assignments) if ts]
+    barrier = acc.barrier(len(active), f"{op}.start")
+    start = acc.engine.now
+    for pe, ts in active:
+        acc.launch(_binary_program, pe.cores[0], ts, count, tile_elems, op,
+                   elem, dtype, a_addr, b_addr, out_addr, barrier,
+                   name=f"{op}{pe.coord}")
+    acc.run()
+    output = acc.download(out_addr, (count,), a.dtype)
+    return ElementwiseResult(output=output, cycles=acc.engine.now - start,
+                             moved_bytes=count * 3 * elem)

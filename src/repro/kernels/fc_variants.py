@@ -1,0 +1,192 @@
+"""FC without the reduction network: the memory-reduce baseline.
+
+Section 3.5 argues the dedicated reduction network "not only offloads a
+large part of data transfer from the system's main on-chip network" but
+also avoids saving/restoring partial sums in memory.  This module
+implements the architecture-ablation counterfactual: the same Figure 7
+work distribution, but every PE in a k-chain writes its INT32 partial
+blocks to a DRAM scratch region, and a second phase re-loads and
+accumulates them with SE elementwise adds.
+
+``run_fc_memory_reduce`` is drop-in comparable with
+:func:`repro.kernels.fc.run_fc` (same operands, bit-exact result), so
+benchmarks can compare cycles, NoC traffic, and modelled energy.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+import numpy as np
+
+from repro.dtypes import INT32
+from repro.isa.commands import (DMALoad, DMAStore, ElementwiseCmd,
+                                InitAccumulators, InitCB, MML, PopCB, Reduce)
+from repro.core.accelerator import Accelerator
+from repro.core.grid import SubGrid
+from repro.core.sync import Barrier
+from repro.kernels.fc import (CB_A, CB_B, CB_C, FCPlan, FCResult, PEWork,
+                              TILE_K, TILE_MN, plan_fc, producer_program)
+
+#: CB ids for the accumulation phase.
+CB_P0, CB_P1, CB_OUT = 3, 4, 5
+
+BLOCK_ELEMS = TILE_MN * TILE_MN          # one 64x64 output block
+BLOCK_BYTES = BLOCK_ELEMS * 4
+
+
+def _partial_addr(scratch: int, plan: FCPlan, work: PEWork,
+                  m: int, n: int) -> int:
+    """Scratch address of one PE's partial for output block (m, n)."""
+    blocks_m = plan.m // TILE_MN
+    blocks_n = plan.n // TILE_MN
+    block_index = (n // TILE_MN) * blocks_m + (m // TILE_MN)
+    return (scratch
+            + (work.chain_index * blocks_m * blocks_n + block_index)
+            * BLOCK_BYTES)
+
+
+def consumer_store_partials(ctx, work: PEWork, plan: FCPlan, addrs,
+                            scratch: int, barrier: Barrier) -> Generator:
+    """Phase 1 consumer: MML as usual, then spill partials to DRAM."""
+    elem = plan.dtype.bytes
+    block = TILE_K * 32 * elem
+    yield from barrier.wait()
+    for m in range(work.m_begin, work.m_end, TILE_MN):
+        off_b = 0
+        for n in range(work.n_begin, work.n_end, TILE_MN):
+            off_a = 0
+            yield from ctx.issue(InitAccumulators(banks=(0, 1, 2, 3)))
+            last_m = m + TILE_MN >= work.m_end
+            last_n = n + TILE_MN >= work.n_end
+            for k in range(work.k_begin, work.k_end, TILE_K):
+                for acc, (db, da) in enumerate(
+                        ((0, 0), (0, block), (block, 0), (block, block))):
+                    yield from ctx.issue(MML(
+                        acc=acc, m=32, k=TILE_K, n=32,
+                        cb_b=CB_B, cb_a=CB_A,
+                        offset_b=off_b + db, offset_a=off_a + da,
+                        dtype=plan.dtype))
+                if last_m:
+                    yield from ctx.issue(PopCB(cb_id=CB_B, nbytes=2 * block))
+                else:
+                    off_b += 2 * block
+                if last_n:
+                    yield from ctx.issue(PopCB(cb_id=CB_A, nbytes=2 * block))
+                else:
+                    off_a += 2 * block
+            # Spill this PE's partial block instead of forwarding it
+            # over the reduction network.
+            yield from ctx.issue(Reduce(dest_cb=CB_C))
+            yield from ctx.issue(DMAStore(
+                addr=_partial_addr(scratch, plan, work, m, n),
+                row_bytes=BLOCK_BYTES, cb_id=CB_C))
+    yield from ctx.drain()
+
+
+def accumulate_program(ctx, work: PEWork, plan: FCPlan, addrs,
+                       scratch: int, phase_barrier: Barrier) -> Generator:
+    """Phase 2: the chain's last PE re-loads and sums the partials.
+
+    Each 64x64 output block costs ``k_split`` loads, ``k_split - 1``
+    elementwise adds, and one store — all traffic the reduction network
+    version never generates.
+    """
+    _, _, c_addr = addrs
+    yield from phase_barrier.wait()
+    if not work.last_in_chain:
+        return
+    yield from ctx.issue(InitCB(cb_id=CB_P0, base=0, size=2 * BLOCK_BYTES))
+    yield from ctx.issue(InitCB(cb_id=CB_P1, base=2 * BLOCK_BYTES,
+                                size=2 * BLOCK_BYTES))
+    yield from ctx.issue(InitCB(cb_id=CB_OUT, base=4 * BLOCK_BYTES,
+                                size=2 * BLOCK_BYTES))
+    yield from ctx.drain()
+    for m in range(work.m_begin, work.m_end, TILE_MN):
+        for n in range(work.n_begin, work.n_end, TILE_MN):
+            peers = []
+            for chain_pos in range(work.chain_length):
+                peer = PEWork(coord=work.coord, m_begin=0, m_end=0,
+                              n_begin=0, n_end=0, k_begin=0, k_end=0,
+                              chain_index=chain_pos,
+                              chain_length=work.chain_length)
+                peers.append(_partial_addr(scratch, plan, peer, m, n))
+            if len(peers) == 1:
+                yield from ctx.issue(DMALoad(addr=peers[0],
+                                             row_bytes=BLOCK_BYTES,
+                                             cb_id=CB_OUT))
+            else:
+                yield from ctx.issue(DMALoad(addr=peers[0],
+                                             row_bytes=BLOCK_BYTES,
+                                             cb_id=CB_P0))
+                for addr in peers[1:]:
+                    yield from ctx.issue(DMALoad(addr=addr,
+                                                 row_bytes=BLOCK_BYTES,
+                                                 cb_id=CB_P1))
+                    target = CB_OUT if addr is peers[-1] else CB_P0
+                    yield from ctx.issue(ElementwiseCmd(
+                        op="add", src_cb_a=CB_P0, src_cb_b=CB_P1,
+                        dst_cb=target, count=BLOCK_ELEMS, dtype=INT32))
+            yield from ctx.issue(DMAStore(
+                addr=c_addr + (n * plan.m + m) * 4,
+                rows=TILE_MN, row_bytes=TILE_MN * 4,
+                stride=plan.m * 4, cb_id=CB_OUT))
+    yield from ctx.drain()
+
+
+def run_fc_memory_reduce(acc: Accelerator,
+                         a: Optional[np.ndarray] = None,
+                         b_t: Optional[np.ndarray] = None, *,
+                         m: Optional[int] = None, k: Optional[int] = None,
+                         n: Optional[int] = None,
+                         subgrid: Optional[SubGrid] = None,
+                         k_split: Optional[int] = None,
+                         seed: int = 0) -> FCResult:
+    """The no-reduction-network FC; INT8 only, bit-exact result."""
+    rng = np.random.default_rng(seed)
+    if a is None:
+        if None in (m, k, n):
+            raise ValueError("pass operand arrays or all of m, k, n")
+        a = rng.integers(-128, 128, size=(m, k), dtype=np.int8)
+        b_t = rng.integers(-128, 128, size=(n, k), dtype=np.int8)
+    m, k = a.shape
+    n = b_t.shape[0]
+    if subgrid is None:
+        subgrid = acc.subgrid((0, 0), 1, 1)
+    plan = plan_fc(subgrid, m, k, n, "int8", k_split=k_split)
+
+    a_addr = acc.upload(np.ascontiguousarray(a))
+    bt_addr = acc.upload(np.ascontiguousarray(b_t))
+    c_addr = acc.alloc_dram(n * m * 4)
+    addrs = (a_addr, bt_addr, c_addr)
+    blocks = (plan.m // TILE_MN) * (plan.n // TILE_MN)
+    scratch = acc.alloc_dram(plan.k_split * blocks * BLOCK_BYTES)
+
+    start_barrier = acc.barrier(2 * plan.subgrid.num_pes, "fcmr.start")
+    # Phase barrier: every PE's phase-1 streams must finish before any
+    # accumulation load — without the reduction network the firmware
+    # needs this explicit global synchronisation.
+    phase_barrier = acc.barrier(2 * plan.subgrid.num_pes, "fcmr.phase")
+
+    def phase1_then_wait(ctx, work):
+        yield from producer_program(ctx, work, plan, addrs, start_barrier)
+        yield from phase_barrier.wait()
+
+    def consumer_then_accumulate(ctx, work):
+        yield from consumer_store_partials(ctx, work, plan, addrs, scratch,
+                                           start_barrier)
+        yield from accumulate_program(ctx, work, plan, addrs, scratch,
+                                      phase_barrier)
+
+    start = acc.engine.now
+    for work in plan.work_items:
+        pe = acc.grid.pe(*work.coord)
+        acc.launch(phase1_then_wait, pe.cores[0], work,
+                   name=f"fcmr.prod{work.coord}")
+        acc.launch(consumer_then_accumulate, pe.cores[1], work,
+                   name=f"fcmr.cons{work.coord}")
+    acc.run()
+    cycles = acc.engine.now - start
+
+    c_t = acc.download(c_addr, (n, m), np.int32)
+    return FCResult(c_t=c_t, cycles=cycles, plan=plan, macs=m * n * k)

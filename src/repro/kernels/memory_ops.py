@@ -1,0 +1,193 @@
+"""Transpose and Concat kernels (Memory Layout Unit operators).
+
+Table III shows Transpose and Concat at a combined ~11-17 % of DLRM
+execution time; Figure 13 benchmarks them with data placed in SRAM and
+in DRAM.  Both are pure data-movement operators: tiles/rows stream
+through a PE's MLU with DMA on either side, and tiles are distributed
+over the sub-grid round-robin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dtypes import DType, dtype as resolve_dtype
+from repro.isa.commands import ConcatCmd, DMALoad, DMAStore, InitCB, TransposeCmd
+from repro.core.accelerator import Accelerator
+from repro.core.grid import SubGrid
+from repro.core.sync import Barrier
+from repro.sim import SimulationError
+
+CB_IN, CB_IN2, CB_OUT = 0, 1, 2
+
+
+@dataclass
+class MemOpResult:
+    output: np.ndarray
+    cycles: float
+    moved_bytes: int
+
+    def gbs(self, frequency_ghz: float) -> float:
+        """Achieved (read + write) bandwidth in GB/s."""
+        if self.cycles <= 0:
+            return 0.0
+        return 2 * self.moved_bytes * frequency_ghz / self.cycles
+
+
+# ---------------------------------------------------------------------------
+# Transpose
+# ---------------------------------------------------------------------------
+
+def _transpose_program(ctx, tiles: Sequence[Tuple[int, int]],
+                       rows: int, cols: int, tile: int, elem_bytes: int,
+                       dtype: DType, in_addr: int, out_addr: int,
+                       barrier: Barrier) -> Generator:
+    tile_bytes = tile * tile * elem_bytes
+    yield from ctx.issue(InitCB(cb_id=CB_IN, base=0, size=2 * tile_bytes))
+    yield from ctx.issue(InitCB(cb_id=CB_OUT, base=2 * tile_bytes,
+                                size=2 * tile_bytes))
+    yield from ctx.drain()
+    yield from barrier.wait()
+    for r0, c0 in tiles:
+        yield from ctx.issue(DMALoad(
+            addr=in_addr + (r0 * cols + c0) * elem_bytes,
+            rows=tile, row_bytes=tile * elem_bytes, stride=cols * elem_bytes,
+            cb_id=CB_IN))
+        yield from ctx.issue(TransposeCmd(
+            src_cb=CB_IN, dst_cb=CB_OUT, rows=tile, cols=tile,
+            dtype=dtype, pop_input=True))
+        yield from ctx.issue(DMAStore(
+            addr=out_addr + (c0 * rows + r0) * elem_bytes,
+            rows=tile, row_bytes=tile * elem_bytes, stride=rows * elem_bytes,
+            cb_id=CB_OUT))
+    yield from ctx.drain()
+
+
+def run_transpose(acc: Accelerator, array: Optional[np.ndarray] = None, *,
+                  rows: Optional[int] = None, cols: Optional[int] = None,
+                  dtype="int8", tile: int = 32,
+                  subgrid: Optional[SubGrid] = None,
+                  in_sram: bool = False, seed: int = 0) -> MemOpResult:
+    """Transpose a (rows, cols) matrix on the grid; returns (cols, rows).
+
+    ``in_sram`` places input and output in the on-chip scratchpad
+    (requires the accelerator to be built with scratchpad mode) —
+    the Figure 13 SRAM-vs-DRAM comparison.
+    """
+    dtype = resolve_dtype(dtype)
+    if array is None:
+        rng = np.random.default_rng(seed)
+        info = np.iinfo(np.int8) if dtype.name == "int8" else None
+        if info:
+            array = rng.integers(info.min, info.max + 1, (rows, cols),
+                                 dtype=np.int8)
+        else:
+            array = rng.standard_normal((rows, cols)).astype(dtype.numpy_dtype)
+    rows, cols = array.shape
+    if rows % tile or cols % tile:
+        raise SimulationError(f"{rows}x{cols} must tile by {tile}")
+    elem = array.dtype.itemsize
+    alloc = acc.alloc_sram if in_sram else acc.alloc_dram
+    in_addr = alloc(array.nbytes)
+    acc.memory.poke(in_addr, np.ascontiguousarray(array))
+    out_addr = alloc(array.nbytes)
+
+    if subgrid is None:
+        subgrid = acc.subgrid()
+    tiles = [(r0, c0) for r0 in range(0, rows, tile)
+             for c0 in range(0, cols, tile)]
+    pes = list(subgrid)
+    assignments: List[List[Tuple[int, int]]] = [[] for _ in pes]
+    for i, t in enumerate(tiles):
+        assignments[i % len(pes)].append(t)
+    active = [(pe, ts) for pe, ts in zip(pes, assignments) if ts]
+    barrier = acc.barrier(len(active), "transpose.start")
+    start = acc.engine.now
+    for pe, ts in active:
+        acc.launch(_transpose_program, pe.cores[0], ts, rows, cols, tile,
+                   elem, dtype, in_addr, out_addr, barrier,
+                   name=f"transpose{pe.coord}")
+    acc.run()
+    output = acc.download(out_addr, (cols, rows), array.dtype)
+    return MemOpResult(output=output, cycles=acc.engine.now - start,
+                       moved_bytes=array.nbytes)
+
+
+# ---------------------------------------------------------------------------
+# Concat
+# ---------------------------------------------------------------------------
+
+def _concat_program(ctx, row_ids: Sequence[int], cols_a: int, cols_b: int,
+                    elem_bytes: int, a_addr: int, b_addr: int, out_addr: int,
+                    barrier: Barrier) -> Generator:
+    a_bytes = cols_a * elem_bytes
+    b_bytes = cols_b * elem_bytes
+    out_bytes = a_bytes + b_bytes
+    yield from ctx.issue(InitCB(cb_id=CB_IN, base=0, size=2 * a_bytes))
+    yield from ctx.issue(InitCB(cb_id=CB_IN2, base=2 * a_bytes,
+                                size=2 * b_bytes))
+    yield from ctx.issue(InitCB(cb_id=CB_OUT, base=2 * (a_bytes + b_bytes),
+                                size=2 * out_bytes))
+    yield from ctx.drain()
+    yield from barrier.wait()
+    for row in row_ids:
+        yield from ctx.issue(DMALoad(addr=a_addr + row * a_bytes,
+                                     row_bytes=a_bytes, cb_id=CB_IN))
+        yield from ctx.issue(DMALoad(addr=b_addr + row * b_bytes,
+                                     row_bytes=b_bytes, cb_id=CB_IN2))
+        yield from ctx.issue(ConcatCmd(src_cbs=(CB_IN, CB_IN2),
+                                       src_nbytes=(a_bytes, b_bytes),
+                                       dst_cb=CB_OUT))
+        yield from ctx.issue(DMAStore(addr=out_addr + row * out_bytes,
+                                      row_bytes=out_bytes, cb_id=CB_OUT))
+    yield from ctx.drain()
+
+
+def run_concat(acc: Accelerator, a: Optional[np.ndarray] = None,
+               b: Optional[np.ndarray] = None, *,
+               rows: Optional[int] = None, cols_a: Optional[int] = None,
+               cols_b: Optional[int] = None, dtype="int8",
+               subgrid: Optional[SubGrid] = None,
+               in_sram: bool = False, seed: int = 0) -> MemOpResult:
+    """Concatenate two (rows, cols) matrices along axis 1."""
+    dtype = resolve_dtype(dtype)
+    rng = np.random.default_rng(seed)
+    if a is None:
+        if dtype.name == "int8":
+            a = rng.integers(-128, 128, (rows, cols_a), dtype=np.int8)
+            b = rng.integers(-128, 128, (rows, cols_b), dtype=np.int8)
+        else:
+            a = rng.standard_normal((rows, cols_a)).astype(dtype.numpy_dtype)
+            b = rng.standard_normal((rows, cols_b)).astype(dtype.numpy_dtype)
+    rows = a.shape[0]
+    cols_a, cols_b = a.shape[1], b.shape[1]
+    if b.shape[0] != rows:
+        raise SimulationError("concat inputs must share the row count")
+    elem = a.dtype.itemsize
+    alloc = acc.alloc_sram if in_sram else acc.alloc_dram
+    a_addr = alloc(a.nbytes)
+    acc.memory.poke(a_addr, np.ascontiguousarray(a))
+    b_addr = alloc(b.nbytes)
+    acc.memory.poke(b_addr, np.ascontiguousarray(b))
+    out_addr = alloc(a.nbytes + b.nbytes)
+
+    if subgrid is None:
+        subgrid = acc.subgrid()
+    pes = list(subgrid)
+    assignments: List[List[int]] = [[] for _ in pes]
+    for row in range(rows):
+        assignments[row % len(pes)].append(row)
+    active = [(pe, rs) for pe, rs in zip(pes, assignments) if rs]
+    barrier = acc.barrier(len(active), "concat.start")
+    start = acc.engine.now
+    for pe, rs in active:
+        acc.launch(_concat_program, pe.cores[0], rs, cols_a, cols_b, elem,
+                   a_addr, b_addr, out_addr, barrier,
+                   name=f"concat{pe.coord}")
+    acc.run()
+    output = acc.download(out_addr, (rows, cols_a + cols_b), a.dtype)
+    return MemOpResult(output=output, cycles=acc.engine.now - start,
+                       moved_bytes=a.nbytes + b.nbytes)

@@ -1,0 +1,242 @@
+"""Vector-core kernels: LayerNorm and BatchedReduceAdd.
+
+Section 7 ("General-Purpose Compute"): operators that arrived after the
+architecture was defined have no fixed-function support; the RISC-V
+vector extension on core 1 implements them, "and these implementations
+proved superior to versions using scalar cores and fixed function
+units".  These kernels therefore run entirely on core 1's vector unit,
+with DMA staging through circular buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.isa.commands import DMALoad, DMAStore, InitCB, PushCB
+from repro.core.accelerator import Accelerator
+from repro.core.grid import SubGrid
+from repro.core.sync import Barrier
+
+CB_IN, CB_OUT = 0, 1
+
+
+@dataclass
+class VectorOpResult:
+    output: np.ndarray
+    cycles: float
+    moved_bytes: int
+
+    def gbs(self, frequency_ghz: float) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.moved_bytes * frequency_ghz / self.cycles
+
+
+def _layernorm_program(ctx, row_ids: Sequence[int], dim: int, eps: float,
+                       in_addr: int, out_addr: int,
+                       barrier: Barrier) -> Generator:
+    pe = ctx.pe
+    row_bytes = dim * 4
+    yield from ctx.issue(InitCB(cb_id=CB_IN, base=0, size=2 * row_bytes))
+    yield from ctx.issue(InitCB(cb_id=CB_OUT, base=2 * row_bytes,
+                                size=2 * row_bytes))
+    yield from ctx.drain()
+    yield from barrier.wait()
+    in_cb, out_cb = pe.cb(CB_IN), pe.cb(CB_OUT)
+    for row in row_ids:
+        yield from ctx.issue(DMALoad(addr=in_addr + row * row_bytes,
+                                     row_bytes=row_bytes, cb_id=CB_IN))
+        yield in_cb.wait_elements(row_bytes)
+        yield out_cb.wait_space(row_bytes)
+        yield from ctx.vector.layernorm(in_cb.base + in_cb.read_ptr, dim,
+                                        out_cb.base + out_cb.write_ptr,
+                                        eps=eps)
+        in_cb.pop(row_bytes)
+        yield from ctx.issue_and_wait(PushCB(cb_id=CB_OUT, nbytes=row_bytes))
+        yield from ctx.issue(DMAStore(addr=out_addr + row * row_bytes,
+                                      row_bytes=row_bytes, cb_id=CB_OUT))
+    yield from ctx.drain()
+
+
+def run_layernorm(acc: Accelerator, values: Optional[np.ndarray] = None, *,
+                  batch: Optional[int] = None, dim: Optional[int] = None,
+                  eps: float = 1e-5, subgrid: Optional[SubGrid] = None,
+                  seed: int = 0) -> VectorOpResult:
+    """Row-wise LayerNorm of a (batch, dim) FP32 array on the vector cores."""
+    rng = np.random.default_rng(seed)
+    if values is None:
+        values = rng.standard_normal((batch, dim)).astype(np.float32)
+    batch, dim = values.shape
+    in_addr = acc.upload(np.ascontiguousarray(values))
+    out_addr = acc.alloc_dram(values.nbytes)
+
+    if subgrid is None:
+        subgrid = acc.subgrid()
+    pes = list(subgrid)
+    assignments: List[List[int]] = [[] for _ in pes]
+    for row in range(batch):
+        assignments[row % len(pes)].append(row)
+    active = [(pe, rs) for pe, rs in zip(pes, assignments) if rs]
+    barrier = acc.barrier(len(active), "layernorm.start")
+    start = acc.engine.now
+    for pe, rs in active:
+        # Core 1 carries the vector extension (Section 3.2).
+        acc.launch(_layernorm_program, pe.cores[1], rs, dim, eps, in_addr,
+                   out_addr, barrier, name=f"ln{pe.coord}")
+    acc.run()
+    output = acc.download(out_addr, (batch, dim), np.float32)
+    return VectorOpResult(output=output, cycles=acc.engine.now - start,
+                          moved_bytes=2 * values.nbytes)
+
+
+def layernorm_reference(values: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    x = values.astype(np.float64)
+    mean = x.mean(axis=1, keepdims=True)
+    var = x.var(axis=1, keepdims=True)
+    return ((x - mean) / np.sqrt(var + eps)).astype(np.float32)
+
+
+def _softmax_program(ctx, row_ids, dim: int, in_addr: int, out_addr: int,
+                     barrier: Barrier) -> Generator:
+    """Softmax rows via the SE's exp LUT plus vector normalisation.
+
+    A genuinely cross-unit pipeline: the DMA engines stage the row, the
+    SIMD Engine applies the exponential through its lookup table
+    (Section 3.1.4), and the vector core reduces and rescales — the
+    kind of operator composition the PE's coarse-grained pipeline
+    (Section 3.1) was designed for.
+    """
+    from repro.isa.commands import NonlinearCmd
+    from repro.dtypes import FP32
+
+    pe = ctx.pe
+    row_bytes = dim * 4
+    CB_EXP = 2
+    yield from ctx.issue(InitCB(cb_id=CB_IN, base=0, size=2 * row_bytes))
+    yield from ctx.issue(InitCB(cb_id=CB_EXP, base=2 * row_bytes,
+                                size=2 * row_bytes))
+    yield from ctx.issue(InitCB(cb_id=CB_OUT, base=4 * row_bytes,
+                                size=2 * row_bytes))
+    yield from ctx.drain()
+    yield from barrier.wait()
+    exp_cb, out_cb = pe.cb(CB_EXP), pe.cb(CB_OUT)
+    for row in row_ids:
+        yield from ctx.issue(DMALoad(addr=in_addr + row * row_bytes,
+                                     row_bytes=row_bytes, cb_id=CB_IN))
+        yield from ctx.issue_and_wait(NonlinearCmd(
+            func="exp", src_cb=CB_IN, dst_cb=CB_EXP, count=dim,
+            src_dtype=FP32))
+        yield exp_cb.wait_elements(row_bytes)
+        yield out_cb.wait_space(row_bytes)
+        exp_addr = exp_cb.base + exp_cb.read_ptr
+        total = yield from ctx.vector.reduce_add(exp_addr, dim)
+        yield from ctx.vector.scale(exp_addr,
+                                    out_cb.base + out_cb.write_ptr,
+                                    dim, 1.0 / total)
+        exp_cb.pop(row_bytes)
+        yield from ctx.issue_and_wait(PushCB(cb_id=CB_OUT,
+                                             nbytes=row_bytes))
+        yield from ctx.issue(DMAStore(addr=out_addr + row * row_bytes,
+                                      row_bytes=row_bytes, cb_id=CB_OUT))
+    yield from ctx.drain()
+
+
+def run_softmax(acc: Accelerator, values: Optional[np.ndarray] = None, *,
+                batch: Optional[int] = None, dim: Optional[int] = None,
+                subgrid: Optional[SubGrid] = None,
+                seed: int = 0) -> VectorOpResult:
+    """Row-wise softmax of a (batch, dim) FP32 array.
+
+    Inputs are shifted by the row max on the host (standard numerical
+    hygiene) so the SE's bounded LUT domain is respected.
+    """
+    rng = np.random.default_rng(seed)
+    if values is None:
+        values = rng.standard_normal((batch, dim)).astype(np.float32)
+    batch, dim = values.shape
+    shifted = values - values.max(axis=1, keepdims=True)
+    in_addr = acc.upload(np.ascontiguousarray(shifted.astype(np.float32)))
+    out_addr = acc.alloc_dram(values.nbytes)
+
+    if subgrid is None:
+        subgrid = acc.subgrid()
+    pes = list(subgrid)
+    assignments = [[] for _ in pes]
+    for row in range(batch):
+        assignments[row % len(pes)].append(row)
+    active = [(pe, rs) for pe, rs in zip(pes, assignments) if rs]
+    barrier = acc.barrier(len(active), "softmax.start")
+    start = acc.engine.now
+    for pe, rs in active:
+        acc.launch(_softmax_program, pe.cores[1], rs, dim, in_addr,
+                   out_addr, barrier, name=f"softmax{pe.coord}")
+    acc.run()
+    output = acc.download(out_addr, (batch, dim), np.float32)
+    return VectorOpResult(output=output, cycles=acc.engine.now - start,
+                          moved_bytes=2 * values.nbytes)
+
+
+def _reduce_add_program(ctx, col0: int, cols: int, rows: int,
+                        total_cols: int, in_addr: int, out_addr: int,
+                        barrier: Barrier) -> Generator:
+    pe = ctx.pe
+    slice_bytes = cols * 4
+    yield from ctx.issue(InitCB(cb_id=CB_IN, base=0, size=4 * slice_bytes))
+    yield from ctx.issue(InitCB(cb_id=CB_OUT, base=4 * slice_bytes,
+                                size=2 * slice_bytes))
+    yield from ctx.drain()
+    yield from barrier.wait()
+    in_cb, out_cb = pe.cb(CB_IN), pe.cb(CB_OUT)
+    yield out_cb.wait_space(slice_bytes)
+    acc_addr = out_cb.base + out_cb.write_ptr
+    yield from ctx.vector.fill(acc_addr, cols, 0.0)
+    for row in range(rows):
+        yield from ctx.issue(DMALoad(
+            addr=in_addr + (row * total_cols + col0) * 4,
+            row_bytes=slice_bytes, cb_id=CB_IN))
+        yield in_cb.wait_elements(slice_bytes)
+        yield from ctx.vector.binary_op(
+            "add", in_cb.base + in_cb.read_ptr, acc_addr, acc_addr, cols)
+        in_cb.pop(slice_bytes)
+    yield from ctx.issue_and_wait(PushCB(cb_id=CB_OUT, nbytes=slice_bytes))
+    yield from ctx.issue(DMAStore(addr=out_addr + col0 * 4,
+                                  row_bytes=slice_bytes, cb_id=CB_OUT))
+    yield from ctx.drain()
+
+
+def run_batched_reduce_add(acc: Accelerator,
+                           values: Optional[np.ndarray] = None, *,
+                           rows: Optional[int] = None,
+                           cols: Optional[int] = None,
+                           subgrid: Optional[SubGrid] = None,
+                           seed: int = 0) -> VectorOpResult:
+    """Column-wise sum of a (rows, cols) FP32 array on the vector cores.
+
+    Columns are partitioned over the sub-grid; each PE streams its
+    column slice through an FP32 accumulator.
+    """
+    rng = np.random.default_rng(seed)
+    if values is None:
+        values = rng.standard_normal((rows, cols)).astype(np.float32)
+    rows, cols = values.shape
+    in_addr = acc.upload(np.ascontiguousarray(values))
+    out_addr = acc.alloc_dram(cols * 4)
+
+    if subgrid is None:
+        subgrid = acc.subgrid()
+    pes = list(subgrid)
+    num = min(len(pes), cols)
+    per = (cols + num - 1) // num
+    slices = [(c0, min(per, cols - c0)) for c0 in range(0, cols, per)]
+    barrier = acc.barrier(len(slices), "bra.start")
+    start = acc.engine.now
+    for pe, (c0, width) in zip(pes, slices):
+        acc.launch(_reduce_add_program, pe.cores[1], c0, width, rows, cols,
+                   in_addr, out_addr, barrier, name=f"bra{pe.coord}")
+    acc.run()
+    output = acc.download(out_addr, (cols,), np.float32)
+    return VectorOpResult(output=output, cycles=acc.engine.now - start,
+                          moved_bytes=values.nbytes + cols * 4)

@@ -1,0 +1,36 @@
+"""Memory subsystem models: PE-local memory, on-chip SRAM, off-chip DRAM.
+
+The hierarchy follows Section 3.3/3.4 of the paper:
+
+* each PE has 128 KB of banked local memory fronted by circular buffers;
+* 128 MB of on-chip SRAM sits in slices around the grid and can run as
+  an addressable scratchpad or as a memory-side cache (four slices per
+  DRAM controller);
+* four LPDDR5 controllers per side provide 176 GB/s of theoretical
+  off-chip bandwidth.
+
+Data is held functionally in sparse byte stores; timing is charged on
+per-component :class:`repro.sim.Resource` bandwidth models plus access
+latencies.
+"""
+
+from repro.memory.address_map import AddressMap, AddressRange
+from repro.memory.backing_store import SparseByteStore
+from repro.memory.cache import CacheStats, SetAssociativeCache
+from repro.memory.dram import DRAMModel
+from repro.memory.local_memory import LocalMemory
+from repro.memory.sram import SRAMMode, SRAMModel
+from repro.memory.system import MemorySystem
+
+__all__ = [
+    "AddressMap",
+    "AddressRange",
+    "CacheStats",
+    "DRAMModel",
+    "LocalMemory",
+    "MemorySystem",
+    "SetAssociativeCache",
+    "SparseByteStore",
+    "SRAMMode",
+    "SRAMModel",
+]

@@ -1,0 +1,122 @@
+"""System address map and interleaving.
+
+Section 3.4: "Memory addresses are distributed across these controllers,
+and among the on-chip SRAM slices."  We interleave at cache-line (64 B)
+granularity across DRAM channels, and at the same granularity across
+SRAM slices.  In cache mode, each group of four SRAM slices caches the
+addresses of one DRAM controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ChipConfig
+
+#: Interleave granularity in bytes (one cache line).
+INTERLEAVE_BYTES = 64
+
+#: Start of the on-chip SRAM scratchpad region in the system address map.
+SRAM_BASE = 1 << 40
+#: Start of the per-PE local-memory apertures in the system address map.
+LOCAL_BASE = 1 << 44
+#: Size of each PE's local-memory aperture.
+LOCAL_APERTURE = 1 << 20
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A half-open [base, base+size) address range."""
+
+    base: int
+    size: int
+
+    def __contains__(self, addr: int) -> bool:
+        return self.base <= addr < self.base + self.size
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def offset(self, addr: int) -> int:
+        if addr not in self:
+            raise IndexError(f"{addr:#x} not in [{self.base:#x}, {self.end:#x})")
+        return addr - self.base
+
+
+class AddressMap:
+    """Resolves system addresses to memory targets.
+
+    The map exposes three regions:
+
+    * DRAM: ``[0, dram_capacity)``
+    * SRAM scratchpad: ``[SRAM_BASE, SRAM_BASE + sram_capacity)``
+    * PE local apertures: ``LOCAL_BASE + pe_index * LOCAL_APERTURE``
+    """
+
+    def __init__(self, config: ChipConfig) -> None:
+        self.config = config
+        self.dram_range = AddressRange(0, config.dram.capacity_bytes)
+        self.sram_range = AddressRange(SRAM_BASE, config.sram.capacity_bytes)
+        self.local_ranges = [
+            AddressRange(LOCAL_BASE + pe * LOCAL_APERTURE,
+                         config.local_memory.capacity_bytes)
+            for pe in range(config.num_pes)
+        ]
+
+    # -- region classification ----------------------------------------
+    def region(self, addr: int) -> str:
+        """Return "dram", "sram", or "local" for ``addr``."""
+        if addr in self.dram_range:
+            return "dram"
+        if addr in self.sram_range:
+            return "sram"
+        if LOCAL_BASE <= addr < LOCAL_BASE + self.config.num_pes * LOCAL_APERTURE:
+            return "local"
+        raise IndexError(f"address {addr:#x} is unmapped")
+
+    def local_pe_index(self, addr: int) -> int:
+        """PE index owning a local-aperture address."""
+        if self.region(addr) != "local":
+            raise IndexError(f"{addr:#x} is not a local aperture address")
+        return (addr - LOCAL_BASE) // LOCAL_APERTURE
+
+    def local_address(self, pe_index: int, offset: int = 0) -> int:
+        """System address of byte ``offset`` in PE ``pe_index`` local memory."""
+        return self.local_ranges[pe_index].base + offset
+
+    # -- interleaving --------------------------------------------------
+    def dram_channel(self, addr: int) -> int:
+        """DRAM channel serving ``addr`` (line interleaved)."""
+        line = self.dram_range.offset(addr) // INTERLEAVE_BYTES
+        return line % self.config.dram.num_channels
+
+    def dram_controller(self, addr: int) -> int:
+        """DRAM controller serving ``addr``."""
+        return self.dram_channel(addr) // self.config.dram.channels_per_controller
+
+    def sram_slice(self, addr: int) -> int:
+        """SRAM slice serving a scratchpad address (line interleaved)."""
+        line = self.sram_range.offset(addr) // INTERLEAVE_BYTES
+        return line % self.config.sram.num_slices
+
+    def cache_slice_for_dram(self, addr: int) -> int:
+        """SRAM slice caching a DRAM address in cache mode.
+
+        Each controller's addresses are spread over its four dedicated
+        slices, again at line granularity (Section 3.4).
+        """
+        controller = self.dram_controller(addr)
+        per = self.config.sram.slices_per_controller
+        line = self.dram_range.offset(addr) // INTERLEAVE_BYTES
+        sub = (line // self.config.dram.num_channels) % per
+        return controller * per + sub
+
+    def split_by_interleave(self, addr: int, nbytes: int):
+        """Yield (addr, size) line-granularity fragments of an access."""
+        end = addr + nbytes
+        while addr < end:
+            chunk = min(end - addr,
+                        INTERLEAVE_BYTES - (addr % INTERLEAVE_BYTES))
+            yield addr, chunk
+            addr += chunk

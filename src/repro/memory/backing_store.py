@@ -1,0 +1,75 @@
+"""Sparse byte-addressable backing store.
+
+The accelerator supports up to 128 GB of off-chip memory; allocating
+that eagerly is out of the question, so data lives in 64 KB pages
+allocated on first touch.  Reads of untouched memory return zeros,
+matching the simulator convention that fresh memory is zero-filled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+PAGE_BITS = 16
+PAGE_SIZE = 1 << PAGE_BITS
+
+
+class SparseByteStore:
+    """A byte array of ``capacity`` bytes, materialised page by page."""
+
+    def __init__(self, capacity: int, name: str = "mem") -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._pages: Dict[int, np.ndarray] = {}
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.capacity:
+            raise IndexError(
+                f"{self.name}: access [{addr:#x}, {addr + nbytes:#x}) outside "
+                f"capacity {self.capacity:#x}")
+
+    def read(self, addr: int, nbytes: int) -> np.ndarray:
+        """Return ``nbytes`` bytes starting at ``addr`` as uint8."""
+        self._check(addr, nbytes)
+        out = np.zeros(nbytes, dtype=np.uint8)
+        pos = 0
+        while pos < nbytes:
+            page_idx, offset = divmod(addr + pos, PAGE_SIZE)
+            chunk = min(nbytes - pos, PAGE_SIZE - offset)
+            page = self._pages.get(page_idx)
+            if page is not None:
+                out[pos:pos + chunk] = page[offset:offset + chunk]
+            pos += chunk
+        return out
+
+    def write(self, addr: int, data: np.ndarray) -> None:
+        """Write ``data`` (any dtype; viewed as bytes) at ``addr``."""
+        data = np.ascontiguousarray(data)
+        raw = data.view(np.uint8).reshape(-1)
+        nbytes = raw.size
+        self._check(addr, nbytes)
+        pos = 0
+        while pos < nbytes:
+            page_idx, offset = divmod(addr + pos, PAGE_SIZE)
+            chunk = min(nbytes - pos, PAGE_SIZE - offset)
+            page = self._pages.get(page_idx)
+            if page is None:
+                page = np.zeros(PAGE_SIZE, dtype=np.uint8)
+                self._pages[page_idx] = page
+            page[offset:offset + chunk] = raw[pos:pos + chunk]
+            pos += chunk
+
+    def read_array(self, addr: int, shape: tuple, dtype) -> np.ndarray:
+        """Read a contiguous numpy array of ``shape``/``dtype`` at ``addr``."""
+        np_dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * np_dtype.itemsize
+        return self.read(addr, nbytes).view(np_dtype).reshape(shape)
+
+    @property
+    def touched_bytes(self) -> int:
+        """Bytes of backing memory actually materialised."""
+        return len(self._pages) * PAGE_SIZE

@@ -1,0 +1,131 @@
+"""Set-associative cache model with LRU replacement.
+
+Used in two places:
+
+* the on-chip SRAM in memory-side cache mode (Section 3.4), where each
+  slice caches the address range of its associated DRAM controller;
+* the DPE operand cache (Section 3.5, "Caching"), which holds recently
+  used A/B operand blocks and skips local-memory reads on a hit.
+
+The cache is *tag-only*: data always lives in the backing store, so a
+hit/miss decision only affects timing and bandwidth accounting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """A classic tag-only set-associative LRU cache.
+
+    ``capacity_bytes / (line_bytes * ways)`` must be a positive power of
+    two for the index hash to be well distributed; we only require it to
+    be positive.
+    """
+
+    def __init__(self, capacity_bytes: int, line_bytes: int = 64,
+                 ways: int = 8, write_allocate: bool = True,
+                 name: str = "cache") -> None:
+        if capacity_bytes < line_bytes * ways:
+            raise ValueError("cache smaller than a single set")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = capacity_bytes // (line_bytes * ways)
+        self.write_allocate = write_allocate
+        self.name = name
+        self.stats = CacheStats()
+        # Each set is an OrderedDict mapping tag -> dirty flag; order is
+        # LRU (oldest first).
+        self._sets: Dict[int, OrderedDict] = {}
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def _set(self, index: int) -> OrderedDict:
+        s = self._sets.get(index)
+        if s is None:
+            s = OrderedDict()
+            self._sets[index] = s
+        return s
+
+    def _touch(self, s: OrderedDict, tag: int) -> None:
+        s.move_to_end(tag)
+
+    def _fill(self, s: OrderedDict, tag: int, dirty: bool) -> None:
+        if len(s) >= self.ways:
+            _, victim_dirty = s.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+        s[tag] = dirty
+
+    def access(self, addr: int, nbytes: int, is_write: bool = False) -> Tuple[int, int]:
+        """Access ``[addr, addr+nbytes)``; returns (hit_lines, miss_lines).
+
+        Every line touched is counted once.  Write misses allocate when
+        ``write_allocate`` is set, otherwise they bypass the cache.
+        """
+        first = addr // self.line_bytes
+        last = (addr + max(nbytes, 1) - 1) // self.line_bytes
+        hits = misses = 0
+        for line in range(first, last + 1):
+            line_addr = line * self.line_bytes
+            index, tag = self._locate(line_addr)
+            s = self._set(index)
+            if tag in s:
+                self.stats.hits += 1
+                hits += 1
+                self._touch(s, tag)
+                if is_write:
+                    s[tag] = True
+            else:
+                self.stats.misses += 1
+                misses += 1
+                if not is_write or self.write_allocate:
+                    self._fill(s, tag, dirty=is_write)
+        return hits, misses
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating lookup of the line containing ``addr``."""
+        index, tag = self._locate((addr // self.line_bytes) * self.line_bytes)
+        return tag in self._sets.get(index, ())
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line containing ``addr``; returns True if present."""
+        index, tag = self._locate((addr // self.line_bytes) * self.line_bytes)
+        s = self._sets.get(index)
+        if s is not None and tag in s:
+            del s[tag]
+            return True
+        return False
+
+    def flush(self) -> int:
+        """Empty the cache; returns the number of dirty lines written back."""
+        dirty = sum(1 for s in self._sets.values() for d in s.values() if d)
+        self.stats.writebacks += dirty
+        self._sets.clear()
+        return dirty
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets.values())

@@ -1,0 +1,95 @@
+"""Off-chip LPDDR5 DRAM model.
+
+Four controllers on each side of the grid, 16 channels in total,
+176 GB/s of theoretical aggregate bandwidth (Table I).  Addresses are
+line-interleaved across channels (:mod:`repro.memory.address_map`), so
+a streaming access naturally spreads over all controllers, while small
+random accesses (the EmbeddingBag pattern, Section 7 "Memory Latency")
+pay the access latency and achieve a configurable fraction of peak.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List
+
+import numpy as np
+
+from repro.config import ChipConfig
+from repro.memory.address_map import AddressMap
+from repro.memory.backing_store import SparseByteStore
+from repro.sim import Engine, Resource, StatGroup
+
+
+class DRAMModel:
+    """Timing + functional model of the off-chip memory."""
+
+    def __init__(self, engine: Engine, config: ChipConfig,
+                 address_map: AddressMap) -> None:
+        self.engine = engine
+        self.config = config
+        self.address_map = address_map
+        self.store = SparseByteStore(config.dram.capacity_bytes, "dram")
+        self.stats = StatGroup("dram")
+        per_controller = (config.dram.bytes_per_cycle(config.frequency_ghz)
+                          / config.dram.num_controllers)
+        self.controllers: List[Resource] = [
+            Resource(engine, per_controller, f"dram.ctrl{i}")
+            for i in range(config.dram.num_controllers)
+        ]
+
+    def _controller_bytes(self, fragments) -> Dict[int, int]:
+        """Bytes of an access handled by each controller.
+
+        ``fragments`` is an iterable of contiguous (addr, nbytes) pieces
+        (a strided 2D DMA contributes one fragment per row).
+        """
+        split: Dict[int, int] = {}
+        for addr, nbytes in fragments:
+            for frag_addr, frag_len in self.address_map.split_by_interleave(
+                    addr, nbytes):
+                ctrl = self.address_map.dram_controller(frag_addr)
+                split[ctrl] = split.get(ctrl, 0) + frag_len
+        return split
+
+    def transfer_fragments(self, fragments, is_write: bool) -> Generator:
+        """Process: charge bandwidth + latency for a multi-fragment access."""
+        fragments = list(fragments)
+        total = sum(n for _, n in fragments)
+        self.stats.add("write_bytes" if is_write else "read_bytes", total)
+        self.stats.add("accesses")
+        split = self._controller_bytes(fragments)
+        done = []
+        for ctrl, ctrl_bytes in split.items():
+            done.append(self.engine.process(
+                self.controllers[ctrl].use(ctrl_bytes),
+                f"dram.ctrl{ctrl}.xfer"))
+        yield self.engine.all_of(done)
+        yield self.config.dram.access_latency
+
+    def _transfer(self, addr: int, nbytes: int, is_write: bool) -> Generator:
+        yield from self.transfer_fragments([(addr, nbytes)], is_write)
+
+    def read(self, addr: int, nbytes: int) -> Generator:
+        """Process: read ``nbytes`` at ``addr``; returns the data."""
+        yield from self._transfer(addr, nbytes, is_write=False)
+        return self.store.read(addr, nbytes)
+
+    def write(self, addr: int, data: np.ndarray) -> Generator:
+        """Process: write ``data`` at ``addr``."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        yield from self._transfer(addr, raw.size, is_write=True)
+        self.store.write(addr, raw)
+
+    def peek(self, addr: int, nbytes: int) -> np.ndarray:
+        """Zero-time functional read (host access / test inspection)."""
+        return self.store.read(addr, nbytes)
+
+    def poke(self, addr: int, data: np.ndarray) -> None:
+        """Zero-time functional write (host access / initialisation)."""
+        self.store.write(addr, data)
+
+    def utilization(self) -> float:
+        """Mean controller utilisation since time zero."""
+        if not self.controllers:
+            return 0.0
+        return sum(c.utilization() for c in self.controllers) / len(self.controllers)

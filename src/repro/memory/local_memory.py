@@ -1,0 +1,68 @@
+"""PE-local memory: 128 KB of banked scratchpad (Section 3.3).
+
+The Command Processor arbitrates between the cores and the five fixed
+function units; we model the aggregate as a single bandwidth resource
+(512 B/cycle = 400 GB/s at 800 MHz, Table I) plus the multi-client
+arbitration latency the paper calls out in Section 7.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.config import LocalMemoryConfig
+from repro.sim import Engine, Resource, StatGroup
+
+
+class LocalMemory:
+    """One PE's local store."""
+
+    def __init__(self, engine: Engine, config: LocalMemoryConfig,
+                 name: str = "lm") -> None:
+        self.engine = engine
+        self.config = config
+        self.name = name
+        self.data = np.zeros(config.capacity_bytes, dtype=np.uint8)
+        self.port = Resource(engine, config.bytes_per_cycle, f"{name}.port")
+        self.stats = StatGroup(name)
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or addr + nbytes > self.config.capacity_bytes:
+            raise IndexError(
+                f"{self.name}: [{addr:#x}, {addr + nbytes:#x}) outside "
+                f"{self.config.capacity_bytes:#x}-byte local memory")
+
+    # -- timed accesses --------------------------------------------------
+    def read(self, addr: int, nbytes: int) -> Generator:
+        """Process: timed read; returns a copy of the bytes."""
+        self._check(addr, nbytes)
+        self.stats.add("read_bytes", nbytes)
+        yield from self.port.use(nbytes)
+        yield self.config.access_latency
+        return self.data[addr:addr + nbytes].copy()
+
+    def write(self, addr: int, payload: np.ndarray) -> Generator:
+        """Process: timed write."""
+        raw = np.ascontiguousarray(payload).view(np.uint8).reshape(-1)
+        self._check(addr, raw.size)
+        self.stats.add("write_bytes", raw.size)
+        yield from self.port.use(raw.size)
+        yield self.config.access_latency
+        self.data[addr:addr + raw.size] = raw
+
+    # -- zero-time functional accesses ------------------------------------
+    def peek(self, addr: int, nbytes: int) -> np.ndarray:
+        self._check(addr, nbytes)
+        return self.data[addr:addr + nbytes].copy()
+
+    def poke(self, addr: int, payload: np.ndarray) -> None:
+        raw = np.ascontiguousarray(payload).view(np.uint8).reshape(-1)
+        self._check(addr, raw.size)
+        self.data[addr:addr + raw.size] = raw
+
+    def peek_array(self, addr: int, shape: tuple, dtype) -> np.ndarray:
+        np_dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * np_dtype.itemsize
+        return self.peek(addr, nbytes).view(np_dtype).reshape(shape)

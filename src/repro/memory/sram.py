@@ -1,0 +1,197 @@
+"""On-chip SRAM model: scratchpad mode and memory-side cache mode.
+
+128 MB organised as slices around the grid perimeter (Section 3.4).
+In *scratchpad* mode the SRAM occupies its own address range and is
+explicitly managed by the compiler's tensor-placement pass.  In *cache*
+mode the slices front the DRAM controllers (four slices per controller)
+and hits are served at SRAM bandwidth/latency.
+
+The paper's Section 7 ("Memory Latency") highlights that perimeter
+placement creates non-uniform access latency; we model this with a
+per-slice distance term supplied by the requester's grid position.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import ChipConfig
+from repro.memory.address_map import AddressMap
+from repro.memory.backing_store import SparseByteStore
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.dram import DRAMModel
+from repro.sim import Engine, Resource, StatGroup
+
+
+class SRAMMode(enum.Enum):
+    SCRATCHPAD = "scratchpad"
+    CACHE = "cache"
+
+
+class SRAMModel:
+    """Timing + functional model of the sliced on-chip SRAM."""
+
+    def __init__(self, engine: Engine, config: ChipConfig,
+                 address_map: AddressMap, dram: DRAMModel,
+                 mode: SRAMMode = SRAMMode.CACHE) -> None:
+        self.engine = engine
+        self.config = config
+        self.address_map = address_map
+        self.dram = dram
+        self.mode = mode
+        self.stats = StatGroup("sram")
+        self.store = SparseByteStore(config.sram.capacity_bytes, "sram")
+        per_slice = config.sram.bytes_per_cycle / config.sram.num_slices
+        self.slices: List[Resource] = [
+            Resource(engine, per_slice, f"sram.slice{i}")
+            for i in range(config.sram.num_slices)
+        ]
+        slice_capacity = config.sram.capacity_bytes // config.sram.num_slices
+        self.caches: List[SetAssociativeCache] = [
+            SetAssociativeCache(slice_capacity,
+                                line_bytes=config.sram.cache_line_bytes,
+                                ways=config.sram.cache_ways,
+                                name=f"sram.cache{i}")
+            for i in range(config.sram.num_slices)
+        ]
+
+    # -- latency helpers -----------------------------------------------
+    def _slice_latency(self, slice_index: int,
+                       requester: Optional[Tuple[int, int]]) -> int:
+        """Access latency including grid-position non-uniformity."""
+        base = self.config.sram.base_latency
+        if requester is None:
+            return base
+        row, col = requester
+        # Slices ring the grid; map slice index to a perimeter position
+        # and charge Manhattan distance from the requesting PE.
+        per_side = max(1, self.config.sram.num_slices // 4)
+        side, pos = divmod(slice_index, per_side)
+        scale = self.config.grid_cols / per_side
+        anchor = int(pos * scale)
+        if side == 0:      # north edge
+            dist = row + abs(col - anchor)
+        elif side == 1:    # east edge
+            dist = (self.config.grid_cols - 1 - col) + abs(row - anchor)
+        elif side == 2:    # south edge
+            dist = (self.config.grid_rows - 1 - row) + abs(col - anchor)
+        else:              # west edge
+            dist = col + abs(row - anchor)
+        return base + dist * self.config.sram.per_hop_latency
+
+    def _slice_bytes(self, fragments, for_dram: bool) -> Dict[int, int]:
+        split: Dict[int, int] = {}
+        for addr, nbytes in fragments:
+            for frag_addr, frag_len in self.address_map.split_by_interleave(
+                    addr, nbytes):
+                if for_dram:
+                    s = self.address_map.cache_slice_for_dram(frag_addr)
+                else:
+                    s = self.address_map.sram_slice(frag_addr)
+                split[s] = split.get(s, 0) + frag_len
+        return split
+
+    def _charge(self, split: Dict[int, int],
+                requester: Optional[Tuple[int, int]]) -> Generator:
+        """Charge bandwidth on every touched slice; wait for the last.
+
+        The paper notes that a request "is always completed after the
+        last piece of data arrives", so the access latency is the *max*
+        over touched slices.
+        """
+        done = []
+        worst_latency = 0
+        for s, nbytes in split.items():
+            done.append(self.engine.process(self.slices[s].use(nbytes),
+                                            f"sram.slice{s}.xfer"))
+            worst_latency = max(worst_latency, self._slice_latency(s, requester))
+        yield self.engine.all_of(done)
+        yield worst_latency
+
+    # -- scratchpad mode -------------------------------------------------
+    def charge_fragments(self, fragments, is_write: bool,
+                         requester: Optional[Tuple[int, int]] = None) -> Generator:
+        """Process: timing-only scratchpad access over fragments."""
+        if self.mode is not SRAMMode.SCRATCHPAD:
+            raise RuntimeError("scratchpad access while SRAM is in cache mode")
+        fragments = list(fragments)
+        total = sum(n for _, n in fragments)
+        self.stats.add("write_bytes" if is_write else "read_bytes", total)
+        yield from self._charge(self._slice_bytes(fragments, False), requester)
+
+    def read(self, addr: int, nbytes: int,
+             requester: Optional[Tuple[int, int]] = None) -> Generator:
+        """Process: scratchpad read; returns data."""
+        yield from self.charge_fragments([(addr, nbytes)], False, requester)
+        return self.store.read(self.address_map.sram_range.offset(addr), nbytes)
+
+    def write(self, addr: int, data: np.ndarray,
+              requester: Optional[Tuple[int, int]] = None) -> Generator:
+        """Process: scratchpad write."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        yield from self.charge_fragments([(addr, raw.size)], True, requester)
+        self.store.write(self.address_map.sram_range.offset(addr), raw)
+
+    def peek(self, addr: int, nbytes: int) -> np.ndarray:
+        return self.store.read(self.address_map.sram_range.offset(addr), nbytes)
+
+    def poke(self, addr: int, data: np.ndarray) -> None:
+        self.store.write(self.address_map.sram_range.offset(addr), data)
+
+    # -- cache mode ------------------------------------------------------
+    def cached_fragments(self, fragments, is_write: bool,
+                         requester: Optional[Tuple[int, int]] = None) -> Generator:
+        """Process: timing of a DRAM access through the memory-side cache.
+
+        Hit lines are served from the owning slice; miss lines are
+        fetched from DRAM (charging DRAM bandwidth) and filled.  Data
+        itself always comes from the DRAM backing store — the cache is
+        tag-only, which is exact because it is a *memory-side* cache
+        (no stale copies are possible).
+        """
+        if self.mode is not SRAMMode.CACHE:
+            raise RuntimeError("cached access while SRAM is in scratchpad mode")
+        line = self.config.sram.cache_line_bytes
+        hit_split: Dict[int, int] = {}
+        miss_fragments = []
+        for addr, nbytes in fragments:
+            for frag_addr, frag_len in self.address_map.split_by_interleave(
+                    addr, nbytes):
+                s = self.address_map.cache_slice_for_dram(frag_addr)
+                hits, misses = self.caches[s].access(frag_addr, frag_len,
+                                                     is_write)
+                if misses:
+                    miss_fragments.append((frag_addr, misses * line))
+                    self.stats.add("miss_lines", misses)
+                if hits:
+                    hit_split[s] = hit_split.get(s, 0) + frag_len
+                    self.stats.add("hit_lines", hits)
+        waits = []
+        if hit_split:
+            waits.append(self.engine.process(
+                self._charge(hit_split, requester), "sram.hit"))
+        if miss_fragments:
+            waits.append(self.engine.process(
+                self.dram.transfer_fragments(miss_fragments, is_write),
+                "sram.miss"))
+        if waits:
+            yield self.engine.all_of(waits)
+
+    def cached_access(self, addr: int, nbytes: int, is_write: bool,
+                      requester: Optional[Tuple[int, int]] = None) -> Generator:
+        """Process: single-fragment cached access; returns data on reads."""
+        yield from self.cached_fragments([(addr, nbytes)], is_write, requester)
+        if is_write:
+            return None
+        return self.dram.store.read(addr, nbytes)
+
+    def hit_rate(self) -> float:
+        total = self.stats.get("hit_lines") + self.stats.get("miss_lines")
+        return self.stats.get("hit_lines") / total if total else 0.0
+
+    def flush_caches(self) -> int:
+        """Invalidate all cache slices (returns dirty lines written back)."""
+        return sum(c.flush() for c in self.caches)

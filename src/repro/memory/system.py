@@ -1,0 +1,200 @@
+"""The chip-level memory system facade.
+
+Routes a system-address access to DRAM (optionally through the SRAM
+memory-side cache), to the SRAM scratchpad, or to a PE's local-memory
+aperture, charging the appropriate component's timing model.  This is
+the view the Fabric Interface (Section 3.1.5) has of the world.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple
+
+import numpy as np
+
+from repro.config import ChipConfig
+from repro.memory.address_map import AddressMap
+from repro.memory.dram import DRAMModel
+from repro.memory.local_memory import LocalMemory
+from repro.memory.sram import SRAMMode, SRAMModel
+from repro.sim import Engine, StatGroup
+
+
+class MemorySystem:
+    """DRAM + SRAM + local apertures behind one read/write interface."""
+
+    def __init__(self, engine: Engine, config: ChipConfig,
+                 sram_mode: SRAMMode = SRAMMode.CACHE) -> None:
+        self.engine = engine
+        self.config = config
+        self.address_map = AddressMap(config)
+        self.dram = DRAMModel(engine, config, self.address_map)
+        self.sram = SRAMModel(engine, config, self.address_map, self.dram,
+                              mode=sram_mode)
+        self.stats = StatGroup("memsys")
+        #: PE local memories registered by the grid, keyed by PE index.
+        self._local: Dict[int, LocalMemory] = {}
+
+    @property
+    def sram_mode(self) -> SRAMMode:
+        return self.sram.mode
+
+    def register_local_memory(self, pe_index: int, memory: LocalMemory) -> None:
+        self._local[pe_index] = memory
+
+    def _local_for(self, addr: int) -> Tuple[LocalMemory, int]:
+        pe_index = self.address_map.local_pe_index(addr)
+        try:
+            memory = self._local[pe_index]
+        except KeyError:
+            raise IndexError(f"no local memory registered for PE {pe_index}")
+        offset = addr - self.address_map.local_ranges[pe_index].base
+        return memory, offset
+
+    # -- timed accesses ---------------------------------------------------
+    def read(self, addr: int, nbytes: int,
+             requester: Optional[Tuple[int, int]] = None) -> Generator:
+        """Process: read ``nbytes`` at system address ``addr``."""
+        region = self.address_map.region(addr)
+        self.stats.add(f"{region}_reads")
+        if region == "dram":
+            if self.sram.mode is SRAMMode.CACHE:
+                data = yield from self.sram.cached_access(
+                    addr, nbytes, is_write=False, requester=requester)
+                return data
+            data = yield from self.dram.read(addr, nbytes)
+            return data
+        if region == "sram":
+            data = yield from self.sram.read(addr, nbytes, requester)
+            return data
+        memory, offset = self._local_for(addr)
+        data = yield from memory.read(offset, nbytes)
+        return data
+
+    def write(self, addr: int, data: np.ndarray,
+              requester: Optional[Tuple[int, int]] = None) -> Generator:
+        """Process: write ``data`` at system address ``addr``."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        region = self.address_map.region(addr)
+        self.stats.add(f"{region}_writes")
+        if region == "dram":
+            if self.sram.mode is SRAMMode.CACHE:
+                yield from self.sram.cached_access(
+                    addr, raw.size, is_write=True, requester=requester)
+                self.dram.store.write(addr, raw)
+                return
+            yield from self.dram.write(addr, raw)
+            return
+        if region == "sram":
+            yield from self.sram.write(addr, raw, requester)
+            return
+        memory, offset = self._local_for(addr)
+        yield from memory.write(offset, raw)
+
+    # -- 2D strided accesses (DMA descriptors, Section 3.1.5) ---------------
+    def _fragments(self, addr: int, rows: int, row_bytes: int,
+                   stride: int) -> list:
+        if rows < 1 or row_bytes < 1:
+            raise ValueError("2D access needs positive rows/row_bytes")
+        return [(addr + r * stride, row_bytes) for r in range(rows)]
+
+    def read_2d(self, addr: int, rows: int, row_bytes: int, stride: int,
+                requester: Optional[Tuple[int, int]] = None) -> Generator:
+        """Process: strided read of ``rows`` rows of ``row_bytes`` bytes.
+
+        Returns the gathered data as a contiguous byte array.  All rows
+        must fall within a single region.
+        """
+        fragments = self._fragments(addr, rows, row_bytes, stride)
+        region = self.address_map.region(addr)
+        self.stats.add(f"{region}_reads")
+        if region == "dram":
+            if self.sram_mode is SRAMMode.CACHE:
+                yield from self.sram.cached_fragments(fragments, False,
+                                                      requester)
+            else:
+                yield from self.dram.transfer_fragments(fragments, False)
+            rows_data = [self.dram.store.read(a, n) for a, n in fragments]
+            return np.concatenate(rows_data)
+        if region == "sram":
+            yield from self.sram.charge_fragments(fragments, False, requester)
+            base = self.address_map.sram_range.base
+            rows_data = [self.sram.store.read(a - base, n)
+                         for a, n in fragments]
+            return np.concatenate(rows_data)
+        memory, offset = self._local_for(addr)
+        data = yield from self._local_2d(memory, offset, rows, row_bytes,
+                                         stride, False, None)
+        return data
+
+    def write_2d(self, addr: int, data: np.ndarray, rows: int,
+                 row_bytes: int, stride: int,
+                 requester: Optional[Tuple[int, int]] = None) -> Generator:
+        """Process: strided write (scatter) of contiguous ``data``."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        if raw.size != rows * row_bytes:
+            raise ValueError(
+                f"2D write size mismatch: {raw.size} != {rows}x{row_bytes}")
+        fragments = self._fragments(addr, rows, row_bytes, stride)
+        region = self.address_map.region(addr)
+        self.stats.add(f"{region}_writes")
+        if region == "dram":
+            if self.sram_mode is SRAMMode.CACHE:
+                yield from self.sram.cached_fragments(fragments, True,
+                                                      requester)
+            else:
+                yield from self.dram.transfer_fragments(fragments, True)
+            for i, (a, n) in enumerate(fragments):
+                self.dram.store.write(a, raw[i * row_bytes:(i + 1) * row_bytes])
+            return
+        if region == "sram":
+            yield from self.sram.charge_fragments(fragments, True, requester)
+            base = self.address_map.sram_range.base
+            for i, (a, n) in enumerate(fragments):
+                self.sram.store.write(a - base,
+                                      raw[i * row_bytes:(i + 1) * row_bytes])
+            return
+        memory, offset = self._local_for(addr)
+        yield from self._local_2d(memory, offset, rows, row_bytes,
+                                  stride, True, raw)
+
+    @staticmethod
+    def _local_2d(memory, offset, rows, row_bytes, stride, is_write,
+                  raw) -> Generator:
+        """Strided access against a PE-local memory."""
+        total = rows * row_bytes
+        yield from memory.port.use(total)
+        yield memory.config.access_latency
+        if is_write:
+            for i in range(rows):
+                memory.poke(offset + i * stride,
+                            raw[i * row_bytes:(i + 1) * row_bytes])
+            return None
+        pieces = [memory.peek(offset + i * stride, row_bytes)
+                  for i in range(rows)]
+        return np.concatenate(pieces)
+
+    # -- zero-time host accesses -------------------------------------------
+    def peek(self, addr: int, nbytes: int) -> np.ndarray:
+        region = self.address_map.region(addr)
+        if region == "dram":
+            return self.dram.peek(addr, nbytes)
+        if region == "sram":
+            return self.sram.peek(addr, nbytes)
+        memory, offset = self._local_for(addr)
+        return memory.peek(offset, nbytes)
+
+    def poke(self, addr: int, data: np.ndarray) -> None:
+        region = self.address_map.region(addr)
+        if region == "dram":
+            self.dram.poke(addr, data)
+        elif region == "sram":
+            self.sram.poke(addr, data)
+        else:
+            memory, offset = self._local_for(addr)
+            memory.poke(offset, data)
+
+    def peek_array(self, addr: int, shape: tuple, dtype) -> np.ndarray:
+        np_dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * np_dtype.itemsize
+        return self.peek(addr, nbytes).view(np_dtype).reshape(shape)

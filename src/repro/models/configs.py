@@ -1,0 +1,125 @@
+"""The Table IV model zoo: LC1, LC2, MC1, MC2, HC.
+
+Table IV characterises the five representative DLRMs only by parameter
+size (GB) and complexity (GFLOPs/batch); Section 6.1 adds that a
+medium-complexity model has ~750 layers of which ~550 are EmbeddingBag
+operators.  The configs here are *solved* against those published
+numbers: table rows are derived from the size target, and the top-MLP
+first-layer width from the complexity target, so
+``tests/models/test_configs.py`` can assert each model lands within a
+few percent of Table IV.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.models.dlrm import DLRMConfig, model_flops, model_size_bytes
+
+GIB = 1024 ** 3
+
+#: (size_gb, gflops_per_batch) from Table IV.
+TABLE_IV_TARGETS: Dict[str, Tuple[float, float]] = {
+    "LC1": (53.2, 0.032),
+    "LC2": (4.5, 0.014),
+    "MC1": (120.0, 0.140),
+    "MC2": (200.0, 0.220),
+    "HC": (725.0, 0.450),
+}
+
+
+def _solve_config(name: str, size_gb: float, gflops: float,
+                  num_tables: int, embedding_dim: int, pooling: int,
+                  dense_features: int, bottom_hidden: Tuple[int, ...],
+                  top_tail: Tuple[int, ...],
+                  interaction_group: int,
+                  num_towers: int = 0,
+                  tower_mlp: Tuple[int, ...] = (),
+                  layout_ops: bool = False,
+                  tower_residual: bool = False) -> DLRMConfig:
+    """Derive rows-per-table and the top width from the targets."""
+    rows = round(size_gb * 1e9 / (num_tables * embedding_dim))
+    bottom = tuple(bottom_hidden) + (embedding_dim,)
+
+    def flops_for(width: int) -> float:
+        cfg = DLRMConfig(name=name, num_tables=num_tables,
+                         rows_per_table=rows, embedding_dim=embedding_dim,
+                         pooling=pooling, dense_features=dense_features,
+                         bottom_mlp=bottom,
+                         top_mlp=(width,) + tuple(top_tail),
+                         interaction_group=interaction_group,
+                         num_towers=num_towers, tower_mlp=tower_mlp,
+                         layout_ops=layout_ops,
+                         tower_residual=tower_residual)
+        return model_flops(cfg)
+
+    lo, hi = 8, 65536
+    if flops_for(lo) > gflops * 1e9:
+        raise ValueError(
+            f"{name}: base structure already exceeds the complexity target; "
+            "reduce tables/dims")
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if flops_for(mid) <= gflops * 1e9:
+            lo = mid
+        else:
+            hi = mid
+    width = max(8, lo // 8 * 8)   # round to a hardware-friendly multiple
+    return DLRMConfig(name=name, num_tables=num_tables,
+                      rows_per_table=rows, embedding_dim=embedding_dim,
+                      pooling=pooling, dense_features=dense_features,
+                      bottom_mlp=bottom,
+                      top_mlp=(width,) + tuple(top_tail),
+                      interaction_group=interaction_group,
+                      num_towers=num_towers, tower_mlp=tower_mlp,
+                      layout_ops=layout_ops,
+                      tower_residual=tower_residual)
+
+
+MODEL_ZOO: Dict[str, DLRMConfig] = {
+    # Low complexity: few, small FCs; LC1 is memory-heavy (53 GB of
+    # tables) while LC2 is the small model MTIA shines on (Section 6.2:
+    # "LC2 shows nearly a 3x improvement").
+    "LC1": _solve_config("LC1", *TABLE_IV_TARGETS["LC1"],
+                         num_tables=160, embedding_dim=64, pooling=10,
+                         dense_features=256, bottom_hidden=(256,),
+                         top_tail=(256,), interaction_group=8,
+                         num_towers=8, tower_mlp=(128, 64)),
+    "LC2": _solve_config("LC2", *TABLE_IV_TARGETS["LC2"],
+                         num_tables=48, embedding_dim=64, pooling=8,
+                         dense_features=128, bottom_hidden=(128,),
+                         top_tail=(128,), interaction_group=8),
+    # Medium complexity: the ~750-layer / ~550-EB shape of Table III.
+    "MC1": _solve_config("MC1", *TABLE_IV_TARGETS["MC1"],
+                         num_tables=550, embedding_dim=64, pooling=12,
+                         dense_features=512, bottom_hidden=(512, 256),
+                         top_tail=(512, 256), interaction_group=16,
+                         num_towers=24, tower_mlp=(192, 96),
+                         layout_ops=True, tower_residual=True),
+    "MC2": _solve_config("MC2", *TABLE_IV_TARGETS["MC2"],
+                         num_tables=600, embedding_dim=96, pooling=14,
+                         dense_features=512, bottom_hidden=(512, 256),
+                         top_tail=(512, 256), interaction_group=16,
+                         num_towers=24, tower_mlp=(224, 112),
+                         layout_ops=True, tower_residual=True),
+    # High complexity: the 725 GB giant with big-shape FCs where the
+    # GPU stack is better optimised (Section 6.2).
+    "HC": _solve_config("HC", *TABLE_IV_TARGETS["HC"],
+                        num_tables=800, embedding_dim=192, pooling=20,
+                        dense_features=1024, bottom_hidden=(1024, 512),
+                        top_tail=(1024, 512), interaction_group=32,
+                        num_towers=16, tower_mlp=(512, 256),
+                        layout_ops=True, tower_residual=True),
+}
+
+
+def table_iv_rows() -> Dict[str, Dict[str, float]]:
+    """Regenerate Table IV from the model zoo."""
+    rows = {}
+    for name, cfg in MODEL_ZOO.items():
+        rows[name] = {
+            "Size (GB)": model_size_bytes(cfg) / 1e9,
+            "Complexity (GFLOPS/batch)": model_flops(cfg) / 1e9,
+        }
+    return rows

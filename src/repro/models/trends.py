@@ -1,0 +1,106 @@
+"""Growth-trend models behind Figures 1 and 2.
+
+Figure 1 plots the historical and projected growth of Meta's inference
+recommendation models: model complexity (dashed), total memory
+footprint (solid), and the device-memory footprint of embedding tables
+(gray solid).  Figure 2 plots the estimated number of inference servers
+by platform type: CPU, NNPI-equipped, and GPU-equipped.
+
+The paper gives the curves without numeric axes, so these models encode
+the *shapes*: multiplicative yearly growth for Figure 1 (with compute
+growing faster than memory), and for Figure 2 the
+CPU-plateau / NNPI-rise-then-fall / GPU-takeover dynamic the Motivation
+section narrates ("the requirements for the inference models quickly
+outpaced the NNPI capabilities and provided motivation for using
+GPUs").  Parameters are consistent with the public characterisation
+literature ([17], [18]) and the Table IV model zoo: the 2023 points of
+the complexity/footprint series bracket the MC/HC models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    year: int
+    complexity_gflops: float       #: GFLOPs/sample of a flagship model
+    total_footprint_gb: float      #: full model memory footprint
+    table_footprint_gb: float      #: device-resident embedding tables
+
+
+def figure1_series(start_year: int = 2018, end_year: int = 2026,
+                   base_complexity: float = 0.010,
+                   base_footprint_gb: float = 40.0,
+                   complexity_growth: float = 1.9,
+                   footprint_growth: float = 1.55,
+                   table_share: float = 0.96) -> List[TrendPoint]:
+    """The Figure 1 growth curves.
+
+    Defaults: complexity roughly doubles yearly while memory footprint
+    grows ~1.5x yearly — both anchored so the 2023 values straddle the
+    Table IV zoo (0.14-0.45 GFLOPs, 120-725 GB).
+    """
+    points = []
+    for year in range(start_year, end_year + 1):
+        age = year - 2018
+        complexity = base_complexity * complexity_growth ** age
+        footprint = base_footprint_gb * footprint_growth ** age
+        points.append(TrendPoint(
+            year=year,
+            complexity_gflops=complexity,
+            total_footprint_gb=footprint,
+            table_footprint_gb=footprint * table_share,
+        ))
+    return points
+
+
+@dataclass(frozen=True)
+class ServerDemand:
+    year_quarter: str
+    cpu: float
+    nnpi: float
+    gpu: float
+
+    @property
+    def total(self) -> float:
+        return self.cpu + self.nnpi + self.gpu
+
+
+def figure2_series(quarters: int = 16) -> List[ServerDemand]:
+    """The Figure 2 server-demand curves (normalised units).
+
+    Quarterly from 2019Q1: total serving demand grows steadily; CPUs
+    absorb it at first and then plateau; NNPI ramps, peaks while models
+    still fit its envelope, then declines; GPUs take over the growth.
+    """
+    points = []
+    for q in range(quarters):
+        year = 2019 + q // 4
+        label = f"{year}Q{q % 4 + 1}"
+        demand = 100.0 * 1.12 ** q
+        # NNPI ramps to a peak near quarter 7 then decays ("the
+        # requirements ... quickly outpaced the NNPI capabilities").
+        nnpi = 55.0 * math.exp(-((q - 7) / 3.5) ** 2)
+        # GPUs start deploying around quarter 4 and take all growth.
+        gpu = 12.0 * max(0.0, q - 3) ** 1.5
+        cpu = max(demand - nnpi - gpu, 60.0)
+        points.append(ServerDemand(label, cpu=cpu, nnpi=nnpi, gpu=gpu))
+    return points
+
+
+def compute_memory_gap(points: List[TrendPoint]) -> Dict[str, float]:
+    """Summary statistics the Introduction argues from Figure 1."""
+    first, last = points[0], points[-1]
+    years = last.year - first.year
+    return {
+        "complexity_cagr":
+            (last.complexity_gflops / first.complexity_gflops) ** (1 / years),
+        "footprint_cagr":
+            (last.total_footprint_gb / first.total_footprint_gb) ** (1 / years),
+        "complexity_x": last.complexity_gflops / first.complexity_gflops,
+        "footprint_x": last.total_footprint_gb / first.total_footprint_gb,
+    }

@@ -1,0 +1,16 @@
+"""On-chip network models (Section 3.4).
+
+Two fabrics connect the PE grid to memory and to each other:
+
+* an AXI-based request/response network with *multicast coalescing* for
+  reads issued by PEs along the same row or column to the same
+  addresses (:class:`NoC`, :class:`MulticastGroup`);
+* a unidirectional *reduction network* carrying Reduction Engine
+  partial sums north-to-south and west-to-east
+  (:class:`ReductionNetwork`).
+"""
+
+from repro.noc.axi_network import MulticastGroup, NoC
+from repro.noc.reduction_network import ReductionNetwork
+
+__all__ = ["MulticastGroup", "NoC", "ReductionNetwork"]

@@ -1,0 +1,166 @@
+"""AXI-style memory-access network with row/column multicast.
+
+The network carries DMA traffic between PEs and the memory system.  Each
+grid row and column has a link resource; an access from PE ``(r, c)`` to
+the perimeter charges its row and column links and pays a per-hop
+latency proportional to the Manhattan distance to the nearest edge.
+
+Multicast (Section 3.4): requests from multiple PEs *along the same row
+or column* to the same set of addresses are coalesced — a single request
+is sent to memory and the response is delivered to every requester.  We
+expose this through :class:`MulticastGroup`: kernels join a group (the
+``JoinMulticastGroup`` call in the paper's Figure 8 pseudocode) and
+issue group reads; the first arrival for a given (address, size) pays
+the memory-side cost, later arrivals only pay delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import ChipConfig
+from repro.memory.system import MemorySystem
+from repro.sim import Engine, Event, Resource, SimulationError, StatGroup
+
+Coord = Tuple[int, int]
+
+
+class NoC:
+    """The chip's main request/response interconnect."""
+
+    def __init__(self, engine: Engine, config: ChipConfig,
+                 memory: MemorySystem) -> None:
+        self.engine = engine
+        self.config = config
+        self.memory = memory
+        self.stats = StatGroup("noc")
+        rate = config.noc.link_bytes_per_cycle
+        self.row_links: List[Resource] = [
+            Resource(engine, rate, f"noc.row{r}")
+            for r in range(config.grid_rows)]
+        self.col_links: List[Resource] = [
+            Resource(engine, rate, f"noc.col{c}")
+            for c in range(config.grid_cols)]
+
+    # -- helpers ---------------------------------------------------------
+    def hop_count(self, source: Coord) -> int:
+        """Hops from PE ``source`` to the nearest grid edge (plus one)."""
+        row, col = source
+        to_edge = min(row, self.config.grid_rows - 1 - row,
+                      col, self.config.grid_cols - 1 - col)
+        return to_edge + 1
+
+    def _traverse(self, source: Coord, nbytes: int) -> Generator:
+        """Charge link bandwidth and hop latency for one traversal."""
+        row, col = source
+        self.stats.add("link_bytes", nbytes)
+        row_use = self.engine.process(self.row_links[row].use(nbytes))
+        col_use = self.engine.process(self.col_links[col].use(nbytes))
+        yield self.engine.all_of([row_use, col_use])
+        yield self.hop_count(source) * self.config.noc.hop_latency
+
+    # -- unicast accesses --------------------------------------------------
+    def read(self, source: Coord, addr: int, nbytes: int) -> Generator:
+        """Process: PE at ``source`` reads ``nbytes`` from ``addr``."""
+        self.stats.add("reads")
+        yield from self._traverse(source, nbytes)
+        data = yield from self.memory.read(addr, nbytes, requester=source)
+        return data
+
+    def write(self, source: Coord, addr: int, data: np.ndarray) -> Generator:
+        """Process: PE at ``source`` writes ``data`` to ``addr``."""
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        self.stats.add("writes")
+        yield from self._traverse(source, raw.size)
+        yield from self.memory.write(addr, raw, requester=source)
+
+    def read_2d(self, source: Coord, addr: int, rows: int, row_bytes: int,
+                stride: int) -> Generator:
+        """Process: strided (DMA-descriptor) read; returns gathered data."""
+        self.stats.add("reads")
+        yield from self._traverse(source, rows * row_bytes)
+        data = yield from self.memory.read_2d(addr, rows, row_bytes, stride,
+                                              requester=source)
+        return data
+
+    def write_2d(self, source: Coord, addr: int, data: np.ndarray,
+                 rows: int, row_bytes: int, stride: int) -> Generator:
+        """Process: strided (DMA-descriptor) scatter write."""
+        self.stats.add("writes")
+        yield from self._traverse(source, rows * row_bytes)
+        yield from self.memory.write_2d(addr, data, rows, row_bytes, stride,
+                                        requester=source)
+
+    # -- multicast ----------------------------------------------------------
+    def multicast_group(self, members: Sequence[Coord]) -> "MulticastGroup":
+        """Create a multicast group; members must share a row or a column."""
+        return MulticastGroup(self, members)
+
+
+class MulticastGroup:
+    """Coalesces identical reads from PEs in the same row or column.
+
+    The hardware restriction (Section 3.4) is enforced at construction:
+    "Multicast is only supported for the PEs that are located along the
+    same row or column in the grid ... and cannot be used for an
+    arbitrary group of PEs."
+    """
+
+    def __init__(self, noc: NoC, members: Sequence[Coord]) -> None:
+        members = [tuple(m) for m in members]
+        if len(members) != len(set(members)):
+            raise SimulationError("duplicate PEs in multicast group")
+        if not members:
+            raise SimulationError("empty multicast group")
+        rows = {r for r, _ in members}
+        cols = {c for _, c in members}
+        if len(rows) != 1 and len(cols) != 1:
+            raise SimulationError(
+                f"multicast group {members} is not a single row or column")
+        self.noc = noc
+        self.members = members
+        self.axis = "row" if len(rows) == 1 else "col"
+        #: (addr, nbytes) -> completion event carrying the data
+        self._pending: Dict[Tuple[int, int], Event] = {}
+        self.stats = StatGroup("multicast")
+
+    def read(self, source: Coord, addr: int, nbytes: int) -> Generator:
+        """Process: a coalesced contiguous read by group member ``source``."""
+        data = yield from self.read_2d(source, addr, 1, nbytes, nbytes)
+        return data
+
+    def read_2d(self, source: Coord, addr: int, rows: int, row_bytes: int,
+                stride: int) -> Generator:
+        """Process: a coalesced (possibly strided) read by ``source``.
+
+        The first member to request a given descriptor performs the
+        memory access; every member (including the first) additionally
+        pays its own delivery traversal, because the response still has
+        to reach each PE over its row/column links.
+        """
+        if tuple(source) not in self.members:
+            raise SimulationError(f"{source} is not in this multicast group")
+        key = (addr, rows, row_bytes, stride)
+        nbytes = rows * row_bytes
+        fetch = self._pending.get(key)
+        if fetch is None:
+            fetch = self.noc.engine.event(f"mcast:{addr:#x}+{nbytes}")
+            self._pending[key] = fetch
+            self.stats.add("fetches")
+            data = yield from self.noc.memory.read_2d(addr, rows, row_bytes,
+                                                      stride, requester=source)
+            fetch.succeed(data)
+        else:
+            self.stats.add("coalesced")
+            data = yield fetch
+        yield from self.noc._traverse(source, nbytes)
+        return data
+
+    def coalescing_ratio(self) -> float:
+        """Requests saved per request issued (0 = no sharing)."""
+        fetches = self.stats.get("fetches")
+        coalesced = self.stats.get("coalesced")
+        total = fetches + coalesced
+        return coalesced / total if total else 0.0

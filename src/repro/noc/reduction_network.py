@@ -1,0 +1,86 @@
+"""The dedicated reduction network (Sections 3.4-3.5).
+
+A unidirectional mesh overlay travelling only north-to-south and
+west-to-east.  It carries partial-sum blocks between the Reduction
+Engines of adjacent PEs, so a row (or column) of PEs can accumulate a
+distributed dot-product without round-tripping through memory.
+
+Each directed link is a bandwidth resource; a transfer of one RE bank
+(32x32 FP32/INT32 = 4 KB) additionally pays the hop latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Tuple
+
+import numpy as np
+
+from repro.config import ChipConfig
+from repro.sim import Engine, Queue, Resource, SimulationError, StatGroup
+
+Coord = Tuple[int, int]
+
+
+class ReductionNetwork:
+    """Point-to-point neighbour links for RE partial sums."""
+
+    #: Bytes per cycle on each reduction link.
+    LINK_BYTES_PER_CYCLE = 64
+
+    def __init__(self, engine: Engine, config: ChipConfig) -> None:
+        self.engine = engine
+        self.config = config
+        self.stats = StatGroup("rednet")
+        self._links: Dict[Tuple[Coord, Coord], Resource] = {}
+        self._mailboxes: Dict[Coord, Queue] = {}
+
+    def _validate_hop(self, src: Coord, dst: Coord) -> None:
+        """Only immediate south or east neighbours are reachable."""
+        sr, sc = src
+        dr, dc = dst
+        for r, c in (src, dst):
+            if not (0 <= r < self.config.grid_rows
+                    and 0 <= c < self.config.grid_cols):
+                raise SimulationError(f"PE ({r},{c}) outside the grid")
+        south = (dr == sr + 1 and dc == sc)
+        east = (dr == sr and dc == sc + 1)
+        if not (south or east):
+            raise SimulationError(
+                f"reduction network cannot route {src} -> {dst}: links run "
+                "north-to-south and west-to-east between neighbours only")
+
+    def _link(self, src: Coord, dst: Coord) -> Resource:
+        key = (src, dst)
+        link = self._links.get(key)
+        if link is None:
+            link = Resource(self.engine, self.LINK_BYTES_PER_CYCLE,
+                            f"rednet.{src}->{dst}")
+            self._links[key] = link
+        return link
+
+    def mailbox(self, pe: Coord) -> Queue:
+        """The inbound partial-sum queue of PE ``pe``."""
+        box = self._mailboxes.get(tuple(pe))
+        if box is None:
+            box = Queue(self.engine, name=f"rednet.inbox{pe}")
+            self._mailboxes[tuple(pe)] = box
+        return box
+
+    def send(self, src: Coord, dst: Coord, payload: np.ndarray) -> Generator:
+        """Process: ship a partial-sum block from ``src`` to ``dst``."""
+        src, dst = tuple(src), tuple(dst)
+        self._validate_hop(src, dst)
+        nbytes = payload.nbytes
+        self.stats.add("transfers")
+        self.stats.add("bytes", nbytes)
+        yield from self._link(src, dst).use(nbytes)
+        yield self.config.noc.hop_latency
+        yield self.mailbox(dst).put(payload)
+
+    def receive(self, pe: Coord) -> Generator:
+        """Process: wait for the next inbound partial-sum block at ``pe``."""
+        payload = yield self.mailbox(pe).get()
+        return payload
+
+    def total_bytes(self) -> float:
+        return self.stats.get("bytes")

@@ -1,0 +1,118 @@
+"""The register-access network.
+
+Section 3.4: "The interconnects consist of two networks for carrying
+memory and register accesses separately."  The register network carries
+small control-plane transactions — CSR reads/writes, doorbells, status
+polls — between the control subsystem, the host interface, and the PEs,
+so control traffic never contends with bulk DMA on the data network.
+
+Registers live in a flat CSR space keyed by (block, offset); blocks
+register themselves (the control processor, each PE's monitor, the
+host mailbox).  Transactions are small (4-8 B) and latency- rather than
+bandwidth-dominated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional, Tuple
+
+from repro.config import ChipConfig
+from repro.sim import Engine, Resource, SimulationError, StatGroup
+
+#: Cycles for one register transaction to cross the network.
+REGISTER_HOP_LATENCY = 4
+#: Transactions per cycle the network sustains.
+TRANSACTIONS_PER_CYCLE = 4.0
+
+
+class RegisterFile:
+    """One block's CSRs: a dict of offsets with optional write hooks."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: Dict[int, int] = {}
+        self._write_hooks: Dict[int, Callable[[int], None]] = {}
+
+    def define(self, offset: int, initial: int = 0,
+               on_write: Optional[Callable[[int], None]] = None) -> None:
+        self._values[offset] = initial
+        if on_write is not None:
+            self._write_hooks[offset] = on_write
+
+    def read(self, offset: int) -> int:
+        if offset not in self._values:
+            raise SimulationError(
+                f"{self.name}: read of undefined register {offset:#x}")
+        return self._values[offset]
+
+    def write(self, offset: int, value: int) -> None:
+        if offset not in self._values:
+            raise SimulationError(
+                f"{self.name}: write to undefined register {offset:#x}")
+        self._values[offset] = value
+        hook = self._write_hooks.get(offset)
+        if hook is not None:
+            hook(value)
+
+    def poke(self, offset: int, value: int) -> None:
+        """Internal (non-transactional) update, e.g. status published by
+        the block itself."""
+        self._values[offset] = value
+
+
+class RegisterNetwork:
+    """Routes CSR transactions between registered blocks."""
+
+    def __init__(self, engine: Engine, config: ChipConfig) -> None:
+        self.engine = engine
+        self.config = config
+        self.stats = StatGroup("regnet")
+        self._blocks: Dict[str, RegisterFile] = {}
+        self._port = Resource(engine, TRANSACTIONS_PER_CYCLE, "regnet.port")
+
+    def register_block(self, name: str) -> RegisterFile:
+        if name in self._blocks:
+            raise SimulationError(f"register block {name!r} already exists")
+        block = RegisterFile(name)
+        self._blocks[name] = block
+        return block
+
+    def block(self, name: str) -> RegisterFile:
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise SimulationError(f"no register block {name!r}") from None
+
+    # -- timed transactions -----------------------------------------------
+    def read(self, block: str, offset: int) -> Generator:
+        """Process: a CSR read transaction; returns the value."""
+        self.stats.add("reads")
+        yield from self._port.use(1)
+        yield REGISTER_HOP_LATENCY
+        return self.block(block).read(offset)
+
+    def write(self, block: str, offset: int, value: int) -> Generator:
+        """Process: a CSR write transaction."""
+        self.stats.add("writes")
+        yield from self._port.use(1)
+        yield REGISTER_HOP_LATENCY
+        self.block(block).write(offset, value)
+
+    def poll(self, block: str, offset: int, expected: int,
+             interval: int = 16, timeout: Optional[int] = None) -> Generator:
+        """Process: poll a CSR until it reads ``expected``.
+
+        The firmware's wait-for-status idiom; each poll is a real
+        transaction on the network.
+        """
+        waited = 0
+        while True:
+            value = yield from self.read(block, offset)
+            if value == expected:
+                return waited
+            if timeout is not None and waited >= timeout:
+                raise SimulationError(
+                    f"poll of {block}:{offset:#x} timed out at {waited} "
+                    f"cycles (last value {value})")
+            yield interval
+            waited += interval + REGISTER_HOP_LATENCY

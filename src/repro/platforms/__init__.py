@@ -1,0 +1,14 @@
+"""Inference hardware platforms (Table II) and power accounting."""
+
+from repro.platforms.server import (PLATFORMS, PlatformSpec, YOSEMITE_V2,
+                                    YOSEMITE_V3, ZION_4S)
+from repro.platforms.power import ChipPowerModel
+
+__all__ = [
+    "ChipPowerModel",
+    "PLATFORMS",
+    "PlatformSpec",
+    "YOSEMITE_V2",
+    "YOSEMITE_V3",
+    "ZION_4S",
+]

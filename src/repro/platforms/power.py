@@ -1,0 +1,90 @@
+"""Activity-based chip power model for ablations.
+
+The paper's evaluation uses static provisioned power (platform power /
+cards).  For design-space ablations it is useful to also estimate how
+chip power splits across components and scales with activity; this
+model assigns the 25 W TDP (Table I) across the major blocks using
+per-event energy costs consistent with 7 nm-class accelerators and the
+architecture's own energy arguments (spatial reduction trees and
+multicast exist *because* data movement dominates, Section 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import ChipConfig, MTIA_V1
+
+#: Energy per event, picojoules.  Sources: Horowitz-style scaling of
+#: published 7 nm numbers; these are model inputs, not measurements.
+ENERGY_PJ = {
+    "int8_mac": 0.15,
+    "fp16_mac": 0.6,
+    "local_memory_byte": 1.0,
+    "sram_byte": 3.0,
+    "dram_byte": 20.0,
+    "noc_byte_per_hop": 0.8,
+    "reduction_byte": 0.5,
+    "command": 40.0,
+}
+
+
+@dataclass
+class ChipPowerModel:
+    """Estimates dynamic + static chip power from activity counters."""
+
+    config: ChipConfig = None
+    #: Fraction of TDP that is static/idle (clock tree, leakage, DDR PHY).
+    idle_fraction: float = 0.35
+
+    def __post_init__(self):
+        self.config = self.config or MTIA_V1
+
+    @property
+    def idle_watts(self) -> float:
+        return self.idle_fraction * self.config.tdp_watts
+
+    def dynamic_energy_j(self, activity: Dict[str, float]) -> float:
+        """Energy in joules for the given activity counters.
+
+        ``activity`` keys match :data:`ENERGY_PJ` (e.g. the counters a
+        simulation's :meth:`Accelerator.collect_stats` can be mapped
+        onto).  Unknown keys raise — silent typos would zero out a
+        component.
+        """
+        total_pj = 0.0
+        for key, count in activity.items():
+            if key not in ENERGY_PJ:
+                raise KeyError(f"unknown activity counter {key!r}")
+            total_pj += ENERGY_PJ[key] * count
+        return total_pj * 1e-12
+
+    def average_watts(self, activity: Dict[str, float],
+                      elapsed_cycles: float) -> float:
+        """Average power over a simulated interval."""
+        if elapsed_cycles <= 0:
+            raise ValueError("elapsed_cycles must be positive")
+        seconds = elapsed_cycles / (self.config.frequency_ghz * 1e9)
+        dynamic = self.dynamic_energy_j(activity) / seconds
+        return min(self.idle_watts + dynamic,
+                   self.config.tdp_watts * 1.2)
+
+    def activity_from_stats(self, stats: Dict[str, float]) -> Dict[str, float]:
+        """Map simulator rollup counters onto energy-model activity."""
+        activity: Dict[str, float] = {}
+        activity["int8_mac"] = stats.get("dpe.macs", 0.0)
+        lm = (stats.get("lm.read_bytes", 0.0)
+              + stats.get("lm.write_bytes", 0.0))
+        activity["local_memory_byte"] = lm
+        activity["sram_byte"] = (stats.get("sram.hit_lines", 0.0) * 64
+                                 + stats.get("sram.read_bytes", 0.0)
+                                 + stats.get("sram.write_bytes", 0.0))
+        activity["dram_byte"] = (stats.get("dram.read_bytes", 0.0)
+                                 + stats.get("dram.write_bytes", 0.0))
+        activity["noc_byte_per_hop"] = stats.get("noc.link_bytes", 0.0) * 2
+        activity["reduction_byte"] = stats.get("rednet.bytes", 0.0)
+        commands = sum(v for k, v in stats.items()
+                       if k.endswith(".commands"))
+        activity["command"] = commands
+        return activity

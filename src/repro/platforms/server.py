@@ -1,0 +1,139 @@
+"""Server platform specifications — Table II of the paper.
+
+Three deployment platforms are compared:
+
+* **Yosemite V2** with six NNPI accelerator cards;
+* **Zion4S** with eight NVIDIA A100 GPUs;
+* **Yosemite V3** with twelve MTIA cards.
+
+The evaluation's power methodology (Section 6): "We use the total
+platform power divided by the number of accelerator cards to determine
+power provisioned for each accelerator, as opposed to using the maximum
+TDP for the card."  :attr:`PlatformSpec.provisioned_watts_per_card`
+implements exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One row-set of Table II."""
+
+    name: str
+    accelerator: str
+    num_cards: int
+    system_power_w: float
+    card_power_w: float
+    int8_tops_per_card: float
+    fp16_tflops_per_card: float
+    device_memory_type: str
+    device_memory_gb_per_card: float
+    device_bw_gbs_per_card: float
+    host_memory_gb: float
+    host_bw_gbs: float
+    interconnect: str
+    p2p_gbs_per_card: float
+    nic_gbps: float
+
+    @property
+    def provisioned_watts_per_card(self) -> float:
+        """Platform power / cards — the paper's perf/W denominator."""
+        return self.system_power_w / self.num_cards
+
+    @property
+    def accelerator_power_fraction(self) -> float:
+        """Table II's "Percentage" row: card power share of the system."""
+        return self.num_cards * self.card_power_w / self.system_power_w
+
+    @property
+    def total_int8_tops(self) -> float:
+        return self.int8_tops_per_card * self.num_cards
+
+    @property
+    def total_device_memory_gb(self) -> float:
+        return self.device_memory_gb_per_card * self.num_cards
+
+    def as_table_row(self) -> Dict[str, object]:
+        """Table II column for this platform."""
+        return {
+            "System power (W)": self.system_power_w,
+            "Card power (W)": self.card_power_w,
+            "Percentage": f"{100 * self.accelerator_power_fraction:.1f} %",
+            "INT8 (TOPS/s)": f"{self.int8_tops_per_card:g} x {self.num_cards}",
+            "FP16 (TF/s)": f"{self.fp16_tflops_per_card:g} x {self.num_cards}",
+            "Memory type": self.device_memory_type,
+            "Memory size (device)":
+                f"{self.device_memory_gb_per_card:g} GB x {self.num_cards}",
+            "Memory BW (device)":
+                f"{self.device_bw_gbs_per_card:g} GB/s x {self.num_cards}",
+            "Memory size (host)": f"{self.host_memory_gb:g} GB",
+            "Memory BW (host)": f"{self.host_bw_gbs:g} GB/s",
+            "Dev.-to-Dev.": self.interconnect,
+            "P2P BW (card)": f"{self.p2p_gbs_per_card:g} GB/s",
+            "NIC BW": f"{self.nic_gbps:g} Gbps",
+        }
+
+
+YOSEMITE_V2 = PlatformSpec(
+    name="Yosemite V2",
+    accelerator="NNPI",
+    num_cards=6,
+    system_power_w=298.0,
+    card_power_w=13.5,
+    int8_tops_per_card=50.0,
+    fp16_tflops_per_card=6.25,
+    device_memory_type="LPDDR",
+    device_memory_gb_per_card=16.0,
+    device_bw_gbs_per_card=50.0,
+    host_memory_gb=64.0,
+    host_bw_gbs=50.0,
+    interconnect="PCIe",
+    p2p_gbs_per_card=3.2,
+    nic_gbps=50.0,
+)
+
+ZION_4S = PlatformSpec(
+    name="Zion4S",
+    accelerator="A100 GPU",
+    num_cards=8,
+    system_power_w=4500.0,
+    card_power_w=330.0,
+    int8_tops_per_card=624.0,
+    fp16_tflops_per_card=312.0,
+    device_memory_type="HBM",
+    device_memory_gb_per_card=40.0,
+    device_bw_gbs_per_card=1500.0,
+    host_memory_gb=1536.0,
+    host_bw_gbs=400.0,
+    interconnect="NVLink",
+    p2p_gbs_per_card=80.0,
+    nic_gbps=400.0,
+)
+
+YOSEMITE_V3 = PlatformSpec(
+    name="Yosemite V3",
+    accelerator="MTIA",
+    num_cards=12,
+    system_power_w=780.0,
+    card_power_w=35.0,
+    int8_tops_per_card=104.0,
+    fp16_tflops_per_card=52.0,
+    device_memory_type="LPDDR",
+    device_memory_gb_per_card=32.0,
+    device_bw_gbs_per_card=150.0,
+    host_memory_gb=96.0,
+    host_bw_gbs=76.0,
+    interconnect="PCIe",
+    p2p_gbs_per_card=12.8,
+    nic_gbps=100.0,
+)
+
+PLATFORMS: Dict[str, PlatformSpec] = {
+    "nnpi": YOSEMITE_V2,
+    "gpu": ZION_4S,
+    "mtia": YOSEMITE_V3,
+}

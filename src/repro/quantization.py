@@ -1,0 +1,83 @@
+"""Quantisation utilities for model preparation.
+
+INT8 execution is central to the paper's efficiency story ("When
+accuracy is sufficient, INT8 quantization unlocks a potential 2x
+improvement in FC throughput", Section 6.1).  This module provides the
+host-side calibration the compiler uses to bracket FC operators with
+quantize/dequantize pairs: per-tensor and per-channel parameter
+selection plus quantisation-error diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.dtypes import dequantize, quantize
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Symmetric INT8 parameters, per tensor or per output channel."""
+
+    scale: np.ndarray          #: scalar array () or per-channel (n,)
+    zero_point: int = 0
+
+    @property
+    def per_channel(self) -> bool:
+        return self.scale.ndim > 0 and self.scale.size > 1
+
+
+def calibrate_per_tensor(values: np.ndarray) -> QuantParams:
+    """One symmetric scale covering the whole tensor."""
+    peak = float(np.max(np.abs(values))) if values.size else 0.0
+    scale = peak / 127.0 if peak > 0 else 1.0
+    return QuantParams(scale=np.asarray(scale, dtype=np.float32))
+
+def calibrate_per_channel(weights: np.ndarray, axis: int = 0) -> QuantParams:
+    """One scale per output channel (the standard for FC weights).
+
+    ``axis`` is the output-channel dimension; for the (n, k) weight
+    layout this library uses, that is axis 0.
+    """
+    moved = np.moveaxis(weights, axis, 0)
+    flat = moved.reshape(moved.shape[0], -1)
+    peaks = np.abs(flat).max(axis=1)
+    scales = np.where(peaks > 0, peaks / 127.0, 1.0).astype(np.float32)
+    return QuantParams(scale=scales)
+
+
+def quantize_weights(weights: np.ndarray, params: QuantParams,
+                     axis: int = 0) -> np.ndarray:
+    """Quantise weights with per-tensor or per-channel parameters."""
+    if not params.per_channel:
+        return quantize(weights, float(params.scale))
+    shape = [1] * weights.ndim
+    shape[axis] = -1
+    scales = params.scale.reshape(shape)
+    q = np.round(weights / scales)
+    return np.clip(q, -128, 127).astype(np.int8)
+
+
+def dequantize_weights(q: np.ndarray, params: QuantParams,
+                       axis: int = 0) -> np.ndarray:
+    if not params.per_channel:
+        return dequantize(q, float(params.scale))
+    shape = [1] * q.ndim
+    shape[axis] = -1
+    return q.astype(np.float32) * params.scale.reshape(shape)
+
+
+def quantization_error(values: np.ndarray, params: QuantParams,
+                       axis: int = 0) -> Tuple[float, float]:
+    """(max absolute error, signal-to-quantisation-noise ratio in dB)."""
+    q = quantize_weights(values, params, axis)
+    back = dequantize_weights(q, params, axis)
+    err = back - values
+    max_abs = float(np.max(np.abs(err))) if values.size else 0.0
+    signal = float(np.mean(values.astype(np.float64) ** 2))
+    noise = float(np.mean(err.astype(np.float64) ** 2))
+    sqnr_db = 10.0 * np.log10(signal / noise) if noise > 0 else float("inf")
+    return max_abs, sqnr_db

@@ -1,0 +1,33 @@
+"""PyTorch-Runtime-like layer for MTIA (Section 5).
+
+The paper's runtime provides "MTIA Tensors, a host-side memory
+allocator, and CUDA-like streaming APIs", plus eager and full-graph
+execution modes and multi-card partitioning.  This package mirrors that
+surface:
+
+* :mod:`repro.runtime.tensor` — device tensors with dtype/quantisation
+  metadata;
+* :mod:`repro.runtime.device` — an ``MTIADevice`` wrapping one
+  simulated accelerator card, and ``DeviceSet`` for multi-card;
+* :mod:`repro.runtime.stream` — in-order command streams with events;
+* :mod:`repro.runtime.executor` — eager and graph execution of compiled
+  operator graphs, functionally with numpy and with timing from either
+  the cycle-level simulator (small operators) or the analytical
+  performance model (full models).
+"""
+
+from repro.runtime.device import DeviceSet, MTIADevice
+from repro.runtime.executor import ExecutionReport, GraphExecutor
+from repro.runtime.stream import Stream, StreamEvent
+from repro.runtime.tensor import DeviceTensor, TensorMeta
+
+__all__ = [
+    "DeviceSet",
+    "DeviceTensor",
+    "ExecutionReport",
+    "GraphExecutor",
+    "MTIADevice",
+    "Stream",
+    "StreamEvent",
+    "TensorMeta",
+]

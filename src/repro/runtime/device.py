@@ -1,0 +1,159 @@
+"""The MTIA device abstraction and multi-card sets (Section 5).
+
+``MTIADevice`` wraps one simulated accelerator card with the host-side
+services the PyTorch runtime layer provides: tensor allocation in DRAM
+or the SRAM scratchpad, host<->device copies (charged against the PCIe
+link), streams, and a virtual clock that analytical-model execution can
+advance.  ``DeviceSet`` groups cards for models "split into partitions
+spanning multiple cards".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import MTIA_V1, ChipConfig
+from repro.core.accelerator import Accelerator
+from repro.memory import SRAMMode
+from repro.runtime.stream import Stream
+from repro.runtime.tensor import DeviceTensor, TensorMeta
+
+
+class MTIADevice:
+    """One accelerator card plus its host-side runtime state."""
+
+    def __init__(self, config: ChipConfig = MTIA_V1,
+                 sram_mode: SRAMMode = SRAMMode.SCRATCHPAD,
+                 index: int = 0) -> None:
+        self.config = config
+        self.index = index
+        self.accelerator = Accelerator(config, sram_mode=sram_mode)
+        self.default_stream = Stream(self, "default")
+        self._streams: List[Stream] = [self.default_stream]
+        #: virtual cycles consumed by analytical-model execution, on top
+        #: of whatever the cycle-level simulator has consumed.
+        self._virtual_cycles: float = 0.0
+        #: host<->device copy bandwidth in bytes/cycle (PCIe Gen4 x8).
+        self._pcie_bytes_per_cycle = (config.pcie_gbs
+                                      / config.frequency_ghz)
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def cycles(self) -> float:
+        return self.accelerator.cycles + self._virtual_cycles
+
+    def advance(self, cycles: float) -> None:
+        """Consume virtual time (analytical execution)."""
+        if cycles < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._virtual_cycles += cycles
+
+    def advance_to(self, horizon: float) -> None:
+        if horizon > self.cycles:
+            self.advance(horizon - self.cycles)
+
+    def seconds(self, cycles: Optional[float] = None) -> float:
+        cycles = self.cycles if cycles is None else cycles
+        return cycles / (self.config.frequency_ghz * 1e9)
+
+    # -- streams -----------------------------------------------------------
+    def stream(self, name: str = "") -> Stream:
+        s = Stream(self, name or f"stream{len(self._streams)}")
+        self._streams.append(s)
+        return s
+
+    def synchronize(self) -> None:
+        for s in self._streams:
+            self.advance_to(s.horizon)
+
+    # -- memory -----------------------------------------------------------
+    def empty(self, shape, dtype="fp32", region: str = "dram",
+              name: str = "", scale: float = 1.0,
+              zero_point: int = 0) -> DeviceTensor:
+        """Allocate an uninitialised device tensor."""
+        meta = TensorMeta(tuple(shape), dtype, scale, zero_point)
+        if region == "sram":
+            addr = self.accelerator.alloc_sram(meta.nbytes)
+        elif region == "dram":
+            addr = self.accelerator.alloc_dram(meta.nbytes)
+        else:
+            raise ValueError(f"unknown region {region!r}")
+        return DeviceTensor(meta=meta, device=self, addr=addr,
+                            region=region, name=name)
+
+    def from_numpy(self, array: np.ndarray, region: str = "dram",
+                   name: str = "", scale: float = 1.0,
+                   zero_point: int = 0,
+                   stream: Optional[Stream] = None) -> DeviceTensor:
+        """Copy a host array to the device (charging PCIe time)."""
+        from repro.dtypes import _BY_NAME  # local import to avoid cycle
+        np_to_dev = {np.dtype(np.int8): "int8", np.dtype(np.int32): "int32",
+                     np.dtype(np.float16): "fp16",
+                     np.dtype(np.float32): "fp32"}
+        dev_dtype = np_to_dev.get(array.dtype)
+        if dev_dtype is None:
+            raise ValueError(f"unsupported host dtype {array.dtype}")
+        tensor = self.empty(array.shape, dev_dtype, region, name,
+                            scale, zero_point)
+        tensor.from_host(array)
+        stream = stream or self.default_stream
+        stream.enqueue(f"h2d:{name}",
+                       array.nbytes / self._pcie_bytes_per_cycle)
+        return tensor
+
+    def to_numpy(self, tensor: DeviceTensor,
+                 stream: Optional[Stream] = None) -> np.ndarray:
+        """Copy a device tensor to the host (charging PCIe time)."""
+        stream = stream or self.default_stream
+        stream.enqueue(f"d2h:{tensor.name}",
+                       tensor.nbytes / self._pcie_bytes_per_cycle)
+        return tensor.to_host()
+
+    def __repr__(self) -> str:
+        return f"MTIADevice(index={self.index}, cycles={self.cycles:.0f})"
+
+
+class DeviceSet:
+    """A group of cards a partitioned model spans (Section 5).
+
+    Cards are connected over PCIe; ``p2p_copy`` charges the
+    card-to-card bandwidth from Table II (12.8 GB/s for Yosemite V3).
+    """
+
+    def __init__(self, num_devices: int, config: ChipConfig = MTIA_V1,
+                 sram_mode: SRAMMode = SRAMMode.SCRATCHPAD,
+                 p2p_gbs: float = 12.8) -> None:
+        if num_devices < 1:
+            raise ValueError("need at least one device")
+        self.devices = [MTIADevice(config, sram_mode, index=i)
+                        for i in range(num_devices)]
+        self.p2p_gbs = p2p_gbs
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __getitem__(self, index: int) -> MTIADevice:
+        return self.devices[index]
+
+    def p2p_copy(self, src: DeviceTensor, dst_device: MTIADevice,
+                 name: str = "") -> DeviceTensor:
+        """Copy a tensor to another card over the device-to-device path."""
+        data = src.to_host()
+        dst = dst_device.from_numpy(data, region="dram",
+                                    name=name or src.name)
+        cycles = src.nbytes / (self.p2p_gbs
+                               / dst_device.config.frequency_ghz)
+        src.device.default_stream.enqueue(f"p2p:{src.name}", cycles)
+        dst_device.default_stream.enqueue(f"p2p:{src.name}", cycles)
+        return dst
+
+    def synchronize(self) -> None:
+        for device in self.devices:
+            device.synchronize()
+
+    @property
+    def cycles(self) -> float:
+        """Makespan across cards."""
+        return max(device.cycles for device in self.devices)

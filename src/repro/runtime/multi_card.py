@@ -1,0 +1,103 @@
+"""Multi-card model execution estimation.
+
+Section 5: the runtime "supports running models split into partitions
+spanning multiple cards, providing the necessary synchronization and
+communication channels between them".  For the Table IV giants (HC is
+725 GB against 32 GB of device DRAM), inference is distributed:
+
+* every card holds a shard of the embedding tables and performs its
+  share of the sparse lookups;
+* the pooled vectors are gathered over the card-to-card links (PCIe on
+  Yosemite V3) to the card owning the dense pipeline;
+* the dense (interaction + MLP) part runs there.
+
+``estimate_multi_card`` composes those three phases from the operator
+model, the partitioner, and the Table II link bandwidths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.compiler.ir import Graph
+from repro.compiler.ops import op_costs
+from repro.compiler.partitioner import Partition, partition_by_memory
+
+
+@dataclass
+class MultiCardEstimate:
+    """Timing of one partitioned-inference batch."""
+
+    cards: int
+    sparse_seconds: float       #: max over cards of local lookup time
+    gather_seconds: float       #: pooled-output transfer to the dense card
+    dense_seconds: float        #: interaction + MLPs on the dense card
+    gather_bytes: int
+
+    @property
+    def total_seconds(self) -> float:
+        # Sparse lookups overlap across cards; the gather and the dense
+        # pipeline serialise behind them.
+        return self.sparse_seconds + self.gather_seconds + self.dense_seconds
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Useful-work fraction vs a hypothetical infinite-memory card."""
+        single = self.sparse_seconds * self.cards + self.dense_seconds
+        return single / (self.total_seconds * self.cards)
+
+
+def estimate_multi_card(graph: Graph, machine,
+                        card_capacity_bytes: int = 32 * 10 ** 9,
+                        p2p_gbs: float = 12.8,
+                        partitions: Optional[List[Partition]] = None
+                        ) -> MultiCardEstimate:
+    """Estimate a partitioned inference batch on ``machine`` cards."""
+    from repro.eval.opmodel import estimate_op
+
+    if partitions is None:
+        partitions = partition_by_memory(graph, card_capacity_bytes)
+    owner: Dict[str, int] = {}
+    for part in partitions:
+        for name in part.weight_nodes:
+            owner[name] = part.card
+
+    per_card_sparse = [0.0] * len(partitions)
+    gather_bytes = 0
+    dense_seconds = 0.0
+    for node in graph:
+        if node.op in ("input", "weight"):
+            continue
+        input_metas = [graph.node(i).meta for i in node.inputs]
+        costs = op_costs(node, input_metas)
+        attrs = {"name": node.name}
+        if node.op in ("embedding_bag", "tbe"):
+            attrs["pooling"] = node.attrs.get("pooling", 32)
+            attrs["batch"] = node.attrs.get("batch", 256)
+            tables = node.inputs[0::2]
+            dims = [graph.node(t).meta.shape[1] for t in tables]
+            attrs["dim"] = int(sum(dims) / len(dims)) if dims else 128
+            card = owner.get(tables[0], 0)
+            est = estimate_op(machine, "eb", costs, attrs=attrs)
+            per_card_sparse[card] += est.seconds
+            if card != 0:
+                gather_bytes += node.meta.nbytes
+        else:
+            dtype = (input_metas[0].dtype.name
+                     if node.op in ("fc", "batch_matmul") and input_metas
+                     else "fp16")
+            if dtype not in ("int8", "fp16", "fp32"):
+                dtype = "fp16"
+            est = estimate_op(machine, costs.category, costs, dtype=dtype,
+                              attrs=attrs)
+            dense_seconds += est.seconds
+
+    gather_seconds = gather_bytes / (p2p_gbs * 1e9) if gather_bytes else 0.0
+    return MultiCardEstimate(
+        cards=len(partitions),
+        sparse_seconds=max(per_card_sparse) if per_card_sparse else 0.0,
+        gather_seconds=gather_seconds,
+        dense_seconds=dense_seconds,
+        gather_bytes=gather_bytes,
+    )

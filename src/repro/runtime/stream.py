@@ -1,0 +1,78 @@
+"""CUDA-like streams for the MTIA runtime (Section 5).
+
+A stream is an in-order queue of host-scheduled work items; separate
+streams may overlap on the device.  The runtime uses streams to overlap
+host-to-device copies with compute and to express multi-card pipeline
+parallelism.  In the simulator a work item is any callable returning a
+duration in cycles (or a kernel launch on the DES); the stream tracks
+its own completion horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class StreamEvent:
+    """A marker in a stream, recorded at enqueue and queried later."""
+
+    stream: "Stream"
+    at_cycles: float
+
+    def query(self) -> bool:
+        """Has the device progressed past this event?"""
+        return self.stream.device_cycles() >= self.at_cycles
+
+    def elapsed_until(self, other: "StreamEvent") -> float:
+        """Cycles between two events (CUDA ``event_elapsed_time``)."""
+        return other.at_cycles - self.at_cycles
+
+
+class Stream:
+    """An in-order work queue with a completion horizon in cycles."""
+
+    def __init__(self, device, name: str = "stream") -> None:
+        self.device = device
+        self.name = name
+        #: cycle at which all enqueued work completes
+        self._horizon: float = 0.0
+        self._items: List[str] = []
+
+    def device_cycles(self) -> float:
+        return self.device.cycles
+
+    @property
+    def horizon(self) -> float:
+        return self._horizon
+
+    def enqueue(self, label: str, duration_cycles: float,
+                not_before: Optional[float] = None) -> StreamEvent:
+        """Schedule ``duration_cycles`` of work; returns its end event.
+
+        ``not_before`` expresses a cross-stream dependency (the effect
+        of ``wait_event`` on another stream's event).
+        """
+        start = max(self._horizon, self.device.cycles)
+        if not_before is not None:
+            start = max(start, not_before)
+        self._horizon = start + duration_cycles
+        self._items.append(label)
+        return StreamEvent(self, self._horizon)
+
+    def wait_event(self, event: StreamEvent) -> None:
+        """Make subsequent work on this stream wait for ``event``."""
+        self._horizon = max(self._horizon, event.at_cycles)
+
+    def record_event(self) -> StreamEvent:
+        return StreamEvent(self, self._horizon)
+
+    def synchronize(self) -> float:
+        """Advance the device clock to this stream's horizon."""
+        self.device.advance_to(self._horizon)
+        return self._horizon
+
+    def __repr__(self) -> str:
+        return (f"Stream({self.name!r}, items={len(self._items)}, "
+                f"horizon={self._horizon:.0f})")

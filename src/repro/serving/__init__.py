@@ -1,0 +1,25 @@
+"""Serving-level simulation: requests, batching, SLAs, capacity.
+
+The paper's motivation is datacenter economics — perf/TCO of *serving*
+recommendation requests (Sections 1-2).  This package closes the loop
+from the operator-level models back to that context:
+
+* :mod:`repro.serving.simulator` — a request-level queueing simulator:
+  Poisson arrivals, a batching window, per-batch latency from the
+  analytical model, latency percentiles and throughput;
+* :mod:`repro.serving.capacity` — fleet sizing: accelerators (and
+  watts) needed to serve a target QPS under a latency SLA on each
+  platform, the quantity behind Figure 2's server-count curves.
+"""
+
+from repro.serving.capacity import CapacityPlan, plan_capacity
+from repro.serving.simulator import (BatchingConfig, ServingReport,
+                                     simulate_serving)
+
+__all__ = [
+    "BatchingConfig",
+    "CapacityPlan",
+    "ServingReport",
+    "plan_capacity",
+    "simulate_serving",
+]

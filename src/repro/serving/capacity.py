@@ -1,0 +1,81 @@
+"""Fleet sizing: accelerators and watts to serve a workload.
+
+The Motivation section's argument in numbers: given a model, a target
+aggregate QPS and a latency SLA, how many cards (and how much
+provisioned power) does each platform need?  This is the per-platform
+efficiency of Figure 14 turned back into the server-count units of
+Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.serving.simulator import (BatchingConfig, BatchLatencyModel,
+                                     simulate_serving)
+
+
+@dataclass
+class CapacityPlan:
+    platform: str
+    cards: int
+    card_qps: float
+    provisioned_watts: float
+    sla_us: float
+    p99_us: float
+
+    @property
+    def total_watts(self) -> float:
+        return self.cards * self.provisioned_watts
+
+    @property
+    def qps_per_watt(self) -> float:
+        return self.card_qps / self.provisioned_watts
+
+
+def max_qps_per_card(latency_model, sla_us: float,
+                     batching: BatchingConfig = BatchingConfig(),
+                     lo: float = 100.0, hi: float = 4e6,
+                     num_requests: int = 3000) -> tuple:
+    """Binary-search the highest per-card QPS whose p99 meets the SLA."""
+    report_at = {}
+
+    def ok(qps: float) -> bool:
+        report = simulate_serving(latency_model, qps, batching,
+                                  num_requests=num_requests)
+        report_at[qps] = report
+        return report.meets_sla(sla_us) and report.busy_fraction < 0.97
+
+    if not ok(lo):
+        return 0.0, report_at[lo]
+    while hi / lo > 1.05:
+        mid = (lo * hi) ** 0.5
+        if ok(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo, report_at[lo]
+
+
+def plan_capacity(model_config, target_qps: float, sla_us: float,
+                  machines: Optional[Dict[str, object]] = None,
+                  batching: BatchingConfig = BatchingConfig()
+                  ) -> Dict[str, CapacityPlan]:
+    """Size a fleet per platform for ``target_qps`` under ``sla_us``."""
+    from repro.eval.machines import MACHINES
+    machines = machines or MACHINES
+    plans = {}
+    for family, machine in machines.items():
+        latency_model = BatchLatencyModel(model_config, machine)
+        card_qps, report = max_qps_per_card(latency_model, sla_us, batching)
+        cards = int(target_qps // card_qps) + 1 if card_qps > 0 else 0
+        plans[family] = CapacityPlan(
+            platform=machine.name,
+            cards=cards,
+            card_qps=card_qps,
+            provisioned_watts=machine.provisioned_watts,
+            sla_us=sla_us,
+            p99_us=report.p99_us,
+        )
+    return plans

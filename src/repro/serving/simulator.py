@@ -1,0 +1,144 @@
+"""Request-level serving simulation.
+
+A single accelerator card serves a Poisson stream of single-sample
+inference requests through a batching front end: requests accumulate
+until either ``max_batch`` are waiting or the oldest has waited
+``max_wait_us``; the batch then executes for the model's batch-dependent
+latency (from the analytical operator model), during which further
+arrivals queue.
+
+This is the mechanism behind the paper's latency/batch-size tension:
+larger batches raise hardware utilisation ("the kernels are able to
+better amortize the setup costs", Section 6.1) but serving "under
+stringent latency requirements" caps how large a batch the SLA allows.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    max_batch: int = 256
+    max_wait_us: float = 200.0
+
+
+@dataclass
+class ServingReport:
+    """What one serving simulation measured."""
+
+    qps_offered: float
+    qps_served: float
+    latencies_us: np.ndarray
+    batch_sizes: List[int]
+    busy_fraction: float
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.latencies_us, q))
+
+    @property
+    def p50_us(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99_us(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def mean_batch(self) -> float:
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+    def meets_sla(self, sla_us: float, q: float = 99.0) -> bool:
+        return self.percentile(q) <= sla_us
+
+
+class BatchLatencyModel:
+    """Caches per-batch-size model latency from the analytical stack."""
+
+    def __init__(self, model_config, machine,
+                 candidate_batches=(1, 2, 4, 8, 16, 32, 64, 128, 256)):
+        from repro.eval.opmodel import estimate_graph
+        from repro.models.dlrm import build_dlrm_graph
+        from repro.runtime.executor import GraphExecutor
+
+        self.latency_us: Dict[int, float] = {}
+        for batch in candidate_batches:
+            graph = build_dlrm_graph(model_config, batch)
+            executor = GraphExecutor(machine, mode="graph")
+            placement = executor.compile(graph)
+            estimate = estimate_graph(
+                machine, graph,
+                placement if machine.family == "mtia" else None)
+            self.latency_us[batch] = estimate.total_seconds * 1e6
+        self._batches = sorted(self.latency_us)
+
+    def __call__(self, batch: int) -> float:
+        """Latency for an arbitrary batch (ceil to the next candidate)."""
+        idx = bisect.bisect_left(self._batches, batch)
+        idx = min(idx, len(self._batches) - 1)
+        return self.latency_us[self._batches[idx]]
+
+
+def simulate_serving(latency_model: Callable[[int], float],
+                     qps: float,
+                     batching: BatchingConfig = BatchingConfig(),
+                     num_requests: int = 5000,
+                     seed: int = 0) -> ServingReport:
+    """Simulate serving ``num_requests`` Poisson arrivals at ``qps``.
+
+    ``latency_model(batch_size)`` returns the execution latency in
+    microseconds.  Single server, single in-flight batch (the runtime's
+    default stream), FIFO within the queue.
+    """
+    if qps <= 0:
+        raise ValueError("qps must be positive")
+    rng = np.random.default_rng(seed)
+    inter_us = rng.exponential(1e6 / qps, size=num_requests)
+    arrivals = np.cumsum(inter_us)
+
+    latencies = np.zeros(num_requests)
+    batch_sizes: List[int] = []
+    busy_us = 0.0
+    device_free = 0.0
+    i = 0
+    while i < num_requests:
+        first_arrival = max(arrivals[i], device_free)
+        # Collect the batch: everyone who arrives before dispatch.
+        dispatch = min(arrivals[i] + batching.max_wait_us,
+                       max(device_free, arrivals[i]))
+        # The batch closes when either the window expires or max_batch
+        # arrivals are in; while the device is busy the window keeps
+        # filling.
+        deadline = arrivals[i] + batching.max_wait_us
+        dispatch_at = max(deadline, device_free)
+        j = i
+        while (j < num_requests and j - i < batching.max_batch
+               and arrivals[j] <= dispatch_at):
+            j += 1
+        batch = j - i
+        # If the batch filled early, dispatch as soon as the last member
+        # arrived (no pointless waiting) — but never before the device
+        # frees up.
+        if batch == batching.max_batch:
+            dispatch_at = max(arrivals[j - 1], device_free)
+        execute_us = latency_model(batch)
+        finish = dispatch_at + execute_us
+        latencies[i:j] = finish - arrivals[i:j]
+        batch_sizes.append(batch)
+        busy_us += execute_us
+        device_free = finish
+        i = j
+
+    span_us = device_free - arrivals[0] if num_requests else 1.0
+    return ServingReport(
+        qps_offered=qps,
+        qps_served=num_requests / (span_us / 1e6),
+        latencies_us=latencies,
+        batch_sizes=batch_sizes,
+        busy_fraction=min(1.0, busy_us / span_us),
+    )

@@ -1,0 +1,244 @@
+"""Event-heap kernel: engine, events, and processes.
+
+Time is measured in accelerator clock *cycles* (integers or floats; the
+simulator uses integers except for analytically-derived latencies).
+
+Processes are generators.  A process may yield:
+
+* a non-negative number — advance that many cycles;
+* an :class:`Event` — suspend until the event is triggered; the value
+  passed to :meth:`Event.succeed` becomes the result of the ``yield``;
+* another :class:`Process` — suspend until that process finishes; its
+  return value becomes the result of the ``yield``.
+
+A process finishes when its generator returns; ``return value`` inside
+the generator becomes :attr:`Process.value`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for protocol errors inside the simulation kernel."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Events follow the usual discrete-event convention: they start
+    *pending*, are *triggered* exactly once via :meth:`succeed` or
+    :meth:`fail`, and every waiter is resumed at the trigger time.
+    """
+
+    __slots__ = ("engine", "_value", "_exception", "_triggered",
+                 "_callbacks", "name")
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"event {self.name!r} not yet triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, waking all waiters."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.engine._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception delivered to waiters."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._triggered = True
+        self._exception = exception
+        self.engine._schedule_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._triggered:
+            # Already fired: run at the engine's current event pass.
+            self.engine._immediate(lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+
+class Process(Event):
+    """A running generator; also an Event that fires on completion."""
+
+    __slots__ = ("generator",)
+
+    def __init__(self, engine: "Engine",
+                 generator: Generator[Any, Any, Any],
+                 name: str = "") -> None:
+        super().__init__(engine, name or getattr(generator, "__name__", "proc"))
+        self.generator = generator
+        engine._immediate(lambda: self._resume(None, None))
+
+    def _resume(self, value: Any, exception: Optional[BaseException]) -> None:
+        try:
+            if exception is not None:
+                target = self.generator.throw(exception)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as exc:
+            # The process body raised: fail the process event so waiters
+            # (and Engine drain checks) observe the error instead of it
+            # unwinding through the event loop.
+            if not self._triggered:
+                self.fail(exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Event):
+            target.add_callback(self._on_event)
+        elif isinstance(target, (int, float)):
+            if target < 0:
+                self._resume(None, SimulationError(
+                    f"process {self.name!r} yielded negative delay {target}"))
+                return
+            self.engine.schedule(self.engine.now + target,
+                                 lambda: self._resume(None, None))
+        else:
+            self._resume(None, SimulationError(
+                f"process {self.name!r} yielded unsupported {target!r}"))
+
+    def _on_event(self, event: Event) -> None:
+        try:
+            value = event.value
+        except BaseException as exc:  # propagate failures into the process
+            self._resume(None, exc)
+            return
+        self._resume(value, None)
+
+
+class Engine:
+    """The discrete-event simulation kernel."""
+
+    def __init__(self) -> None:
+        self.now: float = 0
+        self._heap: List[tuple] = []
+        self._counter = itertools.count()
+        self._running = False
+        # Execution tracer (disabled by default); hardware models emit
+        # spans through this so pipelines can be inspected visually.
+        from repro.sim.trace import Tracer
+        self.tracer = Tracer(enabled=False)
+
+    # -- construction helpers ------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register ``generator`` as a new process starting now."""
+        return Process(self, generator, name)
+
+    def timeout(self, delay: float) -> Event:
+        """An event that fires ``delay`` cycles from now."""
+        ev = Event(self, f"timeout({delay})")
+        self.schedule(self.now + delay, lambda: ev.succeed())
+        return ev
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that fires once every event in ``events`` has fired."""
+        events = list(events)
+        done = Event(self, "all_of")
+        remaining = [len(events)]
+        if not events:
+            self._immediate(lambda: done.succeed([]))
+            return done
+        values: List[Any] = [None] * len(events)
+
+        def make_cb(i: int):
+            def cb(ev: Event) -> None:
+                if done.triggered:
+                    return           # already failed on another child
+                try:
+                    values[i] = ev.value
+                except BaseException as exc:
+                    done.fail(exc)   # propagate the first child failure
+                    return
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done.succeed(list(values))
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+        return done
+
+    # -- scheduling ----------------------------------------------------
+    def schedule(self, at: float, callback: Callable[[], None]) -> None:
+        if at < self.now:
+            raise SimulationError(f"cannot schedule in the past ({at} < {self.now})")
+        heapq.heappush(self._heap, (at, next(self._counter), callback))
+
+    def _immediate(self, callback: Callable[[], None]) -> None:
+        self.schedule(self.now, callback)
+
+    def _schedule_event(self, event: Event) -> None:
+        callbacks, event._callbacks = event._callbacks, []
+        for cb in callbacks:
+            self._immediate(lambda cb=cb: cb(event))
+
+    # -- execution -----------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: int = 100_000_000) -> float:
+        """Run until the heap drains or simulated time passes ``until``.
+
+        Returns the final simulation time.  ``max_events`` guards
+        against runaway simulations (e.g. a deadlocked polling loop).
+        """
+        processed = 0
+        while self._heap:
+            at, _, callback = self._heap[0]
+            if until is not None and at > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = at
+            callback()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; likely livelock")
+        return self.now
+
+    def run_process(self, generator: Generator, name: str = "",
+                    until: Optional[float] = None) -> Any:
+        """Convenience: start ``generator``, run to completion, return value.
+
+        Raises :class:`SimulationError` if the simulation drains without
+        the process finishing (i.e. deadlock).
+        """
+        proc = self.process(generator, name)
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish (deadlock?)")
+        return proc.value

@@ -1,0 +1,138 @@
+"""Shared-resource primitives built on the event kernel.
+
+These model contention: a memory port, a NoC link, or a command queue
+slot.  They are deliberately small — the hardware-specific arbitration
+policies live with the hardware models in :mod:`repro.core` and
+:mod:`repro.memory`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.sim.engine import Engine, Event, SimulationError
+
+
+class Semaphore:
+    """A counting semaphore with FIFO wakeup."""
+
+    def __init__(self, engine: Engine, capacity: int, name: str = "sem") -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.engine = engine
+        self.name = name
+        self._available = capacity
+        self.capacity = capacity
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    def acquire(self) -> Event:
+        """Return an event that fires once a unit has been granted."""
+        ev = self.engine.event(f"{self.name}.acquire")
+        if self._available > 0:
+            self._available -= 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._available += 1
+            if self._available > self.capacity:
+                raise SimulationError(f"{self.name}: release without acquire")
+
+
+class Resource:
+    """A throughput-limited resource (a port or link).
+
+    ``use(amount)`` is a process that occupies the resource for
+    ``amount / rate`` cycles, serialising with other users.  This models
+    a single arbitration point with full utilisation under backlog.
+    """
+
+    def __init__(self, engine: Engine, rate_per_cycle: float,
+                 name: str = "res") -> None:
+        if rate_per_cycle <= 0:
+            raise ValueError("rate must be positive")
+        self.engine = engine
+        self.rate = rate_per_cycle
+        self.name = name
+        #: the earliest cycle at which a new transfer may start
+        self._free_at: float = 0
+        #: total units transferred (for utilisation statistics)
+        self.total_units: float = 0
+        self.busy_cycles: float = 0
+
+    def service_time(self, amount: float) -> float:
+        return amount / self.rate
+
+    def use(self, amount: float) -> Generator:
+        """Occupy the resource for ``amount`` units of traffic."""
+        start = max(self.engine.now, self._free_at)
+        duration = self.service_time(amount)
+        self._free_at = start + duration
+        self.total_units += amount
+        self.busy_cycles += duration
+        yield self._free_at - self.engine.now
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of cycles the resource was busy."""
+        elapsed = elapsed if elapsed is not None else self.engine.now
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed)
+
+
+class Queue:
+    """A bounded FIFO connecting producer and consumer processes."""
+
+    def __init__(self, engine: Engine, capacity: Optional[int] = None,
+                 name: str = "queue") -> None:
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once the item has been enqueued."""
+        ev = self.engine.event(f"{self.name}.put")
+        if self._getters:
+            # Hand the item directly to the oldest waiting getter.
+            self._getters.popleft().succeed(item)
+            ev.succeed()
+        elif not self.full:
+            self._items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = self.engine.event(f"{self.name}.get")
+        if self._items:
+            item = self._items.popleft()
+            ev.succeed(item)
+            if self._putters:
+                put_ev, pending = self._putters.popleft()
+                self._items.append(pending)
+                put_ev.succeed()
+        else:
+            self._getters.append(ev)
+        return ev

@@ -1,0 +1,54 @@
+"""Lightweight statistics collection for simulator components.
+
+Every hardware model owns a :class:`StatGroup`; counters accumulate
+scalar totals (bytes moved, commands dispatched, stall cycles) and can
+be merged hierarchically (PE stats roll up to grid stats).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator
+
+
+class StatGroup:
+    """A named bag of additive counters."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._counters: Dict[str, float] = defaultdict(float)
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        self._counters[key] += amount
+
+    def set_max(self, key: str, value: float) -> None:
+        """Track a running maximum under ``key``."""
+        if value > self._counters.get(key, float("-inf")):
+            self._counters[key] = value
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        return self._counters.get(key, default)
+
+    def __getitem__(self, key: str) -> float:
+        return self._counters[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counters)
+
+    def merge(self, other: "StatGroup", prefix: str = "") -> None:
+        """Add every counter of ``other`` into this group."""
+        for key, value in other._counters.items():
+            self._counters[prefix + key] += value
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counters.items()))
+        return f"StatGroup({self.name!r}: {body})"

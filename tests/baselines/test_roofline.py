@@ -1,0 +1,83 @@
+"""Roofline model and device rooflines."""
+
+import pytest
+
+from repro.baselines import (Roofline, RooflinePoint, gpu_roofline,
+                             mtia_roofline, nnpi_roofline)
+
+
+class TestRoofline:
+    def test_memory_bound_region(self):
+        r = Roofline("test", peak_gflops=1000,
+                     bandwidth_gbs={"dram": 100})
+        assert r.attainable_gflops(1.0, "dram") == 100
+        assert r.bound_kind(1.0, "dram") == "memory"
+
+    def test_compute_bound_region(self):
+        r = Roofline("test", peak_gflops=1000, bandwidth_gbs={"dram": 100})
+        assert r.attainable_gflops(100.0, "dram") == 1000
+        assert r.bound_kind(100.0, "dram") == "compute"
+
+    def test_ridge_point(self):
+        r = Roofline("test", peak_gflops=1000, bandwidth_gbs={"dram": 100})
+        assert r.ridge_intensity("dram") == pytest.approx(10.0)
+
+    def test_default_ceiling_is_fastest(self):
+        r = Roofline("test", peak_gflops=1000,
+                     bandwidth_gbs={"dram": 100, "sram": 500})
+        assert r.attainable_gflops(1.0) == 500
+
+    def test_zero_intensity(self):
+        r = Roofline("t", peak_gflops=10, bandwidth_gbs={"dram": 1})
+        assert r.attainable_gflops(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Roofline("bad", peak_gflops=0, bandwidth_gbs={"dram": 1})
+        with pytest.raises(ValueError):
+            Roofline("bad", peak_gflops=10, bandwidth_gbs={})
+        with pytest.raises(ValueError):
+            Roofline("bad", peak_gflops=10, bandwidth_gbs={"dram": -1})
+
+    def test_sweep(self):
+        r = Roofline("t", peak_gflops=100, bandwidth_gbs={"dram": 10})
+        series = r.sweep([0.1, 1, 10, 100], "dram")
+        values = [v for _, v in series]
+        assert values == sorted(values)
+        assert values[-1] == 100
+
+    def test_point_efficiency(self):
+        r = Roofline("t", peak_gflops=100, bandwidth_gbs={"dram": 10})
+        point = RooflinePoint("op", arithmetic_intensity=100,
+                              achieved_gflops=50)
+        assert point.efficiency(r, "dram") == pytest.approx(0.5)
+
+
+class TestDeviceRooflines:
+    def test_mtia_ridge_points(self):
+        """MTIA's INT8 ridge: ~600 FLOP/byte from DRAM, ~130 from SRAM —
+        why DLRM operators are overwhelmingly memory bound."""
+        r = mtia_roofline("int8")
+        assert r.ridge_intensity("dram") == pytest.approx(104857.6 / 150,
+                                                          rel=0.05)
+        assert r.ridge_intensity("onchip") < r.ridge_intensity("dram")
+
+    def test_gpu_has_higher_ceilings(self):
+        mtia, gpu = mtia_roofline(), gpu_roofline()
+        assert gpu.peak_gflops > mtia.peak_gflops
+        assert gpu.bandwidth_gbs["dram"] > mtia.bandwidth_gbs["dram"]
+
+    def test_nnpi_is_smallest(self):
+        nnpi, mtia = nnpi_roofline(), mtia_roofline()
+        assert nnpi.peak_gflops < mtia.peak_gflops
+        assert nnpi.bandwidth_gbs["dram"] < mtia.bandwidth_gbs["dram"]
+
+    def test_tbe_is_memory_bound_everywhere(self):
+        """Embedding gathers run at ~0.25 FLOP/byte — deep inside every
+        device's memory-bound region."""
+        for make in (mtia_roofline, gpu_roofline, nnpi_roofline):
+            assert make().bound_kind(0.25, "dram") == "memory"
+
+    def test_fp16_halves_mtia_ceiling(self):
+        assert mtia_roofline("fp16").peak_gflops == pytest.approx(
+            mtia_roofline("int8").peak_gflops / 2)

@@ -1,0 +1,71 @@
+"""Softmax/gelu operators and the SE's gelu path."""
+
+import numpy as np
+import pytest
+
+from repro import Accelerator
+from repro.compiler.ir import GraphBuilder
+from repro.compiler.ops import execute_node, op_costs
+from repro.kernels.elementwise import run_nonlinear
+
+
+def _unary_node(op, shape=(4, 16)):
+    b = GraphBuilder()
+    x = b.input(shape, name="x")
+    return b.add(op, (x.name,))
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        node = _unary_node("softmax")
+        x = rng.standard_normal((4, 16)).astype(np.float32) * 3
+        out = execute_node(node, [x])
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4), rtol=1e-5)
+
+    def test_numerically_stable_for_large_inputs(self):
+        node = _unary_node("softmax", (2, 4))
+        x = np.array([[1000., 1000., 1000., 1000.],
+                      [-1000., -1000., -1000., -1000.]], dtype=np.float32)
+        out = execute_node(node, [x])
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, 0.25, rtol=1e-5)
+
+    def test_axis_attr(self, rng):
+        b = GraphBuilder()
+        x = b.input((3, 5), name="x")
+        node = b.add("softmax", (x.name,), axis=0)
+        values = rng.standard_normal((3, 5)).astype(np.float32)
+        out = execute_node(node, [values])
+        np.testing.assert_allclose(out.sum(axis=0), np.ones(5), rtol=1e-5)
+
+    def test_costs_multiple_passes(self):
+        node = _unary_node("softmax")
+        costs = op_costs(node, [node.meta.with_shape((4, 16))])
+        assert costs.flops > 4 * 64     # more than one pass of work
+
+
+class TestGelu:
+    def test_matches_tanh_approximation(self, rng):
+        node = _unary_node("gelu")
+        x = rng.standard_normal((4, 16)).astype(np.float32)
+        out = execute_node(node, [x])
+        ref = 0.5 * x * (1 + np.tanh(np.sqrt(2 / np.pi)
+                                     * (x + 0.044715 * x ** 3)))
+        np.testing.assert_allclose(out, ref, rtol=1e-5)
+
+    def test_gelu_properties(self):
+        node = _unary_node("gelu", (1, 3))
+        x = np.array([[-10.0, 0.0, 10.0]], dtype=np.float32)
+        out = execute_node(node, [x])
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-3)   # kills negatives
+        assert out[0, 1] == 0.0
+        assert out[0, 2] == pytest.approx(10.0, rel=1e-3)  # passes positives
+
+    def test_gelu_runs_on_the_simulated_se(self, rng):
+        values = rng.standard_normal(2048).astype(np.float32)
+        acc = Accelerator()
+        result = run_nonlinear(acc, values, func="gelu",
+                               subgrid=acc.subgrid((0, 0), 1, 2))
+        ref = 0.5 * values * (1 + np.tanh(np.sqrt(2 / np.pi)
+                                          * (values + 0.044715 * values ** 3)))
+        assert np.max(np.abs(result.output - ref)) < 2e-2

@@ -1,0 +1,130 @@
+"""The KNYFE kernel DSL: compile and run pipelines on the simulator."""
+
+import numpy as np
+import pytest
+
+from repro import Accelerator
+from repro.compiler.knyfe import CompiledKernel, KernelSpec, compile_kernel
+from repro.sim import SimulationError
+
+
+class TestCompilation:
+    def test_simple_pipeline_compiles(self):
+        spec = (KernelSpec("t").load("x").apply("tanh").store("y"))
+        kernel = compile_kernel(spec)
+        assert kernel.output_dtype.name == "fp32"
+        assert len(kernel.cb_sizes) == 2
+
+    def test_must_start_with_load(self):
+        spec = KernelSpec("bad")
+        spec.stages.append(spec.stages)  # nothing valid
+        with pytest.raises(SimulationError):
+            compile_kernel(KernelSpec("empty"))
+
+    def test_must_end_with_store(self):
+        spec = KernelSpec("nostore").load("x").apply("tanh")
+        with pytest.raises(SimulationError, match="store"):
+            compile_kernel(spec)
+
+    def test_load_must_be_first(self):
+        spec = KernelSpec("t").load("x")
+        with pytest.raises(SimulationError, match="first"):
+            spec.load("y")
+
+    def test_type_checking_dequantize(self):
+        spec = KernelSpec("bad").load("x", dtype="fp32").dequantize(0.1)
+        spec.store("y")
+        with pytest.raises(SimulationError, match="int8"):
+            compile_kernel(spec)
+
+    def test_type_checking_quantize(self):
+        spec = KernelSpec("bad").load("x", dtype="int8").quantize(0.1)
+        spec.store("y")
+        with pytest.raises(SimulationError, match="float"):
+            compile_kernel(spec)
+
+    def test_binary_dtype_mismatch(self):
+        spec = (KernelSpec("bad").load("x", dtype="fp32")
+                .binary("add", "y", dtype="int8").store("z"))
+        with pytest.raises(SimulationError, match="dtype"):
+            compile_kernel(spec)
+
+    def test_dtype_propagates_through_stages(self):
+        spec = (KernelSpec("chain").load("x", dtype="int8")
+                .dequantize(0.5).apply("tanh").quantize(0.1).store("y"))
+        kernel = compile_kernel(spec)
+        assert kernel.output_dtype.name == "int8"
+
+
+class TestExecution:
+    def test_dequant_tanh_pipeline(self, rng):
+        q = rng.integers(-128, 128, 6000, dtype=np.int8)
+        spec = (KernelSpec("dq_tanh").tile(2048)
+                .load("x", dtype="int8").dequantize(0.05)
+                .apply("tanh").store("y"))
+        kernel = compile_kernel(spec)
+        acc = Accelerator()
+        out = kernel.run(acc, {"x": q}, subgrid=acc.subgrid((0, 0), 2, 2))
+        ref = kernel.reference({"x": q})
+        np.testing.assert_allclose(out["y"], ref, atol=5e-3)
+        assert kernel.cycles > 0
+
+    def test_binary_pipeline(self, rng):
+        a = rng.standard_normal(3000).astype(np.float32)
+        b = rng.standard_normal(3000).astype(np.float32)
+        spec = (KernelSpec("axpy").tile(1024)
+                .load("a").binary("add", "b").store("y"))
+        kernel = compile_kernel(spec)
+        acc = Accelerator()
+        out = kernel.run(acc, {"a": a, "b": b},
+                         subgrid=acc.subgrid((0, 0), 2, 2))
+        np.testing.assert_allclose(out["y"], a + b, rtol=1e-6)
+
+    def test_quantize_pipeline_matches_dedicated_kernel(self, rng):
+        values = rng.standard_normal(4096).astype(np.float32)
+        spec = (KernelSpec("q").tile(1024)
+                .load("x").quantize(0.1).store("y"))
+        kernel = compile_kernel(spec)
+        acc = Accelerator()
+        out = kernel.run(acc, {"x": values},
+                         subgrid=acc.subgrid((0, 0), 1, 2))
+        ref = np.clip(np.round(values / 0.1), -128, 127).astype(np.int8)
+        np.testing.assert_array_equal(out["y"], ref)
+
+    def test_fused_beats_unfused_round_trips(self, rng):
+        """Fusing dequant+tanh in one kernel avoids a DRAM round trip —
+        the operator-fusion benefit the paper's compiler chases."""
+        q = rng.integers(-128, 128, 16384, dtype=np.int8)
+        fused_spec = (KernelSpec("fused").tile(4096)
+                      .load("x", dtype="int8").dequantize(0.05)
+                      .apply("tanh").store("y"))
+        fused = compile_kernel(fused_spec)
+        acc1 = Accelerator()
+        fused.run(acc1, {"x": q}, subgrid=acc1.subgrid((0, 0), 2, 2))
+
+        dq_spec = (KernelSpec("dq").tile(4096)
+                   .load("x", dtype="int8").dequantize(0.05).store("t"))
+        tanh_spec = (KernelSpec("tanh").tile(4096)
+                     .load("t").apply("tanh").store("y"))
+        acc2 = Accelerator()
+        k1 = compile_kernel(dq_spec)
+        mid = k1.run(acc2, {"x": q}, subgrid=acc2.subgrid((0, 0), 2, 2))
+        k2 = compile_kernel(tanh_spec)
+        k2.run(acc2, {"t": mid["t"]}, subgrid=acc2.subgrid((0, 0), 2, 2))
+        assert fused.cycles < k1.cycles + k2.cycles
+
+    def test_input_dtype_validated(self, rng):
+        spec = (KernelSpec("strict").load("x", dtype="int8")
+                .dequantize(1.0).store("y"))
+        kernel = compile_kernel(spec)
+        with pytest.raises(SimulationError, match="dtype"):
+            kernel.run(Accelerator(),
+                       {"x": rng.standard_normal(64).astype(np.float32)})
+
+    def test_mismatched_input_lengths_rejected(self, rng):
+        spec = (KernelSpec("b").load("a").binary("add", "b").store("y"))
+        kernel = compile_kernel(spec)
+        with pytest.raises(SimulationError, match="equal length"):
+            kernel.run(Accelerator(), {
+                "a": np.zeros(64, np.float32),
+                "b": np.zeros(32, np.float32)})

@@ -1,0 +1,185 @@
+"""Operator registry: inference, execution, costs."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.ir import GraphBuilder, Node
+from repro.compiler.ops import OP_REGISTRY, execute_node, op_costs
+from repro.runtime.tensor import TensorMeta
+
+
+def meta(shape, dtype="fp32"):
+    return TensorMeta(tuple(shape), dtype)
+
+
+def node_for(op, metas, **attrs):
+    b = GraphBuilder()
+    names = []
+    for i, m in enumerate(metas):
+        n = b.input(m.shape, dtype=m.dtype.name, name=f"in{i}")
+        names.append(n.name)
+    return b.add(op, names, **attrs)
+
+
+class TestShapeInference:
+    def test_fc(self):
+        n = node_for("fc", [meta((8, 64)), meta((32, 64))])
+        assert n.meta.shape == (8, 32)
+
+    def test_concat_axis1(self):
+        n = node_for("concat", [meta((4, 8)), meta((4, 12))], axis=1)
+        assert n.meta.shape == (4, 20)
+
+    def test_concat_off_axis_mismatch(self):
+        with pytest.raises(ValueError, match="off-axis"):
+            node_for("concat", [meta((4, 8)), meta((5, 8))], axis=1)
+
+    def test_transpose(self):
+        n = node_for("transpose", [meta((3, 7))])
+        assert n.meta.shape == (7, 3)
+
+    def test_transpose_requires_2d(self):
+        with pytest.raises(ValueError, match="2D"):
+            node_for("transpose", [meta((2, 3, 4))])
+
+    def test_bmm(self):
+        n = node_for("batch_matmul", [meta((5, 8, 16)), meta((5, 16, 4))])
+        assert n.meta.shape == (5, 8, 4)
+
+    def test_bmm_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            node_for("batch_matmul", [meta((5, 8, 16)), meta((5, 15, 4))])
+
+    def test_quantize_produces_int8(self):
+        n = node_for("quantize", [meta((4, 4))], scale=0.1)
+        assert n.meta.dtype.name == "int8"
+        assert n.meta.scale == 0.1
+
+    def test_reshape_conserves_elements(self):
+        n = node_for("reshape", [meta((4, 6))], shape=(2, 12))
+        assert n.meta.shape == (2, 12)
+        with pytest.raises(ValueError, match="element count"):
+            node_for("reshape", [meta((4, 6))], shape=(5, 5))
+
+    def test_slice(self):
+        n = node_for("slice", [meta((4, 10))], axis=1, start=2, stop=7)
+        assert n.meta.shape == (4, 5)
+        with pytest.raises(ValueError, match="outside"):
+            node_for("slice", [meta((4, 10))], axis=1, start=8, stop=12)
+
+    def test_unknown_op(self):
+        b = GraphBuilder()
+        with pytest.raises(ValueError, match="unknown operator"):
+            b.add("conv3d", ())
+
+
+class TestExecution:
+    def test_fc_numeric(self, rng):
+        n = node_for("fc", [meta((4, 8)), meta((6, 8))])
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+        w = rng.standard_normal((6, 8)).astype(np.float32)
+        out = execute_node(n, [x, w])
+        np.testing.assert_allclose(out, x @ w.T, rtol=1e-5)
+
+    def test_fc_with_bias(self, rng):
+        b = GraphBuilder()
+        x = b.input((4, 8), name="x")
+        w = b.weight((6, 8), name="w")
+        bias = b.weight((6,), name="b")
+        n = b.add("fc", (x.name, w.name, bias.name))
+        xv = rng.standard_normal((4, 8)).astype(np.float32)
+        wv = rng.standard_normal((6, 8)).astype(np.float32)
+        bv = rng.standard_normal(6).astype(np.float32)
+        out = execute_node(n, [xv, wv, bv])
+        np.testing.assert_allclose(out, xv @ wv.T + bv, rtol=1e-5)
+
+    def test_embedding_bag(self, rng):
+        b = GraphBuilder()
+        t = b.weight((100, 16), dtype="int8", name="t")
+        idx = b.input((4, 3), dtype="int32", name="i")
+        n = b.add("embedding_bag", (t.name, idx.name), batch=4, pooling=3,
+                  scale=0.5)
+        table = rng.integers(-128, 128, (100, 16), dtype=np.int8)
+        indices = rng.integers(0, 100, (4, 3))
+        out = execute_node(n, [table, indices])
+        ref = table[indices].astype(np.float32).sum(axis=1) * 0.5
+        np.testing.assert_allclose(out, ref)
+
+    def test_tbe_concatenates_tables(self, rng):
+        b = GraphBuilder()
+        inputs = []
+        for i in range(2):
+            t = b.weight((50, 8), dtype="int8", name=f"t{i}")
+            idx = b.input((4, 2), dtype="int32", name=f"i{i}")
+            inputs.extend([t.name, idx.name])
+        n = b.add("tbe", inputs, batch=4, pooling=2, scale=1.0)
+        assert n.meta.shape == (4, 16)
+        tables = [rng.integers(-10, 10, (50, 8), dtype=np.int8)
+                  for _ in range(2)]
+        idxs = [rng.integers(0, 50, (4, 2)) for _ in range(2)]
+        out = execute_node(n, [tables[0], idxs[0], tables[1], idxs[1]])
+        ref = np.concatenate(
+            [t[i].astype(np.float32).sum(axis=1) for t, i in zip(tables, idxs)],
+            axis=1)
+        np.testing.assert_allclose(out, ref)
+
+    def test_quantize_dequantize_roundtrip(self, rng):
+        x = rng.standard_normal((8, 8)).astype(np.float32)
+        qn = node_for("quantize", [meta((8, 8))], scale=0.05)
+        q = execute_node(qn, [x])
+        dqn = node_for("dequantize", [meta((8, 8), "int8")], scale=0.05)
+        back = execute_node(dqn, [q])
+        assert np.max(np.abs(back - x)) <= 0.05 / 2 + 1e-6
+
+    def test_layernorm(self, rng):
+        x = rng.standard_normal((4, 64)).astype(np.float32) * 3 + 1
+        n = node_for("layernorm", [meta((4, 64))])
+        out = execute_node(n, [x])
+        np.testing.assert_allclose(out.mean(axis=1), 0, atol=1e-5)
+
+    def test_source_without_data_raises(self):
+        b = GraphBuilder()
+        n = b.input((4,), name="x")
+        with pytest.raises(ValueError, match="without bound data"):
+            execute_node(n, [])
+
+
+class TestCosts:
+    def test_fc_costs(self):
+        n = node_for("fc", [meta((8, 64), "int8"), meta((32, 64), "int8")])
+        costs = op_costs(n, [meta((8, 64), "int8"), meta((32, 64), "int8")])
+        assert costs.flops == 2 * 8 * 64 * 32
+        assert costs.bytes_in == 8 * 64 + 32 * 64
+        assert costs.category == "fc"
+
+    def test_eb_costs_count_lookups(self):
+        tm, im = meta((1000, 64), "int8"), meta((16, 8), "int32")
+        n = node_for("embedding_bag", [tm, im], batch=16, pooling=8)
+        costs = op_costs(n, [tm, im])
+        assert costs.bytes_in == 16 * 8 * (64 + 4)
+        assert costs.category == "eb"
+
+    def test_concat_is_pure_movement(self):
+        metas = [meta((4, 8), "int8"), meta((4, 8), "int8")]
+        n = node_for("concat", metas, axis=1)
+        costs = op_costs(n, metas)
+        assert costs.flops == 0
+        assert costs.bytes_in == 64
+        assert costs.bytes_out == 64
+
+    def test_arithmetic_intensity(self):
+        n = node_for("fc", [meta((64, 512), "int8"), meta((512, 512), "int8")])
+        costs = op_costs(n, [meta((64, 512), "int8"),
+                             meta((512, 512), "int8")])
+        assert costs.arithmetic_intensity > 10
+
+    def test_reshape_is_free(self):
+        n = node_for("reshape", [meta((4, 4))], shape=(16,))
+        costs = op_costs(n, [meta((4, 4))])
+        assert costs.bytes_total == 0
+
+    def test_all_registered_ops_have_categories(self):
+        categories = {"fc", "eb", "concat", "transpose", "bmm", "quantize",
+                      "dequantize", "other"}
+        for name, opdef in OP_REGISTRY.items():
+            assert opdef.category in categories, name

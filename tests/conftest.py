@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.config import MTIA_V1, ChipConfig
+from repro.core import Accelerator
+from repro.memory import SRAMMode
+from repro.sim import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def accelerator():
+    """A default accelerator (SRAM in cache mode)."""
+    return Accelerator(MTIA_V1)
+
+
+@pytest.fixture
+def scratchpad_accelerator():
+    """An accelerator with the SRAM configured as scratchpad."""
+    return Accelerator(MTIA_V1, sram_mode=SRAMMode.SCRATCHPAD)
+
+
+@pytest.fixture
+def small_config():
+    """A 2x2-grid configuration for cheap simulation tests."""
+    return MTIA_V1.scaled(grid_rows=2, grid_cols=2)
+
+
+@pytest.fixture
+def small_accelerator(small_config):
+    return Accelerator(small_config)

@@ -1,0 +1,204 @@
+"""Circular buffers: the buffet-style abstraction of Section 3.3."""
+
+import numpy as np
+import pytest
+
+from repro.config import MTIA_V1
+from repro.core.circular_buffer import CircularBuffer
+from repro.memory.local_memory import LocalMemory
+from repro.sim import Engine, SimulationError
+
+
+@pytest.fixture
+def lm(engine):
+    return LocalMemory(engine, MTIA_V1.local_memory)
+
+
+@pytest.fixture
+def cb(engine, lm):
+    return CircularBuffer(engine, lm, cb_id=0, base=0, size=256)
+
+
+class TestAccounting:
+    def test_starts_empty(self, cb):
+        assert cb.available == 0
+        assert cb.space == 256
+
+    def test_produce_consume(self, cb):
+        cb.write_and_push(np.arange(100, dtype=np.uint8))
+        assert cb.available == 100
+        assert cb.space == 156
+        cb.pop(40)
+        assert cb.available == 60
+        assert cb.total_consumed == 40
+
+    def test_pop_beyond_available_rejected(self, cb):
+        cb.write_and_push(np.zeros(10, np.uint8))
+        with pytest.raises(SimulationError):
+            cb.pop(11)
+
+    def test_push_beyond_space_rejected(self, cb):
+        cb.push(200)
+        with pytest.raises(SimulationError):
+            cb.push(100)
+
+    def test_completely_full_buffer_representable(self, cb):
+        cb.write_and_push(np.zeros(256, np.uint8))
+        assert cb.available == 256
+        assert cb.space == 0
+
+    def test_out_of_bounds_definition_rejected(self, engine, lm):
+        with pytest.raises(ValueError):
+            CircularBuffer(engine, lm, 0, base=0,
+                           size=MTIA_V1.local_memory.capacity_bytes + 1)
+        with pytest.raises(ValueError):
+            CircularBuffer(engine, lm, 0, base=0, size=0)
+
+
+class TestDataPath:
+    def test_fifo_roundtrip(self, cb, rng):
+        data = rng.integers(0, 256, 200, dtype=np.uint8)
+        cb.write_and_push(data)
+        np.testing.assert_array_equal(cb.read_and_pop(200), data)
+
+    def test_wraparound(self, cb, rng):
+        first = rng.integers(0, 256, 200, dtype=np.uint8)
+        cb.write_and_push(first)
+        cb.pop(200)
+        # Now 56 bytes remain before the wrap point.
+        second = rng.integers(0, 256, 150, dtype=np.uint8)
+        cb.write_and_push(second)
+        np.testing.assert_array_equal(cb.read_and_pop(150), second)
+
+    def test_offset_read_does_not_consume(self, cb, rng):
+        """Section 3.3: offset reads allow reuse before marking consumed."""
+        data = rng.integers(0, 256, 128, dtype=np.uint8)
+        cb.write_and_push(data)
+        for _ in range(3):
+            np.testing.assert_array_equal(cb.read_at(64, 32), data[64:96])
+        assert cb.available == 128
+
+    def test_offset_write_then_explicit_push(self, cb, rng):
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        cb.write_at(0, data)
+        assert cb.available == 0      # not yet produced
+        cb.push(64)
+        np.testing.assert_array_equal(cb.read_at(0, 64), data)
+
+    def test_read_larger_than_buffer_rejected(self, cb):
+        with pytest.raises(SimulationError):
+            cb.read_at(200, 100)
+
+    def test_data_lives_in_local_memory(self, cb, lm, rng):
+        data = rng.integers(0, 256, 32, dtype=np.uint8)
+        cb.write_and_push(data)
+        np.testing.assert_array_equal(lm.peek(0, 32), data)
+
+
+class TestBlockingChecks:
+    def test_wait_elements_blocks_until_push(self, engine, cb):
+        times = []
+
+        def consumer():
+            yield cb.wait_elements(64)
+            times.append(engine.now)
+
+        def producer():
+            yield 30
+            cb.write_and_push(np.zeros(32, np.uint8))
+            yield 30
+            cb.write_and_push(np.zeros(32, np.uint8))
+
+        engine.process(consumer())
+        engine.process(producer())
+        engine.run()
+        assert times == [60]
+
+    def test_wait_space_blocks_until_pop(self, engine, cb):
+        cb.write_and_push(np.zeros(256, np.uint8))
+        times = []
+
+        def producer():
+            yield cb.wait_space(100)
+            times.append(engine.now)
+
+        def consumer():
+            yield 25
+            cb.pop(100)
+
+        engine.process(producer())
+        engine.process(consumer())
+        engine.run()
+        assert times == [25]
+
+    def test_satisfied_wait_fires_immediately(self, engine, cb):
+        cb.write_and_push(np.zeros(10, np.uint8))
+        ev = cb.wait_elements(10)
+        assert ev.triggered
+
+    def test_impossible_wait_rejected(self, cb):
+        with pytest.raises(SimulationError, match="never succeed"):
+            cb.wait_elements(257)
+        with pytest.raises(SimulationError, match="never succeed"):
+            cb.wait_space(257)
+
+    def test_multiple_waiters_wake_in_any_satisfied_order(self, engine, cb):
+        woken = []
+
+        def waiter(tag, amount):
+            yield cb.wait_elements(amount)
+            woken.append(tag)
+
+        engine.process(waiter("small", 16))
+        engine.process(waiter("large", 128))
+        engine.run()
+        cb.write_and_push(np.zeros(16, np.uint8))
+        engine.run()
+        assert woken == ["small"]
+        cb.write_and_push(np.zeros(112, np.uint8))
+        engine.run()
+        assert woken == ["small", "large"]
+
+
+class TestReservations:
+    def test_reserve_claims_space(self, cb):
+        cb.reserve(100)
+        assert cb.space == 156
+        assert cb.reserved == 100
+
+    def test_commit_converts_to_fill(self, cb, rng):
+        data = rng.integers(0, 256, 100, dtype=np.uint8)
+        cb.reserve(100)
+        cb.commit(data)
+        assert cb.reserved == 0
+        assert cb.available == 100
+        np.testing.assert_array_equal(cb.read_at(0, 100), data)
+
+    def test_overcommit_rejected(self, cb):
+        cb.reserve(10)
+        with pytest.raises(SimulationError):
+            cb.commit(np.zeros(11, np.uint8))
+
+    def test_reserve_beyond_space_rejected(self, cb):
+        cb.write_and_push(np.zeros(200, np.uint8))
+        with pytest.raises(SimulationError):
+            cb.reserve(100)
+
+    def test_wait_space_respects_reservations(self, engine, cb):
+        cb.reserve(200)
+        ev = cb.wait_space(100)
+        assert not ev.triggered
+        cb.commit(np.zeros(200, np.uint8))
+        cb.pop(200)
+        engine.run()
+        assert ev.triggered
+
+    def test_interleaved_reservations_commit_in_order(self, cb):
+        cb.reserve(32)
+        cb.reserve(32)
+        first = np.full(32, 1, np.uint8)
+        second = np.full(32, 2, np.uint8)
+        cb.commit(first)
+        cb.commit(second)
+        np.testing.assert_array_equal(cb.read_and_pop(32), first)
+        np.testing.assert_array_equal(cb.read_and_pop(32), second)

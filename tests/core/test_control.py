@@ -1,0 +1,185 @@
+"""Control subsystem, register network, boot sequence, doorbells."""
+
+import pytest
+
+from repro import Accelerator
+from repro.config import MTIA_V1
+from repro.core.control import (BOOT_STAGE_CYCLES, BootStage,
+                                ControlSubsystem, REG_BOOT_STAGE,
+                                REG_DOORBELL, REG_JOBS_SUBMITTED,
+                                REG_PE_STATE)
+from repro.noc.register_network import RegisterNetwork
+from repro.sim import Engine, SimulationError
+
+
+class TestRegisterNetwork:
+    def test_read_write_transaction(self, engine):
+        net = RegisterNetwork(engine, MTIA_V1)
+        block = net.register_block("unit")
+        block.define(0x0, 7)
+
+        def program():
+            value = yield from net.read("unit", 0x0)
+            yield from net.write("unit", 0x0, value + 1)
+            return (yield from net.read("unit", 0x0))
+
+        assert engine.run_process(program()) == 8
+        assert net.stats["reads"] == 2
+        assert net.stats["writes"] == 1
+
+    def test_undefined_register_rejected(self, engine):
+        net = RegisterNetwork(engine, MTIA_V1)
+        net.register_block("unit")
+
+        def program():
+            yield from net.read("unit", 0x40)
+
+        with pytest.raises(SimulationError, match="undefined register"):
+            engine.run_process(program())
+
+    def test_unknown_block_rejected(self, engine):
+        net = RegisterNetwork(engine, MTIA_V1)
+
+        def program():
+            yield from net.read("ghost", 0)
+
+        with pytest.raises(SimulationError, match="no register block"):
+            engine.run_process(program())
+
+    def test_duplicate_block_rejected(self, engine):
+        net = RegisterNetwork(engine, MTIA_V1)
+        net.register_block("x")
+        with pytest.raises(SimulationError, match="already exists"):
+            net.register_block("x")
+
+    def test_transactions_take_time(self, engine):
+        net = RegisterNetwork(engine, MTIA_V1)
+        block = net.register_block("unit")
+        block.define(0)
+
+        def program():
+            yield from net.read("unit", 0)
+            return engine.now
+
+        assert engine.run_process(program()) >= 4
+
+    def test_write_hook_fires(self, engine):
+        net = RegisterNetwork(engine, MTIA_V1)
+        seen = []
+        block = net.register_block("unit")
+        block.define(0x8, on_write=seen.append)
+
+        def program():
+            yield from net.write("unit", 0x8, 42)
+
+        engine.run_process(program())
+        assert seen == [42]
+
+    def test_poll_until_value(self, engine):
+        net = RegisterNetwork(engine, MTIA_V1)
+        block = net.register_block("unit")
+        block.define(0)
+
+        def setter():
+            yield 200
+            block.poke(0, 1)
+
+        def poller():
+            waited = yield from net.poll("unit", 0, expected=1)
+            return engine.now
+
+        engine.process(setter())
+        proc = engine.process(poller())
+        engine.run()
+        assert proc.value >= 200
+
+    def test_poll_timeout(self, engine):
+        net = RegisterNetwork(engine, MTIA_V1)
+        block = net.register_block("unit")
+        block.define(0)
+
+        def poller():
+            yield from net.poll("unit", 0, expected=1, timeout=100)
+
+        with pytest.raises(SimulationError, match="timed out"):
+            engine.run_process(poller())
+
+
+class TestBootSequence:
+    def test_stages_progress_in_order(self, engine):
+        control = ControlSubsystem(engine, MTIA_V1)
+        assert control.stage is BootStage.RESET
+        ready = control.boot()
+        engine.run()
+        assert ready.triggered
+        assert control.stage is BootStage.READY
+        assert engine.now == sum(BOOT_STAGE_CYCLES.values())
+
+    def test_boot_twice_rejected(self, engine):
+        control = ControlSubsystem(engine, MTIA_V1)
+        control.boot()
+        engine.run()
+        with pytest.raises(SimulationError):
+            control.boot()
+
+    def test_boot_stage_visible_in_csr(self, engine):
+        control = ControlSubsystem(engine, MTIA_V1)
+        control.boot()
+        engine.run()
+        assert control.csr.read(REG_BOOT_STAGE) == BootStage.READY.value
+
+    def test_accelerator_default_is_booted(self):
+        acc = Accelerator()
+        assert acc.control.ready
+
+    def test_accelerator_simulate_boot(self):
+        acc = Accelerator(simulate_boot=True)
+        assert not acc.control.ready
+        acc.control.boot()
+        acc.engine.run()
+        assert acc.control.ready
+
+
+class TestDoorbellsAndMonitors:
+    def test_host_doorbell_reaches_firmware(self):
+        acc = Accelerator()
+        control = acc.control
+        got = []
+
+        def firmware():
+            value = yield control.next_doorbell()
+            got.append(value)
+
+        def host():
+            yield 10
+            yield from control.ring_doorbell(99)
+
+        acc.engine.process(firmware())
+        acc.engine.process(host())
+        acc.engine.run()
+        assert got == [99]
+        assert control.csr.read(REG_JOBS_SUBMITTED) == 1
+
+    def test_doorbell_before_boot_rejected(self, engine):
+        control = ControlSubsystem(engine, MTIA_V1)
+
+        def host():
+            yield from control.ring_doorbell()
+
+        with pytest.raises(SimulationError, match="not booted"):
+            engine.run_process(host())
+
+    def test_pe_monitors_track_state(self):
+        acc = Accelerator()
+        acc.control.mark_pe(5, 2)
+        assert acc.control.busy_pes() == 1
+        assert acc.control.pe_monitors[5].read(REG_PE_STATE) == 2
+        acc.control.mark_pe(5, 0)
+        assert acc.control.busy_pes() == 0
+
+    def test_job_counters(self):
+        acc = Accelerator()
+        acc.control.complete_job()
+        acc.control.complete_job()
+        from repro.core.control import REG_JOBS_COMPLETED
+        assert acc.control.csr.read(REG_JOBS_COMPLETED) == 2

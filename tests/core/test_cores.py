@@ -1,0 +1,178 @@
+"""CoreContext and the RISC-V vector unit."""
+
+import numpy as np
+import pytest
+
+from repro.isa.commands import InitCB, PopCB
+from repro.sim import SimulationError
+
+
+@pytest.fixture
+def pe(small_accelerator):
+    return small_accelerator.grid.pe(0, 0)
+
+
+def run(acc, pe, program, core=1):
+    proc = acc.launch(program, pe.cores[core], name="core-test")
+    acc.run()
+    return proc.value
+
+
+class TestCoreContext:
+    def test_issue_rejects_non_commands(self, small_accelerator, pe):
+        def program(ctx):
+            yield from ctx.issue("not a command")
+
+        with pytest.raises(SimulationError, match="not a Command"):
+            run(small_accelerator, pe, program, core=0)
+
+    def test_issue_charges_issue_cycles(self, small_accelerator, pe):
+        def program(ctx):
+            t0 = ctx.engine.now
+            yield from ctx.issue(InitCB(cb_id=0, base=0, size=64))
+            return ctx.engine.now - t0
+
+        elapsed = run(small_accelerator, pe, program, core=0)
+        assert elapsed >= pe.config.cp.issue_cycles
+
+    def test_drain_waits_for_outstanding(self, small_accelerator, pe):
+        def program(ctx):
+            yield from ctx.issue(InitCB(cb_id=0, base=0, size=256))
+            pe.cb  # command not yet executed necessarily
+            yield from ctx.drain()
+            return pe.cb(0).size
+
+        assert run(small_accelerator, pe, program, core=0) == 256
+
+    def test_drain_with_nothing_outstanding(self, small_accelerator, pe):
+        def program(ctx):
+            yield from ctx.drain()
+            return "ok"
+
+        assert run(small_accelerator, pe, program, core=0) == "ok"
+
+    def test_local_load_store(self, small_accelerator, pe, rng):
+        payload = rng.integers(0, 256, 64, dtype=np.uint8)
+
+        def program(ctx):
+            yield from ctx.store(0x100, payload)
+            data = yield from ctx.load(0x100, 64)
+            return data
+
+        out = run(small_accelerator, pe, program, core=0)
+        np.testing.assert_array_equal(out, payload)
+
+    def test_invalid_core_id_rejected(self, pe):
+        from repro.core.cores import CoreContext
+        with pytest.raises(SimulationError):
+            CoreContext(pe, 2)
+
+    def test_wait_all(self, small_accelerator, pe):
+        def program(ctx):
+            handles = []
+            for i in range(3):
+                h = yield from ctx.issue(InitCB(cb_id=i, base=i * 64,
+                                                size=64))
+                handles.append(h)
+            yield from ctx.wait_all(handles)
+            return [pe.cb(i).size for i in range(3)]
+
+        assert run(small_accelerator, pe, program, core=0) == [64, 64, 64]
+
+
+class TestVectorUnit:
+    def test_only_core1_has_vector(self, pe):
+        assert pe.cores[0].vector is None
+        assert pe.cores[1].vector is not None
+
+    @pytest.mark.parametrize("op,fn", [
+        ("add", np.add), ("sub", np.subtract), ("mul", np.multiply),
+        ("max", np.maximum)])
+    def test_binary_ops(self, small_accelerator, pe, rng, op, fn):
+        a = rng.standard_normal(100).astype(np.float32)
+        b = rng.standard_normal(100).astype(np.float32)
+        pe.local_memory.poke(0, a)
+        pe.local_memory.poke(512, b)
+
+        def program(ctx):
+            yield from ctx.vector.binary_op(op, 0, 512, 1024, 100)
+
+        run(small_accelerator, pe, program)
+        out = pe.local_memory.peek_array(1024, (100,), np.float32)
+        np.testing.assert_allclose(out, fn(a, b), rtol=1e-6)
+
+    def test_unknown_binary_op_rejected(self, small_accelerator, pe):
+        def program(ctx):
+            yield from ctx.vector.binary_op("xor", 0, 0, 0, 8)
+
+        with pytest.raises(SimulationError, match="unknown op"):
+            run(small_accelerator, pe, program)
+
+    def test_reduce_add(self, small_accelerator, pe, rng):
+        values = rng.standard_normal(257).astype(np.float32)
+        pe.local_memory.poke(0, values)
+
+        def program(ctx):
+            total = yield from ctx.vector.reduce_add(0, 257)
+            return total
+
+        total = run(small_accelerator, pe, program)
+        assert total == pytest.approx(float(values.sum()), rel=1e-5)
+
+    def test_fill(self, small_accelerator, pe):
+        def program(ctx):
+            yield from ctx.vector.fill(64, 10, 2.5)
+
+        run(small_accelerator, pe, program)
+        out = pe.local_memory.peek_array(64, (10,), np.float32)
+        assert (out == 2.5).all()
+
+    def test_dequant_accumulate(self, small_accelerator, pe, rng):
+        row = rng.integers(-128, 128, 64, dtype=np.int8)
+        acc0 = rng.standard_normal(64).astype(np.float32)
+        pe.local_memory.poke(0, row)
+        pe.local_memory.poke(256, acc0)
+
+        def program(ctx):
+            yield from ctx.vector.dequant_accumulate(0, 256, 64, scale=0.5,
+                                                     bias=1.0)
+
+        run(small_accelerator, pe, program)
+        out = pe.local_memory.peek_array(256, (64,), np.float32)
+        expected = acc0 + row.astype(np.float32) * 0.5 + 1.0
+        np.testing.assert_allclose(out, expected, rtol=1e-6)
+
+    def test_timing_scales_with_elements(self, small_accelerator, pe):
+        def program(ctx):
+            t0 = ctx.engine.now
+            yield from ctx.vector.fill(0, 64, 0.0)
+            small = ctx.engine.now - t0
+            t0 = ctx.engine.now
+            yield from ctx.vector.fill(0, 4096, 0.0)
+            return small, ctx.engine.now - t0
+
+        small, large = run(small_accelerator, pe, program)
+        assert large > 2 * small
+
+    def test_batched_reduce_add(self, small_accelerator, pe, rng):
+        mat = rng.standard_normal((10, 32)).astype(np.float32)
+        pe.local_memory.poke(0, mat)
+
+        def program(ctx):
+            yield from ctx.vector.batched_reduce_add(0, 10, 32, 4096)
+
+        run(small_accelerator, pe, program)
+        out = pe.local_memory.peek_array(4096, (32,), np.float32)
+        np.testing.assert_allclose(out, mat.sum(axis=0), rtol=1e-5)
+
+    def test_layernorm_numerics(self, small_accelerator, pe, rng):
+        vec = (rng.standard_normal(128) * 7 + 2).astype(np.float32)
+        pe.local_memory.poke(0, vec)
+
+        def program(ctx):
+            yield from ctx.vector.layernorm(0, 128, 1024)
+
+        run(small_accelerator, pe, program)
+        out = pe.local_memory.peek_array(1024, (128,), np.float32)
+        assert out.mean() == pytest.approx(0.0, abs=1e-5)
+        assert out.std() == pytest.approx(1.0, abs=1e-2)

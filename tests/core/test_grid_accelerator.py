@@ -1,0 +1,149 @@
+"""PE composition, grid/sub-grid management, accelerator facade."""
+
+import numpy as np
+import pytest
+
+from repro import Accelerator
+from repro.config import MTIA_V1
+from repro.memory import SRAMMode
+from repro.memory.address_map import SRAM_BASE
+from repro.sim import SimulationError
+
+
+class TestPE:
+    def test_pe_indexing(self, accelerator):
+        pe = accelerator.grid.pe(3, 5)
+        assert pe.coord == (3, 5)
+        assert pe.index == 3 * 8 + 5
+
+    def test_pe_has_two_cores(self, accelerator):
+        pe = accelerator.grid.pe(0, 0)
+        assert len(pe.cores) == 2
+        assert pe.cores[0].core_id == 0
+        assert pe.cores[1].core_id == 1
+
+    def test_cb_limit_enforced(self, small_accelerator):
+        pe = small_accelerator.grid.pe(0, 0)
+        limit = MTIA_V1.local_memory.max_circular_buffers
+        for i in range(limit):
+            pe.define_cb(i, 0, 64)
+        with pytest.raises(SimulationError, match="CBs"):
+            pe.define_cb(limit, 0, 64)
+        # redefinition of an existing ID is allowed
+        pe.define_cb(0, 0, 128)
+
+    def test_unit_routing(self, accelerator):
+        from repro.isa.commands import (CopyCmd, DMALoad, MML, PopCB,
+                                        QuantizeCmd, Reduce)
+        pe = accelerator.grid.pe(0, 0)
+        assert pe.unit_for(MML(), 0) is pe.dpe_unit
+        assert pe.unit_for(DMALoad(), 0) is pe.fi_unit
+        assert pe.unit_for(CopyCmd(), 0) is pe.mlu_unit
+        assert pe.unit_for(QuantizeCmd(), 0) is pe.se_unit
+        assert pe.unit_for(Reduce(dest_cb=0), 0) is pe.re_unit
+        cp0 = pe.unit_for(PopCB(), 0)
+        cp1 = pe.unit_for(PopCB(), 1)
+        assert cp0 is not cp1    # per-core CP pseudo-units
+
+    def test_stats_rollup(self, small_accelerator):
+        from repro.kernels.fc import run_fc
+        acc = small_accelerator
+        run_fc(acc, m=64, k=64, n=64, subgrid=acc.subgrid((0, 0), 1, 1))
+        stats = acc.grid.pe(0, 0).collect_stats()
+        assert stats["dpe.macs"] > 0
+        assert stats["fi.load_bytes"] > 0
+
+
+class TestGridAndSubgrid:
+    def test_grid_iteration_covers_all(self, accelerator):
+        coords = [pe.coord for pe in accelerator.grid]
+        assert len(coords) == 64
+        assert len(set(coords)) == 64
+
+    def test_out_of_range_pe_rejected(self, accelerator):
+        with pytest.raises(SimulationError):
+            accelerator.grid.pe(8, 0)
+        with pytest.raises(SimulationError):
+            accelerator.grid.pe(0, -1)
+
+    def test_subgrid_local_coordinates(self, accelerator):
+        sub = accelerator.subgrid((2, 3), 2, 4)
+        assert sub.pe(0, 0).coord == (2, 3)
+        assert sub.pe(1, 3).coord == (3, 6)
+        assert sub.num_pes == 8
+
+    def test_subgrid_bounds_checked(self, accelerator):
+        with pytest.raises(SimulationError):
+            accelerator.subgrid((7, 7), 2, 2)
+        with pytest.raises(SimulationError):
+            accelerator.subgrid((0, 0), -1, 4)
+
+    def test_subgrid_local_access_bounds(self, accelerator):
+        sub = accelerator.subgrid((0, 0), 2, 2)
+        with pytest.raises(SimulationError):
+            sub.pe(2, 0)
+
+    def test_default_subgrid_is_whole_grid(self, accelerator):
+        sub = accelerator.subgrid()
+        assert sub.rows == 8 and sub.cols == 8
+
+    def test_reduction_chains(self, accelerator):
+        sub = accelerator.subgrid((1, 1), 3, 3)
+        east = sub.reduction_chain_east(0)
+        assert east == [(1, 1), (1, 2), (1, 3)]
+        south = sub.reduction_chain_south(2)
+        assert south == [(1, 3), (2, 3), (3, 3)]
+
+    def test_multicast_group_helpers(self, accelerator):
+        sub = accelerator.subgrid((2, 2), 2, 4)
+        row_group = sub.row_multicast_group(0, [0, 2])
+        assert row_group.members == [(2, 2), (2, 4)]
+        col_group = sub.col_multicast_group(1, [0, 1])
+        assert col_group.members == [(2, 3), (3, 3)]
+
+
+class TestAcceleratorFacade:
+    def test_alloc_dram_is_aligned_and_disjoint(self, accelerator):
+        a = accelerator.alloc_dram(100)
+        b = accelerator.alloc_dram(100)
+        assert a % Accelerator.ALLOC_ALIGN == 0
+        assert b >= a + 100
+
+    def test_alloc_sram_requires_scratchpad_mode(self, accelerator,
+                                                 scratchpad_accelerator):
+        with pytest.raises(SimulationError, match="cache mode"):
+            accelerator.alloc_sram(100)
+        addr = scratchpad_accelerator.alloc_sram(100)
+        assert addr >= SRAM_BASE
+
+    def test_dram_exhaustion(self):
+        acc = Accelerator(MTIA_V1.scaled(grid_rows=1, grid_cols=1))
+        with pytest.raises(MemoryError):
+            acc.alloc_dram(MTIA_V1.dram.capacity_bytes + 1)
+
+    def test_upload_download_roundtrip(self, accelerator, rng):
+        data = rng.standard_normal((16, 16)).astype(np.float32)
+        addr = accelerator.upload(data)
+        out = accelerator.download(addr, (16, 16), np.float32)
+        np.testing.assert_array_equal(out, data)
+
+    def test_seconds_conversion(self, accelerator):
+        assert accelerator.seconds(8e8) == pytest.approx(1.0)
+
+    def test_failed_program_surfaces_error(self, small_accelerator):
+        def bad_program(ctx):
+            yield 1
+            raise RuntimeError("kernel bug")
+
+        small_accelerator.launch(bad_program,
+                                 small_accelerator.grid.pe(0, 0).cores[0])
+        with pytest.raises(RuntimeError, match="kernel bug"):
+            small_accelerator.run()
+
+    def test_collect_stats_aggregates(self, small_accelerator):
+        from repro.kernels.fc import run_fc
+        acc = small_accelerator
+        run_fc(acc, m=64, k=64, n=64, subgrid=acc.subgrid((0, 0), 1, 1))
+        stats = acc.collect_stats()
+        assert stats["dpe.macs"] == 64 * 64 * 64
+        assert stats["dram.read_bytes"] > 0

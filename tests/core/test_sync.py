@@ -1,0 +1,138 @@
+"""Synchronisation primitives built on the CP's atomics (Section 3.1.6)."""
+
+import pytest
+
+from repro.core.sync import AtomicCounter, Barrier, TicketLock
+from repro.sim import Engine
+
+
+class TestAtomicCounter:
+    def test_fetch_and_add_returns_previous(self, engine):
+        ctr = AtomicCounter(engine)
+        assert ctr.add(1) == 0
+        assert ctr.add(5) == 1
+        assert ctr.value == 6
+
+    def test_wait_for_threshold(self, engine):
+        ctr = AtomicCounter(engine)
+        times = []
+
+        def waiter():
+            yield ctr.wait_for(3)
+            times.append(engine.now)
+
+        def incrementer():
+            for _ in range(3):
+                yield 10
+                ctr.add(1)
+
+        engine.process(waiter())
+        engine.process(incrementer())
+        engine.run()
+        assert times == [30]
+
+    def test_wait_already_satisfied(self, engine):
+        ctr = AtomicCounter(engine, value=5)
+        assert ctr.wait_for(3).triggered
+
+    def test_set_wakes_waiters(self, engine):
+        ctr = AtomicCounter(engine)
+        ev = ctr.wait_for(10)
+        ctr.set(10)
+        assert ev.triggered
+
+
+class TestBarrier:
+    def test_all_parties_released_together(self, engine):
+        barrier = Barrier(engine, parties=3)
+        times = []
+
+        def participant(delay):
+            yield delay
+            yield from barrier.wait()
+            times.append(engine.now)
+
+        for delay in (5, 20, 12):
+            engine.process(participant(delay))
+        engine.run()
+        assert times == [20, 20, 20]
+
+    def test_reusable_across_generations(self, engine):
+        barrier = Barrier(engine, parties=2)
+        log = []
+
+        def participant(tag):
+            for phase in range(3):
+                yield 1
+                yield from barrier.wait()
+                log.append((phase, tag))
+
+        engine.process(participant("a"))
+        engine.process(participant("b"))
+        engine.run()
+        phases = [p for p, _ in log]
+        assert phases == sorted(phases)
+        assert len(log) == 6
+
+    def test_single_party_barrier_is_trivial(self, engine):
+        barrier = Barrier(engine, parties=1)
+
+        def solo():
+            yield from barrier.wait()
+            return engine.now
+
+        assert engine.run_process(solo()) == 0
+
+    def test_nonpositive_parties_rejected(self, engine):
+        with pytest.raises(ValueError):
+            Barrier(engine, parties=0)
+
+
+class TestTicketLock:
+    def test_mutual_exclusion(self, engine):
+        lock = TicketLock(engine)
+        active = [0]
+        peak = [0]
+
+        def worker():
+            yield from lock.acquire()
+            active[0] += 1
+            peak[0] = max(peak[0], active[0])
+            yield 5
+            active[0] -= 1
+            lock.release()
+
+        for _ in range(4):
+            engine.process(worker())
+        engine.run()
+        assert peak[0] == 1
+
+    def test_fifo_tickets(self, engine):
+        lock = TicketLock(engine)
+        order = []
+
+        def worker(tag):
+            ticket = yield from lock.acquire()
+            order.append((tag, ticket))
+            yield 1
+            lock.release()
+
+        for tag in "abc":
+            engine.process(worker(tag))
+        engine.run()
+        assert order == [("a", 0), ("b", 1), ("c", 2)]
+
+    def test_locked_property(self, engine):
+        lock = TicketLock(engine)
+        assert not lock.locked
+
+        def holder():
+            yield from lock.acquire()
+            yield 10
+            lock.release()
+
+        engine.process(holder())
+        engine.run(until=5)
+        assert lock.locked
+        engine.run()
+        assert not lock.locked

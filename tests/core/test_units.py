@@ -1,0 +1,369 @@
+"""Fixed-function unit behaviours (MLU, DPE, RE, SE)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import FP16, FP32, INT8
+from repro.isa.commands import (ConcatCmd, CopyCmd, ElementwiseCmd,
+                                InitAccumulators, InitCB, MML, NonlinearCmd,
+                                QuantizeCmd, Reduce, TransposeCmd)
+from repro.sim import SimulationError
+
+
+@pytest.fixture
+def pe(small_accelerator):
+    return small_accelerator.grid.pe(0, 0)
+
+
+def run(acc, pe, program, core=0):
+    proc = acc.launch(program, pe.cores[core], name="unit-test")
+    acc.run()
+    return proc.value
+
+
+def init_cbs(ctx, *sizes):
+    base = 0
+    for cb_id, size in enumerate(sizes):
+        yield from ctx.issue_and_wait(InitCB(cb_id=cb_id, base=base,
+                                             size=size))
+        base += size
+
+
+class TestMLU:
+    def test_transpose(self, small_accelerator, pe, rng):
+        tile = rng.integers(-128, 128, (16, 8), dtype=np.int8)
+
+        def program(ctx):
+            yield from init_cbs(ctx, 1024, 1024)
+            pe.cb(0).write_and_push(tile)
+            yield from ctx.issue(TransposeCmd(src_cb=0, dst_cb=1, rows=16,
+                                              cols=8, pop_input=True))
+            yield from ctx.drain()
+
+        run(small_accelerator, pe, program)
+        out = pe.cb(1).read_and_pop(128).view(np.int8).reshape(8, 16)
+        np.testing.assert_array_equal(out, tile.T)
+        assert pe.cb(0).available == 0   # input consumed
+
+    def test_transpose_fp32(self, small_accelerator, pe, rng):
+        tile = rng.standard_normal((8, 8)).astype(np.float32)
+
+        def program(ctx):
+            yield from init_cbs(ctx, 1024, 1024)
+            pe.cb(0).write_and_push(tile)
+            yield from ctx.issue(TransposeCmd(src_cb=0, dst_cb=1, rows=8,
+                                              cols=8, dtype=FP32))
+            yield from ctx.drain()
+
+        run(small_accelerator, pe, program)
+        out = pe.cb(1).read_and_pop(256).view(np.float32).reshape(8, 8)
+        np.testing.assert_array_equal(out, tile.T)
+
+    def test_concat(self, small_accelerator, pe, rng):
+        a = rng.integers(0, 255, 48, dtype=np.uint8)
+        b = rng.integers(0, 255, 16, dtype=np.uint8)
+
+        def program(ctx):
+            yield from init_cbs(ctx, 256, 256, 256)
+            pe.cb(0).write_and_push(a)
+            pe.cb(1).write_and_push(b)
+            yield from ctx.issue(ConcatCmd(src_cbs=(0, 1),
+                                           src_nbytes=(48, 16), dst_cb=2))
+            yield from ctx.drain()
+
+        run(small_accelerator, pe, program)
+        np.testing.assert_array_equal(pe.cb(2).read_and_pop(64),
+                                      np.concatenate([a, b]))
+
+    def test_copy(self, small_accelerator, pe, rng):
+        data = rng.integers(0, 255, 100, dtype=np.uint8)
+
+        def program(ctx):
+            yield from init_cbs(ctx, 256, 256)
+            pe.cb(0).write_and_push(data)
+            yield from ctx.issue(CopyCmd(src_cb=0, dst_cb=1, nbytes=100,
+                                         pop_input=True))
+            yield from ctx.drain()
+
+        run(small_accelerator, pe, program)
+        np.testing.assert_array_equal(pe.cb(1).read_and_pop(100), data)
+
+    def test_mlu_charges_time_per_byte(self, small_accelerator, pe):
+        def program(ctx):
+            yield from init_cbs(ctx, 16384, 16384)
+            pe.cb(0).write_and_push(np.zeros(8192, np.uint8))
+            t0 = ctx.engine.now
+            yield from ctx.issue_and_wait(CopyCmd(src_cb=0, dst_cb=1,
+                                                  nbytes=8192))
+            return ctx.engine.now - t0
+
+        elapsed = run(small_accelerator, pe, program)
+        min_cycles = 8192 / pe.config.mlu.bytes_per_cycle
+        assert elapsed >= min_cycles
+
+
+class TestDPE:
+    def test_int8_block_matmul(self, small_accelerator, pe, rng):
+        a = rng.integers(-128, 128, (32, 32), dtype=np.int8)
+        b = rng.integers(-128, 128, (32, 32), dtype=np.int8)
+
+        def program(ctx):
+            yield from init_cbs(ctx, 2048, 2048)
+            pe.cb(0).write_and_push(b)
+            pe.cb(1).write_and_push(a)
+            yield from ctx.issue(InitAccumulators(banks=(0,)))
+            yield from ctx.issue(MML(acc=0, cb_b=0, cb_a=1))
+            yield from ctx.drain()
+
+        run(small_accelerator, pe, program)
+        expected = b.astype(np.int32) @ a.astype(np.int32).T
+        np.testing.assert_array_equal(pe.re_unit.bank_value(0), expected)
+
+    def test_partial_block_sizes(self, small_accelerator, pe, rng):
+        a = rng.integers(-128, 128, (16, 8), dtype=np.int8)
+        b = rng.integers(-128, 128, (24, 8), dtype=np.int8)
+
+        def program(ctx):
+            yield from init_cbs(ctx, 2048, 2048)
+            pe.cb(0).write_and_push(b)
+            pe.cb(1).write_and_push(a)
+            yield from ctx.issue(InitAccumulators(banks=(0,)))
+            yield from ctx.issue(MML(acc=0, m=16, k=8, n=24, cb_b=0, cb_a=1))
+            yield from ctx.drain()
+
+        run(small_accelerator, pe, program)
+        expected = b.astype(np.int32) @ a.astype(np.int32).T
+        np.testing.assert_array_equal(pe.re_unit.bank_value(0, 24, 16),
+                                      expected)
+
+    def test_oversize_block_rejected(self, small_accelerator, pe):
+        def program(ctx):
+            yield from init_cbs(ctx, 8192, 8192)
+            pe.cb(0).write_and_push(np.zeros((33, 32), np.int8))
+            pe.cb(1).write_and_push(np.zeros((33, 32), np.int8))
+            yield from ctx.issue_and_wait(MML(acc=0, m=33, k=32, n=33,
+                                              cb_b=0, cb_a=1))
+
+        with pytest.raises(SimulationError, match="32x32x32"):
+            run(small_accelerator, pe, program)
+
+    def test_accumulation_over_k(self, small_accelerator, pe, rng):
+        a = rng.integers(-16, 16, (32, 64), dtype=np.int8)
+        b = rng.integers(-16, 16, (32, 64), dtype=np.int8)
+
+        def program(ctx):
+            yield from init_cbs(ctx, 4096, 4096)
+            # blocks stored k-major: (k0) then (k1)
+            pe.cb(0).write_and_push(
+                np.concatenate([b[:, :32].ravel(), b[:, 32:].ravel()]))
+            pe.cb(1).write_and_push(
+                np.concatenate([a[:, :32].ravel(), a[:, 32:].ravel()]))
+            yield from ctx.issue(InitAccumulators(banks=(0,)))
+            for ki in range(2):
+                yield from ctx.issue(MML(acc=0, cb_b=0, cb_a=1,
+                                         offset_b=ki * 1024,
+                                         offset_a=ki * 1024))
+            yield from ctx.drain()
+
+        run(small_accelerator, pe, program)
+        expected = b.astype(np.int32) @ a.astype(np.int32).T
+        np.testing.assert_array_equal(pe.re_unit.bank_value(0), expected)
+
+    def test_fp16_matmul_accumulates_fp32(self, small_accelerator, pe, rng):
+        a = rng.standard_normal((32, 32)).astype(np.float16)
+        b = rng.standard_normal((32, 32)).astype(np.float16)
+
+        def program(ctx):
+            yield from init_cbs(ctx, 4096, 4096)
+            pe.cb(0).write_and_push(b)
+            pe.cb(1).write_and_push(a)
+            yield from ctx.issue(InitAccumulators(banks=(1,)))
+            yield from ctx.issue(MML(acc=1, cb_b=0, cb_a=1, dtype=FP16))
+            yield from ctx.drain()
+
+        run(small_accelerator, pe, program)
+        expected = b.astype(np.float32) @ a.astype(np.float32).T
+        np.testing.assert_allclose(pe.re_unit.bank_value(1), expected,
+                                   rtol=1e-3)
+
+    def test_int8_full_block_takes_32_cycles(self, small_accelerator, pe):
+        """Section 3.1.2: two maximum-size matrices take 32 cycles."""
+        def program(ctx):
+            yield from init_cbs(ctx, 2048, 2048)
+            pe.cb(0).write_and_push(np.ones((32, 32), np.int8))
+            pe.cb(1).write_and_push(np.ones((32, 32), np.int8))
+            yield from ctx.issue(InitAccumulators(banks=(0,)))
+            # Warm the operand cache so the second MML is stream-only.
+            yield from ctx.issue_and_wait(MML(acc=0, cb_b=0, cb_a=1))
+            t0 = ctx.engine.now
+            yield from ctx.issue_and_wait(MML(acc=0, cb_b=0, cb_a=1))
+            return ctx.engine.now - t0
+
+        elapsed = run(small_accelerator, pe, program)
+        issue_overhead = pe.config.cp.issue_cycles
+        # 32 stream cycles + command issue/dispatch overheads
+        assert 32 <= elapsed <= 32 + issue_overhead + 16
+
+
+class TestRE:
+    def test_bias_load(self, small_accelerator, pe):
+        bias = np.full((32, 32), 7, dtype=np.int32)
+
+        def program(ctx):
+            yield from init_cbs(ctx, 8192)
+            pe.cb(0).write_and_push(bias)
+            yield from ctx.issue(InitAccumulators(banks=(2,), bias_cb=0))
+            yield from ctx.drain()
+
+        run(small_accelerator, pe, program)
+        np.testing.assert_array_equal(pe.re_unit.bank_value(2), bias)
+
+    def test_reduce_2x2_layout(self, small_accelerator, pe):
+        def program(ctx):
+            yield from init_cbs(ctx, 4096, 4096, 16384)
+            pe.cb(0).write_and_push(np.ones((32, 32), np.int8))
+            pe.cb(1).write_and_push(np.ones((32, 32), np.int8))
+            yield from ctx.issue(InitAccumulators())
+            for acc_id in range(4):
+                yield from ctx.issue(MML(acc=acc_id, cb_b=0, cb_a=1,
+                                         m=32, k=32, n=32))
+            yield from ctx.issue(Reduce(dest_cb=2))
+            yield from ctx.drain()
+
+        run(small_accelerator, pe, program)
+        out = pe.cb(2).read_and_pop(64 * 64 * 4).view(np.int32)
+        assert (out == 32).all()   # ones @ ones^T = k = 32 everywhere
+
+    def test_reduce_with_output_quantisation(self, small_accelerator, pe):
+        def program(ctx):
+            yield from init_cbs(ctx, 2048, 2048, 8192)
+            pe.cb(0).write_and_push(np.ones((32, 32), np.int8))
+            pe.cb(1).write_and_push(np.ones((32, 32), np.int8))
+            yield from ctx.issue(InitAccumulators(banks=(0,)))
+            yield from ctx.issue(MML(acc=0, cb_b=0, cb_a=1))
+            yield from ctx.issue(Reduce(banks_layout=((0,),), dest_cb=2,
+                                        out_dtype=INT8, out_scale=0.25))
+            yield from ctx.drain()
+
+        run(small_accelerator, pe, program)
+        out = pe.cb(2).read_and_pop(1024).view(np.int8)
+        assert (out == 8).all()    # 32 * 0.25
+
+    def test_reduce_needs_exactly_one_destination(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            Reduce(dest_pe=None, dest_cb=None)
+        with pytest.raises(ValueError, match="exactly one"):
+            Reduce(dest_pe=(0, 1), dest_cb=2)
+
+    def test_reduce_send_and_receive_across_pes(self, small_accelerator):
+        acc = small_accelerator
+        west, east = acc.grid.pe(0, 0), acc.grid.pe(0, 1)
+
+        def sender(ctx):
+            yield from init_cbs(ctx, 2048, 2048)
+            west.cb(0).write_and_push(np.ones((32, 32), np.int8))
+            west.cb(1).write_and_push(np.ones((32, 32), np.int8))
+            yield from ctx.issue(InitAccumulators(banks=(0,)))
+            yield from ctx.issue(MML(acc=0, cb_b=0, cb_a=1))
+            yield from ctx.issue(Reduce(banks_layout=((0,),),
+                                        dest_pe=east.coord))
+            yield from ctx.drain()
+
+        def receiver(ctx):
+            yield from init_cbs(ctx, 2048, 2048, 8192)
+            east.cb(0).write_and_push(np.ones((32, 32), np.int8))
+            east.cb(1).write_and_push(np.ones((32, 32), np.int8))
+            yield from ctx.issue(InitAccumulators(banks=(0,)))
+            yield from ctx.issue(MML(acc=0, cb_b=0, cb_a=1))
+            yield from ctx.issue(Reduce(banks_layout=((0,),), receive=True,
+                                        dest_cb=2))
+            yield from ctx.drain()
+
+        acc.launch(sender, west.cores[0], name="send")
+        acc.launch(receiver, east.cores[0], name="recv")
+        acc.run()
+        out = east.cb(2).read_and_pop(4096).view(np.int32)
+        assert (out == 64).all()   # 32 + 32 accumulated across the chain
+
+
+class TestSE:
+    def test_quantize(self, small_accelerator, pe, rng):
+        values = rng.standard_normal(256).astype(np.float32)
+
+        def program(ctx):
+            yield from init_cbs(ctx, 2048, 2048)
+            pe.cb(0).write_and_push(values)
+            yield from ctx.issue(QuantizeCmd(src_cb=0, dst_cb=1, count=256,
+                                             scale=0.05))
+            yield from ctx.drain()
+
+        run(small_accelerator, pe, program)
+        out = pe.cb(1).read_and_pop(256).view(np.int8)
+        ref = np.clip(np.round(values / 0.05), -128, 127).astype(np.int8)
+        np.testing.assert_array_equal(out, ref)
+
+    def test_dequantize(self, small_accelerator, pe, rng):
+        q = rng.integers(-128, 128, 128, dtype=np.int8)
+
+        def program(ctx):
+            yield from init_cbs(ctx, 1024, 2048)
+            pe.cb(0).write_and_push(q)
+            yield from ctx.issue(QuantizeCmd(src_cb=0, dst_cb=1, count=128,
+                                             scale=0.1,
+                                             direction="dequantize"))
+            yield from ctx.drain()
+
+        run(small_accelerator, pe, program)
+        out = pe.cb(1).read_and_pop(512).view(np.float32)
+        np.testing.assert_allclose(out, q.astype(np.float32) * 0.1)
+
+    @pytest.mark.parametrize("func,ref", [
+        ("tanh", np.tanh),
+        ("sigmoid", lambda x: 1 / (1 + np.exp(-x))),
+        ("exp", np.exp),
+    ])
+    def test_nonlinear_lut_accuracy(self, small_accelerator, pe, rng,
+                                    func, ref):
+        values = (rng.standard_normal(128) * 2).astype(np.float32)
+
+        def program(ctx):
+            yield from init_cbs(ctx, 1024, 1024)
+            pe.cb(0).write_and_push(values)
+            yield from ctx.issue(NonlinearCmd(func=func, src_cb=0, dst_cb=1,
+                                              count=128, src_dtype=FP32))
+            yield from ctx.drain()
+
+        run(small_accelerator, pe, program)
+        out = pe.cb(1).read_and_pop(512).view(np.float32)
+        expected = ref(values.astype(np.float64))
+        scale = np.maximum(np.abs(expected), 1.0)
+        assert np.max(np.abs(out - expected) / scale) < 2e-3
+
+    def test_elementwise_add_int8(self, small_accelerator, pe, rng):
+        a = rng.integers(-50, 50, 64, dtype=np.int8)
+        b = rng.integers(-50, 50, 64, dtype=np.int8)
+
+        def program(ctx):
+            yield from init_cbs(ctx, 512, 512, 512)
+            pe.cb(0).write_and_push(a)
+            pe.cb(1).write_and_push(b)
+            yield from ctx.issue(ElementwiseCmd(op="add", src_cb_a=0,
+                                                src_cb_b=1, dst_cb=2,
+                                                count=64, dtype=INT8))
+            yield from ctx.drain()
+
+        run(small_accelerator, pe, program)
+        out = pe.cb(2).read_and_pop(64).view(np.int8)
+        np.testing.assert_array_equal(out, (a + b).astype(np.int8))
+
+    def test_unknown_nonlinear_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            NonlinearCmd(func="softmax")
+
+    def test_unknown_elementwise_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            ElementwiseCmd(op="div")
+
+    def test_bad_quantize_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            QuantizeCmd(direction="sideways")

@@ -1,0 +1,88 @@
+"""Cross-validation: the analytical model vs the cycle-level simulator.
+
+The analytical perf model drives the full-figure sweeps; these tests pin
+it against the DES on shapes small enough to simulate, requiring
+agreement within a small factor (the DES includes effects — NoC
+contention, scheduler overheads — the closed-form model abstracts).
+"""
+
+import numpy as np
+import pytest
+
+from repro import Accelerator
+from repro.compiler.ops import OpCosts
+from repro.config import MTIA_V1
+from repro.eval.machines import MTIA_MACHINE
+from repro.eval.opmodel import estimate_op
+from repro.kernels.fc import run_fc
+from repro.kernels.tbe import TBEConfig, run_tbe
+
+
+def _simulated_fc_seconds(m, k, n, rows, cols, k_split):
+    acc = Accelerator()
+    result = run_fc(acc, m=m, k=k, n=n,
+                    subgrid=acc.subgrid((0, 0), rows, cols), k_split=k_split)
+    frequency = MTIA_V1.frequency_ghz * 1e9
+    # Scale the sub-grid measurement to a full-grid-equivalent rate.
+    sub_fraction = (rows * cols) / MTIA_V1.num_pes
+    return result.cycles / frequency * sub_fraction, result
+
+
+# Medium shapes only: at tiny shapes the analytical curve floors at the
+# measured stack's fixed inefficiency (which the ideal DES kernel does
+# not have), so the comparison is only meaningful with real work.
+@pytest.mark.parametrize("m,k,n,rows,cols,k_split", [
+    (256, 256, 128, 4, 4, 2),
+    (512, 1024, 256, 4, 4, 2),
+])
+def test_fc_model_within_3x_of_simulator(m, k, n, rows, cols, k_split):
+    sim_seconds, result = _simulated_fc_seconds(m, k, n, rows, cols, k_split)
+    costs = OpCosts(2.0 * m * k * n, (m * k + n * k), m * n * 4, "fc")
+    est = estimate_op(MTIA_MACHINE, "fc", costs, dtype="int8", in_sram=False)
+    # Remove the fixed launch overhead: the DES measures steady state.
+    model_seconds = max(est.compute_seconds, est.memory_seconds)
+    ratio = model_seconds / sim_seconds
+    # The DES runs an ideal hand-blocked kernel; the analytical curve is
+    # calibrated to the paper's *measured* (less mature) stack, so the
+    # model may be slower but must stay within an order of magnitude
+    # and must never be optimistic by more than ~3x.
+    assert 1 / 3 < ratio < 10, f"model {model_seconds}, sim {sim_seconds}"
+
+
+def test_tbe_simulated_bandwidth_brackets_model_band():
+    """The DES with production-like prefetch lands in the same decade
+    as the production-kernel curve; with deep prefetch it approaches
+    the hand-tuned regime."""
+    cfg = TBEConfig(num_tables=8, rows_per_table=50_000, embedding_dim=128,
+                    pooling_factor=32, batch_size=16)
+    acc = Accelerator()
+    shallow = run_tbe(acc, cfg, subgrid=acc.subgrid(), prefetch_rows=1)
+    shallow_frac = shallow.gbs(MTIA_V1.frequency_ghz) / MTIA_V1.dram_gbs()
+
+    acc = Accelerator()
+    deep = run_tbe(acc, cfg, subgrid=acc.subgrid(), prefetch_rows=16)
+    deep_frac = deep.gbs(MTIA_V1.frequency_ghz) / MTIA_V1.dram_gbs()
+
+    # Production-kernel regime: low double-digit percent of roofline.
+    assert 0.05 < shallow_frac < 0.45
+    # Hand-tuned regime: >60 % of roofline is reachable (Section 6.1).
+    assert deep_frac > 0.5
+
+
+def test_simulated_sram_dram_gap_matches_fig13_direction():
+    """Figure 13: the same operator runs much faster with tensors
+    resident in SRAM than in DRAM."""
+    from repro.kernels.memory_ops import run_transpose
+    from repro.memory import SRAMMode
+
+    arr = np.random.default_rng(0).integers(-128, 128, (512, 512),
+                                            dtype=np.int8)
+    # Scratchpad mode for both runs: the DRAM placement must actually
+    # hit DRAM rather than the memory-side cache.
+    acc_sram = Accelerator(sram_mode=SRAMMode.SCRATCHPAD)
+    t_sram = run_transpose(acc_sram, arr, in_sram=True,
+                           subgrid=acc_sram.subgrid((0, 0), 4, 4)).cycles
+    acc_dram = Accelerator(sram_mode=SRAMMode.SCRATCHPAD)
+    t_dram = run_transpose(acc_dram, arr,
+                           subgrid=acc_dram.subgrid((0, 0), 4, 4)).cycles
+    assert t_dram > 1.5 * t_sram

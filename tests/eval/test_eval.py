@@ -1,0 +1,174 @@
+"""Machine models, calibration curves, operator timing, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.ops import OpCosts
+from repro.eval import calibration
+from repro.eval.machines import (A100_MACHINE, MACHINES, MTIA_MACHINE,
+                                 NNPI_MACHINE)
+from repro.eval.metrics import geomean, perf_per_watt, relative, weighted_mean
+from repro.eval.opmodel import estimate_graph, estimate_op
+
+
+class TestMachines:
+    def test_mtia_derives_from_table_i(self):
+        assert MTIA_MACHINE.peak_tops["int8"] == pytest.approx(104.86,
+                                                               abs=0.1)
+        assert MTIA_MACHINE.onchip_capacity_bytes == 128 * 1024 * 1024
+
+    def test_provisioned_power_is_platform_over_cards(self):
+        # Section 6's methodology.
+        assert MTIA_MACHINE.provisioned_watts == pytest.approx(780 / 12)
+        assert A100_MACHINE.provisioned_watts == pytest.approx(4500 / 8)
+        assert NNPI_MACHINE.provisioned_watts == pytest.approx(298 / 6)
+
+    def test_peak_hierarchy(self):
+        assert (A100_MACHINE.peak_tops["int8"]
+                > MTIA_MACHINE.peak_tops["int8"]
+                > NNPI_MACHINE.peak_tops["int8"])
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(KeyError):
+            MTIA_MACHINE.peak_ops("fp64")
+
+
+class TestCalibrationCurves:
+    def test_gemm_utilization_saturates(self):
+        small = calibration.gemm_utilization(MTIA_MACHINE, 0.01)
+        large = calibration.gemm_utilization(MTIA_MACHINE, 100.0)
+        assert small < large <= MTIA_MACHINE.gemm_util_max
+
+    def test_gpu_needs_more_work_to_saturate(self):
+        work = 1.0  # GFLOP
+        mtia = (calibration.gemm_utilization(MTIA_MACHINE, work)
+                / MTIA_MACHINE.gemm_util_max)
+        gpu = (calibration.gemm_utilization(A100_MACHINE, work)
+               / A100_MACHINE.gemm_util_max)
+        assert mtia > 2 * gpu
+
+    def test_zero_work_zero_util(self):
+        assert calibration.gemm_utilization(MTIA_MACHINE, 0.0) == 0.0
+
+    def test_tbe_fraction_in_paper_band_for_bench_shapes(self):
+        """Section 6.1: the production kernel reaches 10-20 % of MTIA's
+        memory bandwidth."""
+        from repro.eval.figures import TBE_BENCH_SHAPES
+        for pooling, _, dim in TBE_BENCH_SHAPES:
+            frac = calibration.tbe_bw_fraction(MTIA_MACHINE, pooling, dim,
+                                               batch=256)
+            assert 0.08 <= frac <= 0.22, (pooling, dim)
+
+    def test_hand_tuned_tbe_above_half(self):
+        frac = calibration.tbe_bw_fraction(MTIA_MACHINE, 32, 128, 256,
+                                           hand_tuned=True)
+        assert frac > 0.5
+
+    def test_tbe_fraction_monotone_in_pooling(self):
+        fracs = [calibration.tbe_bw_fraction(MTIA_MACHINE, p, 64, 64)
+                 for p in (2, 8, 32, 64)]
+        assert fracs == sorted(fracs)
+
+    def test_gpu_overfetch_penalises_narrow_rows(self):
+        narrow = calibration.tbe_bw_fraction(A100_MACHINE, 32, 64, 256)
+        wide = calibration.tbe_bw_fraction(A100_MACHINE, 32, 256, 256)
+        assert wide > 1.5 * narrow
+
+    def test_move_fraction_sram_vs_dram(self):
+        """Figure 13's placement gap."""
+        sram = calibration.move_bw_fraction(MTIA_MACHINE, in_sram=True)
+        dram = calibration.move_bw_fraction(MTIA_MACHINE, in_sram=False)
+        assert sram > 0.85
+        assert 0.35 <= dram <= 0.5
+
+    def test_dispatch_overhead_amortised_by_fusion(self):
+        single = calibration.dispatch_overhead_s(A100_MACHINE, 1)
+        fused = calibration.dispatch_overhead_s(A100_MACHINE, 4)
+        assert fused == pytest.approx(single / 4)
+
+
+class TestOpModel:
+    def _fc_costs(self, gflops=1.0, mb=2.0):
+        return OpCosts(gflops * 1e9, mb * 8e5, mb * 2e5, "fc")
+
+    def test_estimate_has_three_terms(self):
+        est = estimate_op(MTIA_MACHINE, "fc", self._fc_costs(), dtype="int8")
+        assert est.seconds >= max(est.compute_seconds, est.memory_seconds)
+        assert est.launch_seconds > 0
+        assert est.bound in ("compute", "memory", "launch")
+
+    def test_tiny_movement_op_is_launch_bound(self):
+        costs = OpCosts(0.0, 1e3, 1e3, "concat")
+        est = estimate_op(MTIA_MACHINE, "concat", costs)
+        assert est.bound == "launch"
+
+    def test_sram_placement_speeds_memory_term(self):
+        costs = OpCosts(0.0, 50e6, 50e6, "concat")
+        dram = estimate_op(MTIA_MACHINE, "concat", costs)
+        sram = estimate_op(MTIA_MACHINE, "concat", costs, in_sram=True)
+        assert sram.seconds < dram.seconds / 3
+
+    def test_eb_uses_pooling_and_batch(self):
+        costs = OpCosts(1e6, 50e6, 1e6, "eb")
+        small = estimate_op(MTIA_MACHINE, "eb", costs,
+                            attrs={"pooling": 2, "dim": 64, "batch": 64})
+        large = estimate_op(MTIA_MACHINE, "eb", costs,
+                            attrs={"pooling": 64, "dim": 64, "batch": 256})
+        assert large.seconds < small.seconds
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError, match="category"):
+            estimate_op(MTIA_MACHINE, "conv", self._fc_costs())
+
+    def test_graph_estimate_breakdown_sums(self):
+        from repro.models.configs import MODEL_ZOO
+        from repro.models.dlrm import build_dlrm_graph
+        g = build_dlrm_graph(MODEL_ZOO["LC2"], 32)
+        est = estimate_graph(MTIA_MACHINE, g)
+        assert est.total_seconds == pytest.approx(
+            sum(est.category_seconds().values()))
+        fractions = est.category_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_gemm_dtype_follows_operands(self):
+        """Quantized FCs must be costed at the INT8 rate even though
+        their accumulator output is FP32."""
+        from repro.compiler.ir import GraphBuilder
+        b = GraphBuilder()
+        x = b.input((64, 256), dtype="fp32", name="x")
+        q = b.add("quantize", (x.name,), scale=0.1, name="q")
+        w = b.weight((256, 256), dtype="int8", name="w")
+        fc = b.add("fc", (q.name, w.name), out_dtype="fp32", name="fc")
+        g = b.output(fc.name)
+        est = estimate_graph(MTIA_MACHINE, g)
+        fc_est = [e for e in est.estimates if e.name == "fc"][0]
+        # INT8 rate: compute seconds reflect the 102-TOPS peak, not 52.
+        util = calibration.gemm_utilization(MTIA_MACHINE, fc_est.flops / 1e9)
+        util *= calibration.model_context_utilization(MTIA_MACHINE)
+        expected = fc_est.flops / (MTIA_MACHINE.peak_ops("int8") * util)
+        assert fc_est.compute_seconds == pytest.approx(expected, rel=1e-6)
+
+
+class TestMetrics:
+    def test_perf_per_watt(self):
+        assert perf_per_watt(650.0, MTIA_MACHINE) == pytest.approx(10.0)
+
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_weighted_mean(self):
+        assert weighted_mean([1, 3], [1, 1]) == pytest.approx(2.0)
+        assert weighted_mean([1, 3], [3, 1]) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            weighted_mean([1], [1, 2])
+
+    def test_relative(self):
+        series = {"a": 2.0, "b": 4.0}
+        rel = relative(series, "a")
+        assert rel == {"a": 1.0, "b": 2.0}
+        with pytest.raises(KeyError):
+            relative(series, "c")

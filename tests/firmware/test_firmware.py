@@ -1,0 +1,140 @@
+"""Firmware: sub-grid allocation and job scheduling."""
+
+import numpy as np
+import pytest
+
+from repro import Accelerator
+from repro.firmware import Job, JobScheduler, SubGridAllocator
+from repro.firmware.jobs import make_fc_job
+from repro.sim import SimulationError
+
+
+class TestAllocator:
+    def test_first_fit_placement(self, accelerator):
+        alloc = SubGridAllocator(accelerator.grid)
+        a = alloc.allocate(2, 2)
+        b = alloc.allocate(2, 2)
+        assert a.origin == (0, 0)
+        assert b.origin == (0, 2)
+        assert alloc.busy_pes == 8
+
+    def test_release_reuses_space(self, accelerator):
+        alloc = SubGridAllocator(accelerator.grid)
+        a = alloc.allocate(4, 8)
+        alloc.allocate(4, 8)
+        assert alloc.allocate(1, 1) is None     # full
+        alloc.release(a)
+        again = alloc.allocate(4, 8)
+        assert again.origin == (0, 0)
+
+    def test_allocation_failure_returns_none(self, accelerator):
+        alloc = SubGridAllocator(accelerator.grid)
+        alloc.allocate(8, 8)
+        assert alloc.allocate(1, 1) is None
+
+    def test_fragmentation(self, accelerator):
+        """A 4x4 hole can't serve an 8x1 job — the monolithic-grid
+        management pain of Section 7."""
+        alloc = SubGridAllocator(accelerator.grid)
+        alloc.allocate(8, 4)           # left half busy
+        assert alloc.allocate(8, 8) is None
+        assert alloc.allocate(8, 4) is not None
+
+    def test_cluster_granularity_rounds_up(self, accelerator):
+        alloc = SubGridAllocator(accelerator.grid, cluster=2)
+        a = alloc.allocate(1, 1)       # reserves a whole 2x2 cluster
+        assert alloc.busy_pes == 4
+        b = alloc.allocate(1, 1)
+        assert b.origin == (0, 2)      # next cluster, not (0, 1)
+
+    def test_cluster_reduces_management_units(self, accelerator):
+        pe_level = SubGridAllocator(accelerator.grid, cluster=1)
+        clustered = SubGridAllocator(accelerator.grid, cluster=2)
+        assert pe_level.management_units(4, 4) == 16
+        assert clustered.management_units(4, 4) == 4
+
+    def test_invalid_cluster_rejected(self, accelerator):
+        with pytest.raises(ValueError):
+            SubGridAllocator(accelerator.grid, cluster=3)
+        with pytest.raises(ValueError):
+            SubGridAllocator(accelerator.grid, cluster=0)
+
+    def test_utilization(self, accelerator):
+        alloc = SubGridAllocator(accelerator.grid)
+        alloc.allocate(4, 8)
+        assert alloc.utilization() == pytest.approx(0.5)
+
+
+class TestScheduler:
+    def test_concurrent_jobs_all_correct(self):
+        acc = Accelerator()
+        sched = JobScheduler(acc)
+        jobs = [make_fc_job(f"fc{i}", acc, 128, 128, 128, rows=2, cols=2,
+                            k_split=2, seed=i) for i in range(4)]
+        for job in jobs:
+            sched.submit(job)
+        stats = sched.run()
+        assert stats.completed == 4
+        for job in jobs:
+            out = acc.download(job.result_addr, job.result_shape, np.int32)
+            np.testing.assert_array_equal(out, job.expected)
+
+    def test_concurrency_beats_serial(self):
+        acc = Accelerator()
+        sched = JobScheduler(acc)
+        jobs = [make_fc_job(f"fc{i}", acc, 128, 128, 128, rows=2, cols=2,
+                            k_split=2, seed=i) for i in range(8)]
+        for job in jobs:
+            sched.submit(job)
+        stats = sched.run()
+        from repro.kernels.fc import run_fc
+        acc2 = Accelerator()
+        serial = sum(run_fc(acc2, m=128, k=128, n=128,
+                            subgrid=acc2.subgrid((0, 0), 2, 2), k_split=2,
+                            seed=i).cycles for i in range(8))
+        assert stats.makespan < serial / 2
+
+    def test_queueing_when_grid_full(self):
+        acc = Accelerator()
+        sched = JobScheduler(acc)
+        # Two 8x8 jobs cannot overlap: the second must queue.
+        jobs = [make_fc_job(f"big{i}", acc, 512, 256, 512, rows=8, cols=8,
+                            k_split=2, seed=i) for i in range(2)]
+        for job in jobs:
+            sched.submit(job)
+        sched.run()
+        assert jobs[1].start_cycle >= jobs[0].finish_cycle
+        assert jobs[1].queueing_cycles > 0
+
+    def test_oversized_job_rejected(self):
+        acc = Accelerator()
+        sched = JobScheduler(acc)
+        with pytest.raises(SimulationError, match="never fit"):
+            sched.submit(Job(name="huge", rows=9, cols=1,
+                             body=lambda a, s: []))
+
+    def test_setup_cost_scales_with_units(self):
+        acc_pe = Accelerator()
+        sched_pe = JobScheduler(acc_pe, cluster=1)
+        job = make_fc_job("j", acc_pe, 128, 128, 128, rows=4, cols=4,
+                          k_split=2)
+        sched_pe.submit(job)
+        stats_pe = sched_pe.run()
+
+        acc_cl = Accelerator()
+        sched_cl = JobScheduler(acc_cl, cluster=2)
+        job2 = make_fc_job("j", acc_cl, 128, 128, 128, rows=4, cols=4,
+                           k_split=2)
+        sched_cl.submit(job2)
+        stats_cl = sched_cl.run()
+        # 16 PE units vs 4 cluster units of setup.
+        assert stats_cl.total_setup_cycles == stats_pe.total_setup_cycles / 4
+
+    def test_job_timestamps_consistent(self):
+        acc = Accelerator()
+        sched = JobScheduler(acc)
+        job = make_fc_job("t", acc, 64, 64, 64, rows=1, cols=1)
+        sched.submit(job)
+        sched.run()
+        assert job.submit_cycle <= job.start_cycle <= job.finish_cycle
+        assert job.service_cycles > 0

@@ -1,0 +1,110 @@
+"""Failure injection: errors must surface, never silently corrupt."""
+
+import numpy as np
+import pytest
+
+from repro import Accelerator
+from repro.firmware import Job, JobScheduler
+from repro.firmware.jobs import make_fc_job
+from repro.isa.commands import DMALoad, InitCB, MML
+from repro.sim import SimulationError
+
+
+class TestKernelFaults:
+    def test_unmapped_address_dma_fails_loudly(self):
+        acc = Accelerator()
+        pe = acc.grid.pe(0, 0)
+        bad_addr = acc.config.dram.capacity_bytes + (1 << 30)
+
+        def program(ctx):
+            yield from ctx.issue_and_wait(InitCB(cb_id=0, base=0, size=256))
+            yield from ctx.issue_and_wait(DMALoad(addr=bad_addr,
+                                                  row_bytes=64, cb_id=0))
+
+        acc.launch(program, pe.cores[0])
+        with pytest.raises(IndexError, match="unmapped"):
+            acc.run()
+
+    def test_mml_on_undefined_cb_fails(self):
+        acc = Accelerator()
+        pe = acc.grid.pe(0, 0)
+
+        def program(ctx):
+            yield from ctx.issue_and_wait(MML(acc=0, cb_b=4, cb_a=5))
+
+        acc.launch(program, pe.cores[0])
+        with pytest.raises(SimulationError, match="not defined"):
+            acc.run()
+
+    def test_cb_overflow_by_direct_write_fails(self):
+        acc = Accelerator()
+        pe = acc.grid.pe(0, 0)
+
+        def program(ctx):
+            yield from ctx.issue_and_wait(InitCB(cb_id=0, base=0, size=64))
+            pe.cb(0).write_and_push(np.zeros(100, np.uint8))
+            yield
+
+        acc.launch(program, pe.cores[0])
+        with pytest.raises(SimulationError, match="free"):
+            acc.run()
+
+    def test_deadlocked_kernel_reported_not_hung(self):
+        """A consumer waiting for data that never comes ends as a
+        diagnosable error, not an infinite loop."""
+        acc = Accelerator()
+        pe = acc.grid.pe(0, 0)
+
+        def program(ctx):
+            yield from ctx.issue_and_wait(InitCB(cb_id=0, base=0, size=256))
+            yield pe.cb(0).wait_elements(128)   # no producer exists
+
+        acc.launch(program, pe.cores[0])
+        with pytest.raises(SimulationError, match="did not finish"):
+            acc.run()
+
+
+class TestSchedulerFaults:
+    def test_failing_job_frees_its_subgrid(self):
+        """One crashing job must not leak PEs or block later jobs."""
+        acc = Accelerator()
+        sched = JobScheduler(acc)
+
+        def bad_body(accelerator, subgrid):
+            raise RuntimeError("kernel bug in job body")
+
+        bad = Job(name="bad", rows=4, cols=4, body=bad_body)
+        good = make_fc_job("good", acc, 512, 128, 256, rows=8, cols=8,
+                           k_split=2)
+        bad_done = sched.submit(bad)
+        good_done = sched.submit(good)
+        stats = sched.run()
+        assert stats.failed == 1
+        assert stats.completed == 1
+        with pytest.raises(RuntimeError, match="kernel bug"):
+            bad_done.value
+        assert good_done.triggered
+        assert sched.allocator.busy_pes == 0
+        out = acc.download(good.result_addr, good.result_shape, np.int32)
+        np.testing.assert_array_equal(out, good.expected)
+
+    def test_failure_mid_execution_propagates(self):
+        """A kernel program that dies mid-flight fails its job event."""
+        acc = Accelerator()
+        sched = JobScheduler(acc)
+
+        def body(accelerator, subgrid):
+            pe = subgrid.pe(0, 0)
+
+            def crashing_program(ctx):
+                yield 100
+                raise ValueError("numerical fault at cycle 100")
+
+            return [accelerator.launch(crashing_program, pe.cores[0])]
+
+        done = sched.submit(Job(name="crash", rows=1, cols=1, body=body))
+        stats = sched.run()
+        assert stats.failed == 1
+        with pytest.raises(ValueError, match="numerical fault"):
+            done.value
+        assert acc.control.busy_pes() == 0

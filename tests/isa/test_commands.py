@@ -1,0 +1,120 @@
+"""Command effect declarations (the CP's dependency metadata)."""
+
+import pytest
+
+from repro.dtypes import FP16, INT8
+from repro.isa.commands import (ConcatCmd, CopyCmd, DMALoad, DMAStore,
+                                ElementwiseCmd, InitAccumulators, InitCB,
+                                MML, NonlinearCmd, PopCB, PushCB,
+                                QuantizeCmd, Reduce, TransposeCmd)
+
+
+class TestEffectSets:
+    def test_dma_load_produces_only(self):
+        cmd = DMALoad(addr=0, row_bytes=64, cb_id=3)
+        assert cmd.produces_cbs() == (3,)
+        assert cmd.consumes_cbs() == ()
+        assert cmd.reads_cbs() == ()
+        assert cmd.required_space() == {3: 64}
+
+    def test_dma_load_2d_accounting(self):
+        cmd = DMALoad(addr=0, rows=16, row_bytes=32, stride=128, cb_id=0)
+        assert cmd.nbytes == 512
+        assert cmd.required_space() == {0: 512}
+
+    def test_dma_load_default_stride_is_contiguous(self):
+        cmd = DMALoad(addr=0, rows=4, row_bytes=32, cb_id=0)
+        assert cmd.stride == 32
+
+    def test_dma_store_consumes(self):
+        cmd = DMAStore(addr=0, row_bytes=128, cb_id=2)
+        assert cmd.consumes_cbs() == (2,)
+        assert cmd.produces_cbs() == ()
+        assert cmd.required_elements() == {2: 128}
+
+    def test_pop_push_effects(self):
+        assert PopCB(cb_id=1, nbytes=64).consumes_cbs() == (1,)
+        assert PushCB(cb_id=1, nbytes=64).produces_cbs() == (1,)
+
+    def test_init_cb_is_full_barrier(self):
+        cmd = InitCB(cb_id=4, base=0, size=64)
+        assert cmd.reads_cbs() == (4,)
+        assert cmd.produces_cbs() == (4,)
+        assert cmd.consumes_cbs() == (4,)
+
+    def test_mml_reads_and_writes_reg(self):
+        cmd = MML(acc=2, cb_b=0, cb_a=1)
+        assert set(cmd.reads_cbs()) == {0, 1}
+        assert cmd.writes_regs() == ("acc2",)
+        assert cmd.produces_cbs() == ()
+
+    def test_mml_element_requirements_include_offsets(self):
+        cmd = MML(acc=0, m=32, k=32, n=32, cb_b=5, cb_a=6,
+                  offset_b=1024, offset_a=2048)
+        req = cmd.required_elements()
+        assert req[5] == 1024 + 32 * 32
+        assert req[6] == 2048 + 32 * 32
+
+    def test_mml_fp16_requirements_scale_by_element(self):
+        cmd = MML(acc=0, cb_b=0, cb_a=1, dtype=FP16)
+        assert cmd.required_elements()[0] == 32 * 32 * 2
+
+    def test_init_accumulators_writes_regs(self):
+        cmd = InitAccumulators(banks=(0, 2))
+        assert set(cmd.writes_regs()) == {"acc0", "acc2"}
+        assert cmd.reads_cbs() == ()
+        biased = InitAccumulators(banks=(1,), bias_cb=7)
+        assert biased.reads_cbs() == (7,)
+
+    def test_reduce_effects(self):
+        cmd = Reduce(dest_cb=3)
+        assert set(cmd.writes_regs()) == {"acc0", "acc1", "acc2", "acc3"}
+        assert cmd.produces_cbs() == (3,)
+        assert cmd.required_space() == {3: 64 * 64 * 4}
+        to_pe = Reduce(banks_layout=((0,),), dest_pe=(1, 1))
+        assert to_pe.produces_cbs() == ()
+        assert to_pe.output_shape() == (32, 32)
+
+    def test_reduce_output_space_scales_with_dtype(self):
+        cmd = Reduce(banks_layout=((0,),), dest_cb=1, out_dtype=INT8)
+        assert cmd.required_space() == {1: 32 * 32}
+
+    def test_transpose_pop_flag(self):
+        keep = TransposeCmd(src_cb=0, dst_cb=1, rows=8, cols=8)
+        assert keep.consumes_cbs() == ()
+        pop = TransposeCmd(src_cb=0, dst_cb=1, rows=8, cols=8,
+                           pop_input=True)
+        assert pop.consumes_cbs() == (0,)
+        assert pop.nbytes == 64
+
+    def test_concat_requires_aligned_lists(self):
+        with pytest.raises(ValueError, match="align"):
+            ConcatCmd(src_cbs=(0, 1), src_nbytes=(64,), dst_cb=2)
+
+    def test_concat_effects(self):
+        cmd = ConcatCmd(src_cbs=(0, 1), src_nbytes=(64, 32), dst_cb=2)
+        assert cmd.consumes_cbs() == (0, 1)
+        assert cmd.required_space() == {2: 96}
+
+    def test_quantize_requirements(self):
+        cmd = QuantizeCmd(src_cb=0, dst_cb=1, count=100)
+        assert cmd.required_elements() == {0: 400}   # fp32 in
+        assert cmd.required_space() == {1: 100}      # int8 out
+        dq = QuantizeCmd(src_cb=0, dst_cb=1, count=100,
+                         direction="dequantize")
+        assert dq.required_elements() == {0: 100}
+        assert dq.required_space() == {1: 400}
+
+    def test_elementwise_requirements(self):
+        cmd = ElementwiseCmd(op="add", src_cb_a=0, src_cb_b=1, dst_cb=2,
+                             count=64, dtype=INT8)
+        assert cmd.required_elements() == {0: 64, 1: 64}
+        assert cmd.required_space() == {2: 64}
+
+    def test_unit_assignments(self):
+        assert DMALoad().unit == "fi"
+        assert MML().unit == "dpe"
+        assert Reduce(dest_cb=0).unit == "re"
+        assert QuantizeCmd().unit == "se"
+        assert TransposeCmd().unit == "mlu"
+        assert PopCB().unit == "cp"

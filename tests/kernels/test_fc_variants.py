@@ -1,0 +1,63 @@
+"""The memory-reduce FC counterfactual and the ablation knobs."""
+
+import numpy as np
+import pytest
+
+from repro import Accelerator
+from repro.kernels.fc import run_fc
+from repro.kernels.fc_variants import run_fc_memory_reduce
+from repro.memory import SRAMMode
+
+
+def reference(m, k, n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-128, 128, (m, k), dtype=np.int8)
+    b_t = rng.integers(-128, 128, (n, k), dtype=np.int8)
+    return a, b_t, b_t.astype(np.int32) @ a.astype(np.int32).T
+
+
+class TestMemoryReduce:
+    @pytest.mark.parametrize("m,k,n,rows,cols,k_split", [
+        (64, 64, 64, 1, 1, 1),
+        (64, 128, 64, 1, 2, 2),
+        (128, 128, 128, 2, 2, 2),
+        (128, 256, 128, 2, 4, 4),
+    ])
+    def test_bit_exact(self, m, k, n, rows, cols, k_split):
+        a, b_t, c_t = reference(m, k, n)
+        acc = Accelerator()
+        result = run_fc_memory_reduce(
+            acc, a, b_t, subgrid=acc.subgrid((0, 0), rows, cols),
+            k_split=k_split)
+        np.testing.assert_array_equal(result.c_t, c_t)
+
+    def test_slower_than_reduction_network(self):
+        a, b_t, _ = reference(256, 512, 128)
+        acc1 = Accelerator()
+        with_net = run_fc(acc1, a, b_t, subgrid=acc1.subgrid((0, 0), 4, 4),
+                          k_split=2)
+        acc2 = Accelerator()
+        without = run_fc_memory_reduce(
+            acc2, a, b_t, subgrid=acc2.subgrid((0, 0), 4, 4), k_split=2)
+        assert without.cycles > 1.3 * with_net.cycles
+
+    def test_no_reduction_network_traffic(self):
+        a, b_t, _ = reference(128, 128, 128)
+        acc = Accelerator()
+        run_fc_memory_reduce(acc, a, b_t,
+                             subgrid=acc.subgrid((0, 0), 2, 2), k_split=2)
+        assert acc.reduction_network.stats.get("transfers", 0) == 0
+
+    def test_extra_dram_traffic_equals_partials(self):
+        """The spilled traffic is exactly the partial-sum round trip."""
+        a, b_t, _ = reference(128, 128, 128)
+        acc1 = Accelerator(sram_mode=SRAMMode.SCRATCHPAD)
+        run_fc(acc1, a, b_t, subgrid=acc1.subgrid((0, 0), 2, 2), k_split=2)
+        acc2 = Accelerator(sram_mode=SRAMMode.SCRATCHPAD)
+        run_fc_memory_reduce(acc2, a, b_t,
+                             subgrid=acc2.subgrid((0, 0), 2, 2), k_split=2)
+        extra_writes = (acc2.memory.dram.stats["write_bytes"]
+                        - acc1.memory.dram.stats["write_bytes"])
+        # 2 chain positions x 4 blocks x 16 KB of INT32 partials.
+        partial_bytes = 2 * (128 // 64) * (128 // 64) * 64 * 64 * 4
+        assert extra_writes == partial_bytes

@@ -1,0 +1,243 @@
+"""BatchMatMul, Transpose, Concat, Quantize, elementwise, vector kernels."""
+
+import numpy as np
+import pytest
+
+from repro import Accelerator
+from repro.kernels.batch_matmul import BMMConfig, bmm_reference, run_bmm
+from repro.kernels.elementwise import run_binary, run_nonlinear
+from repro.kernels.memory_ops import run_concat, run_transpose
+from repro.kernels.quantize import run_quantize
+from repro.kernels.vector_ops import (layernorm_reference,
+                                      run_batched_reduce_add, run_layernorm)
+from repro.memory import SRAMMode
+from repro.sim import SimulationError
+
+
+class TestBatchMatMul:
+    def test_int8_bit_exact(self, rng):
+        cfg = BMMConfig(batch=6, m=64, k=96, n=32, dtype="int8")
+        a = rng.integers(-128, 128, (6, 64, 96), dtype=np.int8)
+        b_t = rng.integers(-128, 128, (6, 32, 96), dtype=np.int8)
+        acc = Accelerator()
+        result = run_bmm(acc, cfg, a, b_t, subgrid=acc.subgrid((0, 0), 2, 2))
+        np.testing.assert_array_equal(result.output, bmm_reference(a, b_t))
+
+    def test_fp16(self, rng):
+        cfg = BMMConfig(batch=3, m=32, k=64, n=32, dtype="fp16")
+        a = rng.standard_normal((3, 32, 64)).astype(np.float16)
+        b_t = rng.standard_normal((3, 32, 64)).astype(np.float16)
+        acc = Accelerator()
+        result = run_bmm(acc, cfg, a, b_t, subgrid=acc.subgrid((0, 0), 1, 2))
+        ref = bmm_reference(a, b_t)
+        np.testing.assert_allclose(result.output, ref, rtol=2e-3, atol=1e-2)
+
+    def test_batches_distribute_over_pes(self):
+        cfg = BMMConfig(batch=8, m=32, k=32, n=32)
+        acc = Accelerator()
+        run_bmm(acc, cfg, subgrid=acc.subgrid((0, 0), 2, 2))
+        busy_pes = sum(1 for pe in acc.subgrid((0, 0), 2, 2)
+                       if pe.dpe_unit.stats.get("commands"))
+        assert busy_pes == 4
+
+    def test_unaligned_shape_rejected(self):
+        with pytest.raises(SimulationError, match="multiple of 32"):
+            BMMConfig(batch=1, m=33, k=32, n=32)
+
+    def test_too_large_operands_rejected(self):
+        cfg = BMMConfig(batch=1, m=512, k=512, n=64)
+        with pytest.raises(SimulationError, match="local memory"):
+            run_bmm(Accelerator(), cfg)
+
+    def test_tops_accounting(self):
+        cfg = BMMConfig(batch=4, m=32, k=32, n=32)
+        acc = Accelerator()
+        result = run_bmm(acc, cfg, subgrid=acc.subgrid((0, 0), 2, 2))
+        assert result.config.total_macs == 4 * 32 ** 3
+        assert result.tops(0.8) > 0
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("rows,cols", [(32, 32), (64, 128), (96, 32)])
+    def test_int8(self, rng, rows, cols):
+        arr = rng.integers(-128, 128, (rows, cols), dtype=np.int8)
+        acc = Accelerator()
+        result = run_transpose(acc, arr, subgrid=acc.subgrid((0, 0), 2, 2))
+        np.testing.assert_array_equal(result.output, arr.T)
+
+    def test_fp32_elements(self, rng):
+        arr = rng.standard_normal((64, 64)).astype(np.float32)
+        acc = Accelerator()
+        result = run_transpose(acc, arr, dtype="fp32",
+                               subgrid=acc.subgrid((0, 0), 1, 1))
+        np.testing.assert_array_equal(result.output, arr.T)
+
+    def test_sram_placement_faster(self, rng):
+        arr = rng.integers(-128, 128, (128, 128), dtype=np.int8)
+        acc_dram = Accelerator()
+        t_dram = run_transpose(acc_dram, arr,
+                               subgrid=acc_dram.subgrid((0, 0), 2, 2)).cycles
+        acc_sram = Accelerator(sram_mode=SRAMMode.SCRATCHPAD)
+        t_sram = run_transpose(acc_sram, arr, in_sram=True,
+                               subgrid=acc_sram.subgrid((0, 0), 2, 2)).cycles
+        assert t_sram < t_dram
+
+    def test_non_tiling_shape_rejected(self):
+        with pytest.raises(SimulationError, match="tile"):
+            run_transpose(Accelerator(), np.zeros((33, 32), np.int8))
+
+
+class TestConcat:
+    def test_two_inputs(self, rng):
+        a = rng.integers(-128, 128, (16, 48), dtype=np.int8)
+        b = rng.integers(-128, 128, (16, 16), dtype=np.int8)
+        acc = Accelerator()
+        result = run_concat(acc, a, b, subgrid=acc.subgrid((0, 0), 2, 2))
+        np.testing.assert_array_equal(result.output,
+                                      np.concatenate([a, b], axis=1))
+
+    def test_row_count_mismatch_rejected(self, rng):
+        a = np.zeros((4, 8), np.int8)
+        b = np.zeros((5, 8), np.int8)
+        with pytest.raises(SimulationError, match="row count"):
+            run_concat(Accelerator(), a, b)
+
+    def test_bandwidth_metric(self, rng):
+        a = rng.integers(-128, 128, (8, 64), dtype=np.int8)
+        b = rng.integers(-128, 128, (8, 64), dtype=np.int8)
+        acc = Accelerator()
+        result = run_concat(acc, a, b, subgrid=acc.subgrid((0, 0), 1, 1))
+        assert result.moved_bytes == a.nbytes + b.nbytes
+        assert result.gbs(0.8) > 0
+
+
+class TestQuantize:
+    def test_quantize_matches_reference(self, rng):
+        values = rng.standard_normal(5000).astype(np.float32)
+        acc = Accelerator()
+        result = run_quantize(acc, values, scale=0.05,
+                              subgrid=acc.subgrid((0, 0), 2, 2))
+        ref = np.clip(np.round(values / 0.05), -128, 127).astype(np.int8)
+        np.testing.assert_array_equal(result.output, ref)
+
+    def test_dequantize(self, rng):
+        q = rng.integers(-128, 128, 3000, dtype=np.int8)
+        acc = Accelerator()
+        result = run_quantize(acc, q, direction="dequantize", scale=0.1,
+                              subgrid=acc.subgrid((0, 0), 2, 2))
+        np.testing.assert_allclose(result.output,
+                                   q.astype(np.float32) * 0.1, atol=1e-6)
+
+    def test_partial_last_tile(self, rng):
+        values = rng.standard_normal(4097).astype(np.float32)
+        acc = Accelerator()
+        result = run_quantize(acc, values, scale=0.1, tile_elems=4096,
+                              subgrid=acc.subgrid((0, 0), 1, 2))
+        assert result.output.size == 4097
+
+
+class TestElementwise:
+    def test_tanh_within_lut_error(self, rng):
+        values = (rng.standard_normal(4096) * 3).astype(np.float32)
+        acc = Accelerator()
+        result = run_nonlinear(acc, values, func="tanh",
+                               subgrid=acc.subgrid((0, 0), 2, 2))
+        assert np.max(np.abs(result.output - np.tanh(values))) < 5e-3
+
+    def test_relu_exact(self, rng):
+        values = rng.standard_normal(2048).astype(np.float32)
+        acc = Accelerator()
+        result = run_nonlinear(acc, values, func="relu",
+                               subgrid=acc.subgrid((0, 0), 1, 1))
+        np.testing.assert_array_equal(result.output,
+                                      np.maximum(values, 0.0))
+
+    def test_sigmoid_close(self, rng):
+        values = (rng.standard_normal(2048) * 2).astype(np.float32)
+        acc = Accelerator()
+        result = run_nonlinear(acc, values, func="sigmoid",
+                               subgrid=acc.subgrid((0, 0), 1, 2))
+        ref = 1.0 / (1.0 + np.exp(-values))
+        assert np.max(np.abs(result.output - ref)) < 5e-3
+
+    @pytest.mark.parametrize("op,fn", [("add", np.add), ("mul", np.multiply),
+                                       ("sub", np.subtract),
+                                       ("max", np.maximum)])
+    def test_binary_fp32(self, rng, op, fn):
+        a = rng.standard_normal(3000).astype(np.float32)
+        b = rng.standard_normal(3000).astype(np.float32)
+        acc = Accelerator()
+        result = run_binary(acc, a, b, op=op,
+                            subgrid=acc.subgrid((0, 0), 2, 2))
+        np.testing.assert_allclose(result.output, fn(a, b), rtol=1e-6)
+
+
+class TestVectorOps:
+    def test_layernorm_matches_reference(self, rng):
+        values = rng.standard_normal((24, 256)).astype(np.float32)
+        acc = Accelerator()
+        result = run_layernorm(acc, values, subgrid=acc.subgrid((0, 0), 2, 2))
+        np.testing.assert_allclose(result.output,
+                                   layernorm_reference(values), atol=1e-4)
+
+    def test_layernorm_output_statistics(self, rng):
+        values = (rng.standard_normal((8, 512)) * 5 + 3).astype(np.float32)
+        acc = Accelerator()
+        result = run_layernorm(acc, values, subgrid=acc.subgrid((0, 0), 2, 2))
+        np.testing.assert_allclose(result.output.mean(axis=1),
+                                   np.zeros(8), atol=1e-4)
+        np.testing.assert_allclose(result.output.std(axis=1),
+                                   np.ones(8), atol=1e-2)
+
+    def test_batched_reduce_add(self, rng):
+        values = rng.standard_normal((96, 384)).astype(np.float32)
+        acc = Accelerator()
+        result = run_batched_reduce_add(acc, values,
+                                        subgrid=acc.subgrid((0, 0), 2, 2))
+        np.testing.assert_allclose(result.output, values.sum(axis=0),
+                                   atol=1e-3)
+
+    def test_reduce_add_single_column_slice(self, rng):
+        values = rng.standard_normal((10, 3)).astype(np.float32)
+        acc = Accelerator()
+        result = run_batched_reduce_add(acc, values,
+                                        subgrid=acc.subgrid((0, 0), 1, 1))
+        np.testing.assert_allclose(result.output, values.sum(axis=0),
+                                   atol=1e-4)
+
+    def test_vector_ops_run_on_core1_only(self, rng):
+        acc = Accelerator()
+        pe = acc.grid.pe(0, 0)
+        assert pe.cores[0].vector is None
+        assert pe.cores[1].vector is not None
+
+
+class TestSoftmaxKernel:
+    def test_matches_numpy(self, rng):
+        from repro.kernels.vector_ops import run_softmax
+        values = (rng.standard_normal((16, 128)) * 2).astype(np.float32)
+        acc = Accelerator()
+        result = run_softmax(acc, values, subgrid=acc.subgrid((0, 0), 2, 2))
+        shifted = values - values.max(axis=1, keepdims=True)
+        e = np.exp(shifted)
+        ref = e / e.sum(axis=1, keepdims=True)
+        # Bounded by the SE's 256-entry exp LUT interpolation error.
+        assert np.max(np.abs(result.output - ref)) < 2e-2
+
+    def test_rows_sum_to_one(self, rng):
+        from repro.kernels.vector_ops import run_softmax
+        values = rng.standard_normal((8, 64)).astype(np.float32)
+        acc = Accelerator()
+        result = run_softmax(acc, values, subgrid=acc.subgrid((0, 0), 1, 2))
+        np.testing.assert_allclose(result.output.sum(axis=1),
+                                   np.ones(8), atol=1e-4)
+
+    def test_uses_se_and_vector_units(self, rng):
+        """The pipeline really crosses units: SE exp + vector scale."""
+        from repro.kernels.vector_ops import run_softmax
+        values = rng.standard_normal((4, 64)).astype(np.float32)
+        acc = Accelerator()
+        run_softmax(acc, values, subgrid=acc.subgrid((0, 0), 1, 1))
+        pe = acc.grid.pe(0, 0)
+        assert pe.se_unit.stats.get("elements", 0) > 0      # SE exp ran
+        assert pe.fi_unit.stats.get("load_bytes", 0) > 0    # DMA staged

@@ -1,0 +1,210 @@
+"""The TBE / EmbeddingBag kernel."""
+
+import numpy as np
+import pytest
+
+from repro import Accelerator
+from repro.config import MTIA_V1
+from repro.kernels.tbe import (TBEConfig, generate_indices, generate_tables,
+                               pooled_reference, run_tbe)
+from repro.memory import SRAMMode
+from repro.sim import SimulationError
+
+
+@pytest.fixture
+def small_cfg():
+    return TBEConfig(num_tables=4, rows_per_table=500, embedding_dim=64,
+                     pooling_factor=8, batch_size=8)
+
+
+class TestConfig:
+    def test_derived_quantities(self, small_cfg):
+        assert small_cfg.num_bags == 32
+        assert small_cfg.total_lookups == 256
+        assert small_cfg.lookup_bytes == 256 * 64
+
+    def test_generate_tables_shape(self, small_cfg):
+        tables = generate_tables(small_cfg)
+        assert tables.shape == (4, 500, 64)
+        assert tables.dtype == np.int8
+
+    def test_generate_indices_within_range(self, small_cfg):
+        idx = generate_indices(small_cfg)
+        assert idx.shape == (4, 8, 8)
+        assert idx.min() >= 0 and idx.max() < 500
+
+    def test_zipf_indices_are_skewed(self):
+        cfg = TBEConfig(num_tables=1, rows_per_table=100_000,
+                        embedding_dim=64, pooling_factor=64, batch_size=256)
+        uniform = generate_indices(cfg, alpha=None)
+        skewed = generate_indices(cfg, alpha=1.2)
+        assert len(np.unique(skewed)) < len(np.unique(uniform)) / 2
+
+
+class TestCorrectness:
+    def test_single_pe(self, small_cfg):
+        acc = Accelerator()
+        tables = generate_tables(small_cfg)
+        idx = generate_indices(small_cfg)
+        result = run_tbe(acc, small_cfg, tables, idx,
+                         subgrid=acc.subgrid((0, 0), 1, 1))
+        ref = pooled_reference(tables, idx, small_cfg.scale)
+        np.testing.assert_allclose(result.output, ref, atol=1e-4)
+
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (4, 2)])
+    def test_multi_pe(self, small_cfg, rows, cols):
+        acc = Accelerator()
+        tables = generate_tables(small_cfg)
+        idx = generate_indices(small_cfg)
+        result = run_tbe(acc, small_cfg, tables, idx,
+                         subgrid=acc.subgrid((0, 0), rows, cols))
+        ref = pooled_reference(tables, idx, small_cfg.scale)
+        np.testing.assert_allclose(result.output, ref, atol=1e-4)
+
+    def test_repeated_index_counted_per_occurrence(self):
+        cfg = TBEConfig(num_tables=1, rows_per_table=10, embedding_dim=64,
+                        pooling_factor=4, batch_size=1, scale=1.0)
+        acc = Accelerator()
+        tables = generate_tables(cfg)
+        idx = np.full((1, 1, 4), 3, dtype=np.int64)
+        result = run_tbe(acc, cfg, tables, idx,
+                         subgrid=acc.subgrid((0, 0), 1, 1))
+        expected = tables[0, 3].astype(np.float32) * 4
+        np.testing.assert_allclose(result.output[0, 0], expected, atol=1e-4)
+
+    def test_pooling_one(self):
+        cfg = TBEConfig(num_tables=2, rows_per_table=100, embedding_dim=32,
+                        pooling_factor=1, batch_size=4)
+        acc = Accelerator()
+        tables = generate_tables(cfg)
+        idx = generate_indices(cfg)
+        result = run_tbe(acc, cfg, tables, idx,
+                         subgrid=acc.subgrid((0, 0), 1, 2))
+        ref = pooled_reference(tables, idx, cfg.scale)
+        np.testing.assert_allclose(result.output, ref, atol=1e-4)
+
+    def test_more_bags_than_pes_round_robins(self):
+        cfg = TBEConfig(num_tables=3, rows_per_table=50, embedding_dim=32,
+                        pooling_factor=2, batch_size=7)   # 21 bags, 4 PEs
+        acc = Accelerator()
+        tables = generate_tables(cfg)
+        idx = generate_indices(cfg)
+        result = run_tbe(acc, cfg, tables, idx,
+                         subgrid=acc.subgrid((0, 0), 2, 2))
+        ref = pooled_reference(tables, idx, cfg.scale)
+        np.testing.assert_allclose(result.output, ref, atol=1e-4)
+
+    def test_invalid_prefetch_rejected(self, small_cfg):
+        with pytest.raises(SimulationError):
+            run_tbe(Accelerator(), small_cfg, prefetch_rows=0)
+
+    def test_oversized_dim_rejected(self):
+        cfg = TBEConfig(num_tables=1, rows_per_table=10,
+                        embedding_dim=40_000, pooling_factor=2, batch_size=1)
+        with pytest.raises(SimulationError, match="local memory"):
+            run_tbe(Accelerator(), cfg)
+
+
+class TestPerformanceBehaviour:
+    def _bandwidth(self, prefetch, pes=(8, 8), pooling=32, dim=128):
+        cfg = TBEConfig(num_tables=8, rows_per_table=50_000,
+                        embedding_dim=dim, pooling_factor=pooling,
+                        batch_size=16)
+        acc = Accelerator()
+        result = run_tbe(acc, cfg, subgrid=acc.subgrid((0, 0), *pes),
+                         prefetch_rows=prefetch)
+        return result.gbs(MTIA_V1.frequency_ghz)
+
+    def test_deeper_prefetch_raises_bandwidth(self):
+        """The paper's software-pipelining headroom (Section 6.1): the
+        production kernel's few outstanding requests reach a fraction
+        of what deep pipelining achieves."""
+        shallow = self._bandwidth(prefetch=1)
+        deep = self._bandwidth(prefetch=8)
+        assert deep > 1.5 * shallow
+
+    def test_hand_tuned_regime_exceeds_half_roofline(self):
+        """Hand-written kernels reached >60 % of roofline (Section 6.1)."""
+        deep = self._bandwidth(prefetch=16)
+        assert deep > 0.5 * MTIA_V1.dram_gbs()
+
+    def test_bandwidth_metric_counts_useful_bytes(self):
+        cfg = TBEConfig(num_tables=2, rows_per_table=100, embedding_dim=64,
+                        pooling_factor=4, batch_size=8)
+        acc = Accelerator()
+        result = run_tbe(acc, cfg, subgrid=acc.subgrid((0, 0), 2, 2))
+        expected_bytes = cfg.total_lookups * cfg.embedding_dim
+        assert result.config.lookup_bytes == expected_bytes
+        assert result.gbs(0.8) == pytest.approx(
+            expected_bytes * 0.8 / result.cycles)
+
+    def test_sram_cache_mode_accelerates_hot_tables(self):
+        """Tables that fit in the 128 MB cache serve hits at SRAM speed
+        (the Figure 12 cache-configuration argument)."""
+        cfg = TBEConfig(num_tables=4, rows_per_table=2_000,
+                        embedding_dim=128, pooling_factor=32, batch_size=32)
+        acc = Accelerator(sram_mode=SRAMMode.CACHE)
+        # Warm: run once, then run again and compare.
+        tables = generate_tables(cfg)
+        idx = generate_indices(cfg)
+        first = run_tbe(acc, cfg, tables, idx,
+                        subgrid=acc.subgrid((0, 0), 4, 4))
+        start_hits = acc.memory.sram.stats.get("hit_lines")
+        assert start_hits > 0   # reuse within the first run already hits
+
+
+class TestWeightedPooling:
+    def test_weighted_matches_reference(self):
+        cfg = TBEConfig(num_tables=2, rows_per_table=300, embedding_dim=32,
+                        pooling_factor=4, batch_size=8)
+        acc = Accelerator()
+        tables = generate_tables(cfg, 0)
+        idx = generate_indices(cfg, 1)
+        rng = np.random.default_rng(5)
+        weights = rng.uniform(0.1, 2.0, idx.shape).astype(np.float32)
+        result = run_tbe(acc, cfg, tables, idx, weights=weights,
+                         subgrid=acc.subgrid((0, 0), 2, 2))
+        ref = pooled_reference(tables, idx, cfg.scale, weights=weights)
+        np.testing.assert_allclose(result.output, ref, atol=1e-3)
+
+    def test_unit_weights_equal_unweighted(self):
+        cfg = TBEConfig(num_tables=1, rows_per_table=100, embedding_dim=16,
+                        pooling_factor=3, batch_size=4)
+        tables = generate_tables(cfg, 0)
+        idx = generate_indices(cfg, 1)
+        ones = np.ones(idx.shape, dtype=np.float32)
+        acc1, acc2 = Accelerator(), Accelerator()
+        weighted = run_tbe(acc1, cfg, tables, idx, weights=ones,
+                           subgrid=acc1.subgrid((0, 0), 1, 1))
+        plain = run_tbe(acc2, cfg, tables, idx,
+                        subgrid=acc2.subgrid((0, 0), 1, 1))
+        np.testing.assert_allclose(weighted.output, plain.output, atol=1e-4)
+
+    def test_zero_weights_zero_output(self):
+        cfg = TBEConfig(num_tables=1, rows_per_table=50, embedding_dim=16,
+                        pooling_factor=2, batch_size=2)
+        tables = generate_tables(cfg, 0)
+        idx = generate_indices(cfg, 1)
+        zeros = np.zeros(idx.shape, dtype=np.float32)
+        acc = Accelerator()
+        result = run_tbe(acc, cfg, tables, idx, weights=zeros,
+                         subgrid=acc.subgrid((0, 0), 1, 1))
+        assert np.abs(result.output).max() == 0.0
+
+
+class TestWeightedOpsRegistry:
+    def test_embedding_bag_op_with_weights(self, rng):
+        from repro.compiler.ir import GraphBuilder
+        from repro.compiler.ops import execute_node
+        b = GraphBuilder()
+        table = b.weight((100, 8), dtype="int8", name="t")
+        idx = b.input((4, 3), dtype="int32", name="i")
+        w = b.input((4, 3), dtype="fp32", name="w")
+        node = b.add("embedding_bag", (table.name, idx.name, w.name),
+                     batch=4, pooling=3, scale=1.0)
+        tv = rng.integers(-20, 20, (100, 8), dtype=np.int8)
+        iv = rng.integers(0, 100, (4, 3))
+        wv = rng.uniform(0, 2, (4, 3)).astype(np.float32)
+        out = execute_node(node, [tv, iv, wv])
+        ref = (tv[iv].astype(np.float32) * wv[..., None]).sum(axis=1)
+        np.testing.assert_allclose(out, ref, rtol=1e-5)

@@ -1,0 +1,106 @@
+"""System address map and interleaving."""
+
+import pytest
+
+from repro.config import MTIA_V1
+from repro.memory.address_map import (AddressMap, AddressRange,
+                                      INTERLEAVE_BYTES, LOCAL_BASE, SRAM_BASE)
+
+
+@pytest.fixture
+def amap():
+    return AddressMap(MTIA_V1)
+
+
+class TestAddressRange:
+    def test_contains(self):
+        r = AddressRange(100, 50)
+        assert 100 in r and 149 in r
+        assert 99 not in r and 150 not in r
+
+    def test_offset(self):
+        r = AddressRange(100, 50)
+        assert r.offset(120) == 20
+        with pytest.raises(IndexError):
+            r.offset(150)
+
+
+class TestRegions:
+    def test_dram_region(self, amap):
+        assert amap.region(0) == "dram"
+        assert amap.region(MTIA_V1.dram.capacity_bytes - 1) == "dram"
+
+    def test_sram_region(self, amap):
+        assert amap.region(SRAM_BASE) == "sram"
+        assert amap.region(SRAM_BASE + MTIA_V1.sram.capacity_bytes - 1) == "sram"
+
+    def test_local_region(self, amap):
+        assert amap.region(LOCAL_BASE) == "local"
+        assert amap.local_pe_index(LOCAL_BASE) == 0
+        assert amap.local_pe_index(amap.local_address(63, 100)) == 63
+
+    def test_unmapped_hole_raises(self, amap):
+        with pytest.raises(IndexError):
+            amap.region(MTIA_V1.dram.capacity_bytes + 1000)
+
+    def test_local_pe_index_rejects_non_local(self, amap):
+        with pytest.raises(IndexError):
+            amap.local_pe_index(0)
+
+    def test_local_address_roundtrip(self, amap):
+        addr = amap.local_address(5, 0x40)
+        assert amap.region(addr) == "local"
+        assert amap.local_ranges[5].offset(addr) == 0x40
+
+
+class TestInterleaving:
+    def test_dram_channels_rotate_per_line(self, amap):
+        channels = [amap.dram_channel(i * INTERLEAVE_BYTES)
+                    for i in range(MTIA_V1.dram.num_channels)]
+        assert sorted(channels) == list(range(MTIA_V1.dram.num_channels))
+
+    def test_same_line_same_channel(self, amap):
+        assert amap.dram_channel(0) == amap.dram_channel(INTERLEAVE_BYTES - 1)
+
+    def test_controller_groups_channels(self, amap):
+        per = MTIA_V1.dram.channels_per_controller
+        for ch in range(MTIA_V1.dram.num_channels):
+            addr = ch * INTERLEAVE_BYTES
+            assert amap.dram_controller(addr) == amap.dram_channel(addr) // per
+
+    def test_sram_slices_rotate(self, amap):
+        slices = {amap.sram_slice(SRAM_BASE + i * INTERLEAVE_BYTES)
+                  for i in range(MTIA_V1.sram.num_slices)}
+        assert slices == set(range(MTIA_V1.sram.num_slices))
+
+    def test_cache_slice_stays_with_controller(self, amap):
+        """In cache mode each slice group caches one controller's
+        addresses (Section 3.4)."""
+        per = MTIA_V1.sram.slices_per_controller
+        for i in range(256):
+            addr = i * INTERLEAVE_BYTES
+            ctrl = amap.dram_controller(addr)
+            s = amap.cache_slice_for_dram(addr)
+            assert s // per == ctrl
+
+    def test_cache_slices_spread_within_group(self, amap):
+        per = MTIA_V1.sram.slices_per_controller
+        seen = set()
+        for i in range(0, 4096):
+            addr = i * INTERLEAVE_BYTES
+            if amap.dram_controller(addr) == 0:
+                seen.add(amap.cache_slice_for_dram(addr))
+        assert seen == set(range(per))
+
+    def test_split_by_interleave_covers_range(self, amap):
+        fragments = list(amap.split_by_interleave(100, 300))
+        assert sum(size for _, size in fragments) == 300
+        assert fragments[0] == (100, INTERLEAVE_BYTES - 100 % INTERLEAVE_BYTES)
+        # fragments are contiguous
+        for (a1, s1), (a2, _) in zip(fragments, fragments[1:]):
+            assert a1 + s1 == a2
+
+    def test_split_aligned_access(self, amap):
+        fragments = list(amap.split_by_interleave(0, 4 * INTERLEAVE_BYTES))
+        assert len(fragments) == 4
+        assert all(size == INTERLEAVE_BYTES for _, size in fragments)

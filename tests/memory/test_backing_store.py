@@ -1,0 +1,80 @@
+"""Sparse byte store."""
+
+import numpy as np
+import pytest
+
+from repro.memory.backing_store import PAGE_SIZE, SparseByteStore
+
+
+class TestSparseByteStore:
+    def test_fresh_memory_reads_zero(self):
+        store = SparseByteStore(1 << 20)
+        assert not store.read(1000, 16).any()
+
+    def test_write_read_roundtrip(self, rng):
+        store = SparseByteStore(1 << 20)
+        data = rng.integers(0, 256, 300, dtype=np.uint8)
+        store.write(12345, data)
+        np.testing.assert_array_equal(store.read(12345, 300), data)
+
+    def test_cross_page_write(self, rng):
+        store = SparseByteStore(4 * PAGE_SIZE)
+        data = rng.integers(0, 256, PAGE_SIZE + 100, dtype=np.uint8)
+        addr = PAGE_SIZE - 50
+        store.write(addr, data)
+        np.testing.assert_array_equal(store.read(addr, data.size), data)
+
+    def test_partial_overwrite(self):
+        store = SparseByteStore(1 << 16)
+        store.write(0, np.full(10, 1, np.uint8))
+        store.write(5, np.full(10, 2, np.uint8))
+        out = store.read(0, 15)
+        assert out[:5].tolist() == [1] * 5
+        assert out[5:].tolist() == [2] * 10
+
+    def test_out_of_bounds_read_rejected(self):
+        store = SparseByteStore(100)
+        with pytest.raises(IndexError):
+            store.read(90, 20)
+
+    def test_out_of_bounds_write_rejected(self):
+        store = SparseByteStore(100)
+        with pytest.raises(IndexError):
+            store.write(95, np.zeros(10, np.uint8))
+
+    def test_negative_address_rejected(self):
+        store = SparseByteStore(100)
+        with pytest.raises(IndexError):
+            store.read(-1, 4)
+
+    def test_non_uint8_payload_viewed_as_bytes(self):
+        store = SparseByteStore(1 << 16)
+        values = np.arange(10, dtype=np.int32)
+        store.write(64, values)
+        np.testing.assert_array_equal(
+            store.read_array(64, (10,), np.int32), values)
+
+    def test_read_array_2d(self, rng):
+        store = SparseByteStore(1 << 16)
+        values = rng.standard_normal((4, 8)).astype(np.float32)
+        store.write(128, values)
+        np.testing.assert_array_equal(
+            store.read_array(128, (4, 8), np.float32), values)
+
+    def test_touched_bytes_tracks_pages(self):
+        store = SparseByteStore(1 << 30)
+        assert store.touched_bytes == 0
+        store.write(0, np.zeros(1, np.uint8))
+        assert store.touched_bytes == PAGE_SIZE
+        store.write(10 * PAGE_SIZE, np.zeros(1, np.uint8))
+        assert store.touched_bytes == 2 * PAGE_SIZE
+
+    def test_huge_capacity_is_lazy(self):
+        # 64 GB of capacity must not allocate 64 GB.
+        store = SparseByteStore(64 << 30)
+        store.write(32 << 30, np.arange(100, dtype=np.uint8))
+        assert store.touched_bytes <= 2 * PAGE_SIZE
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SparseByteStore(0)

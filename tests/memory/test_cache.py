@@ -1,0 +1,111 @@
+"""Set-associative cache model."""
+
+import pytest
+
+from repro.memory.cache import SetAssociativeCache
+
+
+def make_cache(capacity=8 * 1024, line=64, ways=4, **kw):
+    return SetAssociativeCache(capacity, line_bytes=line, ways=ways, **kw)
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        hits, misses = cache.access(0, 64)
+        assert (hits, misses) == (0, 1)
+        hits, misses = cache.access(0, 64)
+        assert (hits, misses) == (1, 0)
+
+    def test_multi_line_access_counts_each_line(self):
+        cache = make_cache()
+        hits, misses = cache.access(0, 256)
+        assert (hits, misses) == (0, 4)
+
+    def test_unaligned_access_touches_extra_line(self):
+        cache = make_cache()
+        _, misses = cache.access(60, 8)   # straddles a line boundary
+        assert misses == 2
+
+    def test_hit_rate(self):
+        cache = make_cache()
+        cache.access(0, 64)
+        cache.access(0, 64)
+        cache.access(0, 64)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_contains_is_nonmutating(self):
+        cache = make_cache()
+        cache.access(0, 64)
+        before = cache.stats.accesses
+        assert cache.contains(0)
+        assert not cache.contains(1 << 20)
+        assert cache.stats.accesses == before
+
+    def test_too_small_cache_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(128, line_bytes=64, ways=4)
+
+
+class TestReplacement:
+    def test_lru_evicts_oldest(self):
+        # 1 set x 2 ways: force conflicts on the same set.
+        cache = SetAssociativeCache(128, line_bytes=64, ways=2)
+        a, b, c = 0, 64, 128  # with one set, every line maps to set 0
+        cache.access(a, 1)
+        cache.access(b, 1)
+        cache.access(a, 1)        # a is now MRU
+        cache.access(c, 1)        # evicts b
+        assert cache.contains(a)
+        assert not cache.contains(b)
+        assert cache.contains(c)
+        assert cache.stats.evictions == 1
+
+    def test_working_set_within_capacity_never_evicts(self):
+        cache = make_cache(capacity=4096, line=64, ways=4)
+        for sweep in range(3):
+            for addr in range(0, 4096, 64):
+                cache.access(addr, 64)
+        assert cache.stats.evictions == 0
+        assert cache.stats.misses == 64
+        assert cache.resident_lines == 64
+
+    def test_thrashing_working_set_evicts(self):
+        cache = make_cache(capacity=4096)
+        for sweep in range(2):
+            for addr in range(0, 8192, 64):
+                cache.access(addr, 64)
+        assert cache.stats.evictions > 0
+
+
+class TestWrites:
+    def test_dirty_eviction_counts_writeback(self):
+        cache = SetAssociativeCache(128, line_bytes=64, ways=2)
+        cache.access(0, 1, is_write=True)
+        cache.access(64, 1)
+        cache.access(128, 1)   # evicts dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_write_hit_marks_dirty(self):
+        cache = SetAssociativeCache(128, line_bytes=64, ways=2)
+        cache.access(0, 1)                 # clean fill
+        cache.access(0, 1, is_write=True)  # dirty it
+        assert cache.flush() == 1
+
+    def test_no_write_allocate_bypasses(self):
+        cache = make_cache(write_allocate=False)
+        cache.access(0, 64, is_write=True)
+        assert not cache.contains(0)
+
+    def test_flush_empties(self):
+        cache = make_cache()
+        cache.access(0, 256)
+        assert cache.flush() == 0   # clean lines: no writebacks
+        assert cache.resident_lines == 0
+
+    def test_invalidate_single_line(self):
+        cache = make_cache()
+        cache.access(0, 64)
+        assert cache.invalidate(32)       # same line as addr 0
+        assert not cache.invalidate(32)   # already gone
+        assert not cache.contains(0)

@@ -1,0 +1,273 @@
+"""DRAM, SRAM, local memory, and the memory-system facade."""
+
+import numpy as np
+import pytest
+
+from repro.config import MTIA_V1
+from repro.memory import (DRAMModel, LocalMemory, MemorySystem, SRAMMode,
+                          SRAMModel)
+from repro.memory.address_map import AddressMap, SRAM_BASE
+from repro.sim import Engine
+
+
+@pytest.fixture
+def memsys_cache(engine):
+    return MemorySystem(engine, MTIA_V1, sram_mode=SRAMMode.CACHE)
+
+
+@pytest.fixture
+def memsys_scratch(engine):
+    return MemorySystem(engine, MTIA_V1, sram_mode=SRAMMode.SCRATCHPAD)
+
+
+class TestDRAM:
+    def test_functional_roundtrip(self, engine, memsys_cache, rng):
+        dram = memsys_cache.dram
+        data = rng.integers(0, 256, 1000, dtype=np.uint8)
+
+        def proc():
+            yield from dram.write(4096, data)
+            out = yield from dram.read(4096, 1000)
+            return out
+
+        out = engine.run_process(proc())
+        np.testing.assert_array_equal(out, data)
+
+    def test_read_takes_latency_plus_bandwidth(self, engine, memsys_cache):
+        dram = memsys_cache.dram
+
+        def proc():
+            yield from dram.read(0, 64)
+            return engine.now
+
+        elapsed = engine.run_process(proc())
+        assert elapsed >= MTIA_V1.dram.access_latency
+
+    def test_streaming_spreads_over_controllers(self, engine, memsys_cache):
+        dram = memsys_cache.dram
+
+        def proc():
+            yield from dram.read(0, 1 << 20)
+
+        engine.run_process(proc())
+        used = [c.total_units for c in dram.controllers]
+        assert all(u > 0 for u in used)
+        assert max(used) / min(used) < 1.1   # near-even interleave
+
+    def test_peak_bandwidth_approached_under_load(self, engine, memsys_cache):
+        dram = memsys_cache.dram
+        nbytes = 8 << 20
+
+        def proc():
+            yield from dram.read(0, nbytes)
+            return engine.now
+
+        cycles = engine.run_process(proc())
+        achieved = nbytes / cycles   # bytes per cycle
+        peak = MTIA_V1.dram.bytes_per_cycle(MTIA_V1.frequency_ghz)
+        assert achieved > 0.9 * peak
+
+    def test_stats_track_bytes(self, engine, memsys_cache):
+        dram = memsys_cache.dram
+
+        def proc():
+            yield from dram.write(0, np.zeros(128, np.uint8))
+            yield from dram.read(0, 256)
+
+        engine.run_process(proc())
+        assert dram.stats["write_bytes"] == 128
+        assert dram.stats["read_bytes"] == 256
+
+
+class TestSRAMScratchpad:
+    def test_roundtrip(self, engine, memsys_scratch, rng):
+        sram = memsys_scratch.sram
+        data = rng.integers(0, 256, 512, dtype=np.uint8)
+
+        def proc():
+            yield from sram.write(SRAM_BASE + 100, data)
+            out = yield from sram.read(SRAM_BASE + 100, 512)
+            return out
+
+        np.testing.assert_array_equal(engine.run_process(proc()), data)
+
+    def test_scratchpad_access_in_cache_mode_rejected(self, engine,
+                                                      memsys_cache):
+        def proc():
+            yield from memsys_cache.sram.read(SRAM_BASE, 64)
+
+        with pytest.raises(RuntimeError, match="cache mode"):
+            engine.run_process(proc())
+
+    def test_nonuniform_latency_by_position(self, memsys_scratch):
+        """Perimeter placement: different PEs see different slice
+        latencies (Section 7, "Memory Latency")."""
+        sram = memsys_scratch.sram
+        corner = sram._slice_latency(0, (0, 0))
+        far = sram._slice_latency(0, (7, 7))
+        assert far > corner
+        assert corner >= MTIA_V1.sram.base_latency
+
+    def test_faster_than_dram_for_same_bytes(self, memsys_scratch):
+        engine = memsys_scratch.engine
+        nbytes = 1 << 20
+
+        def via_sram():
+            yield from memsys_scratch.sram.read(SRAM_BASE, nbytes)
+            return engine.now
+
+        start = engine.now
+        t_sram = engine.run_process(via_sram()) - start
+
+        engine2 = Engine()
+        memsys2 = MemorySystem(engine2, MTIA_V1, sram_mode=SRAMMode.SCRATCHPAD)
+
+        def via_dram():
+            yield from memsys2.dram.read(0, nbytes)
+            return engine2.now
+
+        t_dram = engine2.run_process(via_dram())
+        assert t_sram < t_dram
+
+
+class TestSRAMCacheMode:
+    def test_first_access_misses_then_hits(self, engine, memsys_cache):
+        sram = memsys_cache.sram
+
+        def proc():
+            yield from sram.cached_access(0, 4096, is_write=False)
+            yield from sram.cached_access(0, 4096, is_write=False)
+
+        engine.run_process(proc())
+        assert sram.stats["miss_lines"] == 64
+        assert sram.stats["hit_lines"] == 64
+        assert sram.hit_rate() == pytest.approx(0.5)
+
+    def test_hits_are_faster_than_misses(self, engine, memsys_cache):
+        sram = memsys_cache.sram
+
+        def proc():
+            t0 = engine.now
+            yield from sram.cached_access(0, 1 << 16, is_write=False)
+            t_miss = engine.now - t0
+            t0 = engine.now
+            yield from sram.cached_access(0, 1 << 16, is_write=False)
+            return t_miss, engine.now - t0
+
+        t_miss, t_hit = engine.run_process(proc())
+        assert t_hit < t_miss
+
+    def test_data_correct_through_cache(self, engine, memsys_cache, rng):
+        data = rng.integers(0, 256, 2048, dtype=np.uint8)
+        memsys_cache.dram.poke(8192, data)
+
+        def proc():
+            out = yield from memsys_cache.sram.cached_access(
+                8192, 2048, is_write=False)
+            return out
+
+        np.testing.assert_array_equal(engine.run_process(proc()), data)
+
+    def test_flush_caches(self, engine, memsys_cache):
+        def proc():
+            yield from memsys_cache.sram.cached_access(0, 4096, False)
+
+        engine.run_process(proc())
+        memsys_cache.sram.flush_caches()
+        assert all(c.resident_lines == 0 for c in memsys_cache.sram.caches)
+
+
+class TestLocalMemory:
+    def test_roundtrip(self, engine, rng):
+        lm = LocalMemory(engine, MTIA_V1.local_memory)
+        data = rng.integers(0, 256, 128, dtype=np.uint8)
+
+        def proc():
+            yield from lm.write(64, data)
+            out = yield from lm.read(64, 128)
+            return out
+
+        np.testing.assert_array_equal(engine.run_process(proc()), data)
+
+    def test_bounds_check(self, engine):
+        lm = LocalMemory(engine, MTIA_V1.local_memory)
+        with pytest.raises(IndexError):
+            lm.peek(MTIA_V1.local_memory.capacity_bytes - 4, 8)
+
+    def test_peek_array(self, engine):
+        lm = LocalMemory(engine, MTIA_V1.local_memory)
+        lm.poke(0, np.arange(6, dtype=np.int32))
+        out = lm.peek_array(0, (2, 3), np.int32)
+        np.testing.assert_array_equal(out, np.arange(6).reshape(2, 3))
+
+    def test_access_charges_latency(self, engine):
+        lm = LocalMemory(engine, MTIA_V1.local_memory)
+
+        def proc():
+            yield from lm.read(0, 64)
+            return engine.now
+
+        assert engine.run_process(proc()) >= MTIA_V1.local_memory.access_latency
+
+
+class TestMemorySystemFacade:
+    def test_region_dispatch(self, engine, memsys_scratch, rng):
+        lm = LocalMemory(engine, MTIA_V1.local_memory)
+        memsys_scratch.register_local_memory(3, lm)
+        local_addr = memsys_scratch.address_map.local_address(3, 0x100)
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+
+        def proc():
+            yield from memsys_scratch.write(local_addr, data)
+            out = yield from memsys_scratch.read(local_addr, 64)
+            return out
+
+        np.testing.assert_array_equal(engine.run_process(proc()), data)
+        np.testing.assert_array_equal(lm.peek(0x100, 64), data)
+
+    def test_unregistered_local_memory_raises(self, engine, memsys_scratch):
+        addr = memsys_scratch.address_map.local_address(9)
+
+        def proc():
+            yield from memsys_scratch.read(addr, 4)
+
+        with pytest.raises(IndexError, match="no local memory"):
+            engine.run_process(proc())
+
+    def test_2d_read_gathers_strided_rows(self, engine, memsys_cache):
+        matrix = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        memsys_cache.poke(0, matrix)
+
+        def proc():
+            # read a 4x3 sub-block at row 2, col 1
+            out = yield from memsys_cache.read_2d(
+                2 * 8 + 1, rows=4, row_bytes=3, stride=8)
+            return out
+
+        out = engine.run_process(proc()).reshape(4, 3)
+        np.testing.assert_array_equal(out, matrix[2:6, 1:4])
+
+    def test_2d_write_scatters(self, engine, memsys_cache):
+        block = np.arange(12, dtype=np.uint8).reshape(4, 3)
+
+        def proc():
+            yield from memsys_cache.write_2d(
+                1, block, rows=4, row_bytes=3, stride=8)
+
+        engine.run_process(proc())
+        out = memsys_cache.peek(0, 32).reshape(4, 8)
+        np.testing.assert_array_equal(out[:, 1:4], block)
+
+    def test_2d_write_size_mismatch_rejected(self, engine, memsys_cache):
+        def proc():
+            yield from memsys_cache.write_2d(0, np.zeros(10, np.uint8),
+                                             rows=4, row_bytes=3, stride=8)
+
+        with pytest.raises(ValueError, match="mismatch"):
+            engine.run_process(proc())
+
+    def test_peek_array_sram(self, memsys_scratch):
+        values = np.arange(16, dtype=np.float32)
+        memsys_scratch.poke(SRAM_BASE, values)
+        out = memsys_scratch.peek_array(SRAM_BASE, (4, 4), np.float32)
+        np.testing.assert_array_equal(out, values.reshape(4, 4))

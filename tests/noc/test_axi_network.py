@@ -1,0 +1,159 @@
+"""AXI-style network with multicast coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.config import MTIA_V1
+from repro.memory import MemorySystem, SRAMMode
+from repro.noc import NoC
+from repro.sim import Engine, SimulationError
+
+
+@pytest.fixture
+def noc(engine):
+    memory = MemorySystem(engine, MTIA_V1, sram_mode=SRAMMode.CACHE)
+    return NoC(engine, MTIA_V1, memory)
+
+
+class TestUnicast:
+    def test_read_returns_data(self, engine, noc, rng):
+        data = rng.integers(0, 256, 256, dtype=np.uint8)
+        noc.memory.poke(1024, data)
+
+        def proc():
+            out = yield from noc.read((0, 0), 1024, 256)
+            return out
+
+        np.testing.assert_array_equal(engine.run_process(proc()), data)
+
+    def test_write_lands_in_memory(self, engine, noc, rng):
+        data = rng.integers(0, 256, 128, dtype=np.uint8)
+
+        def proc():
+            yield from noc.write((3, 4), 2048, data)
+
+        engine.run_process(proc())
+        np.testing.assert_array_equal(noc.memory.peek(2048, 128), data)
+
+    def test_hop_count_is_distance_to_edge(self, noc):
+        assert noc.hop_count((0, 0)) == 1     # corner PE
+        assert noc.hop_count((3, 3)) == 4     # interior PE
+        assert noc.hop_count((0, 7)) == 1
+        assert noc.hop_count((4, 4)) == 4
+
+    def test_interior_pe_pays_more_latency(self, noc):
+        engine = noc.engine
+
+        def read_from(coord, addr):
+            t0 = engine.now
+            yield from noc.read(coord, addr, 64)
+            return engine.now - t0
+
+        # distinct addresses so the second read is not a cache hit
+        t_corner = engine.run_process(read_from((0, 0), 0))
+        t_interior = engine.run_process(read_from((4, 4), 1 << 20))
+        assert t_interior > t_corner
+
+    def test_link_bytes_counted(self, engine, noc):
+        def proc():
+            yield from noc.read((2, 2), 0, 512)
+
+        engine.run_process(proc())
+        assert noc.stats["link_bytes"] == 512
+        assert noc.row_links[2].total_units == 512
+        assert noc.col_links[2].total_units == 512
+
+    def test_2d_read(self, engine, noc):
+        matrix = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        noc.memory.poke(0, matrix)
+
+        def proc():
+            out = yield from noc.read_2d((0, 0), 8 + 2, rows=3, row_bytes=4,
+                                         stride=8)
+            return out
+
+        out = engine.run_process(proc()).reshape(3, 4)
+        np.testing.assert_array_equal(out, matrix[1:4, 2:6])
+
+
+class TestMulticast:
+    def test_group_must_share_row_or_column(self, noc):
+        noc.multicast_group([(0, 0), (0, 3), (0, 7)])    # row: fine
+        noc.multicast_group([(1, 2), (5, 2)])            # column: fine
+        with pytest.raises(SimulationError, match="row or column"):
+            noc.multicast_group([(0, 0), (1, 1)])
+
+    def test_empty_or_duplicate_groups_rejected(self, noc):
+        with pytest.raises(SimulationError):
+            noc.multicast_group([])
+        with pytest.raises(SimulationError):
+            noc.multicast_group([(0, 0), (0, 0)])
+
+    def test_non_member_read_rejected(self, engine, noc):
+        group = noc.multicast_group([(0, 0), (0, 1)])
+
+        def proc():
+            yield from group.read((5, 5), 0, 64)
+
+        with pytest.raises(SimulationError, match="not in this multicast"):
+            engine.run_process(proc())
+
+    def test_coalesces_identical_reads(self, engine, noc, rng):
+        """Section 3.4: one memory fetch serves all requesters."""
+        data = rng.integers(0, 256, 256, dtype=np.uint8)
+        noc.memory.poke(4096, data)
+        members = [(2, c) for c in range(4)]
+        group = noc.multicast_group(members)
+        results = []
+
+        def reader(coord):
+            out = yield from group.read(coord, 4096, 256)
+            results.append(out)
+
+        for coord in members:
+            engine.process(reader(coord))
+        engine.run()
+        assert len(results) == 4
+        for out in results:
+            np.testing.assert_array_equal(out, data)
+        assert group.stats["fetches"] == 1
+        assert group.stats["coalesced"] == 3
+        assert group.coalescing_ratio() == pytest.approx(0.75)
+
+    def test_memory_sees_single_request(self, engine, noc):
+        members = [(0, c) for c in range(8)]
+        group = noc.multicast_group(members)
+
+        def reader(coord):
+            yield from group.read(coord, 0, 1024)
+
+        for coord in members:
+            engine.process(reader(coord))
+        engine.run()
+        # Only the first member's request reached DRAM.
+        assert noc.memory.dram.stats["read_bytes"] == 1024
+
+    def test_different_addresses_not_coalesced(self, engine, noc):
+        group = noc.multicast_group([(0, 0), (0, 1)])
+
+        def reader(coord, addr):
+            yield from group.read(coord, addr, 64)
+
+        engine.process(reader((0, 0), 0))
+        engine.process(reader((0, 1), 4096))
+        engine.run()
+        assert group.stats["fetches"] == 2
+        assert group.stats["coalesced"] == 0
+
+    def test_each_member_pays_delivery(self, engine, noc):
+        members = [(1, c) for c in range(4)]
+        group = noc.multicast_group(members)
+
+        def reader(coord):
+            yield from group.read(coord, 0, 512)
+
+        for coord in members:
+            engine.process(reader(coord))
+        engine.run()
+        # The response still traverses every requester's links.
+        assert noc.stats["link_bytes"] == 4 * 512

@@ -1,0 +1,135 @@
+"""The dedicated reduction network."""
+
+import numpy as np
+import pytest
+
+from repro.config import MTIA_V1
+from repro.noc import ReductionNetwork
+from repro.sim import Engine, SimulationError
+
+
+@pytest.fixture
+def rednet(engine):
+    return ReductionNetwork(engine, MTIA_V1)
+
+
+class TestRouting:
+    def test_send_to_east_neighbor(self, engine, rednet):
+        payload = np.arange(16, dtype=np.int32)
+
+        def sender():
+            yield from rednet.send((2, 3), (2, 4), payload)
+
+        def receiver():
+            out = yield from rednet.receive((2, 4))
+            return out
+
+        engine.process(sender())
+        proc = engine.process(receiver())
+        engine.run()
+        np.testing.assert_array_equal(proc.value, payload)
+
+    def test_send_to_south_neighbor(self, engine, rednet):
+        def sender():
+            yield from rednet.send((0, 0), (1, 0), np.zeros(4, np.int32))
+
+        engine.run_process(sender())
+        assert rednet.stats["transfers"] == 1
+
+    @pytest.mark.parametrize("src,dst", [
+        ((2, 3), (2, 2)),    # west: against the flow
+        ((3, 3), (2, 3)),    # north: against the flow
+        ((0, 0), (1, 1)),    # diagonal
+        ((0, 0), (0, 2)),    # skip a hop
+    ])
+    def test_illegal_hops_rejected(self, engine, rednet, src, dst):
+        """Section 3.4: links run north->south and west->east between
+        immediate neighbours only."""
+        def sender():
+            yield from rednet.send(src, dst, np.zeros(4, np.int32))
+
+        with pytest.raises(SimulationError):
+            engine.run_process(sender())
+
+    def test_out_of_grid_rejected(self, engine, rednet):
+        def sender():
+            yield from rednet.send((7, 7), (7, 8), np.zeros(4, np.int32))
+
+        with pytest.raises(SimulationError):
+            engine.run_process(sender())
+
+
+class TestSemantics:
+    def test_fifo_ordering_per_receiver(self, engine, rednet):
+        def sender():
+            for i in range(3):
+                yield from rednet.send((0, 0), (0, 1),
+                                       np.full(4, i, np.int32))
+
+        received = []
+
+        def receiver():
+            for _ in range(3):
+                out = yield from rednet.receive((0, 1))
+                received.append(int(out[0]))
+
+        engine.process(sender())
+        engine.process(receiver())
+        engine.run()
+        assert received == [0, 1, 2]
+
+    def test_receive_blocks_until_send(self, engine, rednet):
+        times = []
+
+        def receiver():
+            yield from rednet.receive((1, 1))
+            times.append(engine.now)
+
+        def sender():
+            yield 50
+            yield from rednet.send((1, 0), (1, 1), np.zeros(1024, np.int32))
+
+        engine.process(receiver())
+        engine.process(sender())
+        engine.run()
+        assert times[0] >= 50
+
+    def test_chain_accumulation(self, engine, rednet):
+        """A west-to-east chain of partial sums, like the FC mapping."""
+        chain = [(0, c) for c in range(4)]
+        final = []
+
+        def pe_program(index):
+            partial = np.full(8, index + 1, dtype=np.int32)
+            if index > 0:
+                inbound = yield from rednet.receive(chain[index])
+                partial = partial + inbound
+            if index < len(chain) - 1:
+                yield from rednet.send(chain[index], chain[index + 1],
+                                       partial)
+            else:
+                final.append(partial)
+
+        for i in range(len(chain)):
+            engine.process(pe_program(i))
+        engine.run()
+        np.testing.assert_array_equal(final[0], np.full(8, 10, np.int32))
+
+    def test_bandwidth_accounting(self, engine, rednet):
+        block = np.zeros((32, 32), np.int32)
+
+        def sender():
+            yield from rednet.send((0, 0), (0, 1), block)
+
+        engine.run_process(sender())
+        assert rednet.total_bytes() == block.nbytes
+
+    def test_transfer_charges_link_time(self, engine, rednet):
+        block = np.zeros((32, 32), np.int32)   # 4 KB at 64 B/cycle
+
+        def sender():
+            yield from rednet.send((0, 0), (0, 1), block)
+            return engine.now
+
+        elapsed = engine.run_process(sender())
+        assert elapsed >= block.nbytes / ReductionNetwork.LINK_BYTES_PER_CYCLE

@@ -1,0 +1,101 @@
+"""Platform specs (Table II) and the chip power model."""
+
+import pytest
+
+from repro.platforms import (PLATFORMS, ChipPowerModel, YOSEMITE_V2,
+                             YOSEMITE_V3, ZION_4S)
+
+
+class TestTableII:
+    def test_platform_identities(self):
+        assert YOSEMITE_V2.accelerator == "NNPI"
+        assert ZION_4S.accelerator == "A100 GPU"
+        assert YOSEMITE_V3.accelerator == "MTIA"
+
+    def test_card_counts(self):
+        assert YOSEMITE_V2.num_cards == 6
+        assert ZION_4S.num_cards == 8
+        assert YOSEMITE_V3.num_cards == 12
+
+    def test_system_power(self):
+        assert YOSEMITE_V2.system_power_w == 298
+        assert ZION_4S.system_power_w == 4500
+        assert YOSEMITE_V3.system_power_w == 780
+
+    def test_power_percentage_matches_table(self):
+        # Table II "Percentage" row: 27.2 %, 58.7 %, 53.8 %.
+        assert YOSEMITE_V2.accelerator_power_fraction == pytest.approx(
+            0.272, abs=0.005)
+        assert ZION_4S.accelerator_power_fraction == pytest.approx(
+            0.587, abs=0.005)
+        assert YOSEMITE_V3.accelerator_power_fraction == pytest.approx(
+            0.538, abs=0.005)
+
+    def test_provisioned_power_methodology(self):
+        assert YOSEMITE_V3.provisioned_watts_per_card == pytest.approx(65.0)
+        assert ZION_4S.provisioned_watts_per_card == pytest.approx(562.5)
+
+    def test_aggregate_compute(self):
+        assert YOSEMITE_V3.total_int8_tops == pytest.approx(104 * 12)
+        assert ZION_4S.total_device_memory_gb == pytest.approx(320)
+
+    def test_table_row_rendering(self):
+        row = YOSEMITE_V3.as_table_row()
+        assert row["INT8 (TOPS/s)"] == "104 x 12"
+        assert row["Dev.-to-Dev."] == "PCIe"
+        assert "53.8" in row["Percentage"]
+
+    def test_platform_registry(self):
+        assert set(PLATFORMS) == {"nnpi", "gpu", "mtia"}
+
+
+class TestChipPowerModel:
+    def test_idle_floor(self):
+        model = ChipPowerModel()
+        watts = model.average_watts({}, elapsed_cycles=1000)
+        assert watts == pytest.approx(model.idle_watts)
+        assert 0 < model.idle_watts < 25
+
+    def test_activity_increases_power(self):
+        model = ChipPowerModel()
+        idle = model.average_watts({}, 1000)
+        busy = model.average_watts({"int8_mac": 1e9}, 1000)
+        assert busy > idle
+
+    def test_power_capped_near_tdp(self):
+        model = ChipPowerModel()
+        watts = model.average_watts({"dram_byte": 1e15}, 1000)
+        assert watts <= 25 * 1.2
+
+    def test_unknown_counter_rejected(self):
+        model = ChipPowerModel()
+        with pytest.raises(KeyError):
+            model.dynamic_energy_j({"quantum_flux": 1.0})
+
+    def test_nonpositive_interval_rejected(self):
+        model = ChipPowerModel()
+        with pytest.raises(ValueError):
+            model.average_watts({}, 0)
+
+    def test_activity_mapping_from_simulator(self):
+        """Map real simulator counters into the energy model."""
+        import numpy as np
+        from repro import Accelerator
+        from repro.kernels.fc import run_fc
+        acc = Accelerator()
+        result = run_fc(acc, m=128, k=128, n=128,
+                        subgrid=acc.subgrid((0, 0), 2, 2), k_split=2)
+        stats = acc.collect_stats()
+        model = ChipPowerModel()
+        activity = model.activity_from_stats(stats)
+        assert activity["int8_mac"] == 128 ** 3
+        assert activity["dram_byte"] > 0
+        watts = model.average_watts(activity, result.cycles)
+        assert model.idle_watts < watts <= 30
+
+    def test_data_movement_dominates_compute_energy(self):
+        """The architecture's premise: moving a byte from DRAM costs far
+        more than an INT8 MAC (why multicast/reduction trees exist)."""
+        from repro.platforms.power import ENERGY_PJ
+        assert ENERGY_PJ["dram_byte"] > 50 * ENERGY_PJ["int8_mac"]
+        assert ENERGY_PJ["sram_byte"] > ENERGY_PJ["local_memory_byte"]

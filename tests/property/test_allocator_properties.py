@@ -1,0 +1,79 @@
+"""Property-based tests for the firmware sub-grid allocator."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Accelerator
+from repro.firmware import SubGridAllocator
+
+common = settings(max_examples=40, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+request_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(1, 8), st.integers(1, 8)),
+        st.tuples(st.just("free"), st.integers(0, 30), st.integers(0, 0)),
+    ),
+    max_size=40,
+)
+
+
+@common
+@given(ops=request_strategy, cluster=st.sampled_from([1, 2, 4]))
+def test_allocations_never_overlap_and_release_restores(ops, cluster):
+    acc = Accelerator()
+    alloc = SubGridAllocator(acc.grid, cluster=cluster)
+    live = []
+    for op in ops:
+        if op[0] == "alloc":
+            _, rows, cols = op
+            subgrid = alloc.allocate(rows, cols)
+            if subgrid is not None:
+                live.append(subgrid)
+        else:
+            _, index, _ = op
+            if live:
+                alloc.release(live.pop(index % len(live)))
+
+        # Invariant 1: live sub-grids are pairwise disjoint.
+        seen = set()
+        for sg in live:
+            coords = set(sg.coords())
+            assert not (coords & seen)
+            seen |= coords
+        # Invariant 2: the busy count covers at least the live PEs
+        # (cluster rounding may reserve more, never less).
+        assert alloc.busy_pes >= len(seen)
+        assert alloc.busy_pes + alloc.free_pes == acc.grid.num_pes
+
+    # Releasing everything restores a fully free grid.
+    for sg in live:
+        alloc.release(sg)
+    assert alloc.busy_pes == 0
+    assert alloc.allocate(8, 8) is not None
+
+
+@common
+@given(rows=st.integers(1, 8), cols=st.integers(1, 8),
+       cluster=st.sampled_from([1, 2, 4]))
+def test_allocated_shape_is_what_was_asked(rows, cols, cluster):
+    acc = Accelerator()
+    alloc = SubGridAllocator(acc.grid, cluster=cluster)
+    subgrid = alloc.allocate(rows, cols)
+    assert subgrid is not None
+    assert subgrid.rows == rows and subgrid.cols == cols
+
+
+@common
+@given(shapes=st.lists(st.tuples(st.integers(1, 4), st.integers(1, 4)),
+                       min_size=1, max_size=20))
+def test_full_grid_capacity_respected(shapes):
+    """Total PEs reserved never exceeds the grid."""
+    acc = Accelerator()
+    alloc = SubGridAllocator(acc.grid)
+    granted = 0
+    for rows, cols in shapes:
+        if alloc.allocate(rows, cols) is not None:
+            granted += rows * cols
+    assert granted <= acc.grid.num_pes

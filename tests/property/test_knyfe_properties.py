@@ -1,0 +1,77 @@
+"""Property-based test: random KNYFE pipelines match their reference."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Accelerator
+from repro.compiler.knyfe import KernelSpec, compile_kernel
+
+# Type-valid stage transitions: each entry maps the current dtype to
+# the stages that may follow and the dtype they produce.
+_FP32_STAGES = ["quantize", "tanh", "relu", "sigmoid", "binary"]
+_INT8_STAGES = ["dequantize"]
+
+
+@st.composite
+def pipeline_strategy(draw):
+    """A random, type-correct stage sequence starting from a load."""
+    start_int8 = draw(st.booleans())
+    dtype = "int8" if start_int8 else "fp32"
+    stages = []
+    for _ in range(draw(st.integers(1, 4))):
+        if dtype == "int8":
+            stage = "dequantize"
+            dtype = "fp32"
+        else:
+            stage = draw(st.sampled_from(_FP32_STAGES))
+            if stage == "quantize":
+                dtype = "int8"
+        stages.append(stage)
+    return ("int8" if start_int8 else "fp32"), stages
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec_parts=pipeline_strategy(),
+       count=st.integers(64, 1500),
+       seed=st.integers(0, 2 ** 16))
+def test_random_pipelines_match_reference(spec_parts, count, seed):
+    load_dtype, stages = spec_parts
+    rng = np.random.default_rng(seed)
+
+    spec = KernelSpec("prop").tile(512).load("x", dtype=load_dtype)
+    inputs = {}
+    if load_dtype == "int8":
+        inputs["x"] = rng.integers(-128, 128, count, dtype=np.int8)
+    else:
+        inputs["x"] = rng.standard_normal(count).astype(np.float32)
+
+    operand_id = 0
+    for stage in stages:
+        if stage == "quantize":
+            spec = spec.quantize(0.05)
+        elif stage == "dequantize":
+            spec = spec.dequantize(0.05)
+        elif stage == "binary":
+            name = f"op{operand_id}"
+            operand_id += 1
+            spec = spec.binary("add", name)
+            inputs[name] = rng.standard_normal(count).astype(np.float32)
+        else:
+            spec = spec.apply(stage)
+    spec = spec.store("y")
+
+    kernel = compile_kernel(spec)
+    acc = Accelerator()
+    out = kernel.run(acc, inputs, subgrid=acc.subgrid((0, 0), 1, 2))
+    ref = kernel.reference(inputs)
+    assert out["y"].dtype == ref.dtype
+    if ref.dtype == np.int8:
+        # LUT error before quantisation can flip a level at most.
+        assert np.max(np.abs(out["y"].astype(np.int16)
+                             - ref.astype(np.int16))) <= 1
+    else:
+        scale = np.maximum(np.abs(ref), 1.0)
+        assert np.max(np.abs(out["y"] - ref) / scale) < 2e-2

@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import MTIA_V1
+from repro.core.circular_buffer import CircularBuffer
+from repro.memory.backing_store import SparseByteStore
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.local_memory import LocalMemory
+from repro.sim import Engine, SimulationError
+from repro import dtypes
+
+common = settings(max_examples=60,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestCircularBufferProperties:
+    @common
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["push", "pop"]),
+                  st.integers(min_value=1, max_value=64)),
+        max_size=60))
+    def test_fifo_matches_reference_deque(self, ops):
+        """The CB behaves exactly like a bounded FIFO of bytes."""
+        engine = Engine()
+        lm = LocalMemory(engine, MTIA_V1.local_memory)
+        cb = CircularBuffer(engine, lm, 0, base=0, size=256)
+        reference = bytearray()
+        produced = 0
+        for op, amount in ops:
+            if op == "push":
+                data = np.arange(produced, produced + amount,
+                                 dtype=np.int64).astype(np.uint8)
+                if amount <= cb.space:
+                    cb.write_and_push(data)
+                    reference.extend(data.tobytes())
+                    produced += amount
+                else:
+                    with pytest.raises(SimulationError):
+                        cb.write_and_push(data)
+            else:
+                if amount <= cb.available:
+                    out = cb.read_and_pop(amount)
+                    expected = bytes(reference[:amount])
+                    del reference[:amount]
+                    assert out.tobytes() == expected
+                else:
+                    with pytest.raises(SimulationError):
+                        cb.pop(amount)
+            assert cb.available == len(reference)
+            assert cb.space == 256 - len(reference) - cb.reserved
+
+    @common
+    @given(offset=st.integers(0, 200), nbytes=st.integers(1, 56))
+    def test_offset_reads_never_move_pointers(self, offset, nbytes):
+        engine = Engine()
+        lm = LocalMemory(engine, MTIA_V1.local_memory)
+        cb = CircularBuffer(engine, lm, 0, base=0, size=256)
+        payload = np.arange(256, dtype=np.uint8)
+        cb.write_and_push(payload)
+        before = (cb.read_ptr, cb.write_ptr, cb.available)
+        out = cb.read_at(offset, nbytes)
+        assert (cb.read_ptr, cb.write_ptr, cb.available) == before
+        np.testing.assert_array_equal(out, payload[offset:offset + nbytes])
+
+
+class TestCacheProperties:
+    @common
+    @given(addresses=st.lists(st.integers(0, 1 << 16), min_size=1,
+                              max_size=200))
+    def test_stats_invariants(self, addresses):
+        cache = SetAssociativeCache(4096, line_bytes=64, ways=4)
+        for addr in addresses:
+            cache.access(addr, 1)
+        assert cache.stats.accesses == len(addresses)
+        assert cache.stats.hits + cache.stats.misses == len(addresses)
+        assert cache.resident_lines <= 4096 // 64
+
+    @common
+    @given(addresses=st.lists(st.integers(0, 1 << 14), min_size=1,
+                              max_size=100))
+    def test_second_pass_of_small_set_hits(self, addresses):
+        """Any working set smaller than capacity fully hits on re-walk."""
+        unique_lines = {a // 64 for a in addresses}
+        cache = SetAssociativeCache(1 << 20, line_bytes=64, ways=16)
+        for addr in addresses:
+            cache.access(addr, 1)
+        if len(unique_lines) * 64 <= (1 << 20) // 16:
+            before_hits = cache.stats.hits
+            for addr in addresses:
+                hits, misses = cache.access(addr, 1)
+                assert misses == 0
+
+
+class TestBackingStoreProperties:
+    @common
+    @given(writes=st.lists(
+        st.tuples(st.integers(0, 1 << 18),
+                  st.binary(min_size=1, max_size=300)),
+        min_size=1, max_size=30))
+    def test_matches_flat_array_model(self, writes):
+        store = SparseByteStore(1 << 19)
+        model = np.zeros(1 << 19, dtype=np.uint8)
+        for addr, blob in writes:
+            data = np.frombuffer(blob, dtype=np.uint8)
+            if addr + data.size <= model.size:
+                store.write(addr, data)
+                model[addr:addr + data.size] = data
+        for addr, blob in writes:
+            size = min(len(blob) + 32, model.size - addr)
+            if size > 0:
+                np.testing.assert_array_equal(store.read(addr, size),
+                                              model[addr:addr + size])
+
+
+class TestQuantisationProperties:
+    @common
+    @given(values=st.lists(st.floats(-1e3, 1e3, allow_nan=False),
+                           min_size=1, max_size=100),
+           scale=st.floats(1e-3, 10.0))
+    def test_roundtrip_error_bounded_by_half_scale(self, values, scale):
+        x = np.array(values, dtype=np.float32)
+        q = dtypes.quantize(x, scale)
+        back = dtypes.dequantize(q, scale)
+        clipped = np.clip(x, -128 * scale, 127 * scale)
+        assert np.max(np.abs(back - clipped)) <= scale / 2 + 1e-4
+
+    @common
+    @given(values=st.lists(st.floats(-100, 100, allow_nan=False),
+                           min_size=1, max_size=64))
+    def test_bf16_monotone_rounding(self, values):
+        x = np.array(values, dtype=np.float32)
+        rounded = dtypes.to_bf16(x)
+        # bf16 rounding error is bounded by 2^-8 relative.
+        err = np.abs(rounded - x)
+        bound = np.maximum(np.abs(x) * 2 ** -8, 1e-30)
+        assert (err <= bound + 1e-30).all()
+
+
+class TestFCProperty:
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        m=st.sampled_from([64, 128]),
+        k=st.sampled_from([32, 64, 96]),
+        n=st.sampled_from([64, 128]),
+        seed=st.integers(0, 2 ** 16),
+    )
+    def test_fc_always_bit_exact(self, m, k, n, seed):
+        """Any tileable INT8 shape computes exactly."""
+        from repro import Accelerator
+        from repro.kernels.fc import run_fc
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-128, 128, (m, k), dtype=np.int8)
+        b_t = rng.integers(-128, 128, (n, k), dtype=np.int8)
+        acc = Accelerator()
+        result = run_fc(acc, a, b_t, subgrid=acc.subgrid((0, 0), 1, 1))
+        expected = b_t.astype(np.int32) @ a.astype(np.int32).T
+        np.testing.assert_array_equal(result.c_t, expected)
+
+
+class TestEngineProperties:
+    @common
+    @given(delays=st.lists(st.integers(0, 1000), min_size=1, max_size=50))
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        engine = Engine()
+        fired = []
+        for d in delays:
+            engine.schedule(d, lambda d=d: fired.append((engine.now, d)))
+        engine.run()
+        times = [t for t, _ in fired]
+        assert times == sorted(times)
+        assert sorted(d for _, d in fired) == sorted(delays)
+
+    @common
+    @given(amounts=st.lists(st.integers(1, 100), min_size=1, max_size=30),
+           rate=st.integers(1, 50))
+    def test_resource_total_time_is_work_over_rate(self, amounts, rate):
+        from repro.sim import Resource
+        engine = Engine()
+        res = Resource(engine, rate)
+
+        def user(amount):
+            yield from res.use(amount)
+
+        for a in amounts:
+            engine.process(user(a))
+        engine.run()
+        assert engine.now == pytest.approx(sum(amounts) / rate)

@@ -1,0 +1,64 @@
+"""Multi-card partitioned inference estimation."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.fusion import fuse_graph
+from repro.eval.machines import MACHINES
+from repro.models.configs import MODEL_ZOO
+from repro.models.dlrm import build_dlrm_graph
+from repro.runtime.multi_card import estimate_multi_card
+
+
+@pytest.fixture(scope="module")
+def hc_graph():
+    graph = build_dlrm_graph(MODEL_ZOO["HC"], 64)
+    fuse_graph(graph)
+    return graph
+
+
+class TestMultiCardEstimate:
+    def test_hc_needs_many_cards(self, hc_graph):
+        est = estimate_multi_card(hc_graph, MACHINES["mtia"])
+        assert est.cards >= 23          # 725 GB / 32 GB
+        assert est.total_seconds > 0
+
+    def test_phases_compose(self, hc_graph):
+        est = estimate_multi_card(hc_graph, MACHINES["mtia"])
+        assert est.total_seconds == pytest.approx(
+            est.sparse_seconds + est.gather_seconds + est.dense_seconds)
+
+    def test_gather_traffic_counted(self, hc_graph):
+        est = estimate_multi_card(hc_graph, MACHINES["mtia"])
+        assert est.gather_bytes > 0
+        # gather time = bytes over the 12.8 GB/s PCIe P2P link
+        assert est.gather_seconds == pytest.approx(
+            est.gather_bytes / 12.8e9)
+
+    def test_faster_interconnect_shrinks_gather(self, hc_graph):
+        slow = estimate_multi_card(hc_graph, MACHINES["mtia"],
+                                   p2p_gbs=12.8)
+        fast = estimate_multi_card(hc_graph, MACHINES["mtia"],
+                                   p2p_gbs=80.0)   # NVLink-class
+        assert fast.gather_seconds < slow.gather_seconds / 4
+        assert fast.total_seconds < slow.total_seconds
+
+    def test_single_card_model_has_no_gather(self):
+        graph = build_dlrm_graph(MODEL_ZOO["LC2"], 64)
+        fuse_graph(graph)
+        est = estimate_multi_card(graph, MACHINES["mtia"])
+        assert est.cards == 1
+        assert est.gather_bytes == 0
+        assert est.gather_seconds == 0.0
+
+    def test_sparse_phase_shrinks_with_more_cards(self, hc_graph):
+        big_cards = estimate_multi_card(hc_graph, MACHINES["mtia"],
+                                        card_capacity_bytes=16 * 10 ** 9)
+        few_cards = estimate_multi_card(hc_graph, MACHINES["mtia"],
+                                        card_capacity_bytes=128 * 10 ** 9)
+        assert big_cards.cards > few_cards.cards
+        assert big_cards.sparse_seconds <= few_cards.sparse_seconds
+
+    def test_scaling_efficiency_below_one(self, hc_graph):
+        est = estimate_multi_card(hc_graph, MACHINES["mtia"])
+        assert 0.0 < est.scaling_efficiency < 1.0

@@ -1,0 +1,177 @@
+"""Runtime layer: tensors, device, streams, executor."""
+
+import numpy as np
+import pytest
+
+from repro.config import MTIA_V1
+from repro.memory import SRAMMode
+from repro.runtime import DeviceSet, GraphExecutor, MTIADevice
+from repro.runtime.tensor import TensorMeta
+
+
+@pytest.fixture
+def device():
+    return MTIADevice()
+
+
+class TestTensorMeta:
+    def test_numel_nbytes(self):
+        meta = TensorMeta((4, 8), "fp32")
+        assert meta.numel == 32
+        assert meta.nbytes == 128
+
+    def test_scalar_shape(self):
+        assert TensorMeta((), "int8").numel == 1
+
+    def test_with_shape(self):
+        meta = TensorMeta((4, 8), "int8", scale=0.5)
+        new = meta.with_shape((2, 16))
+        assert new.shape == (2, 16)
+        assert new.scale == 0.5
+
+
+class TestDevice:
+    def test_tensor_roundtrip(self, device, rng):
+        data = rng.standard_normal((8, 8)).astype(np.float32)
+        tensor = device.from_numpy(data, name="x")
+        np.testing.assert_array_equal(tensor.to_host(), data)
+
+    def test_from_numpy_charges_pcie_time(self, device, rng):
+        data = rng.standard_normal((1024, 1024)).astype(np.float32)
+        device.from_numpy(data)
+        device.synchronize()
+        # 4 MB over 16 GB/s at 0.8 GHz = 4e6/20 = 200k cycles
+        assert device.cycles >= data.nbytes / 20 * 0.99
+
+    def test_sram_region_allocation(self):
+        device = MTIADevice(sram_mode=SRAMMode.SCRATCHPAD)
+        tensor = device.empty((64,), "fp32", region="sram")
+        assert tensor.region == "sram"
+
+    def test_unknown_region_rejected(self, device):
+        with pytest.raises(ValueError, match="region"):
+            device.empty((4,), "fp32", region="l4")
+
+    def test_shape_mismatch_on_from_host(self, device, rng):
+        tensor = device.empty((4, 4), "fp32")
+        with pytest.raises(ValueError, match="shape"):
+            tensor.from_host(rng.standard_normal((5, 5)).astype(np.float32))
+
+    def test_virtual_clock_advance(self, device):
+        device.advance(1000)
+        assert device.cycles >= 1000
+        with pytest.raises(ValueError):
+            device.advance(-1)
+
+    def test_seconds(self, device):
+        device.advance(8e8)
+        assert device.seconds() == pytest.approx(1.0, rel=1e-3)
+
+
+class TestStreams:
+    def test_in_order_within_stream(self, device):
+        s = device.stream("s")
+        e1 = s.enqueue("a", 100)
+        e2 = s.enqueue("b", 50)
+        assert e2.at_cycles == e1.at_cycles + 50
+
+    def test_streams_overlap(self, device):
+        s1, s2 = device.stream(), device.stream()
+        e1 = s1.enqueue("x", 100)
+        e2 = s2.enqueue("y", 100)
+        assert e1.at_cycles == e2.at_cycles == 100
+
+    def test_wait_event_serialises_across_streams(self, device):
+        s1, s2 = device.stream(), device.stream()
+        e1 = s1.enqueue("produce", 100)
+        s2.wait_event(e1)
+        e2 = s2.enqueue("consume", 10)
+        assert e2.at_cycles == 110
+
+    def test_synchronize_advances_clock(self, device):
+        s = device.stream()
+        s.enqueue("work", 500)
+        s.synchronize()
+        assert device.cycles >= 500
+
+    def test_event_query_and_elapsed(self, device):
+        s = device.stream()
+        e1 = s.record_event()
+        e2 = s.enqueue("w", 42)
+        assert e1.elapsed_until(e2) == 42
+        assert not e2.query()
+        s.synchronize()
+        assert e2.query()
+
+
+class TestDeviceSet:
+    def test_p2p_copy_moves_data_and_time(self, rng):
+        devices = DeviceSet(2)
+        data = rng.standard_normal((256, 256)).astype(np.float32)
+        src = devices[0].from_numpy(data, name="t")
+        dst = devices.p2p_copy(src, devices[1])
+        np.testing.assert_array_equal(dst.to_host(), data)
+        devices.synchronize()
+        assert devices[1].cycles > 0
+
+    def test_needs_at_least_one_device(self):
+        with pytest.raises(ValueError):
+            DeviceSet(0)
+
+    def test_makespan(self):
+        devices = DeviceSet(2)
+        devices[0].advance(100)
+        devices[1].advance(300)
+        assert devices.cycles == 300
+
+
+class TestExecutor:
+    def _mlp(self):
+        from repro.compiler.ir import GraphBuilder
+        b = GraphBuilder("mlp")
+        x = b.input((16, 32), name="x")
+        w1 = b.weight((64, 32), name="w1")
+        h = b.add("fc", (x.name, w1.name), name="h")
+        a = b.add("relu", (h.name,), name="a")
+        w2 = b.weight((8, 64), name="w2")
+        out = b.add("fc", (a.name, w2.name), name="out")
+        return b.output(out.name)
+
+    def test_functional_result_matches_numpy(self, rng):
+        g = self._mlp()
+        x = rng.standard_normal((16, 32)).astype(np.float32)
+        w1 = rng.standard_normal((64, 32)).astype(np.float32)
+        w2 = rng.standard_normal((8, 64)).astype(np.float32)
+        outputs, report = GraphExecutor(mode="eager").run(
+            g, {"x": x}, {"w1": w1, "w2": w2})
+        ref = np.maximum(x @ w1.T, 0) @ w2.T
+        np.testing.assert_allclose(outputs["out"], ref, rtol=1e-4)
+        assert report.seconds > 0
+
+    def test_graph_mode_faster_than_eager(self, rng):
+        x = rng.standard_normal((16, 32)).astype(np.float32)
+        _, eager = GraphExecutor(mode="eager").run(self._mlp(), {"x": x})
+        _, graph = GraphExecutor(mode="graph").run(self._mlp(), {"x": x})
+        assert graph.seconds <= eager.seconds
+
+    def test_missing_feed_raises(self):
+        with pytest.raises(KeyError, match="missing feed"):
+            GraphExecutor().run(self._mlp(), {})
+
+    def test_unbound_weights_default_to_zero(self, rng):
+        g = self._mlp()
+        x = rng.standard_normal((16, 32)).astype(np.float32)
+        outputs, _ = GraphExecutor(mode="eager").run(g, {"x": x})
+        np.testing.assert_array_equal(outputs["out"], np.zeros((16, 8)))
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            GraphExecutor(mode="jit")
+
+    def test_report_categories(self, rng):
+        g = self._mlp()
+        x = rng.standard_normal((16, 32)).astype(np.float32)
+        _, report = GraphExecutor(mode="graph").run(g, {"x": x})
+        assert "fc" in report.category_seconds
+        fractions = report.category_fractions
+        assert sum(fractions.values()) == pytest.approx(1.0)

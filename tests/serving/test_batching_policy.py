@@ -1,0 +1,62 @@
+"""Batching-policy behaviour of the serving simulator."""
+
+import numpy as np
+import pytest
+
+from repro.serving import BatchingConfig, simulate_serving
+
+
+def step_latency(batch):
+    """Latency with a strong fixed cost: batching pays off visibly."""
+    return 500.0 + 1.0 * batch
+
+
+class TestBatchingWindow:
+    def test_longer_window_builds_bigger_batches(self):
+        short = simulate_serving(step_latency, qps=20_000,
+                                 batching=BatchingConfig(max_batch=256,
+                                                         max_wait_us=50),
+                                 num_requests=3000)
+        long = simulate_serving(step_latency, qps=20_000,
+                                batching=BatchingConfig(max_batch=256,
+                                                        max_wait_us=1000),
+                                num_requests=3000)
+        assert long.mean_batch > short.mean_batch
+
+    def test_window_bounds_low_load_latency(self):
+        report = simulate_serving(step_latency, qps=50,
+                                  batching=BatchingConfig(max_batch=256,
+                                                          max_wait_us=300),
+                                  num_requests=500)
+        # At 50 QPS nothing queues: latency ~= window + service(1).
+        assert report.p50_us == pytest.approx(300 + step_latency(1),
+                                              rel=0.1)
+
+    def test_throughput_vs_latency_tradeoff(self):
+        """Bigger windows raise throughput per device (better
+        amortisation) at the cost of latency — the serving tension the
+        paper's "stringent latency requirements" line refers to."""
+        results = {}
+        for window in (50, 2000):
+            report = simulate_serving(
+                step_latency, qps=100_000,
+                batching=BatchingConfig(max_batch=512, max_wait_us=window),
+                num_requests=4000)
+            results[window] = report
+        # The long window serves the offered load with slack; the short
+        # window saturates (per-batch fixed costs dominate).
+        assert results[2000].busy_fraction < results[50].busy_fraction
+
+    def test_saturated_device_batches_up(self):
+        """Once the device saturates, the queue itself creates batches
+        regardless of the window."""
+        report = simulate_serving(step_latency, qps=500_000,
+                                  batching=BatchingConfig(max_batch=128,
+                                                          max_wait_us=10),
+                                  num_requests=4000)
+        assert report.mean_batch > 32
+
+    def test_served_qps_tracks_offered_under_light_load(self):
+        report = simulate_serving(step_latency, qps=1_000,
+                                  num_requests=3000)
+        assert report.qps_served == pytest.approx(1_000, rel=0.15)

@@ -1,0 +1,204 @@
+"""The discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self, engine):
+        assert engine.now == 0
+
+    def test_callbacks_run_in_time_order(self, engine):
+        order = []
+        engine.schedule(5, lambda: order.append("b"))
+        engine.schedule(2, lambda: order.append("a"))
+        engine.schedule(9, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 9
+
+    def test_ties_run_fifo(self, engine):
+        order = []
+        for tag in "abc":
+            engine.schedule(3, lambda t=tag: order.append(t))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_cannot_schedule_in_the_past(self, engine):
+        engine.schedule(5, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule(1, lambda: None)
+
+    def test_run_until_stops_early(self, engine):
+        hits = []
+        engine.schedule(10, lambda: hits.append(1))
+        engine.run(until=5)
+        assert not hits
+        assert engine.now == 5
+        engine.run()
+        assert hits == [1]
+
+
+class TestProcesses:
+    def test_delay_advances_time(self, engine):
+        def proc():
+            yield 10
+            yield 5
+            return engine.now
+
+        assert engine.run_process(proc()) == 15
+
+    def test_return_value(self, engine):
+        def proc():
+            yield 1
+            return "done"
+
+        assert engine.run_process(proc()) == "done"
+
+    def test_zero_delay_allowed(self, engine):
+        def proc():
+            yield 0
+            return True
+
+        assert engine.run_process(proc()) is True
+
+    def test_negative_delay_raises_inside_process(self, engine):
+        def proc():
+            yield -3
+
+        with pytest.raises(SimulationError):
+            engine.run_process(proc())
+
+    def test_yielding_garbage_raises(self, engine):
+        def proc():
+            yield "not a delay"
+
+        with pytest.raises(SimulationError):
+            engine.run_process(proc())
+
+    def test_process_waits_on_event(self, engine):
+        ev = engine.event("gate")
+
+        def opener():
+            yield 7
+            ev.succeed("payload")
+
+        def waiter():
+            value = yield ev
+            return engine.now, value
+
+        engine.process(opener())
+        proc = engine.process(waiter())
+        engine.run()
+        assert proc.value == (7, "payload")
+
+    def test_process_waits_on_process(self, engine):
+        def child():
+            yield 4
+            return 42
+
+        def parent():
+            result = yield engine.process(child())
+            return result + 1
+
+        assert engine.run_process(parent()) == 43
+
+    def test_event_failure_propagates(self, engine):
+        ev = engine.event()
+
+        def failer():
+            yield 1
+            ev.fail(RuntimeError("boom"))
+
+        def waiter():
+            yield ev
+
+        engine.process(failer())
+        proc = engine.process(waiter())
+        engine.run()
+        with pytest.raises(RuntimeError, match="boom"):
+            proc.value
+
+    def test_exception_can_be_caught_in_process(self, engine):
+        ev = engine.event()
+
+        def failer():
+            yield 1
+            ev.fail(ValueError("expected"))
+
+        def waiter():
+            try:
+                yield ev
+            except ValueError:
+                return "recovered"
+
+        engine.process(failer())
+        assert engine.run_process(waiter()) == "recovered"
+
+    def test_deadlock_detected_by_run_process(self, engine):
+        ev = engine.event("never")
+
+        def stuck():
+            yield ev
+
+        with pytest.raises(SimulationError, match="did not finish"):
+            engine.run_process(stuck())
+
+
+class TestEvents:
+    def test_double_trigger_rejected(self, engine):
+        ev = engine.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_value_before_trigger_rejected(self, engine):
+        ev = engine.event("pending")
+        with pytest.raises(SimulationError):
+            ev.value
+
+    def test_waiting_on_triggered_event_resumes_immediately(self, engine):
+        ev = engine.event()
+        ev.succeed(5)
+
+        def proc():
+            value = yield ev
+            return engine.now, value
+
+        assert engine.run_process(proc()) == (0, 5)
+
+    def test_timeout(self, engine):
+        def proc():
+            yield engine.timeout(12)
+            return engine.now
+
+        assert engine.run_process(proc()) == 12
+
+    def test_all_of_waits_for_every_event(self, engine):
+        events = [engine.event(str(i)) for i in range(3)]
+        for delay, ev in zip((3, 9, 6), events):
+            engine.schedule(delay, lambda e=ev, d=delay: e.succeed(d))
+
+        def proc():
+            values = yield engine.all_of(events)
+            return engine.now, values
+
+        assert engine.run_process(proc()) == (9, [3, 9, 6])
+
+    def test_all_of_empty_fires_now(self, engine):
+        def proc():
+            values = yield engine.all_of([])
+            return values
+
+        assert engine.run_process(proc()) == []
+
+    def test_livelock_guard(self, engine):
+        def spinner():
+            while True:
+                yield 0
+
+        engine.process(spinner())
+        with pytest.raises(SimulationError, match="livelock"):
+            engine.run(max_events=1000)

@@ -1,0 +1,165 @@
+"""Shared-resource primitives."""
+
+import pytest
+
+from repro.sim import Engine, Queue, Resource, Semaphore, SimulationError
+
+
+class TestResource:
+    def test_service_time(self, engine):
+        res = Resource(engine, rate_per_cycle=64)
+        assert res.service_time(128) == pytest.approx(2.0)
+
+    def test_serialises_users(self, engine):
+        res = Resource(engine, rate_per_cycle=10)
+        times = []
+
+        def user(amount):
+            yield from res.use(amount)
+            times.append(engine.now)
+
+        engine.process(user(100))   # 10 cycles
+        engine.process(user(50))    # queued: finishes at 15
+        engine.run()
+        assert times == [10, 15]
+
+    def test_idle_gap_not_charged(self, engine):
+        res = Resource(engine, rate_per_cycle=10)
+        times = []
+
+        def late_user():
+            yield 100
+            yield from res.use(10)
+            times.append(engine.now)
+
+        engine.process(late_user())
+        engine.run()
+        assert times == [101]
+
+    def test_utilization(self, engine):
+        res = Resource(engine, rate_per_cycle=10)
+
+        def user():
+            yield from res.use(100)
+
+        engine.process(user())
+        engine.run()
+        # 10 busy cycles out of 10 elapsed
+        assert res.utilization() == pytest.approx(1.0)
+        assert res.total_units == 100
+
+    def test_rejects_nonpositive_rate(self, engine):
+        with pytest.raises(ValueError):
+            Resource(engine, rate_per_cycle=0)
+
+
+class TestSemaphore:
+    def test_acquire_release(self, engine):
+        sem = Semaphore(engine, 2)
+        grants = []
+
+        def worker(tag, hold):
+            yield sem.acquire()
+            grants.append((tag, engine.now))
+            yield hold
+            sem.release()
+
+        for tag, hold in (("a", 10), ("b", 10), ("c", 5)):
+            engine.process(worker(tag, hold))
+        engine.run()
+        assert grants == [("a", 0), ("b", 0), ("c", 10)]
+
+    def test_fifo_wakeup(self, engine):
+        sem = Semaphore(engine, 1)
+        order = []
+
+        def worker(tag):
+            yield sem.acquire()
+            order.append(tag)
+            yield 1
+            sem.release()
+
+        for tag in "abcd":
+            engine.process(worker(tag))
+        engine.run()
+        assert order == list("abcd")
+
+    def test_release_without_acquire_rejected(self, engine):
+        sem = Semaphore(engine, 1)
+        with pytest.raises(SimulationError):
+            sem.release()
+
+    def test_negative_capacity_rejected(self, engine):
+        with pytest.raises(ValueError):
+            Semaphore(engine, -1)
+
+
+class TestQueue:
+    def test_fifo_order(self, engine):
+        q = Queue(engine)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield q.get()
+                got.append(item)
+
+        def producer():
+            for item in (1, 2, 3):
+                yield q.put(item)
+                yield 1
+
+        engine.process(consumer())
+        engine.process(producer())
+        engine.run()
+        assert got == [1, 2, 3]
+
+    def test_get_blocks_until_put(self, engine):
+        q = Queue(engine)
+        times = []
+
+        def consumer():
+            item = yield q.get()
+            times.append((engine.now, item))
+
+        def producer():
+            yield 8
+            yield q.put("x")
+
+        engine.process(consumer())
+        engine.process(producer())
+        engine.run()
+        assert times == [(8, "x")]
+
+    def test_bounded_put_blocks_until_space(self, engine):
+        q = Queue(engine, capacity=1)
+        events = []
+
+        def producer():
+            yield q.put(1)
+            events.append(("put1", engine.now))
+            yield q.put(2)
+            events.append(("put2", engine.now))
+
+        def consumer():
+            yield 5
+            item = yield q.get()
+            events.append(("got", engine.now, item))
+
+        engine.process(producer())
+        engine.process(consumer())
+        engine.run()
+        assert ("put1", 0) in events
+        assert ("put2", 5) in events
+
+    def test_len_and_full(self, engine):
+        q = Queue(engine, capacity=2)
+
+        def fill():
+            yield q.put(1)
+            yield q.put(2)
+
+        engine.process(fill())
+        engine.run()
+        assert len(q) == 2
+        assert q.full

@@ -1,0 +1,59 @@
+"""Statistics counters."""
+
+from repro.sim import StatGroup
+
+
+class TestStatGroup:
+    def test_add_accumulates(self):
+        stats = StatGroup("x")
+        stats.add("hits")
+        stats.add("hits", 2)
+        assert stats["hits"] == 3
+
+    def test_get_with_default(self):
+        stats = StatGroup()
+        assert stats.get("missing") == 0.0
+        assert stats.get("missing", -1) == -1
+
+    def test_contains_and_iter(self):
+        stats = StatGroup()
+        stats.add("a")
+        stats.add("b", 2)
+        assert "a" in stats
+        assert sorted(stats) == ["a", "b"]
+
+    def test_set_max(self):
+        stats = StatGroup()
+        stats.set_max("depth", 3)
+        stats.set_max("depth", 1)
+        stats.set_max("depth", 7)
+        assert stats["depth"] == 7
+
+    def test_merge_with_prefix(self):
+        parent = StatGroup("chip")
+        child = StatGroup("pe0")
+        child.add("bytes", 100)
+        parent.merge(child, prefix="pe0.")
+        parent.merge(child, prefix="pe0.")
+        assert parent["pe0.bytes"] == 200
+
+    def test_merge_sums_same_keys(self):
+        total = StatGroup()
+        for _ in range(3):
+            part = StatGroup()
+            part.add("ops", 5)
+            total.merge(part)
+        assert total["ops"] == 15
+
+    def test_reset(self):
+        stats = StatGroup()
+        stats.add("x", 5)
+        stats.reset()
+        assert stats.as_dict() == {}
+
+    def test_repr_is_sorted_and_readable(self):
+        stats = StatGroup("u")
+        stats.add("b", 2)
+        stats.add("a", 1)
+        assert "a=1" in repr(stats)
+        assert repr(stats).index("a=1") < repr(stats).index("b=2")

@@ -1,0 +1,98 @@
+"""Execution tracing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Accelerator
+from repro.kernels.fc import run_fc
+from repro.sim import Tracer
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record("pe0.dpe", "MML", 0, 32)
+        assert tracer.spans == []
+
+    def test_record_and_query(self):
+        tracer = Tracer(enabled=True)
+        tracer.record("pe0.dpe", "MML", 10, 42)
+        tracer.record("pe0.fi", "DMALoad", 0, 20, bytes=2048)
+        tracer.record("pe0.dpe", "MML", 50, 82)
+        assert tracer.tracks() == ["pe0.dpe", "pe0.fi"]
+        assert tracer.busy_cycles("pe0.dpe") == 64
+        assert tracer.utilization("pe0.dpe", 100) == pytest.approx(0.64)
+        spans = tracer.spans_on("pe0.dpe")
+        assert [s.start for s in spans] == [10, 50]
+
+    def test_backwards_span_rejected(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            tracer.record("t", "x", 10, 5)
+
+    def test_chrome_trace_structure(self):
+        tracer = Tracer(enabled=True)
+        tracer.record("pe0.dpe", "MML", 0, 32, acc=1)
+        doc = tracer.to_chrome_trace(frequency_ghz=0.8)
+        assert "traceEvents" in doc
+        event = doc["traceEvents"][0]
+        assert event["ph"] == "X"
+        assert event["name"] == "MML"
+        assert event["tid"] == "pe0.dpe"
+        assert event["args"] == {"acc": 1}
+        # 32 cycles at 0.8 GHz = 40 ns = 0.04 us
+        assert event["dur"] == pytest.approx(0.04)
+
+    def test_save_round_trips_json(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        tracer.record("pe0.se", "QuantizeCmd", 5, 9)
+        path = tmp_path / "trace.json"
+        tracer.save(str(path))
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == 1
+
+    def test_summary(self):
+        tracer = Tracer(enabled=True)
+        tracer.record("a", "x", 0, 10)
+        tracer.record("a", "y", 10, 15)
+        summary = tracer.summary()
+        assert summary["a"] == {"spans": 2, "busy_cycles": 15}
+
+
+class TestTracedSimulation:
+    def test_fc_run_produces_spans(self):
+        acc = Accelerator(trace=True)
+        run_fc(acc, m=64, k=64, n=64, subgrid=acc.subgrid((0, 0), 1, 1))
+        tracer = acc.tracer
+        assert "pe0.dpe" in tracer.tracks()
+        assert "pe0.fi" in tracer.tracks()
+        mml_spans = [s for s in tracer.spans_on("pe0.dpe")
+                     if s.name == "MML"]
+        # 64x64x64 = 2x2x2 blocks x 4 accumulator commands... exactly
+        # (m/64)*(n/64)*(k/32)*4 = 8 MMLs.
+        assert len(mml_spans) == 8
+        dma_spans = [s for s in tracer.spans_on("pe0.fi")
+                     if s.name == "DMALoad"]
+        assert len(dma_spans) == 4   # 2 A stripes + 2 B stripes
+
+    def test_spans_do_not_overlap_per_serial_unit(self):
+        acc = Accelerator(trace=True)
+        run_fc(acc, m=64, k=64, n=64, subgrid=acc.subgrid((0, 0), 1, 1))
+        spans = [s for s in acc.tracer.spans_on("pe0.dpe")]
+        for a, b in zip(spans, spans[1:]):
+            assert b.start >= a.end   # the DPE serves serially
+
+    def test_untraced_run_is_clean(self):
+        acc = Accelerator()
+        run_fc(acc, m=64, k=64, n=64, subgrid=acc.subgrid((0, 0), 1, 1))
+        assert acc.tracer.spans == []
+
+    def test_save_trace_from_accelerator(self, tmp_path):
+        acc = Accelerator(trace=True)
+        run_fc(acc, m=64, k=64, n=64, subgrid=acc.subgrid((0, 0), 1, 1))
+        path = tmp_path / "fc.json"
+        acc.save_trace(str(path))
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) > 10

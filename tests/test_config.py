@@ -1,0 +1,98 @@
+"""Table I consistency: the machine model derives the published numbers."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import MTIA_V1, ChipConfig, DPEConfig
+
+
+class TestTableI:
+    def test_grid_is_64_pes(self):
+        assert MTIA_V1.num_pes == 64
+        assert MTIA_V1.grid_rows == 8
+        assert MTIA_V1.grid_cols == 8
+
+    def test_int8_gemm_tops_matches_paper(self):
+        # Table I: 102.4 INT8 MAC TOPS; exact derivation gives 104.9.
+        assert MTIA_V1.gemm_tops("int8") == pytest.approx(104.86, abs=0.1)
+        assert 100.0 <= MTIA_V1.gemm_tops("int8") <= 106.0
+
+    def test_fp16_gemm_tops_is_half_of_int8(self):
+        assert MTIA_V1.gemm_tops("fp16") == pytest.approx(
+            MTIA_V1.gemm_tops("int8") / 2)
+
+    def test_bf16_same_rate_as_fp16(self):
+        assert MTIA_V1.gemm_tops("bf16") == MTIA_V1.gemm_tops("fp16")
+
+    def test_vector_simd_tops_ladder(self):
+        # Table I: Vector 0.8 FP32 / 1.6 FP16 / 3.2 INT8.
+        assert MTIA_V1.simd_tops("fp32", "vector") == pytest.approx(0.82, abs=0.02)
+        assert MTIA_V1.simd_tops("fp16", "vector") == pytest.approx(1.64, abs=0.04)
+        assert MTIA_V1.simd_tops("int8", "vector") == pytest.approx(3.28, abs=0.08)
+
+    def test_se_simd_tops(self):
+        # Table I: SE 1.6 FP16 / 3.2 INT8.
+        assert MTIA_V1.simd_tops("fp16", "se") == pytest.approx(1.64, abs=0.04)
+        assert MTIA_V1.simd_tops("int8", "se") == pytest.approx(3.28, abs=0.08)
+
+    def test_local_memory_bandwidth(self):
+        # Table I: 400 GB/s per PE.
+        assert MTIA_V1.local_memory_gbs() == pytest.approx(409.6)
+
+    def test_sram_bandwidth(self):
+        # Table I: 800 GB/s.
+        assert MTIA_V1.sram_gbs() == pytest.approx(819.2)
+
+    def test_dram_bandwidth(self):
+        # Table I: 176 GB/s.
+        assert MTIA_V1.dram_gbs() == pytest.approx(176.0)
+
+    def test_capacities(self):
+        assert MTIA_V1.local_memory.capacity_bytes == 128 * 1024
+        assert MTIA_V1.sram.capacity_bytes == 128 * 1024 * 1024
+        assert MTIA_V1.dram.capacity_bytes == 64 * 1024 ** 3
+
+    def test_dram_channels(self):
+        # Table I: 16 LPDDR5 channels.
+        assert MTIA_V1.dram.num_channels == 16
+
+    def test_frequency_and_tdp(self):
+        assert MTIA_V1.frequency_ghz == pytest.approx(0.8)
+        assert MTIA_V1.max_frequency_ghz == pytest.approx(1.1)
+        assert MTIA_V1.tdp_watts == pytest.approx(25.0)
+
+    def test_summary_contains_headline_rows(self):
+        summary = MTIA_V1.summary()
+        assert summary["Technology"] == "TSMC 7nm"
+        assert summary["GEMM TOPS (INT8)"] == pytest.approx(104.9, abs=0.1)
+        assert summary["On-chip SRAM capacity (MB)"] == 128
+        assert summary["Off-chip DRAM capacity (GB)"] == 64
+
+
+class TestConfigBehaviour:
+    def test_dpe_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            DPEConfig().macs_per_cycle("fp64")
+
+    def test_se_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            MTIA_V1.se.lanes("fp64")
+
+    def test_simd_tops_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            MTIA_V1.simd_tops("fp32", "dsp")
+
+    def test_scaled_override(self):
+        half = MTIA_V1.scaled(grid_rows=4)
+        assert half.num_pes == 32
+        assert half.gemm_tops("int8") == pytest.approx(
+            MTIA_V1.gemm_tops("int8") / 2)
+        # the original is untouched (frozen dataclass semantics)
+        assert MTIA_V1.grid_rows == 8
+
+    def test_dram_bytes_per_cycle_scales_with_frequency(self):
+        at_800 = MTIA_V1.dram.bytes_per_cycle(0.8)
+        at_1100 = MTIA_V1.dram.bytes_per_cycle(1.1)
+        assert at_800 == pytest.approx(220.0)
+        assert at_1100 < at_800  # same GB/s is fewer bytes per faster cycle

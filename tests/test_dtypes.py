@@ -1,0 +1,87 @@
+"""Data types and quantisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro import dtypes
+
+
+class TestDTypeLookup:
+    def test_lookup_by_name(self):
+        assert dtypes.dtype("int8") is dtypes.INT8
+        assert dtypes.dtype("fp16") is dtypes.FP16
+        assert dtypes.dtype("fp32") is dtypes.FP32
+
+    def test_lookup_is_idempotent(self):
+        assert dtypes.dtype(dtypes.BF16) is dtypes.BF16
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            dtypes.dtype("complex128")
+
+    def test_byte_widths(self):
+        assert dtypes.INT8.bytes == 1
+        assert dtypes.FP16.bytes == 2
+        assert dtypes.BF16.bytes == 2
+        assert dtypes.FP32.bytes == 4
+        assert dtypes.INT32.bytes == 4
+
+    def test_accumulators(self):
+        # Section 3.1.2: INT8 accumulates to INT32, floats to FP32.
+        assert dtypes.accumulator_for(dtypes.INT8) is dtypes.INT32
+        assert dtypes.accumulator_for(dtypes.FP16) is dtypes.FP32
+        assert dtypes.accumulator_for(dtypes.BF16) is dtypes.FP32
+
+
+class TestQuantisation:
+    def test_roundtrip_within_half_scale(self, rng):
+        values = rng.standard_normal(1000).astype(np.float32)
+        scale, zp = dtypes.choose_qparams(values)
+        q = dtypes.quantize(values, scale, zp)
+        back = dtypes.dequantize(q, scale, zp)
+        assert np.max(np.abs(back - values)) <= scale / 2 + 1e-7
+
+    def test_quantize_clamps(self):
+        values = np.array([1e6, -1e6], dtype=np.float32)
+        q = dtypes.quantize(values, scale=0.1)
+        assert q.tolist() == [127, -128]
+
+    def test_quantize_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            dtypes.quantize(np.zeros(4, np.float32), scale=0.0)
+
+    def test_choose_qparams_covers_peak(self):
+        values = np.array([-5.0, 2.0], dtype=np.float32)
+        scale, zp = dtypes.choose_qparams(values)
+        assert zp == 0
+        assert scale == pytest.approx(5.0 / 127.0)
+
+    def test_choose_qparams_empty_input(self):
+        scale, zp = dtypes.choose_qparams(np.zeros(0, np.float32))
+        assert scale == 1.0 and zp == 0
+
+    def test_zero_point_shifts(self):
+        values = np.array([0.0, 0.1], dtype=np.float32)
+        q = dtypes.quantize(values, scale=0.1, zero_point=10)
+        assert q.tolist() == [10, 11]
+
+
+class TestFloatEmulation:
+    def test_fp16_rounding_loses_precision(self):
+        x = np.array([1.0 + 2 ** -12], dtype=np.float32)
+        assert dtypes.to_fp16(x)[0] == 1.0
+
+    def test_bf16_keeps_8_bit_mantissa(self):
+        x = np.array([1.0 + 2 ** -9], dtype=np.float32)
+        # below bf16 precision: rounds back to 1.0
+        assert dtypes.to_bf16(x)[0] == 1.0
+
+    def test_bf16_preserves_representable(self):
+        x = np.array([1.5, -2.25, 1024.0], dtype=np.float32)
+        np.testing.assert_array_equal(dtypes.to_bf16(x), x)
+
+    def test_bf16_round_to_nearest_even(self):
+        # 1 + 2^-8 is exactly halfway between 1.0 and the next bf16;
+        # round-to-nearest-even picks 1.0 (even mantissa).
+        x = np.array([1.0 + 2 ** -8], dtype=np.float32)
+        assert dtypes.to_bf16(x)[0] == pytest.approx(1.0)

@@ -1,0 +1,38 @@
+"""The python -m repro.report CLI."""
+
+import pytest
+
+from repro.report import SECTIONS, main
+
+
+class TestReport:
+    def test_every_section_runs(self, capsys):
+        assert main(list(SECTIONS)) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Figure 14" in out
+        assert "flops-weighted" in out
+
+    def test_selection(self, capsys):
+        assert main(["t4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "Figure 10" not in out
+
+    def test_unknown_section_errors(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown section" in capsys.readouterr().out
+
+    def test_bounds_section(self, capsys):
+        assert main(["bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "Bound analysis" in out
+        assert "memory" in out
+
+    def test_no_args_runs_everything(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for needle in ("Table I", "Table II", "Table III", "Table IV",
+                       "Figure 1", "Figure 2", "Figure 10", "Figure 11",
+                       "Figure 12", "Figure 13", "Figure 14"):
+            assert needle in out, needle
