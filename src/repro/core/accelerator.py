@@ -31,11 +31,27 @@ class Accelerator:
     def __init__(self, config: ChipConfig = MTIA_V1,
                  sram_mode: SRAMMode = SRAMMode.CACHE,
                  trace: bool = False,
+                 observe: bool = False,
+                 registry=None,
+                 name: str = "",
                  simulate_boot: bool = False) -> None:
         from repro.core.control import BootStage, ControlSubsystem
         self.config = config
+        self.name = name
         self.engine = Engine()
         self.engine.tracer.enabled = trace
+        if name:
+            # Keep multi-card / serving spans on distinct process rows.
+            self.engine.tracer.default_pid = name
+        # Telemetry (disabled by default): stall attribution and typed
+        # metrics land in ``self.metrics`` when ``observe=True``.
+        self.engine.obs.enabled = observe or registry is not None
+        if registry is not None:
+            from repro.obs.observer import Observer
+            self.engine.obs = Observer(enabled=True, registry=registry,
+                                       tracer=self.engine.tracer)
+        else:
+            self.engine.obs.tracer = self.engine.tracer
         self.memory = MemorySystem(self.engine, config, sram_mode=sram_mode)
         self.noc = NoC(self.engine, config, self.memory)
         self.reduction_network = ReductionNetwork(self.engine, config)
@@ -133,6 +149,16 @@ class Accelerator:
     @property
     def tracer(self):
         return self.engine.tracer
+
+    @property
+    def obs(self):
+        """The engine's telemetry observer (stall attribution sink)."""
+        return self.engine.obs
+
+    @property
+    def metrics(self):
+        """The observer's metric registry."""
+        return self.engine.obs.registry
 
     def save_trace(self, path: str) -> None:
         """Export the execution trace as Chrome trace-event JSON."""

@@ -44,12 +44,17 @@ class CircularBuffer:
         #: converted to fill at commit) so overlapping loads cannot
         #: oversubscribe the buffer.
         self._reserved = 0
-        #: waiters for data: (required_bytes, event)
-        self._element_waiters: List[Tuple[int, Event]] = []
-        #: waiters for space: (required_bytes, event)
-        self._space_waiters: List[Tuple[int, Event]] = []
+        #: waiters for data: (required_bytes, event, enqueued_at)
+        self._element_waiters: List[Tuple[int, Event, float]] = []
+        #: waiters for space: (required_bytes, event, enqueued_at)
+        self._space_waiters: List[Tuple[int, Event, float]] = []
         self.total_produced = 0
         self.total_consumed = 0
+        # Observability track: "pe3.lm" -> "pe3.cb0" (the CB's own view
+        # of element/space waits, complementing the per-unit stall
+        # attribution in FunctionalUnit).
+        prefix = memory.name.rsplit(".", 1)[0]
+        self._track = f"{prefix}.cb{cb_id}"
 
     # -- accounting -----------------------------------------------------
     @property
@@ -67,19 +72,24 @@ class CircularBuffer:
         return self._reserved
 
     def _wake(self) -> None:
+        obs = self.engine.obs
         still = []
-        for required, ev in self._element_waiters:
+        for required, ev, since in self._element_waiters:
             if self.available >= required:
                 ev.succeed()
+                obs.count("cb_wait_cycles", self.engine.now - since,
+                          track=self._track, kind="element")
             else:
-                still.append((required, ev))
+                still.append((required, ev, since))
         self._element_waiters = still
         still = []
-        for required, ev in self._space_waiters:
+        for required, ev, since in self._space_waiters:
             if self.space >= required:
                 ev.succeed()
+                obs.count("cb_wait_cycles", self.engine.now - since,
+                          track=self._track, kind="space")
             else:
-                still.append((required, ev))
+                still.append((required, ev, since))
         self._space_waiters = still
 
     def wait_elements(self, nbytes: int) -> Event:
@@ -92,7 +102,9 @@ class CircularBuffer:
         if self.available >= nbytes:
             ev.succeed()
         else:
-            self._element_waiters.append((nbytes, ev))
+            self._element_waiters.append((nbytes, ev, self.engine.now))
+            self.engine.obs.count("cb_waits", track=self._track,
+                                  kind="element")
         return ev
 
     def wait_space(self, nbytes: int) -> Event:
@@ -105,7 +117,9 @@ class CircularBuffer:
         if self.space >= nbytes:
             ev.succeed()
         else:
-            self._space_waiters.append((nbytes, ev))
+            self._space_waiters.append((nbytes, ev, self.engine.now))
+            self.engine.obs.count("cb_waits", track=self._track,
+                                  kind="space")
         return ev
 
     # -- reservations (pipelined DMA, Section 3.5 "MLP") -------------------

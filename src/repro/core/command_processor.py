@@ -137,10 +137,18 @@ class _Scheduler:
 
     def _run(self) -> Generator:
         cp_cfg = self.pe.config.cp
+        track = f"pe{self.pe.index}.sched{self.core_id}"
         while True:
             cmd, done = yield self.queue.get()
             deps = self._dependencies(cmd)
             self._record(cmd, done)
+            if deps:
+                # The dependency interlock itself is *waited out* by the
+                # target unit (and attributed there as ``dep_interlock``);
+                # here we count how often the CP had to attach one.
+                self.stats.add("interlocked")
+                self.engine.obs.count("cp_interlocks", track=track,
+                                      unit=cmd.unit)
             yield cp_cfg.dispatch_cycles
             unit = self.pe.unit_for(cmd, self.core_id)
             yield unit.dispatch(DispatchedCommand(cmd, deps, done))

@@ -57,23 +57,52 @@ class FunctionalUnit:
         return self.queue.put(dispatched)
 
     def _run(self) -> Generator:
+        engine = self.engine
+        track = f"pe{self.pe.index}.{self.name}"
         while True:
             dispatched = yield self.queue.get()
             cmd = dispatched.command
             if dispatched.dependencies:
-                yield self.engine.all_of(dispatched.dependencies)
-            start = self.engine.now
+                entered = engine.now
+                yield engine.all_of(dispatched.dependencies)
+                if engine.now > entered:
+                    self.stats.add("dep_stall_cycles", engine.now - entered)
+                    engine.obs.stall(track, "dep_interlock",
+                                     entered, engine.now)
+            start = engine.now
             try:
-                # The CP's element/space check (Section 3.3).
-                waits = []
+                # The CP's element/space check (Section 3.3).  Both wait
+                # sets are registered up front (so waiters exist before
+                # any producer/consumer progresses) and then awaited in
+                # two steps purely so the idle time can be attributed to
+                # its cause; the completion time — the max over all
+                # checks — is unchanged.
+                element_waits = []
                 for cb_id, nbytes in cmd.required_elements().items():
-                    waits.append(self.pe.cb(cb_id).wait_elements(nbytes))
+                    element_waits.append(self.pe.cb(cb_id)
+                                         .wait_elements(nbytes))
+                space_waits = []
                 for cb_id, nbytes in cmd.required_space().items():
-                    waits.append(self.pe.cb(cb_id).wait_space(nbytes))
-                if waits:
-                    yield self.engine.all_of(waits)
-                    self.stats.add("stall_cycles", self.engine.now - start)
-                start = self.engine.now
+                    space_waits.append(self.pe.cb(cb_id).wait_space(nbytes))
+                if element_waits:
+                    entered = engine.now
+                    yield engine.all_of(element_waits)
+                    if engine.now > entered:
+                        self.stats.add("cb_element_stall_cycles",
+                                       engine.now - entered)
+                        engine.obs.stall(track, "cb_element_wait",
+                                         entered, engine.now)
+                if space_waits:
+                    entered = engine.now
+                    yield engine.all_of(space_waits)
+                    if engine.now > entered:
+                        self.stats.add("cb_space_stall_cycles",
+                                       engine.now - entered)
+                        engine.obs.stall(track, "cb_space_wait",
+                                         entered, engine.now)
+                if engine.now > start:
+                    self.stats.add("stall_cycles", engine.now - start)
+                start = engine.now
                 yield from self.execute(cmd)
             except Exception as exc:
                 # Deliver the failure to whoever waits on the command

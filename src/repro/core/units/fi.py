@@ -53,6 +53,8 @@ class FabricInterface(FunctionalUnit):
     # -- load engine -------------------------------------------------------
     def _run(self) -> Generator:
         """Load engine front end: order, reserve, then fetch in parallel."""
+        engine = self.engine
+        track = f"pe{self.pe.index}.fi"
         while True:
             dispatched = yield self.queue.get()
             cmd = dispatched.command
@@ -60,7 +62,11 @@ class FabricInterface(FunctionalUnit):
                 raise SimulationError(
                     f"FI load engine cannot execute {type(cmd).__name__}")
             if dispatched.dependencies:
-                yield self.engine.all_of(dispatched.dependencies)
+                entered = engine.now
+                yield engine.all_of(dispatched.dependencies)
+                if engine.now > entered:
+                    engine.obs.stall(track, "dep_interlock",
+                                     entered, engine.now)
             try:
                 cb = self.pe.cb(cmd.cb_id)
             except Exception as exc:
@@ -68,7 +74,13 @@ class FabricInterface(FunctionalUnit):
                 continue
             stall_start = self.engine.now
             yield cb.wait_space(cmd.nbytes)
+            if engine.now > stall_start:
+                engine.obs.stall(track, "cb_space_wait",
+                                 stall_start, engine.now)
+            entered = engine.now
             yield self._load_slots.acquire()
+            if engine.now > entered:
+                engine.obs.stall(track, "fi_slot_wait", entered, engine.now)
             self.stats.add("stall_cycles", self.engine.now - stall_start)
             cb.reserve(cmd.nbytes)
             predecessor = self._commit_chain
@@ -109,6 +121,8 @@ class FabricInterface(FunctionalUnit):
 
     # -- store engine -------------------------------------------------------
     def _run_store(self) -> Generator:
+        engine = self.engine
+        track = f"pe{self.pe.index}.fi"
         while True:
             dispatched = yield self.store_queue.get()
             cmd = dispatched.command
@@ -116,7 +130,11 @@ class FabricInterface(FunctionalUnit):
                 raise SimulationError(
                     f"FI store engine cannot execute {type(cmd).__name__}")
             if dispatched.dependencies:
-                yield self.engine.all_of(dispatched.dependencies)
+                entered = engine.now
+                yield engine.all_of(dispatched.dependencies)
+                if engine.now > entered:
+                    engine.obs.stall(track, "dep_interlock",
+                                     entered, engine.now)
             try:
                 cb = self.pe.cb(cmd.cb_id)
             except Exception as exc:
@@ -124,7 +142,13 @@ class FabricInterface(FunctionalUnit):
                 continue
             stall_start = self.engine.now
             yield cb.wait_elements(cmd.nbytes)
+            if engine.now > stall_start:
+                engine.obs.stall(track, "cb_element_wait",
+                                 stall_start, engine.now)
+            entered = engine.now
             yield self._store_slots.acquire()
+            if engine.now > entered:
+                engine.obs.stall(track, "fi_slot_wait", entered, engine.now)
             self.stats.add("stall_cycles", self.engine.now - stall_start)
             yield from self.pe.local_memory.port.use(cmd.nbytes)
             data = cb.read_and_pop(cmd.nbytes)   # pop in issue order

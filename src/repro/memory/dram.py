@@ -33,7 +33,8 @@ class DRAMModel:
         per_controller = (config.dram.bytes_per_cycle(config.frequency_ghz)
                           / config.dram.num_controllers)
         self.controllers: List[Resource] = [
-            Resource(engine, per_controller, f"dram.ctrl{i}")
+            Resource(engine, per_controller, f"dram.ctrl{i}",
+                     stall_cause="dram_queue")
             for i in range(config.dram.num_controllers)
         ]
 

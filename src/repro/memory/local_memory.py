@@ -25,7 +25,8 @@ class LocalMemory:
         self.config = config
         self.name = name
         self.data = np.zeros(config.capacity_bytes, dtype=np.uint8)
-        self.port = Resource(engine, config.bytes_per_cycle, f"{name}.port")
+        self.port = Resource(engine, config.bytes_per_cycle, f"{name}.port",
+                             stall_cause="lm_port_arb")
         self.stats = StatGroup(name)
 
     def _check(self, addr: int, nbytes: int) -> None:

@@ -46,7 +46,8 @@ class SRAMModel:
         self.store = SparseByteStore(config.sram.capacity_bytes, "sram")
         per_slice = config.sram.bytes_per_cycle / config.sram.num_slices
         self.slices: List[Resource] = [
-            Resource(engine, per_slice, f"sram.slice{i}")
+            Resource(engine, per_slice, f"sram.slice{i}",
+                     stall_cause="sram_queue")
             for i in range(config.sram.num_slices)
         ]
         slice_capacity = config.sram.capacity_bytes // config.sram.num_slices

@@ -38,10 +38,10 @@ class NoC:
         self.stats = StatGroup("noc")
         rate = config.noc.link_bytes_per_cycle
         self.row_links: List[Resource] = [
-            Resource(engine, rate, f"noc.row{r}")
+            Resource(engine, rate, f"noc.row{r}", stall_cause="noc_link_arb")
             for r in range(config.grid_rows)]
         self.col_links: List[Resource] = [
-            Resource(engine, rate, f"noc.col{c}")
+            Resource(engine, rate, f"noc.col{c}", stall_cause="noc_link_arb")
             for c in range(config.grid_cols)]
 
     # -- helpers ---------------------------------------------------------

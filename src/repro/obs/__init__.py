@@ -1,0 +1,54 @@
+"""Unified observability: metrics registry, stall attribution, profiler.
+
+Three layers, all opt-in and free when disabled:
+
+- :mod:`repro.obs.metrics` — typed Counter/Gauge/Histogram instruments
+  with hierarchical labels, roll-up, and JSON/CSV/Prometheus export.
+- :mod:`repro.obs.observer` — the engine-attached sink that attributes
+  every idle cycle on a track to a named cause (``cb_element_wait``,
+  ``dep_interlock``, ``noc_link_arb``, ``dram_queue``, ...).
+- :mod:`repro.obs.profiler` — wraps one simulated run and emits a
+  bottleneck report: per-track compute/memory/stall split, achieved vs
+  roofline bandwidth, top-N slowest tracks.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricRegistry,
+    default_registry,
+    disable_default_registry,
+    enable_default_registry,
+    format_labels,
+)
+from repro.obs.observer import Observer, STALL_CAUSES
+from repro.obs.profiler import (
+    BandwidthProfile,
+    BottleneckReport,
+    OperationProfile,
+    Profiler,
+    TrackProfile,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricRegistry",
+    "default_registry",
+    "disable_default_registry",
+    "enable_default_registry",
+    "format_labels",
+    "Observer",
+    "STALL_CAUSES",
+    "BandwidthProfile",
+    "BottleneckReport",
+    "OperationProfile",
+    "Profiler",
+    "TrackProfile",
+]

@@ -1,0 +1,116 @@
+"""The engine-attached telemetry sink: stall attribution.
+
+Every :class:`~repro.sim.Engine` owns an :class:`Observer` (disabled by
+default, mirroring the :class:`~repro.sim.Tracer` no-op pattern).  When
+enabled, hardware models report every cycle a track spends *waiting* —
+and, crucially, **why**:
+
+==================  =====================================================
+cause               reported by
+==================  =====================================================
+``cb_element_wait``  a functional unit blocked on the CP's circular-
+                     buffer *element* check (consumer starved)
+``cb_space_wait``    a unit blocked on the CB *space* check (producer
+                     backed up)
+``dep_interlock``    a unit blocked on the Command Processor's CB-ID
+                     dependency interlocks (program-order hazard)
+``noc_link_arb``     a NoC row/column link arbitrating between requests
+``dram_queue``       a DRAM controller serialising transfers
+``sram_queue``       an SRAM slice serialising transfers
+``lm_port_arb``      the PE local-memory port arbitrating clients
+``fi_slot_wait``     the Fabric Interface out of outstanding-request
+                     slots (memory-level-parallelism limit)
+==================  =====================================================
+
+Stall cycles land in the observer's :class:`MetricRegistry` under the
+``stall_cycles`` counter family labelled ``track=...,cause=...``, so the
+profiler can answer "why is this kernel slow?" per track, per PE, or
+grid-wide.  When the engine's tracer is enabled too, each stall also
+becomes a ``stall:<cause>`` span on the same timeline as the command
+spans it delays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.obs.metrics import MetricRegistry
+
+#: The closed set of attribution causes (documentation + test anchor).
+STALL_CAUSES: Tuple[str, ...] = (
+    "cb_element_wait",
+    "cb_space_wait",
+    "dep_interlock",
+    "noc_link_arb",
+    "dram_queue",
+    "sram_queue",
+    "lm_port_arb",
+    "fi_slot_wait",
+)
+
+
+class Observer:
+    """Collects stall attributions and ad-hoc counters for one engine.
+
+    Disabled observers are no-ops and allocate nothing, so the
+    instrumentation hooks can stay on the simulator hot path.  Enable
+    with ``Accelerator(observe=True)`` (or construct directly and
+    assign to ``engine.obs``).
+    """
+
+    def __init__(self, enabled: bool = False,
+                 registry: Optional[MetricRegistry] = None,
+                 tracer=None) -> None:
+        self.enabled = enabled
+        self.registry = registry if registry is not None else MetricRegistry()
+        #: optional Tracer; stalls become ``stall:<cause>`` spans on it
+        self.tracer = tracer
+        self._stall_family = self.registry.counter(
+            "stall_cycles", "idle cycles attributed to a named cause")
+        #: (track, cause) -> Counter, bypassing label hashing per call
+        self._stall_cache: Dict[Tuple[str, str], object] = {}
+
+    # -- stall attribution ----------------------------------------------
+    def stall(self, track: str, cause: str, start: float,
+              end: float) -> None:
+        """Attribute ``end - start`` idle cycles on ``track`` to ``cause``."""
+        if not self.enabled or end <= start:
+            return
+        counter = self._stall_cache.get((track, cause))
+        if counter is None:
+            counter = self._stall_family.labels(track=track, cause=cause)
+            self._stall_cache[(track, cause)] = counter
+        counter.inc(end - start)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.record(track, f"stall:{cause}", start, end,
+                               cause=cause)
+
+    # -- ad-hoc instruments ----------------------------------------------
+    def count(self, name: str, amount: float = 1.0, **labels) -> None:
+        if not self.enabled:
+            return
+        self.registry.counter(name).labels(**labels).inc(amount)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        if not self.enabled:
+            return
+        self.registry.gauge(name).labels(**labels).set(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        if not self.enabled:
+            return
+        self.registry.histogram(name).labels(**labels).observe(value)
+
+    # -- queries ----------------------------------------------------------
+    def stalls_by_cause(self) -> Dict[str, float]:
+        """Grid-wide roll-up: total stall cycles per cause."""
+        return {cause: total for (cause,), total in
+                self.registry.rollup("stall_cycles", by=("cause",)).items()}
+
+    def stalls_by_track(self) -> Dict[str, Dict[str, float]]:
+        """Per-track attribution: track -> {cause: cycles}."""
+        out: Dict[str, Dict[str, float]] = {}
+        grouped = self.registry.rollup("stall_cycles", by=("track", "cause"))
+        for (track, cause), total in grouped.items():
+            out.setdefault(track, {})[cause] = total
+        return out

@@ -1,0 +1,404 @@
+"""Bottleneck profiler: turn one simulated run into an attribution report.
+
+Wraps a discrete-event run on an :class:`~repro.core.Accelerator` and
+answers the questions the paper's team answered by inspecting per-unit
+timelines (Section 6.1): where did each track's cycles go (compute,
+memory movement, or a *named* stall cause), which tracks dominate, and
+what fraction of the roofline bandwidth the kernel achieved — so the
+Figure 12/13 "% of BW" claims fall out of telemetry rather than hand
+arithmetic.
+
+Usage::
+
+    acc = Accelerator()
+    with Profiler(acc) as prof:
+        run_fc(acc, m=512, k=1024, n=256, ...)
+    report = prof.report()
+    print(report.to_text())
+
+The profiler force-enables the engine's tracer and observer for the
+profiled window; per-track cycle accounting satisfies
+``compute + memory + stalls + idle == elapsed`` exactly (``idle`` is
+the unattributed remainder — time before the track's first command or
+after its last).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.observer import STALL_CAUSES
+
+#: Span names that move data rather than compute on it.
+MEMORY_SPAN_NAMES = frozenset({
+    "DMALoad", "DMAStore", "MemRead", "MemWrite", "sram.hit", "sram.miss"})
+
+#: Accounting priority when intervals overlap on one track: a cycle
+#: that is simultaneously busy and inside a stall wait counts as busy
+#: (the track *was* making progress); compute wins over memory.
+_KIND_RANK = {"compute": 0, "memory": 1}
+_KIND_RANK.update({cause: 2 + i for i, cause in enumerate(STALL_CAUSES)})
+
+
+def _sweep(segments: List[Tuple[float, float, str]]) -> Dict[str, float]:
+    """Partition a track's timeline among overlapping labelled intervals.
+
+    Each instant goes to exactly one kind — the highest-priority label
+    active there — so the returned totals never double-count a cycle no
+    matter how the input intervals overlap (the FI keeps several DMA
+    loads in flight on one track; resource queues overlap many waits).
+    """
+    events: List[Tuple[float, int, str]] = []
+    for start, end, kind in segments:
+        if end > start:
+            events.append((start, +1, kind))
+            events.append((end, -1, kind))
+    events.sort(key=lambda e: e[0])
+    totals: Dict[str, float] = {}
+    active: Dict[str, int] = {}
+    prev: Optional[float] = None
+    i = 0
+    while i < len(events):
+        pos = events[i][0]
+        if prev is not None and pos > prev and active:
+            kind = min(active, key=lambda k: _KIND_RANK.get(k, 99))
+            totals[kind] = totals.get(kind, 0.0) + (pos - prev)
+        while i < len(events) and events[i][0] == pos:
+            _, delta, kind = events[i]
+            count = active.get(kind, 0) + delta
+            if count:
+                active[kind] = count
+            else:
+                active.pop(kind, None)
+            i += 1
+        prev = pos
+    return totals
+
+
+@dataclass
+class TrackProfile:
+    """Cycle accounting for one trace track over the profiled window."""
+
+    track: str
+    elapsed: float
+    compute: float = 0.0       #: busy cycles in compute-class commands
+    memory: float = 0.0        #: busy cycles in data-movement commands
+    stalls: Dict[str, float] = field(default_factory=dict)
+    commands: int = 0
+
+    @property
+    def stall_total(self) -> float:
+        return sum(self.stalls.values())
+
+    @property
+    def busy(self) -> float:
+        return self.compute + self.memory
+
+    @property
+    def idle(self) -> float:
+        """Unattributed remainder; non-negative by construction."""
+        return max(0.0, self.elapsed - self.busy - self.stall_total)
+
+    @property
+    def active(self) -> float:
+        """Busy plus attributed stalls — the 'accounted' cycles."""
+        return self.busy + self.stall_total
+
+    def to_dict(self) -> Dict:
+        return {
+            "track": self.track, "elapsed": self.elapsed,
+            "compute": self.compute, "memory": self.memory,
+            "stalls": dict(sorted(self.stalls.items())),
+            "idle": self.idle, "commands": self.commands,
+        }
+
+
+@dataclass
+class BandwidthProfile:
+    """Achieved vs. roofline bandwidth for one memory level."""
+
+    name: str
+    bytes: float
+    elapsed_cycles: float
+    peak_bytes_per_cycle: float
+    frequency_ghz: float
+
+    @property
+    def achieved_bytes_per_cycle(self) -> float:
+        if self.elapsed_cycles <= 0:
+            return 0.0
+        return self.bytes / self.elapsed_cycles
+
+    @property
+    def achieved_gbs(self) -> float:
+        return self.achieved_bytes_per_cycle * self.frequency_ghz
+
+    @property
+    def peak_gbs(self) -> float:
+        return self.peak_bytes_per_cycle * self.frequency_ghz
+
+    @property
+    def fraction(self) -> float:
+        if self.peak_bytes_per_cycle <= 0:
+            return 0.0
+        return self.achieved_bytes_per_cycle / self.peak_bytes_per_cycle
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name, "bytes": self.bytes,
+            "achieved_gbs": self.achieved_gbs, "peak_gbs": self.peak_gbs,
+            "percent_of_peak": 100.0 * self.fraction,
+        }
+
+
+@dataclass
+class OperationProfile:
+    """Aggregate cycles for one command type across all tracks."""
+
+    name: str
+    cycles: float = 0.0
+    count: int = 0
+
+    def to_dict(self) -> Dict:
+        return {"name": self.name, "cycles": self.cycles,
+                "count": self.count}
+
+
+@dataclass
+class BottleneckReport:
+    """Everything one profiled window measured."""
+
+    workload: str
+    elapsed_cycles: float
+    frequency_ghz: float
+    tracks: List[TrackProfile]
+    operations: List[OperationProfile]
+    bandwidth: List[BandwidthProfile]
+    stalls_by_cause: Dict[str, float]
+    #: workload-specific extras, e.g. TBE gather GB/s and its BW fraction
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    # -- queries ---------------------------------------------------------
+    def top_tracks(self, n: int = 10) -> List[TrackProfile]:
+        """The ``n`` slowest tracks (most accounted cycles first)."""
+        return sorted(self.tracks, key=lambda t: t.active, reverse=True)[:n]
+
+    def track(self, name: str) -> Optional[TrackProfile]:
+        for t in self.tracks:
+            if t.track == name:
+                return t
+        return None
+
+    def bandwidth_for(self, name: str) -> Optional[BandwidthProfile]:
+        for bw in self.bandwidth:
+            if bw.name == name:
+                return bw
+        return None
+
+    def attribution_residual(self) -> float:
+        """Largest per-track |elapsed - (busy + stalls + idle)|.
+
+        Zero by construction (``idle`` absorbs the remainder); kept as
+        an invariant hook so the CLI can assert full attribution.
+        """
+        worst = 0.0
+        for t in self.tracks:
+            worst = max(worst, abs(t.elapsed
+                                   - (t.busy + t.stall_total + t.idle)))
+        return worst
+
+    # -- export ----------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "workload": self.workload,
+            "elapsed_cycles": self.elapsed_cycles,
+            "elapsed_us": self.elapsed_cycles / (self.frequency_ghz * 1e3),
+            "frequency_ghz": self.frequency_ghz,
+            "tracks": [t.to_dict() for t in self.tracks],
+            "operations": [o.to_dict() for o in self.operations],
+            "bandwidth": [b.to_dict() for b in self.bandwidth],
+            "stalls_by_cause": dict(sorted(self.stalls_by_cause.items())),
+            "extras": dict(self.extras),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_text(self, top_n: int = 10) -> str:
+        us = self.elapsed_cycles / (self.frequency_ghz * 1e3)
+        lines = [
+            f"bottleneck report — {self.workload}",
+            f"elapsed: {self.elapsed_cycles:,.0f} cycles "
+            f"({us:.1f} us at {self.frequency_ghz:g} GHz)",
+            "",
+            "== achieved bandwidth vs roofline ==",
+        ]
+        for bw in self.bandwidth:
+            lines.append(
+                f"  {bw.name:<6} {bw.achieved_gbs:8.1f} GB/s of "
+                f"{bw.peak_gbs:7.1f} GB/s peak  "
+                f"({100 * bw.fraction:5.1f} % of BW)")
+        for key, value in sorted(self.extras.items()):
+            lines.append(f"  {key}: {value:.2f}")
+        lines.append("")
+        lines.append("== stall cycles by cause (grid roll-up) ==")
+        if self.stalls_by_cause:
+            for cause, cycles in sorted(self.stalls_by_cause.items(),
+                                        key=lambda kv: -kv[1]):
+                lines.append(f"  {cause:<18} {cycles:12,.0f}")
+        else:
+            lines.append("  (no stalls recorded)")
+        lines.append("")
+        lines.append(f"== top {top_n} tracks (cycles: compute / memory / "
+                     "stalls / idle; sums to elapsed) ==")
+        header = (f"  {'track':<14}{'compute':>10}{'memory':>10}"
+                  f"{'stall':>10}{'idle':>10}  dominant stall")
+        lines.append(header)
+        for t in self.top_tracks(top_n):
+            dominant = ""
+            if t.stalls:
+                cause, cycles = max(t.stalls.items(), key=lambda kv: kv[1])
+                dominant = f"{cause} ({cycles:,.0f})"
+            lines.append(f"  {t.track:<14}{t.compute:>10,.0f}"
+                         f"{t.memory:>10,.0f}{t.stall_total:>10,.0f}"
+                         f"{t.idle:>10,.0f}  {dominant}")
+        lines.append("")
+        lines.append("== command cycles by type ==")
+        for op in sorted(self.operations, key=lambda o: -o.cycles)[:top_n]:
+            lines.append(f"  {op.name:<18}{op.cycles:>12,.0f}"
+                         f"  x{op.count}")
+        lines.append("")
+        lines.append(f"attribution check: max per-track residual "
+                     f"{self.attribution_residual():.3f} cycles "
+                     "(compute + memory + stalls + idle == elapsed)")
+        return "\n".join(lines)
+
+
+class Profiler:
+    """Context manager measuring one window of an accelerator's life."""
+
+    def __init__(self, acc, workload: str = "") -> None:
+        self.acc = acc
+        self.workload = workload or "run"
+        # Force-enable telemetry for the window (Tracer-style opt-in).
+        acc.engine.tracer.enabled = True
+        acc.engine.obs.enabled = True
+        if acc.engine.obs.tracer is None:
+            acc.engine.obs.tracer = acc.engine.tracer
+        self._start_cycle: float = 0.0
+        self._end_cycle: Optional[float] = None
+        self._span_index = 0
+        self._stall_base: Dict[Tuple[str, str], float] = {}
+        self._dram_base: Dict[str, float] = {}
+        self._sram_base: Dict[str, float] = {}
+
+    # -- window control ---------------------------------------------------
+    def __enter__(self) -> "Profiler":
+        engine = self.acc.engine
+        self._start_cycle = engine.now
+        self._end_cycle = None
+        self._span_index = len(engine.tracer.spans)
+        self._stall_base = dict(engine.obs.registry.rollup(
+            "stall_cycles", by=("track", "cause")))
+        self._dram_base = self.acc.memory.dram.stats.snapshot()
+        self._sram_base = self.acc.memory.sram.stats.snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._end_cycle = self.acc.engine.now
+
+    # -- report -----------------------------------------------------------
+    def report(self, extras: Optional[Dict[str, float]] = None
+               ) -> BottleneckReport:
+        engine = self.acc.engine
+        config = self.acc.config
+        end = self._end_cycle if self._end_cycle is not None else engine.now
+        elapsed = end - self._start_cycle
+
+        # Label every span in the window and sweep each track's timeline
+        # so a cycle is counted exactly once even where intervals
+        # overlap (concurrent FI loads, queued resource waits).
+        tracks: Dict[str, TrackProfile] = {}
+        operations: Dict[str, OperationProfile] = {}
+        segments: Dict[str, List[Tuple[float, float, str]]] = {}
+
+        def track_for(name: str) -> TrackProfile:
+            profile = tracks.get(name)
+            if profile is None:
+                profile = TrackProfile(track=name, elapsed=elapsed)
+                tracks[name] = profile
+            return profile
+
+        for span in engine.tracer.spans[self._span_index:]:
+            start = max(span.start, self._start_cycle)
+            stop = min(span.end, end)
+            if span.name.startswith("stall:"):
+                kind = span.name[len("stall:"):]
+            else:
+                kind = ("memory" if span.name in MEMORY_SPAN_NAMES
+                        else "compute")
+                profile = track_for(span.track)
+                profile.commands += 1
+                op = operations.get(span.name)
+                if op is None:
+                    op = operations[span.name] = OperationProfile(span.name)
+                op.cycles += span.duration
+                op.count += 1
+            segments.setdefault(span.track, []).append((start, stop, kind))
+
+        stalls_by_cause: Dict[str, float] = {}
+        for track_name, segs in segments.items():
+            profile = track_for(track_name)
+            for kind, cycles in _sweep(segs).items():
+                if kind == "compute":
+                    profile.compute = cycles
+                elif kind == "memory":
+                    profile.memory = cycles
+                else:
+                    profile.stalls[kind] = cycles
+                    stalls_by_cause[kind] = (stalls_by_cause.get(kind, 0.0)
+                                             + cycles)
+
+        # Tracks whose stalls were counted but never traced (tracer off
+        # while the observer ran) fall back to raw counter deltas.
+        stall_now = engine.obs.registry.rollup("stall_cycles",
+                                               by=("track", "cause"))
+        for (track_name, cause), total in stall_now.items():
+            delta = total - self._stall_base.get((track_name, cause), 0.0)
+            if delta <= 0 or track_name in segments:
+                continue
+            profile = track_for(track_name)
+            profile.stalls[cause] = profile.stalls.get(cause, 0.0) + delta
+            stalls_by_cause[cause] = stalls_by_cause.get(cause, 0.0) + delta
+
+        # Roofline bandwidth from the memory models' counter deltas.
+        dram_delta = self.acc.memory.dram.stats.diff(self._dram_base)
+        sram_delta = self.acc.memory.sram.stats.diff(self._sram_base)
+        dram_bytes = (dram_delta.get("read_bytes", 0.0)
+                      + dram_delta.get("write_bytes", 0.0))
+        line = config.sram.cache_line_bytes
+        sram_bytes = (sram_delta.get("read_bytes", 0.0)
+                      + sram_delta.get("write_bytes", 0.0)
+                      + sram_delta.get("hit_lines", 0.0) * line)
+        bandwidth = [
+            BandwidthProfile(
+                "dram", dram_bytes, elapsed,
+                config.dram.bytes_per_cycle(config.frequency_ghz),
+                config.frequency_ghz),
+            BandwidthProfile(
+                "sram", sram_bytes, elapsed,
+                float(config.sram.bytes_per_cycle), config.frequency_ghz),
+        ]
+
+        return BottleneckReport(
+            workload=self.workload,
+            elapsed_cycles=elapsed,
+            frequency_ghz=config.frequency_ghz,
+            tracks=sorted(tracks.values(), key=lambda t: t.track),
+            operations=sorted(operations.values(), key=lambda o: o.name),
+            bandwidth=bandwidth,
+            stalls_by_cause=stalls_by_cause,
+            extras=dict(extras or {}),
+        )

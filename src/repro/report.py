@@ -4,8 +4,13 @@ Usage::
 
     python -m repro.report             # everything
     python -m repro.report fig14 t3    # a selection
+    python -m repro.report --metrics bounds   # + metric-registry dump
 
 Section keys: t1 t2 t3 t4 fig1 fig2 fig10 fig11 fig12 fig13 fig14.
+``--metrics`` enables the process-wide :mod:`repro.obs` registry for
+the run, so instrumented layers (the graph executor's per-op timing,
+the serving simulator's latency histograms, the bound analysis) record
+into it, and appends the registry dump to the report.
 This is the quick, human-readable view; ``pytest benchmarks/
 --benchmark-only`` additionally asserts every reproduction target.
 """
@@ -145,6 +150,7 @@ def report_bounds() -> None:
         executor = GraphExecutor(MACHINES["mtia"], mode="graph")
         placement = executor.compile(graph)
         estimate = estimate_graph(MACHINES["mtia"], graph, placement)
+        executor._record_metrics(estimate)
         seconds = {"compute": 0.0, "memory": 0.0, "launch": 0.0}
         for op in estimate.estimates:
             seconds[op.bound] += op.seconds
@@ -164,15 +170,30 @@ SECTIONS = {
 
 def main(argv: Optional[Iterable[str]] = None) -> int:
     args: List[str] = list(sys.argv[1:] if argv is None else argv)
+    with_metrics = "--metrics" in args
+    if with_metrics:
+        args = [a for a in args if a != "--metrics"]
     unknown = [a for a in args if a not in SECTIONS]
     if unknown:
         print(f"unknown section(s): {unknown}; "
-              f"choose from {sorted(SECTIONS)}")
+              f"choose from {sorted(SECTIONS)} (flags: --metrics)")
         return 2
-    print("MTIA reproduction report "
-          "(analytical models; see benchmarks/ for asserted targets)")
-    for key in (args or SECTIONS):
-        SECTIONS[key]()
+    registry = None
+    if with_metrics:
+        from repro.obs.metrics import enable_default_registry
+        registry = enable_default_registry()
+    try:
+        print("MTIA reproduction report "
+              "(analytical models; see benchmarks/ for asserted targets)")
+        for key in (args or SECTIONS):
+            SECTIONS[key]()
+        if registry is not None:
+            _header("Collected metrics (repro.obs registry)")
+            print(registry.to_prometheus(), end="")
+    finally:
+        if registry is not None:
+            from repro.obs.metrics import disable_default_registry
+            disable_default_registry()
     return 0
 
 

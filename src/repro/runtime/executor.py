@@ -52,12 +52,16 @@ _EPILOGUES = {
 class GraphExecutor:
     """Runs IR graphs functionally and reports modelled timing."""
 
-    def __init__(self, machine=None, mode: str = "graph") -> None:
+    def __init__(self, machine=None, mode: str = "graph",
+                 registry=None) -> None:
         from repro.eval.machines import MTIA_MACHINE  # late import (cycle)
         if mode not in ("eager", "graph"):
             raise ValueError(f"unknown execution mode {mode!r}")
         self.machine = machine or MTIA_MACHINE
         self.mode = mode
+        #: optional repro.obs MetricRegistry; per-op timing spans land
+        #: here (falls back to the opt-in process default registry)
+        self.registry = registry
 
     def compile(self, graph):
         """Run the compiler pipeline in graph mode; returns placement."""
@@ -114,5 +118,25 @@ class GraphExecutor:
             per_op_seconds={e.name: e.seconds for e in estimate.estimates},
             category_seconds=estimate.category_seconds(),
             placement=placement)
+        self._record_metrics(estimate)
         outputs = {name: values[name] for name in graph.outputs}
         return outputs, report
+
+    def _record_metrics(self, estimate) -> None:
+        """Emit per-op timing spans into the metric registry, if any."""
+        registry = self.registry
+        if registry is None:
+            from repro.obs.metrics import default_registry
+            registry = default_registry()
+        if registry is None:
+            return
+        registry.counter("executor_runs",
+                         "graph executions").labels(mode=self.mode).inc()
+        op_seconds = registry.counter(
+            "op_seconds", "modelled per-operator execution time")
+        op_us = registry.histogram(
+            "op_us", "per-operator latency distribution (us)")
+        for op in estimate.estimates:
+            op_seconds.labels(op=op.name, category=op.category,
+                              bound=op.bound).inc(op.seconds)
+            op_us.labels(category=op.category).observe(op.seconds * 1e6)

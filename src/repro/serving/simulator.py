@@ -88,12 +88,18 @@ def simulate_serving(latency_model: Callable[[int], float],
                      qps: float,
                      batching: BatchingConfig = BatchingConfig(),
                      num_requests: int = 5000,
-                     seed: int = 0) -> ServingReport:
+                     seed: int = 0,
+                     registry=None) -> ServingReport:
     """Simulate serving ``num_requests`` Poisson arrivals at ``qps``.
 
     ``latency_model(batch_size)`` returns the execution latency in
     microseconds.  Single server, single in-flight batch (the runtime's
     default stream), FIFO within the queue.
+
+    ``registry`` (or the opt-in :func:`repro.obs.default_registry`)
+    receives the request-latency histogram (p50/p95/p99 via the
+    ``serving_latency_us`` instrument), batch-size histogram, and a
+    device-busy-fraction gauge.
     """
     if qps <= 0:
         raise ValueError("qps must be positive")
@@ -135,10 +141,29 @@ def simulate_serving(latency_model: Callable[[int], float],
         i = j
 
     span_us = device_free - arrivals[0] if num_requests else 1.0
-    return ServingReport(
+    report = ServingReport(
         qps_offered=qps,
         qps_served=num_requests / (span_us / 1e6),
         latencies_us=latencies,
         batch_sizes=batch_sizes,
         busy_fraction=min(1.0, busy_us / span_us),
     )
+    if registry is None:
+        from repro.obs.metrics import default_registry
+        registry = default_registry()
+    if registry is not None:
+        latency_hist = registry.histogram(
+            "serving_latency_us",
+            "end-to-end request latency (arrival to batch finish)").labels()
+        for value in latencies:
+            latency_hist.observe(float(value))
+        batch_hist = registry.histogram(
+            "serving_batch_size", "dispatched batch sizes").labels()
+        for batch in batch_sizes:
+            batch_hist.observe(batch)
+        registry.counter("serving_requests",
+                         "requests served").labels().inc(num_requests)
+        registry.gauge("serving_busy_fraction",
+                       "device busy fraction").labels().set(
+                           report.busy_fraction)
+    return report

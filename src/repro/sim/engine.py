@@ -149,6 +149,10 @@ class Engine:
         # spans through this so pipelines can be inspected visually.
         from repro.sim.trace import Tracer
         self.tracer = Tracer(enabled=False)
+        # Telemetry observer (disabled by default); hardware models
+        # attribute stall cycles to named causes through this.
+        from repro.obs.observer import Observer
+        self.obs = Observer(enabled=False)
 
     # -- construction helpers ------------------------------------------
     def event(self, name: str = "") -> Event:

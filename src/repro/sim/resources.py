@@ -58,24 +58,34 @@ class Resource:
     """
 
     def __init__(self, engine: Engine, rate_per_cycle: float,
-                 name: str = "res") -> None:
+                 name: str = "res",
+                 stall_cause: Optional[str] = None) -> None:
         if rate_per_cycle <= 0:
             raise ValueError("rate must be positive")
         self.engine = engine
         self.rate = rate_per_cycle
         self.name = name
+        #: attribution cause reported to ``engine.obs`` for cycles a
+        #: user spends queued behind earlier users (``None`` = silent)
+        self.stall_cause = stall_cause
         #: the earliest cycle at which a new transfer may start
         self._free_at: float = 0
         #: total units transferred (for utilisation statistics)
         self.total_units: float = 0
         self.busy_cycles: float = 0
+        self.queue_cycles: float = 0
 
     def service_time(self, amount: float) -> float:
         return amount / self.rate
 
     def use(self, amount: float) -> Generator:
         """Occupy the resource for ``amount`` units of traffic."""
-        start = max(self.engine.now, self._free_at)
+        now = self.engine.now
+        start = max(now, self._free_at)
+        if start > now:
+            self.queue_cycles += start - now
+            if self.stall_cause is not None:
+                self.engine.obs.stall(self.name, self.stall_cause, now, start)
         duration = self.service_time(amount)
         self._free_at = start + duration
         self.total_units += amount

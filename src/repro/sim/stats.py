@@ -8,7 +8,7 @@ be merged hierarchically (PE stats roll up to grid stats).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Mapping
 
 
 class StatGroup:
@@ -45,6 +45,27 @@ class StatGroup:
 
     def as_dict(self) -> Dict[str, float]:
         return dict(self._counters)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A point-in-time copy, for later :meth:`diff`.
+
+        Lets a benchmark measure one kernel invocation out of a longer
+        run without :meth:`reset` clobbering the accumulated totals.
+        """
+        return dict(self._counters)
+
+    def diff(self, since: Mapping[str, float]) -> Dict[str, float]:
+        """Counter deltas accumulated since ``since`` (a snapshot).
+
+        Keys whose value did not change are omitted; keys present only
+        in the snapshot (e.g. taken from another group) are ignored.
+        """
+        out: Dict[str, float] = {}
+        for key, value in self._counters.items():
+            delta = value - since.get(key, 0.0)
+            if delta != 0.0:
+                out[key] = delta
+        return out
 
     def reset(self) -> None:
         self._counters.clear()

@@ -20,11 +20,16 @@ from typing import Dict, List, Optional
 class Span:
     """One traced interval, in cycles."""
 
-    track: str          #: e.g. "pe0.dpe" — becomes the trace row
+    track: str          #: e.g. "pe0.dpe" — becomes the trace row (tid)
     name: str           #: e.g. "MML" — the span label
     start: float
     end: float
     args: tuple = ()    #: extra (key, value) pairs for the viewer
+    #: explicit process row for the viewer; when empty, the track's
+    #: first dot-component is used (so "pe0.dpe" lands on process
+    #: "pe0").  Multi-card and serving spans set this so they do not
+    #: collide on one process row.
+    pid: str = ""
 
     @property
     def duration(self) -> float:
@@ -39,18 +44,23 @@ class Tracer:
     ``Accelerator(trace=True)``.
     """
 
-    def __init__(self, enabled: bool = False) -> None:
+    def __init__(self, enabled: bool = False, default_pid: str = "") -> None:
         self.enabled = enabled
+        #: process row assigned to spans that do not name their own pid
+        #: (a multi-card runtime sets this to the card name so two
+        #: cards' "pe0" tracks stay on separate rows)
+        self.default_pid = default_pid
         self.spans: List[Span] = []
 
     def record(self, track: str, name: str, start: float, end: float,
-               **args) -> None:
+               pid: Optional[str] = None, **args) -> None:
         if not self.enabled:
             return
         if end < start:
             raise ValueError(f"span {name!r} ends before it starts")
         self.spans.append(Span(track, name, start, end,
-                               tuple(sorted(args.items()))))
+                               tuple(sorted(args.items())),
+                               pid if pid is not None else self.default_pid))
 
     # -- queries -----------------------------------------------------------
     def tracks(self) -> List[str]:
@@ -70,11 +80,21 @@ class Tracer:
 
     # -- export ------------------------------------------------------------
     def to_chrome_trace(self, frequency_ghz: float = 0.8) -> dict:
-        """Chrome trace-event JSON (cycles converted to microseconds)."""
+        """Chrome trace-event JSON (cycles converted to microseconds).
+
+        Each span's process row is its explicit ``pid`` when set, else
+        the track's first dot-component; the thread row is always the
+        full track.  Explicitly-named processes additionally get
+        ``process_name`` metadata events so the viewer labels the rows.
+        """
         events = []
         pids: Dict[str, int] = {}
+        named: Dict[str, int] = {}
         for span in self.spans:
-            pid = pids.setdefault(span.track.split(".")[0], len(pids))
+            key = span.pid or span.track.split(".")[0]
+            pid = pids.setdefault(key, len(pids))
+            if span.pid:
+                named[span.pid] = pid
             events.append({
                 "name": span.name,
                 "cat": span.track.split(".")[-1],
@@ -85,6 +105,9 @@ class Tracer:
                 "tid": span.track,
                 "args": dict(span.args),
             })
+        for name, pid in sorted(named.items(), key=lambda kv: kv[1]):
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "args": {"name": name}})
         return {"traceEvents": events, "displayTimeUnit": "ns"}
 
     def save(self, path: str, frequency_ghz: float = 0.8) -> None:

@@ -1,0 +1,166 @@
+"""Metrics registry: instruments, labels, roll-up, exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.obs import (MetricRegistry, default_registry,
+                       disable_default_registry, enable_default_registry,
+                       format_labels)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricRegistry()
+        c = reg.counter("bytes").labels(pe=0)
+        c.inc()
+        c.inc(99)
+        assert c.value == 100
+
+    def test_counter_rejects_negative(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x").labels().inc(-1)
+
+    def test_gauge_set_inc_dec_max(self):
+        reg = MetricRegistry()
+        g = reg.gauge("depth").labels()
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value == 6
+        g.set_max(3)
+        assert g.value == 6
+        g.set_max(10)
+        assert g.value == 10
+
+    def test_histogram_percentiles_exact(self):
+        reg = MetricRegistry()
+        h = reg.histogram("lat").labels()
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.count == 100
+        assert h.p50 == pytest.approx(50.5)
+        assert h.p95 == pytest.approx(95.05)
+        assert h.p99 == pytest.approx(99.01)
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 100
+
+    def test_histogram_custom_buckets_appends_inf(self):
+        reg = MetricRegistry()
+        h = reg.histogram("w", buckets=(1, 10)).labels()
+        h.observe(500)
+        assert h.buckets[-1] == float("inf")
+        assert h.bucket_counts[-1] == 1
+
+
+class TestFamilies:
+    def test_same_labels_return_same_child(self):
+        reg = MetricRegistry()
+        fam = reg.counter("stalls")
+        assert fam.labels(pe=3, unit="dpe") is fam.labels(unit="dpe", pe=3)
+        assert fam.labels(pe=4) is not fam.labels(pe=3)
+        assert len(fam) == 3   # {pe=3,unit=dpe}, {pe=4}, {pe=3}
+
+    def test_family_constructor_is_idempotent(self):
+        reg = MetricRegistry()
+        reg.counter("n").labels().inc()
+        reg.counter("n").labels().inc()
+        assert reg.counter("n").total() == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricRegistry()
+        reg.counter("n")
+        with pytest.raises(ValueError):
+            reg.gauge("n")
+
+    def test_get_does_not_create(self):
+        reg = MetricRegistry()
+        fam = reg.counter("n")
+        assert fam.get(pe=1) is None
+        fam.labels(pe=1)
+        assert fam.get(pe=1) is not None
+
+    def test_format_labels(self):
+        reg = MetricRegistry()
+        fam = reg.counter("n")
+        fam.labels(unit="dpe", pe=3)
+        (key, _), = fam.samples()
+        assert format_labels(key) == "pe=3,unit=dpe"
+
+
+class TestRollup:
+    def _populate(self):
+        reg = MetricRegistry()
+        fam = reg.counter("stall_cycles")
+        fam.labels(track="pe0.dpe", cause="dep_interlock").inc(10)
+        fam.labels(track="pe0.fi", cause="cb_space_wait").inc(5)
+        fam.labels(track="pe1.dpe", cause="dep_interlock").inc(7)
+        return reg
+
+    def test_rollup_by_cause(self):
+        reg = self._populate()
+        by_cause = reg.rollup("stall_cycles", by=("cause",))
+        assert by_cause[("dep_interlock",)] == 17
+        assert by_cause[("cb_space_wait",)] == 5
+
+    def test_rollup_grand_total(self):
+        reg = self._populate()
+        assert reg.rollup("stall_cycles")[()] == 22
+
+    def test_rollup_by_track_and_cause(self):
+        reg = self._populate()
+        grouped = reg.rollup("stall_cycles", by=("track", "cause"))
+        assert grouped[("pe0.dpe", "dep_interlock")] == 10
+
+    def test_rollup_unknown_family_is_empty(self):
+        assert MetricRegistry().rollup("nope", by=("x",)) == {}
+
+
+class TestExporters:
+    def _populate(self):
+        reg = MetricRegistry("repro")
+        reg.counter("bytes", "bytes moved").labels(pe=0).inc(4096)
+        reg.gauge("util").labels().set(0.5)
+        h = reg.histogram("lat_us", "latency").labels(model="mc1")
+        h.observe(3)
+        h.observe(30)
+        return reg
+
+    def test_json_round_trips(self):
+        doc = json.loads(self._populate().to_json())
+        assert doc["metrics"]["bytes"]["type"] == "counter"
+        sample = doc["metrics"]["bytes"]["samples"][0]
+        assert sample == {"labels": {"pe": "0"}, "value": 4096}
+        hist = doc["metrics"]["lat_us"]["samples"][0]
+        assert hist["count"] == 2 and hist["sum"] == 33
+
+    def test_csv_has_row_per_sample(self):
+        rows = list(csv.DictReader(io.StringIO(self._populate().to_csv())))
+        by_name = {r["metric"]: r for r in rows}
+        assert by_name["bytes"]["labels"] == "pe=0"
+        assert float(by_name["bytes"]["value"]) == 4096
+
+    def test_prometheus_exposition(self):
+        text = self._populate().to_prometheus()
+        assert "# TYPE repro_bytes counter" in text
+        assert 'repro_bytes{pe="0"} 4096' in text
+        assert '# HELP repro_bytes bytes moved' in text
+        assert 'repro_lat_us_bucket{model="mc1",le="5"} 1' in text
+        assert 'repro_lat_us_bucket{model="mc1",le="+Inf"} 2' in text
+        assert 'repro_lat_us_count{model="mc1"} 2' in text
+
+
+class TestDefaultRegistry:
+    def test_disabled_by_default_and_opt_in(self):
+        disable_default_registry()
+        assert default_registry() is None
+        reg = enable_default_registry()
+        try:
+            assert default_registry() is reg
+            assert enable_default_registry() is reg
+        finally:
+            disable_default_registry()
+        assert default_registry() is None

@@ -1,0 +1,124 @@
+"""Profiler: full cycle attribution, roofline BW, and the CLI."""
+
+import json
+
+import pytest
+
+from repro import Accelerator
+from repro.kernels.fc import run_fc
+from repro.obs import Profiler
+
+
+@pytest.fixture(scope="module")
+def fc_report():
+    acc = Accelerator()
+    with Profiler(acc, workload="fc-test") as prof:
+        run_fc(acc, m=128, k=128, n=128, subgrid=acc.subgrid((0, 0), 2, 2))
+    return prof.report(extras={"answer": 42.0})
+
+
+class TestAccounting:
+    def test_every_track_sums_to_elapsed(self, fc_report):
+        assert fc_report.tracks
+        for track in fc_report.tracks:
+            accounted = (track.compute + track.memory + track.stall_total
+                         + track.idle)
+            assert accounted == pytest.approx(fc_report.elapsed_cycles)
+
+    def test_residual_is_zero(self, fc_report):
+        assert fc_report.attribution_residual() == pytest.approx(0.0)
+
+    def test_compute_units_have_compute_cycles(self, fc_report):
+        dpe = fc_report.track("pe0.dpe")
+        assert dpe is not None and dpe.compute > 0
+        assert dpe.memory == 0
+
+    def test_fi_cycles_classified_as_memory(self, fc_report):
+        fi = fc_report.track("pe0.fi")
+        assert fi is not None and fi.memory > 0
+        assert fi.compute == 0
+
+    def test_stalls_attributed_to_named_causes(self, fc_report):
+        assert fc_report.stalls_by_cause
+        assert all(v > 0 for v in fc_report.stalls_by_cause.values())
+
+    def test_busy_never_exceeds_elapsed_despite_overlap(self, fc_report):
+        """FI keeps loads in flight; union accounting caps at elapsed."""
+        for track in fc_report.tracks:
+            assert track.busy <= fc_report.elapsed_cycles + 1e-9
+
+    def test_top_tracks_sorted_by_accounted_cycles(self, fc_report):
+        top = fc_report.top_tracks(5)
+        actives = [t.active for t in top]
+        assert actives == sorted(actives, reverse=True)
+
+    def test_operations_aggregate_by_command(self, fc_report):
+        ops = {o.name: o for o in fc_report.operations}
+        # Per PE: (m/64)x(n/64)x(k/32)x4 accumulator commands = 16; the
+        # 2x2 sub-grid with k_split=2 runs 4 PEs.
+        assert ops["MML"].count == 16 * 4
+        assert ops["DMALoad"].cycles > 0
+
+
+class TestBandwidth:
+    def test_dram_fraction_between_zero_and_one(self, fc_report):
+        dram = fc_report.bandwidth_for("dram")
+        assert dram is not None
+        assert 0 < dram.fraction <= 1
+        assert dram.achieved_gbs == pytest.approx(
+            dram.fraction * dram.peak_gbs)
+
+    def test_report_exports(self, fc_report):
+        doc = json.loads(fc_report.to_json())
+        assert doc["workload"] == "fc-test"
+        assert doc["extras"] == {"answer": 42.0}
+        text = fc_report.to_text()
+        assert "achieved bandwidth vs roofline" in text
+        assert "stall cycles by cause" in text
+        assert "attribution check" in text
+
+
+class TestWindowing:
+    def test_profiler_windows_a_later_run(self):
+        """Spans/stalls from before __enter__ must not leak in."""
+        acc = Accelerator()
+        run_fc(acc, m=64, k=64, n=64, subgrid=acc.subgrid((0, 0), 1, 1))
+        with Profiler(acc, workload="second") as prof:
+            run_fc(acc, m=64, k=64, n=64,
+                   subgrid=acc.subgrid((0, 0), 1, 1))
+        report = prof.report()
+        assert report.elapsed_cycles < acc.engine.now
+        for track in report.tracks:
+            assert track.elapsed == pytest.approx(report.elapsed_cycles)
+
+
+class TestCLI:
+    def test_resolve_workload_names_and_paths(self):
+        from repro.profile import resolve_workload
+        assert resolve_workload("fc") == "fc"
+        assert resolve_workload("examples/fc_mapping.py") == "fc"
+        assert resolve_workload("examples/quickstart.py") == "quickstart"
+        with pytest.raises(SystemExit):
+            resolve_workload("nonsense")
+
+    def test_json_output_parses(self, capsys):
+        from repro.profile import main
+        assert main(["quickstart", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["workload"] == "quickstart"
+        assert doc["tracks"] and doc["stalls_by_cause"]
+
+    def test_text_output_mentions_stalls(self, capsys):
+        from repro.profile import main
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck report" in out
+        assert "dep_interlock" in out
+
+    def test_chrome_output_writes_trace(self, tmp_path, capsys):
+        from repro.profile import main
+        path = tmp_path / "q.trace.json"
+        assert main(["quickstart", "--format", "chrome",
+                     "-o", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]

@@ -1,0 +1,121 @@
+"""Stall attribution: every idle cycle lands under a named cause."""
+
+import pytest
+
+from repro import Accelerator
+from repro.kernels.fc import run_fc
+from repro.kernels.tbe import TBEConfig, run_tbe
+from repro.obs import MetricRegistry, Observer, STALL_CAUSES
+
+
+def small_fc(acc):
+    return run_fc(acc, m=64, k=64, n=64,
+                  subgrid=acc.subgrid((0, 0), 1, 1))
+
+
+def small_tbe(acc, prefetch_rows):
+    config = TBEConfig(num_tables=2, rows_per_table=512, embedding_dim=64,
+                       pooling_factor=8, batch_size=4)
+    return run_tbe(acc, config, subgrid=acc.subgrid((0, 0), 1, 1),
+                   prefetch_rows=prefetch_rows)
+
+
+class TestObserverBasics:
+    def test_disabled_observer_records_nothing(self):
+        obs = Observer(enabled=False)
+        obs.stall("pe0.dpe", "dep_interlock", 0, 100)
+        obs.count("x")
+        assert obs.stalls_by_cause() == {}
+        assert obs.registry.rollup("x") == {}
+
+    def test_stall_lands_in_labelled_counter(self):
+        obs = Observer(enabled=True)
+        obs.stall("pe0.dpe", "dep_interlock", 10, 25)
+        obs.stall("pe0.dpe", "dep_interlock", 30, 35)
+        obs.stall("pe1.fi", "cb_space_wait", 0, 8)
+        assert obs.stalls_by_cause() == {"dep_interlock": 20,
+                                         "cb_space_wait": 8}
+        assert obs.stalls_by_track()["pe0.dpe"] == {"dep_interlock": 20}
+
+    def test_zero_length_stall_ignored(self):
+        obs = Observer(enabled=True)
+        obs.stall("t", "dep_interlock", 5, 5)
+        assert obs.stalls_by_cause() == {}
+
+    def test_stall_becomes_tracer_span(self):
+        from repro.sim import Tracer
+        tracer = Tracer(enabled=True)
+        obs = Observer(enabled=True, tracer=tracer)
+        obs.stall("pe0.dpe", "dep_interlock", 10, 25)
+        (span,) = tracer.spans
+        assert span.name == "stall:dep_interlock"
+        assert (span.start, span.end) == (10, 25)
+
+
+class TestUnobservedRuns:
+    def test_default_run_records_no_attribution(self):
+        acc = Accelerator()
+        small_fc(acc)
+        assert acc.obs.stalls_by_cause() == {}
+
+    def test_observed_run_matches_unobserved_timing(self):
+        """Attribution must not perturb the simulated schedule."""
+        plain = small_fc(Accelerator()).cycles
+        observed = small_fc(Accelerator(observe=True)).cycles
+        assert observed == plain
+
+
+class TestFCAttribution:
+    def test_producer_starved_fc_attributes_element_waits(self):
+        """Consumers outrun the DMA stream -> cb_element_wait > 0."""
+        acc = Accelerator(observe=True)
+        small_fc(acc)
+        causes = acc.obs.stalls_by_cause()
+        assert causes.get("cb_element_wait", 0) > 0
+        assert causes.get("dep_interlock", 0) > 0
+        assert set(causes) <= set(STALL_CAUSES)
+
+    def test_attribution_is_per_track(self):
+        acc = Accelerator(observe=True)
+        small_fc(acc)
+        by_track = acc.obs.stalls_by_track()
+        unit_tracks = [t for t in by_track if t.startswith("pe0.")]
+        assert unit_tracks, by_track
+        for causes in by_track.values():
+            assert all(cycles > 0 for cycles in causes.values())
+
+    def test_multi_pe_fc_attributes_noc_arbitration(self):
+        acc = Accelerator(observe=True)
+        run_fc(acc, m=128, k=64, n=128, subgrid=acc.subgrid((0, 0), 2, 2))
+        causes = acc.obs.stalls_by_cause()
+        assert causes.get("noc_link_arb", 0) > 0
+
+
+class TestTBEAttribution:
+    def test_space_limited_tbe_attributes_space_waits(self):
+        """One-row CBs backpressure the FI -> cb_space_wait > 0."""
+        acc = Accelerator(observe=True)
+        small_tbe(acc, prefetch_rows=1)
+        causes = acc.obs.stalls_by_cause()
+        assert causes.get("cb_space_wait", 0) > 0
+
+    def test_deeper_pipelining_reduces_space_waits(self):
+        shallow = Accelerator(observe=True)
+        small_tbe(shallow, prefetch_rows=1)
+        deep = Accelerator(observe=True)
+        small_tbe(deep, prefetch_rows=8)
+        assert (deep.obs.stalls_by_cause().get("cb_space_wait", 0)
+                < shallow.obs.stalls_by_cause().get("cb_space_wait", 0))
+
+
+class TestExternalRegistry:
+    def test_shared_registry_aggregates_two_cards(self):
+        registry = MetricRegistry("fleet")
+        card0 = Accelerator(registry=registry, name="card0")
+        card1 = Accelerator(registry=registry, name="card1")
+        small_fc(card0)
+        small_fc(card1)
+        total = registry.rollup("stall_cycles")[()]
+        assert total == pytest.approx(
+            sum(card0.obs.stalls_by_cause().values()))
+        assert card0.metrics is card1.metrics is registry

@@ -72,6 +72,14 @@ def test_random_pipelines_match_reference(spec_parts, count, seed):
         # LUT error before quantisation can flip a level at most.
         assert np.max(np.abs(out["y"].astype(np.int16)
                              - ref.astype(np.int16))) <= 1
+    elif "quantize" in stages:
+        # A quantize stage inside an fp32 pipeline rounds to 0.05-wide
+        # levels; inputs within the SE's (cubic-interpolated) LUT error
+        # of a rounding boundary may flip one level, which a subsequent
+        # dequantise turns into a full-scale (0.05) absolute error.
+        # Allow that single level on top of the relative tolerance.
+        scale = np.maximum(np.abs(ref), 1.0)
+        assert np.max((np.abs(out["y"] - ref) - 0.05) / scale) < 2e-2
     else:
         scale = np.maximum(np.abs(ref), 1.0)
         assert np.max(np.abs(out["y"] - ref) / scale) < 2e-2

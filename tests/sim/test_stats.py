@@ -57,3 +57,42 @@ class TestStatGroup:
         stats.add("a", 1)
         assert "a=1" in repr(stats)
         assert repr(stats).index("a=1") < repr(stats).index("b=2")
+
+
+class TestSnapshotDiff:
+    def test_diff_reports_only_changes(self):
+        stats = StatGroup()
+        stats.add("bytes", 100)
+        stats.add("ops", 3)
+        before = stats.snapshot()
+        stats.add("bytes", 50)
+        assert stats.diff(before) == {"bytes": 50}
+
+    def test_snapshot_is_immutable_copy(self):
+        stats = StatGroup()
+        stats.add("x", 1)
+        snap = stats.snapshot()
+        stats.add("x", 9)
+        assert snap == {"x": 1}
+        assert stats.diff(snap) == {"x": 9}
+
+    def test_diff_includes_new_keys(self):
+        stats = StatGroup()
+        before = stats.snapshot()
+        stats.add("fresh", 7)
+        assert stats.diff(before) == {"fresh": 7}
+
+    def test_diff_ignores_snapshot_only_keys(self):
+        stats = StatGroup()
+        stats.add("mine", 2)
+        assert stats.diff({"theirs": 5}) == {"mine": 2}
+
+    def test_diff_after_merge_rollup_with_prefixes(self):
+        chip = StatGroup("chip")
+        before = chip.snapshot()
+        for name in ("pe0", "pe1"):
+            pe = StatGroup(name)
+            pe.add("stall_cycles", 10)
+            chip.merge(pe, prefix=f"{name}.")
+        delta = chip.diff(before)
+        assert delta == {"pe0.stall_cycles": 10, "pe1.stall_cycles": 10}

@@ -61,6 +61,47 @@ class TestTracer:
         assert summary["a"] == {"spans": 2, "busy_cycles": 15}
 
 
+class TestTracerPids:
+    def test_default_pid_groups_by_track_prefix(self):
+        tracer = Tracer(enabled=True)
+        tracer.record("pe0.dpe", "MML", 0, 32)
+        tracer.record("pe1.dpe", "MML", 0, 32)
+        doc = tracer.to_chrome_trace()
+        x_events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert x_events[0]["pid"] != x_events[1]["pid"]
+
+    def test_explicit_pid_separates_cards(self):
+        """Two cards' identical tracks must not collide on one row."""
+        tracer = Tracer(enabled=True)
+        tracer.record("pe0.dpe", "MML", 0, 32, pid="card0")
+        tracer.record("pe0.dpe", "MML", 0, 32, pid="card1")
+        doc = tracer.to_chrome_trace()
+        x_events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert x_events[0]["pid"] != x_events[1]["pid"]
+        names = {e["args"]["name"]: e["pid"]
+                 for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert names == {"card0": x_events[0]["pid"],
+                         "card1": x_events[1]["pid"]}
+
+    def test_default_pid_applies_to_all_spans(self):
+        tracer = Tracer(enabled=True, default_pid="cardA")
+        tracer.record("pe0.dpe", "MML", 0, 32)
+        assert tracer.spans[0].pid == "cardA"
+        doc = tracer.to_chrome_trace()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta and meta[0]["args"]["name"] == "cardA"
+
+    def test_named_accelerator_sets_default_pid(self):
+        acc = Accelerator(trace=True, name="card3")
+        run_fc(acc, m=64, k=64, n=64, subgrid=acc.subgrid((0, 0), 1, 1))
+        assert all(s.pid == "card3" for s in acc.tracer.spans)
+
+    def test_explicit_pid_overrides_default(self):
+        tracer = Tracer(enabled=True, default_pid="cardA")
+        tracer.record("pe0.dpe", "MML", 0, 32, pid="cardB")
+        assert tracer.spans[0].pid == "cardB"
+
+
 class TestTracedSimulation:
     def test_fc_run_produces_spans(self):
         acc = Accelerator(trace=True)
