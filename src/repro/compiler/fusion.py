@@ -119,9 +119,22 @@ def _merge_embedding_bags(graph: Graph, max_tables: int,
         concat_name = key[3]
         concat = graph.node(concat_name)
         # Preserve concat operand order: members sorted by their position.
-        members.sort(key=lambda n: concat.inputs.index(n.name))
-        for start in range(0, len(members), max_tables):
-            chunk = members[start:start + max_tables]
+        position = {name: i for i, name in enumerate(concat.inputs)}
+        members.sort(key=lambda n: position[n.name])
+        # Only *contiguous* operand runs may merge: the TBE output lays
+        # its members' columns adjacently, so merging operands that have
+        # other concat inputs between them would reorder the concat's
+        # columns (e.g. [eb_a, other, eb_b] -> [eb_a|eb_b, other]).
+        runs: List[List[Node]] = [[members[0]]]
+        for prev, node in zip(members, members[1:]):
+            if position[node.name] == position[prev.name] + 1:
+                runs[-1].append(node)
+            else:
+                runs.append([node])
+        chunks = [run[start:start + max_tables]
+                  for run in runs
+                  for start in range(0, len(run), max_tables)]
+        for chunk in chunks:
             if len(chunk) < 2:
                 continue
             tbe_inputs: List[str] = []

@@ -114,6 +114,23 @@ class Graph:
             self._order.remove(name)
         return len(dead)
 
+    def copy(self, name: Optional[str] = None) -> "Graph":
+        """Structural copy: independent nodes/order/outputs.
+
+        Node ``attrs`` dicts and ``inputs`` lists are copied so passes
+        mutating the clone (fusion, placement) leave the original
+        untouched; bound constant arrays inside ``attrs`` and the frozen
+        :class:`TensorMeta` objects are shared, not duplicated.
+        """
+        clone = Graph(name or self.name)
+        for node in self:
+            clone._nodes[node.name] = Node(
+                name=node.name, op=node.op, inputs=list(node.inputs),
+                attrs=dict(node.attrs), meta=node.meta)
+            clone._order.append(node.name)
+        clone.outputs = list(self.outputs)
+        return clone
+
     def validate(self) -> None:
         """Check structural invariants; raises ValueError on violation.
 

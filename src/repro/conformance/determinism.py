@@ -1,0 +1,120 @@
+"""Determinism / replay checking.
+
+Two invariants every future perf PR must preserve:
+
+* **Replay determinism** — the simulator and the graph executor are
+  pure functions of their seed: the same seed run twice produces
+  identical cycle counts, outputs, and stall attributions.  Without
+  this, a "failing seed" printed by the fuzzer would be worthless.
+* **Hooks are no-ops** — enabling tracing and stall attribution
+  (``Accelerator(observe=True, trace=True)``) must not change a single
+  cycle or output bit (the PR-1 observability contract: telemetry
+  observes the machine, it never steers it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class DeterminismResult:
+    """Violations found while replaying one seed (empty == pass)."""
+
+    seed: int
+    kind: str                       #: "sim" or "graph"
+    violations: List[str] = field(default_factory=list)
+    cycles: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict:
+        return {"seed": self.seed, "kind": self.kind,
+                "cycles": self.cycles, "violations": list(self.violations)}
+
+
+def _fc_shape_for(seed: int) -> Dict[str, int]:
+    """A tiny tileable FC shape — determinism needs 4 runs per seed."""
+    rng = np.random.default_rng(seed)
+    cols = int(rng.choice([1, 2]))
+    return {"m": 64, "k": 32 * cols * int(rng.integers(1, 4)),
+            "n": 64 * int(rng.integers(1, 3)), "rows": 1, "cols": cols,
+            "k_split": cols}
+
+
+def check_sim_determinism(seed: int) -> DeterminismResult:
+    """Replay one FC kernel on the DES; see module docstring."""
+    from repro import Accelerator
+    from repro.kernels.fc import run_fc
+
+    shape = _fc_shape_for(seed)
+
+    def once(observe: bool):
+        acc = Accelerator(observe=observe, trace=observe)
+        result = run_fc(acc, m=shape["m"], k=shape["k"], n=shape["n"],
+                        dtype="int8",
+                        subgrid=acc.subgrid((0, 0), shape["rows"],
+                                            shape["cols"]),
+                        k_split=shape["k_split"], seed=seed)
+        stalls = acc.obs.stalls_by_cause() if observe else {}
+        return result.cycles, result.c_t, stalls
+
+    res = DeterminismResult(seed=seed, kind="sim")
+    cycles_a, out_a, _ = once(observe=False)
+    cycles_b, out_b, _ = once(observe=False)
+    res.cycles = cycles_a
+    if cycles_a != cycles_b:
+        res.violations.append(
+            f"replay cycles differ: {cycles_a} vs {cycles_b}")
+    if not np.array_equal(out_a, out_b):
+        res.violations.append("replay outputs differ bit-for-bit")
+
+    cycles_obs, out_obs, stalls_1 = once(observe=True)
+    if cycles_obs != cycles_a:
+        res.violations.append(
+            "enabling metrics/tracing changed cycles: "
+            f"{cycles_a} plain vs {cycles_obs} observed")
+    if not np.array_equal(out_obs, out_a):
+        res.violations.append("enabling metrics/tracing changed outputs")
+
+    _, _, stalls_2 = once(observe=True)
+    if stalls_1 != stalls_2:
+        res.violations.append(
+            f"stall attributions differ between replays: "
+            f"{stalls_1} vs {stalls_2}")
+    return res
+
+
+def check_graph_determinism(seed: int,
+                            fuzz_config=None) -> DeterminismResult:
+    """Replay one fuzzed graph through the GraphExecutor twice."""
+    from repro.conformance.fuzzer import fuzz_graph
+    from repro.runtime.executor import GraphExecutor
+
+    case = fuzz_graph(seed, fuzz_config)
+
+    def once():
+        executor = GraphExecutor(mode="graph")
+        return executor.run(case.graph.copy(), case.feeds, case.weights)
+
+    out_a, report_a = once()
+    out_b, report_b = once()
+    res = DeterminismResult(seed=seed, kind="graph")
+    if report_a.seconds != report_b.seconds:
+        res.violations.append(
+            f"modelled seconds differ: {report_a.seconds} vs "
+            f"{report_b.seconds}")
+    if sorted(out_a) != sorted(out_b):
+        res.violations.append(
+            f"output names differ: {sorted(out_a)} vs {sorted(out_b)}")
+    else:
+        for name in out_a:
+            if not np.array_equal(out_a[name], out_b[name]):
+                res.violations.append(f"output {name!r} differs between "
+                                      "replays")
+    return res

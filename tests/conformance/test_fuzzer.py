@@ -1,0 +1,53 @@
+"""Fuzzer invariants: validity, purity, op-subset respect."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.conformance import FuzzConfig, fuzz_graph
+from tests import strategies as shared
+
+
+@given(seed=shared.fuzz_seeds)
+def test_fuzzed_graphs_validate_and_bind_all_inputs(seed):
+    case = fuzz_graph(seed)
+    case.graph.validate()
+    assert case.graph.outputs
+    for node in case.graph:
+        if node.op == "input":
+            assert node.name in case.feeds
+    # summary carries enough to triage a failure without re-running
+    assert case.summary["nodes"] == len(case.graph)
+    assert case.summary["outputs"] == list(case.graph.outputs)
+
+
+@given(seed=shared.fuzz_seeds)
+def test_fuzz_is_a_pure_function_of_seed(seed):
+    a = fuzz_graph(seed)
+    b = fuzz_graph(seed)
+    assert ([(n.name, n.op, tuple(n.inputs)) for n in a.graph]
+            == [(n.name, n.op, tuple(n.inputs)) for n in b.graph])
+    assert a.graph.outputs == b.graph.outputs
+    assert sorted(a.feeds) == sorted(b.feeds)
+    for name in a.feeds:
+        np.testing.assert_array_equal(a.feeds[name], b.feeds[name])
+    assert sorted(a.weights) == sorted(b.weights)
+    for name in a.weights:
+        np.testing.assert_array_equal(a.weights[name], b.weights[name])
+
+
+@given(seed=shared.seeds, ops=shared.fuzzer_op_subsets())
+def test_op_subsets_are_respected(seed, ops):
+    case = fuzz_graph(seed, FuzzConfig(ops=ops))
+    used = {n.op for n in case.graph}
+    forbidden = {"eb": {"embedding_bag", "tbe"},
+                 "bmm": {"batch_matmul"},
+                 "quantize": {"quantize", "dequantize"}}
+    for family, op_names in forbidden.items():
+        if family not in ops:
+            assert not (used & op_names), (family, used)
+
+
+def test_unknown_op_family_rejected():
+    with pytest.raises(ValueError, match="bogus"):
+        FuzzConfig(ops=("fc", "bogus"))

@@ -1,0 +1,92 @@
+"""Differential checks: executor (eager and fused) vs the golden
+reference, plus the comparison machinery itself."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.compiler.ir import GraphBuilder
+from repro.conformance import (TolerancePolicy, compare_outputs,
+                               evaluate_graph)
+from repro.conformance.runner import ConformanceConfig, run_golden_case
+from tests import strategies as shared
+
+
+@settings(max_examples=15)   # each example runs two executor modes
+@given(seed=shared.fuzz_seeds)
+def test_fused_and_unfused_agree_with_golden(seed):
+    with np.errstate(over="ignore"):
+        result = run_golden_case(seed, ConformanceConfig())
+    assert result.ok, result.details["divergences"]
+
+
+@pytest.mark.parametrize("seed", [10, 70])
+def test_noncontiguous_tbe_merge_regression(seed):
+    """Seeds that once merged non-adjacent EmbeddingBags into one TBE,
+    reordering the sparse-feature concat's columns in fused mode."""
+    result = run_golden_case(seed, ConformanceConfig())
+    assert result.ok, result.details["divergences"]
+
+
+def test_quantized_fc_is_bit_exact_against_golden():
+    from repro.runtime.executor import GraphExecutor
+
+    b = GraphBuilder("q_exact")
+    x = b.input((8, 16), dtype="fp32", name="x")
+    q = b.add("quantize", (x.name,), scale=0.05)
+    w = b.weight((12, 16), dtype="int8", name="w")
+    fc = b.add("fc", (q.name, w.name), out_dtype="fp32")
+    y = b.add("dequantize", (fc.name,), scale=0.05 * 0.05, name="y")
+    graph = b.output(q.name, y.name)
+
+    rng = np.random.default_rng(7)
+    feeds = {"x": rng.standard_normal((8, 16)).astype(np.float32)}
+    weights = {"w": rng.integers(-16, 16, (12, 16), dtype=np.int8)}
+    reference = evaluate_graph(graph, feeds, weights)
+    outputs, _ = GraphExecutor(mode="eager").run(graph.copy(), feeds,
+                                                 weights)
+    # int8 output must match bit-for-bit, not just within tolerance.
+    np.testing.assert_array_equal(outputs[q.name], reference[q.name])
+    assert not compare_outputs(outputs, reference)
+
+
+def test_compare_outputs_flags_each_divergence_kind():
+    want = {"a": np.zeros((2, 2), np.float32),
+            "b": np.zeros(4, np.int8)}
+    # shape mismatch
+    got = {"a": np.zeros((2, 3), np.float32), "b": want["b"]}
+    assert "shape" in compare_outputs(got, want)[0].reason
+    # dtype mismatch
+    got = {"a": np.zeros((2, 2), np.float64), "b": want["b"]}
+    assert "dtype" in compare_outputs(got, want)[0].reason
+    # quantized outputs must match exactly: off-by-one fails
+    got = {"a": want["a"], "b": np.ones(4, np.int8)}
+    div = compare_outputs(got, want)
+    assert div and div[0].max_abs_err == 1.0
+    # fp within tolerance passes, outside fails
+    policy = TolerancePolicy(atol=1e-3, rtol=0.0)
+    got = {"a": np.full((2, 2), 5e-4, np.float32), "b": want["b"]}
+    assert not compare_outputs(got, want, policy)
+    got = {"a": np.full((2, 2), 5e-3, np.float32), "b": want["b"]}
+    assert compare_outputs(got, want, policy)
+
+
+def test_compare_outputs_maps_renamed_fused_outputs_positionally():
+    want = {"act": np.ones(3, np.float32)}
+    got = {"fc0": np.ones(3, np.float32)}
+    assert not compare_outputs(got, want, actual_names=["fc0"],
+                               expected_names=["act"])
+    got = {"fc0": np.zeros(3, np.float32)}
+    div = compare_outputs(got, want, actual_names=["fc0"],
+                          expected_names=["act"])
+    assert div and "fused: fc0" in div[0].output
+
+
+def test_evaluate_graph_rejects_unmodeled_ops():
+    b = GraphBuilder("unknown_op")
+    x = b.input((2, 2), dtype="fp32", name="x")
+    y = b.add("relu", (x.name,), name="y")
+    graph = b.output(y.name)
+    graph.node("y").op = "frobnicate"
+    with pytest.raises(ValueError, match="frobnicate"):
+        evaluate_graph(graph, {"x": np.zeros((2, 2), np.float32)})

@@ -1,12 +1,27 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite."""
+
+import os
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.config import MTIA_V1, ChipConfig
 from repro.core import Accelerator
 from repro.memory import SRAMMode
 from repro.sim import Engine
+
+# Hypothesis profiles: "dev" keeps the local loop fast, "ci" digs
+# deeper.  Both disable deadlines (DES runs have high variance) and
+# print the reproduction blob so a failing example can be replayed
+# with @reproduce_failure.  Select with HYPOTHESIS_PROFILE=ci.
+settings.register_profile(
+    "dev", max_examples=25, deadline=None, print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile(
+    "ci", max_examples=100, deadline=None, print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

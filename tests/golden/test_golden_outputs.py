@@ -1,0 +1,94 @@
+"""Golden-file regression tests for the user-facing report surfaces.
+
+These pin the *schemas* — key sets, metric names, label keys — of
+``python -m repro.profile --format json`` and
+``python -m repro.report --metrics``, not the numeric values (those
+belong to the calibration tests).  A renamed field or dropped metric
+breaks downstream dashboards silently; these tests make it loud.
+
+To intentionally change a schema, regenerate with::
+
+    GOLDEN_UPDATE=1 PYTHONPATH=src python -m pytest tests/golden
+"""
+
+import json
+import os
+import re
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent
+
+_METRIC_LINE = re.compile(
+    r"^(?P<name>[a-z_][a-z0-9_]*)(\{(?P<labels>[^}]*)\})? (?P<value>\S+)$")
+_LABEL = re.compile(r'([a-z_][a-z0-9_]*)="')
+
+
+def _check(name: str, actual: dict) -> None:
+    """Compare ``actual`` against the golden file (or rewrite it)."""
+    path = GOLDEN_DIR / name
+    if os.environ.get("GOLDEN_UPDATE"):
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True)
+                        + "\n")
+        return
+    expected = json.loads(path.read_text())
+    assert actual == expected, (
+        f"schema drift vs {path.name}; if intentional, regenerate with "
+        "GOLDEN_UPDATE=1")
+
+
+def profile_schema() -> dict:
+    """Key-set schema of the quickstart profile JSON report."""
+    from repro.profile import profile_workload
+    report, _ = profile_workload("quickstart")
+    data = json.loads(report.to_json())
+    return {
+        "top_level": sorted(data),
+        "track": sorted(data["tracks"][0]),
+        "operation": sorted(data["operations"][0]),
+        "bandwidth": sorted(data["bandwidth"][0]),
+        "stall_causes": sorted(data["stalls_by_cause"]),
+        "extras": sorted(data["extras"]),
+        "workload": data["workload"],
+    }
+
+
+def metrics_schema(text: str) -> dict:
+    """Metric names, types, and label keys from Prometheus text."""
+    types = {}
+    label_keys = {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split()
+            types[name] = kind
+        else:
+            match = _METRIC_LINE.match(line)
+            if match:
+                keys = sorted(_LABEL.findall(match.group("labels") or ""))
+                label_keys.setdefault(match.group("name"), keys)
+    return {"types": types, "label_keys": label_keys}
+
+
+def test_profile_json_schema_is_stable():
+    _check("profile_quickstart_schema.json", profile_schema())
+
+
+def test_report_metrics_schema_is_stable(capsys):
+    from repro.report import main
+    assert main(["bounds", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    start = out.index("Collected metrics")
+    _check("report_metrics_schema.json", metrics_schema(out[start:]))
+
+
+def test_profile_json_round_trips_through_cli(tmp_path, capsys):
+    """The CLI's --format json output parses and matches the schema."""
+    from repro.profile import main
+    out = tmp_path / "prof.json"
+    assert main(["quickstart", "--format", "json",
+                 "--output", str(out)]) == 0
+    data = json.loads(out.read_text())
+    golden = json.loads(
+        (GOLDEN_DIR / "profile_quickstart_schema.json").read_text())
+    assert sorted(data) == golden["top_level"]
+    assert data["workload"] == "quickstart"
+    assert data["elapsed_cycles"] > 0

@@ -1,26 +1,14 @@
 """Property-based tests for the firmware sub-grid allocator."""
 
-import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro import Accelerator
 from repro.firmware import SubGridAllocator
-
-common = settings(max_examples=40, deadline=None,
-                  suppress_health_check=[HealthCheck.too_slow])
-
-request_strategy = st.lists(
-    st.one_of(
-        st.tuples(st.just("alloc"), st.integers(1, 8), st.integers(1, 8)),
-        st.tuples(st.just("free"), st.integers(0, 30), st.integers(0, 0)),
-    ),
-    max_size=40,
-)
+from tests import strategies as shared
 
 
-@common
-@given(ops=request_strategy, cluster=st.sampled_from([1, 2, 4]))
+@given(ops=shared.allocator_requests, cluster=shared.allocator_clusters)
 def test_allocations_never_overlap_and_release_restores(ops, cluster):
     acc = Accelerator()
     alloc = SubGridAllocator(acc.grid, cluster=cluster)
@@ -54,9 +42,8 @@ def test_allocations_never_overlap_and_release_restores(ops, cluster):
     assert alloc.allocate(8, 8) is not None
 
 
-@common
 @given(rows=st.integers(1, 8), cols=st.integers(1, 8),
-       cluster=st.sampled_from([1, 2, 4]))
+       cluster=shared.allocator_clusters)
 def test_allocated_shape_is_what_was_asked(rows, cols, cluster):
     acc = Accelerator()
     alloc = SubGridAllocator(acc.grid, cluster=cluster)
@@ -65,7 +52,6 @@ def test_allocated_shape_is_what_was_asked(rows, cols, cluster):
     assert subgrid.rows == rows and subgrid.cols == cols
 
 
-@common
 @given(shapes=st.lists(st.tuples(st.integers(1, 4), st.integers(1, 4)),
                        min_size=1, max_size=20))
 def test_full_grid_capacity_respected(shapes):

@@ -1,42 +1,18 @@
 """Property-based test: random KNYFE pipelines match their reference."""
 
 import numpy as np
-import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Accelerator
 from repro.compiler.knyfe import KernelSpec, compile_kernel
-
-# Type-valid stage transitions: each entry maps the current dtype to
-# the stages that may follow and the dtype they produce.
-_FP32_STAGES = ["quantize", "tanh", "relu", "sigmoid", "binary"]
-_INT8_STAGES = ["dequantize"]
+from tests import strategies as shared
 
 
-@st.composite
-def pipeline_strategy(draw):
-    """A random, type-correct stage sequence starting from a load."""
-    start_int8 = draw(st.booleans())
-    dtype = "int8" if start_int8 else "fp32"
-    stages = []
-    for _ in range(draw(st.integers(1, 4))):
-        if dtype == "int8":
-            stage = "dequantize"
-            dtype = "fp32"
-        else:
-            stage = draw(st.sampled_from(_FP32_STAGES))
-            if stage == "quantize":
-                dtype = "int8"
-        stages.append(stage)
-    return ("int8" if start_int8 else "fp32"), stages
-
-
-@settings(max_examples=15, deadline=None,
-          suppress_health_check=[HealthCheck.too_slow])
-@given(spec_parts=pipeline_strategy(),
+@settings(max_examples=15)   # each example compiles + runs a DES kernel
+@given(spec_parts=shared.knyfe_pipelines(),
        count=st.integers(64, 1500),
-       seed=st.integers(0, 2 ** 16))
+       seed=shared.seeds)
 def test_random_pipelines_match_reference(spec_parts, count, seed):
     load_dtype, stages = spec_parts
     rng = np.random.default_rng(seed)

@@ -2,8 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings
 
 from repro.config import MTIA_V1
 from repro.core.circular_buffer import CircularBuffer
@@ -12,17 +11,11 @@ from repro.memory.cache import SetAssociativeCache
 from repro.memory.local_memory import LocalMemory
 from repro.sim import Engine, SimulationError
 from repro import dtypes
-
-common = settings(max_examples=60,
-                  suppress_health_check=[HealthCheck.too_slow])
+from tests import strategies as shared
 
 
 class TestCircularBufferProperties:
-    @common
-    @given(ops=st.lists(
-        st.tuples(st.sampled_from(["push", "pop"]),
-                  st.integers(min_value=1, max_value=64)),
-        max_size=60))
+    @given(ops=shared.cb_op_lists)
     def test_fifo_matches_reference_deque(self, ops):
         """The CB behaves exactly like a bounded FIFO of bytes."""
         engine = Engine()
@@ -53,9 +46,9 @@ class TestCircularBufferProperties:
             assert cb.available == len(reference)
             assert cb.space == 256 - len(reference) - cb.reserved
 
-    @common
-    @given(offset=st.integers(0, 200), nbytes=st.integers(1, 56))
-    def test_offset_reads_never_move_pointers(self, offset, nbytes):
+    @given(read=shared.cb_offset_reads)
+    def test_offset_reads_never_move_pointers(self, read):
+        offset, nbytes = read
         engine = Engine()
         lm = LocalMemory(engine, MTIA_V1.local_memory)
         cb = CircularBuffer(engine, lm, 0, base=0, size=256)
@@ -68,9 +61,7 @@ class TestCircularBufferProperties:
 
 
 class TestCacheProperties:
-    @common
-    @given(addresses=st.lists(st.integers(0, 1 << 16), min_size=1,
-                              max_size=200))
+    @given(addresses=shared.cache_addresses)
     def test_stats_invariants(self, addresses):
         cache = SetAssociativeCache(4096, line_bytes=64, ways=4)
         for addr in addresses:
@@ -79,9 +70,7 @@ class TestCacheProperties:
         assert cache.stats.hits + cache.stats.misses == len(addresses)
         assert cache.resident_lines <= 4096 // 64
 
-    @common
-    @given(addresses=st.lists(st.integers(0, 1 << 14), min_size=1,
-                              max_size=100))
+    @given(addresses=shared.small_cache_addresses)
     def test_second_pass_of_small_set_hits(self, addresses):
         """Any working set smaller than capacity fully hits on re-walk."""
         unique_lines = {a // 64 for a in addresses}
@@ -96,11 +85,7 @@ class TestCacheProperties:
 
 
 class TestBackingStoreProperties:
-    @common
-    @given(writes=st.lists(
-        st.tuples(st.integers(0, 1 << 18),
-                  st.binary(min_size=1, max_size=300)),
-        min_size=1, max_size=30))
+    @given(writes=shared.backing_store_writes)
     def test_matches_flat_array_model(self, writes):
         store = SparseByteStore(1 << 19)
         model = np.zeros(1 << 19, dtype=np.uint8)
@@ -117,10 +102,7 @@ class TestBackingStoreProperties:
 
 
 class TestQuantisationProperties:
-    @common
-    @given(values=st.lists(st.floats(-1e3, 1e3, allow_nan=False),
-                           min_size=1, max_size=100),
-           scale=st.floats(1e-3, 10.0))
+    @given(values=shared.quant_values, scale=shared.quant_scales)
     def test_roundtrip_error_bounded_by_half_scale(self, values, scale):
         x = np.array(values, dtype=np.float32)
         q = dtypes.quantize(x, scale)
@@ -128,9 +110,7 @@ class TestQuantisationProperties:
         clipped = np.clip(x, -128 * scale, 127 * scale)
         assert np.max(np.abs(back - clipped)) <= scale / 2 + 1e-4
 
-    @common
-    @given(values=st.lists(st.floats(-100, 100, allow_nan=False),
-                           min_size=1, max_size=64))
+    @given(values=shared.bf16_values)
     def test_bf16_monotone_rounding(self, values):
         x = np.array(values, dtype=np.float32)
         rounded = dtypes.to_bf16(x)
@@ -141,14 +121,9 @@ class TestQuantisationProperties:
 
 
 class TestFCProperty:
-    @settings(max_examples=8, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
-    @given(
-        m=st.sampled_from([64, 128]),
-        k=st.sampled_from([32, 64, 96]),
-        n=st.sampled_from([64, 128]),
-        seed=st.integers(0, 2 ** 16),
-    )
+    @settings(max_examples=8)   # DES runs are expensive
+    @given(m=shared.fc_m, k=shared.fc_k, n=shared.fc_n,
+           seed=shared.seeds)
     def test_fc_always_bit_exact(self, m, k, n, seed):
         """Any tileable INT8 shape computes exactly."""
         from repro import Accelerator
@@ -163,8 +138,7 @@ class TestFCProperty:
 
 
 class TestEngineProperties:
-    @common
-    @given(delays=st.lists(st.integers(0, 1000), min_size=1, max_size=50))
+    @given(delays=shared.event_delays)
     def test_events_fire_in_nondecreasing_time_order(self, delays):
         engine = Engine()
         fired = []
@@ -175,9 +149,7 @@ class TestEngineProperties:
         assert times == sorted(times)
         assert sorted(d for _, d in fired) == sorted(delays)
 
-    @common
-    @given(amounts=st.lists(st.integers(1, 100), min_size=1, max_size=30),
-           rate=st.integers(1, 50))
+    @given(amounts=shared.resource_amounts, rate=shared.resource_rates)
     def test_resource_total_time_is_work_over_rate(self, amounts, rate):
         from repro.sim import Resource
         engine = Engine()

@@ -62,3 +62,27 @@ class TestMultiCardEstimate:
     def test_scaling_efficiency_below_one(self, hc_graph):
         est = estimate_multi_card(hc_graph, MACHINES["mtia"])
         assert 0.0 < est.scaling_efficiency < 1.0
+
+    def test_one_card_is_the_single_card_baseline(self):
+        """With everything resident on one card there is no gather and
+        no parallel speedup to dilute: efficiency is exactly 1."""
+        graph = build_dlrm_graph(MODEL_ZOO["LC2"], 64)
+        fuse_graph(graph)
+        est = estimate_multi_card(graph, MACHINES["mtia"])
+        assert est.cards == 1
+        assert est.scaling_efficiency == pytest.approx(1.0)
+        assert est.total_seconds == pytest.approx(
+            est.sparse_seconds + est.dense_seconds)
+
+    def test_scaling_efficiency_monotone_in_card_count(self, hc_graph):
+        """Splitting the same model over more cards only adds overhead
+        (gather traffic, idle dense cards), so efficiency must fall as
+        shrinking card memory forces the partitioner to fan out."""
+        estimates = [
+            estimate_multi_card(hc_graph, MACHINES["mtia"],
+                                card_capacity_bytes=cap * 10 ** 9)
+            for cap in (128, 64, 32, 16)]
+        cards = [e.cards for e in estimates]
+        assert cards == sorted(cards) and cards[0] < cards[-1]
+        efficiencies = [e.scaling_efficiency for e in estimates]
+        assert efficiencies == sorted(efficiencies, reverse=True)

@@ -1,0 +1,91 @@
+"""Capacity-planner edge cases: zero traffic and saturated SLAs."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.serving import BatchingConfig, plan_capacity
+from repro.serving.capacity import CapacityPlan, max_qps_per_card
+
+
+def linear_latency(batch):
+    """Synthetic latency model: 100us + 2us per sample (floor 102us)."""
+    return 100.0 + 2.0 * batch
+
+
+@dataclass
+class _StubMachine:
+    name: str = "stub"
+    provisioned_watts: float = 35.0
+
+
+class _StubLatencyModel:
+    """Replaces BatchLatencyModel so the planner tests stay fast."""
+
+    def __init__(self, model_config, machine):
+        pass
+
+    def __call__(self, batch):
+        return linear_latency(batch)
+
+
+@pytest.fixture
+def stub_planner(monkeypatch):
+    monkeypatch.setattr("repro.serving.capacity.BatchLatencyModel",
+                        _StubLatencyModel)
+    return {"stub": _StubMachine()}
+
+
+class TestMaxQpsPerCard:
+    def test_generous_sla_finds_positive_throughput(self):
+        qps, report = max_qps_per_card(linear_latency, sla_us=5000.0)
+        assert qps > 0
+        assert report.meets_sla(5000.0)
+
+    def test_sla_below_minimum_latency_saturates_to_zero(self):
+        # No batch completes under 102us, so a 50us SLA is infeasible
+        # at any load: the planner must report zero, not loop.
+        qps, report = max_qps_per_card(linear_latency, sla_us=50.0)
+        assert qps == 0.0
+        assert not report.meets_sla(50.0)
+
+    def test_looser_sla_never_reduces_throughput(self):
+        tight, _ = max_qps_per_card(linear_latency, sla_us=400.0)
+        loose, _ = max_qps_per_card(linear_latency, sla_us=4000.0)
+        assert loose >= tight > 0
+
+
+class TestPlanCapacity:
+    def test_zero_traffic_needs_at_most_one_card(self, stub_planner):
+        plans = plan_capacity(None, target_qps=0.0, sla_us=5000.0,
+                              machines=stub_planner)
+        plan = plans["stub"]
+        assert plan.cards == 1
+        assert plan.card_qps > 0
+        assert plan.total_watts == plan.provisioned_watts
+
+    def test_infeasible_sla_yields_empty_fleet(self, stub_planner):
+        plans = plan_capacity(None, target_qps=10_000.0, sla_us=50.0,
+                              machines=stub_planner)
+        plan = plans["stub"]
+        assert plan.card_qps == 0.0
+        assert plan.cards == 0
+        assert plan.total_watts == 0.0
+
+    def test_fleet_grows_with_target_qps(self, stub_planner):
+        small = plan_capacity(None, target_qps=1_000.0, sla_us=5000.0,
+                              machines=stub_planner)["stub"]
+        large = plan_capacity(None, target_qps=2_000_000.0, sla_us=5000.0,
+                              machines=stub_planner)["stub"]
+        assert large.cards > small.cards >= 1
+        # Both plans use the same per-card throughput; only the fleet
+        # size scales with traffic.
+        assert large.card_qps == pytest.approx(small.card_qps)
+
+
+def test_capacity_plan_derived_metrics():
+    plan = CapacityPlan(platform="p", cards=4, card_qps=700.0,
+                        provisioned_watts=35.0, sla_us=500.0,
+                        p99_us=450.0)
+    assert plan.total_watts == pytest.approx(140.0)
+    assert plan.qps_per_watt == pytest.approx(20.0)

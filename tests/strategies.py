@@ -1,0 +1,116 @@
+"""Shared hypothesis strategies for property and conformance suites.
+
+Extracted from ``tests/property/*`` so the same shape/dtype/CB
+vocabulary drives both the focused property tests and the differential
+conformance suite.  Keep strategies here *data-only* (no Accelerator
+construction) so importing this module stays cheap.
+"""
+
+from hypothesis import strategies as st
+
+# -- circular buffers --------------------------------------------------------
+
+#: push/pop command streams against a 256-byte CB.
+cb_op_lists = st.lists(
+    st.tuples(st.sampled_from(["push", "pop"]),
+              st.integers(min_value=1, max_value=64)),
+    max_size=60)
+
+#: (offset, nbytes) pairs for non-destructive CB reads.
+cb_offset_reads = st.tuples(st.integers(0, 200), st.integers(1, 56))
+
+# -- memory hierarchy --------------------------------------------------------
+
+#: address streams for cache-stats invariants.
+cache_addresses = st.lists(st.integers(0, 1 << 16), min_size=1,
+                           max_size=200)
+
+#: address streams small enough to re-walk fully from a warm cache.
+small_cache_addresses = st.lists(st.integers(0, 1 << 14), min_size=1,
+                                 max_size=100)
+
+#: (addr, blob) writes against a 512-KiB sparse backing store.
+backing_store_writes = st.lists(
+    st.tuples(st.integers(0, 1 << 18),
+              st.binary(min_size=1, max_size=300)),
+    min_size=1, max_size=30)
+
+# -- dtypes / quantisation ---------------------------------------------------
+
+#: float payloads plus an INT8 quantisation scale.
+quant_values = st.lists(st.floats(-1e3, 1e3, allow_nan=False),
+                        min_size=1, max_size=100)
+quant_scales = st.floats(1e-3, 10.0)
+
+#: float payloads inside bf16's comfortable range.
+bf16_values = st.lists(st.floats(-100, 100, allow_nan=False),
+                       min_size=1, max_size=64)
+
+# -- kernels -----------------------------------------------------------------
+
+#: FC shapes that tile onto a single PE (TILE_MN=64, TILE_K=32).
+fc_m = st.sampled_from([64, 128])
+fc_k = st.sampled_from([32, 64, 96])
+fc_n = st.sampled_from([64, 128])
+
+#: seeds for operand generation — also the conformance fuzzer's domain.
+seeds = st.integers(0, 2 ** 16)
+
+#: wider seed space for the graph fuzzer (any uint32 works).
+fuzz_seeds = st.integers(0, 2 ** 32 - 1)
+
+# -- firmware allocator ------------------------------------------------------
+
+#: alloc/free request streams for the sub-grid allocator.
+allocator_requests = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(1, 8), st.integers(1, 8)),
+        st.tuples(st.just("free"), st.integers(0, 30), st.integers(0, 0)),
+    ),
+    max_size=40)
+
+allocator_clusters = st.sampled_from([1, 2, 4])
+
+# -- engine ------------------------------------------------------------------
+
+event_delays = st.lists(st.integers(0, 1000), min_size=1, max_size=50)
+resource_amounts = st.lists(st.integers(1, 100), min_size=1, max_size=30)
+resource_rates = st.integers(1, 50)
+
+# -- KNYFE pipelines ---------------------------------------------------------
+
+_FP32_STAGES = ["quantize", "tanh", "relu", "sigmoid", "binary"]
+
+
+@st.composite
+def knyfe_pipelines(draw):
+    """A random, type-correct KNYFE stage sequence starting from a load.
+
+    Returns ``(load_dtype, stages)``; ``dequantize`` is forced whenever
+    the running dtype is INT8, mirroring the SE's type rules.
+    """
+    start_int8 = draw(st.booleans())
+    dtype = "int8" if start_int8 else "fp32"
+    stages = []
+    for _ in range(draw(st.integers(1, 4))):
+        if dtype == "int8":
+            stage = "dequantize"
+            dtype = "fp32"
+        else:
+            stage = draw(st.sampled_from(_FP32_STAGES))
+            if stage == "quantize":
+                dtype = "int8"
+        stages.append(stage)
+    return ("int8" if start_int8 else "fp32"), stages
+
+
+# -- conformance -------------------------------------------------------------
+
+#: op-family subsets for the graph fuzzer; "fc" is always included so
+#: every generated graph has at least one dense operator to fuse into.
+@st.composite
+def fuzzer_op_subsets(draw):
+    from repro.conformance.fuzzer import OP_FAMILIES
+    extras = draw(st.sets(st.sampled_from(
+        [f for f in OP_FAMILIES if f != "fc"])))
+    return tuple(["fc"] + sorted(extras))
