@@ -1,0 +1,214 @@
+"""``python -m repro.bench`` — the repo's perf-trajectory benchmark.
+
+Runs the canonical FC / TBE / DLRM quickstart workloads and emits a
+schema-stable ``BENCH_<label>.json`` so the performance trajectory of
+the reproduction is tracked from PR to PR::
+
+    python -m repro.bench                       # writes BENCH_pr3.json
+    python -m repro.bench --label nightly -o out/
+    python -m repro.bench --compare BENCH_pr3.json   # soft regression check
+
+Every workload records the same four headline numbers (``latency_us``,
+``achieved_tflops``, ``sim_cycles``, ``wall_time_s``; inapplicable ones
+are 0) plus workload-specific ``extras``.  ``--compare`` diffs the
+current run against a baseline file and reports per-metric regressions;
+it only fails the process when ``--strict`` is given and a simulated
+metric regresses beyond the threshold (wall-time is reported but never
+enforced — CI machines are noisy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+SCHEMA_VERSION = 1
+DEFAULT_LABEL = "pr3"   # bump per PR; the trajectory lives in git
+
+#: Metrics where *bigger* is better (regressions are decreases).
+_HIGHER_IS_BETTER = {"achieved_tflops"}
+#: Metrics compared against the soft threshold; wall_time_s is
+#: excluded (host noise), extras are informational.
+_COMPARED = ("latency_us", "achieved_tflops", "sim_cycles")
+
+
+def _bench_fc() -> Dict:
+    """The Figure 7 FC mapping on the cycle-level simulator."""
+    from repro.core.accelerator import Accelerator
+    from repro.kernels.fc import run_fc
+
+    acc = Accelerator()
+    t0 = time.perf_counter()
+    result = run_fc(acc, m=512, k=1024, n=256, dtype="int8",
+                    subgrid=acc.subgrid((0, 0), 4, 4), k_split=2)
+    wall = time.perf_counter() - t0
+    tops = result.tops(acc.config.frequency_ghz)
+    return {
+        "latency_us": result.cycles / (acc.config.frequency_ghz * 1e3),
+        "achieved_tflops": tops,
+        "sim_cycles": float(result.cycles),
+        "wall_time_s": wall,
+        "extras": {"m": 512, "k": 1024, "n": 256, "dtype": "int8"},
+    }
+
+
+def _bench_tbe() -> Dict:
+    """The Figure 12 TBE gather (production-kernel pipelining)."""
+    from repro.core.accelerator import Accelerator
+    from repro.kernels.tbe import TBEConfig, run_tbe
+
+    acc = Accelerator()
+    config = TBEConfig(num_tables=8, rows_per_table=100_000,
+                       embedding_dim=64, pooling_factor=16, batch_size=32)
+    t0 = time.perf_counter()
+    result = run_tbe(acc, config, prefetch_rows=1)
+    wall = time.perf_counter() - t0
+    gather_gbs = result.gbs(acc.config.frequency_ghz)
+    peak_gbs = (acc.config.dram.bytes_per_cycle(acc.config.frequency_ghz)
+                * acc.config.frequency_ghz)
+    return {
+        "latency_us": result.cycles / (acc.config.frequency_ghz * 1e3),
+        "achieved_tflops": 0.0,
+        "sim_cycles": float(result.cycles),
+        "wall_time_s": wall,
+        "extras": {"gather_gbs": gather_gbs,
+                   "gather_percent_of_dram_bw":
+                       100.0 * gather_gbs / peak_gbs},
+    }
+
+
+def _bench_dlrm() -> Dict:
+    """LC2 quickstart through the compiled-graph analytical path."""
+    from repro.eval.machines import MACHINES
+    from repro.eval.opmodel import estimate_graph
+    from repro.models.configs import MODEL_ZOO
+    from repro.models.dlrm import build_dlrm_graph, model_flops
+    from repro.runtime.executor import GraphExecutor
+
+    batch = 64
+    machine = MACHINES["mtia"]
+    t0 = time.perf_counter()
+    graph = build_dlrm_graph(MODEL_ZOO["LC2"], batch)
+    executor = GraphExecutor(machine, mode="graph")
+    placement = executor.compile(graph)
+    estimate = estimate_graph(machine, graph, placement)
+    wall = time.perf_counter() - t0
+    seconds = estimate.total_seconds
+    flops = model_flops(MODEL_ZOO["LC2"]) * batch
+    return {
+        "latency_us": seconds * 1e6,
+        "achieved_tflops": flops / seconds / 1e12 if seconds else 0.0,
+        "sim_cycles": 0.0,
+        "wall_time_s": wall,
+        "extras": {"model": "LC2", "batch": batch,
+                   "ops": len(estimate.estimates)},
+    }
+
+
+BENCHES = {"fc": _bench_fc, "tbe": _bench_tbe, "dlrm": _bench_dlrm}
+
+
+def run_bench(label: str = DEFAULT_LABEL,
+              workloads: Optional[List[str]] = None) -> Dict:
+    """Run the benchmark suite; returns the BENCH_* payload."""
+    names = workloads or sorted(BENCHES)
+    payload: Dict = {
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "created_unix": time.time(),
+        "workloads": {},
+    }
+    for name in names:
+        if name not in BENCHES:
+            known = ", ".join(sorted(BENCHES))
+            raise SystemExit(f"unknown bench workload {name!r}; "
+                             f"choose from {known}")
+        payload["workloads"][name] = BENCHES[name]()
+    return payload
+
+
+def compare(current: Dict, baseline: Dict,
+            threshold: float = 0.10) -> List[str]:
+    """Regressions of ``current`` vs ``baseline`` beyond ``threshold``.
+
+    Returns human-readable regression lines (empty = within budget).
+    Simulated metrics only; a missing baseline workload/metric is noted
+    but not a regression (new workloads are allowed to appear).
+    """
+    regressions: List[str] = []
+    for name, cur in sorted(current.get("workloads", {}).items()):
+        base = baseline.get("workloads", {}).get(name)
+        if base is None:
+            continue
+        for metric in _COMPARED:
+            b, c = base.get(metric), cur.get(metric)
+            if not b or c is None:
+                continue
+            change = (c - b) / b
+            worse = (-change if metric in _HIGHER_IS_BETTER else change)
+            if worse > threshold:
+                direction = ("dropped" if metric in _HIGHER_IS_BETTER
+                             else "grew")
+                regressions.append(
+                    f"{name}.{metric} {direction} {100 * abs(change):.1f}% "
+                    f"({b:g} -> {c:g}, threshold "
+                    f"{100 * threshold:.0f}%)")
+    return regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the perf-trajectory benchmark suite.")
+    parser.add_argument("workloads", nargs="*",
+                        help="subset of workloads (default: all of %s)"
+                        % "/".join(sorted(BENCHES)))
+    parser.add_argument("--label", default=DEFAULT_LABEL,
+                        help="trajectory label; output file is "
+                        "BENCH_<label>.json (default %(default)s)")
+    parser.add_argument("--output-dir", "-o", default=".",
+                        help="directory for BENCH_<label>.json")
+    parser.add_argument("--compare", default=None, metavar="BASELINE",
+                        help="baseline BENCH_*.json to diff against")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="soft regression threshold (default 10%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on regressions beyond the "
+                        "threshold (default: report only)")
+    args = parser.parse_args(argv)
+
+    payload = run_bench(args.label, args.workloads or None)
+    path = os.path.join(args.output_dir, f"BENCH_{args.label}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, result in sorted(payload["workloads"].items()):
+        print(f"{name:<6} latency {result['latency_us']:10.1f} us  "
+              f"tflops {result['achieved_tflops']:6.2f}  "
+              f"cycles {result['sim_cycles']:12.0f}  "
+              f"wall {result['wall_time_s']:.2f} s")
+    print(f"wrote {path}")
+
+    if args.compare:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        regressions = compare(payload, baseline, args.threshold)
+        if regressions:
+            print(f"perf regressions vs {args.compare} "
+                  f"(soft threshold {100 * args.threshold:.0f}%):")
+            for line in regressions:
+                print(f"  {line}")
+            if args.strict:
+                return 1
+        else:
+            print(f"no regressions vs {args.compare} beyond "
+                  f"{100 * args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,11 @@ Two invariants every future perf PR must preserve:
 * **Hooks are no-ops** — enabling tracing and stall attribution
   (``Accelerator(observe=True, trace=True)``) must not change a single
   cycle or output bit (the PR-1 observability contract: telemetry
-  observes the machine, it never steers it).
+  observes the machine, it never steers it).  The same contract covers
+  the request-level :class:`~repro.obs.spans.SpanTracer`: attaching an
+  enabled tracer to the serving simulator or the graph executor must
+  leave latencies, modelled seconds, and outputs bit-identical, and a
+  *disabled* tracer must record nothing at all.
 """
 
 from __future__ import annotations
@@ -92,14 +96,20 @@ def check_sim_determinism(seed: int) -> DeterminismResult:
 
 def check_graph_determinism(seed: int,
                             fuzz_config=None) -> DeterminismResult:
-    """Replay one fuzzed graph through the GraphExecutor twice."""
+    """Replay one fuzzed graph through the GraphExecutor twice.
+
+    A third run attaches an *enabled* span tracer: per-op span
+    recording must not change the modelled seconds or any output bit
+    (the hooks-are-no-ops contract, extended to spans).
+    """
     from repro.conformance.fuzzer import fuzz_graph
+    from repro.obs.spans import SpanTracer
     from repro.runtime.executor import GraphExecutor
 
     case = fuzz_graph(seed, fuzz_config)
 
-    def once():
-        executor = GraphExecutor(mode="graph")
+    def once(spans=None):
+        executor = GraphExecutor(mode="graph", spans=spans)
         return executor.run(case.graph.copy(), case.feeds, case.weights)
 
     out_a, report_a = once()
@@ -117,4 +127,69 @@ def check_graph_determinism(seed: int,
             if not np.array_equal(out_a[name], out_b[name]):
                 res.violations.append(f"output {name!r} differs between "
                                       "replays")
+
+    spans = SpanTracer(enabled=True)
+    out_s, report_s = once(spans=spans)
+    if report_s.seconds != report_a.seconds:
+        res.violations.append(
+            "enabling span tracing changed modelled seconds: "
+            f"{report_a.seconds} plain vs {report_s.seconds} traced")
+    for name in out_a:
+        if name in out_s and not np.array_equal(out_s[name], out_a[name]):
+            res.violations.append(
+                f"enabling span tracing changed output {name!r}")
+    if not spans.spans:
+        res.violations.append("enabled span tracer recorded nothing")
+    return res
+
+
+def check_serving_determinism(seed: int) -> DeterminismResult:
+    """Replay one serving simulation; spans/metrics must be no-ops.
+
+    Three invariants: (a) the same seed replays bit-identically, (b)
+    attaching an enabled SpanTracer + registry leaves every latency and
+    phase attribution bit-identical, (c) a *disabled* SpanTracer
+    records nothing.
+    """
+    from repro.obs.metrics import MetricRegistry
+    from repro.obs.spans import SpanTracer
+    from repro.serving.simulator import BatchingConfig, simulate_serving
+
+    rng = np.random.default_rng(seed)
+    qps = float(rng.uniform(2_000, 200_000))
+    base = float(rng.uniform(50, 300))
+    slope = float(rng.uniform(0.5, 5.0))
+    batching = BatchingConfig(max_batch=int(rng.choice([16, 64, 256])),
+                              max_wait_us=float(rng.uniform(50, 400)))
+
+    def latency_model(batch: int) -> float:
+        return base + slope * batch
+
+    def once(spans=None, registry=None):
+        return simulate_serving(latency_model, qps, batching,
+                                num_requests=400, seed=seed,
+                                registry=registry, spans=spans)
+
+    res = DeterminismResult(seed=seed, kind="serving")
+    plain_a = once()
+    plain_b = once()
+    res.cycles = float(plain_a.latencies_us.sum())
+    if not np.array_equal(plain_a.latencies_us, plain_b.latencies_us):
+        res.violations.append("serving replay latencies differ")
+
+    disabled = SpanTracer(enabled=False)
+    observed = once(spans=SpanTracer(enabled=True),
+                    registry=MetricRegistry())
+    for field_name in ("latencies_us", "queue_wait_us", "batch_wait_us",
+                       "execute_us"):
+        if not np.array_equal(getattr(observed, field_name),
+                              getattr(plain_a, field_name)):
+            res.violations.append(
+                f"enabling spans/metrics changed {field_name}")
+    off = once(spans=disabled)
+    if disabled.spans:
+        res.violations.append(
+            f"disabled span tracer recorded {len(disabled.spans)} spans")
+    if not np.array_equal(off.latencies_us, plain_a.latencies_us):
+        res.violations.append("disabled span tracer changed latencies")
     return res

@@ -19,6 +19,7 @@ from repro.conformance.crossval import (CrossvalBand, crossval_fc,
                                         crossval_tbe, fuzz_fc_shape,
                                         fuzz_tbe_shape)
 from repro.conformance.determinism import (check_graph_determinism,
+                                           check_serving_determinism,
                                            check_sim_determinism)
 from repro.conformance.fuzzer import OP_FAMILIES, FuzzConfig, fuzz_graph
 from repro.conformance.golden import (TolerancePolicy, compare_outputs,
@@ -163,14 +164,16 @@ def run_golden_case(seed: int, config: ConformanceConfig) -> CaseResult:
 
 def run_determinism_case(seed: int,
                          config: ConformanceConfig) -> CaseResult:
-    """Replay the same seed at both the sim and the executor level."""
+    """Replay one seed at the sim, executor, and serving levels."""
     sim = check_sim_determinism(seed)
     graph = check_graph_determinism(seed, FuzzConfig(ops=config.ops))
-    violations = sim.violations + graph.violations
+    serving = check_serving_determinism(seed)
+    violations = sim.violations + graph.violations + serving.violations
     status = "ok" if not violations else "violation"
     return CaseResult(seed=seed, pillar="determinism", status=status,
                       details={"sim": sim.to_dict(),
-                               "graph": graph.to_dict()})
+                               "graph": graph.to_dict(),
+                               "serving": serving.to_dict()})
 
 
 def run_crossval_case(seed: int, index: int,

@@ -10,6 +10,9 @@ Three layers, all opt-in and free when disabled:
 - :mod:`repro.obs.profiler` — wraps one simulated run and emits a
   bottleneck report: per-track compute/memory/stall split, achieved vs
   roofline bandwidth, top-N slowest tracks.
+- :mod:`repro.obs.spans` — hierarchical request-level span tracer with
+  context propagation and Chrome-trace flow events, linking serving
+  requests down to cycle-level unit activity on one merged timeline.
 """
 
 from repro.obs.metrics import (
@@ -32,8 +35,12 @@ from repro.obs.profiler import (
     Profiler,
     TrackProfile,
 )
+from repro.obs.spans import ObsSpan, SpanTracer, merge_chrome_traces
 
 __all__ = [
+    "ObsSpan",
+    "SpanTracer",
+    "merge_chrome_traces",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",

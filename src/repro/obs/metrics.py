@@ -112,6 +112,27 @@ class Histogram:
                 self.bucket_counts[i] += 1
                 break
 
+    def observe_many(self, values) -> None:
+        """Bulk :meth:`observe` — one vectorised pass over ``values``.
+
+        Equivalent to ``for v in values: self.observe(v)`` but O(n log b)
+        with numpy instead of O(n·b) Python-loop work; the serving
+        simulator records thousands of request latencies per run, and
+        the per-sample loop dominated metrics-on runs.
+        """
+        import numpy as np  # local: keep module import dependency-free
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size == 0:
+            return
+        self.samples.extend(arr.tolist())
+        self.sum += float(arr.sum())
+        # observe() puts v in the first bucket with v <= bound, i.e. the
+        # left insertion point into the sorted bound list.
+        idx = np.searchsorted(np.asarray(self.buckets), arr, side="left")
+        for i, n in enumerate(np.bincount(idx, minlength=len(self.buckets))):
+            if n:
+                self.bucket_counts[i] += int(n)
+
     @property
     def count(self) -> int:
         return len(self.samples)

@@ -101,6 +101,12 @@ class Observer:
             return
         self.registry.histogram(name).labels(**labels).observe(value)
 
+    def observe_many(self, name: str, values, **labels) -> None:
+        """Bulk histogram recording (vectorised; see observe_many)."""
+        if not self.enabled:
+            return
+        self.registry.histogram(name).labels(**labels).observe_many(values)
+
     # -- queries ----------------------------------------------------------
     def stalls_by_cause(self) -> Dict[str, float]:
         """Grid-wide roll-up: total stall cycles per cause."""

@@ -197,6 +197,19 @@ class BottleneckReport:
                 return bw
         return None
 
+    def stall_fractions(self) -> Dict[str, float]:
+        """Stall-cause mix normalised to fractions of all stall cycles.
+
+        The unit the differential tail-attribution report compares: a
+        tail-exemplar batch and a median-exemplar batch rarely stall
+        the same *way*, even when both stall a lot.
+        """
+        total = sum(self.stalls_by_cause.values())
+        if total <= 0:
+            return {}
+        return {cause: cycles / total
+                for cause, cycles in self.stalls_by_cause.items()}
+
     def attribution_residual(self) -> float:
         """Largest per-track |elapsed - (busy + stalls + idle)|.
 

@@ -1,0 +1,241 @@
+"""Hierarchical request-level span tracing with context propagation.
+
+The cycle-level :class:`~repro.sim.trace.Tracer` answers "what was unit
+X doing at cycle C"; this module answers the *serving-side* question —
+"why did request 1234 land at p99?" — by recording a hierarchy of
+microsecond-domain spans::
+
+    request 1234                      (track ``request.1234``)
+      ├─ batch_wait                   waiting for the batch to form
+      ├─ queue_wait                   batch formed, device still busy
+      └─ execute        ──flow──▶  batch 17       (track ``serving.device``)
+                                     └─ graph_execute ── per-op spans
+                                         └──flow──▶ pe0.dpe MML ...  (sim cycles)
+
+Every span carries an id and a parent id, so exports preserve the tree;
+``flow`` ids create Chrome-trace flow arrows *across* trackers — a
+request span can point at its batch's spans, and a batch span at the
+cycle-level spans a :class:`~repro.sim.trace.Tracer` recorded for it
+(see :func:`merge_chrome_traces`).
+
+Contract (shared with the metrics registry and stall hooks, and checked
+by the conformance determinism pillar): a disabled ``SpanTracer`` is a
+strict no-op — it records nothing, allocates nothing per call, and
+never perturbs the instrumented computation.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class ObsSpan:
+    """One microsecond-domain span in the request hierarchy."""
+
+    span_id: int
+    parent_id: Optional[int]
+    track: str                 #: trace row (Chrome ``tid``)
+    name: str
+    start_us: float
+    end_us: float
+    args: Dict[str, object] = field(default_factory=dict)
+    pid: str = ""              #: process row; defaults from the track
+    flow_out: Tuple[int, ...] = ()   #: flow ids departing this span
+    flow_in: Tuple[int, ...] = ()    #: flow ids arriving at this span
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+class SpanTracer:
+    """Collects :class:`ObsSpan` trees; exports Chrome trace JSON.
+
+    Two recording styles, both usable with *virtual* (simulated) time:
+
+    * :meth:`add` — record a finished span retroactively with explicit
+      start/end; the parent is whatever span is currently open.
+    * :meth:`span` — context manager opening a span (explicit times,
+      since simulations know them up front) so children recorded inside
+      the ``with`` body attach to it automatically.
+
+    ``new_flow()`` allocates ids for Chrome flow arrows; mark the source
+    span's ``flow_out`` and the destination's ``flow_in`` (destinations
+    may live on a :class:`~repro.sim.trace.Tracer` instead — its export
+    understands the same ids).
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.spans: List[ObsSpan] = []
+        self._stack: List[ObsSpan] = []
+        self._next_id = 1
+        self._next_flow = 1
+
+    # -- recording ---------------------------------------------------------
+    @property
+    def current(self) -> Optional[ObsSpan]:
+        """The innermost open span (context-propagation parent)."""
+        return self._stack[-1] if self._stack else None
+
+    def add(self, track: str, name: str, start_us: float, end_us: float,
+            pid: str = "", parent: Optional[ObsSpan] = None,
+            flow_in: Tuple[int, ...] = (), flow_out: Tuple[int, ...] = (),
+            **args) -> Optional[ObsSpan]:
+        """Record one finished span under the current (or given) parent."""
+        if not self.enabled:
+            return None
+        if end_us < start_us:
+            raise ValueError(f"span {name!r} ends before it starts")
+        if parent is None:
+            parent = self.current
+        span = ObsSpan(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            track=track, name=name, start_us=start_us, end_us=end_us,
+            args=dict(args), pid=pid, flow_in=tuple(flow_in),
+            flow_out=tuple(flow_out))
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, track: str, name: str, start_us: float, end_us: float,
+             pid: str = "", **args) -> Iterator[Optional[ObsSpan]]:
+        """Open a span so children recorded inside attach to it."""
+        span = self.add(track, name, start_us, end_us, pid=pid, **args)
+        if span is None:
+            yield None
+            return
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def attach(self, span: Optional[ObsSpan]) -> Iterator[Optional[ObsSpan]]:
+        """Re-enter an already-recorded span as the propagation context.
+
+        Lets a pipeline record children under a span created earlier
+        (e.g. per-op spans under a batch recorded by the serving
+        simulator).
+        """
+        if not self.enabled or span is None:
+            yield span
+            return
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+
+    def new_flow(self) -> int:
+        """Allocate a flow id (unique within this tracer's exports)."""
+        fid = self._next_flow
+        self._next_flow += 1
+        return fid
+
+    def link(self, src: Optional[ObsSpan],
+             dst: Optional[ObsSpan] = None) -> Optional[int]:
+        """Record a flow arrow ``src -> dst``; returns the flow id.
+
+        ``dst`` may be omitted when the destination lives on another
+        tracker — mark it there with the returned id.
+        """
+        if not self.enabled or src is None:
+            return None
+        fid = self.new_flow()
+        src.flow_out = src.flow_out + (fid,)
+        if dst is not None:
+            dst.flow_in = dst.flow_in + (fid,)
+        return fid
+
+    # -- queries -----------------------------------------------------------
+    def tracks(self) -> List[str]:
+        return sorted({s.track for s in self.spans})
+
+    def spans_on(self, track: str) -> List[ObsSpan]:
+        return sorted((s for s in self.spans if s.track == track),
+                      key=lambda s: s.start_us)
+
+    def children_of(self, span: ObsSpan) -> List[ObsSpan]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def find(self, name: str) -> List[ObsSpan]:
+        return [s for s in self.spans if s.name == name]
+
+    # -- export ------------------------------------------------------------
+    def to_chrome_trace(self) -> dict:
+        """Chrome trace-event JSON; timestamps already in microseconds.
+
+        Span trees become ``X`` events (ids in ``args``); flow ids
+        become ``s``/``f`` flow-event pairs under category ``flow`` —
+        the same category :meth:`Tracer.to_chrome_trace` uses, so
+        arrows survive :func:`merge_chrome_traces`.
+        """
+        events: List[dict] = []
+        pids: Dict[str, int] = {}
+        for span in self.spans:
+            key = span.pid or span.track.split(".")[0]
+            pid = pids.setdefault(key, len(pids))
+            args = dict(span.args)
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            events.append({
+                "name": span.name,
+                "cat": span.track.split(".")[-1],
+                "ph": "X",
+                "ts": span.start_us,
+                "dur": max(span.duration_us, 1e-3),
+                "pid": pid,
+                "tid": span.track,
+                "args": args,
+            })
+            for fid in span.flow_out:
+                events.append({"name": "flow", "cat": "flow", "ph": "s",
+                               "id": fid, "ts": max(span.start_us,
+                                                    span.end_us - 1e-3),
+                               "pid": pid, "tid": span.track})
+            for fid in span.flow_in:
+                events.append({"name": "flow", "cat": "flow", "ph": "f",
+                               "bp": "e", "id": fid, "ts": span.start_us,
+                               "pid": pid, "tid": span.track})
+        for name, pid in sorted(pids.items(), key=lambda kv: kv[1]):
+            events.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "args": {"name": name}})
+        return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh)
+
+
+def merge_chrome_traces(*traces: dict) -> dict:
+    """Merge Chrome trace dicts onto one timeline.
+
+    Each input keeps its own process rows: pids are renumbered into one
+    namespace (``process_name`` metadata preserved), events are
+    concatenated.  Timestamps are *not* shifted — align them at export
+    time (:meth:`Tracer.to_chrome_trace` takes ``ts_offset_us``).  Flow
+    ids must already be unique across inputs; allocate them all from
+    one :class:`SpanTracer` (``new_flow``).
+    """
+    events: List[dict] = []
+    next_pid = 0
+    for trace in traces:
+        remap: Dict[int, int] = {}
+        for event in trace.get("traceEvents", ()):
+            event = dict(event)
+            old = event.get("pid", 0)
+            if old not in remap:
+                remap[old] = next_pid
+                next_pid += 1
+            event["pid"] = remap[old]
+            events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ns"}

@@ -136,6 +136,30 @@ def report_fig14() -> None:
           f"vs NNPI {nnpi:.2f} (paper ~1.6)")
 
 
+def report_serving() -> None:
+    """Request-level serving view: phase breakdown, SLO burn, tail."""
+    from repro.serve_report import run_serve_report
+    _header("Serving — request breakdown, SLO burn, tail attribution "
+            "(LC2 quickstart; full view: python -m repro.serve_report)")
+    report, _ = run_serve_report("quickstart", num_requests=1500,
+                                 exemplars=False)
+    s = report.serving
+    print(f"  p50 {s.percentile(50):7.1f} us   p95 "
+          f"{s.percentile(95):7.1f} us   p99 {s.percentile(99):7.1f} us  "
+          f"(SLA {report.sla_us:g} us)")
+    breakdown = s.breakdown_means()
+    print("  mean request: "
+          + "  ".join(f"{phase} {breakdown[phase]:.0f} us"
+                      for phase in ("queue_wait", "batch_wait", "execute")))
+    print(f"  SLO: {report.slo.violations}/{report.slo.total} violations, "
+          f"error-budget burn {report.slo.burn_rate:.2f}")
+    tail = report.tail
+    for phase in ("queue_wait", "batch_wait", "execute"):
+        t, m = tail.phase_us["tail"][phase], tail.phase_us["median"][phase]
+        print(f"  tail-vs-median {phase:<11} {t:7.1f} vs {m:7.1f} us "
+              f"({t - m:+.1f})")
+
+
 def report_bounds() -> None:
     """Roofline classification: where each model's time goes on MTIA."""
     from repro.eval.machines import MACHINES
@@ -165,6 +189,7 @@ SECTIONS = {
     "fig1": report_fig1, "fig2": report_fig2, "fig10": report_fig10,
     "fig11": report_fig11, "fig12": report_fig12, "fig13": report_fig13,
     "fig14": report_fig14, "bounds": report_bounds,
+    "serving": report_serving,
 }
 
 

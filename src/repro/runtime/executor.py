@@ -53,7 +53,7 @@ class GraphExecutor:
     """Runs IR graphs functionally and reports modelled timing."""
 
     def __init__(self, machine=None, mode: str = "graph",
-                 registry=None) -> None:
+                 registry=None, spans=None) -> None:
         from repro.eval.machines import MTIA_MACHINE  # late import (cycle)
         if mode not in ("eager", "graph"):
             raise ValueError(f"unknown execution mode {mode!r}")
@@ -62,6 +62,10 @@ class GraphExecutor:
         #: optional repro.obs MetricRegistry; per-op timing spans land
         #: here (falls back to the opt-in process default registry)
         self.registry = registry
+        #: optional repro.obs.spans.SpanTracer; each run() records a
+        #: graph_execute span with per-op children, attached under
+        #: whatever span is currently open (a serving batch span, say)
+        self.spans = spans
 
     def compile(self, graph):
         """Run the compiler pipeline in graph mode; returns placement."""
@@ -119,6 +123,7 @@ class GraphExecutor:
             category_seconds=estimate.category_seconds(),
             placement=placement)
         self._record_metrics(estimate)
+        self._record_spans(estimate)
         outputs = {name: values[name] for name in graph.outputs}
         return outputs, report
 
@@ -140,3 +145,38 @@ class GraphExecutor:
             op_seconds.labels(op=op.name, category=op.category,
                               bound=op.bound).inc(op.seconds)
             op_us.labels(category=op.category).observe(op.seconds * 1e6)
+
+    def _record_spans(self, estimate) -> None:
+        """Emit the graph-execution span tree, if a tracer is attached."""
+        if self.spans is None or not self.spans.enabled:
+            return
+        parent = self.spans.current
+        base = parent.start_us if parent is not None else 0.0
+        record_graph_spans(self.spans, estimate, base_us=base,
+                           pid=parent.pid if parent is not None else "")
+
+
+def record_graph_spans(spans, estimate, base_us: float = 0.0,
+                       pid: str = "") -> Optional["object"]:
+    """Record a modelled graph execution as a span tree at ``base_us``.
+
+    One ``graph_execute`` span covering the whole estimate, with one
+    child span per operator laid out sequentially (the analytical model
+    is serial: total = sum of per-op seconds).  Returns the root span
+    (or ``None`` when tracing is disabled).  Shared by
+    :class:`GraphExecutor` and ``python -m repro.serve_report``, which
+    replays cached per-batch estimates into serving batch windows.
+    """
+    if spans is None or not spans.enabled:
+        return None
+    total_us = estimate.total_seconds * 1e6
+    with spans.span("executor.graph", "graph_execute", base_us,
+                    base_us + total_us, pid=pid,
+                    ops=len(estimate.estimates)) as root:
+        t = base_us
+        for op in estimate.estimates:
+            op_us = op.seconds * 1e6
+            spans.add("executor.ops", op.name, t, t + op_us, pid=pid,
+                      category=op.category, bound=op.bound)
+            t += op_us
+    return root

@@ -1,0 +1,330 @@
+"""``python -m repro.serve_report`` — request-level serving observability.
+
+Runs one serving workload (a DLRM from the model zoo behind the
+batching front end) and answers the question the aggregate percentiles
+cannot: *why did the p99 request land at p99?*  The report contains
+
+* the per-request queue-wait / batch-formation-wait / execute breakdown
+  (each request's latency attributed exactly);
+* queue-depth and batch-occupancy time series;
+* an SLO monitor: rolling p50/p95/p99 windows and error-budget burn
+  against the SLA;
+* a **differential tail attribution**: the phase, operator-category and
+  stall-cause mix of tail (≥ p99) requests contrasted with median
+  requests, with a tail-exemplar and a median-exemplar batch profiled
+  on the cycle-level simulator.
+
+Usage::
+
+    python -m repro.serve_report                      # quickstart, text
+    python -m repro.serve_report quickstart --json    # machine-readable
+    python -m repro.serve_report lc2 --qps 40000 --sla-us 1500
+    python -m repro.serve_report quickstart --chrome -o serve.trace.json
+
+``--chrome`` writes one merged Perfetto/Chrome trace: request
+waterfalls flow-link to their batch's device span, the batch span to
+its modelled per-op execution, and the exemplar batches to real
+cycle-level DPE/NoC/DRAM spans from the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.serving.simulator import (BatchingConfig, BatchLatencyModel,
+                                     ServingReport, simulate_serving)
+from repro.serving.slo import SLOSummary, slo_from_report
+from repro.serving.tail import TailAttribution, attribute_tail
+
+SCHEMA_VERSION = 1
+
+#: Named serving workloads: model-zoo entry + default operating point.
+WORKLOADS: Dict[str, Dict] = {
+    # Small FC-dominated model at moderate load — fast enough for CI.
+    "quickstart": {"model": "LC2", "qps": 10_000.0, "sla_us": 2_000.0,
+                   "num_requests": 4000},
+    "lc2": {"model": "LC2", "qps": 50_000.0, "sla_us": 2_000.0,
+            "num_requests": 6000},
+    "mc1": {"model": "MC1", "qps": 2_000.0, "sla_us": 10_000.0,
+            "num_requests": 3000},
+}
+
+
+@dataclass
+class ServeReport:
+    """Everything one serving-observability run produced."""
+
+    workload: str
+    model: str
+    machine: str
+    qps: float
+    sla_us: float
+    num_requests: int
+    seed: int
+    batching: BatchingConfig
+    serving: ServingReport
+    slo: SLOSummary
+    tail: TailAttribution
+    max_request_rows: int = 100
+
+    def to_dict(self) -> Dict:
+        max_batch = self.batching.max_batch
+        rows = self.serving.request_rows(
+            self.max_request_rows if self.max_request_rows > 0 else None)
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "workload": self.workload,
+            "model": self.model,
+            "machine": self.machine,
+            "qps": self.qps,
+            "sla_us": self.sla_us,
+            "num_requests": self.num_requests,
+            "seed": self.seed,
+            "batching": {"max_batch": max_batch,
+                         "max_wait_us": self.batching.max_wait_us},
+            "throughput": {
+                "qps_offered": self.serving.qps_offered,
+                "qps_served": self.serving.qps_served,
+                "busy_fraction": self.serving.busy_fraction,
+                "mean_batch": self.serving.mean_batch,
+                "batches": len(self.serving.batches),
+            },
+            "latency_us": {
+                "p50": self.serving.percentile(50),
+                "p95": self.serving.percentile(95),
+                "p99": self.serving.percentile(99),
+                "mean": float(self.serving.latencies_us.mean())
+                if self.serving.latencies_us.size else 0.0,
+            },
+            "breakdown_us": self.serving.breakdown_means(),
+            "queue_depth": self.serving.queue_depth_series(),
+            "batch_occupancy":
+                self.serving.batch_occupancy_series(max_batch),
+            "requests": rows,
+            "request_rows_included": len(rows),
+            "slo": self.slo.to_dict(),
+            "tail_attribution": self.tail.to_dict(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_text(self) -> str:
+        s = self.serving
+        breakdown = s.breakdown_means()
+        lines = [
+            f"serve report — {self.workload} ({self.model} on "
+            f"{self.machine}, {self.qps:g} QPS offered)",
+            f"requests: {self.num_requests}  batches: {len(s.batches)}  "
+            f"mean batch: {s.mean_batch:.1f}  "
+            f"busy: {100 * s.busy_fraction:.1f} %",
+            "",
+            "== latency ==",
+            f"  p50 {s.percentile(50):8.1f} us   p95 "
+            f"{s.percentile(95):8.1f} us   p99 {s.percentile(99):8.1f} us",
+            "",
+            "== mean request breakdown (queue + batch + execute "
+            "== latency) ==",
+        ]
+        for phase in ("queue_wait", "batch_wait", "execute"):
+            lines.append(f"  {phase:<12}{breakdown[phase]:10.1f} us")
+        lines.append("")
+        lines.append(f"== SLO (p.. <= {self.sla_us:g} us at "
+                     f"{100 * self.slo.availability_target:g} % "
+                     "availability) ==")
+        lines.append(f"  violations: {self.slo.violations}/"
+                     f"{self.slo.total}  "
+                     f"burn rate: {self.slo.burn_rate:.2f}  "
+                     f"peak window burn: {self.slo.peak_window_burn:.2f}")
+        depth = s.queue_depth_series()["depth"]
+        if depth:
+            lines.append(f"  queue depth: mean "
+                         f"{sum(depth) / len(depth):.1f}  max "
+                         f"{max(depth):.0f}")
+        lines.append("")
+        lines.append("== differential tail attribution ==")
+        lines.append(self.tail.to_text())
+        return "\n".join(lines)
+
+
+def _profile_exemplar(batch_size: int, name: str):
+    """Cycle-level exemplar: profile an FC whose m-dim is the batch.
+
+    The FC's row dimension is the batch dimension of the dense stack,
+    so a tail-sized and a median-sized batch produce genuinely
+    different stall mixes (bigger batches amortise CB/interlock waits,
+    smaller ones are launch/dependency bound).  Returns the bottleneck
+    report and the accelerator (its tracer holds the cycle spans).
+    """
+    from repro.core.accelerator import Accelerator
+    from repro.kernels.fc import run_fc
+    from repro.obs.profiler import Profiler
+
+    # m must tile 64 rows/PE across the 2-row sub-grid -> multiple of 128.
+    m = max(128, min(512, ((batch_size + 127) // 128) * 128))
+    acc = Accelerator(observe=True, trace=True, name=name)
+    with Profiler(acc, workload=name) as prof:
+        run_fc(acc, m=m, k=256, n=128, dtype="int8",
+               subgrid=acc.subgrid((0, 0), 2, 2), k_split=2)
+    return prof.report(), acc
+
+
+def run_serve_report(workload: str = "quickstart",
+                     qps: Optional[float] = None,
+                     sla_us: Optional[float] = None,
+                     num_requests: Optional[int] = None,
+                     seed: int = 0,
+                     availability: float = 0.999,
+                     window_us: float = 50_000.0,
+                     batching: BatchingConfig = BatchingConfig(),
+                     max_request_rows: int = 100,
+                     exemplars: bool = True,
+                     latency_model: Optional[BatchLatencyModel] = None,
+                     ) -> Tuple[ServeReport, BatchLatencyModel]:
+    """Run one serving workload and assemble the observability report."""
+    if workload not in WORKLOADS:
+        known = ", ".join(sorted(WORKLOADS))
+        raise SystemExit(f"unknown workload {workload!r}; "
+                         f"choose one of {known}")
+    spec = WORKLOADS[workload]
+    qps = qps if qps is not None else spec["qps"]
+    sla_us = sla_us if sla_us is not None else spec["sla_us"]
+    num_requests = (num_requests if num_requests is not None
+                    else spec["num_requests"])
+
+    if latency_model is None:
+        from repro.eval.machines import MACHINES
+        from repro.models.configs import MODEL_ZOO
+        latency_model = BatchLatencyModel(MODEL_ZOO[spec["model"]],
+                                          MACHINES["mtia"])
+    serving = simulate_serving(latency_model, qps, batching,
+                               num_requests=num_requests, seed=seed)
+    slo = slo_from_report(serving, sla_us,
+                          availability_target=availability,
+                          window_us=window_us)
+    tail = attribute_tail(serving, latency_model)
+    if exemplars and serving.latencies_us.size:
+        stall_mix: Dict[str, Dict[str, float]] = {}
+        for cohort in ("tail", "median"):
+            batch = serving.batches[tail.exemplar_batches[cohort]]
+            prof, _ = _profile_exemplar(batch.size, f"{cohort}.sim")
+            stall_mix[cohort] = prof.stall_fractions()
+        tail = attribute_tail(serving, latency_model, stall_mix=stall_mix)
+    report = ServeReport(
+        workload=workload, model=spec["model"], machine="mtia",
+        qps=qps, sla_us=sla_us, num_requests=num_requests, seed=seed,
+        batching=batching, serving=serving, slo=slo, tail=tail,
+        max_request_rows=max_request_rows)
+    return report, latency_model
+
+
+def build_chrome_trace(report: ServeReport,
+                       latency_model: BatchLatencyModel) -> dict:
+    """One merged trace: request waterfall → batch → ops → sim cycles.
+
+    Re-simulates the same seed with span tracing restricted to the two
+    exemplar batches (determinism makes the replay bit-identical), then
+    lays each exemplar's modelled per-op execution and a cycle-level
+    simulated execution into the batch's dispatch window, flow-linked:
+    request → batch → graph_execute, batch → first sim span.
+    """
+    from repro.obs.spans import SpanTracer, merge_chrome_traces
+    from repro.runtime.executor import record_graph_spans
+
+    exemplars = report.tail.exemplar_batches
+    spans = SpanTracer(enabled=True)
+    replay = simulate_serving(
+        latency_model, report.qps, report.batching,
+        num_requests=report.num_requests, seed=report.seed,
+        spans=spans, trace_batches=set(exemplars.values()))
+    sim_traces: List[dict] = []
+    for cohort, k in sorted(exemplars.items()):
+        batch = replay.batches[k]
+        batch_spans = spans.find(f"batch{k}")
+        if not batch_spans:
+            continue
+        batch_span = batch_spans[-1]
+        # Modelled per-op execution inside the batch window.
+        with spans.attach(batch_span):
+            estimate = latency_model.estimate_for(batch.size)
+            root = record_graph_spans(spans, estimate,
+                                      base_us=batch.dispatch_us,
+                                      pid=f"batch{k}.model")
+        spans.link(batch_span, root)
+        # Cycle-level exemplar, shifted into the dispatch window and
+        # flow-linked from the batch span to its first sim span.
+        _, acc = _profile_exemplar(batch.size, f"batch{k}.sim")
+        fid = spans.link(batch_span)
+        acc.tracer.mark_flow_in(fid)
+        sim_traces.append(acc.tracer.to_chrome_trace(
+            acc.config.frequency_ghz, ts_offset_us=batch.dispatch_us))
+    return merge_chrome_traces(spans.to_chrome_trace(), *sim_traces)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve_report",
+        description="Request-level serving observability report.")
+    parser.add_argument("workload", nargs="?", default="quickstart",
+                        help="workload name (%s)"
+                        % "/".join(sorted(WORKLOADS)))
+    parser.add_argument("--qps", type=float, default=None,
+                        help="offered load (default: workload preset)")
+    parser.add_argument("--sla-us", type=float, default=None,
+                        help="latency SLA in us (default: preset)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="number of simulated requests")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--availability", type=float, default=0.999,
+                        help="SLO availability target (default 0.999)")
+    parser.add_argument("--window-us", type=float, default=50_000.0,
+                        help="rolling SLO window width")
+    parser.add_argument("--max-batch", type=int, default=256)
+    parser.add_argument("--max-wait-us", type=float, default=200.0)
+    parser.add_argument("--max-request-rows", type=int, default=100,
+                        help="per-request rows in the JSON (0 = all)")
+    parser.add_argument("--no-exemplars", action="store_true",
+                        help="skip the cycle-level exemplar profiles")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the JSON report")
+    parser.add_argument("--chrome", action="store_true",
+                        help="emit the merged Chrome/Perfetto trace")
+    parser.add_argument("--output", "-o", default=None,
+                        help="write to this file instead of stdout")
+    args = parser.parse_args(argv)
+
+    batching = BatchingConfig(max_batch=args.max_batch,
+                              max_wait_us=args.max_wait_us)
+    report, latency_model = run_serve_report(
+        args.workload, qps=args.qps, sla_us=args.sla_us,
+        num_requests=args.requests, seed=args.seed,
+        availability=args.availability, window_us=args.window_us,
+        batching=batching, max_request_rows=args.max_request_rows,
+        exemplars=not args.no_exemplars and not args.chrome)
+
+    if args.chrome:
+        trace = build_chrome_trace(report, latency_model)
+        path = args.output or f"{args.workload}.serve_trace.json"
+        with open(path, "w") as fh:
+            json.dump(trace, fh)
+        print(f"wrote merged Chrome trace to {path} "
+              f"({len(trace['traceEvents'])} events); open in "
+              "ui.perfetto.dev or chrome://tracing")
+        return 0
+
+    text = report.to_json() if args.json else report.to_text()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,20 +6,43 @@ from the operator-level models back to that context:
 
 * :mod:`repro.serving.simulator` — a request-level queueing simulator:
   Poisson arrivals, a batching window, per-batch latency from the
-  analytical model, latency percentiles and throughput;
+  analytical model, latency percentiles and throughput, plus an exact
+  per-request queue-wait / batch-formation-wait / execute attribution
+  and optional request-waterfall span tracing;
+* :mod:`repro.serving.slo` — rolling p50/p95/p99 windows and
+  error-budget burn against an SLA;
+* :mod:`repro.serving.tail` — differential tail attribution: the
+  phase / operator / stall-cause mix of ≥p99 requests contrasted with
+  median requests;
 * :mod:`repro.serving.capacity` — fleet sizing: accelerators (and
   watts) needed to serve a target QPS under a latency SLA on each
   platform, the quantity behind Figure 2's server-count curves.
+
+``python -m repro.serve_report`` drives the whole stack and exports
+text/JSON reports or a merged Chrome trace (request waterfall down to
+cycle-level unit activity).
 """
 
 from repro.serving.capacity import CapacityPlan, plan_capacity
-from repro.serving.simulator import (BatchingConfig, ServingReport,
+from repro.serving.simulator import (BatchingConfig, BatchRecord,
+                                     BatchLatencyModel, ServingReport,
                                      simulate_serving)
+from repro.serving.slo import (SLOMonitor, SLOSummary, SLOWindow,
+                               slo_from_report)
+from repro.serving.tail import TailAttribution, attribute_tail
 
 __all__ = [
     "BatchingConfig",
+    "BatchLatencyModel",
+    "BatchRecord",
     "CapacityPlan",
+    "SLOMonitor",
+    "SLOSummary",
+    "SLOWindow",
     "ServingReport",
+    "TailAttribution",
+    "attribute_tail",
     "plan_capacity",
     "simulate_serving",
+    "slo_from_report",
 ]

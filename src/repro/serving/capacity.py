@@ -24,6 +24,13 @@ class CapacityPlan:
     provisioned_watts: float
     sla_us: float
     p99_us: float
+    #: request-phase attribution at the operating point (mean us per
+    #: request): queue_wait / batch_wait / execute — what the fleet's
+    #: latency budget is actually spent on
+    breakdown_us: Dict[str, float] = None
+    #: error-budget burn at the operating point (violations of the SLA
+    #: divided by the allowed 0.1 % violation budget)
+    error_budget_burn: float = 0.0
 
     @property
     def total_watts(self) -> float:
@@ -66,6 +73,7 @@ def plan_capacity(model_config, target_qps: float, sla_us: float,
     from repro.eval.machines import MACHINES
     machines = machines or MACHINES
     plans = {}
+    from repro.serving.slo import slo_from_report
     for family, machine in machines.items():
         latency_model = BatchLatencyModel(model_config, machine)
         card_qps, report = max_qps_per_card(latency_model, sla_us, batching)
@@ -77,5 +85,7 @@ def plan_capacity(model_config, target_qps: float, sla_us: float,
             provisioned_watts=machine.provisioned_watts,
             sla_us=sla_us,
             p99_us=report.p99_us,
+            breakdown_us=report.breakdown_means(),
+            error_budget_burn=slo_from_report(report, sla_us).burn_rate,
         )
     return plans

@@ -11,13 +11,29 @@ This is the mechanism behind the paper's latency/batch-size tension:
 larger batches raise hardware utilisation ("the kernels are able to
 better amortize the setup costs", Section 6.1) but serving "under
 stringent latency requirements" caps how large a batch the SLA allows.
+
+Beyond aggregate percentiles, the simulation attributes *every* request
+microsecond to one of three phases (so tail requests can be explained,
+not just counted — see :mod:`repro.serving.tail`):
+
+* ``batch_wait`` — arrival until the batch is complete-and-eligible
+  (the window expired or ``max_batch`` arrivals are in);
+* ``queue_wait`` — batch ready but the device still busy with its
+  predecessor (head-of-line blocking);
+* ``execute`` — dispatch to finish.
+
+``queue_wait + batch_wait + execute == latency`` exactly, per request.
+With a :class:`~repro.obs.spans.SpanTracer` attached, selected batches
+additionally emit a request-waterfall span tree (request → phase spans,
+flow-linked to the batch's device span) onto one Chrome/Perfetto
+timeline.
 """
 
 from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -29,6 +45,36 @@ class BatchingConfig:
 
 
 @dataclass
+class BatchRecord:
+    """One dispatched batch: when it formed, ran, and what it held."""
+
+    index: int
+    size: int
+    first_arrival_us: float    #: arrival of the oldest member
+    ready_us: float            #: complete-and-eligible (window/full)
+    dispatch_us: float         #: device actually started
+    finish_us: float
+    queue_depth: int           #: requests still waiting at dispatch
+
+    @property
+    def execute_us(self) -> float:
+        return self.finish_us - self.dispatch_us
+
+    def to_dict(self) -> Dict:
+        return {"index": self.index, "size": self.size,
+                "first_arrival_us": self.first_arrival_us,
+                "ready_us": self.ready_us,
+                "dispatch_us": self.dispatch_us,
+                "finish_us": self.finish_us,
+                "execute_us": self.execute_us,
+                "queue_depth": self.queue_depth}
+
+
+def _empty() -> np.ndarray:
+    return np.zeros(0)
+
+
+@dataclass
 class ServingReport:
     """What one serving simulation measured."""
 
@@ -37,8 +83,19 @@ class ServingReport:
     latencies_us: np.ndarray
     batch_sizes: List[int]
     busy_fraction: float
+    #: per-request phase attribution; each sums with the others to the
+    #: request's latency (arrays align with ``latencies_us``)
+    queue_wait_us: np.ndarray = field(default_factory=_empty)
+    batch_wait_us: np.ndarray = field(default_factory=_empty)
+    execute_us: np.ndarray = field(default_factory=_empty)
+    arrivals_us: np.ndarray = field(default_factory=_empty)
+    #: index into ``batches`` for each request
+    batch_index: np.ndarray = field(default_factory=_empty)
+    batches: List[BatchRecord] = field(default_factory=list)
 
     def percentile(self, q: float) -> float:
+        if self.latencies_us.size == 0:
+            return float("nan")
         return float(np.percentile(self.latencies_us, q))
 
     @property
@@ -54,11 +111,57 @@ class ServingReport:
         return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
 
     def meets_sla(self, sla_us: float, q: float = 99.0) -> bool:
-        return self.percentile(q) <= sla_us
+        p = self.percentile(q)
+        return bool(p <= sla_us)   # NaN (empty run) never meets an SLA
+
+    # -- request-phase queries -------------------------------------------
+    def breakdown_means(self) -> Dict[str, float]:
+        """Mean microseconds per phase across all requests."""
+        if self.latencies_us.size == 0:
+            return {"queue_wait": 0.0, "batch_wait": 0.0, "execute": 0.0}
+        return {"queue_wait": float(self.queue_wait_us.mean()),
+                "batch_wait": float(self.batch_wait_us.mean()),
+                "execute": float(self.execute_us.mean())}
+
+    def queue_depth_series(self) -> Dict[str, List[float]]:
+        """Queue depth sampled at each dispatch instant."""
+        return {"time_us": [b.dispatch_us for b in self.batches],
+                "depth": [float(b.queue_depth) for b in self.batches]}
+
+    def batch_occupancy_series(self, max_batch: int) -> Dict[str, List[float]]:
+        """Dispatched batch size as a fraction of ``max_batch``."""
+        return {"time_us": [b.dispatch_us for b in self.batches],
+                "occupancy": [b.size / max_batch for b in self.batches]}
+
+    def request_rows(self, limit: Optional[int] = None) -> List[Dict]:
+        """Per-request breakdown rows (JSON-ready), optionally capped."""
+        n = self.latencies_us.size
+        if limit is not None:
+            n = min(n, limit)
+        rows = []
+        for r in range(n):
+            b = int(self.batch_index[r]) if self.batch_index.size else -1
+            rows.append({
+                "request": r,
+                "arrival_us": float(self.arrivals_us[r]),
+                "queue_wait_us": float(self.queue_wait_us[r]),
+                "batch_wait_us": float(self.batch_wait_us[r]),
+                "execute_us": float(self.execute_us[r]),
+                "latency_us": float(self.latencies_us[r]),
+                "batch": b,
+                "batch_size": self.batches[b].size if 0 <= b < len(
+                    self.batches) else 0,
+            })
+        return rows
 
 
 class BatchLatencyModel:
-    """Caches per-batch-size model latency from the analytical stack."""
+    """Caches per-batch-size model latency from the analytical stack.
+
+    Also retains each candidate batch's :class:`GraphEstimate`, so the
+    tail-attribution layer can ask "what *operator mix* did a batch of
+    this size execute" without re-running the model.
+    """
 
     def __init__(self, model_config, machine,
                  candidate_batches=(1, 2, 4, 8, 16, 32, 64, 128, 256)):
@@ -67,6 +170,7 @@ class BatchLatencyModel:
         from repro.runtime.executor import GraphExecutor
 
         self.latency_us: Dict[int, float] = {}
+        self.estimates: Dict[int, object] = {}
         for batch in candidate_batches:
             graph = build_dlrm_graph(model_config, batch)
             executor = GraphExecutor(machine, mode="graph")
@@ -75,13 +179,26 @@ class BatchLatencyModel:
                 machine, graph,
                 placement if machine.family == "mtia" else None)
             self.latency_us[batch] = estimate.total_seconds * 1e6
+            self.estimates[batch] = estimate
         self._batches = sorted(self.latency_us)
+
+    def candidate_for(self, batch: int) -> int:
+        """The candidate batch size used for an arbitrary batch."""
+        idx = bisect.bisect_left(self._batches, batch)
+        idx = min(idx, len(self._batches) - 1)
+        return self._batches[idx]
 
     def __call__(self, batch: int) -> float:
         """Latency for an arbitrary batch (ceil to the next candidate)."""
-        idx = bisect.bisect_left(self._batches, batch)
-        idx = min(idx, len(self._batches) - 1)
-        return self.latency_us[self._batches[idx]]
+        return self.latency_us[self.candidate_for(batch)]
+
+    def estimate_for(self, batch: int):
+        """The :class:`GraphEstimate` behind ``self(batch)``."""
+        return self.estimates[self.candidate_for(batch)]
+
+    def category_fractions(self, batch: int) -> Dict[str, float]:
+        """Operator-category time mix for a batch of this size."""
+        return self.estimate_for(batch).category_fractions()
 
 
 def simulate_serving(latency_model: Callable[[int], float],
@@ -89,7 +206,10 @@ def simulate_serving(latency_model: Callable[[int], float],
                      batching: BatchingConfig = BatchingConfig(),
                      num_requests: int = 5000,
                      seed: int = 0,
-                     registry=None) -> ServingReport:
+                     registry=None,
+                     spans=None,
+                     trace_batches: Optional[Set[int]] = None,
+                     trace_requests_per_batch: int = 8) -> ServingReport:
     """Simulate serving ``num_requests`` Poisson arrivals at ``qps``.
 
     ``latency_model(batch_size)`` returns the execution latency in
@@ -98,8 +218,16 @@ def simulate_serving(latency_model: Callable[[int], float],
 
     ``registry`` (or the opt-in :func:`repro.obs.default_registry`)
     receives the request-latency histogram (p50/p95/p99 via the
-    ``serving_latency_us`` instrument), batch-size histogram, and a
+    ``serving_latency_us`` instrument), per-phase wait histograms,
+    batch-size/occupancy histograms, queue-depth samples, and a
     device-busy-fraction gauge.
+
+    ``spans`` is an optional :class:`~repro.obs.spans.SpanTracer`; when
+    enabled, batches in ``trace_batches`` (default: all) emit a device
+    span plus per-request waterfalls (first ``trace_requests_per_batch``
+    members), flow-linked request → batch.  Tracing never alters the
+    simulation: results are bit-identical with spans on or off (the
+    conformance determinism pillar checks this).
     """
     if qps <= 0:
         raise ValueError("qps must be positive")
@@ -107,16 +235,19 @@ def simulate_serving(latency_model: Callable[[int], float],
     inter_us = rng.exponential(1e6 / qps, size=num_requests)
     arrivals = np.cumsum(inter_us)
 
+    tracing = spans is not None and spans.enabled
+
     latencies = np.zeros(num_requests)
+    queue_wait = np.zeros(num_requests)
+    batch_wait = np.zeros(num_requests)
+    execute = np.zeros(num_requests)
+    batch_index = np.zeros(num_requests, dtype=np.int64)
     batch_sizes: List[int] = []
+    batches: List[BatchRecord] = []
     busy_us = 0.0
     device_free = 0.0
     i = 0
     while i < num_requests:
-        first_arrival = max(arrivals[i], device_free)
-        # Collect the batch: everyone who arrives before dispatch.
-        dispatch = min(arrivals[i] + batching.max_wait_us,
-                       max(device_free, arrivals[i]))
         # The batch closes when either the window expires or max_batch
         # arrivals are in; while the device is busy the window keeps
         # filling.
@@ -132,38 +263,110 @@ def simulate_serving(latency_model: Callable[[int], float],
         # frees up.
         if batch == batching.max_batch:
             dispatch_at = max(arrivals[j - 1], device_free)
+        # The instant the batch became complete-and-eligible: the last
+        # member's arrival when it filled, the window deadline otherwise
+        # (never after dispatch).  Before it: forming.  After it: queued
+        # behind the busy device.
+        ready = min(dispatch_at,
+                    arrivals[j - 1] if batch == batching.max_batch
+                    else deadline)
         execute_us = latency_model(batch)
         finish = dispatch_at + execute_us
+        k = len(batches)
         latencies[i:j] = finish - arrivals[i:j]
+        batch_wait[i:j] = np.clip(ready - arrivals[i:j], 0.0, None)
+        queue_wait[i:j] = dispatch_at - np.maximum(arrivals[i:j], ready)
+        execute[i:j] = execute_us
+        batch_index[i:j] = k
         batch_sizes.append(batch)
+        depth = int(np.searchsorted(arrivals, dispatch_at, side="right")) - j
+        batches.append(BatchRecord(
+            index=k, size=batch, first_arrival_us=float(arrivals[i]),
+            ready_us=float(ready), dispatch_us=float(dispatch_at),
+            finish_us=float(finish), queue_depth=depth))
+        if tracing and (trace_batches is None or k in trace_batches):
+            _trace_batch(spans, k, batch, arrivals[i:j], ready, dispatch_at,
+                         finish, trace_requests_per_batch, i)
         busy_us += execute_us
         device_free = finish
         i = j
 
-    span_us = device_free - arrivals[0] if num_requests else 1.0
+    span_us = device_free - arrivals[0] if num_requests else 0.0
     report = ServingReport(
         qps_offered=qps,
-        qps_served=num_requests / (span_us / 1e6),
+        qps_served=num_requests / (span_us / 1e6) if span_us > 0 else 0.0,
         latencies_us=latencies,
         batch_sizes=batch_sizes,
-        busy_fraction=min(1.0, busy_us / span_us),
+        busy_fraction=min(1.0, busy_us / span_us) if span_us > 0 else 0.0,
+        queue_wait_us=queue_wait,
+        batch_wait_us=batch_wait,
+        execute_us=execute,
+        arrivals_us=arrivals,
+        batch_index=batch_index,
+        batches=batches,
     )
     if registry is None:
         from repro.obs.metrics import default_registry
         registry = default_registry()
     if registry is not None:
-        latency_hist = registry.histogram(
-            "serving_latency_us",
-            "end-to-end request latency (arrival to batch finish)").labels()
-        for value in latencies:
-            latency_hist.observe(float(value))
-        batch_hist = registry.histogram(
-            "serving_batch_size", "dispatched batch sizes").labels()
-        for batch in batch_sizes:
-            batch_hist.observe(batch)
-        registry.counter("serving_requests",
-                         "requests served").labels().inc(num_requests)
-        registry.gauge("serving_busy_fraction",
-                       "device busy fraction").labels().set(
-                           report.busy_fraction)
+        _record_metrics(registry, report, batching)
     return report
+
+
+def _trace_batch(spans, k: int, batch: int, arrivals: np.ndarray,
+                 ready: float, dispatch_at: float, finish: float,
+                 requests_per_batch: int, first_request: int) -> None:
+    """Emit the request-waterfall span tree for one traced batch."""
+    flow_ids = []
+    for offset in range(min(batch, requests_per_batch)):
+        r = first_request + offset
+        arrival = float(arrivals[offset])
+        track = f"request.{r}"
+        with spans.span(track, f"req{r}", arrival, finish,
+                        pid="serving.requests", batch=k,
+                        batch_size=batch) as req:
+            boundary = max(arrival, min(ready, dispatch_at))
+            if boundary > arrival:
+                spans.add(track, "batch_wait", arrival, boundary,
+                          pid="serving.requests")
+            if dispatch_at > boundary:
+                spans.add(track, "queue_wait", boundary, dispatch_at,
+                          pid="serving.requests")
+            spans.add(track, "execute", dispatch_at, finish,
+                      pid="serving.requests")
+        fid = spans.link(req)
+        if fid is not None:
+            flow_ids.append(fid)
+    spans.add("serving.device", f"batch{k}", dispatch_at, finish,
+              pid="serving", size=batch, flow_in=tuple(flow_ids))
+
+
+def _record_metrics(registry, report: ServingReport,
+                    batching: BatchingConfig) -> None:
+    """Bulk-record one serving run into a metric registry."""
+    registry.histogram(
+        "serving_latency_us",
+        "end-to-end request latency (arrival to batch finish)"
+    ).labels().observe_many(report.latencies_us)
+    for phase, values in (("queue_wait", report.queue_wait_us),
+                          ("batch_wait", report.batch_wait_us),
+                          ("execute", report.execute_us)):
+        registry.histogram(
+            "serving_phase_us",
+            "per-request phase attribution (queue/batch/execute)"
+        ).labels(phase=phase).observe_many(values)
+    registry.histogram(
+        "serving_batch_size", "dispatched batch sizes"
+    ).labels().observe_many(report.batch_sizes)
+    registry.histogram(
+        "serving_queue_depth", "queue depth sampled at dispatch"
+    ).labels().observe_many([b.queue_depth for b in report.batches])
+    registry.counter("serving_requests", "requests served").labels().inc(
+        report.latencies_us.size)
+    registry.gauge("serving_busy_fraction",
+                   "device busy fraction").labels().set(
+                       report.busy_fraction)
+    registry.gauge("serving_batch_occupancy",
+                   "mean batch size / max_batch").labels().set(
+                       report.mean_batch / batching.max_batch
+                       if batching.max_batch else 0.0)

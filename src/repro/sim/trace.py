@@ -30,6 +30,12 @@ class Span:
     #: "pe0").  Multi-card and serving spans set this so they do not
     #: collide on one process row.
     pid: str = ""
+    #: Chrome-trace flow ids arriving at / departing this span.  The
+    #: request-level :class:`repro.obs.spans.SpanTracer` allocates the
+    #: ids, so a serving-layer span can draw an arrow down to the
+    #: cycle-level spans its batch produced.
+    flow_in: tuple = ()
+    flow_out: tuple = ()
 
     @property
     def duration(self) -> float:
@@ -53,14 +59,29 @@ class Tracer:
         self.spans: List[Span] = []
 
     def record(self, track: str, name: str, start: float, end: float,
-               pid: Optional[str] = None, **args) -> None:
+               pid: Optional[str] = None, flow_in: tuple = (),
+               flow_out: tuple = (), **args) -> None:
         if not self.enabled:
             return
         if end < start:
             raise ValueError(f"span {name!r} ends before it starts")
         self.spans.append(Span(track, name, start, end,
                                tuple(sorted(args.items())),
-                               pid if pid is not None else self.default_pid))
+                               pid if pid is not None else self.default_pid,
+                               tuple(flow_in), tuple(flow_out)))
+
+    def mark_flow_in(self, flow_id: int, index: int = 0) -> None:
+        """Attach an incoming flow id to the ``index``-th recorded span.
+
+        Used after the fact: the serving layer links its batch span to
+        the first cycle-level span of the batch's simulated execution.
+        """
+        if not self.enabled or not self.spans:
+            return
+        from dataclasses import replace
+        span = self.spans[index]
+        self.spans[index] = replace(span,
+                                    flow_in=span.flow_in + (flow_id,))
 
     # -- queries -----------------------------------------------------------
     def tracks(self) -> List[str]:
@@ -79,13 +100,21 @@ class Tracer:
         return min(1.0, self.busy_cycles(track) / elapsed)
 
     # -- export ------------------------------------------------------------
-    def to_chrome_trace(self, frequency_ghz: float = 0.8) -> dict:
+    def to_chrome_trace(self, frequency_ghz: float = 0.8,
+                        ts_offset_us: float = 0.0) -> dict:
         """Chrome trace-event JSON (cycles converted to microseconds).
 
         Each span's process row is its explicit ``pid`` when set, else
         the track's first dot-component; the thread row is always the
         full track.  Explicitly-named processes additionally get
         ``process_name`` metadata events so the viewer labels the rows.
+
+        ``ts_offset_us`` shifts every timestamp — used when merging a
+        cycle-level trace into a serving-time trace so the batch's
+        simulated execution lines up with its dispatch time (see
+        :func:`repro.obs.spans.merge_chrome_traces`).  Flow ids on
+        spans become ``s``/``f`` flow events (category ``flow``),
+        matching the request-level tracer's convention.
         """
         events = []
         pids: Dict[str, int] = {}
@@ -95,16 +124,26 @@ class Tracer:
             pid = pids.setdefault(key, len(pids))
             if span.pid:
                 named[span.pid] = pid
+            ts = ts_offset_us + span.start / (frequency_ghz * 1e3)
+            dur = max(span.duration, 1e-3) / (frequency_ghz * 1e3)
             events.append({
                 "name": span.name,
                 "cat": span.track.split(".")[-1],
                 "ph": "X",
-                "ts": span.start / (frequency_ghz * 1e3),
-                "dur": max(span.duration, 1e-3) / (frequency_ghz * 1e3),
+                "ts": ts,
+                "dur": dur,
                 "pid": pid,
                 "tid": span.track,
                 "args": dict(span.args),
             })
+            for fid in span.flow_out:
+                events.append({"name": "flow", "cat": "flow", "ph": "s",
+                               "id": fid, "ts": ts + dur, "pid": pid,
+                               "tid": span.track})
+            for fid in span.flow_in:
+                events.append({"name": "flow", "cat": "flow", "ph": "f",
+                               "bp": "e", "id": fid, "ts": ts, "pid": pid,
+                               "tid": span.track})
         for name, pid in sorted(named.items(), key=lambda kv: kv[1]):
             events.append({"name": "process_name", "ph": "M", "pid": pid,
                            "args": {"name": name}})

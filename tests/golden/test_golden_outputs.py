@@ -68,8 +68,36 @@ def metrics_schema(text: str) -> dict:
     return {"types": types, "label_keys": label_keys}
 
 
+def serve_report_schema() -> dict:
+    """Key-set schema of the serve_report quickstart JSON."""
+    from repro.serve_report import run_serve_report
+    report, _ = run_serve_report("quickstart", num_requests=600)
+    data = json.loads(report.to_json())
+    tail = data["tail_attribution"]
+    return {
+        "top_level": sorted(data),
+        "batching": sorted(data["batching"]),
+        "throughput": sorted(data["throughput"]),
+        "latency": sorted(data["latency_us"]),
+        "breakdown": sorted(data["breakdown_us"]),
+        "queue_depth": sorted(data["queue_depth"]),
+        "batch_occupancy": sorted(data["batch_occupancy"]),
+        "request_row": sorted(data["requests"][0]),
+        "slo": sorted(data["slo"]),
+        "slo_window": sorted(data["slo"]["windows"][0]),
+        "tail": sorted(tail),
+        "tail_cohorts": sorted(tail["phase_us"]),
+        "tail_stall_cohorts": sorted(tail["stall_mix"]),
+        "workload": data["workload"],
+    }
+
+
 def test_profile_json_schema_is_stable():
     _check("profile_quickstart_schema.json", profile_schema())
+
+
+def test_serve_report_json_schema_is_stable():
+    _check("serve_report_quickstart_schema.json", serve_report_schema())
 
 
 def test_report_metrics_schema_is_stable(capsys):

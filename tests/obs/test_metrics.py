@@ -55,6 +55,30 @@ class TestInstruments:
         assert h.buckets[-1] == float("inf")
         assert h.bucket_counts[-1] == 1
 
+    def test_observe_many_matches_scalar_loop(self):
+        import numpy as np
+        reg = MetricRegistry()
+        values = np.random.default_rng(0).exponential(300.0, size=500)
+        # include exact bucket boundaries — searchsorted must agree
+        # with scalar observe's "first bound >= v" rule
+        values = np.concatenate([values, [0.0, 1.0, 1000.0]])
+        bulk = reg.histogram("bulk").labels()
+        bulk.observe_many(values)
+        loop = reg.histogram("loop").labels()
+        for v in values:
+            loop.observe(float(v))
+        assert bulk.count == loop.count
+        assert bulk.sum == pytest.approx(loop.sum)
+        assert bulk.bucket_counts == loop.bucket_counts
+        assert bulk.p99 == pytest.approx(loop.p99)
+
+    def test_observe_many_accepts_lists_and_empty(self):
+        reg = MetricRegistry()
+        h = reg.histogram("x").labels()
+        h.observe_many([1, 2, 3])
+        h.observe_many([])
+        assert h.count == 3
+
 
 class TestFamilies:
     def test_same_labels_return_same_child(self):
