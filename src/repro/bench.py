@@ -4,9 +4,10 @@ Runs the canonical FC / TBE / DLRM quickstart workloads and emits a
 schema-stable ``BENCH_<label>.json`` so the performance trajectory of
 the reproduction is tracked from PR to PR::
 
-    python -m repro.bench                       # writes BENCH_pr3.json
+    python -m repro.bench                       # writes BENCH_pr4.json
     python -m repro.bench --label nightly -o out/
-    python -m repro.bench --compare BENCH_pr3.json   # soft regression check
+    python -m repro.bench --compare BENCH_pr4.json   # soft regression check
+    python -m repro.bench --jobs 3              # workloads in parallel
 
 Every workload records the same four headline numbers (``latency_us``,
 ``achieved_tflops``, ``sim_cycles``, ``wall_time_s``; inapplicable ones
@@ -27,13 +28,21 @@ import time
 from typing import Dict, List, Optional
 
 SCHEMA_VERSION = 1
-DEFAULT_LABEL = "pr3"   # bump per PR; the trajectory lives in git
+DEFAULT_LABEL = "pr4"   # bump per PR; the trajectory lives in git
 
 #: Metrics where *bigger* is better (regressions are decreases).
 _HIGHER_IS_BETTER = {"achieved_tflops"}
 #: Metrics compared against the soft threshold; wall_time_s is
 #: excluded (host noise), extras are informational.
 _COMPARED = ("latency_us", "achieved_tflops", "sim_cycles")
+
+
+def _engine_extras(acc) -> Dict:
+    """DES-kernel throughput counters for the trajectory record."""
+    stats = acc.engine.run_stats()
+    return {"events_processed": stats["events_processed"],
+            "events_per_sec_wall": stats["events_per_sec_wall"],
+            "peak_heap_size": stats["peak_heap_size"]}
 
 
 def _bench_fc() -> Dict:
@@ -47,12 +56,14 @@ def _bench_fc() -> Dict:
                     subgrid=acc.subgrid((0, 0), 4, 4), k_split=2)
     wall = time.perf_counter() - t0
     tops = result.tops(acc.config.frequency_ghz)
+    extras = {"m": 512, "k": 1024, "n": 256, "dtype": "int8"}
+    extras.update(_engine_extras(acc))
     return {
         "latency_us": result.cycles / (acc.config.frequency_ghz * 1e3),
         "achieved_tflops": tops,
         "sim_cycles": float(result.cycles),
         "wall_time_s": wall,
-        "extras": {"m": 512, "k": 1024, "n": 256, "dtype": "int8"},
+        "extras": extras,
     }
 
 
@@ -70,14 +81,15 @@ def _bench_tbe() -> Dict:
     gather_gbs = result.gbs(acc.config.frequency_ghz)
     peak_gbs = (acc.config.dram.bytes_per_cycle(acc.config.frequency_ghz)
                 * acc.config.frequency_ghz)
+    extras = {"gather_gbs": gather_gbs,
+              "gather_percent_of_dram_bw": 100.0 * gather_gbs / peak_gbs}
+    extras.update(_engine_extras(acc))
     return {
         "latency_us": result.cycles / (acc.config.frequency_ghz * 1e3),
         "achieved_tflops": 0.0,
         "sim_cycles": float(result.cycles),
         "wall_time_s": wall,
-        "extras": {"gather_gbs": gather_gbs,
-                   "gather_percent_of_dram_bw":
-                       100.0 * gather_gbs / peak_gbs},
+        "extras": extras,
     }
 
 
@@ -112,51 +124,75 @@ def _bench_dlrm() -> Dict:
 BENCHES = {"fc": _bench_fc, "tbe": _bench_tbe, "dlrm": _bench_dlrm}
 
 
+def _bench_job(name: str) -> Dict:
+    """Module-level so ``--jobs`` spawn workers can pickle it."""
+    return BENCHES[name]()
+
+
 def run_bench(label: str = DEFAULT_LABEL,
-              workloads: Optional[List[str]] = None) -> Dict:
-    """Run the benchmark suite; returns the BENCH_* payload."""
+              workloads: Optional[List[str]] = None,
+              jobs: int = 1) -> Dict:
+    """Run the benchmark suite; returns the BENCH_* payload.
+
+    ``jobs > 1`` runs workloads in worker processes.  Simulated metrics
+    are identical at any job count; ``wall_time_s`` is only meaningful
+    as a trajectory number when measured at ``jobs=1`` on an idle host.
+    """
     names = workloads or sorted(BENCHES)
+    for name in names:
+        if name not in BENCHES:
+            known = ", ".join(sorted(BENCHES))
+            raise SystemExit(f"unknown bench workload {name!r}; "
+                             f"choose from {known}")
     payload: Dict = {
         "schema_version": SCHEMA_VERSION,
         "label": label,
         "created_unix": time.time(),
         "workloads": {},
     }
-    for name in names:
-        if name not in BENCHES:
-            known = ", ".join(sorted(BENCHES))
-            raise SystemExit(f"unknown bench workload {name!r}; "
-                             f"choose from {known}")
-        payload["workloads"][name] = BENCHES[name]()
+    from repro.parallel import parallel_map
+    results = parallel_map(_bench_job, list(names), jobs=jobs)
+    for name, result in zip(names, results):
+        payload["workloads"][name] = result
     return payload
 
 
 def compare(current: Dict, baseline: Dict,
-            threshold: float = 0.10) -> List[str]:
+            threshold: float = 0.10,
+            wall_threshold: Optional[float] = None) -> List[str]:
     """Regressions of ``current`` vs ``baseline`` beyond ``threshold``.
 
     Returns human-readable regression lines (empty = within budget).
-    Simulated metrics only; a missing baseline workload/metric is noted
-    but not a regression (new workloads are allowed to appear).
+    Simulated metrics only by default; pass ``wall_threshold`` to also
+    report ``wall_time_s`` regressions beyond that (looser) fraction —
+    wall lines are tagged ``(wall-clock, soft)`` and never counted by
+    ``--strict``.  A missing baseline workload/metric is not a
+    regression (new workloads are allowed to appear).
     """
+    compared = _COMPARED + (("wall_time_s",)
+                            if wall_threshold is not None else ())
     regressions: List[str] = []
     for name, cur in sorted(current.get("workloads", {}).items()):
         base = baseline.get("workloads", {}).get(name)
         if base is None:
             continue
-        for metric in _COMPARED:
+        for metric in compared:
             b, c = base.get(metric), cur.get(metric)
             if not b or c is None:
                 continue
+            limit = (wall_threshold if metric == "wall_time_s"
+                     else threshold)
             change = (c - b) / b
             worse = (-change if metric in _HIGHER_IS_BETTER else change)
-            if worse > threshold:
+            if worse > limit:
                 direction = ("dropped" if metric in _HIGHER_IS_BETTER
                              else "grew")
+                suffix = (" (wall-clock, soft)"
+                          if metric == "wall_time_s" else "")
                 regressions.append(
                     f"{name}.{metric} {direction} {100 * abs(change):.1f}% "
                     f"({b:g} -> {c:g}, threshold "
-                    f"{100 * threshold:.0f}%)")
+                    f"{100 * limit:.0f}%){suffix}")
     return regressions
 
 
@@ -176,12 +212,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="baseline BENCH_*.json to diff against")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="soft regression threshold (default 10%%)")
+    parser.add_argument("--wall-threshold", type=float, default=None,
+                        metavar="FRAC",
+                        help="also report wall_time_s regressions beyond "
+                        "FRAC (e.g. 0.5 = 50%%); informational only, "
+                        "never counted by --strict")
     parser.add_argument("--strict", action="store_true",
-                        help="exit non-zero on regressions beyond the "
-                        "threshold (default: report only)")
+                        help="exit non-zero on simulated-metric "
+                        "regressions beyond the threshold "
+                        "(default: report only)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the workloads "
+                        "(default 1 = serial); simulated metrics are "
+                        "identical at any job count, but wall times "
+                        "are only trajectory-comparable at --jobs 1")
+    parser.add_argument("--sim-cache", default=None, metavar="WHERE",
+                        const="mem", nargs="?",
+                        help="enable the sim-result cache for the run "
+                        "('mem' or a directory path); sets "
+                        "REPRO_SIM_CACHE for this process, so wall "
+                        "times measure cache replay, not simulation")
     args = parser.parse_args(argv)
 
-    payload = run_bench(args.label, args.workloads or None)
+    if args.sim_cache:
+        os.environ["REPRO_SIM_CACHE"] = args.sim_cache
+        from repro.simcache import reset_env_cache
+        reset_env_cache()
+
+    payload = run_bench(args.label, args.workloads or None, jobs=args.jobs)
     path = os.path.join(args.output_dir, f"BENCH_{args.label}.json")
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
@@ -196,13 +254,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.compare:
         with open(args.compare) as fh:
             baseline = json.load(fh)
-        regressions = compare(payload, baseline, args.threshold)
+        regressions = compare(payload, baseline, args.threshold,
+                              wall_threshold=args.wall_threshold)
         if regressions:
             print(f"perf regressions vs {args.compare} "
                   f"(soft threshold {100 * args.threshold:.0f}%):")
             for line in regressions:
                 print(f"  {line}")
-            if args.strict:
+            hard = [line for line in regressions
+                    if "(wall-clock, soft)" not in line]
+            if args.strict and hard:
                 return 1
         else:
             print(f"no regressions vs {args.compare} beyond "

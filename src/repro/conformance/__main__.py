@@ -73,6 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--rtol", type=float,
                         default=TolerancePolicy().rtol,
                         help="relative tolerance for fp comparisons")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the sweep (default 1 "
+                        "= serial); results are identical at any job "
+                        "count, only wall time changes")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the full JSON report to PATH "
                         "('-' for stdout)")
@@ -106,7 +110,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{marker} seed={case.seed:<6} {case.pillar:<12} "
               f"{case.status}", flush=True)
 
-    report = run_conformance(config, progress=progress)
+    report = run_conformance(config, progress=progress, jobs=args.jobs)
 
     print()
     totals = report.to_dict()["totals"]
@@ -115,6 +119,8 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"(ops: {','.join(config.ops)})")
     print(f"  golden divergences:     {totals['golden_divergences']}")
     print(f"  determinism violations: {totals['determinism_violations']}")
+    if "cache" in config.pillars:
+        print(f"  cache violations:       {totals['cache_violations']}")
     print(f"  crossval band rate:     {totals['band_violation_rate']:.3f} "
           f"of {totals['crossval_cases']} cases "
           f"(band [{config.band.lo:.2f}, {config.band.hi:.2f}], "
@@ -131,6 +137,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             extra = "; ".join(
                 f"{d['output']}: {d['reason']}"
                 for d in detail.get("divergences", [])) or "error"
+        elif case.pillar == "cache":
+            extra = "; ".join(detail.get("cache", {}).get("violations", []))
         else:
             extra = "; ".join(detail.get("sim", {}).get("violations", [])
                               + detail.get("graph", {}).get("violations",

@@ -94,6 +94,58 @@ def check_sim_determinism(seed: int) -> DeterminismResult:
     return res
 
 
+def check_cache_determinism(seed: int) -> DeterminismResult:
+    """Cached sim results must be bit-identical to fresh simulation.
+
+    Three runs of the same FC shape: one fresh (cache off), one cold
+    through a :class:`~repro.simcache.SimCache` (miss → simulate →
+    record), one warm (hit → replay).  Cycles, outputs, and stall
+    attributions must match bit-for-bit across all three — the
+    content-addressed cache may only change wall time, never results.
+    """
+    from repro import Accelerator
+    from repro.kernels.fc import run_fc
+    from repro.simcache import SimCache
+
+    shape = _fc_shape_for(seed)
+
+    def once(cache=None):
+        acc = Accelerator(observe=True)
+        result = run_fc(acc, m=shape["m"], k=shape["k"], n=shape["n"],
+                        dtype="int8",
+                        subgrid=acc.subgrid((0, 0), shape["rows"],
+                                            shape["cols"]),
+                        k_split=shape["k_split"], seed=seed, cache=cache)
+        return result.cycles, result.c_t, acc.obs.stalls_by_track()
+
+    res = DeterminismResult(seed=seed, kind="cache")
+    cycles_fresh, out_fresh, stalls_fresh = once()
+    res.cycles = cycles_fresh
+
+    cache = SimCache()
+    cycles_cold, out_cold, stalls_cold = once(cache=cache)
+    cycles_warm, out_warm, stalls_warm = once(cache=cache)
+
+    stats = cache.stats()
+    if stats["misses"] != 1 or stats["hits"] != 1:
+        res.violations.append(
+            f"expected exactly one miss then one hit, got {stats}")
+    for label, cycles, out, stalls in (
+            ("cold (cache miss)", cycles_cold, out_cold, stalls_cold),
+            ("warm (cache hit)", cycles_warm, out_warm, stalls_warm)):
+        if cycles != cycles_fresh:
+            res.violations.append(
+                f"{label} cycles differ from fresh: "
+                f"{cycles} vs {cycles_fresh}")
+        if not np.array_equal(out, out_fresh):
+            res.violations.append(
+                f"{label} output differs from fresh bit-for-bit")
+        if stalls != stalls_fresh:
+            res.violations.append(
+                f"{label} stall attributions differ from fresh")
+    return res
+
+
 def check_graph_determinism(seed: int,
                             fuzz_config=None) -> DeterminismResult:
     """Replay one fuzzed graph through the GraphExecutor twice.

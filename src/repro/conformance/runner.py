@@ -18,14 +18,16 @@ import numpy as np
 from repro.conformance.crossval import (CrossvalBand, crossval_fc,
                                         crossval_tbe, fuzz_fc_shape,
                                         fuzz_tbe_shape)
-from repro.conformance.determinism import (check_graph_determinism,
+from repro.conformance.determinism import (check_cache_determinism,
+                                           check_graph_determinism,
                                            check_serving_determinism,
                                            check_sim_determinism)
 from repro.conformance.fuzzer import OP_FAMILIES, FuzzConfig, fuzz_graph
 from repro.conformance.golden import (TolerancePolicy, compare_outputs,
                                       evaluate_graph)
+from repro.parallel import parallel_map
 
-PILLARS = ("golden", "determinism", "crossval")
+PILLARS = ("golden", "determinism", "crossval", "cache")
 
 #: Every N-th crossval case runs the (slower) TBE gather instead of FC.
 _TBE_EVERY = 5
@@ -100,6 +102,10 @@ class ConformanceReport:
         return sum(1 for c in self.by_pillar("determinism") if not c.ok)
 
     @property
+    def cache_violations(self) -> int:
+        return sum(1 for c in self.by_pillar("cache") if not c.ok)
+
+    @property
     def band_violation_rate(self) -> float:
         cases = self.by_pillar("crossval")
         if not cases:
@@ -108,7 +114,8 @@ class ConformanceReport:
 
     @property
     def passed(self) -> bool:
-        if self.golden_divergences or self.determinism_violations:
+        if (self.golden_divergences or self.determinism_violations
+                or self.cache_violations):
             return False
         if any(c.status == "error" for c in self.cases):
             return False
@@ -123,6 +130,7 @@ class ConformanceReport:
                 "cases": len(self.cases),
                 "golden_divergences": self.golden_divergences,
                 "determinism_violations": self.determinism_violations,
+                "cache_violations": self.cache_violations,
                 "crossval_cases": len(self.by_pillar("crossval")),
                 "band_violation_rate": self.band_violation_rate,
                 "errors": sum(1 for c in self.cases
@@ -189,30 +197,55 @@ def run_crossval_case(seed: int, index: int,
                       details=result.to_dict())
 
 
+def run_cache_case(seed: int, config: ConformanceConfig) -> CaseResult:
+    """Prove sim-cache hits are bit-identical to fresh simulation."""
+    result = check_cache_determinism(seed)
+    status = "ok" if result.ok else "violation"
+    return CaseResult(seed=seed, pillar="cache", status=status,
+                      details={"cache": result.to_dict()})
+
+
+def _case_job(job: Tuple[str, int, int, ConformanceConfig]) -> CaseResult:
+    """One (pillar, seed) case — module-level so it survives ``spawn``.
+
+    Exceptions are captured as ``status="error"`` CaseResults so one
+    bad seed cannot mask the rest of the sweep (and so workers always
+    return a picklable value).
+    """
+    pillar, seed, index, config = job
+    try:
+        with np.errstate(over="ignore"):  # saturating sigmoids
+            return _run_case(pillar, seed, index, config)
+    except Exception as exc:
+        return CaseResult(
+            seed=seed, pillar=pillar, status="error",
+            details={"exception": repr(exc),
+                     "traceback": traceback.format_exc(limit=8)})
+
+
 def run_conformance(config: Optional[ConformanceConfig] = None,
-                    progress=None) -> ConformanceReport:
+                    progress=None, jobs: int = 1) -> ConformanceReport:
     """Run every enabled pillar over every seed.
 
     ``progress`` is an optional callable invoked with each finished
     :class:`CaseResult` (the CLI uses it for incremental output).
     Exceptions inside a case are captured as ``status="error"`` so one
     bad seed cannot mask the rest of the sweep.
+
+    ``jobs > 1`` fans the cases out over worker processes via
+    :func:`repro.parallel.parallel_map`.  Every case is a pure function
+    of (pillar, seed, config) — the determinism pillar proves it — so
+    the report is identical at any job count; only wall time changes.
     """
     config = config or ConformanceConfig()
     report = ConformanceReport(config=config)
-    for index, seed in enumerate(config.seed_list()):
-        for pillar in config.pillars:
-            try:
-                with np.errstate(over="ignore"):  # saturating sigmoids
-                    case = _run_case(pillar, seed, index, config)
-            except Exception as exc:  # pragma: no cover - defensive
-                case = CaseResult(
-                    seed=seed, pillar=pillar, status="error",
-                    details={"exception": repr(exc),
-                             "traceback": traceback.format_exc(limit=8)})
-            report.cases.append(case)
-            if progress is not None:
-                progress(case)
+    cases = [(pillar, seed, index, config)
+             for index, seed in enumerate(config.seed_list())
+             for pillar in config.pillars]
+    callback = (None if progress is None
+                else lambda _index, case: progress(case))
+    report.cases.extend(parallel_map(_case_job, cases, jobs=jobs,
+                                     progress=callback))
     return report
 
 
@@ -224,4 +257,6 @@ def _run_case(pillar: str, seed: int, index: int,
         return run_determinism_case(seed, config)
     if pillar == "crossval":
         return run_crossval_case(seed, index, config)
+    if pillar == "cache":
+        return run_cache_case(seed, config)
     raise ValueError(f"unknown pillar {pillar!r}")

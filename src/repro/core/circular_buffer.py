@@ -55,6 +55,9 @@ class CircularBuffer:
         # attribution in FunctionalUnit).
         prefix = memory.name.rsplit(".", 1)[0]
         self._track = f"{prefix}.cb{cb_id}"
+        # Event names, precomputed: waits are created per command.
+        self._elem_name = f"cb{cb_id}.elements"
+        self._space_name = f"cb{cb_id}.space"
 
     # -- accounting -----------------------------------------------------
     @property
@@ -72,25 +75,29 @@ class CircularBuffer:
         return self._reserved
 
     def _wake(self) -> None:
+        if not self._element_waiters and not self._space_waiters:
+            return
         obs = self.engine.obs
-        still = []
-        for required, ev, since in self._element_waiters:
-            if self.available >= required:
-                ev.succeed()
-                obs.count("cb_wait_cycles", self.engine.now - since,
-                          track=self._track, kind="element")
-            else:
-                still.append((required, ev, since))
-        self._element_waiters = still
-        still = []
-        for required, ev, since in self._space_waiters:
-            if self.space >= required:
-                ev.succeed()
-                obs.count("cb_wait_cycles", self.engine.now - since,
-                          track=self._track, kind="space")
-            else:
-                still.append((required, ev, since))
-        self._space_waiters = still
+        if self._element_waiters:
+            still = []
+            for required, ev, since in self._element_waiters:
+                if self._fill >= required:
+                    ev.succeed()
+                    obs.count("cb_wait_cycles", self.engine.now - since,
+                              track=self._track, kind="element")
+                else:
+                    still.append((required, ev, since))
+            self._element_waiters = still
+        if self._space_waiters:
+            still = []
+            for required, ev, since in self._space_waiters:
+                if self.space >= required:
+                    ev.succeed()
+                    obs.count("cb_wait_cycles", self.engine.now - since,
+                              track=self._track, kind="space")
+                else:
+                    still.append((required, ev, since))
+            self._space_waiters = still
 
     def wait_elements(self, nbytes: int) -> Event:
         """Event firing once ``nbytes`` of data are readable."""
@@ -98,8 +105,8 @@ class CircularBuffer:
             raise SimulationError(
                 f"CB {self.cb_id}: waiting for {nbytes} B of data in a "
                 f"{self.size} B buffer can never succeed")
-        ev = self.engine.event(f"cb{self.cb_id}.elements({nbytes})")
-        if self.available >= nbytes:
+        ev = Event(self.engine, self._elem_name)
+        if self._fill >= nbytes:
             ev.succeed()
         else:
             self._element_waiters.append((nbytes, ev, self.engine.now))
@@ -113,7 +120,7 @@ class CircularBuffer:
             raise SimulationError(
                 f"CB {self.cb_id}: waiting for {nbytes} B of space in a "
                 f"{self.size} B buffer can never succeed")
-        ev = self.engine.event(f"cb{self.cb_id}.space({nbytes})")
+        ev = Event(self.engine, self._space_name)
         if self.space >= nbytes:
             ev.succeed()
         else:

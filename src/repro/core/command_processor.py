@@ -124,11 +124,12 @@ class _Scheduler:
         return deps
 
     def _record(self, cmd: Command, done: Event) -> None:
-        for cb_id in cmd.consumes_cbs():
+        consumes = cmd.consumes_cbs()
+        for cb_id in consumes:
             self._last_consumer[cb_id] = (done, cmd.unit)
             self._readers[cb_id] = []
         for cb_id in cmd.reads_cbs():
-            if cb_id not in cmd.consumes_cbs():
+            if cb_id not in consumes:
                 self._readers.setdefault(cb_id, []).append(done)
         for cb_id in cmd.produces_cbs():
             self._last_producer[cb_id] = (done, cmd.unit)
@@ -164,6 +165,9 @@ class CommandProcessor:
         self.cp_units = [CPUnit(engine, pe, core_id) for core_id in (0, 1)]
         self.schedulers = [_Scheduler(engine, pe, core_id)
                            for core_id in (0, 1)]
+        #: completion-event names, keyed (core, command class) — built
+        #: lazily; issue() runs once per command so f-strings add up
+        self._done_names: Dict[Tuple[int, type], str] = {}
 
     def issue(self, core_id: int, cmd: Command) -> Tuple[Event, Event]:
         """Issue ``cmd`` from core ``core_id``.
@@ -174,7 +178,12 @@ class CommandProcessor:
         """
         if core_id not in (0, 1):
             raise SimulationError(f"PE has cores 0 and 1, not {core_id}")
-        done = self.engine.event(f"pe{self.pe.index}.c{core_id}."
-                                 f"{type(cmd).__name__}")
+        key = (core_id, type(cmd))
+        name = self._done_names.get(key)
+        if name is None:
+            name = (f"pe{self.pe.index}.c{core_id}."
+                    f"{type(cmd).__name__}")
+            self._done_names[key] = name
+        done = Event(self.engine, name)
         accepted = self.schedulers[core_id].submit(cmd, done)
         return accepted, done

@@ -73,7 +73,7 @@ class VectorUnit:
             out = np.maximum(a, b)
         else:
             raise SimulationError(f"vector unit: unknown op {op!r}")
-        yield from self.pe.local_memory.port.use(3 * count * np_dtype.itemsize)
+        yield self.pe.local_memory.port.delay_for(3 * count * np_dtype.itemsize)
         self.pe.local_memory.poke(addr_out, out.astype(np_dtype))
         yield self._cycles(count, np_dtype)
 
@@ -83,7 +83,7 @@ class VectorUnit:
         np_dtype = np.dtype(dtype)
         data = self.pe.local_memory.peek_array(addr_src, (count,), np_dtype)
         out = (data.astype(np.float64) * factor).astype(np_dtype)
-        yield from self.pe.local_memory.port.use(2 * count * np_dtype.itemsize)
+        yield self.pe.local_memory.port.delay_for(2 * count * np_dtype.itemsize)
         self.pe.local_memory.poke(addr_out, out)
         yield self._cycles(count, np_dtype)
 
@@ -91,7 +91,7 @@ class VectorUnit:
         """Process: sum-reduce a local-memory array; returns the sum."""
         np_dtype = np.dtype(dtype)
         data = self.pe.local_memory.peek_array(addr, (count,), np_dtype)
-        yield from self.pe.local_memory.port.use(count * np_dtype.itemsize)
+        yield self.pe.local_memory.port.delay_for(count * np_dtype.itemsize)
         yield self._cycles(count, np_dtype)
         return float(data.astype(np.float64).sum())
 
@@ -106,7 +106,7 @@ class VectorUnit:
         data = self.pe.local_memory.peek_array(addr, (rows, cols), np_dtype)
         out = data.astype(np.float64).sum(axis=0).astype(np_dtype)
         total = rows * cols
-        yield from self.pe.local_memory.port.use(
+        yield self.pe.local_memory.port.delay_for(
             (total + cols) * np_dtype.itemsize)
         self.pe.local_memory.poke(addr_out, out)
         yield self._cycles(total, np_dtype)
@@ -116,7 +116,7 @@ class VectorUnit:
         """Process: fill a local-memory array with a constant."""
         np_dtype = np.dtype(dtype)
         out = np.full(count, value, dtype=np_dtype)
-        yield from self.pe.local_memory.port.use(count * np_dtype.itemsize)
+        yield self.pe.local_memory.port.delay_for(count * np_dtype.itemsize)
         self.pe.local_memory.poke(addr, out)
         yield self._cycles(count, np_dtype)
 
@@ -131,8 +131,8 @@ class VectorUnit:
         row = self.pe.local_memory.peek_array(addr_src, (count,), np.int8)
         acc = self.pe.local_memory.peek_array(addr_acc, (count,), np.float32)
         acc = acc + row.astype(np.float32) * scale + bias
-        yield from self.pe.local_memory.port.use(count * (1 + 4 + 4))
-        self.pe.local_memory.poke(addr_acc, acc.astype(np.float32))
+        yield self.pe.local_memory.port.delay_for(count * (1 + 4 + 4))
+        self.pe.local_memory.poke(addr_acc, acc)
         # Widening int8->fp32 quarters the effective lane count.
         yield self._cycles(count, np.float32)
 
@@ -145,7 +145,7 @@ class VectorUnit:
         mean = x64.mean()
         var = x64.var()
         out = ((x64 - mean) / math.sqrt(var + eps)).astype(np_dtype)
-        yield from self.pe.local_memory.port.use(2 * count * np_dtype.itemsize)
+        yield self.pe.local_memory.port.delay_for(2 * count * np_dtype.itemsize)
         self.pe.local_memory.poke(addr_out, out)
         # Three passes: mean, variance, normalise.
         yield self._cycles(count, np_dtype, passes=3)

@@ -59,14 +59,17 @@ class FunctionalUnit:
     def _run(self) -> Generator:
         engine = self.engine
         track = f"pe{self.pe.index}.{self.name}"
+        queue_get = self.queue.get
+        pe_cb = self.pe.cb
+        stats_add = self.stats.add
         while True:
-            dispatched = yield self.queue.get()
+            dispatched = yield queue_get()
             cmd = dispatched.command
             if dispatched.dependencies:
                 entered = engine.now
                 yield engine.all_of(dispatched.dependencies)
                 if engine.now > entered:
-                    self.stats.add("dep_stall_cycles", engine.now - entered)
+                    stats_add("dep_stall_cycles", engine.now - entered)
                     engine.obs.stall(track, "dep_interlock",
                                      entered, engine.now)
             start = engine.now
@@ -79,29 +82,28 @@ class FunctionalUnit:
                 # checks — is unchanged.
                 element_waits = []
                 for cb_id, nbytes in cmd.required_elements().items():
-                    element_waits.append(self.pe.cb(cb_id)
-                                         .wait_elements(nbytes))
+                    element_waits.append(pe_cb(cb_id).wait_elements(nbytes))
                 space_waits = []
                 for cb_id, nbytes in cmd.required_space().items():
-                    space_waits.append(self.pe.cb(cb_id).wait_space(nbytes))
+                    space_waits.append(pe_cb(cb_id).wait_space(nbytes))
                 if element_waits:
                     entered = engine.now
                     yield engine.all_of(element_waits)
                     if engine.now > entered:
-                        self.stats.add("cb_element_stall_cycles",
-                                       engine.now - entered)
+                        stats_add("cb_element_stall_cycles",
+                                  engine.now - entered)
                         engine.obs.stall(track, "cb_element_wait",
                                          entered, engine.now)
                 if space_waits:
                     entered = engine.now
                     yield engine.all_of(space_waits)
                     if engine.now > entered:
-                        self.stats.add("cb_space_stall_cycles",
-                                       engine.now - entered)
+                        stats_add("cb_space_stall_cycles",
+                                  engine.now - entered)
                         engine.obs.stall(track, "cb_space_wait",
                                          entered, engine.now)
                 if engine.now > start:
-                    self.stats.add("stall_cycles", engine.now - start)
+                    stats_add("stall_cycles", engine.now - start)
                 start = engine.now
                 yield from self.execute(cmd)
             except Exception as exc:
@@ -110,11 +112,10 @@ class FunctionalUnit:
                 # serving the queue.
                 dispatched.done.fail(exc)
                 continue
-            self.stats.add("busy_cycles", self.engine.now - start)
-            self.stats.add("commands")
-            self.engine.tracer.record(
-                f"pe{self.pe.index}.{self.name}", type(cmd).__name__,
-                start, self.engine.now)
+            stats_add("busy_cycles", engine.now - start)
+            stats_add("commands")
+            engine.tracer.record(track, type(cmd).__name__,
+                                 start, engine.now)
             dispatched.done.succeed()
 
     def execute(self, cmd: Command) -> Generator:

@@ -35,29 +35,40 @@ class DotProductEngine(FunctionalUnit):
 
     # -- operand handling -------------------------------------------------
     def _load_block(self, cb_id: int, offset: int, rows: int, cols: int,
-                    dtype: DType) -> Tuple[np.ndarray, bool]:
-        """Read a row-major block from a CB; returns (block, cache_hit)."""
+                    dtype: DType) -> Tuple[np.ndarray, int, bool]:
+        """Read a row-major block from a CB.
+
+        Returns ``(block, lm_bytes, cache_hit)`` where ``block`` is
+        already widened to the accumulator dtype (int32 / float32) so
+        :meth:`execute` can multiply without a per-command ``astype``,
+        and ``lm_bytes`` is the local-memory traffic the load is charged
+        at (the pre-widening size for int8, the compute size for fp).
+        """
         cb = self.pe.cb(cb_id)
         nbytes = rows * cols * dtype.bytes
         # Key on the absolute FIFO stream position: unlike the raw read
         # pointer it never aliases when the buffer wraps, so a block from
         # an earlier residency can never produce a stale hit.
         key = (cb_id, cb.total_consumed + offset, nbytes, dtype.name)
-        hit = key in self._cache
-        if hit:
+        entry = self._cache.get(key)
+        if entry is not None:
             self._cache.move_to_end(key)
-            block = self._cache[key]
+            block, lm_bytes = entry
             self.stats.add("operand_cache_hits")
+            return block, lm_bytes, True
+        raw = cb.read_at(offset, nbytes)
+        block = raw.view(dtype.numpy_dtype)[: rows * cols].reshape(rows, cols)
+        if dtype.name == "int8":
+            lm_bytes = block.nbytes
+            block = block.astype(np.int32)
         else:
-            raw = cb.read_at(offset, nbytes)
-            block = raw.view(dtype.numpy_dtype)[: rows * cols].reshape(rows, cols)
-            if dtype.name == "fp16":
-                block = block.astype(np.float32)
-            self._cache[key] = block
-            if len(self._cache) > self._cache_entries:
-                self._cache.popitem(last=False)
-            self.stats.add("operand_cache_misses")
-        return block, hit
+            block = block.astype(np.float32)
+            lm_bytes = block.nbytes
+        self._cache[key] = (block, lm_bytes)
+        if len(self._cache) > self._cache_entries:
+            self._cache.popitem(last=False)
+        self.stats.add("operand_cache_misses")
+        return block, lm_bytes, False
 
     def _block_cycles(self, cmd: MML, a_hit: bool) -> int:
         """Latency of one MML command.
@@ -69,7 +80,7 @@ class DotProductEngine(FunctionalUnit):
         operand-cache miss.
         """
         per_row = 1 if cmd.dtype.name == "int8" else 2
-        stream = cmd.n * per_row * max(1, math.ceil(cmd.k / 32))
+        stream = cmd.n * per_row * max(1, (cmd.k + 31) // 32)
         load_a = 0 if a_hit else cmd.m
         return stream + load_a
 
@@ -86,19 +97,15 @@ class DotProductEngine(FunctionalUnit):
             raise SimulationError(
                 f"MML block ({cmd.m},{cmd.k},{cmd.n}) exceeds the DPE's "
                 "32x32x32 maximum; tile the operation")
-        a_block, a_hit = self._load_block(cmd.cb_a, cmd.offset_a,
-                                          cmd.m, cmd.k, cmd.dtype)
-        b_block, _ = self._load_block(cmd.cb_b, cmd.offset_b,
-                                      cmd.n, cmd.k, cmd.dtype)
+        a_block, a_bytes, a_hit = self._load_block(cmd.cb_a, cmd.offset_a,
+                                                   cmd.m, cmd.k, cmd.dtype)
+        b_block, b_bytes, _ = self._load_block(cmd.cb_b, cmd.offset_b,
+                                               cmd.n, cmd.k, cmd.dtype)
         # Charge local-memory bandwidth for the operand reads that missed.
-        lm_bytes = b_block.nbytes + (0 if a_hit else a_block.nbytes)
+        lm_bytes = b_bytes + (0 if a_hit else a_bytes)
         if lm_bytes:
-            yield from self.pe.local_memory.port.use(lm_bytes)
-        if cmd.dtype.name == "int8":
-            partial = b_block.astype(np.int32) @ a_block.astype(np.int32).T
-        else:
-            partial = (b_block.astype(np.float32)
-                       @ a_block.astype(np.float32).T)
+            yield self.pe.local_memory.port.delay_for(lm_bytes)
+        partial = b_block @ a_block.T
         # "The result is always sent to the next functional unit in the
         # pipeline for storage and accumulation" (Section 3.1.2).
         self.pe.re_unit.accumulate(cmd.acc, partial)

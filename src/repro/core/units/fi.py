@@ -43,6 +43,9 @@ class FabricInterface(FunctionalUnit):
         #: completion event of the most recently dispatched load, used to
         #: chain in-order CB commits.
         self._commit_chain: Optional[Event] = None
+        self._track = f"pe{pe.index}.fi"
+        self._load_proc_name = f"pe{pe.index}.fi.load"
+        self._store_proc_name = f"pe{pe.index}.fi.storexfer"
         engine.process(self._run_store(), f"pe{pe.index}.fi.store")
 
     def dispatch(self, dispatched: DispatchedCommand) -> Event:
@@ -54,7 +57,7 @@ class FabricInterface(FunctionalUnit):
     def _run(self) -> Generator:
         """Load engine front end: order, reserve, then fetch in parallel."""
         engine = self.engine
-        track = f"pe{self.pe.index}.fi"
+        track = self._track
         while True:
             dispatched = yield self.queue.get()
             cmd = dispatched.command
@@ -87,7 +90,7 @@ class FabricInterface(FunctionalUnit):
             self._commit_chain = dispatched.done
             self.engine.process(
                 self._do_load(cmd, dispatched.done, predecessor),
-                f"pe{self.pe.index}.fi.load")
+                self._load_proc_name)
 
     def _do_load(self, cmd: DMALoad, done: Event,
                  predecessor: Optional[Event]) -> Generator:
@@ -106,14 +109,14 @@ class FabricInterface(FunctionalUnit):
             done.fail(exc)
             return
         # Landing the data in local memory consumes local bandwidth.
-        yield from self.pe.local_memory.port.use(cmd.nbytes)
+        yield self.pe.local_memory.port.delay_for(cmd.nbytes)
         if predecessor is not None and not predecessor.triggered:
             yield predecessor          # commit strictly in issue order
         self.pe.cb(cmd.cb_id).commit(data)
         self.stats.add("load_bytes", cmd.nbytes)
         self.stats.add("busy_cycles", self.engine.now - start)
         self.stats.add("commands")
-        self.engine.tracer.record(f"pe{self.pe.index}.fi", "DMALoad",
+        self.engine.tracer.record(self._track, "DMALoad",
                                   start, self.engine.now,
                                   bytes=cmd.nbytes)
         self._load_slots.release()
@@ -122,7 +125,7 @@ class FabricInterface(FunctionalUnit):
     # -- store engine -------------------------------------------------------
     def _run_store(self) -> Generator:
         engine = self.engine
-        track = f"pe{self.pe.index}.fi"
+        track = self._track
         while True:
             dispatched = yield self.store_queue.get()
             cmd = dispatched.command
@@ -150,10 +153,10 @@ class FabricInterface(FunctionalUnit):
             if engine.now > entered:
                 engine.obs.stall(track, "fi_slot_wait", entered, engine.now)
             self.stats.add("stall_cycles", self.engine.now - stall_start)
-            yield from self.pe.local_memory.port.use(cmd.nbytes)
+            yield self.pe.local_memory.port.delay_for(cmd.nbytes)
             data = cb.read_and_pop(cmd.nbytes)   # pop in issue order
             self.engine.process(self._do_store(cmd, data, dispatched.done),
-                                f"pe{self.pe.index}.fi.storexfer")
+                                self._store_proc_name)
 
     def _do_store(self, cmd: DMAStore, data, done: Event) -> Generator:
         start = self.engine.now
@@ -168,7 +171,7 @@ class FabricInterface(FunctionalUnit):
         self.stats.add("store_bytes", cmd.nbytes)
         self.stats.add("busy_cycles", self.engine.now - start)
         self.stats.add("commands")
-        self.engine.tracer.record(f"pe{self.pe.index}.fi", "DMAStore",
+        self.engine.tracer.record(self._track, "DMAStore",
                                   start, self.engine.now,
                                   bytes=cmd.nbytes)
         self._store_slots.release()

@@ -43,7 +43,7 @@ class MemoryLayoutUnit(FunctionalUnit):
         if cmd.pop_input:
             src.pop(cmd.src_offset + cmd.nbytes)
         # Transpose reads and writes every byte through local memory.
-        yield from self.pe.local_memory.port.use(2 * cmd.nbytes)
+        yield self.pe.local_memory.port.delay_for(2 * cmd.nbytes)
         self.pe.cb(cmd.dst_cb).write_and_push(transposed)
         self.stats.add("bytes", cmd.nbytes)
         yield self._move_cycles(cmd.nbytes)
@@ -56,7 +56,7 @@ class MemoryLayoutUnit(FunctionalUnit):
             if cmd.pop_inputs:
                 cb.pop(nbytes)
         out = np.concatenate(pieces) if pieces else np.zeros(0, np.uint8)
-        yield from self.pe.local_memory.port.use(2 * out.size)
+        yield self.pe.local_memory.port.delay_for(2 * out.size)
         self.pe.cb(cmd.dst_cb).write_and_push(out)
         self.stats.add("bytes", out.size)
         yield self._move_cycles(out.size)
@@ -66,7 +66,7 @@ class MemoryLayoutUnit(FunctionalUnit):
         raw = src.read_at(cmd.src_offset, cmd.nbytes)
         if cmd.pop_input:
             src.pop(cmd.src_offset + cmd.nbytes)
-        yield from self.pe.local_memory.port.use(2 * cmd.nbytes)
+        yield self.pe.local_memory.port.delay_for(2 * cmd.nbytes)
         self.pe.cb(cmd.dst_cb).write_and_push(raw)
         self.stats.add("bytes", cmd.nbytes)
         yield self._move_cycles(cmd.nbytes)

@@ -132,6 +132,6 @@ class ReductionEngine(FunctionalUnit):
             else:
                 raise SimulationError(f"Reduce cannot convert to {target.name}")
         cb = self.pe.cb(cmd.dest_cb)
-        yield from self.pe.local_memory.port.use(out.nbytes)
+        yield self.pe.local_memory.port.delay_for(out.nbytes)
         cb.write_and_push(out)
         self.stats.add("stored_blocks")

@@ -110,7 +110,7 @@ class SIMDEngine(FunctionalUnit):
             values = raw.view(np.int8)[:cmd.count].astype(np.float32)
             dst = resolve_dtype(cmd.dst_dtype or "fp32")
             out = ((values - cmd.zero_point) * cmd.scale).astype(dst.numpy_dtype)
-        yield from self.pe.local_memory.port.use(raw.size + out.nbytes)
+        yield self.pe.local_memory.port.delay_for(raw.size + out.nbytes)
         self.pe.cb(cmd.dst_cb).write_and_push(out)
         self.stats.add("elements", cmd.count)
         yield self._elem_cycles(cmd.count, "fp16")
@@ -123,7 +123,7 @@ class SIMDEngine(FunctionalUnit):
             out = np.maximum(x, 0.0).astype(np.float32)
         else:
             out = self._lut_apply(cmd.func, x)
-        yield from self.pe.local_memory.port.use(raw.size + out.nbytes)
+        yield self.pe.local_memory.port.delay_for(raw.size + out.nbytes)
         self.pe.cb(cmd.dst_cb).write_and_push(out)
         self.stats.add("elements", cmd.count)
         yield (self._elem_cycles(cmd.count, src.name)
@@ -144,7 +144,7 @@ class SIMDEngine(FunctionalUnit):
         else:
             out = np.maximum(a, b)
         out = out.astype(cmd.dtype.numpy_dtype)
-        yield from self.pe.local_memory.port.use(2 * nbytes + out.nbytes)
+        yield self.pe.local_memory.port.delay_for(2 * nbytes + out.nbytes)
         self.pe.cb(cmd.dst_cb).write_and_push(out)
         self.stats.add("elements", cmd.count)
         yield self._elem_cycles(cmd.count, cmd.dtype.name)

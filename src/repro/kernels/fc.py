@@ -407,7 +407,8 @@ def run_fc(acc: Accelerator, a: Optional[np.ndarray] = None,
            use_multicast: bool = True,
            dual_core: bool = True,
            auto_pad: bool = False,
-           seed: int = 0) -> FCResult:
+           seed: int = 0,
+           cache=None) -> FCResult:
     """Run one FC operator end-to-end on the simulated accelerator.
 
     Either pass operand arrays ``a`` (m, k) and ``b_t`` (n, k) or just
@@ -425,8 +426,19 @@ def run_fc(acc: Accelerator, a: Optional[np.ndarray] = None,
     ``use_multicast`` and ``dual_core`` are the Section 3.5 / Section 7
     ablation knobs: disable NoC read coalescing, or run both command
     streams from a single core.
+
+    ``cache`` accepts a :class:`repro.simcache.SimCache` (or set the
+    ``REPRO_SIM_CACHE`` environment variable) to replay
+    content-addressed results instead of re-simulating; replayed
+    results are bit-identical to a fresh run (cycles, output, stall
+    attributions — the conformance ``cache`` pillar proves it).
     """
+    from repro import simcache
+    from repro.simcache.cache import (machine_payload, record_stalls,
+                                      replay_stalls, usable_for)
+
     dtype = resolve_dtype(dtype)
+    operands_given = a is not None
     rng = np.random.default_rng(seed)
     if a is None:
         if None in (m, k, n):
@@ -460,6 +472,29 @@ def run_fc(acc: Accelerator, a: Optional[np.ndarray] = None,
     plan = plan_fc(subgrid, m, k, n, dtype, k_split=k_split,
                    use_multicast=use_multicast)
 
+    sim_cache = simcache.resolve_cache(cache)
+    key = None
+    if usable_for(sim_cache, acc):
+        payload = {
+            "op": "fc", "machine": machine_payload(acc),
+            "m": m, "k": k, "n": n, "true_m": true_m, "true_n": true_n,
+            "dtype": dtype.name,
+            "subgrid": (subgrid.origin, subgrid.rows, subgrid.cols),
+            "k_split": plan.k_split, "use_multicast": use_multicast,
+            "dual_core": dual_core,
+            "operands": ({"a": simcache.array_digest(a),
+                          "b_t": simcache.array_digest(b_t)}
+                         if operands_given else f"generated:{seed}"),
+        }
+        key = simcache.fingerprint(payload)
+        entry = sim_cache.lookup(key, "fc",
+                                 need_stalls=acc.engine.obs.enabled)
+        if entry is not None:
+            replay_stalls(acc, entry)
+            return FCResult(c_t=entry.outputs["c_t"].copy(),
+                            cycles=entry.cycles, plan=plan,
+                            macs=true_m * true_n * k)
+
     a_addr = acc.upload(np.ascontiguousarray(a))
     bt_addr = acc.upload(np.ascontiguousarray(b_t))
     out_np = np.int32 if dtype.name == "int8" else np.float32
@@ -474,6 +509,13 @@ def run_fc(acc: Accelerator, a: Optional[np.ndarray] = None,
     c_t = acc.download(c_addr, (n, m), out_np)
     if (true_m, true_n) != (m, n):
         c_t = np.ascontiguousarray(c_t[:true_n, :true_m])
+    if key is not None:
+        stalls, recorded = record_stalls(acc)
+        sim_cache.store(simcache.CacheEntry(
+            key=key, op="fc", cycles=cycles, outputs={"c_t": c_t.copy()},
+            stalls=stalls, stalls_recorded=recorded,
+            extras={"m": true_m, "k": k, "n": true_n,
+                    "dtype": dtype.name}))
     return FCResult(c_t=c_t, cycles=cycles, plan=plan,
                     macs=true_m * true_n * k)
 

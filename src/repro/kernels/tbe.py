@@ -243,13 +243,24 @@ def run_tbe(acc: Accelerator, config: TBEConfig,
             subgrid: Optional[SubGrid] = None,
             prefetch_rows: int = 2,
             weights: Optional[np.ndarray] = None,
-            seed: int = 0) -> TBEResult:
+            seed: int = 0,
+            cache=None) -> TBEResult:
     """Run one TBE operator on the simulated accelerator.
 
     ``prefetch_rows`` controls software pipelining depth (see module
     docstring).  Returns pooled FP32 output of shape
     (num_tables, batch, dim) plus the cycle count.
+
+    ``cache`` accepts a :class:`repro.simcache.SimCache` (or set
+    ``REPRO_SIM_CACHE``) to replay content-addressed results instead of
+    re-simulating; replayed results are bit-identical to a fresh run.
     """
+    from repro import simcache
+    from repro.simcache.cache import (machine_payload, record_stalls,
+                                      replay_stalls, usable_for)
+
+    tables_given = tables is not None
+    indices_given = indices is not None
     if tables is None:
         tables = generate_tables(config, seed)
     if indices is None:
@@ -265,6 +276,29 @@ def run_tbe(acc: Accelerator, config: TBEConfig,
     if subgrid is None:
         subgrid = acc.subgrid()
 
+    sim_cache = simcache.resolve_cache(cache)
+    key = None
+    if usable_for(sim_cache, acc):
+        payload = {
+            "op": "tbe", "machine": machine_payload(acc),
+            "config": config,
+            "subgrid": (subgrid.origin, subgrid.rows, subgrid.cols),
+            "prefetch_rows": prefetch_rows,
+            "tables": (simcache.array_digest(tables)
+                       if tables_given else f"generated:{seed}"),
+            "indices": (simcache.array_digest(indices)
+                        if indices_given else f"generated:{seed + 1}"),
+            "weights": (simcache.array_digest(weights)
+                        if weights is not None else None),
+        }
+        key = simcache.fingerprint(payload)
+        entry = sim_cache.lookup(key, "tbe",
+                                 need_stalls=acc.engine.obs.enabled)
+        if entry is not None:
+            replay_stalls(acc, entry)
+            return TBEResult(output=entry.outputs["output"].copy(),
+                             cycles=entry.cycles, config=config)
+
     table_addrs = [acc.upload(tables[t]) for t in range(config.num_tables)]
     out_addr = acc.alloc_dram(config.num_bags * dim * 4)
 
@@ -278,4 +312,15 @@ def run_tbe(acc: Accelerator, config: TBEConfig,
     output = acc.download(out_addr,
                           (config.num_tables, config.batch_size, dim),
                           np.float32)
+    if key is not None:
+        stalls, recorded = record_stalls(acc)
+        sim_cache.store(simcache.CacheEntry(
+            key=key, op="tbe", cycles=cycles,
+            outputs={"output": output.copy()},
+            stalls=stalls, stalls_recorded=recorded,
+            extras={"num_tables": config.num_tables,
+                    "batch_size": config.batch_size,
+                    "embedding_dim": dim,
+                    "pooling_factor": config.pooling_factor,
+                    "prefetch_rows": prefetch_rows}))
     return TBEResult(output=output, cycles=cycles, config=config)

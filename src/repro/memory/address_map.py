@@ -10,6 +10,7 @@ addresses of one DRAM controller.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.config import ChipConfig
 
@@ -63,15 +64,39 @@ class AddressMap:
                          config.local_memory.capacity_bytes)
             for pe in range(config.num_pes)
         ]
+        # Hot-path constants (interleave lookups run per 64 B fragment).
+        self._dram_end = config.dram.capacity_bytes
+        self._num_channels = config.dram.num_channels
+        self._channels_per_controller = config.dram.channels_per_controller
+        self._slices_per_controller = config.sram.slices_per_controller
+        self._num_slices = config.sram.num_slices
+        self._sram_end = SRAM_BASE + config.sram.capacity_bytes
+        self._local_end = LOCAL_BASE + config.num_pes * LOCAL_APERTURE
+        # Both interleave maps are periodic in the line number, so a
+        # precomputed table replaces the div/mod chain on the per-line
+        # hot path: controller(line) repeats every num_channels lines,
+        # cache_slice(line) every num_channels * slices_per_controller.
+        channels = self._num_channels
+        cpc = self._channels_per_controller
+        per = self._slices_per_controller
+        self._ctrl_table = [(ch // cpc) for ch in range(channels)]
+        self._slice_period = channels * per
+        self._slice_table = [
+            ((line % channels) // cpc) * per + (line // channels) % per
+            for line in range(self._slice_period)
+        ]
+        # Instance-level binding skips the bound-method wrapper on the
+        # per-fragment hot path (the function is pure and module-level).
+        self.split_by_interleave = _split_by_interleave
 
     # -- region classification ----------------------------------------
     def region(self, addr: int) -> str:
         """Return "dram", "sram", or "local" for ``addr``."""
-        if addr in self.dram_range:
+        if 0 <= addr < self._dram_end:
             return "dram"
-        if addr in self.sram_range:
+        if SRAM_BASE <= addr < self._sram_end:
             return "sram"
-        if LOCAL_BASE <= addr < LOCAL_BASE + self.config.num_pes * LOCAL_APERTURE:
+        if LOCAL_BASE <= addr < self._local_end:
             return "local"
         raise IndexError(f"address {addr:#x} is unmapped")
 
@@ -88,17 +113,23 @@ class AddressMap:
     # -- interleaving --------------------------------------------------
     def dram_channel(self, addr: int) -> int:
         """DRAM channel serving ``addr`` (line interleaved)."""
-        line = self.dram_range.offset(addr) // INTERLEAVE_BYTES
-        return line % self.config.dram.num_channels
+        if not 0 <= addr < self._dram_end:
+            raise IndexError(
+                f"{addr:#x} not in [0x0, {self._dram_end:#x})")
+        return (addr // INTERLEAVE_BYTES) % self._num_channels
 
     def dram_controller(self, addr: int) -> int:
         """DRAM controller serving ``addr``."""
-        return self.dram_channel(addr) // self.config.dram.channels_per_controller
+        if not 0 <= addr < self._dram_end:
+            raise IndexError(
+                f"{addr:#x} not in [0x0, {self._dram_end:#x})")
+        return self._ctrl_table[(addr // INTERLEAVE_BYTES)
+                                % self._num_channels]
 
     def sram_slice(self, addr: int) -> int:
         """SRAM slice serving a scratchpad address (line interleaved)."""
         line = self.sram_range.offset(addr) // INTERLEAVE_BYTES
-        return line % self.config.sram.num_slices
+        return line % self._num_slices
 
     def cache_slice_for_dram(self, addr: int) -> int:
         """SRAM slice caching a DRAM address in cache mode.
@@ -106,17 +137,34 @@ class AddressMap:
         Each controller's addresses are spread over its four dedicated
         slices, again at line granularity (Section 3.4).
         """
-        controller = self.dram_controller(addr)
-        per = self.config.sram.slices_per_controller
-        line = self.dram_range.offset(addr) // INTERLEAVE_BYTES
-        sub = (line // self.config.dram.num_channels) % per
-        return controller * per + sub
+        if not 0 <= addr < self._dram_end:
+            raise IndexError(
+                f"{addr:#x} not in [0x0, {self._dram_end:#x})")
+        return self._slice_table[(addr // INTERLEAVE_BYTES)
+                                 % self._slice_period]
 
     def split_by_interleave(self, addr: int, nbytes: int):
-        """Yield (addr, size) line-granularity fragments of an access."""
-        end = addr + nbytes
-        while addr < end:
-            chunk = min(end - addr,
-                        INTERLEAVE_BYTES - (addr % INTERLEAVE_BYTES))
-            yield addr, chunk
-            addr += chunk
+        """Return (addr, size) line-granularity fragments of an access."""
+        return _split_by_interleave(addr, nbytes)
+
+
+@lru_cache(maxsize=65536)
+def _split_by_interleave(addr: int, nbytes: int):
+    # Pure function of the module-level interleave constant; memoised
+    # because workloads re-access the same tensor regions every step.
+    # Callers must treat the returned tuple as immutable.
+    if nbytes <= 0:
+        return ()
+    end = addr + nbytes
+    first = INTERLEAVE_BYTES - (addr % INTERLEAVE_BYTES)
+    if nbytes <= first:
+        return ((addr, nbytes),)
+    fragments = [(addr, first)]
+    addr += first
+    while addr < end:
+        chunk = end - addr
+        if chunk > INTERLEAVE_BYTES:
+            chunk = INTERLEAVE_BYTES
+        fragments.append((addr, chunk))
+        addr += chunk
+    return tuple(fragments)

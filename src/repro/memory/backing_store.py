@@ -8,6 +8,7 @@ matching the simulator convention that fresh memory is zero-filled.
 
 from __future__ import annotations
 
+import math
 from typing import Dict
 
 import numpy as np
@@ -35,6 +36,14 @@ class SparseByteStore:
     def read(self, addr: int, nbytes: int) -> np.ndarray:
         """Return ``nbytes`` bytes starting at ``addr`` as uint8."""
         self._check(addr, nbytes)
+        # Fast path: the access stays within one page (the common case
+        # for sub-64KB reads, e.g. embedding rows and operand tiles).
+        offset = addr & (PAGE_SIZE - 1)
+        if offset + nbytes <= PAGE_SIZE:
+            page = self._pages.get(addr >> PAGE_BITS)
+            if page is None:
+                return np.zeros(nbytes, dtype=np.uint8)
+            return page[offset:offset + nbytes].copy()
         out = np.zeros(nbytes, dtype=np.uint8)
         pos = 0
         while pos < nbytes:
@@ -66,7 +75,7 @@ class SparseByteStore:
     def read_array(self, addr: int, shape: tuple, dtype) -> np.ndarray:
         """Read a contiguous numpy array of ``shape``/``dtype`` at ``addr``."""
         np_dtype = np.dtype(dtype)
-        nbytes = int(np.prod(shape)) * np_dtype.itemsize
+        nbytes = math.prod(shape) * np_dtype.itemsize
         return self.read(addr, nbytes).view(np_dtype).reshape(shape)
 
     @property

@@ -85,24 +85,63 @@ class SetAssociativeCache:
         Every line touched is counted once.  Write misses allocate when
         ``write_allocate`` is set, otherwise they bypass the cache.
         """
-        first = addr // self.line_bytes
-        last = (addr + max(nbytes, 1) - 1) // self.line_bytes
+        line_bytes = self.line_bytes
+        first = addr // line_bytes
+        last = (addr + nbytes - 1) // line_bytes if nbytes > 1 else first
+        num_sets = self.num_sets
+        sets = self._sets
+        stats = self.stats
+        # Inlined _locate/_set/_touch/_fill: this loop runs once per 64 B
+        # fragment of every cached DRAM access, so attribute chases and
+        # helper-call overhead dominate the model cost at this scale.
+        # Interleave-split fragments never straddle a line, so the
+        # single-line case skips the range loop entirely.
+        if first == last:
+            index = first % num_sets
+            tag = first // num_sets
+            s = sets.get(index)
+            if s is None:
+                s = OrderedDict()
+                sets[index] = s
+            if tag in s:
+                stats.hits += 1
+                s.move_to_end(tag)
+                if is_write:
+                    s[tag] = True
+                return 1, 0
+            stats.misses += 1
+            if not is_write or self.write_allocate:
+                if len(s) >= self.ways:
+                    _, victim_dirty = s.popitem(last=False)
+                    stats.evictions += 1
+                    if victim_dirty:
+                        stats.writebacks += 1
+                s[tag] = is_write
+            return 0, 1
         hits = misses = 0
         for line in range(first, last + 1):
-            line_addr = line * self.line_bytes
-            index, tag = self._locate(line_addr)
-            s = self._set(index)
+            index = line % num_sets
+            tag = line // num_sets
+            s = sets.get(index)
+            if s is None:
+                s = OrderedDict()
+                sets[index] = s
             if tag in s:
-                self.stats.hits += 1
+                stats.hits += 1
                 hits += 1
-                self._touch(s, tag)
+                s.move_to_end(tag)
                 if is_write:
                     s[tag] = True
             else:
-                self.stats.misses += 1
+                stats.misses += 1
                 misses += 1
                 if not is_write or self.write_allocate:
-                    self._fill(s, tag, dirty=is_write)
+                    if len(s) >= self.ways:
+                        _, victim_dirty = s.popitem(last=False)
+                        stats.evictions += 1
+                        if victim_dirty:
+                            stats.writebacks += 1
+                    s[tag] = is_write
         return hits, misses
 
     def contains(self, addr: int) -> bool:

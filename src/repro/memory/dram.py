@@ -37,19 +37,33 @@ class DRAMModel:
                      stall_cause="dram_queue")
             for i in range(config.dram.num_controllers)
         ]
+        self._xfer_names = [f"dram.ctrl{i}.xfer"
+                            for i in range(config.dram.num_controllers)]
+        self._ctrl_bytes_memo: Dict[tuple, Dict[int, int]] = {}
 
     def _controller_bytes(self, fragments) -> Dict[int, int]:
         """Bytes of an access handled by each controller.
 
         ``fragments`` is an iterable of contiguous (addr, nbytes) pieces
-        (a strided 2D DMA contributes one fragment per row).
+        (a strided 2D DMA contributes one fragment per row).  Pure
+        accounting over the fixed address map, so results are memoised;
+        callers must not mutate the returned dict.
         """
-        split: Dict[int, int] = {}
+        key = tuple(fragments)
+        memo = self._ctrl_bytes_memo
+        split = memo.get(key)
+        if split is not None:
+            return split
+        split = {}
+        amap = self.address_map
+        split_lines = amap.split_by_interleave
+        ctrl_of = amap.dram_controller
         for addr, nbytes in fragments:
-            for frag_addr, frag_len in self.address_map.split_by_interleave(
-                    addr, nbytes):
-                ctrl = self.address_map.dram_controller(frag_addr)
+            for frag_addr, frag_len in split_lines(addr, nbytes):
+                ctrl = ctrl_of(frag_addr)
                 split[ctrl] = split.get(ctrl, 0) + frag_len
+        if len(memo) < 4096:
+            memo[key] = split
         return split
 
     def transfer_fragments(self, fragments, is_write: bool) -> Generator:
@@ -60,10 +74,10 @@ class DRAMModel:
         self.stats.add("accesses")
         split = self._controller_bytes(fragments)
         done = []
+        names = self._xfer_names
+        controllers = self.controllers
         for ctrl, ctrl_bytes in split.items():
-            done.append(self.engine.process(
-                self.controllers[ctrl].use(ctrl_bytes),
-                f"dram.ctrl{ctrl}.xfer"))
+            done.append(controllers[ctrl].charge(ctrl_bytes, names[ctrl]))
         yield self.engine.all_of(done)
         yield self.config.dram.access_latency
 

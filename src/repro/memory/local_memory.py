@@ -8,6 +8,7 @@ arbitration latency the paper calls out in Section 7.
 
 from __future__ import annotations
 
+import math
 from typing import Generator
 
 import numpy as np
@@ -40,7 +41,7 @@ class LocalMemory:
         """Process: timed read; returns a copy of the bytes."""
         self._check(addr, nbytes)
         self.stats.add("read_bytes", nbytes)
-        yield from self.port.use(nbytes)
+        yield self.port.delay_for(nbytes)
         yield self.config.access_latency
         return self.data[addr:addr + nbytes].copy()
 
@@ -49,7 +50,7 @@ class LocalMemory:
         raw = np.ascontiguousarray(payload).view(np.uint8).reshape(-1)
         self._check(addr, raw.size)
         self.stats.add("write_bytes", raw.size)
-        yield from self.port.use(raw.size)
+        yield self.port.delay_for(raw.size)
         yield self.config.access_latency
         self.data[addr:addr + raw.size] = raw
 
@@ -65,5 +66,5 @@ class LocalMemory:
 
     def peek_array(self, addr: int, shape: tuple, dtype) -> np.ndarray:
         np_dtype = np.dtype(dtype)
-        nbytes = int(np.prod(shape)) * np_dtype.itemsize
+        nbytes = math.prod(shape) * np_dtype.itemsize
         return self.peek(addr, nbytes).view(np_dtype).reshape(shape)

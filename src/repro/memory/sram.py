@@ -50,6 +50,12 @@ class SRAMModel:
                      stall_cause="sram_queue")
             for i in range(config.sram.num_slices)
         ]
+        self._xfer_names = [f"sram.slice{i}.xfer"
+                            for i in range(config.sram.num_slices)]
+        #: memoised per-(slice, requester) latency — pure function of
+        #: the frozen config, recomputed millions of times otherwise
+        self._latency_memo: Dict[Tuple[int, Optional[Tuple[int, int]]], int] = {}
+        self._slice_bytes_memo: Dict[tuple, Dict[int, int]] = {}
         slice_capacity = config.sram.capacity_bytes // config.sram.num_slices
         self.caches: List[SetAssociativeCache] = [
             SetAssociativeCache(slice_capacity,
@@ -63,8 +69,13 @@ class SRAMModel:
     def _slice_latency(self, slice_index: int,
                        requester: Optional[Tuple[int, int]]) -> int:
         """Access latency including grid-position non-uniformity."""
+        memo_key = (slice_index, requester)
+        cached = self._latency_memo.get(memo_key)
+        if cached is not None:
+            return cached
         base = self.config.sram.base_latency
         if requester is None:
+            self._latency_memo[memo_key] = base
             return base
         row, col = requester
         # Slices ring the grid; map slice index to a perimeter position
@@ -81,18 +92,29 @@ class SRAMModel:
             dist = (self.config.grid_rows - 1 - row) + abs(col - anchor)
         else:              # west edge
             dist = col + abs(row - anchor)
-        return base + dist * self.config.sram.per_hop_latency
+        latency = base + dist * self.config.sram.per_hop_latency
+        self._latency_memo[memo_key] = latency
+        return latency
 
     def _slice_bytes(self, fragments, for_dram: bool) -> Dict[int, int]:
-        split: Dict[int, int] = {}
+        # Pure accounting over the fixed address map — memoised because
+        # workloads re-issue the same fragment lists every iteration.
+        # Callers must not mutate the returned dict.
+        key = (for_dram, tuple(fragments))
+        memo = self._slice_bytes_memo
+        split = memo.get(key)
+        if split is not None:
+            return split
+        split = {}
+        amap = self.address_map
+        locate = amap.cache_slice_for_dram if for_dram else amap.sram_slice
+        split_lines = amap.split_by_interleave
         for addr, nbytes in fragments:
-            for frag_addr, frag_len in self.address_map.split_by_interleave(
-                    addr, nbytes):
-                if for_dram:
-                    s = self.address_map.cache_slice_for_dram(frag_addr)
-                else:
-                    s = self.address_map.sram_slice(frag_addr)
+            for frag_addr, frag_len in split_lines(addr, nbytes):
+                s = locate(frag_addr)
                 split[s] = split.get(s, 0) + frag_len
+        if len(memo) < 4096:
+            memo[key] = split
         return split
 
     def _charge(self, split: Dict[int, int],
@@ -105,10 +127,13 @@ class SRAMModel:
         """
         done = []
         worst_latency = 0
+        names = self._xfer_names
+        slices = self.slices
         for s, nbytes in split.items():
-            done.append(self.engine.process(self.slices[s].use(nbytes),
-                                            f"sram.slice{s}.xfer"))
-            worst_latency = max(worst_latency, self._slice_latency(s, requester))
+            done.append(slices[s].charge(nbytes, names[s]))
+            latency = self._slice_latency(s, requester)
+            if latency > worst_latency:
+                worst_latency = latency
         yield self.engine.all_of(done)
         yield worst_latency
 
@@ -158,18 +183,26 @@ class SRAMModel:
         line = self.config.sram.cache_line_bytes
         hit_split: Dict[int, int] = {}
         miss_fragments = []
+        amap = self.address_map
+        split_lines = amap.split_by_interleave
+        locate = amap.cache_slice_for_dram
+        caches = self.caches
+        hit_lines = miss_lines = 0
         for addr, nbytes in fragments:
-            for frag_addr, frag_len in self.address_map.split_by_interleave(
-                    addr, nbytes):
-                s = self.address_map.cache_slice_for_dram(frag_addr)
-                hits, misses = self.caches[s].access(frag_addr, frag_len,
-                                                     is_write)
+            for frag_addr, frag_len in split_lines(addr, nbytes):
+                s = locate(frag_addr)
+                hits, misses = caches[s].access(frag_addr, frag_len,
+                                                is_write)
                 if misses:
                     miss_fragments.append((frag_addr, misses * line))
-                    self.stats.add("miss_lines", misses)
+                    miss_lines += misses
                 if hits:
                     hit_split[s] = hit_split.get(s, 0) + frag_len
-                    self.stats.add("hit_lines", hits)
+                    hit_lines += hits
+        if miss_lines:
+            self.stats.add("miss_lines", miss_lines)
+        if hit_lines:
+            self.stats.add("hit_lines", hit_lines)
         waits = []
         if hit_split:
             waits.append(self.engine.process(

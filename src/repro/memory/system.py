@@ -8,6 +8,7 @@ the view the Fabric Interface (Section 3.1.5) has of the world.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Generator, Optional, Tuple
 
 import numpy as np
@@ -56,7 +57,7 @@ class MemorySystem:
              requester: Optional[Tuple[int, int]] = None) -> Generator:
         """Process: read ``nbytes`` at system address ``addr``."""
         region = self.address_map.region(addr)
-        self.stats.add(f"{region}_reads")
+        self.stats.add(region + "_reads")
         if region == "dram":
             if self.sram.mode is SRAMMode.CACHE:
                 data = yield from self.sram.cached_access(
@@ -76,7 +77,7 @@ class MemorySystem:
         """Process: write ``data`` at system address ``addr``."""
         raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
         region = self.address_map.region(addr)
-        self.stats.add(f"{region}_writes")
+        self.stats.add(region + "_writes")
         if region == "dram":
             if self.sram.mode is SRAMMode.CACHE:
                 yield from self.sram.cached_access(
@@ -107,18 +108,22 @@ class MemorySystem:
         """
         fragments = self._fragments(addr, rows, row_bytes, stride)
         region = self.address_map.region(addr)
-        self.stats.add(f"{region}_reads")
+        self.stats.add(region + "_reads")
         if region == "dram":
             if self.sram_mode is SRAMMode.CACHE:
                 yield from self.sram.cached_fragments(fragments, False,
                                                       requester)
             else:
                 yield from self.dram.transfer_fragments(fragments, False)
+            if rows == 1:   # store.read returns a fresh copy
+                return self.dram.store.read(addr, row_bytes)
             rows_data = [self.dram.store.read(a, n) for a, n in fragments]
             return np.concatenate(rows_data)
         if region == "sram":
             yield from self.sram.charge_fragments(fragments, False, requester)
             base = self.address_map.sram_range.base
+            if rows == 1:
+                return self.sram.store.read(addr - base, row_bytes)
             rows_data = [self.sram.store.read(a - base, n)
                          for a, n in fragments]
             return np.concatenate(rows_data)
@@ -137,7 +142,7 @@ class MemorySystem:
                 f"2D write size mismatch: {raw.size} != {rows}x{row_bytes}")
         fragments = self._fragments(addr, rows, row_bytes, stride)
         region = self.address_map.region(addr)
-        self.stats.add(f"{region}_writes")
+        self.stats.add(region + "_writes")
         if region == "dram":
             if self.sram_mode is SRAMMode.CACHE:
                 yield from self.sram.cached_fragments(fragments, True,
@@ -163,13 +168,15 @@ class MemorySystem:
                   raw) -> Generator:
         """Strided access against a PE-local memory."""
         total = rows * row_bytes
-        yield from memory.port.use(total)
+        yield memory.port.delay_for(total)
         yield memory.config.access_latency
         if is_write:
             for i in range(rows):
                 memory.poke(offset + i * stride,
                             raw[i * row_bytes:(i + 1) * row_bytes])
             return None
+        if rows == 1:       # peek returns a fresh copy
+            return memory.peek(offset, row_bytes)
         pieces = [memory.peek(offset + i * stride, row_bytes)
                   for i in range(rows)]
         return np.concatenate(pieces)
@@ -196,5 +203,5 @@ class MemorySystem:
 
     def peek_array(self, addr: int, shape: tuple, dtype) -> np.ndarray:
         np_dtype = np.dtype(dtype)
-        nbytes = int(np.prod(shape)) * np_dtype.itemsize
+        nbytes = math.prod(shape) * np_dtype.itemsize
         return self.peek(addr, nbytes).view(np_dtype).reshape(shape)

@@ -56,8 +56,8 @@ class NoC:
         """Charge link bandwidth and hop latency for one traversal."""
         row, col = source
         self.stats.add("link_bytes", nbytes)
-        row_use = self.engine.process(self.row_links[row].use(nbytes))
-        col_use = self.engine.process(self.col_links[col].use(nbytes))
+        row_use = self.row_links[row].charge(nbytes)
+        col_use = self.col_links[col].charge(nbytes)
         yield self.engine.all_of([row_use, col_use])
         yield self.hop_count(source) * self.config.noc.hop_latency
 

@@ -73,7 +73,7 @@ class ReductionNetwork:
         nbytes = payload.nbytes
         self.stats.add("transfers")
         self.stats.add("bytes", nbytes)
-        yield from self._link(src, dst).use(nbytes)
+        yield self._link(src, dst).delay_for(nbytes)
         yield self.config.noc.hop_latency
         yield self.mailbox(dst).put(payload)
 

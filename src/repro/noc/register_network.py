@@ -87,14 +87,14 @@ class RegisterNetwork:
     def read(self, block: str, offset: int) -> Generator:
         """Process: a CSR read transaction; returns the value."""
         self.stats.add("reads")
-        yield from self._port.use(1)
+        yield self._port.delay_for(1)
         yield REGISTER_HOP_LATENCY
         return self.block(block).read(offset)
 
     def write(self, block: str, offset: int, value: int) -> Generator:
         """Process: a CSR write transaction."""
         self.stats.add("writes")
-        yield from self._port.use(1)
+        yield self._port.delay_for(1)
         yield REGISTER_HOP_LATENCY
         self.block(block).write(offset, value)
 

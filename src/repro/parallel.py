@@ -1,0 +1,107 @@
+"""Spawn-safe parallel map for simulation sweeps.
+
+Conformance sweeps, benchmark suites, and calibration grids are
+embarrassingly parallel: every case is a pure function of its inputs
+(the determinism pillar proves it), so they can fan out over worker
+processes without changing a single result bit.  This module provides
+the one primitive those CLIs share::
+
+    from repro.parallel import parallel_map
+    results = parallel_map(run_case, cases, jobs=4)
+
+Guarantees:
+
+* **Deterministic ordering** — ``results[i]`` is ``fn(items[i])``
+  regardless of worker completion order, so a parallel sweep emits the
+  same report as a serial one.
+* **Spawn-safe** — workers use the ``spawn`` start method (the only
+  method that is safe and portable everywhere, and the macOS/Windows
+  default), so ``fn`` and each item must be picklable: module-level
+  functions and plain dataclasses, not closures.
+* **Graceful serial fallback** — if the pool cannot be created or dies
+  (restricted sandboxes, missing semaphores, forbidden ``exec``), the
+  map silently degrades to a serial loop; results are identical either
+  way, only the wall time changes.
+
+``jobs <= 1`` (the CLI default) never creates a pool, so single-job
+runs are byte-for-byte the old serial code path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_jobs() -> int:
+    """A sensible ``--jobs`` default for "use the machine": CPU count."""
+    return os.cpu_count() or 1
+
+
+def _serial_map(fn: Callable[[T], R], items: Sequence[T],
+                progress: Optional[Callable[[int, R], None]]) -> List[R]:
+    results: List[R] = []
+    for index, item in enumerate(items):
+        result = fn(item)
+        results.append(result)
+        if progress is not None:
+            progress(index, result)
+    return results
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T], jobs: int = 1,
+                 progress: Optional[Callable[[int, R], None]] = None
+                 ) -> List[R]:
+    """Map ``fn`` over ``items`` with up to ``jobs`` worker processes.
+
+    Returns results in input order.  ``progress(index, result)``, when
+    given, fires once per item — in input order for serial runs, in
+    completion order for parallel runs (the returned list is ordered
+    either way).  Exceptions raised by ``fn`` propagate to the caller
+    (the first one, by input order, in parallel runs); pool
+    *infrastructure* failures fall back to serial execution instead.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return _serial_map(fn, items, progress)
+
+    results: List[R] = [None] * len(items)  # type: ignore[list-item]
+    errors: List[Optional[BaseException]] = [None] * len(items)
+    try:
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=min(jobs, len(items)),
+                                 mp_context=context) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            for index, future in enumerate(futures):
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    raise           # infrastructure died: retry serially
+                except (pickle.PicklingError, TypeError, AttributeError,
+                        ImportError) as exc:
+                    # fn/item/result not spawn-transportable.
+                    raise _Unpicklable(exc)
+                except Exception as exc:         # fn itself raised
+                    errors[index] = exc
+                else:
+                    if progress is not None:
+                        progress(index, results[index])
+    except (_Unpicklable, BrokenProcessPool, OSError, ValueError):
+        # No pool for us (sandbox, dead workers, unpicklable payload):
+        # degrade to the serial path — same results, longer wall time.
+        return _serial_map(fn, items, progress)
+    for exc in errors:
+        if exc is not None:
+            raise exc
+    return results
+
+
+class _Unpicklable(Exception):
+    """Internal marker: payload cannot cross a spawn boundary."""

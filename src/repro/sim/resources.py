@@ -9,6 +9,7 @@ policies live with the hardware models in :mod:`repro.core` and
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Any, Deque, Generator, Optional
 
 from repro.sim.engine import Engine, Event, SimulationError
@@ -22,6 +23,7 @@ class Semaphore:
             raise ValueError("capacity must be non-negative")
         self.engine = engine
         self.name = name
+        self._acquire_name = f"{name}.acquire"
         self._available = capacity
         self.capacity = capacity
         self._waiters: Deque[Event] = deque()
@@ -32,7 +34,7 @@ class Semaphore:
 
     def acquire(self) -> Event:
         """Return an event that fires once a unit has been granted."""
-        ev = self.engine.event(f"{self.name}.acquire")
+        ev = Event(self.engine, self._acquire_name)
         if self._available > 0:
             self._available -= 1
             ev.succeed()
@@ -78,19 +80,51 @@ class Resource:
     def service_time(self, amount: float) -> float:
         return amount / self.rate
 
-    def use(self, amount: float) -> Generator:
-        """Occupy the resource for ``amount`` units of traffic."""
+    def delay_for(self, amount: float) -> float:
+        """Reserve the resource *now*; return the delay until completion.
+
+        This is the synchronous core of :meth:`use`: accounting happens
+        at the call site's position in the event order, exactly where a
+        ``use`` generator would have run it on first resume.
+        """
         now = self.engine.now
-        start = max(now, self._free_at)
+        start = self._free_at
         if start > now:
             self.queue_cycles += start - now
             if self.stall_cause is not None:
                 self.engine.obs.stall(self.name, self.stall_cause, now, start)
-        duration = self.service_time(amount)
+        else:
+            start = now
+        duration = amount / self.rate
         self._free_at = start + duration
         self.total_units += amount
         self.busy_cycles += duration
-        yield self._free_at - self.engine.now
+        return self._free_at - now
+
+    def use(self, amount: float) -> Generator:
+        """Occupy the resource for ``amount`` units of traffic."""
+        yield self.delay_for(amount)
+
+    def charge(self, amount: float, name: Optional[str] = None) -> Event:
+        """Event-returning equivalent of ``engine.process(self.use(amount))``.
+
+        Reserves the resource at the same event-queue position a spawned
+        process would (deferred one immediate-queue hop), fires the
+        returned event at the same position the process-completion event
+        would fire, and skips the generator/Process machinery entirely —
+        the ticket sequence is identical, so simulated interleavings are
+        bit-for-bit unchanged (the equivalence suite pins this).
+        """
+        done = Event(self.engine, name if name is not None else self.name)
+        self.engine._immediate(partial(self._charge_begin, amount, done))
+        return done
+
+    def _charge_begin(self, amount: float, done: Event) -> None:
+        delay = self.delay_for(amount)
+        # Always route completion through the scheduler — even for a
+        # zero delay — so the event fires at the same queue position as
+        # a process resuming from ``yield 0`` would have.
+        self.engine.schedule(self.engine.now + delay, done.succeed)
 
     def utilization(self, elapsed: Optional[float] = None) -> float:
         """Fraction of cycles the resource was busy."""
@@ -108,6 +142,8 @@ class Queue:
         self.engine = engine
         self.capacity = capacity
         self.name = name
+        self._put_name = f"{name}.put"
+        self._get_name = f"{name}.get"
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple] = deque()
@@ -121,7 +157,7 @@ class Queue:
 
     def put(self, item: Any) -> Event:
         """Return an event that fires once the item has been enqueued."""
-        ev = self.engine.event(f"{self.name}.put")
+        ev = Event(self.engine, self._put_name)
         if self._getters:
             # Hand the item directly to the oldest waiting getter.
             self._getters.popleft().succeed(item)
@@ -135,7 +171,7 @@ class Queue:
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
-        ev = self.engine.event(f"{self.name}.get")
+        ev = Event(self.engine, self._get_name)
         if self._items:
             item = self._items.popleft()
             ev.succeed(item)

@@ -202,3 +202,31 @@ class TestEvents:
         engine.process(spinner())
         with pytest.raises(SimulationError, match="livelock"):
             engine.run(max_events=1000)
+
+
+class TestMaxEventsBoundary:
+    """The guard raises when the (max_events + 1)-th callback is
+    *attempted* — never after silently executing it."""
+
+    def test_exactly_max_events_completes(self, engine):
+        ran = []
+        for i in range(5):
+            engine.schedule(i, lambda i=i: ran.append(i))
+        assert engine.run(max_events=5) == 4
+        assert ran == [0, 1, 2, 3, 4]
+
+    def test_one_past_the_guard_raises_without_executing(self, engine):
+        ran = []
+        for i in range(6):
+            engine.schedule(i, lambda i=i: ran.append(i))
+        with pytest.raises(SimulationError, match="livelock"):
+            engine.run(max_events=5)
+        assert ran == [0, 1, 2, 3, 4]
+
+    def test_guard_applies_to_the_deque_fast_path_too(self, engine):
+        ran = []
+        for i in range(6):
+            engine.schedule(engine.now, lambda i=i: ran.append(i))
+        with pytest.raises(SimulationError, match="livelock"):
+            engine.run(max_events=5)
+        assert ran == [0, 1, 2, 3, 4]

@@ -77,6 +77,35 @@ event_delays = st.lists(st.integers(0, 1000), min_size=1, max_size=50)
 resource_amounts = st.lists(st.integers(1, 100), min_size=1, max_size=30)
 resource_rates = st.integers(1, 50)
 
+
+@st.composite
+def engine_programs(draw):
+    """Random process programs for the DES-kernel equivalence test.
+
+    Returns ``(n_events, programs)`` where each program is a list of
+    actions interpreted by ``tests/property/test_engine_equivalence.py``
+    against both the production engine (deque fast-path) and a
+    straight-heap reference.  Zero delays are deliberately common: they
+    are exactly the traffic the fast-path reroutes.
+    """
+    n_events = draw(st.integers(1, 3))
+    n_programs = draw(st.integers(1, 4))
+    action = st.one_of(
+        st.tuples(st.just("delay"), st.integers(0, 3)),
+        st.tuples(st.just("timeout"), st.integers(0, 2)),
+        st.tuples(st.just("trigger"), st.integers(0, n_events - 1)),
+        st.tuples(st.just("fail"), st.integers(0, n_events - 1)),
+        st.tuples(st.just("wait"), st.integers(0, n_events - 1)),
+        st.tuples(st.just("spawn"), st.integers(0, n_programs - 1)),
+    )
+    programs = draw(st.lists(st.lists(action, min_size=1, max_size=6),
+                             min_size=n_programs, max_size=n_programs))
+    return n_events, programs
+
+
+#: optional run() horizon for the equivalence test.
+engine_untils = st.one_of(st.none(), st.integers(0, 6))
+
 # -- KNYFE pipelines ---------------------------------------------------------
 
 _FP32_STAGES = ["quantize", "tanh", "relu", "sigmoid", "binary"]

@@ -1,0 +1,68 @@
+"""The spawn-safe parallel map behind every ``--jobs`` flag."""
+
+import os
+
+import pytest
+
+from repro.parallel import default_jobs, parallel_map
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_and_square(x):
+    return os.getpid(), x * x
+
+
+def _explode(x):
+    if x == 3:
+        raise ValueError(f"boom on {x}")
+    return x
+
+
+class TestSerial:
+    def test_jobs_one_is_a_plain_loop(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_single_item_never_pools(self):
+        pids = parallel_map(_pid_and_square, [5], jobs=8)
+        assert pids == [(os.getpid(), 25)]
+
+    def test_progress_fires_in_order(self):
+        seen = []
+        parallel_map(_square, [1, 2, 3], jobs=1,
+                     progress=lambda i, r: seen.append((i, r)))
+        assert seen == [(0, 1), (1, 4), (2, 9)]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+
+class TestParallel:
+    def test_results_in_input_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=2) == [x * x for x in items]
+
+    def test_exceptions_propagate_first_by_input_order(self):
+        with pytest.raises(ValueError, match="boom on 3"):
+            parallel_map(_explode, [1, 2, 3, 4, 3], jobs=2)
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        captured = []
+
+        def closure(x):            # closures cannot cross spawn
+            captured.append(x)
+            return -x
+
+        assert parallel_map(closure, [1, 2, 3], jobs=2) == [-1, -2, -3]
+        assert captured == [1, 2, 3]    # really ran in this process
+
+    def test_serial_and_parallel_agree(self):
+        items = list(range(12))
+        assert (parallel_map(_square, items, jobs=1)
+                == parallel_map(_square, items, jobs=3))
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1
