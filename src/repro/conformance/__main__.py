@@ -121,6 +121,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"  determinism violations: {totals['determinism_violations']}")
     if "cache" in config.pillars:
         print(f"  cache violations:       {totals['cache_violations']}")
+    if "faults" in config.pillars:
+        print(f"  faults violations:      {totals['faults_violations']}")
     print(f"  crossval band rate:     {totals['band_violation_rate']:.3f} "
           f"of {totals['crossval_cases']} cases "
           f"(band [{config.band.lo:.2f}, {config.band.hi:.2f}], "
@@ -139,6 +141,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 for d in detail.get("divergences", [])) or "error"
         elif case.pillar == "cache":
             extra = "; ".join(detail.get("cache", {}).get("violations", []))
+        elif case.pillar == "faults":
+            extra = "; ".join(detail.get("faults", {}).get("violations", []))
         else:
             extra = "; ".join(detail.get("sim", {}).get("violations", [])
                               + detail.get("graph", {}).get("violations",

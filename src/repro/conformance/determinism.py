@@ -195,6 +195,118 @@ def check_graph_determinism(seed: int,
     return res
 
 
+def check_fault_injection_noop(seed: int) -> DeterminismResult:
+    """An armed-but-empty fault injector must be a perfect no-op.
+
+    :mod:`repro.faults` threads penalty queries through every hardware
+    hot path (DRAM, SRAM, NoC, reduction network, CP dispatch) and the
+    resilient serving loop.  The contract mirrors PR 1's hooks-are-
+    no-ops rule: attaching a :class:`~repro.faults.FaultInjector` whose
+    plan is *empty* must leave cycles, outputs, stall attributions, and
+    serving latencies bit-identical to no injector at all — faults are
+    opt-in per event, never ambient.
+    """
+    from repro import Accelerator
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.kernels.fc import run_fc
+    from repro.kernels.tbe import TBEConfig, run_tbe
+    from repro.obs.metrics import MetricRegistry
+    from repro.serving.resilience import simulate_serving_resilient
+    from repro.serving.simulator import BatchingConfig, simulate_serving
+
+    res = DeterminismResult(seed=seed, kind="faults")
+    empty_plan = FaultPlan(events=())
+
+    # -- cycle-level FC kernel -------------------------------------------
+    shape = _fc_shape_for(seed)
+
+    def fc_once(inject: bool):
+        acc = Accelerator(observe=True)
+        if inject:
+            FaultInjector(empty_plan).attach(acc)
+        result = run_fc(acc, m=shape["m"], k=shape["k"], n=shape["n"],
+                        dtype="int8",
+                        subgrid=acc.subgrid((0, 0), shape["rows"],
+                                            shape["cols"]),
+                        k_split=shape["k_split"], seed=seed)
+        return result.cycles, result.c_t, acc.obs.stalls_by_track()
+
+    cycles_plain, out_plain, stalls_plain = fc_once(inject=False)
+    cycles_inj, out_inj, stalls_inj = fc_once(inject=True)
+    res.cycles = cycles_plain
+    if cycles_inj != cycles_plain:
+        res.violations.append(
+            "empty fault plan changed FC cycles: "
+            f"{cycles_plain} plain vs {cycles_inj} injected")
+    if not np.array_equal(out_inj, out_plain):
+        res.violations.append("empty fault plan changed FC output bits")
+    if stalls_inj != stalls_plain:
+        res.violations.append(
+            "empty fault plan changed FC stall attributions")
+
+    # -- cycle-level TBE kernel (DRAM/SRAM gather paths) -----------------
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    tbe_cfg = TBEConfig(num_tables=int(rng.integers(1, 3)),
+                        rows_per_table=64,
+                        embedding_dim=int(rng.choice([32, 64])),
+                        pooling_factor=int(rng.integers(2, 6)),
+                        batch_size=4)
+
+    def tbe_once(inject: bool):
+        acc = Accelerator(observe=True)
+        if inject:
+            FaultInjector(empty_plan).attach(acc)
+        result = run_tbe(acc, tbe_cfg, subgrid=acc.subgrid((0, 0), 1, 1),
+                         seed=seed)
+        return result.cycles, result.output, acc.obs.stalls_by_track()
+
+    t_cycles_a, t_out_a, t_stalls_a = tbe_once(inject=False)
+    t_cycles_b, t_out_b, t_stalls_b = tbe_once(inject=True)
+    if t_cycles_b != t_cycles_a:
+        res.violations.append(
+            "empty fault plan changed TBE cycles: "
+            f"{t_cycles_a} plain vs {t_cycles_b} injected")
+    if not np.array_equal(t_out_b, t_out_a):
+        res.violations.append("empty fault plan changed TBE output bits")
+    if t_stalls_b != t_stalls_a:
+        res.violations.append(
+            "empty fault plan changed TBE stall attributions")
+
+    # -- request-level serving -------------------------------------------
+    srng = np.random.default_rng(seed)
+    qps = float(srng.uniform(2_000, 100_000))
+    base = float(srng.uniform(50, 300))
+    slope = float(srng.uniform(0.5, 5.0))
+    batching = BatchingConfig(max_batch=int(srng.choice([16, 64, 256])),
+                              max_wait_us=float(srng.uniform(50, 400)))
+
+    def latency_model(batch: int) -> float:
+        return base + slope * batch
+
+    plain = simulate_serving(latency_model, qps, batching,
+                             num_requests=400, seed=seed,
+                             registry=MetricRegistry())
+    injected = simulate_serving_resilient(
+        latency_model, qps, batching, num_requests=400, seed=seed,
+        faults=FaultInjector(empty_plan), registry=MetricRegistry())
+    for field_name in ("latencies_us", "queue_wait_us", "batch_wait_us",
+                       "execute_us", "arrivals_us", "batch_index"):
+        if not np.array_equal(getattr(injected, field_name),
+                              getattr(plain, field_name)):
+            res.violations.append(
+                "resilient serving with an empty fault plan changed "
+                f"{field_name} vs the plain simulator")
+    if injected.batch_sizes != plain.batch_sizes:
+        res.violations.append(
+            "resilient serving with an empty fault plan changed batch "
+            "boundaries")
+    if injected.availability != 1.0:
+        res.violations.append(
+            f"empty fault plan aborted requests "
+            f"(availability {injected.availability})")
+    return res
+
+
 def check_serving_determinism(seed: int) -> DeterminismResult:
     """Replay one serving simulation; spans/metrics must be no-ops.
 

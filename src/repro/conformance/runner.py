@@ -19,6 +19,7 @@ from repro.conformance.crossval import (CrossvalBand, crossval_fc,
                                         crossval_tbe, fuzz_fc_shape,
                                         fuzz_tbe_shape)
 from repro.conformance.determinism import (check_cache_determinism,
+                                           check_fault_injection_noop,
                                            check_graph_determinism,
                                            check_serving_determinism,
                                            check_sim_determinism)
@@ -27,7 +28,7 @@ from repro.conformance.golden import (TolerancePolicy, compare_outputs,
                                       evaluate_graph)
 from repro.parallel import parallel_map
 
-PILLARS = ("golden", "determinism", "crossval", "cache")
+PILLARS = ("golden", "determinism", "crossval", "cache", "faults")
 
 #: Every N-th crossval case runs the (slower) TBE gather instead of FC.
 _TBE_EVERY = 5
@@ -106,6 +107,10 @@ class ConformanceReport:
         return sum(1 for c in self.by_pillar("cache") if not c.ok)
 
     @property
+    def faults_violations(self) -> int:
+        return sum(1 for c in self.by_pillar("faults") if not c.ok)
+
+    @property
     def band_violation_rate(self) -> float:
         cases = self.by_pillar("crossval")
         if not cases:
@@ -115,7 +120,7 @@ class ConformanceReport:
     @property
     def passed(self) -> bool:
         if (self.golden_divergences or self.determinism_violations
-                or self.cache_violations):
+                or self.cache_violations or self.faults_violations):
             return False
         if any(c.status == "error" for c in self.cases):
             return False
@@ -131,6 +136,7 @@ class ConformanceReport:
                 "golden_divergences": self.golden_divergences,
                 "determinism_violations": self.determinism_violations,
                 "cache_violations": self.cache_violations,
+                "faults_violations": self.faults_violations,
                 "crossval_cases": len(self.by_pillar("crossval")),
                 "band_violation_rate": self.band_violation_rate,
                 "errors": sum(1 for c in self.cases
@@ -205,6 +211,14 @@ def run_cache_case(seed: int, config: ConformanceConfig) -> CaseResult:
                       details={"cache": result.to_dict()})
 
 
+def run_faults_case(seed: int, config: ConformanceConfig) -> CaseResult:
+    """Prove an armed-but-empty fault injector is a perfect no-op."""
+    result = check_fault_injection_noop(seed)
+    status = "ok" if result.ok else "violation"
+    return CaseResult(seed=seed, pillar="faults", status=status,
+                      details={"faults": result.to_dict()})
+
+
 def _case_job(job: Tuple[str, int, int, ConformanceConfig]) -> CaseResult:
     """One (pillar, seed) case — module-level so it survives ``spawn``.
 
@@ -259,4 +273,6 @@ def _run_case(pillar: str, seed: int, index: int,
         return run_crossval_case(seed, index, config)
     if pillar == "cache":
         return run_cache_case(seed, config)
+    if pillar == "faults":
+        return run_faults_case(seed, config)
     raise ValueError(f"unknown pillar {pillar!r}")

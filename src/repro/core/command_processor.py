@@ -151,6 +151,21 @@ class _Scheduler:
                 self.engine.obs.count("cp_interlocks", track=track,
                                       unit=cmd.unit)
             yield cp_cfg.dispatch_cycles
+            faults = self.engine.faults
+            if faults is not None:
+                # PE lockup freezes dispatch until the window ends; a
+                # slowdown window inflates every dispatch.  Both are
+                # attributed so the profiler can name the dead time.
+                now = self.engine.now
+                extra = faults.pe_dispatch_penalty(self.pe.index, now)
+                release = faults.pe_lockup_release(self.pe.index, now)
+                if release > now:
+                    extra += release - now
+                if extra:
+                    self.stats.add("fault_stall_cycles", extra)
+                    self.engine.obs.stall(track, "pe_fault_stall",
+                                          now, now + extra)
+                    yield extra
             unit = self.pe.unit_for(cmd, self.core_id)
             yield unit.dispatch(DispatchedCommand(cmd, deps, done))
             self.stats.add("dispatched")

@@ -1,0 +1,39 @@
+"""Deterministic fault injection and serving resilience.
+
+Meta-scale serving assumes faults are routine: DRAM ECC events, stuck
+PEs, NoC congestion collapse, dead cards, host timeouts.  This package
+makes those injectable *reproducibly*:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: seed-driven, frozen
+  fault windows over hardware (cycles) and serving (microseconds)
+  domains;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: attaches a
+  plan to an :class:`~repro.core.accelerator.Accelerator` (hardware
+  hooks consult ``engine.faults``) and answers the serving simulator's
+  card-failure/slowdown queries;
+* :mod:`repro.faults.campaign` — ``python -m repro.faults.campaign``:
+  sweeps seeded fault scenarios and emits a resilience report
+  (availability, goodput, SLO burn under faults vs. baseline, plus
+  hardware fault microbenchmarks and the multi-card failover path).
+
+The determinism contract: an attached injector with an *empty* plan is
+bit-identical to no injector (the conformance ``faults`` pillar), and
+the same plan seed reproduces identical fault timestamps, retry
+counts, and campaign reports at any ``--jobs`` count.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (FAULT_KINDS, HARDWARE_KINDS, PERMANENT,
+                               SERVING_KINDS, FaultEvent, FaultPlan,
+                               FaultProfile)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultProfile",
+    "HARDWARE_KINDS",
+    "PERMANENT",
+    "SERVING_KINDS",
+]

@@ -1,0 +1,235 @@
+"""Deterministic, seed-driven fault plans.
+
+A :class:`FaultPlan` is a *pre-drawn* list of fault windows: every
+random decision (which resource, when, how bad) is made up front from a
+seeded RNG, never during the simulation.  That is what makes chaos
+testing replayable here — the simulator itself consumes only the frozen
+event list, so the same seed reproduces identical fault timestamps,
+retry counts, and reports bit-for-bit (and a plan can be serialised,
+shipped in a bug report, and replayed).
+
+Two fault domains share one plan:
+
+* **hardware** events, timestamped in accelerator *cycles*, consumed by
+  the discrete-event simulator through
+  :class:`~repro.faults.injector.FaultInjector`'s hardware queries
+  (DRAM ECC, SRAM slice stalls, NoC degradation/retransmission, PE
+  lockup/slowdown);
+* **serving** events, timestamped in *microseconds*, consumed by the
+  request-level serving simulator (card failures and slowdowns).
+
+The ``target`` index selects one instance of the faulted resource
+(controller, slice, PE, card); ``-1`` is a wildcard meaning *all*.
+NoC link faults number the links rows-first: ``target < grid_rows``
+names a row link, ``target - grid_rows`` a column link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+#: Hardware-domain fault kinds (timestamps in cycles).
+HARDWARE_KINDS: Tuple[str, ...] = (
+    "dram.ecc_correctable",    # magnitude = extra cycles per access
+    "dram.ecc_uncorrectable",  # magnitude = detect+retire cycles per access
+    "sram.slice_stall",        # magnitude = extra cycles per access
+    "noc.link_degrade",        # magnitude = usable-bandwidth fraction (0, 1]
+    "noc.retransmit",          # magnitude = extra cycles per traversal
+    "rednet.retransmit",       # magnitude = extra cycles per transfer
+    "pe.slowdown",             # magnitude = extra dispatch cycles per command
+    "pe.lockup",               # window = dead time; magnitude unused
+)
+
+#: Serving-domain fault kinds (timestamps in microseconds).
+SERVING_KINDS: Tuple[str, ...] = (
+    "card.failure",            # card serves nothing inside the window
+    "card.slowdown",           # magnitude = execute-latency multiplier >= 1
+)
+
+FAULT_KINDS: Tuple[str, ...] = HARDWARE_KINDS + SERVING_KINDS
+
+#: Stand-in for "until the end of the run" (JSON-safe, beyond any run).
+PERMANENT = 1e18
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One fault window on one resource instance.
+
+    Ordering is (start, kind, target, duration, magnitude) so a sorted
+    event tuple is a canonical representation — two plans with the same
+    events compare equal regardless of generation order.
+    """
+
+    start: float
+    kind: str
+    target: int = -1
+    duration: float = 0.0
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"expected one of {FAULT_KINDS}")
+        if self.start < 0 or self.duration < 0:
+            raise ValueError(f"fault window must be non-negative: {self}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def domain(self) -> str:
+        return "serving" if self.kind in SERVING_KINDS else "hardware"
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, "target": self.target,
+                "start": self.start, "duration": self.duration,
+                "magnitude": self.magnitude}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultEvent":
+        return cls(start=data["start"], kind=data["kind"],
+                   target=data.get("target", -1),
+                   duration=data.get("duration", 0.0),
+                   magnitude=data.get("magnitude", 0.0))
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Shape of the machine + fault intensity for plan generation.
+
+    ``rates`` maps a fault kind to the *expected number of windows* over
+    the horizon (a Poisson draw); kinds absent from ``rates`` generate
+    nothing.  All draws come from one seeded generator in a fixed kind
+    order, so the profile is a pure function ``seed -> plan``.
+    """
+
+    grid_rows: int = 8
+    grid_cols: int = 8
+    num_dram_controllers: int = 16
+    num_sram_slices: int = 16
+    num_pes: int = 64
+    num_cards: int = 4
+    horizon_cycles: float = 200_000.0
+    horizon_us: float = 200_000.0
+    rates: Dict[str, float] = field(default_factory=dict)
+
+    def targets_for(self, kind: str) -> int:
+        """How many distinct instances a kind can target."""
+        family = kind.split(".", 1)[0]
+        return {
+            "dram": self.num_dram_controllers,
+            "sram": self.num_sram_slices,
+            "noc": self.grid_rows + self.grid_cols,
+            "rednet": 1,
+            "pe": self.num_pes,
+            "card": self.num_cards,
+        }[family]
+
+
+#: Window-length and magnitude ranges per kind: (dur_lo, dur_hi,
+#: mag_lo, mag_hi) as fractions of the horizon for durations.
+_KIND_SHAPES: Dict[str, Tuple[float, float, float, float]] = {
+    "dram.ecc_correctable":   (0.02, 0.20, 20.0, 120.0),
+    "dram.ecc_uncorrectable": (0.005, 0.05, 400.0, 2000.0),
+    "sram.slice_stall":       (0.02, 0.15, 10.0, 80.0),
+    "noc.link_degrade":       (0.05, 0.30, 0.25, 0.9),
+    "noc.retransmit":         (0.02, 0.20, 30.0, 200.0),
+    "rednet.retransmit":      (0.02, 0.20, 30.0, 200.0),
+    "pe.slowdown":            (0.05, 0.30, 5.0, 40.0),
+    "pe.lockup":              (0.002, 0.02, 0.0, 0.0),
+    "card.failure":           (0.10, 0.40, 0.0, 0.0),
+    "card.slowdown":          (0.10, 0.40, 1.3, 4.0),
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, canonically-ordered set of fault windows."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events))
+        if ordered != tuple(self.events):
+            object.__setattr__(self, "events", ordered)
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_domain(self, domain: str) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.domain == domain)
+
+    @property
+    def hardware_events(self) -> Tuple[FaultEvent, ...]:
+        return self.by_domain("hardware")
+
+    @property
+    def serving_events(self) -> Tuple[FaultEvent, ...]:
+        return self.by_domain("serving")
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def extended(self, events: Iterable[FaultEvent]) -> "FaultPlan":
+        """A new plan with ``events`` added (canonical order restored)."""
+        return replace(self, events=tuple(self.events) + tuple(events))
+
+    # -- serialisation ----------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {"seed": self.seed,
+                "events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        return cls(events=tuple(FaultEvent.from_dict(e)
+                                for e in data["events"]),
+                   seed=data.get("seed"))
+
+    # -- generation -------------------------------------------------------
+    @classmethod
+    def generate(cls, seed: int,
+                 profile: Optional[FaultProfile] = None,
+                 kinds: Optional[Iterable[str]] = None) -> "FaultPlan":
+        """Draw a plan from ``seed``: same seed, same plan, always.
+
+        ``kinds`` restricts which fault kinds are drawn (default: every
+        kind with a rate in ``profile.rates``; if the profile has no
+        rates, a light default mix of one expected window per kind).
+        """
+        profile = profile or FaultProfile()
+        rng = np.random.default_rng(seed)
+        wanted = tuple(kinds) if kinds is not None else FAULT_KINDS
+        events: List[FaultEvent] = []
+        # Fixed kind order: the draw sequence is part of the contract.
+        for kind in FAULT_KINDS:
+            if kind not in wanted:
+                continue
+            rate = profile.rates.get(kind, 1.0 if not profile.rates else 0.0)
+            count = int(rng.poisson(rate)) if rate > 0 else 0
+            dur_lo, dur_hi, mag_lo, mag_hi = _KIND_SHAPES[kind]
+            horizon = (profile.horizon_us if kind in SERVING_KINDS
+                       else profile.horizon_cycles)
+            targets = profile.targets_for(kind)
+            for _ in range(count):
+                start = float(rng.uniform(0.0, horizon))
+                duration = float(rng.uniform(dur_lo, dur_hi) * horizon)
+                magnitude = (float(rng.uniform(mag_lo, mag_hi))
+                             if mag_hi > mag_lo else mag_lo)
+                target = int(rng.integers(0, targets))
+                events.append(FaultEvent(start=start, kind=kind,
+                                         target=target, duration=duration,
+                                         magnitude=magnitude))
+        return cls(events=tuple(events), seed=seed)

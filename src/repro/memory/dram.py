@@ -80,6 +80,23 @@ class DRAMModel:
             done.append(controllers[ctrl].charge(ctrl_bytes, names[ctrl]))
         yield self.engine.all_of(done)
         yield self.config.dram.access_latency
+        faults = self.engine.faults
+        if faults is not None:
+            # ECC correctable/uncorrectable windows: the access "is
+            # always completed after the last piece of data arrives",
+            # so the worst touched controller sets the retry penalty.
+            now = self.engine.now
+            extra = 0.0
+            worst = 0
+            for ctrl in split:
+                penalty = faults.dram_penalty(ctrl, now)
+                if penalty > extra:
+                    extra, worst = penalty, ctrl
+            if extra:
+                self.stats.add("fault_stall_cycles", extra)
+                self.engine.obs.stall(f"dram.ctrl{worst}", "dram_ecc_retry",
+                                      now, now + extra)
+                yield extra
 
     def _transfer(self, addr: int, nbytes: int, is_write: bool) -> Generator:
         yield from self.transfer_fragments([(addr, nbytes)], is_write)

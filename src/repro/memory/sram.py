@@ -136,6 +136,22 @@ class SRAMModel:
                 worst_latency = latency
         yield self.engine.all_of(done)
         yield worst_latency
+        faults = self.engine.faults
+        if faults is not None:
+            # Stalled-slice windows: like the base latency, the access
+            # completes with its worst touched slice.
+            now = self.engine.now
+            extra = 0.0
+            worst = 0
+            for s in split:
+                penalty = faults.sram_penalty(s, now)
+                if penalty > extra:
+                    extra, worst = penalty, s
+            if extra:
+                self.stats.add("fault_stall_cycles", extra)
+                self.engine.obs.stall(f"sram.slice{worst}",
+                                      "sram_fault_stall", now, now + extra)
+                yield extra
 
     # -- scratchpad mode -------------------------------------------------
     def charge_fragments(self, fragments, is_write: bool,

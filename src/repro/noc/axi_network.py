@@ -56,10 +56,29 @@ class NoC:
         """Charge link bandwidth and hop latency for one traversal."""
         row, col = source
         self.stats.add("link_bytes", nbytes)
-        row_use = self.row_links[row].charge(nbytes)
-        col_use = self.col_links[col].charge(nbytes)
+        charged = nbytes
+        retransmit = 0.0
+        faults = self.engine.faults
+        if faults is not None:
+            # Link degradation charges extra bytes (the usable-bandwidth
+            # fraction shrinks); retransmission pays extra latency after
+            # delivery.  Both are no-ops outside a fault window.
+            now = self.engine.now
+            multiplier = faults.noc_degrade(row, col, now)
+            if multiplier != 1.0:
+                charged = nbytes * multiplier
+                self.stats.add("degraded_bytes", charged - nbytes)
+            retransmit = faults.noc_retransmit(row, col, now)
+        row_use = self.row_links[row].charge(charged)
+        col_use = self.col_links[col].charge(charged)
         yield self.engine.all_of([row_use, col_use])
         yield self.hop_count(source) * self.config.noc.hop_latency
+        if retransmit:
+            now = self.engine.now
+            self.stats.add("retransmit_cycles", retransmit)
+            self.engine.obs.stall(f"noc.row{row}", "noc_retransmit",
+                                  now, now + retransmit)
+            yield retransmit
 
     # -- unicast accesses --------------------------------------------------
     def read(self, source: Coord, addr: int, nbytes: int) -> Generator:

@@ -75,6 +75,15 @@ class ReductionNetwork:
         self.stats.add("bytes", nbytes)
         yield self._link(src, dst).delay_for(nbytes)
         yield self.config.noc.hop_latency
+        faults = self.engine.faults
+        if faults is not None:
+            extra = faults.rednet_penalty(self.engine.now)
+            if extra:
+                now = self.engine.now
+                self.stats.add("retransmit_cycles", extra)
+                self.engine.obs.stall(f"rednet.{src}->{dst}",
+                                      "noc_retransmit", now, now + extra)
+                yield extra
         yield self.mailbox(dst).put(payload)
 
     def receive(self, pe: Coord) -> Generator:

@@ -20,6 +20,12 @@ cause               reported by
 ``lm_port_arb``      the PE local-memory port arbitrating clients
 ``fi_slot_wait``     the Fabric Interface out of outstanding-request
                      slots (memory-level-parallelism limit)
+``dram_ecc_retry``   injected DRAM ECC correctable/uncorrectable retry
+                     windows (:mod:`repro.faults`)
+``sram_fault_stall`` an injected SRAM slice-stall window
+``noc_retransmit``   injected NoC / reduction-network packet
+                     retransmission
+``pe_fault_stall``   injected PE lockup or dispatch slowdown
 ==================  =====================================================
 
 Stall cycles land in the observer's :class:`MetricRegistry` under the
@@ -46,6 +52,11 @@ STALL_CAUSES: Tuple[str, ...] = (
     "sram_queue",
     "lm_port_arb",
     "fi_slot_wait",
+    # injected by repro.faults (absent unless a FaultInjector is armed)
+    "dram_ecc_retry",
+    "sram_fault_stall",
+    "noc_retransmit",
+    "pe_fault_stall",
 )
 
 

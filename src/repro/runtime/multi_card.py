@@ -18,7 +18,7 @@ model, the partitioner, and the Table II link bandwidths.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.ir import Graph
 from repro.compiler.ops import op_costs
@@ -100,4 +100,114 @@ def estimate_multi_card(graph: Graph, machine,
         gather_seconds=gather_seconds,
         dense_seconds=dense_seconds,
         gather_bytes=gather_bytes,
+    )
+
+
+@dataclass
+class FailoverEstimate:
+    """Graceful degradation: inference timing after losing cards.
+
+    When a card dies mid-serving, the runtime re-homes its embedding
+    shards onto the survivors (overcommitting their memory if it must —
+    an emergency failover trades capacity headroom for availability)
+    and keeps serving at a recomputed, lower scaling efficiency.  This
+    estimate quantifies that trade for the fault campaign's
+    ``card.slowdown`` magnitudes.
+    """
+
+    baseline: MultiCardEstimate
+    degraded: MultiCardEstimate
+    failed_cards: Tuple[int, ...]
+    #: embedding-shard bytes re-homed from the failed cards
+    moved_weight_bytes: int
+
+    @property
+    def slowdown(self) -> float:
+        """Degraded / baseline batch latency (>= 1 in practice)."""
+        if self.baseline.total_seconds <= 0:
+            return 1.0
+        return self.degraded.total_seconds / self.baseline.total_seconds
+
+    @property
+    def efficiency_drop(self) -> float:
+        """Scaling-efficiency points lost to the failover."""
+        return (self.baseline.scaling_efficiency
+                - self.degraded.scaling_efficiency)
+
+    def to_dict(self) -> Dict:
+        return {
+            "failed_cards": list(self.failed_cards),
+            "cards_before": self.baseline.cards,
+            "cards_after": self.degraded.cards,
+            "moved_weight_bytes": self.moved_weight_bytes,
+            "baseline_seconds": self.baseline.total_seconds,
+            "degraded_seconds": self.degraded.total_seconds,
+            "slowdown": self.slowdown,
+            "baseline_efficiency": self.baseline.scaling_efficiency,
+            "degraded_efficiency": self.degraded.scaling_efficiency,
+            "efficiency_drop": self.efficiency_drop,
+        }
+
+
+def estimate_failover(graph: Graph, machine,
+                      failed_cards: Sequence[int],
+                      card_capacity_bytes: int = 32 * 10 ** 9,
+                      p2p_gbs: float = 12.8) -> FailoverEstimate:
+    """Estimate serving after ``failed_cards`` drop out of a partition.
+
+    The baseline partitioning is recomputed first-fit as usual; then
+    each failed card's weight shards are re-homed largest-first onto
+    the least-loaded survivor (capacity overcommit allowed — failover
+    prefers degraded service over none).  If the dense-pipeline owner
+    failed, the dense part moves to the first survivor.  Raises
+    ``RuntimeError`` when no card survives.
+    """
+    baseline_parts = partition_by_memory(graph, card_capacity_bytes)
+    baseline = estimate_multi_card(graph, machine, card_capacity_bytes,
+                                   p2p_gbs, partitions=baseline_parts)
+
+    failed = set(failed_cards)
+    unknown = failed - {p.card for p in baseline_parts}
+    if unknown:
+        raise ValueError(f"failed cards {sorted(unknown)} not in the "
+                         f"{len(baseline_parts)}-card partitioning")
+    survivors = [p for p in baseline_parts if p.card not in failed]
+    if not survivors:
+        raise RuntimeError("all cards failed; nothing to fail over to")
+
+    sizes: Dict[str, int] = {n.name: n.meta.nbytes
+                             for n in graph.nodes_by_op("weight")}
+    orphans = sorted(
+        (name for p in baseline_parts if p.card in failed
+         for name in p.weight_nodes),
+        key=lambda name: -sizes.get(name, 0))
+
+    # the dense pipeline must live somewhere; the gather model assumes
+    # it is card 0 of the (renumbered) partition list
+    if not any(p.owns_dense for p in survivors):
+        survivors[0] = Partition(card=survivors[0].card,
+                                 weight_nodes=list(survivors[0].weight_nodes),
+                                 weight_bytes=survivors[0].weight_bytes,
+                                 owns_dense=True)
+    survivors.sort(key=lambda p: (not p.owns_dense, p.card))
+    rehomed = [Partition(card=i, weight_nodes=list(p.weight_nodes),
+                         weight_bytes=p.weight_bytes,
+                         owns_dense=p.owns_dense)
+               for i, p in enumerate(survivors)]
+
+    moved = 0
+    for name in orphans:
+        size = sizes.get(name, 0)
+        target = min(rehomed, key=lambda p: (p.weight_bytes, p.card))
+        target.weight_nodes.append(name)
+        target.weight_bytes += size
+        moved += size
+
+    degraded = estimate_multi_card(graph, machine, card_capacity_bytes,
+                                   p2p_gbs, partitions=rehomed)
+    return FailoverEstimate(
+        baseline=baseline,
+        degraded=degraded,
+        failed_cards=tuple(sorted(failed)),
+        moved_weight_bytes=moved,
     )

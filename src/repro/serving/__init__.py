@@ -9,8 +9,12 @@ from the operator-level models back to that context:
   analytical model, latency percentiles and throughput, plus an exact
   per-request queue-wait / batch-formation-wait / execute attribution
   and optional request-waterfall span tracing;
+* :mod:`repro.serving.resilience` — the failure-handling layer:
+  per-attempt deadlines, capped-backoff retries, hedged dispatch, load
+  shedding, and card failover driven by :mod:`repro.faults`;
 * :mod:`repro.serving.slo` — rolling p50/p95/p99 windows and
-  error-budget burn against an SLA;
+  error-budget burn against an SLA (aborted requests burn budget but
+  never enter the percentile stream);
 * :mod:`repro.serving.tail` — differential tail attribution: the
   phase / operator / stall-cause mix of ≥p99 requests contrasted with
   median requests;
@@ -24,9 +28,13 @@ cycle-level unit activity).
 """
 
 from repro.serving.capacity import CapacityPlan, plan_capacity
-from repro.serving.simulator import (BatchingConfig, BatchRecord,
-                                     BatchLatencyModel, ServingReport,
-                                     simulate_serving)
+from repro.serving.resilience import (ResilienceConfig,
+                                      simulate_serving_resilient)
+from repro.serving.simulator import (STATUS_FAILED, STATUS_NAMES,
+                                     STATUS_SERVED, STATUS_SHED,
+                                     STATUS_TIMEOUT, BatchingConfig,
+                                     BatchRecord, BatchLatencyModel,
+                                     ServingReport, simulate_serving)
 from repro.serving.slo import (SLOMonitor, SLOSummary, SLOWindow,
                                slo_from_report)
 from repro.serving.tail import TailAttribution, attribute_tail
@@ -36,13 +44,20 @@ __all__ = [
     "BatchLatencyModel",
     "BatchRecord",
     "CapacityPlan",
+    "ResilienceConfig",
     "SLOMonitor",
     "SLOSummary",
     "SLOWindow",
+    "STATUS_FAILED",
+    "STATUS_NAMES",
+    "STATUS_SERVED",
+    "STATUS_SHED",
+    "STATUS_TIMEOUT",
     "ServingReport",
     "TailAttribution",
     "attribute_tail",
     "plan_capacity",
     "simulate_serving",
+    "simulate_serving_resilient",
     "slo_from_report",
 ]

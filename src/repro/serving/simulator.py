@@ -44,6 +44,16 @@ class BatchingConfig:
     max_wait_us: float = 200.0
 
 
+#: Request outcome codes (``ServingReport.status``).  Anything but
+#: SERVED is an *abort*: excluded from latency quantiles, counted
+#: against availability (see ``ServingReport.availability``).
+STATUS_SERVED = 0      #: completed and delivered in time
+STATUS_SHED = 1        #: dropped at admission (queue saturation)
+STATUS_TIMEOUT = 2     #: missed its deadline, retry budget exhausted
+STATUS_FAILED = 3      #: lost to a card failure, retry budget exhausted
+STATUS_NAMES = ("served", "shed", "timeout", "failed")
+
+
 @dataclass
 class BatchRecord:
     """One dispatched batch: when it formed, ran, and what it held."""
@@ -92,11 +102,60 @@ class ServingReport:
     #: index into ``batches`` for each request
     batch_index: np.ndarray = field(default_factory=_empty)
     batches: List[BatchRecord] = field(default_factory=list)
+    #: per-request outcome (``STATUS_*``); empty means "all served"
+    #: (the plain simulator never aborts, so it skips the allocation)
+    status: np.ndarray = field(default_factory=_empty)
+    #: microseconds a request spent on attempts that did *not* serve it
+    #: (timeout/failure + backoff before the successful attempt)
+    retry_overhead_us: np.ndarray = field(default_factory=_empty)
+    #: dispatch attempts per request (1 = first try succeeded)
+    attempts: np.ndarray = field(default_factory=_empty)
+    #: abort instant for non-served requests (NaN for served ones);
+    #: aligns with ``arrivals_us``
+    abort_us: np.ndarray = field(default_factory=_empty)
+    #: batches dispatched twice (hedged) and how often the hedge won
+    hedged_batches: int = 0
+    hedge_wins: int = 0
+
+    @property
+    def served_mask(self) -> Optional[np.ndarray]:
+        """Boolean mask of served requests, or ``None`` if all served."""
+        if self.status.size == 0:
+            return None
+        return self.status == STATUS_SERVED
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests actually served (1.0 = no aborts).
+
+        Aborted requests (shed/timeout/failed) count against availability
+        but are *excluded* from latency quantiles — a shed request has no
+        meaningful latency, and folding abort times into percentiles
+        would let load shedding "improve" the p99.
+        """
+        n = self.arrivals_us.size or self.latencies_us.size
+        if n == 0:
+            return 1.0
+        mask = self.served_mask
+        if mask is None:
+            return 1.0
+        return float(np.count_nonzero(mask)) / n
+
+    def counts_by_status(self) -> Dict[str, int]:
+        """Request counts keyed by outcome name."""
+        n = self.arrivals_us.size or self.latencies_us.size
+        if self.status.size == 0:
+            return {"served": int(n), "shed": 0, "timeout": 0, "failed": 0}
+        return {name: int(np.count_nonzero(self.status == code))
+                for code, name in enumerate(STATUS_NAMES)}
 
     def percentile(self, q: float) -> float:
-        if self.latencies_us.size == 0:
+        """Latency percentile over *served* requests only."""
+        mask = self.served_mask
+        lat = self.latencies_us if mask is None else self.latencies_us[mask]
+        if lat.size == 0:
             return float("nan")
-        return float(np.percentile(self.latencies_us, q))
+        return float(np.percentile(lat, q))
 
     @property
     def p50_us(self) -> float:
@@ -116,12 +175,23 @@ class ServingReport:
 
     # -- request-phase queries -------------------------------------------
     def breakdown_means(self) -> Dict[str, float]:
-        """Mean microseconds per phase across all requests."""
+        """Mean microseconds per phase across *served* requests."""
+        mask = self.served_mask
+        zero = {"queue_wait": 0.0, "batch_wait": 0.0, "execute": 0.0,
+                "retry_overhead": 0.0}
         if self.latencies_us.size == 0:
-            return {"queue_wait": 0.0, "batch_wait": 0.0, "execute": 0.0}
-        return {"queue_wait": float(self.queue_wait_us.mean()),
-                "batch_wait": float(self.batch_wait_us.mean()),
-                "execute": float(self.execute_us.mean())}
+            return zero
+
+        def mean_of(values: np.ndarray) -> float:
+            if values.size == 0:
+                return 0.0
+            served = values if mask is None else values[mask]
+            return float(served.mean()) if served.size else 0.0
+
+        return {"queue_wait": mean_of(self.queue_wait_us),
+                "batch_wait": mean_of(self.batch_wait_us),
+                "execute": mean_of(self.execute_us),
+                "retry_overhead": mean_of(self.retry_overhead_us)}
 
     def queue_depth_series(self) -> Dict[str, List[float]]:
         """Queue depth sampled at each dispatch instant."""
@@ -141,7 +211,7 @@ class ServingReport:
         rows = []
         for r in range(n):
             b = int(self.batch_index[r]) if self.batch_index.size else -1
-            rows.append({
+            row = {
                 "request": r,
                 "arrival_us": float(self.arrivals_us[r]),
                 "queue_wait_us": float(self.queue_wait_us[r]),
@@ -151,7 +221,15 @@ class ServingReport:
                 "batch": b,
                 "batch_size": self.batches[b].size if 0 <= b < len(
                     self.batches) else 0,
-            })
+                "status": (STATUS_NAMES[int(self.status[r])]
+                           if self.status.size else "served"),
+                "attempts": (int(self.attempts[r])
+                             if self.attempts.size else 1),
+                "retry_overhead_us": (float(self.retry_overhead_us[r])
+                                      if self.retry_overhead_us.size
+                                      else 0.0),
+            }
+            rows.append(row)
         return rows
 
 
@@ -363,6 +441,15 @@ def _record_metrics(registry, report: ServingReport,
     ).labels().observe_many([b.queue_depth for b in report.batches])
     registry.counter("serving_requests", "requests served").labels().inc(
         report.latencies_us.size)
+    registry.gauge("serving_availability",
+                   "fraction of offered requests served").labels().set(
+                       report.availability)
+    if report.status.size:
+        for name, count in report.counts_by_status().items():
+            if count:
+                registry.counter(
+                    "serving_outcomes", "requests by outcome"
+                ).labels(status=name).inc(count)
     registry.gauge("serving_busy_fraction",
                    "device busy fraction").labels().set(
                        report.busy_fraction)

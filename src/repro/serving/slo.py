@@ -59,6 +59,9 @@ class SLOSummary:
     violations: int
     burn_rate: float
     windows: List[SLOWindow] = field(default_factory=list)
+    #: aborted requests (shed/timeout/failed); always SLO violations,
+    #: never latency samples
+    aborted: int = 0
 
     @property
     def violation_rate(self) -> float:
@@ -81,6 +84,7 @@ class SLOSummary:
                 "availability_target": self.availability_target,
                 "total": self.total,
                 "violations": self.violations,
+                "aborted": self.aborted,
                 "violation_rate": self.violation_rate,
                 "burn_rate": self.burn_rate,
                 "budget_remaining": self.budget_remaining,
@@ -102,50 +106,84 @@ class SLOMonitor:
         self.window_us = window_us
         self._finish: List[float] = []
         self._latency: List[float] = []
+        self._aborts: List[float] = []
 
     def observe(self, finish_us: float, latency_us: float) -> None:
         self._finish.append(float(finish_us))
         self._latency.append(float(latency_us))
 
+    def observe_aborted(self, abort_us: float) -> None:
+        """Record one aborted (shed/timeout/failed) request.
+
+        Aborts always violate the SLO — the caller never got an answer —
+        but they contribute no latency sample: folding give-up times
+        into the percentile stream would let shedding *improve* p99.
+        """
+        self._aborts.append(float(abort_us))
+
     def observe_report(self, report) -> None:
-        """Ingest every request of a ServingReport."""
-        finish = np.asarray(report.arrivals_us) + np.asarray(
-            report.latencies_us)
-        self._finish.extend(finish.tolist())
-        self._latency.extend(np.asarray(report.latencies_us).tolist())
+        """Ingest every request of a ServingReport (aborts included)."""
+        arrivals = np.asarray(report.arrivals_us)
+        latencies = np.asarray(report.latencies_us)
+        finish = arrivals + latencies
+        mask = getattr(report, "served_mask", None)
+        if mask is None:
+            self._finish.extend(finish.tolist())
+            self._latency.extend(latencies.tolist())
+            return
+        self._finish.extend(finish[mask].tolist())
+        self._latency.extend(latencies[mask].tolist())
+        aborts = np.asarray(report.abort_us)[~mask]
+        self._aborts.extend(aborts[np.isfinite(aborts)].tolist())
 
     # -- queries -----------------------------------------------------------
     def windows(self) -> List[SLOWindow]:
-        if not self._finish:
+        if not self._finish and not self._aborts:
             return []
         finish = np.asarray(self._finish)
         latency = np.asarray(self._latency)
         order = np.argsort(finish, kind="stable")
         finish, latency = finish[order], latency[order]
-        t0 = float(finish[0])
+        aborts = np.sort(np.asarray(self._aborts))
+        if finish.size:
+            t0 = float(finish[0])
+            t1 = float(finish[-1])
+        else:
+            t0, t1 = float(aborts[0]), float(aborts[-1])
+        if aborts.size:
+            t0 = min(t0, float(aborts[0]))
+            t1 = max(t1, float(aborts[-1]))
         out: List[SLOWindow] = []
-        edges = np.arange(t0, float(finish[-1]) + self.window_us,
-                          self.window_us)
+        edges = np.arange(t0, t1 + self.window_us, self.window_us)
         for start in edges:
             end = start + self.window_us
             lo = np.searchsorted(finish, start, side="left")
             hi = np.searchsorted(finish, end, side="left")
             chunk = latency[lo:hi]
-            if chunk.size == 0:
+            alo = np.searchsorted(aborts, start, side="left")
+            ahi = np.searchsorted(aborts, end, side="left")
+            n_aborts = int(ahi - alo)
+            if chunk.size == 0 and n_aborts == 0:
                 continue
+            # aborts count (as violations) but never enter percentiles
+            nan = float("nan")
             out.append(SLOWindow(
                 start_us=float(start), end_us=float(end),
-                count=int(chunk.size),
-                p50_us=float(np.percentile(chunk, 50)),
-                p95_us=float(np.percentile(chunk, 95)),
-                p99_us=float(np.percentile(chunk, 99)),
-                violations=int((chunk > self.sla_us).sum())))
+                count=int(chunk.size) + n_aborts,
+                p50_us=float(np.percentile(chunk, 50))
+                if chunk.size else nan,
+                p95_us=float(np.percentile(chunk, 95))
+                if chunk.size else nan,
+                p99_us=float(np.percentile(chunk, 99))
+                if chunk.size else nan,
+                violations=int((chunk > self.sla_us).sum()) + n_aborts))
         return out
 
     def summary(self) -> SLOSummary:
         latency = np.asarray(self._latency)
-        total = int(latency.size)
-        violations = int((latency > self.sla_us).sum()) if total else 0
+        aborted = len(self._aborts)
+        total = int(latency.size) + aborted
+        violations = int((latency > self.sla_us).sum()) + aborted
         allowed = 1.0 - self.availability_target
         rate = violations / total if total else 0.0
         return SLOSummary(
@@ -154,7 +192,8 @@ class SLOMonitor:
             total=total,
             violations=violations,
             burn_rate=rate / allowed if allowed > 0 else 0.0,
-            windows=self.windows())
+            windows=self.windows(),
+            aborted=aborted)
 
 
 def slo_from_report(report, sla_us: float,

@@ -204,6 +204,13 @@ class Engine:
         # attribute stall cycles to named causes through this.
         from repro.obs.observer import Observer
         self.obs = Observer(enabled=False)
+        #: optional :class:`~repro.faults.FaultInjector`; hardware
+        #: models consult it for deterministic fault penalties.  With
+        #: ``None`` (the default) the hooks cost one attribute check;
+        #: with an attached injector and an empty plan the simulated
+        #: event stream is bit-identical to ``None`` (conformance
+        #: ``faults`` pillar).
+        self.faults = None
 
     # -- construction helpers ------------------------------------------
     def event(self, name: str = "") -> Event:

@@ -300,12 +300,18 @@ def usable_for(cache: Optional[SimCache], acc) -> bool:
     does an accelerator that has already simulated something — its
     internal state (SRAM cache contents, queue histories) is not part
     of the fingerprint, so only a pristine machine is content-addressed
-    by the key.
+    by the key.  An armed fault injector with a non-empty plan also
+    bypasses: the plan is not part of the fingerprint, and a faulted
+    run must neither be served a clean cached result nor poison the
+    cache for clean runs (an *empty* plan is bit-identical to no
+    injector — the conformance ``faults`` pillar — so it may cache).
     """
+    faults = getattr(acc.engine, "faults", None)
     return (cache is not None
             and not acc.engine.tracer.enabled
             and acc.engine.now == 0
-            and acc.engine.events_processed == 0)
+            and acc.engine.events_processed == 0
+            and (faults is None or faults.plan.empty))
 
 
 def machine_payload(acc) -> Dict[str, Any]:

@@ -1,0 +1,264 @@
+"""FaultInjector: every fault model bites, empty plans are no-ops."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Accelerator
+from repro.faults import PERMANENT, FaultEvent, FaultPlan, FaultInjector
+from repro.kernels.fc import run_fc
+
+
+def small_fc(acc, seed=0):
+    return run_fc(acc, m=64, k=64, n=64, dtype="int8",
+                  subgrid=acc.subgrid((0, 0), 1, 1), seed=seed)
+
+
+def faulted_run(plan):
+    """(cycles, stalls_by_cause, activations) of one faulted small FC."""
+    acc = Accelerator(observe=True)
+    injector = FaultInjector(plan).attach(acc)
+    result = small_fc(acc)
+    return result.cycles, acc.obs.stalls_by_cause(), dict(
+        injector.activations)
+
+
+def whole_run_plan(kind, magnitude, cycles):
+    """One wildcard window of ``kind`` covering the whole kernel."""
+    return FaultPlan(events=(
+        FaultEvent(start=0.0, kind=kind, target=-1,
+                   duration=100.0 * cycles, magnitude=magnitude),))
+
+
+@pytest.fixture(scope="module")
+def clean():
+    """One fault-free small FC: (cycles, stalls_by_cause, output)."""
+    acc = Accelerator(observe=True)
+    result = small_fc(acc)
+    return result.cycles, acc.obs.stalls_by_cause(), result.c_t
+
+
+class TestEmptyPlanIsNoop:
+    def test_attached_empty_injector_is_bit_identical(self, clean):
+        clean_cycles, clean_stalls, clean_out = clean
+        acc = Accelerator(observe=True)
+        FaultInjector(FaultPlan(events=())).attach(acc)
+        result = small_fc(acc)
+        assert result.cycles == clean_cycles
+        assert np.array_equal(result.c_t, clean_out)
+        assert acc.obs.stalls_by_cause() == clean_stalls
+        assert acc.engine.faults.activations == {}
+
+    def test_attach_detach(self):
+        acc = Accelerator()
+        injector = FaultInjector(FaultPlan(events=())).attach(acc)
+        assert acc.engine.faults is injector
+        assert injector.grid_rows == acc.config.grid_rows
+        injector.detach(acc)
+        assert acc.engine.faults is None
+
+
+class TestHardwareFaultModels:
+    def test_dram_ecc_inflates_and_attributes(self, clean):
+        clean_cycles, clean_stalls, _ = clean
+        cycles, stalls, activations = faulted_run(
+            whole_run_plan("dram.ecc_correctable", 60.0, clean_cycles))
+        assert cycles > clean_cycles
+        assert stalls.get("dram_ecc_retry", 0.0) > clean_stalls.get(
+            "dram_ecc_retry", 0.0)
+        assert activations["dram.ecc_correctable"] > 0
+
+    def test_sram_slice_stall_attributed(self, clean):
+        # arbitration can shift under the stall, so assert the
+        # attribution (the contract), not the cycle-count direction
+        clean_cycles, clean_stalls, _ = clean
+        _cycles, stalls, activations = faulted_run(
+            whole_run_plan("sram.slice_stall", 30.0, clean_cycles))
+        assert stalls.get("sram_fault_stall", 0.0) > clean_stalls.get(
+            "sram_fault_stall", 0.0)
+        assert activations["sram.slice_stall"] > 0
+
+    def test_noc_degrade_inflates_cycles(self, clean):
+        # degradation charges extra *bytes*, not a stall window
+        clean_cycles, _, _ = clean
+        cycles, stalls, activations = faulted_run(
+            whole_run_plan("noc.link_degrade", 0.5, clean_cycles))
+        assert cycles > clean_cycles
+        assert "noc_retransmit" not in stalls
+        assert activations["noc.link_degrade"] > 0
+
+    def test_noc_retransmit_attributed(self, clean):
+        clean_cycles, clean_stalls, _ = clean
+        cycles, stalls, activations = faulted_run(
+            whole_run_plan("noc.retransmit", 100.0, clean_cycles))
+        assert cycles > clean_cycles
+        assert stalls.get("noc_retransmit", 0.0) > clean_stalls.get(
+            "noc_retransmit", 0.0)
+        assert activations["noc.retransmit"] > 0
+
+    def test_pe_slowdown_attributed(self, clean):
+        clean_cycles, clean_stalls, _ = clean
+        cycles, stalls, activations = faulted_run(
+            whole_run_plan("pe.slowdown", 10.0, clean_cycles))
+        assert cycles > clean_cycles
+        assert stalls.get("pe_fault_stall", 0.0) > clean_stalls.get(
+            "pe_fault_stall", 0.0)
+        assert activations["pe.slowdown"] > 0
+
+    def test_pe_lockup_freezes_dispatch(self, clean):
+        clean_cycles, _, _ = clean
+        lockup = 2.0 * clean_cycles
+        cycles, stalls, activations = faulted_run(FaultPlan(events=(
+            FaultEvent(start=0.0, kind="pe.lockup", target=-1,
+                       duration=lockup),)))
+        # nothing dispatches before the release, so the run is pushed
+        # past the lockup window (the first dispatch starts a little
+        # after t=0, hence the slack on the attributed stall)
+        assert cycles > lockup
+        assert stalls.get("pe_fault_stall", 0.0) >= 0.9 * lockup
+        assert activations["pe.lockup"] > 0
+
+    def test_faulted_output_still_correct(self, clean):
+        # faults cost time, never bits: the C matrix is unchanged
+        _, _, clean_out = clean
+        acc = Accelerator(observe=True)
+        FaultInjector(whole_run_plan("dram.ecc_correctable", 60.0,
+                                     1e6)).attach(acc)
+        result = small_fc(acc)
+        assert np.array_equal(result.c_t, clean_out)
+
+    def test_window_outside_run_is_noop(self, clean):
+        clean_cycles, clean_stalls, _ = clean
+        plan = FaultPlan(events=(
+            FaultEvent(start=1e12, kind="dram.ecc_correctable", target=-1,
+                       duration=1e3, magnitude=500.0),))
+        cycles, stalls, activations = faulted_run(plan)
+        assert cycles == clean_cycles
+        assert stalls == clean_stalls
+        assert activations == {}
+
+
+class TestQuerySemantics:
+    def test_sum_active_composes_target_and_wildcard(self):
+        injector = FaultInjector(FaultPlan(events=(
+            FaultEvent(start=0.0, kind="pe.slowdown", target=3,
+                       duration=100.0, magnitude=5.0),
+            FaultEvent(start=0.0, kind="pe.slowdown", target=-1,
+                       duration=100.0, magnitude=2.0),)))
+        assert injector.pe_dispatch_penalty(3, 50.0) == 7.0
+        assert injector.pe_dispatch_penalty(0, 50.0) == 2.0
+        assert injector.pe_dispatch_penalty(3, 100.0) == 0.0  # end excl.
+
+    def test_noc_targets_split_rows_then_cols(self):
+        injector = FaultInjector(FaultPlan(events=(
+            FaultEvent(start=0.0, kind="noc.retransmit", target=2,
+                       duration=10.0, magnitude=40.0),      # row 2
+            FaultEvent(start=0.0, kind="noc.retransmit", target=8 + 5,
+                       duration=10.0, magnitude=60.0),)),   # col 5
+            grid_rows=8)
+        assert injector.noc_retransmit(2, 5, 1.0) == 100.0
+        assert injector.noc_retransmit(2, 0, 1.0) == 40.0
+        assert injector.noc_retransmit(0, 5, 1.0) == 60.0
+        assert injector.noc_retransmit(0, 0, 1.0) == 0.0
+
+    def test_noc_degrade_multiplies_row_and_col(self):
+        injector = FaultInjector(FaultPlan(events=(
+            FaultEvent(start=0.0, kind="noc.link_degrade", target=0,
+                       duration=10.0, magnitude=0.5),
+            FaultEvent(start=0.0, kind="noc.link_degrade", target=8,
+                       duration=10.0, magnitude=0.25),)), grid_rows=8)
+        assert injector.noc_degrade(0, 0, 1.0) == pytest.approx(8.0)
+        assert injector.noc_degrade(0, 3, 1.0) == pytest.approx(2.0)
+        assert injector.noc_degrade(5, 0, 1.0) == pytest.approx(4.0)
+
+    def test_pe_lockup_release(self):
+        injector = FaultInjector(FaultPlan(events=(
+            FaultEvent(start=100.0, kind="pe.lockup", target=7,
+                       duration=50.0),)))
+        assert injector.pe_lockup_release(7, 120.0) == 150.0
+        assert injector.pe_lockup_release(7, 99.0) == 0.0
+        assert injector.pe_lockup_release(6, 120.0) == 0.0
+
+    def test_rednet_penalty(self):
+        injector = FaultInjector(FaultPlan(events=(
+            FaultEvent(start=0.0, kind="rednet.retransmit", target=0,
+                       duration=10.0, magnitude=75.0),)))
+        assert injector.rednet_penalty(5.0) == 75.0
+        assert injector.rednet_penalty(10.0) == 0.0
+
+
+class TestServingQueries:
+    def test_card_available_walks_chained_windows(self):
+        injector = FaultInjector(FaultPlan(events=(
+            FaultEvent(start=100.0, kind="card.failure", target=0,
+                       duration=100.0),
+            FaultEvent(start=200.0, kind="card.failure", target=0,
+                       duration=50.0),)))
+        assert injector.card_available_at(0, 150.0) == 250.0
+        assert injector.card_available_at(0, 99.0) == 99.0
+        assert injector.card_available_at(1, 150.0) == 150.0
+
+    def test_permanent_failure_is_inf(self):
+        injector = FaultInjector(FaultPlan(events=(
+            FaultEvent(start=500.0, kind="card.failure", target=2,
+                       duration=PERMANENT),)))
+        assert injector.card_available_at(2, 400.0) == 400.0
+        assert math.isinf(injector.card_available_at(2, 600.0))
+
+    def test_card_failure_in_is_exclusive(self):
+        injector = FaultInjector(FaultPlan(events=(
+            FaultEvent(start=100.0, kind="card.failure", target=0,
+                       duration=10.0),
+            FaultEvent(start=150.0, kind="card.failure", target=0,
+                       duration=10.0),)))
+        assert injector.card_failure_in(0, 50.0, 200.0) == 100.0
+        assert injector.card_failure_in(0, 100.0, 200.0) == 150.0
+        assert injector.card_failure_in(0, 150.0, 200.0) is None
+        assert injector.card_failure_in(1, 0.0, 1000.0) is None
+
+    def test_card_slowdown_composes(self):
+        injector = FaultInjector(FaultPlan(events=(
+            FaultEvent(start=0.0, kind="card.slowdown", target=1,
+                       duration=100.0, magnitude=2.0),
+            FaultEvent(start=0.0, kind="card.slowdown", target=-1,
+                       duration=100.0, magnitude=3.0),)))
+        assert injector.card_slowdown(1, 50.0) == 6.0
+        assert injector.card_slowdown(0, 50.0) == 3.0
+        assert injector.card_slowdown(0, 200.0) == 1.0
+
+    def test_slowdown_magnitude_floor_is_one(self):
+        # magnitudes below 1 never *speed up* a card
+        injector = FaultInjector(FaultPlan(events=(
+            FaultEvent(start=0.0, kind="card.slowdown", target=0,
+                       duration=100.0, magnitude=0.25),)))
+        assert injector.card_slowdown(0, 50.0) == 1.0
+
+
+class TestSimCacheInteraction:
+    def test_faulted_run_bypasses_sim_cache(self, tmp_path, clean):
+        from repro.simcache import SimCache
+
+        clean_cycles, _, _ = clean
+        cache = SimCache(tmp_path / "sims")
+        acc = Accelerator(observe=True)
+        warm = run_fc(acc, m=64, k=64, n=64, dtype="int8",
+                      subgrid=acc.subgrid((0, 0), 1, 1), seed=0,
+                      cache=cache)
+        assert warm.cycles == clean_cycles
+
+        # a faulted run must not replay the clean cached result
+        acc = Accelerator(observe=True)
+        FaultInjector(whole_run_plan("dram.ecc_correctable", 60.0,
+                                     clean_cycles)).attach(acc)
+        faulted = run_fc(acc, m=64, k=64, n=64, dtype="int8",
+                         subgrid=acc.subgrid((0, 0), 1, 1), seed=0,
+                         cache=cache)
+        assert faulted.cycles > clean_cycles
+
+        # ... and must not have poisoned the cache for clean runs
+        acc = Accelerator(observe=True)
+        replay = run_fc(acc, m=64, k=64, n=64, dtype="int8",
+                        subgrid=acc.subgrid((0, 0), 1, 1), seed=0,
+                        cache=cache)
+        assert replay.cycles == clean_cycles

@@ -1,0 +1,146 @@
+"""FaultPlan: canonical ordering, seeded generation, serialisation."""
+
+import pytest
+
+from repro.faults import (FAULT_KINDS, HARDWARE_KINDS, PERMANENT,
+                          SERVING_KINDS, FaultEvent, FaultPlan, FaultProfile)
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(start=0.0, kind="dram.meltdown")
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(start=-1.0, kind="pe.lockup")
+        with pytest.raises(ValueError):
+            FaultEvent(start=0.0, kind="pe.lockup", duration=-5.0)
+
+    def test_end_and_domain(self):
+        hw = FaultEvent(start=10.0, kind="sram.slice_stall", duration=5.0)
+        assert hw.end == 15.0
+        assert hw.domain == "hardware"
+        sv = FaultEvent(start=0.0, kind="card.failure", duration=PERMANENT)
+        assert sv.domain == "serving"
+
+    def test_every_kind_has_a_domain(self):
+        for kind in FAULT_KINDS:
+            event = FaultEvent(start=0.0, kind=kind)
+            expected = ("serving" if kind in SERVING_KINDS else "hardware")
+            assert event.domain == expected
+        assert set(FAULT_KINDS) == set(HARDWARE_KINDS) | set(SERVING_KINDS)
+
+
+class TestCanonicalOrder:
+    def test_events_sorted_on_construction(self):
+        late = FaultEvent(start=100.0, kind="pe.lockup", duration=1.0)
+        early = FaultEvent(start=5.0, kind="dram.ecc_correctable",
+                           magnitude=40.0)
+        plan = FaultPlan(events=(late, early))
+        assert plan.events == (early, late)
+
+    def test_same_events_any_order_compare_equal(self):
+        a = FaultEvent(start=1.0, kind="pe.slowdown", magnitude=5.0)
+        b = FaultEvent(start=1.0, kind="noc.retransmit", magnitude=30.0)
+        c = FaultEvent(start=9.0, kind="card.slowdown", magnitude=2.0)
+        assert FaultPlan(events=(c, a, b)) == FaultPlan(events=(b, c, a))
+
+    def test_extended_restores_canonical_order(self):
+        base = FaultPlan(events=(
+            FaultEvent(start=50.0, kind="pe.lockup", duration=2.0),))
+        grown = base.extended([FaultEvent(start=1.0, kind="sram.slice_stall",
+                                          magnitude=10.0)])
+        assert grown.events[0].start == 1.0
+        assert len(grown) == 2
+        assert len(base) == 1   # immutable: the original is untouched
+
+
+class TestDomainSplit:
+    def test_hardware_and_serving_partition(self):
+        plan = FaultPlan(events=(
+            FaultEvent(start=0.0, kind="dram.ecc_correctable",
+                       magnitude=40.0),
+            FaultEvent(start=0.0, kind="card.failure", duration=10.0),
+            FaultEvent(start=5.0, kind="noc.link_degrade", magnitude=0.5),
+        ))
+        assert len(plan.hardware_events) == 2
+        assert len(plan.serving_events) == 1
+        assert (set(plan.hardware_events) | set(plan.serving_events)
+                == set(plan.events))
+
+    def test_counts_by_kind(self):
+        plan = FaultPlan(events=(
+            FaultEvent(start=0.0, kind="pe.lockup", duration=1.0),
+            FaultEvent(start=2.0, kind="pe.lockup", duration=1.0),
+            FaultEvent(start=0.0, kind="card.slowdown", magnitude=2.0),
+        ))
+        assert plan.counts_by_kind() == {"pe.lockup": 2, "card.slowdown": 1}
+
+    def test_empty_plan(self):
+        assert FaultPlan().empty
+        assert len(FaultPlan()) == 0
+        assert not FaultPlan(events=(
+            FaultEvent(start=0.0, kind="pe.lockup"),)).empty
+
+
+class TestGenerate:
+    def test_same_seed_same_plan(self):
+        profile = FaultProfile(rates={k: 2.0 for k in FAULT_KINDS})
+        assert (FaultPlan.generate(7, profile)
+                == FaultPlan.generate(7, profile))
+
+    def test_different_seeds_differ(self):
+        profile = FaultProfile(rates={k: 3.0 for k in FAULT_KINDS})
+        plans = {FaultPlan.generate(s, profile).events for s in range(8)}
+        assert len(plans) > 1
+
+    def test_kinds_restriction_respected(self):
+        plan = FaultPlan.generate(
+            3, FaultProfile(rates={"card.slowdown": 5.0,
+                                   "pe.lockup": 5.0}),
+            kinds=("card.slowdown",))
+        assert plan.counts_by_kind().keys() <= {"card.slowdown"}
+        assert len(plan) > 0
+
+    def test_rates_gate_generation(self):
+        # with explicit rates, unlisted kinds generate nothing
+        plan = FaultPlan.generate(
+            11, FaultProfile(rates={"noc.retransmit": 4.0}))
+        assert set(plan.counts_by_kind()) <= {"noc.retransmit"}
+
+    def test_targets_stay_in_range(self):
+        profile = FaultProfile(num_cards=2, num_pes=4, grid_rows=2,
+                               grid_cols=2, num_dram_controllers=3,
+                               num_sram_slices=3,
+                               rates={k: 4.0 for k in FAULT_KINDS})
+        plan = FaultPlan.generate(5, profile)
+        for event in plan.events:
+            assert 0 <= event.target < profile.targets_for(event.kind)
+
+    def test_serving_kinds_use_us_horizon(self):
+        profile = FaultProfile(horizon_cycles=10.0, horizon_us=1e6,
+                               rates={"card.slowdown": 6.0,
+                                      "pe.slowdown": 6.0})
+        plan = FaultPlan.generate(2, profile)
+        for event in plan.serving_events:
+            assert event.start <= 1e6
+        for event in plan.hardware_events:
+            assert event.start <= 10.0
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        profile = FaultProfile(rates={k: 2.0 for k in FAULT_KINDS})
+        plan = FaultPlan.generate(13, profile)
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone == plan
+        assert clone.seed == 13
+
+    def test_dict_is_json_safe(self):
+        import json
+        plan = FaultPlan(events=(
+            FaultEvent(start=0.0, kind="card.failure",
+                       duration=PERMANENT),), seed=1)
+        text = json.dumps(plan.to_dict())
+        assert FaultPlan.from_dict(json.loads(text)) == plan

@@ -92,12 +92,38 @@ def serve_report_schema() -> dict:
     }
 
 
+def campaign_schema() -> dict:
+    """Key-set schema of the fault-campaign JSON report."""
+    from repro.faults.campaign import CampaignConfig, run_campaign
+    report = run_campaign(CampaignConfig(seeds=1, requests=300))
+    failure_row = next(r for r in report["scenarios"]
+                       if r["scenario"] == "card_failure")
+    return {
+        "top_level": sorted(report),
+        "config": sorted(report["config"]),
+        "scenario_row": sorted(failure_row),
+        "scenario_stats": sorted(failure_row["faulted"]),
+        "status_counts": sorted(failure_row["faulted"]["counts"]),
+        "summary_scenarios": sorted(report["summary"]),
+        "summary_stats": sorted(report["summary"]["card_failure"]),
+        "checks": sorted(report["checks"]),
+        "hardware": sorted(report["hardware"]),
+        "hardware_row": sorted(report["hardware"]["kinds"][0]),
+        "failover": sorted(report["failover"]),
+        "schema_version": report["schema_version"],
+    }
+
+
 def test_profile_json_schema_is_stable():
     _check("profile_quickstart_schema.json", profile_schema())
 
 
 def test_serve_report_json_schema_is_stable():
     _check("serve_report_quickstart_schema.json", serve_report_schema())
+
+
+def test_campaign_json_schema_is_stable():
+    _check("campaign_report_schema.json", campaign_schema())
 
 
 def test_report_metrics_schema_is_stable(capsys):

@@ -7,7 +7,7 @@ from repro.compiler.fusion import fuse_graph
 from repro.eval.machines import MACHINES
 from repro.models.configs import MODEL_ZOO
 from repro.models.dlrm import build_dlrm_graph
-from repro.runtime.multi_card import estimate_multi_card
+from repro.runtime.multi_card import estimate_failover, estimate_multi_card
 
 
 @pytest.fixture(scope="module")
@@ -86,3 +86,65 @@ class TestMultiCardEstimate:
         assert cards == sorted(cards) and cards[0] < cards[-1]
         efficiencies = [e.scaling_efficiency for e in estimates]
         assert efficiencies == sorted(efficiencies, reverse=True)
+
+
+class TestFailoverEstimate:
+    def capacity(self):
+        """Sized so HC lands on exactly 4 cards with headroom."""
+        from repro.models.configs import model_size_bytes
+        return int(model_size_bytes(MODEL_ZOO["HC"]) / 3.5)
+
+    def test_one_card_loss_rehomed_to_survivors(self, hc_graph):
+        est = estimate_failover(hc_graph, MACHINES["mtia"],
+                                failed_cards=[1],
+                                card_capacity_bytes=self.capacity())
+        assert est.degraded.cards == est.baseline.cards - 1
+        assert est.failed_cards == (1,)
+        assert est.moved_weight_bytes > 0
+        # the orphaned shards slow the survivors down, never speed
+        # them up
+        assert est.slowdown >= 1.0
+        assert est.degraded.total_seconds >= est.baseline.total_seconds
+
+    def test_dense_owner_loss_moves_dense_pipeline(self, hc_graph):
+        # card 0 owns the dense pipeline in the first-fit partitioning
+        est = estimate_failover(hc_graph, MACHINES["mtia"],
+                                failed_cards=[0],
+                                card_capacity_bytes=self.capacity())
+        assert est.degraded.cards == est.baseline.cards - 1
+        assert est.degraded.dense_seconds > 0
+        assert est.slowdown >= 1.0
+
+    def test_to_dict_is_json_ready(self, hc_graph):
+        import json
+        est = estimate_failover(hc_graph, MACHINES["mtia"],
+                                failed_cards=[1],
+                                card_capacity_bytes=self.capacity())
+        data = json.loads(json.dumps(est.to_dict()))
+        assert data["cards_before"] == data["cards_after"] + 1
+        assert data["slowdown"] == pytest.approx(
+            data["degraded_seconds"] / data["baseline_seconds"])
+        assert data["efficiency_drop"] == pytest.approx(
+            data["baseline_efficiency"] - data["degraded_efficiency"])
+
+    def test_unknown_failed_card_rejected(self, hc_graph):
+        with pytest.raises(ValueError, match="not in the"):
+            estimate_failover(hc_graph, MACHINES["mtia"],
+                              failed_cards=[99],
+                              card_capacity_bytes=self.capacity())
+
+    def test_all_cards_failed_rejected(self):
+        graph = build_dlrm_graph(MODEL_ZOO["LC2"], 64)
+        fuse_graph(graph)
+        with pytest.raises(RuntimeError, match="all cards failed"):
+            estimate_failover(graph, MACHINES["mtia"], failed_cards=[0])
+
+    def test_losing_more_cards_hurts_more(self, hc_graph):
+        one = estimate_failover(hc_graph, MACHINES["mtia"],
+                                failed_cards=[1],
+                                card_capacity_bytes=self.capacity())
+        two = estimate_failover(hc_graph, MACHINES["mtia"],
+                                failed_cards=[1, 2],
+                                card_capacity_bytes=self.capacity())
+        assert two.moved_weight_bytes > one.moved_weight_bytes
+        assert two.slowdown >= one.slowdown

@@ -54,7 +54,8 @@ class TestPhaseAttribution:
 
     def test_breakdown_means_keys(self):
         means = run(n=200).breakdown_means()
-        assert set(means) == {"queue_wait", "batch_wait", "execute"}
+        assert set(means) == {"queue_wait", "batch_wait", "execute",
+                              "retry_overhead"}
 
 
 class TestBatchRecords:
@@ -108,6 +109,7 @@ class TestEmptyAndEdgeCases:
         assert not report.meets_sla(1e9)
         assert report.breakdown_means() == {"queue_wait": 0.0,
                                             "batch_wait": 0.0,
+                                            "retry_overhead": 0.0,
                                             "execute": 0.0}
 
     def test_tail_attribution_empty(self):

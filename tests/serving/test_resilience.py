@@ -1,0 +1,320 @@
+"""Resilient serving: deadlines, retries, hedging, shedding, failover."""
+
+import numpy as np
+import pytest
+
+from repro.faults import PERMANENT, FaultEvent, FaultPlan, FaultInjector
+from repro.obs import MetricRegistry
+from repro.serving import (BatchingConfig, ResilienceConfig,
+                           STATUS_FAILED, STATUS_SERVED, STATUS_SHED,
+                           STATUS_TIMEOUT, simulate_serving,
+                           simulate_serving_resilient)
+from repro.serving.slo import slo_from_report
+
+
+def linear_latency(batch):
+    """150us + 2us per sample — min batch latency 152us."""
+    return 150.0 + 2.0 * batch
+
+
+#: max_batch=4 caps one card's service rate at ~25k qps, so the
+#: overload scenarios here actually overload
+TIGHT_BATCHING = BatchingConfig(max_batch=4, max_wait_us=200.0)
+
+
+def resilient(qps=10_000, batching=BatchingConfig(), res=None, n=600,
+              seed=0, plan=None):
+    faults = FaultInjector(plan) if plan is not None else None
+    return simulate_serving_resilient(
+        linear_latency, qps, batching, res or ResilienceConfig(),
+        num_requests=n, seed=seed, faults=faults,
+        registry=MetricRegistry())
+
+
+def assert_attribution_invariant(report):
+    """queue_wait + batch_wait + retry_overhead + execute == latency."""
+    total = (report.queue_wait_us + report.batch_wait_us
+             + report.retry_overhead_us + report.execute_us)
+    np.testing.assert_allclose(total, report.latencies_us, atol=1e-6)
+
+
+class TestBitIdentityWithPlainSimulator:
+    """Default config + no faults must be simulate_serving, bit for bit."""
+
+    def equivalent_reports(self, **kwargs):
+        plain = simulate_serving(linear_latency, registry=MetricRegistry(),
+                                 **kwargs)
+        resil = simulate_serving_resilient(
+            linear_latency, registry=MetricRegistry(), **kwargs)
+        return plain, resil
+
+    @pytest.mark.parametrize("qps", [500, 10_000, 300_000])
+    def test_arrays_bit_identical(self, qps):
+        plain, resil = self.equivalent_reports(qps=qps, num_requests=800,
+                                               seed=qps)
+        for name in ("latencies_us", "queue_wait_us", "batch_wait_us",
+                     "execute_us", "arrivals_us", "batch_index"):
+            np.testing.assert_array_equal(getattr(plain, name),
+                                          getattr(resil, name), err_msg=name)
+        assert plain.batch_sizes == resil.batch_sizes
+        assert plain.qps_served == resil.qps_served
+        assert plain.busy_fraction == resil.busy_fraction
+
+    def test_batch_records_identical(self):
+        plain, resil = self.equivalent_reports(qps=50_000, num_requests=500)
+        assert [b.to_dict() for b in plain.batches] == \
+            [b.to_dict() for b in resil.batches]
+
+    def test_empty_injector_is_bit_identical(self):
+        bare = resilient(qps=40_000, n=600)
+        armed = resilient(qps=40_000, n=600,
+                          plan=FaultPlan(events=()))
+        np.testing.assert_array_equal(bare.latencies_us, armed.latencies_us)
+        np.testing.assert_array_equal(bare.execute_us, armed.execute_us)
+        assert armed.availability == 1.0
+
+    def test_all_served_when_no_failure_features(self):
+        report = resilient(qps=20_000, n=400)
+        assert report.availability == 1.0
+        assert (report.status == STATUS_SERVED).all()
+        assert (report.attempts == 1).all()
+        assert (report.retry_overhead_us == 0.0).all()
+        assert np.isnan(report.abort_us).all()
+
+
+class TestDeadlines:
+    def test_deadline_shorter_than_min_batch_latency_aborts_all(self):
+        # 100us deadline < 152us best-case service: nothing can serve,
+        # and each request burns its full retry budget first
+        res = ResilienceConfig(deadline_us=100.0, max_retries=2)
+        report = resilient(qps=5_000, res=res, n=200)
+        assert report.availability == 0.0
+        assert (report.status == STATUS_TIMEOUT).all()
+        assert (report.attempts == 3).all()
+        assert np.isnan(report.p99_us)       # percentiles are served-only
+        assert np.isfinite(report.abort_us).all()
+        assert_attribution_invariant(report)
+
+    def test_loose_deadline_serves_everything(self):
+        res = ResilienceConfig(deadline_us=100_000.0, max_retries=2)
+        report = resilient(qps=5_000, res=res, n=400)
+        assert report.availability == 1.0
+
+    def test_retry_storm_recovers_some_requests(self):
+        # over capacity + tight deadline: timeouts spawn retries, some
+        # of which land in luckier batches and serve
+        res = ResilienceConfig(deadline_us=450.0, max_retries=3,
+                               retry_backoff_us=50.0, backoff_cap_us=400.0)
+        report = resilient(qps=30_000, batching=TIGHT_BATCHING, res=res,
+                           n=800)
+        counts = report.counts_by_status()
+        assert counts["served"] > 0
+        assert counts["timeout"] > 0
+        assert float(report.attempts.mean()) > 1.0
+        retried = report.attempts > 1
+        assert (report.retry_overhead_us[retried] > 0).all()
+        assert (report.retry_overhead_us[~retried] == 0).all()
+        assert_attribution_invariant(report)
+
+    def test_backoff_is_capped(self):
+        res = ResilienceConfig(deadline_us=100.0, max_retries=6,
+                               retry_backoff_us=100.0, backoff_cap_us=800.0)
+        assert res.backoff_us(0) == 100.0
+        assert res.backoff_us(2) == 400.0
+        assert res.backoff_us(5) == 800.0   # capped, not 3200
+
+
+class TestCardFailures:
+    def test_all_cards_dead_from_start(self):
+        plan = FaultPlan(events=(
+            FaultEvent(start=0.0, kind="card.failure", target=-1,
+                       duration=PERMANENT),))
+        res = ResilienceConfig(num_cards=2, max_retries=1)
+        report = resilient(qps=10_000, res=res, n=150, plan=plan)
+        assert report.availability == 0.0
+        assert (report.status == STATUS_FAILED).all()
+        assert (report.attempts == 2).all()
+        assert report.qps_served == 0.0
+        assert_attribution_invariant(report)
+
+    def test_one_card_dies_survivors_absorb(self):
+        # one of two cards dies permanently mid-run; requests arriving
+        # after the failure still serve on the survivor
+        fail_at = 15_000.0
+        plan = FaultPlan(events=(
+            FaultEvent(start=fail_at, kind="card.failure", target=0,
+                       duration=PERMANENT),))
+        res = ResilienceConfig(num_cards=2, max_retries=2)
+        report = resilient(qps=15_000, batching=TIGHT_BATCHING, res=res,
+                           n=600, plan=plan)
+        late = report.arrivals_us > fail_at
+        assert late.any()
+        assert report.availability == 1.0
+        assert (report.status[late] == STATUS_SERVED).all()
+        assert_attribution_invariant(report)
+
+    def test_transient_failure_kills_inflight_batch_then_recovers(self):
+        # a mid-execute outage: the in-flight batch dies and retries
+        plan = FaultPlan(events=(
+            FaultEvent(start=300.0, kind="card.failure", target=0,
+                       duration=400.0),))
+        res = ResilienceConfig(num_cards=1, max_retries=2)
+        report = resilient(qps=20_000, batching=TIGHT_BATCHING, res=res,
+                           n=60, plan=plan)
+        assert report.availability == 1.0
+        assert (report.attempts > 1).any()
+        assert_attribution_invariant(report)
+
+    def test_card_slowdown_stretches_execute(self):
+        plan = FaultPlan(events=(
+            FaultEvent(start=0.0, kind="card.slowdown", target=-1,
+                       duration=PERMANENT, magnitude=3.0),))
+        slow = resilient(qps=1_000, n=300, plan=plan)
+        # batch composition may shift (slower service backs the queue
+        # up), so check per-request against each batch's own size
+        sizes = np.array(slow.batch_sizes)[slow.batch_index]
+        np.testing.assert_allclose(slow.execute_us,
+                                   3.0 * (150.0 + 2.0 * sizes))
+        assert slow.availability == 1.0
+
+
+class TestHedging:
+    def test_hedged_dispatch_can_win(self):
+        # card 0 keeps dying mid-execute; under queue pressure batches
+        # hedge onto card 1 and the hedge copy survives the outage
+        events = tuple(FaultEvent(start=s, kind="card.failure", target=0,
+                                  duration=80.0)
+                       for s in np.arange(200.0, 120_000.0, 300.0))
+        res = ResilienceConfig(num_cards=2, hedge_after_us=30.0,
+                               max_retries=1)
+        report = resilient(qps=60_000, batching=TIGHT_BATCHING, res=res,
+                           n=2000, plan=FaultPlan(events=events))
+        assert report.hedged_batches > 0
+        assert report.hedge_wins >= 1
+        assert report.availability == 1.0
+        assert_attribution_invariant(report)
+
+    def test_no_hedging_on_single_card(self):
+        res = ResilienceConfig(num_cards=1, hedge_after_us=1.0)
+        report = resilient(qps=300_000, batching=TIGHT_BATCHING, res=res,
+                           n=400)
+        assert report.hedged_batches == 0
+        assert report.hedge_wins == 0
+
+
+class TestShedding:
+    def test_overload_sheds_beyond_depth(self):
+        res = ResilienceConfig(shed_queue_depth=32)
+        report = resilient(qps=80_000, batching=TIGHT_BATCHING, res=res,
+                           n=800)
+        counts = report.counts_by_status()
+        assert counts["shed"] > 0
+        assert counts["served"] + counts["shed"] == 800
+        assert report.availability < 1.0
+        assert_attribution_invariant(report)
+
+    def test_shedding_bounds_served_latency(self):
+        res = ResilienceConfig(shed_queue_depth=32)
+        shed = resilient(qps=80_000, batching=TIGHT_BATCHING, res=res,
+                         n=800)
+        unshed = resilient(qps=80_000, batching=TIGHT_BATCHING, n=800)
+        # the shed run serves fewer requests but far faster
+        assert shed.availability < 1.0
+        assert shed.p99_us < 0.5 * unshed.p99_us
+
+
+class TestAbortedRequestAccounting:
+    """Satellite regression: aborts are excluded from percentiles but
+    counted against availability (and always burn SLO budget)."""
+
+    @pytest.fixture()
+    def mixed(self):
+        res = ResilienceConfig(deadline_us=450.0, max_retries=1,
+                               retry_backoff_us=50.0)
+        return resilient(qps=30_000, batching=TIGHT_BATCHING, res=res,
+                         n=800)
+
+    def test_percentiles_are_served_only(self, mixed):
+        mask = mixed.served_mask
+        assert 0 < mask.sum() < mask.size
+        expected = float(np.percentile(mixed.latencies_us[mask], 99.0))
+        assert mixed.p99_us == expected
+        # aborted latencies would otherwise drag the percentile around
+        polluted = float(np.percentile(mixed.latencies_us, 99.0))
+        assert mixed.p99_us != polluted
+
+    def test_availability_counts_aborts(self, mixed):
+        counts = mixed.counts_by_status()
+        assert mixed.availability == counts["served"] / 800.0
+        assert sum(counts.values()) == 800
+
+    def test_slo_counts_aborts_as_violations(self, mixed):
+        slo = slo_from_report(mixed, sla_us=1_000.0)
+        counts = mixed.counts_by_status()
+        aborted = 800 - counts["served"]
+        assert slo.aborted == aborted
+        assert slo.total == 800
+        assert slo.violations >= aborted
+        window_aborts = sum(w.count for w in slo.windows)
+        assert window_aborts == 800
+
+    def test_breakdown_means_are_served_only(self, mixed):
+        mask = mixed.served_mask
+        means = mixed.breakdown_means()
+        assert means["execute"] == pytest.approx(
+            float(mixed.execute_us[mask].mean()))
+        assert means["retry_overhead"] == pytest.approx(
+            float(mixed.retry_overhead_us[mask].mean()))
+
+    def test_request_rows_carry_status(self, mixed):
+        rows = mixed.request_rows(limit=50)
+        assert {"status", "attempts", "retry_overhead_us"} <= rows[0].keys()
+        assert {r["status"] for r in rows} <= {"served", "shed", "timeout",
+                                               "failed"}
+
+
+class TestConfigValidation:
+    def test_bad_num_cards_rejected(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(num_cards=0)
+
+    @pytest.mark.parametrize("field", ["deadline_us", "max_retries",
+                                       "retry_backoff_us", "backoff_cap_us",
+                                       "hedge_after_us", "shed_queue_depth"])
+    def test_negative_knobs_rejected(self, field):
+        with pytest.raises(ValueError, match=field):
+            ResilienceConfig(**{field: -1})
+
+    def test_invalid_qps_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_serving_resilient(linear_latency, qps=0.0,
+                                       registry=MetricRegistry())
+
+
+class TestDeterminism:
+    def test_same_seed_and_plan_replay_exactly(self):
+        plan = FaultPlan.generate(5, kinds=("card.failure",
+                                            "card.slowdown"))
+        res = ResilienceConfig(num_cards=2, deadline_us=2_000.0,
+                               max_retries=2, hedge_after_us=100.0,
+                               shed_queue_depth=64)
+        a = resilient(qps=40_000, batching=TIGHT_BATCHING, res=res,
+                      n=500, plan=plan)
+        b = resilient(qps=40_000, batching=TIGHT_BATCHING, res=res,
+                      n=500, plan=plan)
+        for name in ("latencies_us", "status", "attempts",
+                     "retry_overhead_us", "abort_us", "batch_index"):
+            np.testing.assert_array_equal(getattr(a, name),
+                                          getattr(b, name), err_msg=name)
+        assert a.hedged_batches == b.hedged_batches
+        assert a.hedge_wins == b.hedge_wins
+
+    def test_metrics_record_availability_and_outcomes(self):
+        registry = MetricRegistry()
+        res = ResilienceConfig(deadline_us=100.0, max_retries=0)
+        simulate_serving_resilient(linear_latency, qps=5_000,
+                                   resilience=res, num_requests=100,
+                                   registry=registry)
+        text = registry.to_prometheus()
+        assert "serving_availability" in text
+        assert "serving_outcomes" in text

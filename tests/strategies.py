@@ -133,6 +133,56 @@ def knyfe_pipelines(draw):
     return ("int8" if start_int8 else "fp32"), stages
 
 
+# -- fault injection ---------------------------------------------------------
+
+#: serving-domain fault horizon for the chaos property tests; matches a
+#: ~300-request run at 20k qps (15 ms span) with room past the tail.
+FAULT_HORIZON_US = 30_000.0
+
+
+@st.composite
+def fault_plans(draw, num_cards=4):
+    """A random serving-domain :class:`FaultPlan` over a short horizon.
+
+    Draws ``card.failure`` / ``card.slowdown`` windows (including
+    wildcard targets and the occasional permanent failure) so the
+    resilient-serving properties — seed-replay determinism, the
+    attribution invariant, availability monotonicity — are exercised
+    across outage shapes the scenario presets never produce.
+    """
+    from repro.faults import PERMANENT, FaultEvent, FaultPlan
+
+    events = []
+    for _ in range(draw(st.integers(0, 6))):
+        kind = draw(st.sampled_from(["card.failure", "card.slowdown"]))
+        start = draw(st.floats(0.0, FAULT_HORIZON_US))
+        duration = draw(st.floats(50.0, 8_000.0))
+        if kind == "card.failure" and draw(st.sampled_from([0, 0, 0, 1])):
+            duration = PERMANENT
+        target = draw(st.integers(-1, num_cards - 1))
+        magnitude = (draw(st.floats(1.0, 5.0))
+                     if kind == "card.slowdown" else 0.0)
+        events.append(FaultEvent(start=start, kind=kind, target=target,
+                                 duration=duration, magnitude=magnitude))
+    return FaultPlan(events=tuple(events))
+
+
+@st.composite
+def hardware_fault_plans(draw):
+    """A random hardware-domain plan for determinism-under-replay.
+
+    Uses :meth:`FaultPlan.generate` so the draw is a pure function of
+    the seed; the strategy only picks the seed and the kind subset.
+    """
+    from repro.faults import HARDWARE_KINDS, FaultPlan, FaultProfile
+
+    seed = draw(st.integers(0, 2 ** 16))
+    kinds = draw(st.sets(st.sampled_from(HARDWARE_KINDS), min_size=1))
+    profile = FaultProfile(horizon_cycles=30_000.0,
+                           rates={k: 2.0 for k in kinds})
+    return FaultPlan.generate(seed, profile, kinds=tuple(sorted(kinds)))
+
+
 # -- conformance -------------------------------------------------------------
 
 #: op-family subsets for the graph fuzzer; "fc" is always included so

@@ -25,7 +25,7 @@ class TestServeReport:
         assert data["schema_version"] == 1
         assert data["num_requests"] == 800
         assert set(data["breakdown_us"]) == {"queue_wait", "batch_wait",
-                                             "execute"}
+                                             "retry_overhead", "execute"}
         assert data["slo"]["total"] == 800
         assert data["tail_attribution"]["tail_requests"] > 0
         assert data["tail_attribution"]["category_mix"]["tail"]
