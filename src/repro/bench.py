@@ -4,10 +4,11 @@ Runs the canonical FC / TBE / DLRM quickstart workloads and emits a
 schema-stable ``BENCH_<label>.json`` so the performance trajectory of
 the reproduction is tracked from PR to PR::
 
-    python -m repro.bench                       # writes BENCH_pr4.json
+    python -m repro.bench                       # writes BENCH_pr6.json
     python -m repro.bench --label nightly -o out/
     python -m repro.bench --compare BENCH_pr4.json   # soft regression check
     python -m repro.bench --jobs 3              # workloads in parallel
+    python -m repro.bench --trajectory          # all BENCH_*.json, one table
 
 Every workload records the same four headline numbers (``latency_us``,
 ``achieved_tflops``, ``sim_cycles``, ``wall_time_s``; inapplicable ones
@@ -28,7 +29,11 @@ import time
 from typing import Dict, List, Optional
 
 SCHEMA_VERSION = 1
-DEFAULT_LABEL = "pr4"   # bump per PR; the trajectory lives in git
+DEFAULT_LABEL = "pr6"   # bump per PR; the trajectory lives in git
+TRAJECTORY_SCHEMA_VERSION = 1
+
+#: headline metrics every workload reports (inapplicable ones are 0)
+METRICS = ("latency_us", "achieved_tflops", "sim_cycles", "wall_time_s")
 
 #: Metrics where *bigger* is better (regressions are decreases).
 _HIGHER_IS_BETTER = {"achieved_tflops"}
@@ -111,13 +116,19 @@ def _bench_dlrm() -> Dict:
     wall = time.perf_counter() - t0
     seconds = estimate.total_seconds
     flops = model_flops(MODEL_ZOO["LC2"]) * batch
+    # The analytical path has no DES run, so report *modelled* device
+    # cycles (estimate time x MTIA clock) — every workload must carry a
+    # nonzero cycle count for the trajectory to be comparable.
+    from repro.config import MTIA_V1
+    cycles = seconds * MTIA_V1.frequency_ghz * 1e9
     return {
         "latency_us": seconds * 1e6,
         "achieved_tflops": flops / seconds / 1e12 if seconds else 0.0,
-        "sim_cycles": 0.0,
+        "sim_cycles": cycles,
         "wall_time_s": wall,
         "extras": {"model": "LC2", "batch": batch,
-                   "ops": len(estimate.estimates)},
+                   "ops": len(estimate.estimates),
+                   "cycles_modelled": True},
     }
 
 
@@ -196,6 +207,55 @@ def compare(current: Dict, baseline: Dict,
     return regressions
 
 
+def load_trajectory(directory: str = ".",
+                    paths: Optional[List[str]] = None) -> Dict:
+    """Aggregate every ``BENCH_*.json`` into one trajectory payload.
+
+    Rows are ordered by the files' ``created_unix`` stamp (the PR
+    sequence), one row per (label, workload) with the headline metrics;
+    the schema is stable so the trajectory can itself be diffed.
+    """
+    import glob
+
+    if paths is None:
+        paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+    runs = []
+    for path in paths:
+        with open(path) as fh:
+            payload = json.load(fh)
+        runs.append((payload.get("created_unix", 0.0),
+                     os.path.basename(path), payload))
+    runs.sort(key=lambda item: (item[0], item[1]))
+    rows: List[Dict] = []
+    for created, fname, payload in runs:
+        for name in sorted(payload.get("workloads", {})):
+            result = payload["workloads"][name]
+            row = {"label": payload.get("label", "?"),
+                   "file": fname,
+                   "created_unix": created,
+                   "workload": name}
+            for metric in METRICS:
+                row[metric] = float(result.get(metric, 0.0))
+            rows.append(row)
+    return {"trajectory_schema_version": TRAJECTORY_SCHEMA_VERSION,
+            "runs": len(runs),
+            "rows": rows}
+
+
+def render_trajectory(trajectory: Dict) -> str:
+    """Human-readable trajectory table, newest run last."""
+    lines = [f"perf trajectory: {trajectory['runs']} runs",
+             f"{'label':<10} {'workload':<8} {'latency_us':>12} "
+             f"{'tflops':>8} {'sim_cycles':>14} {'wall_s':>8}"]
+    for row in trajectory["rows"]:
+        lines.append(f"{row['label']:<10} {row['workload']:<8} "
+                     f"{row['latency_us']:>12.1f} "
+                     f"{row['achieved_tflops']:>8.2f} "
+                     f"{row['sim_cycles']:>14.0f} "
+                     f"{row['wall_time_s']:>8.2f}")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -226,6 +286,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "(default 1 = serial); simulated metrics are "
                         "identical at any job count, but wall times "
                         "are only trajectory-comparable at --jobs 1")
+    parser.add_argument("--trajectory", action="store_true",
+                        help="aggregate all BENCH_*.json in the output "
+                        "dir into one trajectory table (and JSON with "
+                        "--json); runs no workloads")
+    parser.add_argument("--json", action="store_true",
+                        help="with --trajectory: emit JSON instead of "
+                        "the table")
     parser.add_argument("--sim-cache", default=None, metavar="WHERE",
                         const="mem", nargs="?",
                         help="enable the sim-result cache for the run "
@@ -233,6 +300,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "REPRO_SIM_CACHE for this process, so wall "
                         "times measure cache replay, not simulation")
     args = parser.parse_args(argv)
+
+    if args.trajectory:
+        trajectory = load_trajectory(args.output_dir)
+        if args.json:
+            print(json.dumps(trajectory, indent=2, sort_keys=True))
+        else:
+            print(render_trajectory(trajectory))
+        return 0
 
     if args.sim_cache:
         os.environ["REPRO_SIM_CACHE"] = args.sim_cache

@@ -357,3 +357,83 @@ def check_serving_determinism(seed: int) -> DeterminismResult:
     if not np.array_equal(off.latencies_us, plain_a.latencies_us):
         res.violations.append("disabled span tracer changed latencies")
     return res
+
+
+def check_telemetry_determinism(seed: int) -> DeterminismResult:
+    """Sketch/exemplar merges must be order-invariant, byte-for-byte.
+
+    The fleet-telemetry contract: (a) collecting telemetry never
+    perturbs the simulation; (b) sharding one value stream and merging
+    the per-shard sketches — in *either* order — serializes
+    byte-identically to single-stream ingest; (c) the same holds for
+    exemplar stores; (d) merged per-replica telemetry is byte-identical
+    at any merge grouping (what makes ``--jobs N`` reports stable).
+    """
+    import json
+
+    from repro.serving.simulator import BatchingConfig, simulate_serving
+    from repro.serving.telemetry import ServingTelemetry
+
+    rng = np.random.default_rng(seed)
+    qps = float(rng.uniform(2_000, 200_000))
+    base = float(rng.uniform(50, 300))
+    slope = float(rng.uniform(0.5, 5.0))
+    batching = BatchingConfig(max_batch=int(rng.choice([16, 64, 256])),
+                              max_wait_us=float(rng.uniform(50, 400)))
+
+    def latency_model(batch: int) -> float:
+        return base + slope * batch
+
+    def run(collect: bool, replica: int = 0, run_seed: int = seed):
+        return simulate_serving(latency_model, qps, batching,
+                                num_requests=300, seed=run_seed,
+                                registry=None, collect_telemetry=collect,
+                                replica=replica)
+
+    res = DeterminismResult(seed=seed, kind="telemetry")
+    plain = run(collect=False)
+    collected = run(collect=True)
+    res.cycles = float(plain.latencies_us.sum())
+    for field_name in ("latencies_us", "queue_wait_us", "batch_wait_us",
+                       "execute_us", "arrivals_us"):
+        if not np.array_equal(getattr(collected, field_name),
+                              getattr(plain, field_name)):
+            res.violations.append(
+                f"collecting telemetry changed {field_name}")
+
+    # (b) sketch shard merges, both orders, vs single-stream ingest
+    from repro.obs.sketch import QuantileSketch
+    values = plain.latencies_us
+    cut = values.size // 2
+    whole = QuantileSketch()
+    whole.add_many(values)
+    a, b = QuantileSketch(), QuantileSketch()
+    a.add_many(values[:cut])
+    b.add_many(values[cut:])
+    ab = a.copy().merge(b)
+    ba = b.copy().merge(a)
+    dumps = [json.dumps(s.to_dict(), sort_keys=True)
+             for s in (whole, ab, ba)]
+    if len(set(dumps)) != 1:
+        res.violations.append(
+            "sketch merge is not order-invariant byte-for-byte "
+            "(single-stream vs merge(a,b) vs merge(b,a))")
+
+    # (c)+(d) replica telemetry merged in either grouping
+    replicas = [collected] + [run(collect=True, replica=i,
+                                  run_seed=seed + i) for i in (1, 2)]
+    tels = [r.telemetry for r in replicas]
+
+    def merged(order):
+        import copy
+        parts = [copy.deepcopy(tels[i]) for i in order]
+        return ServingTelemetry.merge_all(parts)
+
+    j_fwd = json.dumps(merged((0, 1, 2)).to_dict(include_state=True),
+                       sort_keys=True)
+    j_rev = json.dumps(merged((2, 1, 0)).to_dict(include_state=True),
+                       sort_keys=True)
+    if j_fwd != j_rev:
+        res.violations.append(
+            "merged fleet telemetry differs across merge orders")
+    return res

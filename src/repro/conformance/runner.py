@@ -22,7 +22,8 @@ from repro.conformance.determinism import (check_cache_determinism,
                                            check_fault_injection_noop,
                                            check_graph_determinism,
                                            check_serving_determinism,
-                                           check_sim_determinism)
+                                           check_sim_determinism,
+                                           check_telemetry_determinism)
 from repro.conformance.fuzzer import OP_FAMILIES, FuzzConfig, fuzz_graph
 from repro.conformance.golden import (TolerancePolicy, compare_outputs,
                                       evaluate_graph)
@@ -178,16 +179,19 @@ def run_golden_case(seed: int, config: ConformanceConfig) -> CaseResult:
 
 def run_determinism_case(seed: int,
                          config: ConformanceConfig) -> CaseResult:
-    """Replay one seed at the sim, executor, and serving levels."""
+    """Replay one seed at the sim, executor, serving, telemetry levels."""
     sim = check_sim_determinism(seed)
     graph = check_graph_determinism(seed, FuzzConfig(ops=config.ops))
     serving = check_serving_determinism(seed)
-    violations = sim.violations + graph.violations + serving.violations
+    telemetry = check_telemetry_determinism(seed)
+    violations = (sim.violations + graph.violations + serving.violations
+                  + telemetry.violations)
     status = "ok" if not violations else "violation"
     return CaseResult(seed=seed, pillar="determinism", status=status,
                       details={"sim": sim.to_dict(),
                                "graph": graph.to_dict(),
-                               "serving": serving.to_dict()})
+                               "serving": serving.to_dict(),
+                               "telemetry": telemetry.to_dict()})
 
 
 def run_crossval_case(seed: int, index: int,

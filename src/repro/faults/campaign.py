@@ -140,11 +140,26 @@ def _scenario_setup(name: str, seed: int, cfg: CampaignConfig
 
 
 def _report_stats(report) -> Dict:
+    from repro.obs.detect import burn_anomalies
+
     slo = slo_from_report(report, sla_us=SLA_US,
                           availability_target=AVAILABILITY_TARGET)
     attempts = report.attempts
     mean_attempts = float(attempts.mean()) if attempts.size else 1.0
+    telemetry = None
+    if report.telemetry is not None:
+        t = report.telemetry
+        burn = burn_anomalies(slo)
+        telemetry = {
+            "latency_sketch": t.latency.summary(),
+            "slowest": [r.to_dict() for r in t.exemplars.slowest[:3]],
+            "anomalous_signals": [r.stat for r in t.anomalies()
+                                  if r.anomalous],
+            "burn_anomalies": len(burn.anomalies),
+            "burn_changepoints": len(burn.changepoints),
+        }
     return {
+        "telemetry": telemetry,
         "availability": report.availability,
         "counts": report.counts_by_status(),
         "qps_served": report.qps_served,
@@ -169,11 +184,13 @@ def run_scenario(name: str, seed: int, cfg: CampaignConfig) -> Dict:
     faulted = simulate_serving_resilient(
         synthetic_latency_model, qps, CAMPAIGN_BATCHING, res,
         num_requests=cfg.requests, seed=seed,
-        faults=FaultInjector(plan), registry=MetricRegistry())
+        faults=FaultInjector(plan), registry=MetricRegistry(),
+        collect_telemetry=True, replica=seed)
     baseline = simulate_serving_resilient(
         synthetic_latency_model, qps, CAMPAIGN_BATCHING,
         ResilienceConfig(num_cards=res.num_cards),
-        num_requests=cfg.requests, seed=seed, registry=MetricRegistry())
+        num_requests=cfg.requests, seed=seed, registry=MetricRegistry(),
+        collect_telemetry=True, replica=seed)
 
     row = {
         "scenario": name,
@@ -325,6 +342,11 @@ def run_campaign(cfg: Optional[CampaignConfig] = None,
                 [r["faulted"]["qps_served"] for r in rows])),
             "slo_burn_mean": float(np.mean(
                 [r["faulted"]["slo_burn_rate"] for r in rows])),
+            "anomalous_cells": sum(
+                1 for r in rows
+                if r["faulted"]["telemetry"] is not None
+                and (r["faulted"]["telemetry"]["anomalous_signals"]
+                     or r["faulted"]["telemetry"]["burn_anomalies"])),
         }
 
     graceful = all(r["graceful"] for r in scenarios
@@ -352,13 +374,16 @@ def render_text(report: Dict) -> str:
                  f"{cfg['requests']} requests @ {cfg['qps']:.0f} qps, "
                  f"{cfg['cards']} cards")
     lines.append(f"{'scenario':<18} {'avail mean':>10} {'avail min':>10} "
-                 f"{'p99 us':>10} {'goodput':>10} {'SLO burn':>9}")
+                 f"{'p99 us':>10} {'goodput':>10} {'SLO burn':>9} "
+                 f"{'anomalous':>9}")
     for name, s in report["summary"].items():
+        anomalous = s.get("anomalous_cells", 0)
         lines.append(f"{name:<18} {s['availability_mean']:>10.4f} "
                      f"{s['availability_min']:>10.4f} "
                      f"{s['p99_served_mean_us']:>10.1f} "
                      f"{s['goodput_mean_qps']:>10.0f} "
-                     f"{s['slo_burn_mean']:>9.2f}")
+                     f"{s['slo_burn_mean']:>9.2f} "
+                     f"{anomalous:>4}/{s['cells']:<4}")
     if "hardware" in report:
         hw = report["hardware"]
         lines.append(f"hardware microbench (clean {hw['clean_cycles']:.0f} "

@@ -13,6 +13,14 @@ Three layers, all opt-in and free when disabled:
 - :mod:`repro.obs.spans` — hierarchical request-level span tracer with
   context propagation and Chrome-trace flow events, linking serving
   requests down to cycle-level unit activity on one merged timeline.
+- :mod:`repro.obs.sketch` — mergeable relative-error quantile sketches
+  (bounded memory, order-invariant merges, deterministic bytes).
+- :mod:`repro.obs.timeseries` — fixed-size windowed series for rates,
+  gauges, and percentile-over-time, with aligned downsampling.
+- :mod:`repro.obs.exemplars` — tail-biased exemplar retention: exact
+  slowest-k plus a seeded, merge-invariant priority reservoir.
+- :mod:`repro.obs.detect` — EWMA spike/drop detection and CUSUM
+  changepoints over windowed telemetry, wired to the SLO burn signal.
 """
 
 from repro.obs.metrics import (
@@ -35,11 +43,28 @@ from repro.obs.profiler import (
     Profiler,
     TrackProfile,
 )
+from repro.obs.detect import (Anomaly, AnomalyReport, EWMADetector,
+                              burn_anomalies, cusum_changepoints,
+                              detect_series)
+from repro.obs.exemplars import ExemplarRecord, ExemplarStore
+from repro.obs.sketch import QuantileSketch
 from repro.obs.spans import ObsSpan, SpanTracer, merge_chrome_traces
+from repro.obs.timeseries import WindowedSeries, WindowStats
 
 __all__ = [
+    "Anomaly",
+    "AnomalyReport",
+    "EWMADetector",
+    "ExemplarRecord",
+    "ExemplarStore",
     "ObsSpan",
+    "QuantileSketch",
     "SpanTracer",
+    "WindowStats",
+    "WindowedSeries",
+    "burn_anomalies",
+    "cusum_changepoints",
+    "detect_series",
     "merge_chrome_traces",
     "Counter",
     "DEFAULT_BUCKETS",

@@ -1,0 +1,203 @@
+"""Anomaly detection over windowed telemetry series.
+
+Two detectors, both deterministic and dependency-free, tuned for the
+signals the serving layer emits (request rate, per-window p99, SLO
+error-budget burn):
+
+* :class:`EWMADetector` — an exponentially weighted moving average of
+  the signal plus an EWMA of its squared deviation; a point whose
+  z-score against the *pre-update* estimate exceeds ``threshold``
+  sigmas is an anomaly.  Catches spikes and level shifts quickly and
+  recovers on its own.
+* :func:`cusum_changepoints` — a two-sided CUSUM on the standardised
+  signal: cumulative positive/negative drift beyond ``threshold``
+  flags a changepoint (sustained shifts an EWMA would slowly absorb —
+  a card failing mid-run, a diurnal ramp, a retry storm igniting).
+
+:func:`detect_series` runs both over a
+:class:`~repro.obs.timeseries.WindowedSeries` statistic, and
+:func:`burn_anomalies` applies them to the SLO monitor's per-window
+violation rate so error-budget burn spikes page like they would in
+production.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.timeseries import WindowedSeries
+
+__all__ = ["Anomaly", "AnomalyReport", "EWMADetector",
+           "cusum_changepoints", "detect_series", "burn_anomalies"]
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One flagged point in a series."""
+
+    index: int           #: position in the series (window order)
+    value: float
+    score: float         #: z-score (EWMA) or CUSUM statistic
+    expected: float      #: detector's estimate before seeing the point
+    kind: str            #: "spike" | "drop" | "changepoint"
+
+    def to_dict(self) -> Dict:
+        return {"index": self.index, "value": self.value,
+                "score": self.score, "expected": self.expected,
+                "kind": self.kind}
+
+
+@dataclass
+class AnomalyReport:
+    """Everything the detectors flagged on one series."""
+
+    stat: str
+    points: int
+    anomalies: List[Anomaly] = field(default_factory=list)
+    changepoints: List[Anomaly] = field(default_factory=list)
+
+    @property
+    def anomalous(self) -> bool:
+        return bool(self.anomalies or self.changepoints)
+
+    def to_dict(self) -> Dict:
+        return {"stat": self.stat, "points": self.points,
+                "anomalies": [a.to_dict() for a in self.anomalies],
+                "changepoints": [a.to_dict() for a in self.changepoints],
+                "anomalous": self.anomalous}
+
+    def to_text(self) -> str:
+        if not self.anomalous:
+            return f"{self.stat}: no anomalies over {self.points} windows"
+        parts = [f"{self.stat}: {len(self.anomalies)} anomalies, "
+                 f"{len(self.changepoints)} changepoints "
+                 f"over {self.points} windows"]
+        for a in self.anomalies[:5]:
+            parts.append(f"  window {a.index}: {a.kind} value {a.value:g} "
+                         f"(expected {a.expected:g}, {a.score:.1f} sigma)")
+        for a in self.changepoints[:5]:
+            parts.append(f"  window {a.index}: changepoint "
+                         f"(cusum {a.score:.1f})")
+        return "\n".join(parts)
+
+
+class EWMADetector:
+    """Streaming EWMA mean/variance z-score detector."""
+
+    def __init__(self, alpha: float = 0.3, threshold: float = 3.0,
+                 warmup: int = 5, min_std: float = 1e-12) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        self.alpha = alpha
+        self.threshold = threshold
+        self.warmup = warmup
+        self.min_std = min_std
+        self._mean: Optional[float] = None
+        self._var = 0.0
+        self._seen = 0
+
+    def update(self, value: float) -> Optional[Dict]:
+        """Feed one point; returns anomaly info or ``None``.
+
+        The z-score is computed against the estimate *before* the point
+        updates it, so a spike cannot hide inside its own update; the
+        estimate still absorbs the point afterwards (detectors must
+        recover, or one spike flags everything after it).
+        """
+        value = float(value)
+        self._seen += 1
+        if self._mean is None:
+            self._mean = value
+            return None
+        delta = value - self._mean
+        std = math.sqrt(self._var)
+        score = delta / max(std, self.min_std)
+        anomaly = None
+        if self._seen > self.warmup and abs(score) > self.threshold:
+            anomaly = {"score": score, "expected": self._mean,
+                       "kind": "spike" if score > 0 else "drop"}
+        self._mean += self.alpha * delta
+        self._var = ((1.0 - self.alpha)
+                     * (self._var + self.alpha * delta * delta))
+        return anomaly
+
+    def detect(self, values: Sequence[float]) -> List[Anomaly]:
+        out: List[Anomaly] = []
+        for index, value in enumerate(values):
+            hit = self.update(float(value))
+            if hit is not None:
+                out.append(Anomaly(index=index, value=float(value),
+                                   score=hit["score"],
+                                   expected=hit["expected"],
+                                   kind=hit["kind"]))
+        return out
+
+
+def cusum_changepoints(values: Sequence[float], threshold: float = 5.0,
+                       drift: float = 0.5) -> List[Anomaly]:
+    """Two-sided CUSUM changepoints on a standardised series.
+
+    The series is standardised against its own mean/std (population);
+    cumulative sums of deviations beyond ``drift`` sigmas trip at
+    ``threshold``, then reset — so a series with two regime shifts
+    reports two changepoints, not one smeared alarm.
+    """
+    n = len(values)
+    if n < 2:
+        return []
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    std = math.sqrt(var)
+    if std <= 0.0:
+        return []
+    out: List[Anomaly] = []
+    pos = neg = 0.0
+    for index, value in enumerate(values):
+        z = (value - mean) / std
+        pos = max(0.0, pos + z - drift)
+        neg = max(0.0, neg - z - drift)
+        if pos > threshold or neg > threshold:
+            score = pos if pos > threshold else -neg
+            out.append(Anomaly(index=index, value=float(value),
+                               score=score, expected=mean,
+                               kind="changepoint"))
+            pos = neg = 0.0
+    return out
+
+
+def detect_series(series: WindowedSeries, stat: str = "mean",
+                  alpha: float = 0.3, threshold: float = 3.0,
+                  warmup: int = 5, cusum_threshold: float = 5.0,
+                  cusum_drift: float = 0.5) -> AnomalyReport:
+    """Run both detectors over one statistic of a windowed series."""
+    values = series.values(stat)
+    report = AnomalyReport(stat=stat, points=len(values))
+    report.anomalies = EWMADetector(alpha=alpha, threshold=threshold,
+                                    warmup=warmup).detect(values)
+    report.changepoints = cusum_changepoints(values,
+                                             threshold=cusum_threshold,
+                                             drift=cusum_drift)
+    return report
+
+
+def burn_anomalies(slo_summary, threshold: float = 3.0,
+                   alpha: float = 0.3, warmup: int = 3) -> AnomalyReport:
+    """Anomalies in the SLO monitor's per-window error-budget burn.
+
+    Feeds each rolling window's burn (violation rate over the allowed
+    rate — the existing error-budget signal) through the EWMA detector,
+    so a burn spike is flagged against the run's own baseline rather
+    than a fixed threshold.
+    """
+    allowed = 1.0 - slo_summary.availability_target
+    burns = [w.violation_rate / allowed if allowed > 0 else 0.0
+             for w in slo_summary.windows]
+    report = AnomalyReport(stat="error_budget_burn", points=len(burns))
+    report.anomalies = EWMADetector(alpha=alpha, threshold=threshold,
+                                    warmup=warmup).detect(burns)
+    report.changepoints = cusum_changepoints(burns)
+    return report

@@ -6,9 +6,23 @@ set of labels (``pe=3,unit=dpe``) identifies one *instrument*:
 * :class:`Counter` — monotonically increasing totals (stall cycles,
   bytes moved, commands dispatched);
 * :class:`Gauge` — last-value measurements (queue depth, utilisation);
-* :class:`Histogram` — distributions (serving latency); keeps both the
-  raw observations (exact percentiles — these are simulations, memory
-  is cheap) and fixed bucket counts for the Prometheus export.
+* :class:`Histogram` — distributions (serving latency); in the default
+  ``exact`` mode it keeps both the raw observations (exact percentiles)
+  and fixed bucket counts for the Prometheus export; in ``sketch`` mode
+  raw samples are replaced by a bounded-memory
+  :class:`~repro.obs.sketch.QuantileSketch` (percentiles within a
+  configured relative error, mergeable across replicas);
+* sketch families (:meth:`MetricRegistry.sketch`) — standalone
+  mergeable quantile sketches, exported as Prometheus summaries;
+* time-series families (:meth:`MetricRegistry.timeseries`) — windowed
+  :class:`~repro.obs.timeseries.WindowedSeries` for rates and
+  percentile-over-time, exported one gauge sample per window.
+
+**Exact-vs-sketch policy**: single-card simulations default to exact
+histograms — memory is cheap and the conformance suite compares
+percentiles bit-for-bit.  Fleet-scale paths (multi-replica serving,
+the faults campaign, anything merged across ``--jobs`` workers) use
+sketch mode / sketch families: bounded memory, deterministic merges.
 
 Labels are hierarchical by convention — a ``track`` label like
 ``pe3.dpe`` rolls up by prefix — and :meth:`MetricRegistry.rollup`
@@ -88,13 +102,27 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution: raw samples plus fixed cumulative buckets."""
+    """A distribution: fixed cumulative buckets plus either raw samples
+    (``mode="exact"``) or a bounded-memory quantile sketch
+    (``mode="sketch"``).
+
+    The mode is an explicit policy choice, never inferred: exact keeps
+    every observation (simulations, conformance comparisons), sketch
+    bounds memory to O(buckets) with percentiles within
+    ``relative_accuracy`` of exact (fleet-scale serving telemetry).
+    """
 
     kind = "histogram"
 
-    __slots__ = ("buckets", "bucket_counts", "samples", "sum")
+    __slots__ = ("buckets", "bucket_counts", "samples", "sum", "mode",
+                 "sketch", "_count")
 
-    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS,
+                 mode: str = "exact",
+                 relative_accuracy: float = 0.01) -> None:
+        if mode not in ("exact", "sketch"):
+            raise ValueError(f"unknown histogram mode {mode!r}; "
+                             "choose 'exact' or 'sketch'")
         self.buckets = tuple(buckets)
         if list(self.buckets) != sorted(self.buckets):
             raise ValueError("histogram buckets must be sorted")
@@ -103,9 +131,21 @@ class Histogram:
         self.bucket_counts = [0] * len(self.buckets)
         self.samples: List[float] = []
         self.sum = 0.0
+        self.mode = mode
+        self._count = 0
+        if mode == "sketch":
+            from repro.obs.sketch import QuantileSketch
+            self.sketch = QuantileSketch(relative_accuracy)
+        else:
+            self.sketch = None
 
     def observe(self, value: float) -> None:
-        self.samples.append(float(value))
+        value = float(value)
+        if self.sketch is not None:
+            self.sketch.add(value)
+        else:
+            self.samples.append(value)
+        self._count += 1
         self.sum += value
         for i, bound in enumerate(self.buckets):
             if value <= bound:
@@ -124,7 +164,11 @@ class Histogram:
         arr = np.asarray(values, dtype=float).ravel()
         if arr.size == 0:
             return
-        self.samples.extend(arr.tolist())
+        if self.sketch is not None:
+            self.sketch.add_many(arr)
+        else:
+            self.samples.extend(arr.tolist())
+        self._count += int(arr.size)
         self.sum += float(arr.sum())
         # observe() puts v in the first bucket with v <= bound, i.e. the
         # left insertion point into the sorted bound list.
@@ -135,15 +179,41 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self._count
 
     @property
     def value(self) -> float:
         """The scalar summary (mean) so histograms dump like the others."""
         return self.sum / self.count if self.count else 0.0
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram in (in place; returns self).
+
+        Modes and bucket bounds must match; sketch-mode merges are
+        order-invariant on the sketch state (see
+        :mod:`repro.obs.sketch`), exact-mode merges concatenate samples.
+        """
+        if other.mode != self.mode:
+            raise ValueError(f"cannot merge {other.mode} histogram into "
+                             f"{self.mode} histogram")
+        if other.buckets != self.buckets:
+            raise ValueError("cannot merge histograms with different "
+                             "bucket bounds")
+        if self.sketch is not None:
+            self.sketch.merge(other.sketch)
+        else:
+            self.samples.extend(other.samples)
+        self._count += other._count
+        self.sum += other.sum
+        for i, n in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += n
+        return self
+
     def percentile(self, q: float) -> float:
-        """Exact percentile from the raw samples (q in [0, 100])."""
+        """Percentile (q in [0, 100]): exact from raw samples, or the
+        sketch's relative-error estimate in sketch mode."""
+        if self.sketch is not None:
+            return self.sketch.percentile(q)
         if not self.samples:
             return 0.0
         ordered = sorted(self.samples)
@@ -179,11 +249,19 @@ class MetricFamily:
     """All instruments sharing one metric name, keyed by label set."""
 
     def __init__(self, name: str, kind: str, help: str = "",
-                 buckets: Optional[Sequence[float]] = None) -> None:
+                 buckets: Optional[Sequence[float]] = None,
+                 mode: str = "exact",
+                 relative_accuracy: float = 0.01,
+                 window_us: float = 50_000.0,
+                 track_quantiles: bool = False) -> None:
         self.name = name
         self.kind = kind
         self.help = help
         self._buckets = tuple(buckets) if buckets is not None else None
+        self.mode = mode
+        self.relative_accuracy = relative_accuracy
+        self.window_us = window_us
+        self.track_quantiles = track_quantiles
         self._children: Dict[LabelKey, object] = {}
 
     def labels(self, **labels):
@@ -192,7 +270,19 @@ class MetricFamily:
         child = self._children.get(key)
         if child is None:
             if self.kind == "histogram":
-                child = Histogram(self._buckets or DEFAULT_BUCKETS)
+                child = Histogram(self._buckets or DEFAULT_BUCKETS,
+                                  mode=self.mode,
+                                  relative_accuracy=self.relative_accuracy)
+            elif self.kind == "sketch":
+                from repro.obs.sketch import QuantileSketch
+                child = QuantileSketch(self.relative_accuracy)
+            elif self.kind == "timeseries":
+                from repro.obs.timeseries import WindowedSeries
+                child = WindowedSeries(
+                    self.window_us,
+                    track_quantiles=self.track_quantiles,
+                    relative_accuracy=self.relative_accuracy,
+                    name=self.name)
             else:
                 child = _KINDS[self.kind]()
             self._children[key] = child
@@ -222,10 +312,11 @@ class MetricRegistry:
 
     # -- family constructors (idempotent) -------------------------------
     def _family(self, name: str, kind: str, help: str,
-                buckets: Optional[Sequence[float]] = None) -> MetricFamily:
+                buckets: Optional[Sequence[float]] = None,
+                **options) -> MetricFamily:
         family = self._families.get(name)
         if family is None:
-            family = MetricFamily(name, kind, help, buckets)
+            family = MetricFamily(name, kind, help, buckets, **options)
             self._families[name] = family
         elif family.kind != kind:
             raise ValueError(
@@ -239,8 +330,27 @@ class MetricRegistry:
         return self._family(name, "gauge", help)
 
     def histogram(self, name: str, help: str = "",
-                  buckets: Optional[Sequence[float]] = None) -> MetricFamily:
-        return self._family(name, "histogram", help, buckets)
+                  buckets: Optional[Sequence[float]] = None,
+                  mode: str = "exact",
+                  relative_accuracy: float = 0.01) -> MetricFamily:
+        return self._family(name, "histogram", help, buckets, mode=mode,
+                            relative_accuracy=relative_accuracy)
+
+    def sketch(self, name: str, help: str = "",
+               relative_accuracy: float = 0.01) -> MetricFamily:
+        """A mergeable quantile-sketch family (bounded memory)."""
+        return self._family(name, "sketch", help,
+                            relative_accuracy=relative_accuracy)
+
+    def timeseries(self, name: str, help: str = "",
+                   window_us: float = 50_000.0,
+                   track_quantiles: bool = False,
+                   relative_accuracy: float = 0.01) -> MetricFamily:
+        """A windowed time-series family (rates / quantiles over time)."""
+        return self._family(name, "timeseries", help,
+                            window_us=window_us,
+                            track_quantiles=track_quantiles,
+                            relative_accuracy=relative_accuracy)
 
     # -- queries ---------------------------------------------------------
     def families(self) -> Iterable[MetricFamily]:
@@ -279,7 +389,12 @@ class MetricRegistry:
                     entry.update({
                         "count": child.count, "sum": child.sum,
                         "p50": child.p50, "p95": child.p95, "p99": child.p99,
+                        "mode": child.mode,
                     })
+                elif family.kind == "sketch":
+                    entry.update(child.summary())
+                elif family.kind == "timeseries":
+                    entry.update(child.to_dict())
                 else:
                     entry["value"] = child.value
                 entries.append(entry)
@@ -320,9 +435,32 @@ class MetricRegistry:
             metric = f"{prefix}_{sanitize(family.name)}"
             if family.help:
                 lines.append(f"# HELP {metric} {family.help}")
-            lines.append(f"# TYPE {metric} {family.kind}")
+            # sketches export as the Prometheus summary type (quantile
+            # labels); windowed series as one gauge sample per window
+            kind = {"sketch": "summary",
+                    "timeseries": "gauge"}.get(family.kind, family.kind)
+            lines.append(f"# TYPE {metric} {kind}")
             for key, child in sorted(family.samples()):
-                if family.kind == "histogram":
+                if family.kind == "sketch":
+                    for q in (0.5, 0.95, 0.99):
+                        lines.append(
+                            f"{metric}"
+                            f"{label_str(key, (('quantile', f'{q:g}'),))} "
+                            f"{child.percentile(100 * q):g}")
+                    lines.append(f"{metric}_sum{label_str(key)} "
+                                 f"{child.sum:g}")
+                    lines.append(f"{metric}_count{label_str(key)} "
+                                 f"{child.count}")
+                elif family.kind == "timeseries":
+                    for index in child.window_indices():
+                        start = index * child.window_us
+                        lines.append(
+                            f"{metric}"
+                            f"{label_str(key, (('window_start_us', f'{start:g}'),))} "
+                            f"{child.window(index).mean:g}")
+                    lines.append(f"{metric}_count{label_str(key)} "
+                                 f"{child.count}")
+                elif family.kind == "histogram":
                     cumulative = 0
                     for bound, n in zip(child.buckets, child.bucket_counts):
                         cumulative += n

@@ -1,0 +1,296 @@
+"""Fixed-size windowed time series for fleet-scale telemetry.
+
+Rates, gauges, and percentile-over-time for traces that are hours long
+and millions of requests deep.  A :class:`WindowedSeries` buckets
+observations into fixed-width time windows; each window keeps bounded
+per-window statistics (count, sum, min, max, and optionally a
+:class:`~repro.obs.sketch.QuantileSketch` for p50/p99-over-time), so
+memory is O(windows), never O(samples).
+
+Built for the diurnal million-user traces the fleet simulator will
+generate:
+
+* **Downsampling** — :meth:`downsample` folds adjacent windows into a
+  coarser series (window counts add, sketches merge), and
+  :meth:`resampled` picks the smallest power-of-two factor that fits a
+  target window budget, so a 24-hour trace renders at any resolution.
+* **Mergeable** — :meth:`merge` combines per-replica series window by
+  window.  Counts are integers (exact); sums are floats and therefore
+  merged deterministically *in call order* — the serving layer always
+  merges replicas in index order, which is what makes ``--jobs 1`` and
+  ``--jobs 4`` reports byte-identical.  Sketch state is fully
+  order-invariant (see :mod:`repro.obs.sketch`).
+* **Deterministic export** — :meth:`to_dict` walks windows in time
+  order with canonical keys.
+
+The window accumulator intentionally mirrors what production metric
+pipelines ship between hosts: no raw samples leave a replica, only
+mergeable window aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.sketch import DEFAULT_RELATIVE_ACCURACY, QuantileSketch
+
+__all__ = ["WindowStats", "WindowedSeries", "DEFAULT_WINDOW_US"]
+
+DEFAULT_WINDOW_US = 50_000.0
+
+
+class WindowStats:
+    """Bounded accumulator for one time window."""
+
+    __slots__ = ("count", "total", "min", "max", "sketch")
+
+    def __init__(self, sketch: Optional[QuantileSketch] = None) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.sketch = sketch
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self.sketch is not None:
+            self.sketch.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "WindowStats") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        if self.sketch is not None and other.sketch is not None:
+            self.sketch.merge(other.sketch)
+        elif self.sketch is None and other.sketch is not None:
+            self.sketch = other.sketch.copy()
+
+
+class WindowedSeries:
+    """Time-bucketed observations with bounded per-window state.
+
+    ``window_us`` fixes the bucket width; ``track_quantiles`` attaches a
+    per-window :class:`QuantileSketch` (α = ``relative_accuracy``) so
+    the series can answer "what was the p99 *in this window*", not just
+    the run-wide quantile.
+    """
+
+    def __init__(self, window_us: float = DEFAULT_WINDOW_US,
+                 track_quantiles: bool = False,
+                 relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+                 name: str = "") -> None:
+        if window_us <= 0:
+            raise ValueError("window_us must be positive")
+        self.window_us = float(window_us)
+        self.track_quantiles = track_quantiles
+        self.relative_accuracy = relative_accuracy
+        self.name = name
+        self._windows: Dict[int, WindowStats] = {}
+
+    # -- ingest ----------------------------------------------------------
+    def _window(self, index: int) -> WindowStats:
+        stats = self._windows.get(index)
+        if stats is None:
+            sketch = (QuantileSketch(self.relative_accuracy)
+                      if self.track_quantiles else None)
+            stats = WindowStats(sketch)
+            self._windows[index] = stats
+        return stats
+
+    def record(self, t_us: float, value: float = 1.0) -> None:
+        """Observe ``value`` at time ``t_us`` (defaults to a count)."""
+        self._window(int(t_us // self.window_us)).observe(float(value))
+
+    def record_many(self, ts_us: Iterable[float],
+                    values: Optional[Iterable[float]] = None) -> None:
+        """Bulk :meth:`record`; ``values=None`` counts occurrences.
+
+        Observations are ingested in the given order — bit-identical to
+        the equivalent sequence of :meth:`record` calls (float sums are
+        order-sensitive, so no internal reordering is allowed).
+        """
+        import numpy as np
+        ts = np.asarray(ts_us, dtype=float).ravel()
+        if ts.size == 0:
+            return
+        vals = (np.ones_like(ts) if values is None
+                else np.asarray(values, dtype=float).ravel())
+        if vals.shape != ts.shape:
+            raise ValueError("ts_us and values must align")
+        for t, v in zip(ts.tolist(), vals.tolist()):
+            self.record(t, v)
+
+    # -- structure -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    @property
+    def count(self) -> int:
+        return sum(w.count for w in self._windows.values())
+
+    @property
+    def value(self) -> float:
+        """Scalar summary (total count) for registry dumps/rollups."""
+        return float(self.count)
+
+    def window_indices(self) -> List[int]:
+        return sorted(self._windows)
+
+    def window(self, index: int) -> Optional[WindowStats]:
+        return self._windows.get(index)
+
+    @property
+    def span_us(self) -> float:
+        if not self._windows:
+            return 0.0
+        lo, hi = min(self._windows), max(self._windows)
+        return (hi - lo + 1) * self.window_us
+
+    # -- merge / downsample ---------------------------------------------
+    def merge(self, other: "WindowedSeries") -> "WindowedSeries":
+        """Fold another series in, window by window (in place)."""
+        if other.window_us != self.window_us:
+            raise ValueError(
+                f"cannot merge series with different windows: "
+                f"{self.window_us} vs {other.window_us}")
+        for index, stats in other._windows.items():
+            mine = self._windows.get(index)
+            if mine is None:
+                copy = WindowStats(stats.sketch.copy()
+                                   if stats.sketch is not None else None)
+                copy.count, copy.total = stats.count, stats.total
+                copy.min, copy.max = stats.min, stats.max
+                self._windows[index] = copy
+            else:
+                mine.merge(stats)
+        return self
+
+    def downsample(self, factor: int) -> "WindowedSeries":
+        """A new series with windows ``factor`` times wider."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        out = WindowedSeries(self.window_us * factor,
+                             track_quantiles=self.track_quantiles,
+                             relative_accuracy=self.relative_accuracy,
+                             name=self.name)
+        for index in sorted(self._windows):
+            stats = self._windows[index]
+            target = out._window(index // factor)
+            target.merge(stats)
+        return out
+
+    def resampled(self, max_windows: int) -> "WindowedSeries":
+        """Downsample by the smallest power of two fitting the budget.
+
+        Power-of-two factors keep downsampled window boundaries aligned
+        across replicas, so a merged fleet series resamples identically
+        to per-replica resampling.
+        """
+        if max_windows < 1:
+            raise ValueError("max_windows must be >= 1")
+        if not self._windows:
+            return self.downsample(1)
+        lo, hi = min(self._windows), max(self._windows)
+        factor = 1
+        while (hi // factor) - (lo // factor) + 1 > max_windows:
+            factor *= 2
+        return self.downsample(factor)
+
+    # -- export ----------------------------------------------------------
+    def rate_per_s(self, index: int) -> float:
+        stats = self._windows.get(index)
+        if stats is None:
+            return 0.0
+        return stats.count / (self.window_us / 1e6)
+
+    def to_dict(self, include_sketch_state: bool = False) -> Dict:
+        """Canonical JSON-ready dump, windows in time order."""
+        windows = []
+        for index in sorted(self._windows):
+            stats = self._windows[index]
+            row: Dict = {
+                "index": index,
+                "start_us": index * self.window_us,
+                "count": stats.count,
+                "sum": stats.total,
+                "mean": stats.mean,
+                "min": stats.min if stats.count else 0.0,
+                "max": stats.max if stats.count else 0.0,
+                "rate_per_s": self.rate_per_s(index),
+            }
+            if stats.sketch is not None:
+                row["p50"] = stats.sketch.p50
+                row["p95"] = stats.sketch.p95
+                row["p99"] = stats.sketch.p99
+                if include_sketch_state:
+                    row["sketch"] = stats.sketch.to_dict()
+            windows.append(row)
+        return {"name": self.name,
+                "window_us": self.window_us,
+                "track_quantiles": self.track_quantiles,
+                "total_count": self.count,
+                "windows": windows}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "WindowedSeries":
+        """Rebuild a series from :meth:`to_dict` output.
+
+        Per-window sketches are only restored when the dump was written
+        with ``include_sketch_state=True``.
+        """
+        out = cls(data["window_us"],
+                  track_quantiles=data.get("track_quantiles", False),
+                  name=data.get("name", ""))
+        for row in data["windows"]:
+            stats = WindowStats(
+                QuantileSketch.from_dict(row["sketch"])
+                if "sketch" in row else None)
+            stats.count = int(row["count"])
+            stats.total = float(row["sum"])
+            stats.min = float(row["min"]) if row["count"] else math.inf
+            stats.max = float(row["max"]) if row["count"] else -math.inf
+            out._windows[int(row["index"])] = stats
+        return out
+
+    def values(self, stat: str = "mean") -> List[float]:
+        """One value per window in time order (for the detectors).
+
+        ``stat`` is ``mean``, ``count``, ``rate``, ``min``, ``max``,
+        ``p50``, ``p95``, or ``p99``.
+        """
+        out: List[float] = []
+        for index in sorted(self._windows):
+            stats = self._windows[index]
+            if stat == "mean":
+                out.append(stats.mean)
+            elif stat == "count":
+                out.append(float(stats.count))
+            elif stat == "rate":
+                out.append(self.rate_per_s(index))
+            elif stat == "min":
+                out.append(stats.min if stats.count else 0.0)
+            elif stat == "max":
+                out.append(stats.max if stats.count else 0.0)
+            elif stat in ("p50", "p95", "p99"):
+                if stats.sketch is None:
+                    raise ValueError(
+                        "per-window quantiles need track_quantiles=True")
+                out.append(stats.sketch.percentile(float(stat[1:])))
+            else:
+                raise ValueError(f"unknown stat {stat!r}")
+        return out
+
+    def __repr__(self) -> str:
+        return (f"WindowedSeries(window_us={self.window_us:g}, "
+                f"windows={len(self)}, count={self.count})")

@@ -6,7 +6,8 @@ Usage::
     python -m repro.report fig14 t3    # a selection
     python -m repro.report --metrics bounds   # + metric-registry dump
 
-Section keys: t1 t2 t3 t4 fig1 fig2 fig10 fig11 fig12 fig13 fig14.
+Section keys: t1 t2 t3 t4 fig1 fig2 fig10 fig11 fig12 fig13 fig14
+bounds serving telemetry.
 ``--metrics`` enables the process-wide :mod:`repro.obs` registry for
 the run, so instrumented layers (the graph executor's per-op timing,
 the serving simulator's latency histograms, the bound analysis) record
@@ -160,6 +161,21 @@ def report_serving() -> None:
               f"({t - m:+.1f})")
 
 
+def report_telemetry() -> None:
+    """Fleet telemetry: sketches, exemplars, anomalies (3 replicas)."""
+    from repro.serve_report import run_serve_report
+    _header("Fleet telemetry — bounded mergeable aggregates "
+            "(3 replicas; full view: python -m repro.serve_report "
+            "--replicas 3)")
+    report, _ = run_serve_report("quickstart", num_requests=1500,
+                                 exemplars=False, replicas=3)
+    print(report.telemetry.to_text())
+    if report.sketch_vs_exact:
+        parts = [f"{name} {100 * row['relative_error']:.2f} %"
+                 for name, row in sorted(report.sketch_vs_exact.items())]
+        print("  sketch error vs exact (replica 0): " + "  ".join(parts))
+
+
 def report_bounds() -> None:
     """Roofline classification: where each model's time goes on MTIA."""
     from repro.eval.machines import MACHINES
@@ -189,7 +205,7 @@ SECTIONS = {
     "fig1": report_fig1, "fig2": report_fig2, "fig10": report_fig10,
     "fig11": report_fig11, "fig12": report_fig12, "fig13": report_fig13,
     "fig14": report_fig14, "bounds": report_bounds,
-    "serving": report_serving,
+    "serving": report_serving, "telemetry": report_telemetry,
 }
 
 

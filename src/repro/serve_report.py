@@ -39,6 +39,7 @@ from repro.serving.simulator import (BatchingConfig, BatchLatencyModel,
                                      ServingReport, simulate_serving)
 from repro.serving.slo import SLOSummary, slo_from_report
 from repro.serving.tail import TailAttribution, attribute_tail
+from repro.serving.telemetry import ServingTelemetry, emit_exemplar_spans
 
 SCHEMA_VERSION = 1
 
@@ -70,6 +71,13 @@ class ServeReport:
     slo: SLOSummary
     tail: TailAttribution
     max_request_rows: int = 100
+    #: merged fleet telemetry (replica 0 = the fully-reported run above,
+    #: replicas 1..R-1 contribute bounded aggregates only)
+    telemetry: Optional[ServingTelemetry] = None
+    #: sketch-vs-exact percentile deltas for replica 0 (the only replica
+    #: whose raw samples exist in-process to compare against)
+    sketch_vs_exact: Optional[Dict] = None
+    replicas: int = 1
 
     def to_dict(self) -> Dict:
         max_batch = self.batching.max_batch
@@ -108,6 +116,10 @@ class ServeReport:
             "request_rows_included": len(rows),
             "slo": self.slo.to_dict(),
             "tail_attribution": self.tail.to_dict(),
+            "replicas": self.replicas,
+            "telemetry": (self.telemetry.to_dict()
+                          if self.telemetry is not None else None),
+            "sketch_vs_exact": self.sketch_vs_exact,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -148,6 +160,18 @@ class ServeReport:
         lines.append("")
         lines.append("== differential tail attribution ==")
         lines.append(self.tail.to_text())
+        if self.telemetry is not None:
+            lines.append("")
+            lines.append(f"== fleet telemetry ({self.replicas} "
+                         "replica(s), bounded aggregates) ==")
+            lines.append(self.telemetry.to_text())
+            if self.sketch_vs_exact:
+                parts = []
+                for name in ("p50", "p95", "p99"):
+                    row = self.sketch_vs_exact[name]
+                    parts.append(f"{name} {100 * row['relative_error']:.2f} %")
+                lines.append("  sketch error vs exact (replica 0): "
+                             + "  ".join(parts))
         return "\n".join(lines)
 
 
@@ -173,6 +197,27 @@ def _profile_exemplar(batch_size: int, name: str):
     return prof.report(), acc
 
 
+def _replica_telemetry_job(task: Tuple) -> ServingTelemetry:
+    """Satellite replica: run one serving stream, ship telemetry only.
+
+    Module-level (picklable) for :func:`repro.parallel.parallel_map`.
+    Rebuilds the latency model from names — raw samples never leave
+    the replica, only the bounded :class:`ServingTelemetry`.
+    """
+    (model_name, machine_name, qps, max_batch, max_wait_us,
+     num_requests, seed, replica) = task
+    from repro.eval.machines import MACHINES
+    from repro.models.configs import MODEL_ZOO
+    latency_model = BatchLatencyModel(MODEL_ZOO[model_name],
+                                      MACHINES[machine_name])
+    report = simulate_serving(
+        latency_model, qps,
+        BatchingConfig(max_batch=max_batch, max_wait_us=max_wait_us),
+        num_requests=num_requests, seed=seed, registry=None,
+        collect_telemetry=True, replica=replica)
+    return report.telemetry
+
+
 def run_serve_report(workload: str = "quickstart",
                      qps: Optional[float] = None,
                      sla_us: Optional[float] = None,
@@ -184,12 +229,25 @@ def run_serve_report(workload: str = "quickstart",
                      max_request_rows: int = 100,
                      exemplars: bool = True,
                      latency_model: Optional[BatchLatencyModel] = None,
+                     replicas: int = 1,
+                     jobs: int = 1,
                      ) -> Tuple[ServeReport, BatchLatencyModel]:
-    """Run one serving workload and assemble the observability report."""
+    """Run one serving workload and assemble the observability report.
+
+    ``replicas`` simulates a small fleet: replica 0 runs in-process
+    and keeps its exact per-request report (SLO, tail attribution,
+    request rows all describe replica 0); replicas 1..R-1 run their
+    own arrival streams (``seed + i``) — in worker processes when
+    ``jobs > 1`` — and contribute *only* bounded telemetry, which is
+    merged in replica-index order.  The merged report is byte-identical
+    at any ``jobs`` count (CI diffs ``--jobs 1`` against ``--jobs 4``).
+    """
     if workload not in WORKLOADS:
         known = ", ".join(sorted(WORKLOADS))
         raise SystemExit(f"unknown workload {workload!r}; "
                          f"choose one of {known}")
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
     spec = WORKLOADS[workload]
     qps = qps if qps is not None else spec["qps"]
     sla_us = sla_us if sla_us is not None else spec["sla_us"]
@@ -202,7 +260,18 @@ def run_serve_report(workload: str = "quickstart",
         latency_model = BatchLatencyModel(MODEL_ZOO[spec["model"]],
                                           MACHINES["mtia"])
     serving = simulate_serving(latency_model, qps, batching,
-                               num_requests=num_requests, seed=seed)
+                               num_requests=num_requests, seed=seed,
+                               collect_telemetry=True, replica=0)
+    sketch_vs_exact = serving.telemetry.sketch_vs_exact(serving)
+    telemetry = serving.telemetry
+    if replicas > 1:
+        from repro.parallel import parallel_map
+        tasks = [(spec["model"], "mtia", qps, batching.max_batch,
+                  batching.max_wait_us, num_requests, seed + i, i)
+                 for i in range(1, replicas)]
+        satellites = parallel_map(_replica_telemetry_job, tasks, jobs=jobs)
+        telemetry = ServingTelemetry.merge_all([telemetry]
+                                               + list(satellites))
     slo = slo_from_report(serving, sla_us,
                           availability_target=availability,
                           window_us=window_us)
@@ -218,7 +287,8 @@ def run_serve_report(workload: str = "quickstart",
         workload=workload, model=spec["model"], machine="mtia",
         qps=qps, sla_us=sla_us, num_requests=num_requests, seed=seed,
         batching=batching, serving=serving, slo=slo, tail=tail,
-        max_request_rows=max_request_rows)
+        max_request_rows=max_request_rows, telemetry=telemetry,
+        sketch_vs_exact=sketch_vs_exact, replicas=replicas)
     return report, latency_model
 
 
@@ -231,7 +301,14 @@ def build_chrome_trace(report: ServeReport,
     lays each exemplar's modelled per-op execution and a cycle-level
     simulated execution into the batch's dispatch window, flow-linked:
     request → batch → graph_execute, batch → first sim span.
+
+    The telemetry layer's slowest-k exemplar requests additionally get
+    their request waterfalls reconstructed post-hoc
+    (:func:`~repro.serving.telemetry.emit_exemplar_spans`) — the tail
+    requests appear on the timeline without tracing every request.
     """
+    import numpy as np
+
     from repro.obs.spans import SpanTracer, merge_chrome_traces
     from repro.runtime.executor import record_graph_spans
 
@@ -241,6 +318,16 @@ def build_chrome_trace(report: ServeReport,
         latency_model, report.qps, report.batching,
         num_requests=report.num_requests, seed=report.seed,
         spans=spans, trace_batches=set(exemplars.values()))
+    if report.telemetry is not None:
+        # Slowest-k waterfalls, skipping requests the batch-exemplar
+        # tracing above already drew (first 8 members per traced batch).
+        traced = set()
+        for k in exemplars.values():
+            members = np.flatnonzero(replay.batch_index == k)[:8]
+            traced.update(int(m) for m in members)
+        slow = [rid for rep, rid in report.telemetry.exemplars.slowest_ids()
+                if rep == 0 and rid not in traced]
+        emit_exemplar_spans(replay, slow, spans)
     sim_traces: List[dict] = []
     for cohort, k in sorted(exemplars.items()):
         batch = replay.batches[k]
@@ -287,6 +374,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-wait-us", type=float, default=200.0)
     parser.add_argument("--max-request-rows", type=int, default=100,
                         help="per-request rows in the JSON (0 = all)")
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="fleet replicas; >1 adds satellite streams "
+                        "that contribute bounded telemetry only")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for satellite replicas")
     parser.add_argument("--no-exemplars", action="store_true",
                         help="skip the cycle-level exemplar profiles")
     parser.add_argument("--json", action="store_true",
@@ -304,7 +396,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         num_requests=args.requests, seed=args.seed,
         availability=args.availability, window_us=args.window_us,
         batching=batching, max_request_rows=args.max_request_rows,
-        exemplars=not args.no_exemplars and not args.chrome)
+        exemplars=not args.no_exemplars and not args.chrome,
+        replicas=args.replicas, jobs=args.jobs)
 
     if args.chrome:
         trace = build_chrome_trace(report, latency_model)

@@ -20,7 +20,12 @@ from the operator-level models back to that context:
   median requests;
 * :mod:`repro.serving.capacity` — fleet sizing: accelerators (and
   watts) needed to serve a target QPS under a latency SLA on each
-  platform, the quantity behind Figure 2's server-count curves.
+  platform, the quantity behind Figure 2's server-count curves;
+* :mod:`repro.serving.telemetry` — fleet-grade bounded telemetry:
+  mergeable quantile sketches, windowed time series, tail-biased
+  exemplars with post-hoc span reconstruction, and anomaly detection,
+  all derived from finished reports so observation never perturbs the
+  simulation.
 
 ``python -m repro.serve_report`` drives the whole stack and exports
 text/JSON reports or a merged Chrome trace (request waterfall down to
@@ -38,6 +43,7 @@ from repro.serving.simulator import (STATUS_FAILED, STATUS_NAMES,
 from repro.serving.slo import (SLOMonitor, SLOSummary, SLOWindow,
                                slo_from_report)
 from repro.serving.tail import TailAttribution, attribute_tail
+from repro.serving.telemetry import ServingTelemetry, emit_exemplar_spans
 
 __all__ = [
     "BatchingConfig",
@@ -54,8 +60,10 @@ __all__ = [
     "STATUS_SHED",
     "STATUS_TIMEOUT",
     "ServingReport",
+    "ServingTelemetry",
     "TailAttribution",
     "attribute_tail",
+    "emit_exemplar_spans",
     "plan_capacity",
     "simulate_serving",
     "simulate_serving_resilient",

@@ -94,7 +94,9 @@ def simulate_serving_resilient(
         num_requests: int = 5000,
         seed: int = 0,
         faults=None,
-        registry=None) -> ServingReport:
+        registry=None,
+        collect_telemetry: bool = False,
+        replica: int = 0) -> ServingReport:
     """Simulate resilient serving of ``num_requests`` Poisson arrivals.
 
     ``faults`` is an optional :class:`~repro.faults.FaultInjector`
@@ -338,6 +340,10 @@ def simulate_serving_resilient(
         hedged_batches=hedged_batches,
         hedge_wins=hedge_wins,
     )
+    if collect_telemetry:
+        from repro.serving.telemetry import ServingTelemetry
+        report.telemetry = ServingTelemetry.from_report(report,
+                                                        replica=replica)
     if registry is None:
         from repro.obs.metrics import default_registry
         registry = default_registry()

@@ -116,6 +116,9 @@ class ServingReport:
     #: batches dispatched twice (hedged) and how often the hedge won
     hedged_batches: int = 0
     hedge_wins: int = 0
+    #: bounded mergeable telemetry (:class:`ServingTelemetry`), attached
+    #: when the simulation ran with ``collect_telemetry=True``
+    telemetry: Optional[object] = None
 
     @property
     def served_mask(self) -> Optional[np.ndarray]:
@@ -287,7 +290,9 @@ def simulate_serving(latency_model: Callable[[int], float],
                      registry=None,
                      spans=None,
                      trace_batches: Optional[Set[int]] = None,
-                     trace_requests_per_batch: int = 8) -> ServingReport:
+                     trace_requests_per_batch: int = 8,
+                     collect_telemetry: bool = False,
+                     replica: int = 0) -> ServingReport:
     """Simulate serving ``num_requests`` Poisson arrivals at ``qps``.
 
     ``latency_model(batch_size)`` returns the execution latency in
@@ -306,6 +311,12 @@ def simulate_serving(latency_model: Callable[[int], float],
     members), flow-linked request → batch.  Tracing never alters the
     simulation: results are bit-identical with spans on or off (the
     conformance determinism pillar checks this).
+
+    ``collect_telemetry=True`` attaches a
+    :class:`~repro.serving.telemetry.ServingTelemetry` (quantile
+    sketches, windowed series, tail exemplars tagged ``replica``) to
+    ``report.telemetry``.  Telemetry is derived *from* the finished
+    report, so it can never perturb the simulation either.
     """
     if qps <= 0:
         raise ValueError("qps must be positive")
@@ -383,6 +394,10 @@ def simulate_serving(latency_model: Callable[[int], float],
         batch_index=batch_index,
         batches=batches,
     )
+    if collect_telemetry:
+        from repro.serving.telemetry import ServingTelemetry
+        report.telemetry = ServingTelemetry.from_report(report,
+                                                        replica=replica)
     if registry is None:
         from repro.obs.metrics import default_registry
         registry = default_registry()
@@ -457,3 +472,5 @@ def _record_metrics(registry, report: ServingReport,
                    "mean batch size / max_batch").labels().set(
                        report.mean_batch / batching.max_batch
                        if batching.max_batch else 0.0)
+    if report.telemetry is not None:
+        report.telemetry.record_into(registry)

@@ -1,0 +1,99 @@
+"""EWMA/CUSUM detectors and the SLO burn hookup."""
+
+import numpy as np
+import pytest
+
+from repro.obs.detect import (AnomalyReport, EWMADetector, burn_anomalies,
+                              cusum_changepoints, detect_series)
+from repro.obs.timeseries import WindowedSeries
+from repro.serving.simulator import BatchingConfig, simulate_serving
+from repro.serving.slo import slo_from_report
+
+
+class TestEWMA:
+    def test_flags_spike_and_recovers(self):
+        values = [10.0, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9, 10.0,
+                  50.0,                       # the spike
+                  10.0, 10.1, 9.9, 10.0]
+        hits = EWMADetector(threshold=3.0, warmup=5).detect(values)
+        assert [a.index for a in hits] == [8]
+        assert hits[0].kind == "spike"
+        assert hits[0].score > 3.0
+
+    def test_flags_drop(self):
+        values = [10.0 + 0.1 * (i % 3) for i in range(10)] + [1.0]
+        hits = EWMADetector(threshold=3.0, warmup=5).detect(values)
+        assert hits and hits[-1].kind == "drop"
+
+    def test_quiet_series_is_quiet(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(100.0, 1.0, size=200)
+        hits = EWMADetector(threshold=6.0).detect(values)
+        assert hits == []
+
+    def test_warmup_suppresses_early_points(self):
+        hits = EWMADetector(warmup=10).detect([1.0, 1.0, 100.0])
+        assert hits == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EWMADetector(alpha=0.0)
+        with pytest.raises(ValueError):
+            EWMADetector(warmup=0)
+
+
+class TestCUSUM:
+    def test_level_shift_detected_near_boundary(self):
+        values = [10.0] * 40 + [14.0] * 40
+        hits = cusum_changepoints(values, threshold=5.0)
+        assert hits
+        assert any(35 <= a.index <= 55 for a in hits)
+        assert all(a.kind == "changepoint" for a in hits)
+
+    def test_constant_series_no_changepoints(self):
+        assert cusum_changepoints([5.0] * 50) == []
+        assert cusum_changepoints([5.0]) == []
+
+    def test_resets_after_trip(self):
+        values = [0.0] * 20 + [10.0] * 20 + [0.0] * 20
+        hits = cusum_changepoints(values, threshold=4.0)
+        assert len(hits) >= 2     # both regime shifts, not one smear
+
+
+class TestSeriesIntegration:
+    def test_detect_series_runs_both(self):
+        s = WindowedSeries(window_us=100.0)
+        for i in range(40):
+            value = 10.0 if i != 30 else 200.0
+            s.record(i * 100.0 + 1.0, value)
+        report = detect_series(s, "mean")
+        assert isinstance(report, AnomalyReport)
+        assert report.points == 40
+        assert report.anomalous
+        assert any(a.index == 30 for a in report.anomalies)
+        d = report.to_dict()
+        assert set(d) == {"stat", "points", "anomalies", "changepoints",
+                          "anomalous"}
+
+    def test_to_text_mentions_counts(self):
+        quiet = AnomalyReport(stat="rate", points=12)
+        assert "no anomalies" in quiet.to_text()
+
+
+class TestBurnAnomalies:
+    def test_burn_spike_from_overload_tail(self):
+        # load ramps far beyond capacity → late windows burn budget
+        def model(batch):
+            return 400.0 + 8.0 * batch
+
+        report = simulate_serving(model, qps=30_000,
+                                  batching=BatchingConfig(max_batch=8),
+                                  num_requests=3_000, seed=0,
+                                  registry=None)
+        slo = slo_from_report(report, sla_us=900.0, window_us=10_000.0)
+        burn = burn_anomalies(slo)
+        assert burn.stat == "error_budget_burn"
+        assert burn.points == len(slo.windows)
+        # deterministic: same run, same report
+        again = burn_anomalies(slo)
+        assert burn.to_dict() == again.to_dict()

@@ -1,0 +1,115 @@
+"""Property tests for the mergeable quantile sketch.
+
+Two invariants the fleet telemetry path leans on, checked over
+adversarial value streams instead of hand-picked fixtures:
+
+* **accuracy** — every reported percentile is within the configured
+  relative-error bound of the exact order statistic, whatever the
+  input distribution (heavy tails, duplicates, mixed signs, zeros);
+* **merge invariance** — sharding a stream and merging the shard
+  sketches in any order serializes bit-for-bit identically to the
+  single-stream sketch, which is what makes ``--jobs N`` reports
+  byte-stable.
+"""
+
+import json
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.sketch import QuantileSketch
+
+# adversarial payloads: huge dynamic range, repeats, exact zeros, and
+# negative latencies-like values all in one stream
+sketch_values = st.lists(
+    st.one_of(
+        st.floats(min_value=1e-6, max_value=1e9, allow_nan=False,
+                  allow_infinity=False),
+        st.floats(min_value=-1e6, max_value=-1e-6, allow_nan=False,
+                  allow_infinity=False),
+        st.just(0.0),
+        st.sampled_from([1.0, 1.0, 100.0, 100.0]),   # duplicate-heavy
+    ),
+    min_size=1, max_size=300)
+
+accuracies = st.sampled_from([0.005, 0.01, 0.02, 0.05])
+quantiles = st.sampled_from([0.0, 1.0, 10.0, 50.0, 90.0, 99.0, 100.0])
+
+
+def canonical(sketch: QuantileSketch) -> str:
+    return json.dumps(sketch.to_dict(), sort_keys=True)
+
+
+def exact_percentile(values, q):
+    ordered = sorted(values)
+    rank = q / 100.0 * (len(ordered) - 1)
+    return ordered[math.floor(rank)]
+
+
+@settings(deadline=None)
+@given(values=sketch_values, alpha=accuracies, q=quantiles)
+def test_percentile_within_relative_error(values, alpha, q):
+    s = QuantileSketch(alpha)
+    s.add_many(values)
+    true = exact_percentile(values, q)
+    est = s.percentile(q)
+    # the sketch guarantees |est - v| <= alpha * |v| for some value v
+    # within one rank of the true order statistic; with duplicates the
+    # neighbouring order statistics bound the reachable values
+    ordered = sorted(values)
+    rank = math.floor(q / 100.0 * (len(ordered) - 1))
+    lo = min(ordered[max(rank - 1, 0)], true)
+    hi = max(ordered[min(rank + 1, len(ordered) - 1)], true)
+    slack = alpha * max(abs(lo), abs(hi)) + 1e-12
+    assert lo - slack <= est <= hi + slack
+
+
+@settings(deadline=None)
+@given(values=sketch_values, alpha=accuracies)
+def test_bounds_and_count_are_exact(values, alpha):
+    s = QuantileSketch(alpha)
+    s.add_many(values)
+    assert s.count == len(values)
+    assert s.min == min(values)
+    assert s.max == max(values)
+    assert s.min <= s.percentile(50) <= s.max
+
+
+@settings(deadline=None)
+@given(values=sketch_values, alpha=accuracies,
+       split=st.integers(min_value=0, max_value=300))
+def test_merge_any_order_equals_single_stream(values, alpha, split):
+    split = min(split, len(values))
+    whole = QuantileSketch(alpha)
+    whole.add_many(values)
+
+    a, b = QuantileSketch(alpha), QuantileSketch(alpha)
+    a.add_many(values[:split])
+    b.add_many(values[split:])
+    ab = a.copy().merge(b)
+    ba = b.copy().merge(a)
+
+    assert canonical(ab) == canonical(ba) == canonical(whole)
+
+
+@settings(deadline=None)
+@given(values=sketch_values, alpha=accuracies,
+       nshards=st.integers(min_value=2, max_value=6))
+def test_sharded_merge_roundtrips_through_serialization(values, alpha,
+                                                        nshards):
+    whole = QuantileSketch(alpha)
+    whole.add_many(values)
+
+    size = max(1, (len(values) + nshards - 1) // nshards)
+    merged = QuantileSketch(alpha)
+    for lo in range(0, len(values), size):
+        shard = QuantileSketch(alpha)
+        shard.add_many(values[lo:lo + size])
+        # ship each shard through its wire format before merging, as
+        # the fleet path does between replicas
+        merged.merge(QuantileSketch.from_dict(shard.to_dict()))
+
+    assert canonical(merged) == canonical(whole)
+    for q in (50.0, 99.0):
+        assert merged.percentile(q) == whole.percentile(q)

@@ -74,6 +74,43 @@ class TestServeReport:
         finishes = {e["id"] for e in events if e.get("ph") == "f"}
         assert starts and starts == finishes   # every arrow lands
 
+    def test_telemetry_attached_and_exported(self, quick):
+        report, _ = quick
+        assert report.telemetry is not None
+        assert report.telemetry.num_requests == 800
+        data = report.to_dict()
+        assert data["replicas"] == 1
+        assert data["telemetry"]["latency"]["count"] == 800
+        assert data["sketch_vs_exact"]["p99"]["relative_error"] <= 0.0101
+        assert "== fleet telemetry" in report.to_text()
+
+    def test_fleet_replicas_merge(self):
+        report, _ = run_serve_report("quickstart", num_requests=300,
+                                     exemplars=False, replicas=3)
+        assert report.replicas == 3
+        assert report.telemetry.replicas == [0, 1, 2]
+        assert report.telemetry.num_requests == 900
+        # per-request rows stay replica-0 only; fleet stats are merged
+        assert report.to_dict()["num_requests"] == 300
+
+    def test_fleet_report_jobs_invariant(self):
+        def fleet(jobs):
+            report, _ = run_serve_report("quickstart", num_requests=300,
+                                         exemplars=False, replicas=3,
+                                         jobs=jobs)
+            return json.dumps(report.to_dict(), sort_keys=True)
+
+        assert fleet(1) == fleet(2)
+
+    def test_chrome_trace_carries_exemplar_spans(self):
+        report, model = run_serve_report("quickstart", num_requests=300,
+                                         exemplars=False)
+        trace = build_chrome_trace(report, model)
+        tracks = {e["tid"] for e in trace["traceEvents"]
+                  if e.get("ph") == "X"}
+        for _rep, rid in report.telemetry.exemplars.slowest_ids():
+            assert f"request.{rid}" in tracks
+
     def test_cli_text_json_and_chrome(self, tmp_path, capsys):
         assert main(["quickstart", "--requests", "400",
                      "--no-exemplars"]) == 0
