@@ -1,0 +1,87 @@
+"""Routing policies under a flash crowd: who tames the tail?
+
+Round-robin is provably near-optimal when every replica is identical —
+so this experiment puts it where real fleets live: a heterogeneous
+tier (two fast replicas, two at 1.6x their latency, as after a partial
+hardware refresh) hit by a flash-crowd trace. Load-aware policies
+(least-loaded, power-of-two, hedging) should keep the slow replicas'
+queues from dominating the fleet p99; blind round-robin should not.
+
+The numbers this prints are the source of the policy table in
+EXPERIMENTS.md ("Fleet-scale serving" section).
+
+Run:  python examples/fleet_policies.py
+"""
+
+import numpy as np
+
+from repro.serving import (FleetConfig, ROUTING_POLICIES, ReplicaSpec,
+                           RouterConfig, TabularLatencyModel,
+                           plan_fleet_capacity, simulate_fleet,
+                           trace_preset)
+from repro.serving.resilience import ResilienceConfig
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+FAST_US = (60.0, 65.0, 72.0, 85.0, 110.0, 160.0, 260.0, 460.0, 860.0)
+
+FAST = TabularLatencyModel(batches=BATCHES, latency_us=FAST_US)
+SLOW = TabularLatencyModel(batches=BATCHES,
+                           latency_us=tuple(1.6 * v for v in FAST_US))
+
+SEEDS = (0, 1, 2)
+SLA_US = 2_000.0
+
+
+def heterogeneous_fleet(policy, seed):
+    # two fast + two slow replicas across 2 racks / 2 power domains
+    specs = tuple(ReplicaSpec(replica=i, rack=i // 2, power_domain=i % 2)
+                  for i in range(4))
+    return FleetConfig(
+        replicas=specs,
+        router=RouterConfig(policy=policy, route_latency_us=10.0,
+                            seed=seed, hedge_backlog_us=18.0,
+                            hedge_delay_us=200.0),
+        resilience=ResilienceConfig(deadline_us=8 * SLA_US, max_retries=1,
+                                    shed_queue_depth=512),
+        racks=2, power_domains=2, seed=seed)
+
+
+def main():
+    from dataclasses import replace
+    trace = replace(trace_preset("flash_crowd", target_qps=700_000.0),
+                    duration_us=80_000.0)
+    models = [FAST, FAST, SLOW, SLOW]
+
+    print("fleet: 2 fast + 2 slow (1.6x) replicas; "
+          f"trace: flash_crowd @ {trace.base_qps:,.0f} QPS base, "
+          f"{trace.duration_us / 1e3:.0f} ms; seeds: {SEEDS}\n")
+    print(f"{'policy':<16}{'p50 us':>9}{'p99 us':>9}{'avail':>9}"
+          f"{'hedged':>8}")
+    for policy in ROUTING_POLICIES:
+        p50s, p99s, avails, hedged = [], [], [], []
+        for seed in SEEDS:
+            report = simulate_fleet(
+                models, trace.arrivals(seed),
+                heterogeneous_fleet(policy, seed),
+                collect_telemetry=False)
+            p50s.append(report.p50_us)
+            p99s.append(report.p99_us)
+            avails.append(report.availability)
+            hedged.append(report.hedged_requests)
+        print(f"{policy:<16}{np.mean(p50s):>9.0f}{np.mean(p99s):>9.0f}"
+              f"{np.mean(avails):>9.4f}{np.mean(hedged):>8.0f}")
+
+    print("\ncapacity: minimum fast-replica count for the same trace, "
+          f"p99 <= {SLA_US:.0f} us at 99.9% availability")
+    for policy in ("round_robin", "power_of_two"):
+        plan = plan_fleet_capacity(FAST, trace, sla_us=SLA_US,
+                                   policy=policy)
+        probes = ", ".join(f"{p['replicas']}r:{'ok' if p['ok'] else 'x'}"
+                           for p in plan.to_dict()["probes"])
+        print(f"  {policy:<16} -> {plan.replicas} replicas "
+              f"(p99 {plan.p99_us:.0f} us, avail {plan.availability:.4f}; "
+              f"probes: {probes})")
+
+
+if __name__ == "__main__":
+    main()

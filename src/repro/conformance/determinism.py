@@ -437,3 +437,83 @@ def check_telemetry_determinism(seed: int) -> DeterminismResult:
         res.violations.append(
             "merged fleet telemetry differs across merge orders")
     return res
+
+
+def check_fleet_determinism(seed: int) -> DeterminismResult:
+    """Replay one fleet run; jobs parallelism must be invisible.
+
+    Three invariants: (a) the same ``(trace, config)`` replays
+    byte-identically (canonical report JSON), (b) ``jobs=1`` and
+    ``jobs=2`` produce the same bytes (worker fan-out never reorders or
+    perturbs anything), (c) a 1-replica fleet with free round-robin
+    routing is *bit-identical* to the bare per-replica engine — the
+    fleet layer is a no-op wrapper at N=1.
+    """
+    import json
+    from dataclasses import replace as _replace
+
+    from repro.serving.fleet import (FleetConfig, RouterConfig,
+                                     TabularLatencyModel, simulate_fleet,
+                                     uniform_fleet)
+    from repro.serving.resilience import (ResilienceConfig,
+                                          simulate_serving_resilient)
+    from repro.serving.traffic import trace_preset
+
+    rng = np.random.default_rng(seed)
+    base = float(rng.uniform(50, 300))
+    slope = float(rng.uniform(0.5, 5.0))
+    batches = (1, 4, 16, 64, 256)
+    model = TabularLatencyModel(
+        batches=batches,
+        latency_us=tuple(base + slope * b for b in batches))
+    policy = ("round_robin", "least_loaded", "power_of_two",
+              "hedge")[int(rng.integers(0, 4))]
+    qps = float(rng.uniform(50_000, 400_000))
+    trace = _replace(trace_preset("diurnal", target_qps=qps),
+                     duration_us=20_000.0)
+    config = FleetConfig(
+        replicas=uniform_fleet(3, racks=2, power_domains=2),
+        router=RouterConfig(policy=policy, route_latency_us=15.0,
+                            seed=seed),
+        resilience=ResilienceConfig(deadline_us=8_000.0, max_retries=1),
+        seed=seed)
+
+    res = DeterminismResult(seed=seed, kind="fleet")
+
+    def dump(report) -> str:
+        return json.dumps(report.to_dict(), sort_keys=True)
+
+    serial_a = simulate_fleet(model, trace, config, jobs=1)
+    serial_b = simulate_fleet(model, trace, config, jobs=1)
+    res.cycles = float(serial_a.latencies_us.sum())
+    if dump(serial_a) != dump(serial_b):
+        res.violations.append("fleet replay report JSON differs")
+    parallel = simulate_fleet(model, trace, config, jobs=2)
+    if dump(serial_a) != dump(parallel):
+        res.violations.append("jobs=1 and jobs=2 report JSON differ")
+
+    # (c) N=1 trivial fleet == bare per-replica engine, bit for bit
+    solo = FleetConfig(replicas=uniform_fleet(1),
+                       router=RouterConfig(policy="round_robin"),
+                       resilience=config.resilience, seed=seed)
+    arrivals = trace.arrivals(seed)
+    fleet = simulate_fleet(model, arrivals, solo, jobs=1)
+    bare = simulate_serving_resilient(
+        model, qps=0.0, resilience=config.resilience, seed=0,
+        collect_telemetry=True, arrivals=arrivals)
+    for field_name in ("latencies_us", "queue_wait_us", "batch_wait_us",
+                       "execute_us", "retry_overhead_us", "status"):
+        if not np.array_equal(getattr(fleet, field_name),
+                              getattr(bare, field_name)):
+            res.violations.append(
+                f"1-replica fleet diverges from the bare engine "
+                f"on {field_name}")
+    tele_fleet = json.dumps(fleet.telemetry.to_dict(include_state=True),
+                            sort_keys=True)
+    tele_bare = json.dumps(bare.telemetry.to_dict(include_state=True),
+                           sort_keys=True)
+    if tele_fleet != tele_bare:
+        res.violations.append(
+            "1-replica fleet telemetry serialization diverges from "
+            "the bare engine")
+    return res

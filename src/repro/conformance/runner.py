@@ -20,6 +20,7 @@ from repro.conformance.crossval import (CrossvalBand, crossval_fc,
                                         fuzz_tbe_shape)
 from repro.conformance.determinism import (check_cache_determinism,
                                            check_fault_injection_noop,
+                                           check_fleet_determinism,
                                            check_graph_determinism,
                                            check_serving_determinism,
                                            check_sim_determinism,
@@ -179,19 +180,21 @@ def run_golden_case(seed: int, config: ConformanceConfig) -> CaseResult:
 
 def run_determinism_case(seed: int,
                          config: ConformanceConfig) -> CaseResult:
-    """Replay one seed at the sim, executor, serving, telemetry levels."""
+    """Replay one seed at the sim, executor, serving, fleet levels."""
     sim = check_sim_determinism(seed)
     graph = check_graph_determinism(seed, FuzzConfig(ops=config.ops))
     serving = check_serving_determinism(seed)
     telemetry = check_telemetry_determinism(seed)
+    fleet = check_fleet_determinism(seed)
     violations = (sim.violations + graph.violations + serving.violations
-                  + telemetry.violations)
+                  + telemetry.violations + fleet.violations)
     status = "ok" if not violations else "violation"
     return CaseResult(seed=seed, pillar="determinism", status=status,
                       details={"sim": sim.to_dict(),
                                "graph": graph.to_dict(),
                                "serving": serving.to_dict(),
-                               "telemetry": telemetry.to_dict()})
+                               "telemetry": telemetry.to_dict(),
+                               "fleet": fleet.to_dict()})
 
 
 def run_crossval_case(seed: int, index: int,

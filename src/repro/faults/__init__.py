@@ -25,7 +25,7 @@ counts, and campaign reports at any ``--jobs`` count.
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (FAULT_KINDS, HARDWARE_KINDS, PERMANENT,
                                SERVING_KINDS, FaultEvent, FaultPlan,
-                               FaultProfile)
+                               FaultProfile, generate_fleet_plan)
 
 __all__ = [
     "FAULT_KINDS",
@@ -36,4 +36,5 @@ __all__ = [
     "HARDWARE_KINDS",
     "PERMANENT",
     "SERVING_KINDS",
+    "generate_fleet_plan",
 ]

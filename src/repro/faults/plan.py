@@ -233,3 +233,62 @@ class FaultPlan:
                                          target=target, duration=duration,
                                          magnitude=magnitude))
         return cls(events=tuple(events), seed=seed)
+
+
+def generate_fleet_plan(seed: int, specs,
+                        horizon_us: float = 1_000_000.0,
+                        rack_failure_rate: float = 0.5,
+                        power_failure_rate: float = 0.5,
+                        replica_slowdown_rate: float = 1.0) -> FaultPlan:
+    """Correlated rack/power-domain failures for a replica fleet.
+
+    ``specs`` is the fleet's replica specs (anything with ``replica``,
+    ``rack`` and ``power_domain`` attributes, e.g.
+    :class:`repro.serving.fleet.ReplicaSpec`).  Serving-domain events
+    target *replica* indices — the fleet layer retargets them to every
+    card inside the replica.  Correlation is the point: one rack (or
+    power-domain) draw emits a ``card.failure`` window with the *same*
+    start and duration for every replica in the blast radius, so the
+    fleet loses them together, the way a real rack switch or breaker
+    trip takes out its whole span.  ``*_rate`` values are expected
+    Poisson counts over the horizon; draws come from one seeded
+    generator in a fixed order (racks, then power domains, then
+    per-replica slowdowns), so ``(seed, specs)`` is a pure function of
+    the plan.
+    """
+    specs = tuple(specs)
+    rng = np.random.default_rng(seed)
+    events: List[FaultEvent] = []
+
+    def blast(group_ids, members_of, rate: int) -> None:
+        for group in group_ids:
+            count = int(rng.poisson(rate)) if rate > 0 else 0
+            for _ in range(count):
+                start = float(rng.uniform(0.0, horizon_us))
+                duration = float(rng.uniform(0.05, 0.25) * horizon_us)
+                for spec in members_of(group):
+                    events.append(FaultEvent(
+                        start=start, kind="card.failure",
+                        target=spec.replica, duration=duration))
+
+    racks = sorted({s.rack for s in specs})
+    blast(racks, lambda g: [s for s in specs if s.rack == g],
+          rack_failure_rate)
+    domains = sorted({s.power_domain for s in specs})
+    blast(domains, lambda g: [s for s in specs if s.power_domain == g],
+          power_failure_rate)
+
+    # uncorrelated per-replica brownouts on top of the blast radii
+    dur_lo, dur_hi, mag_lo, mag_hi = _KIND_SHAPES["card.slowdown"]
+    for spec in specs:
+        count = (int(rng.poisson(replica_slowdown_rate))
+                 if replica_slowdown_rate > 0 else 0)
+        for _ in range(count):
+            start = float(rng.uniform(0.0, horizon_us))
+            duration = float(rng.uniform(dur_lo, dur_hi) * horizon_us)
+            magnitude = float(rng.uniform(mag_lo, mag_hi))
+            events.append(FaultEvent(start=start, kind="card.slowdown",
+                                     target=spec.replica,
+                                     duration=duration,
+                                     magnitude=magnitude))
+    return FaultPlan(events=tuple(events), seed=seed)

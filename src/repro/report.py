@@ -176,6 +176,24 @@ def report_telemetry() -> None:
         print("  sketch error vs exact (replica 0): " + "  ".join(parts))
 
 
+def report_fleet() -> None:
+    """Fleet serving: routing policies + simulated capacity answer."""
+    from repro.serve_report import run_fleet_report
+    _header("Fleet serving — router + replicas over a diurnal trace "
+            "(full view: python -m repro.serve_report --fleet)")
+    report, _ = run_fleet_report("quickstart", replicas=3,
+                                 duration_us=20_000.0)
+    for row in report.comparison:
+        print(f"  {row['policy']:<14} p99 {row['p99_us']:7.1f} us  "
+              f"availability {row['availability']:.4f}")
+    cap = report.capacity
+    print(f"  capacity: {cap['replicas']} replicas for p99 <= "
+          f"{report.sla_us:g} us at >= "
+          f"{100 * cap['availability_target']:g} % availability "
+          f"({cap['policy']}, "
+          f"{'feasible' if cap['feasible'] else 'INFEASIBLE'})")
+
+
 def report_bounds() -> None:
     """Roofline classification: where each model's time goes on MTIA."""
     from repro.eval.machines import MACHINES
@@ -206,6 +224,7 @@ SECTIONS = {
     "fig11": report_fig11, "fig12": report_fig12, "fig13": report_fig13,
     "fig14": report_fig14, "bounds": report_bounds,
     "serving": report_serving, "telemetry": report_telemetry,
+    "fleet": report_fleet,
 }
 
 

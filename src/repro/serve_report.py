@@ -352,6 +352,265 @@ def build_chrome_trace(report: ServeReport,
     return merge_chrome_traces(spans.to_chrome_trace(), *sim_traces)
 
 
+FLEET_SCHEMA_VERSION = 1
+
+
+@dataclass
+class FleetServeReport:
+    """Everything one ``--fleet`` run produced.
+
+    ``comparison`` rows run every policy over the *same* trace at the
+    same fleet size (only the routing differs); ``fleet`` is the full
+    report (merged telemetry included) for ``primary_policy``, and
+    ``capacity`` answers the sizing question by simulation
+    (:func:`repro.serving.capacity.plan_fleet_capacity`).
+    """
+
+    workload: str
+    model: str
+    machine: str
+    trace_name: str
+    sla_us: float
+    seed: int
+    replicas: int
+    trace: Dict
+    primary_policy: str
+    comparison: List[Dict]
+    fleet: Dict
+    capacity: Dict
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema_version": FLEET_SCHEMA_VERSION,
+            "workload": self.workload,
+            "model": self.model,
+            "machine": self.machine,
+            "trace_name": self.trace_name,
+            "sla_us": self.sla_us,
+            "seed": self.seed,
+            "replicas": self.replicas,
+            "trace": self.trace,
+            "primary_policy": self.primary_policy,
+            "comparison": self.comparison,
+            "fleet": self.fleet,
+            "capacity": self.capacity,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_text(self) -> str:
+        lines = [
+            f"fleet report — {self.workload} ({self.model} on "
+            f"{self.machine}, trace {self.trace_name!r}, "
+            f"{self.replicas} replicas)",
+            "",
+            "== policy comparison (same trace, same fleet) ==",
+            f"  {'policy':<14}{'p50 us':>10}{'p99 us':>10}"
+            f"{'avail':>9}{'hedged':>8}{'wins':>6}",
+        ]
+        for row in self.comparison:
+            lines.append(
+                f"  {row['policy']:<14}{row['p50_us']:>10.1f}"
+                f"{row['p99_us']:>10.1f}{row['availability']:>9.4f}"
+                f"{row['hedged']:>8d}{row['hedge_wins']:>6d}")
+        lines.append("")
+        cap = self.capacity
+        lines.append(f"== capacity (p99 <= {self.sla_us:g} us, "
+                     f"availability >= "
+                     f"{100 * cap['availability_target']:g} %) ==")
+        lines.append(
+            f"  minimum replicas: {cap['replicas']} "
+            f"({cap['policy']}; p99 {cap['p99_us']:.1f} us, "
+            f"availability {cap['availability']:.4f}, "
+            f"{'feasible' if cap['feasible'] else 'INFEASIBLE'})")
+        cons = self.fleet["conservation"]
+        lines.append("")
+        lines.append(f"== conservation ({self.primary_policy}) ==")
+        lines.append(
+            f"  fleet requests {cons['fleet_requests']}  accounted "
+            f"{cons['accounted']}  replica copies "
+            f"{cons['replica_requests']}  hedged "
+            f"{cons['hedged_copies']}  conserved: {cons['conserved']}")
+        return "\n".join(lines)
+
+
+def run_fleet_report(workload: str = "quickstart",
+                     trace_name: str = "diurnal",
+                     qps: Optional[float] = None,
+                     sla_us: Optional[float] = None,
+                     duration_us: float = 50_000.0,
+                     seed: int = 0,
+                     replicas: int = 4,
+                     racks: int = 2,
+                     power_domains: int = 2,
+                     policies: Optional[List[str]] = None,
+                     primary_policy: str = "power_of_two",
+                     availability: float = 0.999,
+                     with_faults: bool = False,
+                     jobs: int = 1):
+    """Run the fleet workload: policy comparison + capacity answer.
+
+    Returns ``(FleetServeReport, {policy: FleetReport})`` — the second
+    element keeps the in-process reports so ``--chrome`` can draw the
+    routed-request waterfalls without re-running anything.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.serving.fleet import (ROUTING_POLICIES, FleetConfig,
+                                     RouterConfig, TabularLatencyModel,
+                                     simulate_fleet, uniform_fleet)
+    from repro.serving.resilience import ResilienceConfig
+    from repro.serving.traffic import trace_preset
+
+    if workload not in WORKLOADS:
+        known = ", ".join(sorted(WORKLOADS))
+        raise SystemExit(f"unknown workload {workload!r}; "
+                         f"choose one of {known}")
+    spec = WORKLOADS[workload]
+    sla_us = sla_us if sla_us is not None else spec["sla_us"]
+    policies = list(policies) if policies else list(ROUTING_POLICIES)
+    if primary_policy not in policies:
+        policies.append(primary_policy)
+
+    from repro.eval.machines import MACHINES
+    from repro.models.configs import MODEL_ZOO
+    base_model = BatchLatencyModel(MODEL_ZOO[spec["model"]],
+                                   MACHINES["mtia"])
+    model = TabularLatencyModel.from_batch_model(base_model)
+    # Default operating point: ~70 % of the fleet's aggregate capacity,
+    # so routing quality (not raw capacity) decides the tail.
+    per_replica_qps = model.batches[-1] / model(model.batches[-1]) * 1e6
+    if qps is None:
+        qps = 0.7 * replicas * per_replica_qps
+    trace = _replace(trace_preset(trace_name, target_qps=qps),
+                     duration_us=duration_us)
+
+    fault_plan = None
+    if with_faults:
+        from repro.faults import generate_fleet_plan
+        specs = uniform_fleet(replicas, racks=racks,
+                              power_domains=power_domains)
+        fault_plan = generate_fleet_plan(seed, specs,
+                                         horizon_us=duration_us)
+
+    resilience = ResilienceConfig(deadline_us=8.0 * sla_us, max_retries=1)
+    reports = {}
+    comparison: List[Dict] = []
+    for policy in policies:
+        config = FleetConfig(
+            replicas=uniform_fleet(replicas, racks=racks,
+                                   power_domains=power_domains),
+            router=RouterConfig(policy=policy, route_latency_us=15.0,
+                                seed=seed),
+            resilience=resilience,
+            racks=racks, power_domains=power_domains, seed=seed)
+        report = simulate_fleet(model, trace, config,
+                                fault_plan=fault_plan, jobs=jobs,
+                                collect_telemetry=(policy
+                                                   == primary_policy))
+        reports[policy] = report
+        comparison.append({
+            "policy": policy,
+            "p50_us": report.percentile(50),
+            "p99_us": report.percentile(99),
+            "availability": report.availability,
+            "hedged": int(report.hedged_requests),
+            "hedge_wins": int(report.hedge_wins),
+            "counts": report.counts_by_status(),
+        })
+
+    from repro.serving.capacity import plan_fleet_capacity
+    capacity_config = FleetConfig(
+        replicas=uniform_fleet(1),
+        router=RouterConfig(policy=primary_policy,
+                            route_latency_us=15.0, seed=seed),
+        resilience=resilience,
+        racks=racks, power_domains=power_domains, seed=seed)
+    capacity = plan_fleet_capacity(
+        model, trace, sla_us, availability_target=availability,
+        config=capacity_config, policy=primary_policy,
+        max_replicas=max(16, 2 * replicas), jobs=jobs)
+
+    report = FleetServeReport(
+        workload=workload, model=spec["model"], machine="mtia",
+        trace_name=trace_name, sla_us=sla_us, seed=seed,
+        replicas=replicas, trace=trace.to_dict(),
+        primary_policy=primary_policy, comparison=comparison,
+        fleet=reports[primary_policy].to_dict(),
+        capacity=capacity.to_dict())
+    return report, reports
+
+
+def build_fleet_chrome_trace(fleet_report, max_requests: int = 32) -> dict:
+    """Routed-request waterfalls: router hop → replica batch execution.
+
+    Draws the slowest ``max_requests`` served requests (the tail is
+    what waterfalls are for) plus every hedge *winner*: a router span
+    (policy + chosen replica), flow-linked to the request's phase
+    waterfall (route / hedge_wait / batch_wait / queue_wait / execute),
+    flow-linked in turn to the winning replica's device batch span.
+    Everything is reconstructed post-hoc from the fleet report's exact
+    per-request arrays — no per-request tracing overhead at simulation
+    time (PR 6's tail-exemplar discipline, fleet-wide).
+    """
+    import numpy as np
+
+    from repro.obs.spans import SpanTracer
+    from repro.serving.simulator import STATUS_SERVED
+
+    spans = SpanTracer(enabled=True)
+    report = fleet_report
+    served = np.flatnonzero(report.status == STATUS_SERVED)
+    slowest = served[np.argsort(report.latencies_us[served],
+                                kind="stable")][::-1][:max_requests]
+    winners = np.flatnonzero((report.hedge_wait_us > 0)
+                             & (report.status == STATUS_SERVED))
+    chosen = sorted(set(int(i) for i in slowest)
+                    | set(int(i) for i in winners[:max_requests]))
+
+    drawn_batches = set()
+    for i in chosen:
+        arrival = float(report.arrivals_us[i])
+        r = int(report.replica[i])
+        pos = int(report.replica_pos[i])
+        local = report.per_replica[r]
+        b = int(local.batch_index[pos]) if local.batch_index.size else -1
+        route_end = arrival + float(report.route_overhead_us[i])
+        track = f"request.{i}"
+        router_span = spans.add(
+            "router", f"route req{i}", arrival, route_end,
+            pid="fleet.router", policy=report.config.router.policy,
+            primary=int(report.assigned[i]),
+            hedged=int(report.hedged[i]), winner=r)
+        finish = arrival + float(report.latencies_us[i])
+        with spans.span(track, f"req{i}", arrival, finish,
+                        pid="fleet.requests", replica=r, batch=b,
+                        hedge_won=bool(report.hedge_wait_us[i] > 0)) as req:
+            t = route_end
+            for phase in ("hedge_wait", "batch_wait", "queue_wait",
+                          "retry_overhead", "execute"):
+                width = float(getattr(report, f"{phase}_us")[i])
+                if width > 0:
+                    spans.add(track, phase, t, t + width,
+                              pid="fleet.requests")
+                    t += width
+        spans.link(router_span, req)
+        if 0 <= b < len(local.batches):
+            batch = local.batches[b]
+            key = (r, b)
+            if key not in drawn_batches:
+                drawn_batches.add(key)
+                batch_span = spans.add(
+                    f"replica{r}.device", f"r{r}.batch{b}",
+                    batch.dispatch_us, batch.finish_us,
+                    pid=f"fleet.replica{r}", size=batch.size)
+            else:
+                batch_span = spans.find(f"r{r}.batch{b}")[-1]
+            spans.link(req, batch_span)
+    return spans.to_chrome_trace()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve_report",
@@ -387,7 +646,52 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="emit the merged Chrome/Perfetto trace")
     parser.add_argument("--output", "-o", default=None,
                         help="write to this file instead of stdout")
+    parser.add_argument("--fleet", action="store_true",
+                        help="fleet mode: router + N replicas over a "
+                        "traffic trace (policy comparison + capacity)")
+    parser.add_argument("--trace-name", default="diurnal",
+                        help="fleet traffic preset "
+                        "(steady/diurnal/spike/flash_crowd)")
+    parser.add_argument("--duration-us", type=float, default=50_000.0,
+                        help="fleet trace span in simulated us")
+    parser.add_argument("--policy", default="power_of_two",
+                        help="fleet primary policy (full report + "
+                        "capacity use this one)")
+    parser.add_argument("--racks", type=int, default=2,
+                        help="fleet rack count (correlated-failure "
+                        "blast radius)")
+    parser.add_argument("--power-domains", type=int, default=2)
+    parser.add_argument("--faults", action="store_true",
+                        help="fleet mode: inject a seeded correlated "
+                        "rack/power fault plan")
     args = parser.parse_args(argv)
+
+    if args.fleet:
+        report, fleet_reports = run_fleet_report(
+            args.workload, trace_name=args.trace_name, qps=args.qps,
+            sla_us=args.sla_us, duration_us=args.duration_us,
+            seed=args.seed, replicas=max(2, args.replicas),
+            racks=args.racks, power_domains=args.power_domains,
+            primary_policy=args.policy, availability=args.availability,
+            with_faults=args.faults, jobs=args.jobs)
+        if args.chrome:
+            trace = build_fleet_chrome_trace(
+                fleet_reports[report.primary_policy])
+            path = args.output or f"{args.workload}.fleet_trace.json"
+            with open(path, "w") as fh:
+                json.dump(trace, fh)
+            print(f"wrote fleet Chrome trace to {path} "
+                  f"({len(trace['traceEvents'])} events); open in "
+                  "ui.perfetto.dev or chrome://tracing")
+            return 0
+        text = report.to_json() if args.json else report.to_text()
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text + "\n")
+            print(f"wrote fleet report to {args.output}")
+        else:
+            print(text)
+        return 0
 
     batching = BatchingConfig(max_batch=args.max_batch,
                               max_wait_us=args.max_wait_us)

@@ -18,21 +18,38 @@ from the operator-level models back to that context:
 * :mod:`repro.serving.tail` — differential tail attribution: the
   phase / operator / stall-cause mix of ≥p99 requests contrasted with
   median requests;
-* :mod:`repro.serving.capacity` — fleet sizing: accelerators (and
-  watts) needed to serve a target QPS under a latency SLA on each
-  platform, the quantity behind Figure 2's server-count curves;
+* :mod:`repro.serving.traffic` — seeded synthetic traffic at
+  millions-of-users scale: diurnal rate curves, bursts and flash
+  crowds turned into deterministic arrival vectors;
+* :mod:`repro.serving.fleet` — the datacenter tier: a router with
+  pluggable seeded policies (round-robin, least-loaded, power-of-two,
+  hedging) in front of N sharded/replicated multi-card replicas, each
+  an independent :func:`~repro.serving.resilience.simulate_serving_resilient`
+  run, with correlated rack/power failures and burn-driven autoscaling;
+* :mod:`repro.serving.capacity` — fleet sizing: closed-form per-card
+  throughput (:func:`~repro.serving.capacity.plan_capacity`) and the
+  simulated minimum-replica answer
+  (:func:`~repro.serving.capacity.plan_fleet_capacity`), the quantity
+  behind Figure 2's server-count curves;
 * :mod:`repro.serving.telemetry` — fleet-grade bounded telemetry:
   mergeable quantile sketches, windowed time series, tail-biased
   exemplars with post-hoc span reconstruction, and anomaly detection,
   all derived from finished reports so observation never perturbs the
   simulation.
 
-``python -m repro.serve_report`` drives the whole stack and exports
-text/JSON reports or a merged Chrome trace (request waterfall down to
-cycle-level unit activity).
+``python -m repro.serve_report`` drives the whole stack (``--fleet``
+for the datacenter tier) and exports text/JSON reports or a merged
+Chrome trace (request waterfall down to cycle-level unit activity).
 """
 
-from repro.serving.capacity import CapacityPlan, plan_capacity
+from repro.serving.capacity import (CapacityPlan, FleetCapacityPlan,
+                                    plan_capacity, plan_fleet_capacity)
+from repro.serving.fleet import (ROUTING_POLICIES, AutoscaleConfig,
+                                 FleetConfig, FleetReport, ReplicaSpec,
+                                 RouterConfig, ShardedLatencyModel,
+                                 TabularLatencyModel,
+                                 sharded_latency_table, simulate_fleet,
+                                 simulate_fleet_autoscaled, uniform_fleet)
 from repro.serving.resilience import (ResilienceConfig,
                                       simulate_serving_resilient)
 from repro.serving.simulator import (STATUS_FAILED, STATUS_NAMES,
@@ -44,13 +61,22 @@ from repro.serving.slo import (SLOMonitor, SLOSummary, SLOWindow,
                                slo_from_report)
 from repro.serving.tail import TailAttribution, attribute_tail
 from repro.serving.telemetry import ServingTelemetry, emit_exemplar_spans
+from repro.serving.traffic import TRACES, Burst, TrafficTrace, trace_preset
 
 __all__ = [
+    "AutoscaleConfig",
     "BatchingConfig",
     "BatchLatencyModel",
     "BatchRecord",
+    "Burst",
     "CapacityPlan",
+    "FleetCapacityPlan",
+    "FleetConfig",
+    "FleetReport",
+    "ROUTING_POLICIES",
+    "ReplicaSpec",
     "ResilienceConfig",
+    "RouterConfig",
     "SLOMonitor",
     "SLOSummary",
     "SLOWindow",
@@ -61,11 +87,21 @@ __all__ = [
     "STATUS_TIMEOUT",
     "ServingReport",
     "ServingTelemetry",
+    "ShardedLatencyModel",
+    "TRACES",
+    "TabularLatencyModel",
     "TailAttribution",
+    "TrafficTrace",
     "attribute_tail",
     "emit_exemplar_spans",
     "plan_capacity",
+    "plan_fleet_capacity",
+    "sharded_latency_table",
+    "simulate_fleet",
+    "simulate_fleet_autoscaled",
     "simulate_serving",
     "simulate_serving_resilient",
     "slo_from_report",
+    "trace_preset",
+    "uniform_fleet",
 ]

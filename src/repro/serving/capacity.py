@@ -5,12 +5,25 @@ aggregate QPS and a latency SLA, how many cards (and how much
 provisioned power) does each platform need?  This is the per-platform
 efficiency of Figure 14 turned back into the server-count units of
 Figure 2.
+
+Two layers answer the question at two fidelities:
+
+* :func:`plan_capacity` — closed-form-ish: binary-search one card's
+  sustainable QPS, divide the target by it (ignores routing skew,
+  traffic shape, and failures);
+* :func:`plan_fleet_capacity` — by simulation: binary-search the
+  minimum *replica count* whose full fleet run
+  (:func:`repro.serving.fleet.simulate_fleet` under a real traffic
+  trace, routing policy, and optional fault plan) meets p99 <= SLA
+  *and* an availability floor.  Seeded and byte-identical at any
+  ``jobs`` count, so the answer is a reproducible artifact, not a
+  point estimate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.serving.simulator import (BatchingConfig, BatchLatencyModel,
                                      simulate_serving)
@@ -89,3 +102,122 @@ def plan_capacity(model_config, target_qps: float, sla_us: float,
             error_budget_burn=slo_from_report(report, sla_us).burn_rate,
         )
     return plans
+
+
+# ---------------------------------------------------------------------------
+# fleet capacity: answered by simulation, not a closed-form guess
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FleetCapacityPlan:
+    """Minimum fleet size meeting the SLOs for one traffic trace."""
+
+    replicas: int
+    policy: str
+    sla_us: float
+    availability_target: float
+    p99_us: float
+    availability: float
+    #: whether any fleet size within ``max_replicas`` satisfied the SLOs
+    feasible: bool
+    #: (replicas, p99_us, availability, ok) per size probed, in probe order
+    probes: List[Dict] = field(default_factory=list)
+    trace: Optional[Dict] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "replicas": self.replicas,
+            "policy": self.policy,
+            "sla_us": self.sla_us,
+            "availability_target": self.availability_target,
+            "p99_us": self.p99_us,
+            "availability": self.availability,
+            "feasible": self.feasible,
+            "probes": self.probes,
+            "trace": self.trace,
+        }
+
+
+def plan_fleet_capacity(latency_model, traffic, sla_us: float,
+                        availability_target: float = 0.999,
+                        config=None, policy: str = "power_of_two",
+                        max_replicas: int = 64, fault_plan=None,
+                        jobs: int = 1) -> FleetCapacityPlan:
+    """Minimum replica count meeting p99 <= SLA and the availability floor.
+
+    Doubles the fleet size until the SLOs hold (or ``max_replicas`` is
+    hit), then binary-searches the boundary.  Every probe is a full
+    seeded :func:`~repro.serving.fleet.simulate_fleet` run over the
+    *same* trace, so the answer accounts for routing skew, burstiness,
+    and (when ``fault_plan`` targets replicas) correlated failures —
+    and replays byte-identically at any ``jobs`` count.
+
+    ``config`` supplies the non-size knobs (router, batching,
+    resilience, topology); its replica tuple is re-sized per probe.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.serving.fleet import (FleetConfig, RouterConfig,
+                                     simulate_fleet, uniform_fleet)
+    from repro.serving.traffic import TrafficTrace
+
+    if config is None:
+        config = FleetConfig(replicas=uniform_fleet(1),
+                             router=RouterConfig(policy=policy))
+    elif config.router.policy != policy:
+        config = _replace(config, router=_replace(config.router,
+                                                  policy=policy))
+
+    probes: List[Dict] = []
+    results: Dict[int, object] = {}
+
+    def ok(replicas: int) -> bool:
+        report = simulate_fleet(latency_model, traffic,
+                                config.with_replica_count(replicas),
+                                fault_plan=fault_plan, jobs=jobs,
+                                collect_telemetry=False)
+        results[replicas] = report
+        good = (report.meets_sla(sla_us)
+                and report.availability >= availability_target)
+        probes.append({"replicas": replicas,
+                       "p99_us": report.percentile(99),
+                       "availability": report.availability,
+                       "ok": bool(good)})
+        return good
+
+    lo, hi = 1, None
+    n = 1
+    while n <= max_replicas:
+        if ok(n):
+            hi = n
+            break
+        lo = n + 1
+        n *= 2
+    feasible = hi is not None
+    if feasible:
+        # smallest size in [lo, hi] that passes; hi is known-good
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if ok(mid):
+                hi = mid
+            else:
+                lo = mid + 1
+        best = hi
+    else:
+        best = max_replicas
+    report = results.get(best)
+    if report is None:
+        ok(best)
+        report = results[best]
+    return FleetCapacityPlan(
+        replicas=best,
+        policy=policy,
+        sla_us=sla_us,
+        availability_target=availability_target,
+        p99_us=report.percentile(99),
+        availability=report.availability,
+        feasible=feasible,
+        probes=probes,
+        trace=(traffic.to_dict()
+               if isinstance(traffic, TrafficTrace) else None),
+    )

@@ -96,7 +96,8 @@ def simulate_serving_resilient(
         faults=None,
         registry=None,
         collect_telemetry: bool = False,
-        replica: int = 0) -> ServingReport:
+        replica: int = 0,
+        arrivals=None) -> ServingReport:
     """Simulate resilient serving of ``num_requests`` Poisson arrivals.
 
     ``faults`` is an optional :class:`~repro.faults.FaultInjector`
@@ -104,15 +105,16 @@ def simulate_serving_resilient(
     domain) drive card outages and slow cards.  All randomness lives in
     the arrival stream (``seed``) and the injector's *pre-drawn* plan,
     so a (seed, plan) pair replays exactly.
-    """
-    if qps <= 0:
-        raise ValueError("qps must be positive")
-    cfg = resilience
-    rng = np.random.default_rng(seed)
-    inter_us = rng.exponential(1e6 / qps, size=num_requests)
-    arrivals = np.cumsum(inter_us)
 
-    n = num_requests
+    ``arrivals`` injects an explicit sorted arrival vector (the fleet
+    router's per-replica assignment) instead of drawing the Poisson
+    stream; see :func:`~repro.serving.simulator.resolve_arrivals`.
+    """
+    from repro.serving.simulator import resolve_arrivals
+    cfg = resilience
+    arrivals, qps = resolve_arrivals(qps, num_requests, seed, arrivals)
+
+    n = int(arrivals.size)
     latencies = np.zeros(n)
     queue_wait = np.zeros(n)
     batch_wait = np.zeros(n)

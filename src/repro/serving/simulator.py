@@ -38,6 +38,36 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 import numpy as np
 
 
+def resolve_arrivals(qps: float, num_requests: int, seed: int,
+                     arrivals=None):
+    """The arrival stream of one serving run: drawn or injected.
+
+    With ``arrivals=None`` (the historical path) a Poisson stream is
+    drawn from ``seed`` at rate ``qps`` — bit-identical to what the
+    simulators always produced.  A fleet router instead *injects* the
+    arrival subsequence it assigned to this replica; the replica engine
+    then consumes it verbatim (sorted, in microseconds).  Returns
+    ``(arrivals, qps)`` where ``qps`` falls back to the stream's own
+    offered rate when the caller passed ``qps <= 0`` alongside explicit
+    arrivals (an empty replica simply offers 0).
+    """
+    if arrivals is None:
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        rng = np.random.default_rng(seed)
+        inter_us = rng.exponential(1e6 / qps, size=num_requests)
+        return np.cumsum(inter_us), qps
+    arrivals = np.asarray(arrivals, dtype=float)
+    if arrivals.size > 1 and np.any(np.diff(arrivals) < 0):
+        raise ValueError("injected arrivals must be non-decreasing")
+    if qps <= 0:
+        span_us = (float(arrivals[-1] - arrivals[0])
+                   if arrivals.size > 1 else 0.0)
+        qps = (arrivals.size / (span_us / 1e6) if span_us > 0
+               else float(arrivals.size))
+    return arrivals, qps
+
+
 @dataclass(frozen=True)
 class BatchingConfig:
     max_batch: int = 256
@@ -292,7 +322,8 @@ def simulate_serving(latency_model: Callable[[int], float],
                      trace_batches: Optional[Set[int]] = None,
                      trace_requests_per_batch: int = 8,
                      collect_telemetry: bool = False,
-                     replica: int = 0) -> ServingReport:
+                     replica: int = 0,
+                     arrivals: Optional[np.ndarray] = None) -> ServingReport:
     """Simulate serving ``num_requests`` Poisson arrivals at ``qps``.
 
     ``latency_model(batch_size)`` returns the execution latency in
@@ -317,12 +348,13 @@ def simulate_serving(latency_model: Callable[[int], float],
     sketches, windowed series, tail exemplars tagged ``replica``) to
     ``report.telemetry``.  Telemetry is derived *from* the finished
     report, so it can never perturb the simulation either.
+
+    ``arrivals`` injects an explicit (sorted, microsecond) arrival
+    vector instead of drawing a Poisson stream — the fleet layer routes
+    a traffic trace and hands each replica its assigned subsequence.
     """
-    if qps <= 0:
-        raise ValueError("qps must be positive")
-    rng = np.random.default_rng(seed)
-    inter_us = rng.exponential(1e6 / qps, size=num_requests)
-    arrivals = np.cumsum(inter_us)
+    arrivals, qps = resolve_arrivals(qps, num_requests, seed, arrivals)
+    num_requests = int(arrivals.size)
 
     tracing = spans is not None and spans.enabled
 

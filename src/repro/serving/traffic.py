@@ -1,0 +1,207 @@
+"""Seeded synthetic traffic traces at millions-of-users scale.
+
+A recommendation fleet is sized against its *traffic shape*, not a flat
+QPS: the paper's Section 2 fleets serve a user population whose request
+rate swings diurnally (peak-to-trough factors of 2-3x) and spikes on
+viral events.  A :class:`TrafficTrace` turns a user population into a
+deterministic arrival-time vector:
+
+* **rate curve** — base rate (``users_millions x qps_per_user``)
+  modulated by a diurnal sinusoid (one "compressed day" spans
+  ``day_us`` of simulated time) plus any number of
+  :class:`Burst` windows (flash crowds, failover inrush);
+* **arrivals** — an inhomogeneous Poisson stream drawn window-by-window
+  from one seeded generator: per-window counts are Poisson in the
+  integrated rate, positions uniform within the window, sorted.  The
+  draw order is fixed, so ``(config, seed)`` is a pure function of the
+  arrival vector — the same contract every other seeded layer here
+  honours.
+
+Traces model *offered* load; what a fleet makes of it is
+:mod:`repro.serving.fleet`'s job.  ``max_requests`` bounds the vector
+so a mis-scaled trace fails loudly instead of allocating a
+billion-element array — capacity questions about millions of users are
+answered by simulating a representative slice (seconds of compressed
+diurnal time), not a wall-clock day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Burst", "TrafficTrace", "TRACES", "trace_preset"]
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One multiplicative rate burst: ``rate *= magnitude`` inside it."""
+
+    start_us: float
+    duration_us: float
+    magnitude: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.start_us < 0 or self.duration_us <= 0:
+            raise ValueError("burst window must be positive")
+        if self.magnitude <= 0:
+            raise ValueError("burst magnitude must be positive")
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+    def to_dict(self) -> Dict:
+        return {"start_us": self.start_us, "duration_us": self.duration_us,
+                "magnitude": self.magnitude}
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """A deterministic, seeded offered-load curve."""
+
+    #: user population driving the base rate
+    users_millions: float = 1.0
+    #: steady per-user request rate (QPS per user); base rate is
+    #: ``users_millions * 1e6 * qps_per_user``
+    qps_per_user: float = 0.02
+    #: trace span in simulated microseconds
+    duration_us: float = 1_000_000.0
+    #: peak-to-mean diurnal swing in [0, 1); 0 disables the sinusoid
+    diurnal_amplitude: float = 0.0
+    #: period of one compressed "day" of simulated time
+    day_us: float = 2_000_000.0
+    #: phase offset: 0 starts the trace at mean load rising to peak
+    diurnal_phase: float = 0.0
+    bursts: Tuple[Burst, ...] = ()
+    #: rate-integration window for the Poisson draw
+    window_us: float = 10_000.0
+    #: hard cap: generation raises instead of exceeding it
+    max_requests: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.users_millions <= 0 or self.qps_per_user <= 0:
+            raise ValueError("user population and per-user rate must be "
+                             "positive")
+        if self.duration_us <= 0 or self.window_us <= 0 or self.day_us <= 0:
+            raise ValueError("durations must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+
+    # -- rate curve ------------------------------------------------------
+    @property
+    def base_qps(self) -> float:
+        return self.users_millions * 1e6 * self.qps_per_user
+
+    def rate_at(self, t_us) -> np.ndarray:
+        """Offered QPS at time(s) ``t_us`` (vectorised)."""
+        t = np.asarray(t_us, dtype=float)
+        rate = self.base_qps * (
+            1.0 + self.diurnal_amplitude
+            * np.sin(2.0 * np.pi * t / self.day_us + self.diurnal_phase))
+        for burst in self.bursts:
+            inside = (t >= burst.start_us) & (t < burst.end_us)
+            rate = np.where(inside, rate * burst.magnitude, rate)
+        return rate
+
+    @property
+    def peak_qps(self) -> float:
+        """Max of the rate curve sampled at window resolution."""
+        edges = np.arange(0.0, self.duration_us, self.window_us)
+        return float(self.rate_at(edges).max())
+
+    def expected_requests(self) -> float:
+        """Integral of the rate curve over the trace span."""
+        edges = np.arange(0.0, self.duration_us, self.window_us)
+        widths = np.minimum(edges + self.window_us, self.duration_us) - edges
+        mids = edges + widths / 2.0
+        return float((self.rate_at(mids) * widths / 1e6).sum())
+
+    # -- arrival generation ----------------------------------------------
+    def arrivals(self, seed: int = 0) -> np.ndarray:
+        """Draw the arrival-time vector (sorted, microseconds).
+
+        Window-by-window inhomogeneous Poisson with one seeded
+        generator in fixed window order: same ``(self, seed)``, same
+        bytes, always.
+        """
+        expected = self.expected_requests()
+        if expected > self.max_requests:
+            raise ValueError(
+                f"trace expects ~{expected:.0f} requests, above the "
+                f"max_requests cap of {self.max_requests}; shorten "
+                "duration_us or shrink the population")
+        rng = np.random.default_rng(seed)
+        edges = np.arange(0.0, self.duration_us, self.window_us)
+        widths = np.minimum(edges + self.window_us, self.duration_us) - edges
+        mids = edges + widths / 2.0
+        expected_per_window = self.rate_at(mids) * widths / 1e6
+        counts = rng.poisson(expected_per_window)
+        chunks: List[np.ndarray] = []
+        for start, width, count in zip(edges, widths, counts):
+            if count:
+                chunks.append(start
+                              + np.sort(rng.uniform(0.0, width, int(count))))
+        if not chunks:
+            return np.zeros(0)
+        return np.concatenate(chunks)
+
+    # -- scaling helpers -------------------------------------------------
+    def scaled_to(self, target_qps: float) -> "TrafficTrace":
+        """The same shape rescaled so the *base* rate is ``target_qps``."""
+        if target_qps <= 0:
+            raise ValueError("target_qps must be positive")
+        return replace(self,
+                       qps_per_user=target_qps
+                       / (self.users_millions * 1e6))
+
+    def to_dict(self) -> Dict:
+        return {
+            "users_millions": self.users_millions,
+            "qps_per_user": self.qps_per_user,
+            "base_qps": self.base_qps,
+            "duration_us": self.duration_us,
+            "diurnal_amplitude": self.diurnal_amplitude,
+            "day_us": self.day_us,
+            "diurnal_phase": self.diurnal_phase,
+            "bursts": [b.to_dict() for b in self.bursts],
+            "window_us": self.window_us,
+        }
+
+
+#: Named trace shapes, all ~1 simulated second so fleet sweeps stay
+#: cheap; scale with :meth:`TrafficTrace.scaled_to`.
+TRACES: Dict[str, TrafficTrace] = {
+    # flat offered load — the differential baseline
+    "steady": TrafficTrace(users_millions=1.0, qps_per_user=0.02,
+                           duration_us=1_000_000.0),
+    # one compressed half-day: load climbs ~60% above mean and back
+    "diurnal": TrafficTrace(users_millions=1.0, qps_per_user=0.02,
+                            duration_us=1_000_000.0,
+                            diurnal_amplitude=0.6, day_us=2_000_000.0),
+    # steady load with a 2.5x viral spike through the middle
+    "spike": TrafficTrace(
+        users_millions=1.0, qps_per_user=0.02, duration_us=1_000_000.0,
+        bursts=(Burst(start_us=400_000.0, duration_us=200_000.0,
+                      magnitude=2.5),)),
+    # rising diurnal shoulder with two stacked flash crowds
+    "flash_crowd": TrafficTrace(
+        users_millions=1.0, qps_per_user=0.02, duration_us=1_000_000.0,
+        diurnal_amplitude=0.4, day_us=4_000_000.0,
+        bursts=(Burst(start_us=300_000.0, duration_us=150_000.0,
+                      magnitude=2.0),
+                Burst(start_us=650_000.0, duration_us=100_000.0,
+                      magnitude=3.0))),
+}
+
+
+def trace_preset(name: str,
+                 target_qps: Optional[float] = None) -> TrafficTrace:
+    """A named trace, optionally rescaled to a base QPS."""
+    if name not in TRACES:
+        known = ", ".join(sorted(TRACES))
+        raise KeyError(f"unknown trace {name!r}; choose one of {known}")
+    trace = TRACES[name]
+    return trace if target_qps is None else trace.scaled_to(target_qps)

@@ -114,8 +114,64 @@ def campaign_schema() -> dict:
     }
 
 
+def fleet_report_schema() -> dict:
+    """Key-set schema of the serve_report --fleet JSON."""
+    from repro.serve_report import run_fleet_report
+    report, _ = run_fleet_report("quickstart", replicas=2,
+                                 duration_us=10_000.0)
+    data = json.loads(report.to_json())
+    fleet = data["fleet"]
+    return {
+        "top_level": sorted(data),
+        "trace": sorted(data["trace"]),
+        "comparison_row": sorted(data["comparison"][0]),
+        "fleet": sorted(fleet),
+        "fleet_config": sorted(fleet["config"]),
+        "fleet_replica_spec": sorted(fleet["config"]["replicas"][0]),
+        "fleet_router": sorted(fleet["config"]["router"]),
+        "fleet_latency": sorted(fleet["latency_us"]),
+        "fleet_breakdown": sorted(fleet["breakdown_us"]),
+        "fleet_routing": sorted(fleet["routing"]),
+        "fleet_conservation": sorted(fleet["conservation"]),
+        "fleet_replica_row": sorted(fleet["replicas"][0]),
+        "capacity": sorted(data["capacity"]),
+        "capacity_probe": sorted(data["capacity"]["probes"][0]),
+        "policies": sorted(row["policy"] for row in data["comparison"]),
+        "schema_version": data["schema_version"],
+    }
+
+
+def fleet_capacity_schema() -> dict:
+    """Key-set schema of the simulated fleet capacity plan."""
+    from repro.serving.capacity import plan_fleet_capacity
+    from repro.serving.fleet import TabularLatencyModel
+    from repro.serving.traffic import trace_preset
+    from dataclasses import replace as _replace
+    model = TabularLatencyModel(batches=(1, 16, 64, 256),
+                                latency_us=(60.0, 110.0, 260.0, 860.0))
+    trace = _replace(trace_preset("diurnal", target_qps=400_000.0),
+                     duration_us=10_000.0)
+    plan = plan_fleet_capacity(model, trace, sla_us=1_500.0)
+    data = plan.to_dict()
+    return {
+        "top_level": sorted(data),
+        "probe": sorted(data["probes"][0]),
+        "trace": sorted(data["trace"]),
+        "policy": data["policy"],
+        "feasible": data["feasible"],
+    }
+
+
 def test_profile_json_schema_is_stable():
     _check("profile_quickstart_schema.json", profile_schema())
+
+
+def test_fleet_report_json_schema_is_stable():
+    _check("fleet_report_schema.json", fleet_report_schema())
+
+
+def test_fleet_capacity_schema_is_stable():
+    _check("fleet_capacity_schema.json", fleet_capacity_schema())
 
 
 def test_serve_report_json_schema_is_stable():

@@ -1,0 +1,120 @@
+"""Traffic traces: seeded determinism, rate shapes, guard rails."""
+
+import numpy as np
+import pytest
+
+from repro.serving.traffic import TRACES, Burst, TrafficTrace, trace_preset
+
+
+def small_trace(**kw):
+    base = dict(users_millions=0.01, qps_per_user=0.02,
+                duration_us=100_000.0, window_us=5_000.0)
+    base.update(kw)
+    return TrafficTrace(**base)
+
+
+class TestRateCurve:
+    def test_base_qps_scales_with_population(self):
+        assert small_trace().base_qps == pytest.approx(0.01 * 1e6 * 0.02)
+
+    def test_steady_trace_rate_is_flat(self):
+        trace = small_trace()
+        t = np.linspace(0, trace.duration_us, 50)
+        assert np.allclose(trace.rate_at(t), trace.base_qps)
+
+    def test_diurnal_swings_around_base(self):
+        trace = small_trace(diurnal_amplitude=0.5, day_us=100_000.0)
+        t = np.linspace(0, trace.duration_us, 1000)
+        rates = trace.rate_at(t)
+        assert rates.max() == pytest.approx(1.5 * trace.base_qps, rel=0.01)
+        assert rates.min() == pytest.approx(0.5 * trace.base_qps, rel=0.01)
+
+    def test_burst_multiplies_rate_inside_window_only(self):
+        trace = small_trace(bursts=(Burst(start_us=40_000.0,
+                                          duration_us=20_000.0,
+                                          magnitude=3.0),))
+        assert trace.rate_at(50_000.0) == pytest.approx(3 * trace.base_qps)
+        assert trace.rate_at(10_000.0) == pytest.approx(trace.base_qps)
+        assert trace.rate_at(70_000.0) == pytest.approx(trace.base_qps)
+
+    def test_peak_qps_sees_the_burst(self):
+        trace = small_trace(bursts=(Burst(start_us=40_000.0,
+                                          duration_us=20_000.0,
+                                          magnitude=3.0),))
+        assert trace.peak_qps == pytest.approx(3 * trace.base_qps)
+
+
+class TestArrivals:
+    def test_same_seed_same_bytes(self):
+        trace = small_trace(diurnal_amplitude=0.3)
+        a = trace.arrivals(7)
+        b = trace.arrivals(7)
+        assert a.tobytes() == b.tobytes()
+
+    def test_different_seeds_differ(self):
+        trace = small_trace()
+        assert not np.array_equal(trace.arrivals(0), trace.arrivals(1))
+
+    def test_arrivals_sorted_and_in_span(self):
+        trace = small_trace(diurnal_amplitude=0.4, day_us=150_000.0)
+        arrivals = trace.arrivals(3)
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals[0] >= 0
+        assert arrivals[-1] <= trace.duration_us
+
+    def test_count_tracks_expected_requests(self):
+        trace = small_trace()
+        counts = [trace.arrivals(s).size for s in range(5)]
+        expected = trace.expected_requests()
+        assert expected * 0.8 < np.mean(counts) < expected * 1.2
+
+    def test_burst_concentrates_arrivals(self):
+        trace = small_trace(bursts=(Burst(start_us=40_000.0,
+                                          duration_us=20_000.0,
+                                          magnitude=4.0),))
+        arrivals = trace.arrivals(0)
+        inside = np.count_nonzero((arrivals >= 40_000) & (arrivals < 60_000))
+        # the burst window is 1/5 of the span but 4x the rate
+        assert inside / arrivals.size > 0.4
+
+    def test_max_requests_cap_raises(self):
+        trace = small_trace(max_requests=10)
+        with pytest.raises(ValueError, match="max_requests"):
+            trace.arrivals(0)
+
+
+class TestScalingAndPresets:
+    def test_scaled_to_hits_target_base_qps(self):
+        trace = small_trace().scaled_to(1234.0)
+        assert trace.base_qps == pytest.approx(1234.0)
+
+    def test_presets_exist_and_scale(self):
+        for name in ("steady", "diurnal", "spike", "flash_crowd"):
+            assert name in TRACES
+            assert trace_preset(name, 500.0).base_qps == pytest.approx(500.0)
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError, match="unknown trace"):
+            trace_preset("nope")
+
+    def test_to_dict_round_trip_fields(self):
+        data = small_trace(diurnal_amplitude=0.2,
+                           bursts=(Burst(1.0, 2.0),)).to_dict()
+        assert data["diurnal_amplitude"] == 0.2
+        assert data["bursts"][0]["magnitude"] == 2.0
+
+
+class TestValidation:
+    def test_rejects_nonpositive_population(self):
+        with pytest.raises(ValueError):
+            small_trace(users_millions=0.0)
+
+    def test_rejects_amplitude_of_one(self):
+        with pytest.raises(ValueError):
+            small_trace(diurnal_amplitude=1.0)
+
+    def test_rejects_bad_burst(self):
+        with pytest.raises(ValueError):
+            Burst(start_us=-1.0, duration_us=10.0)
+        with pytest.raises(ValueError):
+            Burst(start_us=0.0, duration_us=10.0, magnitude=0.0)
