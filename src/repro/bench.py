@@ -4,7 +4,7 @@ Runs the canonical FC / TBE / DLRM quickstart workloads and emits a
 schema-stable ``BENCH_<label>.json`` so the performance trajectory of
 the reproduction is tracked from PR to PR::
 
-    python -m repro.bench                       # writes BENCH_pr6.json
+    python -m repro.bench                       # writes BENCH_pr8.json
     python -m repro.bench --label nightly -o out/
     python -m repro.bench --compare BENCH_pr4.json   # soft regression check
     python -m repro.bench --jobs 3              # workloads in parallel
@@ -24,12 +24,13 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import sys
 import time
 from typing import Dict, List, Optional
 
 SCHEMA_VERSION = 1
-DEFAULT_LABEL = "pr6"   # bump per PR; the trajectory lives in git
+DEFAULT_LABEL = "pr8"   # bump per PR; the trajectory lives in git
 TRAJECTORY_SCHEMA_VERSION = 1
 
 #: headline metrics every workload reports (inapplicable ones are 0)
@@ -207,39 +208,70 @@ def compare(current: Dict, baseline: Dict,
     return regressions
 
 
+_PR_LABEL = re.compile(r"^pr(\d+)$")
+
+
 def load_trajectory(directory: str = ".",
                     paths: Optional[List[str]] = None) -> Dict:
     """Aggregate every ``BENCH_*.json`` into one trajectory payload.
 
-    Rows are ordered by the files' ``created_unix`` stamp (the PR
-    sequence), one row per (label, workload) with the headline metrics;
-    the schema is stable so the trajectory can itself be diffed.
+    Rows are ordered by PR sequence number for ``pr<N>`` labels (the
+    canonical trajectory), then by ``created_unix`` for everything else
+    — so the table stays correctly ordered even when a PR landed
+    without a bench file or a file's timestamp is missing.  Unreadable
+    or corrupt ``BENCH_*.json`` files are skipped (reported in
+    ``skipped``, never fatal), and gaps in the ``pr<N>`` sequence are
+    reported in ``missing_labels``; the schema is stable so the
+    trajectory can itself be diffed.
     """
     import glob
 
     if paths is None:
         paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
     runs = []
+    skipped: List[Dict] = []
     for path in paths:
-        with open(path) as fh:
-            payload = json.load(fh)
-        runs.append((payload.get("created_unix", 0.0),
-                     os.path.basename(path), payload))
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+            if not isinstance(payload.get("workloads"), dict):
+                raise ValueError("no workloads mapping")
+        except (OSError, ValueError) as exc:
+            skipped.append({"file": os.path.basename(path),
+                            "error": str(exc)})
+            continue
+        label = str(payload.get("label", "?"))
+        match = _PR_LABEL.match(label)
+        order = ((0, int(match.group(1)), 0.0) if match
+                 else (1, 0, float(payload.get("created_unix", 0.0))))
+        runs.append((order, os.path.basename(path), payload))
     runs.sort(key=lambda item: (item[0], item[1]))
     rows: List[Dict] = []
-    for created, fname, payload in runs:
-        for name in sorted(payload.get("workloads", {})):
+    pr_numbers: List[int] = []
+    for order, fname, payload in runs:
+        label = str(payload.get("label", "?"))
+        match = _PR_LABEL.match(label)
+        if match:
+            pr_numbers.append(int(match.group(1)))
+        for name in sorted(payload["workloads"]):
             result = payload["workloads"][name]
-            row = {"label": payload.get("label", "?"),
+            row = {"label": label,
                    "file": fname,
-                   "created_unix": created,
+                   "created_unix": float(payload.get("created_unix", 0.0)),
                    "workload": name}
             for metric in METRICS:
                 row[metric] = float(result.get(metric, 0.0))
             rows.append(row)
+    missing = []
+    if pr_numbers:
+        have = set(pr_numbers)
+        missing = [f"pr{n}" for n in range(min(have), max(have) + 1)
+                   if n not in have]
     return {"trajectory_schema_version": TRAJECTORY_SCHEMA_VERSION,
             "runs": len(runs),
-            "rows": rows}
+            "rows": rows,
+            "missing_labels": missing,
+            "skipped": skipped}
 
 
 def render_trajectory(trajectory: Dict) -> str:
@@ -253,6 +285,11 @@ def render_trajectory(trajectory: Dict) -> str:
                      f"{row['achieved_tflops']:>8.2f} "
                      f"{row['sim_cycles']:>14.0f} "
                      f"{row['wall_time_s']:>8.2f}")
+    if trajectory.get("missing_labels"):
+        lines.append("missing (PR landed without a bench file): "
+                     + ", ".join(trajectory["missing_labels"]))
+    for item in trajectory.get("skipped", ()):
+        lines.append(f"skipped {item['file']}: {item['error']}")
     return "\n".join(lines)
 
 

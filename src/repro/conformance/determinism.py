@@ -517,3 +517,144 @@ def check_fleet_determinism(seed: int) -> DeterminismResult:
             "1-replica fleet telemetry serialization diverges from "
             "the bare engine")
     return res
+
+
+def check_critical_noop(seed: int) -> DeterminismResult:
+    """Causal edge recording must be a bit-exact no-op, and paths exact.
+
+    Four invariants, extending the hooks-are-no-ops contract to PR 8's
+    :class:`~repro.obs.critical.EdgeRecorder`:
+
+    * (a) running an FC kernel with ``record_edges=True`` leaves
+      cycles, output bits, and stall attributions bit-identical to a
+      plain run — the recorder observes the event order, never steers
+      it;
+    * (b) the extracted critical path tiles the run exactly: segments
+      abut with zero gap, the path ends at ``engine.now``, and
+      ``sum(critical segments) == elapsed cycles`` (exact float
+      equality, not approximate);
+    * (c) per-request serving critical paths — plain *and* resilient
+      under a seeded fault plan — have totals bitwise equal to the
+      stored ``latencies_us`` for every request, whatever its status;
+    * (d) fleet critical paths under a seeded routing policy and a
+      correlated rack/power fault plan do too, hedged copies included.
+    """
+    import math
+    from dataclasses import replace as _replace
+
+    from repro import Accelerator
+    from repro.faults import (FaultInjector, FaultPlan, FaultProfile,
+                              generate_fleet_plan)
+    from repro.kernels.fc import run_fc
+    from repro.obs.critical import (extract_critical_path,
+                                    fleet_critical_path,
+                                    serving_critical_path)
+    from repro.serving.fleet import (ROUTING_POLICIES, FleetConfig,
+                                     RouterConfig, TabularLatencyModel,
+                                     simulate_fleet, uniform_fleet)
+    from repro.serving.resilience import (ResilienceConfig,
+                                          simulate_serving_resilient)
+    from repro.serving.simulator import BatchingConfig, simulate_serving
+    from repro.serving.traffic import trace_preset
+
+    res = DeterminismResult(seed=seed, kind="critical")
+
+    # -- (a)+(b) cycle-level FC kernel -----------------------------------
+    shape = _fc_shape_for(seed)
+
+    def fc_once(record: bool):
+        acc = Accelerator(observe=True, record_edges=record)
+        result = run_fc(acc, m=shape["m"], k=shape["k"], n=shape["n"],
+                        dtype="int8",
+                        subgrid=acc.subgrid((0, 0), shape["rows"],
+                                            shape["cols"]),
+                        k_split=shape["k_split"], seed=seed)
+        return acc, result
+
+    acc_plain, fc_plain = fc_once(record=False)
+    acc_rec, fc_rec = fc_once(record=True)
+    res.cycles = fc_plain.cycles
+    if fc_rec.cycles != fc_plain.cycles:
+        res.violations.append(
+            "edge recording changed FC cycles: "
+            f"{fc_plain.cycles} plain vs {fc_rec.cycles} recorded")
+    if not np.array_equal(fc_rec.c_t, fc_plain.c_t):
+        res.violations.append("edge recording changed FC output bits")
+    if acc_rec.obs.stalls_by_track() != acc_plain.obs.stalls_by_track():
+        res.violations.append("edge recording changed stall attributions")
+
+    try:
+        path = extract_critical_path(acc_rec.edges).verify()
+        if path.end != acc_rec.engine.now:
+            res.violations.append(
+                f"critical path ends at {path.end!r}, engine stopped at "
+                f"{acc_rec.engine.now!r}")
+        if math.fsum(s.duration for s in path.segments) != path.total:
+            res.violations.append(
+                "critical segment durations do not sum exactly to the "
+                "path total")
+    except Exception as exc:   # verify() raises CriticalPathError
+        res.violations.append(f"FC critical path invalid: {exc}")
+
+    # -- (c) serving paths, plain and faulted ----------------------------
+    rng = np.random.default_rng(seed)
+    qps = float(rng.uniform(2_000, 100_000))
+    base = float(rng.uniform(50, 300))
+    slope = float(rng.uniform(0.5, 5.0))
+    batching = BatchingConfig(max_batch=int(rng.choice([16, 64, 256])),
+                              max_wait_us=float(rng.uniform(50, 400)))
+
+    def latency_model(batch: int) -> float:
+        return base + slope * batch
+
+    def check_paths(report, label: str, extractor) -> None:
+        n = int(report.latencies_us.size)
+        for i in range(n):
+            try:
+                p = extractor(report, i)
+            except Exception as exc:
+                res.violations.append(
+                    f"{label}: request {i} path extraction failed: {exc}")
+                return
+            if p.total != float(report.latencies_us[i]):
+                res.violations.append(
+                    f"{label}: request {i} path total {p.total!r} != "
+                    f"stored latency {report.latencies_us[i]!r}")
+                return
+
+    plain = simulate_serving(latency_model, qps, batching,
+                             num_requests=300, seed=seed)
+    check_paths(plain, "serving", serving_critical_path)
+
+    fault_plan = FaultPlan.generate(
+        seed, FaultProfile(horizon_us=30_000.0),
+        kinds=("card.failure", "card.slowdown"))
+    faulted = simulate_serving_resilient(
+        latency_model, qps, batching, num_requests=300, seed=seed,
+        resilience=ResilienceConfig(deadline_us=8_000.0, max_retries=1),
+        faults=FaultInjector(fault_plan))
+    check_paths(faulted, "resilient serving", serving_critical_path)
+
+    # -- (d) fleet paths under a seeded policy + correlated faults -------
+    batches = (1, 4, 16, 64, 256)
+    model = TabularLatencyModel(
+        batches=batches,
+        latency_us=tuple(base + slope * b for b in batches))
+    policy = ROUTING_POLICIES[seed % len(ROUTING_POLICIES)]
+    trace = _replace(trace_preset("diurnal",
+                                  target_qps=float(rng.uniform(50_000,
+                                                               300_000))),
+                     duration_us=15_000.0)
+    specs = uniform_fleet(3, racks=2, power_domains=2)
+    fleet_plan = generate_fleet_plan(seed, specs, horizon_us=15_000.0)
+    config = FleetConfig(
+        replicas=specs,
+        router=RouterConfig(policy=policy, route_latency_us=15.0,
+                            seed=seed, hedge_backlog_us=100.0,
+                            hedge_delay_us=50.0),
+        resilience=ResilienceConfig(deadline_us=8_000.0, max_retries=1),
+        seed=seed)
+    fleet = simulate_fleet(model, trace, config, fault_plan=fleet_plan,
+                           jobs=1)
+    check_paths(fleet, f"fleet[{policy}]", fleet_critical_path)
+    return res

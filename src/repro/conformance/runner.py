@@ -19,6 +19,7 @@ from repro.conformance.crossval import (CrossvalBand, crossval_fc,
                                         crossval_tbe, fuzz_fc_shape,
                                         fuzz_tbe_shape)
 from repro.conformance.determinism import (check_cache_determinism,
+                                           check_critical_noop,
                                            check_fault_injection_noop,
                                            check_fleet_determinism,
                                            check_graph_determinism,
@@ -186,15 +187,18 @@ def run_determinism_case(seed: int,
     serving = check_serving_determinism(seed)
     telemetry = check_telemetry_determinism(seed)
     fleet = check_fleet_determinism(seed)
+    critical = check_critical_noop(seed)
     violations = (sim.violations + graph.violations + serving.violations
-                  + telemetry.violations + fleet.violations)
+                  + telemetry.violations + fleet.violations
+                  + critical.violations)
     status = "ok" if not violations else "violation"
     return CaseResult(seed=seed, pillar="determinism", status=status,
                       details={"sim": sim.to_dict(),
                                "graph": graph.to_dict(),
                                "serving": serving.to_dict(),
                                "telemetry": telemetry.to_dict(),
-                               "fleet": fleet.to_dict()})
+                               "fleet": fleet.to_dict(),
+                               "critical": critical.to_dict()})
 
 
 def run_crossval_case(seed: int, index: int,

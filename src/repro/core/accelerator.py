@@ -34,12 +34,19 @@ class Accelerator:
                  observe: bool = False,
                  registry=None,
                  name: str = "",
-                 simulate_boot: bool = False) -> None:
+                 simulate_boot: bool = False,
+                 record_edges: bool = False) -> None:
         from repro.core.control import BootStage, ControlSubsystem
         self.config = config
         self.name = name
         self.engine = Engine()
         self.engine.tracer.enabled = trace
+        if record_edges:
+            # Causal dependency-edge recording for critical-path
+            # extraction (repro.obs.critical); a proven no-op on the
+            # simulated results.
+            from repro.obs.critical import EdgeRecorder
+            self.engine.edges = EdgeRecorder()
         if name:
             # Keep multi-card / serving spans on distinct process rows.
             self.engine.tracer.default_pid = name
@@ -154,6 +161,11 @@ class Accelerator:
     def obs(self):
         """The engine's telemetry observer (stall attribution sink)."""
         return self.engine.obs
+
+    @property
+    def edges(self):
+        """The causal edge recorder (``record_edges=True``), or None."""
+        return self.engine.edges
 
     @property
     def metrics(self):

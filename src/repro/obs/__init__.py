@@ -21,6 +21,12 @@ Three layers, all opt-in and free when disabled:
   slowest-k plus a seeded, merge-invariant priority reservoir.
 - :mod:`repro.obs.detect` — EWMA spike/drop detection and CUSUM
   changepoints over windowed telemetry, wired to the SLO burn signal.
+- :mod:`repro.obs.critical` — causal dependency-edge recording in the
+  DES engine and exact critical-path extraction (DES runs, serving
+  requests, fleet requests with hedged copies).
+- :mod:`repro.obs.whatif` — Coz-style what-if projection: virtually
+  scale a resource on the recorded event graph and predict the
+  end-to-end delta, validated against true re-simulation.
 """
 
 from repro.obs.metrics import (
@@ -43,9 +49,17 @@ from repro.obs.profiler import (
     Profiler,
     TrackProfile,
 )
+from repro.obs.critical import (CriticalPath, CriticalPathError,
+                                EdgeRecorder, Segment, classify_label,
+                                extract_critical_path,
+                                fleet_critical_path,
+                                serving_critical_path,
+                                slowest_critical_paths)
 from repro.obs.detect import (Anomaly, AnomalyReport, EWMADetector,
                               burn_anomalies, cusum_changepoints,
                               detect_series)
+from repro.obs.whatif import (RESOURCE_SCALINGS, WhatIfProjection,
+                              project_whatif, scaled_chip_config)
 from repro.obs.exemplars import ExemplarRecord, ExemplarStore
 from repro.obs.sketch import QuantileSketch
 from repro.obs.spans import ObsSpan, SpanTracer, merge_chrome_traces
@@ -54,7 +68,20 @@ from repro.obs.timeseries import WindowedSeries, WindowStats
 __all__ = [
     "Anomaly",
     "AnomalyReport",
+    "CriticalPath",
+    "CriticalPathError",
+    "EdgeRecorder",
     "EWMADetector",
+    "RESOURCE_SCALINGS",
+    "Segment",
+    "WhatIfProjection",
+    "classify_label",
+    "extract_critical_path",
+    "fleet_critical_path",
+    "project_whatif",
+    "scaled_chip_config",
+    "serving_critical_path",
+    "slowest_critical_paths",
     "ExemplarRecord",
     "ExemplarStore",
     "ObsSpan",

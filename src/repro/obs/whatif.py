@@ -1,0 +1,201 @@
+"""Coz-style what-if projection over the recorded event graph.
+
+Given an :class:`~repro.obs.critical.EdgeRecorder` from one run, answer
+*"how much faster would this workload finish if resource X were f×
+faster?"* without re-simulating: replay the dependency DAG in execution
+order, shrink every timed delay edge charged to X by ``1/f``, and
+propagate new completion times through ``max()`` joins (a node waits
+for both its triggering parent and — for event wakeups — the waiter
+that registered for it).
+
+This is the virtual-speedup idea of Coz (Curtsinger & Berger, SOSP'15)
+applied to a simulator's exact dependency graph instead of sampled
+stack unwinds.  The projection scales whole delay edges — queue wait
+plus service time combined — which is the right first-order model for
+a rate resource: in a busy period both components contract by ``1/f``.
+Second-order effects (batching boundaries shifting, arbitration order
+flips) are *not* modelled, which is why :mod:`repro.critpath` validates
+every projection against a true re-simulation with a scaled
+:class:`~repro.config.ChipConfig` and reports the error band
+(acceptance: within 10 % of the re-simulated end-to-end delta).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.obs.critical import CriticalPathError, EdgeRecorder, classify_label
+
+__all__ = ["WhatIfProjection", "RESOURCE_SCALINGS", "project_whatif",
+           "scaled_chip_config"]
+
+
+#: resources the projector (and the config re-simulation) can scale —
+#: bucket name -> human description of what is virtually sped up
+RESOURCE_SCALINGS: Dict[str, str] = {
+    "dram": "DRAM controller transfer bandwidth",
+    "sram": "shared on-chip SRAM slice bandwidth",
+    "noc": "NoC row/column link bandwidth",
+    "local_memory": "per-PE local-memory port bandwidth",
+}
+
+
+@dataclass
+class WhatIfProjection:
+    """Predicted effect of making ``resource`` ``factor``× faster."""
+
+    resource: str
+    factor: float
+    unit: str
+    baseline: float          #: recorded root-to-completion time
+    projected: float         #: projected root-to-completion time
+    delta: float             #: baseline - projected (positive = faster)
+    speedup: float           #: baseline / projected
+    scaled_edges: int        #: delay edges charged to the resource
+    nodes: int               #: graph nodes replayed
+
+    def to_dict(self) -> Dict:
+        return {"resource": self.resource, "factor": self.factor,
+                "unit": self.unit, "baseline": self.baseline,
+                "projected": self.projected, "delta": self.delta,
+                "speedup": self.speedup,
+                "scaled_edges": self.scaled_edges, "nodes": self.nodes}
+
+    def to_text(self) -> str:
+        return (f"what-if {self.resource} x{self.factor:g}: "
+                f"{self.baseline:g} -> {self.projected:g} {self.unit} "
+                f"({self.speedup:.3f}x speedup, "
+                f"{self.scaled_edges} edges scaled)")
+
+
+def project_whatif(edges: EdgeRecorder, resource: str, factor: float,
+                   completion: Optional[int] = None,
+                   unit: str = "cycles") -> WhatIfProjection:
+    """Project the completion-time effect of scaling ``resource``.
+
+    Replays ``edges.order`` (a topological order — parents execute
+    before children) computing a new finish time per node.  Plain edges
+    keep their recorded latency shifted to the parent's new time::
+
+        new_t[n] = max(new_t[parent] + duration, new_t[registrant])
+
+    Delay edges backed by a :class:`~repro.sim.resources.Resource`
+    reservation instead replay the resource's own queue recurrence —
+    the recorded edge is queue wait plus service, but the queue wait is
+    an emergent property of *earlier* reservations, so the projector
+    recomputes it from a per-resource ``free_at`` cursor::
+
+        completion = max(new_t[parent], free[res]) + service / f?
+        free[res]  = completion
+
+    with ``service`` divided by ``factor`` only for resource instances
+    that classify to the scaled ``resource``.  With ``factor == 1``
+    this recurrence reproduces the recorded times exactly.  Root nodes
+    keep their recorded times, so external arrivals never accelerate.
+    """
+    if factor <= 0:
+        raise ValueError(f"scale factor must be positive, got {factor}")
+    if resource not in RESOURCE_SCALINGS:
+        known = ", ".join(sorted(RESOURCE_SCALINGS))
+        raise ValueError(f"unknown resource {resource!r}; one of {known}")
+    if not edges.order:
+        raise CriticalPathError("edge recorder saw no executed nodes")
+
+    times = edges.time
+    parents = edges.parent
+    resources = edges.resource
+    services = edges.service
+    wait_parents = edges.wait_parent
+    new_t: Dict[int, float] = {}
+    free: Dict[str, float] = {}
+    scale_memo: Dict[str, bool] = {}
+    scaled_edges = 0
+
+    for node in edges.order:
+        parent = parents.get(node)
+        recorded = times[node]
+        if parent is None or parent not in new_t:
+            new_t[node] = recorded       # root (or pre-recorder parent)
+            continue
+        charged = resources.get(node)
+        if charged is not None:
+            service = services.get(node, 0.0)
+            hit = scale_memo.get(charged)
+            if hit is None:
+                hit = classify_label(charged) == resource
+                scale_memo[charged] = hit
+            if hit:
+                service /= factor
+                scaled_edges += 1
+            start = new_t[parent]
+            candidate = max(start, free.get(charged, start)) + service
+            free[charged] = candidate
+        else:
+            candidate = new_t[parent] + (recorded - times[parent])
+        registrant = wait_parents.get(node)
+        if registrant is not None and registrant in new_t:
+            candidate = max(candidate, new_t[registrant])
+        new_t[node] = candidate
+
+    target = edges.order[-1] if completion is None else completion
+    if target not in times:
+        raise CriticalPathError(f"completion node {target} never executed")
+    # Root of the completion's causal chain anchors both timelines.
+    root = target
+    seen = set()
+    while True:
+        seen.add(root)
+        parent = parents.get(root)
+        if parent is None or parent not in times or parent in seen:
+            break
+        root = parent
+    baseline = times[target] - times[root]
+    projected = new_t[target] - new_t[root]
+    return WhatIfProjection(
+        resource=resource, factor=factor, unit=unit,
+        baseline=baseline, projected=projected,
+        delta=baseline - projected,
+        speedup=baseline / projected if projected else float("inf"),
+        scaled_edges=scaled_edges, nodes=len(edges.order))
+
+
+def scaled_chip_config(config, resource: str,
+                       factor: float) -> Tuple[object, float]:
+    """A :class:`~repro.config.ChipConfig` with ``resource`` scaled.
+
+    Returns ``(new_config, effective_factor)``: integer-valued config
+    fields round to the nearest realisable width, and the *effective*
+    factor (realised value / old value) is what callers should feed to
+    :func:`project_whatif` so prediction and re-simulation scale by the
+    same amount.
+    """
+    if factor <= 0:
+        raise ValueError(f"scale factor must be positive, got {factor}")
+    if resource == "dram":
+        old = config.dram.total_bandwidth_gbs
+        new = old * factor
+        return (replace(config, dram=replace(config.dram,
+                                             total_bandwidth_gbs=new)),
+                new / old)
+    if resource == "sram":
+        old = config.sram.bytes_per_cycle
+        new = max(1, int(round(old * factor)))
+        return (replace(config, sram=replace(config.sram,
+                                             bytes_per_cycle=new)),
+                new / old)
+    if resource == "noc":
+        old = config.noc.link_bytes_per_cycle
+        new = max(1, int(round(old * factor)))
+        return (replace(config, noc=replace(config.noc,
+                                            link_bytes_per_cycle=new)),
+                new / old)
+    if resource == "local_memory":
+        old = config.local_memory.bytes_per_cycle
+        new = max(1, int(round(old * factor)))
+        return (replace(config,
+                        local_memory=replace(config.local_memory,
+                                             bytes_per_cycle=new)),
+                new / old)
+    known = ", ".join(sorted(RESOURCE_SCALINGS))
+    raise ValueError(f"unknown resource {resource!r}; one of {known}")

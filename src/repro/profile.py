@@ -102,10 +102,16 @@ def resolve_workload(spec: str) -> str:
                      "or a path to an example script")
 
 
-def profile_workload(name: str) -> Tuple[BottleneckReport, Accelerator]:
-    """Run one named workload under the profiler; returns the report."""
+def profile_workload(name: str, record_edges: bool = False
+                     ) -> Tuple[BottleneckReport, Accelerator]:
+    """Run one named workload under the profiler; returns the report.
+
+    ``record_edges=True`` additionally records causal dependency edges
+    (``acc.edges``) so the caller can extract the critical path — a
+    proven no-op on the profiled results.
+    """
     runner = WORKLOADS[name]
-    acc = Accelerator(observe=True, trace=True)
+    acc = Accelerator(observe=True, trace=True, record_edges=record_edges)
     with Profiler(acc, workload=name) as prof:
         extras = runner(acc)
     return prof.report(extras=extras), acc
@@ -125,10 +131,17 @@ def main(argv: Optional[list] = None) -> int:
                         "(required for --format chrome)")
     parser.add_argument("--top", type=int, default=10,
                         help="tracks/operations shown in the text report")
+    parser.add_argument("--critical", action="store_true",
+                        help="record causal edges and attach the "
+                        "workload's critical path to the report")
     args = parser.parse_args(argv)
 
     name = resolve_workload(args.workload)
-    report, acc = profile_workload(name)
+    report, acc = profile_workload(name, record_edges=args.critical)
+    critical = None
+    if args.critical:
+        from repro.obs.critical import extract_critical_path
+        critical = extract_critical_path(acc.edges)
 
     if args.format == "chrome":
         path = args.output or f"{name}.trace.json"
@@ -137,8 +150,16 @@ def main(argv: Optional[list] = None) -> int:
               f"({len(acc.tracer.spans)} spans); open in chrome://tracing")
         return 0
 
-    text = (report.to_json() if args.format == "json"
-            else report.to_text(top_n=args.top))
+    if args.format == "json":
+        text = report.to_json()
+        if critical is not None:
+            data = json.loads(text)
+            data["critical_path"] = critical.to_dict(max_segments=64)
+            text = json.dumps(data, indent=2, sort_keys=True)
+    else:
+        text = report.to_text(top_n=args.top)
+        if critical is not None:
+            text += "\n\n" + critical.to_text(top=args.top)
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")

@@ -352,6 +352,32 @@ def build_chrome_trace(report: ServeReport,
     return merge_chrome_traces(spans.to_chrome_trace(), *sim_traces)
 
 
+def tail_critical_paths(report, k: int = 8) -> List[Dict]:
+    """Exact critical paths of the slowest-k served requests.
+
+    ``report`` is either the per-replica :class:`ServingReport` or a
+    fleet :class:`~repro.serving.fleet.FleetReport`; each row is one
+    request's verified path (segments tile the latency exactly).
+    """
+    from repro.obs.critical import slowest_critical_paths
+    return [path.to_dict(max_segments=64)
+            for path in slowest_critical_paths(report, k=k)]
+
+
+def render_critical_text(rows: List[Dict]) -> str:
+    """Text section for ``--critical``: one line per tail request."""
+    lines = ["== tail critical paths (slowest served requests) =="]
+    for row in rows:
+        attrs = row["attrs"]
+        shares = ", ".join(f"{name} {value:.0f}"
+                           for name, value in
+                           list(row["by_resource"].items())[:4])
+        lines.append(
+            f"  req{attrs['request']:>6}  {row['total']:10.1f} us  "
+            f"batch {attrs['batch']:>5}  [{shares}]")
+    return "\n".join(lines)
+
+
 FLEET_SCHEMA_VERSION = 1
 
 
@@ -664,6 +690,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--faults", action="store_true",
                         help="fleet mode: inject a seeded correlated "
                         "rack/power fault plan")
+    parser.add_argument("--critical", action="store_true",
+                        help="attach exact critical paths for the "
+                        "slowest served requests (tail exemplars)")
+    parser.add_argument("--critical-k", type=int, default=8,
+                        help="how many tail requests --critical walks")
     args = parser.parse_args(argv)
 
     if args.fleet:
@@ -684,7 +715,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"({len(trace['traceEvents'])} events); open in "
                   "ui.perfetto.dev or chrome://tracing")
             return 0
-        text = report.to_json() if args.json else report.to_text()
+        crit_rows = (tail_critical_paths(
+            fleet_reports[report.primary_policy], args.critical_k)
+            if args.critical else None)
+        if args.json:
+            data = report.to_dict()
+            if crit_rows is not None:
+                data["critical_paths"] = crit_rows
+            text = json.dumps(data, indent=2, sort_keys=True)
+        else:
+            text = report.to_text()
+            if crit_rows is not None:
+                text += "\n\n" + render_critical_text(crit_rows)
         if args.output:
             with open(args.output, "w") as fh:
                 fh.write(text + "\n")
@@ -713,7 +755,17 @@ def main(argv: Optional[List[str]] = None) -> int:
               "ui.perfetto.dev or chrome://tracing")
         return 0
 
-    text = report.to_json() if args.json else report.to_text()
+    crit_rows = (tail_critical_paths(report.serving, args.critical_k)
+                 if args.critical else None)
+    if args.json:
+        data = report.to_dict()
+        if crit_rows is not None:
+            data["critical_paths"] = crit_rows
+        text = json.dumps(data, indent=2, sort_keys=True)
+    else:
+        text = report.to_text()
+        if crit_rows is not None:
+            text += "\n\n" + render_critical_text(crit_rows)
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")

@@ -45,7 +45,8 @@ Chrome trace (request waterfall down to cycle-level unit activity).
 from repro.serving.capacity import (CapacityPlan, FleetCapacityPlan,
                                     plan_capacity, plan_fleet_capacity)
 from repro.serving.fleet import (ROUTING_POLICIES, AutoscaleConfig,
-                                 FleetConfig, FleetReport, ReplicaSpec,
+                                 FleetConfig, FleetReport,
+                                 ObservedLatencyFeed, ReplicaSpec,
                                  RouterConfig, ShardedLatencyModel,
                                  TabularLatencyModel,
                                  sharded_latency_table, simulate_fleet,
@@ -73,6 +74,7 @@ __all__ = [
     "FleetCapacityPlan",
     "FleetConfig",
     "FleetReport",
+    "ObservedLatencyFeed",
     "ROUTING_POLICIES",
     "ReplicaSpec",
     "ResilienceConfig",

@@ -64,9 +64,9 @@ from repro.serving.traffic import TrafficTrace
 __all__ = [
     "ROUTING_POLICIES", "TabularLatencyModel", "ShardedLatencyModel",
     "sharded_latency_table", "ReplicaSpec", "RouterConfig", "FleetConfig",
-    "AutoscaleConfig", "RoutingDecision", "route_requests", "FleetReport",
-    "simulate_fleet", "EpochRecord", "FleetAutoscaleReport",
-    "simulate_fleet_autoscaled", "uniform_fleet",
+    "AutoscaleConfig", "RoutingDecision", "route_requests",
+    "ObservedLatencyFeed", "FleetReport", "simulate_fleet", "EpochRecord",
+    "FleetAutoscaleReport", "simulate_fleet_autoscaled", "uniform_fleet",
 ]
 
 #: Pluggable router policies, in documentation order.
@@ -462,6 +462,61 @@ def _empty() -> np.ndarray:
 
 
 @dataclass
+class ObservedLatencyFeed:
+    """Per-replica *measured* completion feed from one fleet run.
+
+    The router's ``least_loaded`` / ``power_of_two`` / ``hedge``
+    policies steer by a static per-request service estimate
+    (:func:`_service_estimates`).  This feed is the measured
+    alternative: for every replica, a mergeable
+    :class:`~repro.obs.sketch.QuantileSketch` over the fleet-view
+    latencies of the requests it served, a
+    :class:`~repro.obs.timeseries.WindowedSeries` of the same values
+    keyed by *completion* time (the instant a real router would learn
+    them), and a per-request device-cost estimate derived from observed
+    batch execution (``execute_us / batch_size`` per served copy) — the
+    like-for-like replacement for :attr:`ReplicaSpec.service_us`.
+    """
+
+    window_us: float
+    #: replica -> sketch of fleet-view latencies it served
+    sketches: Dict[int, "object"]
+    #: replica -> windowed series of the same values at completion time
+    series: Dict[int, "object"]
+    #: replica -> measured per-request device cost (us); absent when the
+    #: replica served nothing this run
+    service_us: Dict[int, float]
+
+    def observed_service_estimates(
+            self, fallback: Sequence[float]) -> np.ndarray:
+        """Per-replica service estimate, measured where available.
+
+        ``fallback`` supplies the static estimate for replicas that
+        served nothing (a dead or fully-drained replica reports no
+        completions, so the router must keep its prior).
+        """
+        out = np.asarray(fallback, dtype=float).copy()
+        for replica, value in self.service_us.items():
+            out[replica] = value
+        return out
+
+    def to_dict(self, max_windows: int = 16) -> Dict:
+        rows = []
+        for replica in sorted(self.sketches):
+            sketch = self.sketches[replica]
+            series = self.series[replica]
+            rows.append({
+                "replica": replica,
+                "served": int(sketch.count),
+                "latency_us": {"p50": sketch.p50, "p95": sketch.p95,
+                               "p99": sketch.p99, "max": sketch.max},
+                "service_us": self.service_us.get(replica),
+                "windows": series.resampled(max_windows).to_dict(),
+            })
+        return {"window_us": self.window_us, "replicas": rows}
+
+
+@dataclass
 class FleetReport:
     """What one fleet simulation measured, per routed request.
 
@@ -596,6 +651,79 @@ class FleetReport:
             })
         return rows
 
+    # -- observed-latency completion feed --------------------------------
+    def observed_latency(self, window_us: float = 5_000.0,
+                         relative_accuracy: float = 0.01
+                         ) -> ObservedLatencyFeed:
+        """Measured per-replica latency feed (see
+        :class:`ObservedLatencyFeed`).
+
+        Ingests every *served* request into its winning replica's
+        sketch and windowed series in completion-time order — the
+        stream a live router would observe — so repeated calls (and any
+        ``jobs`` count) produce bit-identical feeds.  The per-replica
+        ``service_us`` estimate divides each served copy's batch
+        execution time by its batch size, over *all* copies the replica
+        processed (hedge duplicates included: they cost device time
+        whether or not they won).
+        """
+        from repro.obs.sketch import QuantileSketch
+        from repro.obs.timeseries import WindowedSeries
+
+        sketches: Dict[int, QuantileSketch] = {}
+        series: Dict[int, WindowedSeries] = {}
+        for spec in self.config.replicas:
+            sketches[spec.replica] = QuantileSketch(relative_accuracy)
+            series[spec.replica] = WindowedSeries(
+                window_us, track_quantiles=True,
+                relative_accuracy=relative_accuracy,
+                name=f"replica{spec.replica}.observed_latency_us")
+
+        mask = self.served_mask
+        if mask is not None and self.arrivals_us.size:
+            completion = self.arrivals_us + self.latencies_us
+            order = np.argsort(completion, kind="stable")
+            for i in order.tolist():
+                if not mask[i]:
+                    continue
+                r = int(self.replica[i])
+                value = float(self.latencies_us[i])
+                sketches[r].add(value)
+                series[r].record(float(completion[i]), value)
+
+        service: Dict[int, float] = {}
+        for spec, report in zip(self.config.replicas, self.per_replica):
+            local = report.served_mask
+            if (local is None or report.batch_index.size == 0
+                    or not report.batches):
+                continue
+            indices = report.batch_index[local].astype(np.int64)
+            if indices.size == 0:
+                continue
+            sizes = np.array([report.batches[j].size
+                              for j in indices.tolist()], dtype=float)
+            per_request = report.execute_us[local] / sizes
+            service[spec.replica] = float(np.median(per_request))
+        return ObservedLatencyFeed(window_us=window_us, sketches=sketches,
+                                   series=series, service_us=service)
+
+    def with_observed_service(self,
+                              window_us: float = 5_000.0) -> FleetConfig:
+        """This run's config with measured service estimates plugged in.
+
+        The closed loop: simulate once, then re-route the next run with
+        each :attr:`ReplicaSpec.service_us` overridden by the observed
+        per-request device cost (static estimates stay wherever a
+        replica served nothing).
+        """
+        feed = self.observed_latency(window_us=window_us)
+        estimates = feed.service_us
+        specs = tuple(
+            replace(spec, service_us=estimates.get(spec.replica,
+                                                   spec.service_us))
+            for spec in self.config.replicas)
+        return replace(self.config, replicas=specs)
+
     def to_dict(self, max_windows: int = 64) -> Dict:
         """Canonical JSON-ready dump (stable keys and ordering)."""
         span_us = (float(self.arrivals_us[-1] - self.arrivals_us[0])
@@ -626,6 +754,8 @@ class FleetReport:
             },
             "conservation": self.conservation(),
             "replicas": self.replica_rows(),
+            "observed_latency": self.observed_latency().to_dict(
+                max_windows=min(max_windows, 16)),
             "telemetry": (self.telemetry.to_dict(max_windows=max_windows)
                           if self.telemetry is not None else None),
         }

@@ -336,7 +336,8 @@ class ServingTelemetry:
 
 def emit_exemplar_spans(report: ServingReport,
                         request_ids: Iterable[int],
-                        spans) -> List[int]:
+                        spans,
+                        track_prefix: str = "exemplar.") -> List[int]:
     """Reconstruct request-waterfall span trees for chosen requests.
 
     Produces, post-hoc and per request, exactly the span structure the
@@ -347,9 +348,21 @@ def emit_exemplar_spans(report: ServingReport,
     honest: the slowest-k exemplars get the *same* waterfall a full
     trace would have drawn, verified against PR 3's tracer in the
     tests.  Returns the request ids actually emitted (sorted).
+
+    ``track_prefix`` namespaces the reconstructed rows (tracks
+    ``{prefix}request.N`` / ``{prefix}device`` under the
+    ``serving.exemplars`` process) so a merged Chrome trace keeps them
+    visually and programmatically distinct from the live tracer's
+    ``request.N`` rows — identical track ids previously interleaved
+    both span sets on one row.  Pass ``""`` to reproduce the live
+    tracer's naming exactly (the equivalence test does).
     """
     if spans is None or not spans.enabled:
         return []
+    pid = "serving.exemplars" if track_prefix else "serving.requests"
+    device_pid = "serving.exemplars" if track_prefix else "serving"
+    device_track = (f"{track_prefix}device" if track_prefix
+                    else "serving.device")
     emitted: List[int] = []
     by_batch: Dict[int, List[int]] = {}
     for r in sorted(set(int(r) for r in request_ids)):
@@ -364,25 +377,25 @@ def emit_exemplar_spans(report: ServingReport,
         flow_ids = []
         for r in by_batch[b]:
             arrival = float(report.arrivals_us[r])
-            track = f"request.{r}"
+            track = f"{track_prefix}request.{r}"
             with spans.span(track, f"req{r}", arrival, batch.finish_us,
-                            pid="serving.requests", batch=b,
+                            pid=pid, batch=b,
                             batch_size=batch.size) as req:
                 boundary = max(arrival,
                                min(batch.ready_us, batch.dispatch_us))
                 if boundary > arrival:
                     spans.add(track, "batch_wait", arrival, boundary,
-                              pid="serving.requests")
+                              pid=pid)
                 if batch.dispatch_us > boundary:
                     spans.add(track, "queue_wait", boundary,
-                              batch.dispatch_us, pid="serving.requests")
+                              batch.dispatch_us, pid=pid)
                 spans.add(track, "execute", batch.dispatch_us,
-                          batch.finish_us, pid="serving.requests")
+                          batch.finish_us, pid=pid)
             fid = spans.link(req)
             if fid is not None:
                 flow_ids.append(fid)
             emitted.append(r)
-        spans.add("serving.device", f"batch{b}", batch.dispatch_us,
-                  batch.finish_us, pid="serving", size=batch.size,
+        spans.add(device_track, f"batch{b}", batch.dispatch_us,
+                  batch.finish_us, pid=device_pid, size=batch.size,
                   flow_in=tuple(flow_ids))
     return emitted

@@ -101,12 +101,18 @@ class Event:
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        engine = self.engine
+        edges = engine.edges
         if self._triggered:
             # Already fired: run at the engine's current event pass.
-            engine = self.engine
-            engine._immediate_q.append(
-                (next(engine._counter), callback, self))
-        elif self._callbacks is None:
+            ticket = next(engine._counter)
+            if edges is not None:
+                edges.on_wakeup(ticket, self)
+            engine._immediate_q.append((ticket, callback, self))
+            return
+        if edges is not None:
+            edges.on_wait(self)
+        if self._callbacks is None:
             self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
@@ -123,8 +129,11 @@ class Process(Event):
         super().__init__(engine, name or getattr(generator, "__name__", "proc"))
         self.generator = generator
         self._send = generator.send
-        engine._immediate_q.append((next(engine._counter), self._start,
-                                    _NO_ARG))
+        ticket = next(engine._counter)
+        edges = engine.edges
+        if edges is not None:
+            edges.on_spawn(ticket, self.name)
+        engine._immediate_q.append((ticket, self._start, _NO_ARG))
 
     def _start(self) -> None:
         """Resume with no value — initial start and delay expiry."""
@@ -211,6 +220,15 @@ class Engine:
         #: event stream is bit-identical to ``None`` (conformance
         #: ``faults`` pillar).
         self.faults = None
+        #: optional :class:`~repro.obs.critical.EdgeRecorder`; every
+        #: ticket draw records its causal parent for critical-path
+        #: extraction.  Recording never schedules anything and never
+        #: draws an extra ticket, so with ``None`` (the default) the
+        #: event stream is bit-identical to a kernel without the hooks,
+        #: and with a recorder attached the simulated *results* are
+        #: unchanged (conformance ``determinism`` pillar,
+        #: ``check_critical_noop``).  Attach between runs, not mid-run.
+        self.edges = None
 
     # -- construction helpers ------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -258,19 +276,30 @@ class Engine:
     def schedule(self, at: float, callback: Callable[[], None]) -> None:
         now = self.now
         if at == now:
-            self._immediate_q.append((next(self._counter), callback,
-                                      _NO_ARG))
+            ticket = next(self._counter)
+            edges = self.edges
+            if edges is not None:
+                edges.on_schedule(ticket, callback, 0)
+            self._immediate_q.append((ticket, callback, _NO_ARG))
         elif at < now:
             raise SimulationError(
                 f"cannot schedule in the past ({at} < {now})")
         else:
+            ticket = next(self._counter)
+            edges = self.edges
+            if edges is not None:
+                edges.on_schedule(ticket, callback, at - now)
             heap = self._heap
-            heapq.heappush(heap, (at, next(self._counter), callback))
+            heapq.heappush(heap, (at, ticket, callback))
             if len(heap) > self.peak_heap_size:
                 self.peak_heap_size = len(heap)
 
     def _immediate(self, callback: Callable[[], None]) -> None:
-        self._immediate_q.append((next(self._counter), callback, _NO_ARG))
+        ticket = next(self._counter)
+        edges = self.edges
+        if edges is not None:
+            edges.on_schedule(ticket, callback, 0)
+        self._immediate_q.append((ticket, callback, _NO_ARG))
 
     def _schedule_event(self, event: Event) -> None:
         callbacks = event._callbacks
@@ -279,8 +308,17 @@ class Engine:
         event._callbacks = None
         counter = self._counter
         append = self._immediate_q.append
-        for cb in callbacks:
-            append((next(counter), cb, event))
+        edges = self.edges
+        if edges is None:
+            for cb in callbacks:
+                append((next(counter), cb, event))
+        else:
+            # Waiters wake in registration order, matching the order
+            # the recorder saw their ``on_wait`` registrations.
+            for cb in callbacks:
+                ticket = next(counter)
+                edges.on_wakeup(ticket, event)
+                append((ticket, cb, event))
 
     # -- execution -----------------------------------------------------
     def run(self, until: Optional[float] = None,
@@ -298,6 +336,7 @@ class Engine:
         popleft = imm.popleft
         processed = 0
         now = self.now
+        edges = self.edges
         wall_start = perf_counter()
         try:
             while True:
@@ -314,10 +353,12 @@ class Engine:
                             f"exceeded {max_events} events; likely livelock")
                     if (heap and heap[0][0] == now
                             and heap[0][1] < imm[0][0]):
-                        callback = heappop(heap)[2]
+                        entry = heappop(heap)
+                        ticket = entry[1]
+                        callback = entry[2]
                         arg = _NO_ARG
                     else:
-                        _, callback, arg = popleft()
+                        ticket, callback, arg = popleft()
                 elif heap:
                     entry = heap[0]
                     at = entry[0]
@@ -329,10 +370,13 @@ class Engine:
                             f"exceeded {max_events} events; likely livelock")
                     heappop(heap)
                     self.now = now = at
+                    ticket = entry[1]
                     callback = entry[2]
                     arg = _NO_ARG
                 else:
                     break
+                if edges is not None:
+                    edges.on_execute(ticket, now)
                 if arg is _NO_ARG:
                     callback()
                 else:
@@ -341,6 +385,10 @@ class Engine:
         finally:
             self.events_processed += processed
             self.run_wall_s += perf_counter() - wall_start
+            if edges is not None:
+                # Anything scheduled by host code between runs roots a
+                # fresh causal chain.
+                edges.current = None
         return self.now
 
     def run_stats(self) -> dict:

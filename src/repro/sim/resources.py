@@ -99,6 +99,13 @@ class Resource:
         self._free_at = start + duration
         self.total_units += amount
         self.busy_cycles += duration
+        edges = self.engine.edges
+        if edges is not None:
+            # The caller schedules this reservation's completion as its
+            # very next engine call, so the recorder can pair the
+            # (resource, service) split with that delay edge — the
+            # what-if projector replays the queue recurrence from it.
+            edges.on_charge(self.name, duration)
         return self._free_at - now
 
     def use(self, amount: float) -> Generator:

@@ -1,0 +1,178 @@
+"""Critical-path extraction + what-if projection on the DES."""
+
+import math
+
+import pytest
+
+from repro.config import MTIA_V1
+from repro.core.accelerator import Accelerator
+from repro.kernels.fc import run_fc
+from repro.obs.critical import (CriticalPathError, classify_label,
+                                extract_critical_path)
+from repro.obs.whatif import (RESOURCE_SCALINGS, project_whatif,
+                              scaled_chip_config)
+
+
+@pytest.fixture(scope="module")
+def fc_run():
+    """One small FC kernel with edge recording on."""
+    acc = Accelerator(record_edges=True)
+    result = run_fc(acc, m=64, k=64, n=64, dtype="int8",
+                    subgrid=acc.subgrid((0, 0), 1, 1), seed=3)
+    return acc, result
+
+
+class TestClassify:
+    @pytest.mark.parametrize("label,expect", [
+        ("dram.ctrl0.xfer", "dram"),
+        ("sram.slice3.xfer", "sram"),
+        ("noc.row1", "noc"),
+        ("rednet.inbox5.get", "rednet"),
+        ("pe00.lm.port", "local_memory"),
+        ("pe00.sem.acquire", "semaphore"),
+        ("pe00.inbox.put", "queue"),
+        ("timeout(12)", "wait"),
+        ("firmware.dispatch", "control"),
+        ("pe00.dpe", "compute"),
+        ("mystery", "other"),
+    ])
+    def test_label_buckets(self, label, expect):
+        assert classify_label(label) == expect
+
+
+class TestExtraction:
+    def test_path_verifies_and_ends_at_now(self, fc_run):
+        acc, result = fc_run
+        path = extract_critical_path(acc.edges)
+        path.verify()
+        assert path.end == acc.engine.now
+        assert path.total == float(result.cycles) - path.start
+
+    def test_segment_sum_is_exact(self, fc_run):
+        acc, _ = fc_run
+        path = extract_critical_path(acc.edges)
+        assert math.fsum(s.duration for s in path.segments) == path.total
+        assert math.fsum(path.by_resource().values()) \
+            == pytest.approx(path.total)
+
+    def test_condensed_preserves_tiling(self, fc_run):
+        acc, _ = fc_run
+        path = extract_critical_path(acc.edges)
+        condensed = path.condensed()
+        assert len(condensed) <= len(path.segments)
+        for prev, cur in zip(condensed, condensed[1:]):
+            assert cur.start >= prev.end
+        assert math.fsum(s.duration for s in condensed) == path.total
+
+    def test_compute_dominates_dense_fc(self, fc_run):
+        acc, _ = fc_run
+        shares = extract_critical_path(acc.edges).by_resource()
+        assert max(shares, key=shares.get) == "compute"
+
+    def test_to_dict_and_text(self, fc_run):
+        acc, _ = fc_run
+        path = extract_critical_path(acc.edges)
+        data = path.to_dict(max_segments=5)
+        assert data["unit"] == "cycles"
+        assert len(data["segments"]) == 5
+        assert data["num_segments"] == len(path.segments)
+        assert "critical path:" in path.to_text()
+
+    def test_recorder_stats(self, fc_run):
+        acc, _ = fc_run
+        stats = acc.edges.stats()
+        assert stats["nodes"] > 0
+        assert stats["charges"] > 0
+        assert set(stats["kinds"]) <= {"spawn", "callback", "wakeup",
+                                       "delay"}
+
+    def test_unknown_completion_rejected(self, fc_run):
+        acc, _ = fc_run
+        with pytest.raises(CriticalPathError):
+            extract_critical_path(acc.edges, completion=-12345)
+
+    def test_disabled_recording_leaves_no_recorder(self):
+        acc = Accelerator()
+        assert acc.edges is None
+
+
+class TestWhatIf:
+    def test_factor_one_is_identity(self, fc_run):
+        acc, _ = fc_run
+        for resource in RESOURCE_SCALINGS:
+            projection = project_whatif(acc.edges, resource, 1.0)
+            assert projection.projected == projection.baseline
+            assert projection.delta == 0.0
+            assert projection.speedup == 1.0
+
+    def test_speedup_is_monotone_and_bounded(self, fc_run):
+        acc, _ = fc_run
+        previous = None
+        for factor in (1.0, 1.5, 2.0, 4.0):
+            projection = project_whatif(acc.edges, "noc", factor)
+            assert 0.0 < projection.projected <= projection.baseline
+            if previous is not None:
+                assert projection.projected <= previous
+            previous = projection.projected
+        assert projection.scaled_edges > 0
+        assert projection.projected < projection.baseline
+
+    def test_slowdown_projects_slower(self, fc_run):
+        acc, _ = fc_run
+        projection = project_whatif(acc.edges, "noc", 0.5)
+        assert projection.projected > projection.baseline
+
+    def test_bad_inputs_rejected(self, fc_run):
+        acc, _ = fc_run
+        with pytest.raises(ValueError):
+            project_whatif(acc.edges, "sram", 0.0)
+        with pytest.raises(ValueError):
+            project_whatif(acc.edges, "flux_capacitor", 2.0)
+
+    def test_prediction_tracks_resimulation(self):
+        """The acceptance band on a small shape: predict noc x2, then
+        actually re-simulate with the scaled config."""
+        acc = Accelerator(record_edges=True)
+        run_fc(acc, m=64, k=64, n=64, dtype="int8",
+               subgrid=acc.subgrid((0, 0), 1, 1), seed=3)
+        config, effective = scaled_chip_config(MTIA_V1, "noc", 2.0)
+        projection = project_whatif(acc.edges, "noc", effective)
+
+        scaled = Accelerator(config=config)
+        run_fc(scaled, m=64, k=64, n=64, dtype="int8",
+               subgrid=scaled.subgrid((0, 0), 1, 1), seed=3)
+        assert scaled.cycles < acc.cycles
+        true_delta = float(acc.cycles) - float(scaled.cycles)
+        assert true_delta > 0
+        assert abs(projection.delta - true_delta) <= 0.10 * true_delta
+
+    def test_to_dict_and_text(self, fc_run):
+        acc, _ = fc_run
+        projection = project_whatif(acc.edges, "noc", 2.0)
+        data = projection.to_dict()
+        assert data["resource"] == "noc"
+        assert data["factor"] == 2.0
+        assert "what-if noc x2" in projection.to_text()
+
+
+class TestScaledConfig:
+    @pytest.mark.parametrize("resource", sorted(RESOURCE_SCALINGS))
+    def test_each_resource_scales(self, resource):
+        config, effective = scaled_chip_config(MTIA_V1, resource, 2.0)
+        assert config is not MTIA_V1
+        assert effective == pytest.approx(2.0, rel=0.35)
+
+    def test_integer_fields_report_effective_factor(self):
+        # link width is an integer: a 1.1x request realises a rounded
+        # width, and the effective factor reflects it exactly
+        config, effective = scaled_chip_config(MTIA_V1, "noc", 1.1)
+        assert config.noc.link_bytes_per_cycle == round(
+            MTIA_V1.noc.link_bytes_per_cycle * 1.1)
+        assert effective == (config.noc.link_bytes_per_cycle
+                             / MTIA_V1.noc.link_bytes_per_cycle)
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_chip_config(MTIA_V1, "nope", 2.0)
+        with pytest.raises(ValueError):
+            scaled_chip_config(MTIA_V1, "dram", -1.0)

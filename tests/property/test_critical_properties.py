@@ -1,0 +1,130 @@
+"""Edge recording and critical-path extraction — structural laws.
+
+Random process programs (the same strategy pool the engine-equivalence
+suite uses) run with an :class:`EdgeRecorder` attached.  Three laws
+must hold on every program:
+
+* recording is a perfect no-op — the observable trace, final time, and
+  event count are identical with the recorder on or off;
+* the recorded edges form a DAG consistent with execution order —
+  every parent executed strictly before its child;
+* the critical path from any completion is time-monotone, tiles its
+  interval, and its segment sum equals ``t(completion) - t(root)``
+  IEEE-exactly (``math.fsum`` over shared-boundary floats telescopes).
+"""
+
+import math
+
+from hypothesis import given, settings
+
+from repro.obs.critical import (CriticalPathError, EdgeRecorder,
+                                extract_critical_path)
+from repro.sim.engine import Engine, SimulationError
+from tests import strategies as shared
+
+
+def _execute(spec, until, record):
+    """Interpret ``spec``; return (trace, now, events, edges)."""
+    n_events, programs = spec
+    engine = Engine()
+    if record:
+        engine.edges = EdgeRecorder()
+    events = [engine.event(f"e{i}") for i in range(n_events)]
+    trace = []
+
+    def proc(pid, program, depth):
+        for step, (op, operand) in enumerate(program):
+            trace.append((engine.now, pid, step, op))
+            if op == "delay":
+                yield operand
+            elif op == "timeout":
+                yield engine.timeout(operand)
+            elif op == "trigger":
+                ev = events[operand]
+                if not ev.triggered:
+                    ev.succeed((pid, step))
+            elif op == "fail":
+                ev = events[operand]
+                if not ev.triggered:
+                    ev.fail(SimulationError(f"fail:{pid}:{step}"))
+            elif op == "wait":
+                try:
+                    value = yield events[operand]
+                except SimulationError as exc:
+                    value = f"exc:{exc}"
+                trace.append((engine.now, pid, step, "woke", value))
+            elif op == "spawn":
+                if depth < 1:
+                    child = engine.process(
+                        proc((pid, step), programs[operand], depth + 1))
+                    value = yield child
+                    trace.append((engine.now, pid, step, "joined", value))
+                else:
+                    yield 1
+        return pid
+
+    for i, program in enumerate(programs):
+        engine.process(proc(i, program, 0), name=f"p{i}")
+    engine.run(until=until)
+    return trace, engine.now, engine.events_processed, engine.edges
+
+
+@settings(max_examples=150, deadline=None)
+@given(spec=shared.engine_programs(), until=shared.engine_untils)
+def test_recording_is_bit_identical_noop(spec, until):
+    plain = _execute(spec, until, record=False)
+    recorded = _execute(spec, until, record=True)
+    assert plain[0] == recorded[0]          # step-by-step trace
+    assert plain[1] == recorded[1]          # final simulation time
+    assert plain[2] == recorded[2]          # events processed
+    assert plain[3] is None and recorded[3] is not None
+
+
+@settings(max_examples=150, deadline=None)
+@given(spec=shared.engine_programs(), until=shared.engine_untils)
+def test_edges_form_execution_ordered_dag(spec, until):
+    _, _, _, edges = _execute(spec, until, record=True)
+    position = {ticket: i for i, ticket in enumerate(edges.order)}
+    assert len(position) == len(edges.order)    # no node executes twice
+    for child, parent in edges.parent.items():
+        if parent is None or child not in position:
+            continue
+        assert parent in position, \
+            f"child {child} executed before parent {parent}"
+        assert position[parent] < position[child]
+        assert edges.time[parent] <= edges.time[child]
+    for child, registrant in edges.wait_parent.items():
+        if child in position:
+            assert position[registrant] < position[child]
+
+
+@settings(max_examples=150, deadline=None)
+@given(spec=shared.engine_programs(), until=shared.engine_untils)
+def test_critical_path_tiles_and_sums_exactly(spec, until):
+    _, now, _, edges = _execute(spec, until, record=True)
+    if not edges.order:
+        return
+    # from the final completion and from a mid-run node: both must obey
+    # the same invariants (verify() checks tiling + monotonicity).
+    for completion in (None, edges.order[len(edges.order) // 2]):
+        path = extract_critical_path(edges, completion=completion)
+        assert path.total == path.end - path.start
+        assert math.fsum(s.duration for s in path.segments) == path.total
+        times = [edges.time[n] for n in path.nodes]
+        assert times == sorted(times)
+        if completion is None:
+            # `until` can advance the clock past the last executed
+            # node; on a drained run the path ends exactly at `now`.
+            assert path.end == now if until is None else path.end <= now
+    # condensed view preserves the exact sum (dropped pieces are width-0)
+    path = extract_critical_path(edges)
+    assert math.fsum(s.duration for s in path.condensed()) == path.total
+
+
+def test_empty_recorder_rejected():
+    try:
+        extract_critical_path(EdgeRecorder())
+    except CriticalPathError:
+        pass
+    else:
+        raise AssertionError("empty recorder must raise")

@@ -133,7 +133,8 @@ class TestExemplarSpans:
         live = SpanTracer(enabled=True)
         run(spans=live, trace_requests_per_batch=10 ** 9)
         post = SpanTracer(enabled=True)
-        emitted = emit_exemplar_spans(report, slow_ids, post)
+        emitted = emit_exemplar_spans(report, slow_ids, post,
+                                      track_prefix="")
         assert emitted == sorted(slow_ids)
 
         for rid in slow_ids:
@@ -143,6 +144,31 @@ class TestExemplarSpans:
             got = sorted((s.name, s.start_us, s.end_us)
                          for s in post.spans_on(track))
             assert got == expect, f"request {rid} waterfall differs"
+
+    def test_default_prefix_keeps_exemplar_tracks_distinct(self):
+        """Reconstructed waterfalls must not collide with live
+        ``request.N`` rows in a merged trace."""
+        report = run(collect_telemetry=True)
+        slow_ids = [rid for _rep, rid
+                    in report.telemetry.exemplars.slowest_ids()]
+        post = SpanTracer(enabled=True)
+        emitted = emit_exemplar_spans(report, slow_ids, post)
+        assert emitted == sorted(slow_ids)
+        tracks = {s.track for s in post.spans}
+        assert all(t.startswith("exemplar.") for t in tracks)
+        for rid in slow_ids:
+            assert f"exemplar.request.{rid}" in tracks
+        assert {s.pid for s in post.spans} == {"serving.exemplars"}
+        # the waterfall itself is unchanged — only the namespace moved
+        bare = SpanTracer(enabled=True)
+        emit_exemplar_spans(report, slow_ids, bare, track_prefix="")
+        strip = sorted((s.track.replace("exemplar.request", "request")
+                        .replace("exemplar.device", "serving.device"),
+                        s.name, s.start_us, s.end_us)
+                       for s in post.spans)
+        plain = sorted((s.track, s.name, s.start_us, s.end_us)
+                       for s in bare.spans)
+        assert strip == plain
 
     def test_spans_sum_to_latency(self):
         report = run(collect_telemetry=True)

@@ -81,10 +81,44 @@ class TestTrajectory:
         for row in trajectory["rows"]:
             assert set(METRICS) <= set(row)
 
+    def test_pr_labels_order_by_number_not_timestamp(self, tmp_path):
+        """A stale clock must not reorder the PR sequence."""
+        self.write_bench(tmp_path, "pr10", created=50.0, cycles=80.0)
+        self.write_bench(tmp_path, "pr8", created=900.0, cycles=90.0)
+        self.write_bench(tmp_path, "nightly", created=10.0, cycles=70.0)
+        trajectory = load_trajectory(str(tmp_path))
+        assert [r["label"] for r in trajectory["rows"]] == \
+            ["pr8", "pr10", "nightly"]
+
+    def test_gaps_in_pr_sequence_reported(self, tmp_path):
+        self.write_bench(tmp_path, "pr3", created=100.0, cycles=90.0)
+        self.write_bench(tmp_path, "pr6", created=400.0, cycles=80.0)
+        trajectory = load_trajectory(str(tmp_path))
+        assert trajectory["missing_labels"] == ["pr4", "pr5"]
+        assert trajectory["runs"] == 2
+        text = render_trajectory(trajectory)
+        assert "pr4, pr5" in text
+
+    def test_corrupt_bench_file_skipped_not_fatal(self, tmp_path):
+        self.write_bench(tmp_path, "pr4", created=100.0, cycles=90.0)
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        (tmp_path / "BENCH_empty.json").write_text(
+            json.dumps({"label": "empty"}))
+        trajectory = load_trajectory(str(tmp_path))
+        assert [r["label"] for r in trajectory["rows"]] == ["pr4"]
+        skipped = {item["file"] for item in trajectory["skipped"]}
+        assert skipped == {"BENCH_bad.json", "BENCH_empty.json"}
+        assert "skipped BENCH_bad.json" in render_trajectory(trajectory)
+
     def test_repo_trajectory_includes_this_pr(self):
         trajectory = load_trajectory(".")
         labels = {r["label"] for r in trajectory["rows"]}
         assert "pr6" in labels
+        assert "pr8" in labels
+        # pr5 and pr7 landed without bench files; the trajectory must
+        # report the gap instead of silently renumbering the sequence
+        assert {"pr5", "pr7"} <= set(trajectory["missing_labels"])
+        assert trajectory["skipped"] == []
         # older BENCH files keep the historical zero-cycle dlrm rows;
         # from this PR on every workload must carry real cycles
         for row in trajectory["rows"]:
