@@ -30,7 +30,7 @@ import time
 from typing import Dict, List, Optional
 
 SCHEMA_VERSION = 1
-DEFAULT_LABEL = "pr8"   # bump per PR; the trajectory lives in git
+DEFAULT_LABEL = "pr9"   # bump per PR; the trajectory lives in git
 TRAJECTORY_SCHEMA_VERSION = 1
 
 #: headline metrics every workload reports (inapplicable ones are 0)
@@ -100,12 +100,29 @@ def _bench_tbe() -> Dict:
 
 
 def _bench_dlrm() -> Dict:
-    """LC2 quickstart through the compiled-graph analytical path."""
+    """LC2 quickstart through the compiled-graph analytical path.
+
+    Besides the analytical estimate (the headline metrics, unchanged
+    from earlier trajectory rows), the workload now also exercises the
+    two end-to-end perf layers this repo tracks:
+
+    * one representative DLRM MLP layer on the cycle-level simulator,
+      so the dlrm row carries the same DES-kernel throughput extras
+      (``events_processed`` / ``events_per_sec_wall``) as fc/tbe;
+    * a cold-then-warm graph execution through the per-op result cache
+      (``executor_cold_wall_s`` / ``executor_warm_wall_s``), the number
+      the warm-sweep speedup claim is measured by.
+    """
+    import numpy as np
+
+    from repro.core.accelerator import Accelerator
     from repro.eval.machines import MACHINES
     from repro.eval.opmodel import estimate_graph
+    from repro.kernels.fc import run_fc
     from repro.models.configs import MODEL_ZOO
     from repro.models.dlrm import build_dlrm_graph, model_flops
     from repro.runtime.executor import GraphExecutor
+    from repro.simcache import GraphOpCache
 
     batch = 64
     machine = MACHINES["mtia"]
@@ -122,14 +139,49 @@ def _bench_dlrm() -> Dict:
     # nonzero cycle count for the trajectory to be comparable.
     from repro.config import MTIA_V1
     cycles = seconds * MTIA_V1.frequency_ghz * 1e9
+    extras = {"model": "LC2", "batch": batch,
+              "ops": len(estimate.estimates),
+              "cycles_modelled": True}
+
+    # One LC2 bottom-MLP-shaped layer (batch x 128 -> 128, int8) on the
+    # cycle-level simulator: the dlrm trajectory row tracks DES kernel
+    # speed too, not just the analytical model.
+    acc = Accelerator()
+    run_fc(acc, m=batch, k=128, n=128, dtype="int8",
+           subgrid=acc.subgrid((0, 0), 1, 1))
+    extras["des_op"] = f"fc m={batch} k=128 n=128 int8"
+    extras.update(_engine_extras(acc))
+
+    # Cold vs warm full-graph execution through the per-op cache.
+    rng = np.random.default_rng(0)
+    feeds = {}
+    for node in graph:
+        if node.op == "input":
+            dt = node.meta.dtype.numpy_dtype
+            if np.issubdtype(dt, np.integer):
+                feeds[node.name] = rng.integers(
+                    0, 100, node.meta.shape).astype(dt)
+            else:
+                feeds[node.name] = rng.standard_normal(
+                    node.meta.shape).astype(dt)
+    op_cache = GraphOpCache()
+    t0 = time.perf_counter()
+    GraphExecutor(machine, mode="graph", op_cache=op_cache).run(
+        graph.copy(), feeds)
+    cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    GraphExecutor(machine, mode="graph", op_cache=op_cache).run(
+        graph.copy(), feeds)
+    warm = time.perf_counter() - t0
+    extras["executor_cold_wall_s"] = cold
+    extras["executor_warm_wall_s"] = warm
+    extras["graph_cache_warm_speedup"] = cold / warm if warm > 0 else 0.0
     return {
         "latency_us": seconds * 1e6,
         "achieved_tflops": flops / seconds / 1e12 if seconds else 0.0,
         "sim_cycles": cycles,
         "wall_time_s": wall,
-        "extras": {"model": "LC2", "batch": batch,
-                   "ops": len(estimate.estimates),
-                   "cycles_modelled": True},
+        "extras": extras,
     }
 
 
@@ -274,6 +326,26 @@ def load_trajectory(directory: str = ".",
             "skipped": skipped}
 
 
+def latest_baseline(directory: str = ".",
+                    exclude_label: Optional[str] = None) -> Optional[str]:
+    """Path of the newest prior ``BENCH_*.json`` in ``directory``.
+
+    "Newest" follows :func:`load_trajectory` ordering — ``pr<N>`` labels
+    by PR number, then everything else by ``created_unix`` — so a stale
+    clock can never select the wrong baseline.  ``exclude_label`` skips
+    the run being produced right now (comparing a fresh ``pr9`` run
+    against an existing ``BENCH_pr9.json`` would gate against itself).
+    Returns ``None`` when no eligible baseline exists.
+    """
+    trajectory = load_trajectory(directory)
+    chosen: Optional[str] = None
+    for row in trajectory["rows"]:
+        if exclude_label is not None and row["label"] == exclude_label:
+            continue
+        chosen = row["file"]
+    return os.path.join(directory, chosen) if chosen else None
+
+
 def render_trajectory(trajectory: Dict) -> str:
     """Human-readable trajectory table, newest run last."""
     lines = [f"perf trajectory: {trajectory['runs']} runs",
@@ -306,7 +378,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--output-dir", "-o", default=".",
                         help="directory for BENCH_<label>.json")
     parser.add_argument("--compare", default=None, metavar="BASELINE",
-                        help="baseline BENCH_*.json to diff against")
+                        help="baseline BENCH_*.json to diff against, or "
+                        "'latest' to gate against the newest prior run "
+                        "in the output dir (PR-numeric trajectory order)")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="soft regression threshold (default 10%%)")
     parser.add_argument("--wall-threshold", type=float, default=None,
@@ -364,12 +438,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"wrote {path}")
 
     if args.compare:
-        with open(args.compare) as fh:
+        baseline_path = args.compare
+        if baseline_path == "latest":
+            baseline_path = latest_baseline(args.output_dir,
+                                            exclude_label=args.label)
+            if baseline_path is None:
+                print("no prior BENCH_*.json to compare against")
+                return 0
+            print(f"comparing against latest prior run: {baseline_path}")
+        with open(baseline_path) as fh:
             baseline = json.load(fh)
         regressions = compare(payload, baseline, args.threshold,
                               wall_threshold=args.wall_threshold)
         if regressions:
-            print(f"perf regressions vs {args.compare} "
+            print(f"perf regressions vs {baseline_path} "
                   f"(soft threshold {100 * args.threshold:.0f}%):")
             for line in regressions:
                 print(f"  {line}")
@@ -378,7 +460,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.strict and hard:
                 return 1
         else:
-            print(f"no regressions vs {args.compare} beyond "
+            print(f"no regressions vs {baseline_path} beyond "
                   f"{100 * args.threshold:.0f}%")
     return 0
 

@@ -146,6 +146,97 @@ def check_cache_determinism(seed: int) -> DeterminismResult:
     return res
 
 
+def check_graph_cache_determinism(seed: int,
+                                  fuzz_config=None) -> DeterminismResult:
+    """Per-op graph cache: fresh / cold / warm / partial-warm, bitwise.
+
+    Four executions of one fuzzed DLRM graph through the
+    :class:`~repro.runtime.executor.GraphExecutor`:
+
+    * **fresh** — no cache at all (the reference);
+    * **cold** — empty :class:`~repro.simcache.GraphOpCache` (every op
+      misses, is computed, and is recorded);
+    * **warm** — same cache again (every compute op must hit);
+    * **partial-warm** — one weight perturbed: exactly the downstream
+      cone recomputes, everything else replays, and the outputs must be
+      bit-identical to a fresh run with the same perturbed weight.
+
+    Outputs and modelled seconds must match the reference bit-for-bit
+    in every mode — the cache may only ever change wall time.
+    """
+    from repro.conformance.fuzzer import fuzz_graph
+    from repro.runtime.executor import GraphExecutor
+    from repro.simcache import GraphOpCache
+
+    case = fuzz_graph(seed, fuzz_config)
+    res = DeterminismResult(seed=seed, kind="graph-cache")
+
+    def once(weights, cache=False):
+        # ``False`` forces caching off for reference runs even if
+        # REPRO_GRAPH_CACHE is set in the environment.
+        executor = GraphExecutor(mode="graph", op_cache=cache)
+        return executor.run(case.graph.copy(), case.feeds, weights)
+
+    def compare(label, got, want):
+        out_g, rep_g = got
+        out_w, rep_w = want
+        if rep_g.seconds != rep_w.seconds:
+            res.violations.append(
+                f"{label}: modelled seconds differ "
+                f"({rep_g.seconds} vs {rep_w.seconds})")
+        for name in out_w:
+            if not np.array_equal(out_g[name], out_w[name]):
+                res.violations.append(
+                    f"{label}: output {name!r} differs bit-for-bit")
+
+    fresh = once(case.weights)
+    res.cycles = fresh[1].seconds
+    cache = GraphOpCache()
+    cold = once(case.weights, cache=cache)
+    compare("cold (all misses)", cold, fresh)
+    if cache.hits != 0 or cache.misses == 0:
+        res.violations.append(
+            f"cold run expected only misses, got {cache.stats()}")
+    misses_cold = cache.misses
+
+    warm = once(case.weights, cache=cache)
+    compare("warm (all hits)", warm, fresh)
+    if cache.misses != misses_cold:
+        res.violations.append(
+            f"warm run missed {cache.misses - misses_cold} ops; "
+            "expected every compute op to hit")
+
+    # Perturb one weight: downstream cone recomputes, the rest replays.
+    # Pick the *last* weight in node order — its downstream cone is the
+    # smallest, so the spared-operator assertion below has teeth even on
+    # mostly-sequential DLRM chains.
+    bound = [n.name for n in case.graph
+             if n.op == "weight" and n.name in case.weights]
+    if bound:
+        name = bound[-1]
+        edited = dict(case.weights)
+        edited[name] = edited[name] + np.ones_like(edited[name])
+        fresh_edited = once(edited)
+        hits_before = cache.hits
+        misses_before = cache.misses
+        partial = once(edited, cache=cache)
+        compare("partial-warm (one weight edited)", partial, fresh_edited)
+        new_misses = cache.misses - misses_before
+        new_hits = cache.hits - hits_before
+        if new_misses == 0:
+            res.violations.append(
+                "editing a weight caused no recomputation — stale hit")
+        if new_misses >= misses_cold:
+            res.violations.append(
+                f"editing one weight invalidated every op "
+                f"({new_misses}/{misses_cold} recomputed); chained "
+                "fingerprints should spare the off-cone operators")
+        if new_hits == 0:
+            res.violations.append(
+                "partial-warm run replayed nothing from cache")
+    return res
+
+
 def check_graph_determinism(seed: int,
                             fuzz_config=None) -> DeterminismResult:
     """Replay one fuzzed graph through the GraphExecutor twice.
@@ -516,6 +607,95 @@ def check_fleet_determinism(seed: int) -> DeterminismResult:
         res.violations.append(
             "1-replica fleet telemetry serialization diverges from "
             "the bare engine")
+    return res
+
+
+def check_fast_forward(seed: int) -> DeterminismResult:
+    """Steady-state fast-forward must be invisible, engaged or refused.
+
+    Two halves of the PR-9 contract:
+
+    * a seeded *stationary* pipeline (constant-delay process ensemble
+      with stall attribution) run with a
+      :class:`~repro.sim.fastforward.FastForward` detector attached
+      must finish with identical final time, event count, and per-cause
+      stall cycles to the undetected run — *and* the detector must
+      actually have skipped periods (a silently-inert detector would
+      pass the identity check while delivering nothing);
+    * a real FC kernel (generator locals carry loop indices, so the
+      signature honestly never repeats) must refuse to engage and stay
+      bit-identical in cycles, outputs, and stall attributions.
+    """
+    from repro import Accelerator
+    from repro.kernels.fc import run_fc
+    from repro.sim.engine import Engine
+    from repro.sim.fastforward import FastForward
+
+    res = DeterminismResult(seed=seed, kind="fastforward")
+    rng = np.random.default_rng(seed)
+    periods = [int(p) for p in rng.integers(2, 12, size=3)]
+    horizon = 100_000
+
+    def pipeline(fast: bool):
+        engine = Engine()
+        engine.obs.enabled = True
+        if fast:
+            engine.fast_forward = FastForward()
+
+        def beat(track: str, period: int):
+            while True:
+                yield period
+                engine.obs.stall(track, "cb_element_wait",
+                                 engine.now - 1, engine.now)
+        for i, p in enumerate(periods):
+            engine.process(beat(f"pe{i}.dpe", p), name=f"b{i}")
+        engine.run(until=horizon)
+        stalls = sorted((key, c.value) for key, c in
+                        engine.obs.registry.counter("stall_cycles")
+                        .samples())
+        return (engine.now, engine.events_processed, stalls), \
+            engine.fast_forward
+
+    plain, _ = pipeline(fast=False)
+    fast, detector = pipeline(fast=True)
+    res.cycles = plain[0]
+    if fast != plain:
+        res.violations.append(
+            f"fast-forward changed the stationary pipeline outcome: "
+            f"{plain} plain vs {fast} fast-forwarded")
+    if detector.periods_skipped == 0:
+        res.violations.append(
+            "fast-forward never engaged on a stationary pipeline "
+            f"(periods={periods}, stats={detector.stats()})")
+
+    # -- honest refusal on a real kernel ---------------------------------
+    shape = _fc_shape_for(seed)
+
+    def fc_once(fast: bool):
+        acc = Accelerator(observe=True)
+        if fast:
+            acc.engine.fast_forward = FastForward()
+        result = run_fc(acc, m=shape["m"], k=shape["k"], n=shape["n"],
+                        dtype="int8",
+                        subgrid=acc.subgrid((0, 0), shape["rows"],
+                                            shape["cols"]),
+                        k_split=shape["k_split"], seed=seed)
+        return result, acc
+
+    fc_plain, acc_plain = fc_once(fast=False)
+    fc_fast, acc_fast = fc_once(fast=True)
+    if fc_fast.cycles != fc_plain.cycles:
+        res.violations.append(
+            "fast-forward changed FC cycles: "
+            f"{fc_plain.cycles} plain vs {fc_fast.cycles}")
+    if not np.array_equal(fc_fast.c_t, fc_plain.c_t):
+        res.violations.append("fast-forward changed FC output bits")
+    if acc_fast.obs.stalls_by_track() != acc_plain.obs.stalls_by_track():
+        res.violations.append("fast-forward changed FC stall attributions")
+    if acc_fast.engine.fast_forward.periods_skipped != 0:
+        res.violations.append(
+            "fast-forward claims to have skipped periods inside an FC "
+            "kernel — the signature should never repeat there")
     return res
 
 

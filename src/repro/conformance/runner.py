@@ -20,8 +20,10 @@ from repro.conformance.crossval import (CrossvalBand, crossval_fc,
                                         fuzz_tbe_shape)
 from repro.conformance.determinism import (check_cache_determinism,
                                            check_critical_noop,
+                                           check_fast_forward,
                                            check_fault_injection_noop,
                                            check_fleet_determinism,
+                                           check_graph_cache_determinism,
                                            check_graph_determinism,
                                            check_serving_determinism,
                                            check_sim_determinism,
@@ -188,9 +190,10 @@ def run_determinism_case(seed: int,
     telemetry = check_telemetry_determinism(seed)
     fleet = check_fleet_determinism(seed)
     critical = check_critical_noop(seed)
+    fastforward = check_fast_forward(seed)
     violations = (sim.violations + graph.violations + serving.violations
                   + telemetry.violations + fleet.violations
-                  + critical.violations)
+                  + critical.violations + fastforward.violations)
     status = "ok" if not violations else "violation"
     return CaseResult(seed=seed, pillar="determinism", status=status,
                       details={"sim": sim.to_dict(),
@@ -198,7 +201,8 @@ def run_determinism_case(seed: int,
                                "serving": serving.to_dict(),
                                "telemetry": telemetry.to_dict(),
                                "fleet": fleet.to_dict(),
-                               "critical": critical.to_dict()})
+                               "critical": critical.to_dict(),
+                               "fastforward": fastforward.to_dict()})
 
 
 def run_crossval_case(seed: int, index: int,
@@ -215,11 +219,18 @@ def run_crossval_case(seed: int, index: int,
 
 
 def run_cache_case(seed: int, config: ConformanceConfig) -> CaseResult:
-    """Prove sim-cache hits are bit-identical to fresh simulation."""
+    """Prove cache hits are bit-identical to fresh computation.
+
+    Two sub-checks: the whole-run sim cache (kernel granularity) and
+    the per-op graph cache (fresh / cold / warm / partial-warm).
+    """
     result = check_cache_determinism(seed)
-    status = "ok" if result.ok else "violation"
+    graph = check_graph_cache_determinism(seed,
+                                          FuzzConfig(ops=config.ops))
+    status = "ok" if result.ok and graph.ok else "violation"
     return CaseResult(seed=seed, pillar="cache", status=status,
-                      details={"cache": result.to_dict()})
+                      details={"cache": result.to_dict(),
+                               "graph_cache": graph.to_dict()})
 
 
 def run_faults_case(seed: int, config: ConformanceConfig) -> CaseResult:

@@ -53,7 +53,7 @@ class GraphExecutor:
     """Runs IR graphs functionally and reports modelled timing."""
 
     def __init__(self, machine=None, mode: str = "graph",
-                 registry=None, spans=None) -> None:
+                 registry=None, spans=None, op_cache=None) -> None:
         from repro.eval.machines import MTIA_MACHINE  # late import (cycle)
         if mode not in ("eager", "graph"):
             raise ValueError(f"unknown execution mode {mode!r}")
@@ -66,6 +66,12 @@ class GraphExecutor:
         #: graph_execute span with per-op children, attached under
         #: whatever span is currently open (a serving batch span, say)
         self.spans = spans
+        #: optional :class:`~repro.simcache.graph.GraphOpCache`; when
+        #: set (explicitly or via ``REPRO_GRAPH_CACHE``), per-operator
+        #: outputs are memoised under chained content fingerprints so a
+        #: one-weight edit recomputes only its downstream cone.  Hits
+        #: are bit-identical to recomputation (conformance cache pillar).
+        self.op_cache = op_cache
 
     def compile(self, graph):
         """Run the compiler pipeline in graph mode; returns placement."""
@@ -89,31 +95,69 @@ class GraphExecutor:
         """
         from repro.compiler.ops import execute_node
         from repro.eval.opmodel import estimate_graph
+        from repro.simcache.graph import (leaf_fingerprint,
+                                          node_fingerprint,
+                                          resolve_graph_cache,
+                                          zero_leaf_fingerprint)
         placement = self.compile(graph)
         weights = weights or {}
+        cache = resolve_graph_cache(self.op_cache)
 
         values: Dict[str, np.ndarray] = {}
+        fps: Dict[str, str] = {}
+        synthesized: Dict[str, "object"] = {}
+
+        def materialize(name: str) -> np.ndarray:
+            value = values.get(name)
+            if value is None and name in synthesized:
+                meta = synthesized[name]
+                value = np.zeros(meta.shape, meta.dtype.numpy_dtype)
+                values[name] = value
+            return value
+
         for node in graph:
             if node.op == "input":
                 if node.name not in feeds:
                     raise KeyError(f"missing feed for input {node.name!r}")
                 values[node.name] = np.asarray(feeds[node.name])
+                if cache is not None:
+                    fps[node.name] = leaf_fingerprint(values[node.name])
             elif node.op == "weight":
                 if node.name in weights:
                     values[node.name] = np.asarray(weights[node.name])
                 elif node.attrs.get("data") is not None:
                     values[node.name] = np.asarray(node.attrs["data"])
                 else:
-                    values[node.name] = np.zeros(
-                        node.meta.shape, node.meta.dtype.numpy_dtype)
+                    # Deferred: only built if a consumer actually misses
+                    # the cache, so warm runs never allocate (or hash)
+                    # the multi-GB zero tables of perf-only models.
+                    synthesized[node.name] = node.meta
+                    if cache is None:
+                        materialize(node.name)
+                if cache is not None:
+                    fps[node.name] = (
+                        zero_leaf_fingerprint(tuple(node.meta.shape),
+                                              str(node.meta.dtype))
+                        if node.name in synthesized
+                        else leaf_fingerprint(values[node.name]))
             else:
-                inputs = [values[i] for i in node.inputs]
+                if cache is not None:
+                    fp = node_fingerprint(node, [fps[i]
+                                                 for i in node.inputs])
+                    fps[node.name] = fp
+                    hit = cache.lookup(fp)
+                    if hit is not None:
+                        values[node.name] = hit
+                        continue
+                inputs = [materialize(i) for i in node.inputs]
                 out = execute_node(node, inputs)
                 epilogue = node.attrs.get("epilogue")
                 if epilogue:
                     out = _EPILOGUES[epilogue](
                         out.astype(np.float32)).astype(np.float32)
                 values[node.name] = out
+                if cache is not None:
+                    cache.store(fp, out)
 
         estimate = estimate_graph(self.machine, graph,
                                   placement if self.mode == "graph" else None)
@@ -124,7 +168,7 @@ class GraphExecutor:
             placement=placement)
         self._record_metrics(estimate)
         self._record_spans(estimate)
-        outputs = {name: values[name] for name in graph.outputs}
+        outputs = {name: materialize(name) for name in graph.outputs}
         return outputs, report
 
     def _record_metrics(self, estimate) -> None:

@@ -65,6 +65,7 @@ __all__ = [
     "ROUTING_POLICIES", "TabularLatencyModel", "ShardedLatencyModel",
     "sharded_latency_table", "ReplicaSpec", "RouterConfig", "FleetConfig",
     "AutoscaleConfig", "RoutingDecision", "route_requests",
+    "route_requests_vectorised",
     "ObservedLatencyFeed", "FleetReport", "simulate_fleet", "EpochRecord",
     "FleetAutoscaleReport", "simulate_fleet_autoscaled", "uniform_fleet",
 ]
@@ -382,6 +383,18 @@ def _service_estimates(specs: Sequence[ReplicaSpec],
     return out
 
 
+def _draw_probes(router: RouterConfig, n: int,
+                 num: int) -> Optional[np.ndarray]:
+    """Pre-drawn (n, 2) distinct sample pairs for power-of-two/hedge."""
+    if router.policy not in ("power_of_two", "hedge"):
+        return None
+    rng = np.random.default_rng(router.seed)
+    probes = rng.integers(0, num, size=(n, 2))
+    same = probes[:, 0] == probes[:, 1]
+    probes[same, 1] = (probes[same, 0] + 1) % num
+    return probes
+
+
 def route_requests(arrivals: np.ndarray, router: RouterConfig,
                    specs: Sequence[ReplicaSpec],
                    service_us: np.ndarray,
@@ -396,58 +409,207 @@ def route_requests(arrivals: np.ndarray, router: RouterConfig,
     randomness (power-of-two probe pairs) is pre-drawn from
     ``router.seed``, so the assignment vector is a pure function of
     ``(arrivals, router, specs, service_us)``.
+
+    Backlog is *charge-time anchored*: each replica keeps its backlog
+    as of the last time it was charged, and an arrival at ``t``
+    observes ``max(backlog - (t - charged_at) * drain, 0)`` in one
+    expression.  That makes the observation a pure function of the
+    replica's last charge — the property
+    :func:`route_requests_vectorised` exploits — instead of a running
+    per-arrival decay chain whose float rounding depends on every
+    intervening arrival.
+
+    This is the *reference* implementation: a plain per-arrival loop
+    kept deliberately simple so the fast router can be differential-
+    tested against it (``tests/serving/test_fleet_vectorised.py``
+    asserts bit-identical decisions on every policy).
     """
     n = int(arrivals.size)
     num = len(specs)
     assigned = np.zeros(n, dtype=np.int64)
     hedged = np.full(n, -1, dtype=np.int64)
     backlog = np.zeros(num)
+    charged_at = np.full(num, float(arrivals[0]) if n else 0.0)
     drain = np.array([float(s.num_cards) for s in specs])
     policy = router.policy
 
-    probes: Optional[np.ndarray] = None
-    if policy in ("power_of_two", "hedge"):
-        rng = np.random.default_rng(router.seed)
-        probes = rng.integers(0, num, size=(n, 2))
-        same = probes[:, 0] == probes[:, 1]
-        probes[same, 1] = (probes[same, 0] + 1) % num
+    probes = _draw_probes(router, n, num)
     probe_backlogs = (np.zeros((n, 2)) if record_probes and probes is not None
                       else None)
     chosen_backlog = np.zeros(n) if record_probes else None
 
-    last_t = float(arrivals[0]) if n else 0.0
+    def observe(r: int, t: float) -> float:
+        value = backlog[r] - (t - charged_at[r]) * drain[r]
+        return value if value > 0.0 else 0.0
+
     rr = 0
     for i in range(n):
         t = float(arrivals[i])
-        dt = t - last_t
-        if dt > 0.0:
-            np.maximum(backlog - dt * drain, 0.0, out=backlog)
-            last_t = t
         if policy == "round_robin":
             r = rr
             rr = rr + 1 if rr + 1 < num else 0
+            obs_r = observe(r, t)
         elif policy == "least_loaded":
-            r = int(np.argmin(backlog))      # ties -> lowest index
+            obs = np.maximum(backlog - (t - charged_at) * drain, 0.0)
+            r = int(np.argmin(obs))          # ties -> lowest index
+            obs_r = float(obs[r])
         else:
             a, b = int(probes[i, 0]), int(probes[i, 1])
+            obs_a = observe(a, t)
+            obs_b = observe(b, t)
             if probe_backlogs is not None:
-                probe_backlogs[i, 0] = backlog[a]
-                probe_backlogs[i, 1] = backlog[b]
-            if backlog[a] < backlog[b] or (backlog[a] == backlog[b]
-                                           and a <= b):
-                r = a
+                probe_backlogs[i, 0] = obs_a
+                probe_backlogs[i, 1] = obs_b
+            if obs_a < obs_b or (obs_a == obs_b and a <= b):
+                r, obs_r = a, obs_a
             else:
-                r = b
+                r, obs_r = b, obs_b
             if (policy == "hedge" and num > 1
-                    and backlog[r] > router.hedge_backlog_us):
+                    and obs_r > router.hedge_backlog_us):
                 other = b if r == a else a
                 if other != r:
                     hedged[i] = other
-                    backlog[other] += service_us[other]
+                    obs_other = obs_b if other == b else obs_a
+                    backlog[other] = obs_other + service_us[other]
+                    charged_at[other] = t
         if chosen_backlog is not None:
-            chosen_backlog[i] = backlog[r]
+            chosen_backlog[i] = obs_r
         assigned[i] = r
-        backlog[r] += service_us[r]
+        backlog[r] = obs_r + service_us[r]
+        charged_at[r] = t
+    return RoutingDecision(assigned=assigned, hedged=hedged, probes=probes,
+                           probe_backlogs=probe_backlogs,
+                           chosen_backlog=chosen_backlog)
+
+
+def route_requests_vectorised(arrivals: np.ndarray, router: RouterConfig,
+                              specs: Sequence[ReplicaSpec],
+                              service_us: np.ndarray,
+                              record_probes: bool = False
+                              ) -> RoutingDecision:
+    """:func:`route_requests`, restructured for throughput.
+
+    Bit-identical to the reference router — same anchored-backlog
+    arithmetic, same tie-breaks, same pre-drawn probes — but shaped per
+    policy instead of one generic loop:
+
+    * ``round_robin`` ignores backlog entirely, so the assignment
+      vector is one numpy expression (``arange(n) % num``); the
+      anchored backlog is only replayed (per replica, not per arrival)
+      when ``record_probes`` asks for it;
+    * ``power_of_two`` / ``hedge`` observe exactly two replicas per
+      arrival, so each decision is O(1) python-float work against the
+      anchored ``(backlog, charged_at)`` state — no per-arrival
+      full-fleet numpy decay;
+    * ``least_loaded`` must scan every replica per arrival (argmin is
+      inherently sequential against its own charges), but on the
+      anchored state with python floats, which beats the former
+      whole-array ``np.maximum`` chain for fleet-sized replica counts.
+
+    The differential test runs every policy (with hedging and fault
+    plans downstream) through both routers and asserts the decisions —
+    and the final fleet JSON — are byte-identical.
+    """
+    n = int(arrivals.size)
+    num = len(specs)
+    policy = router.policy
+    hedged = np.full(n, -1, dtype=np.int64)
+    probes = _draw_probes(router, n, num)
+    probe_backlogs = (np.zeros((n, 2)) if record_probes and probes is not None
+                      else None)
+    chosen_backlog = np.zeros(n) if record_probes else None
+
+    times = np.asarray(arrivals, dtype=float)
+    t0 = float(times[0]) if n else 0.0
+    drain = [float(s.num_cards) for s in specs]
+    service = [float(v) for v in service_us]
+
+    if policy == "round_robin":
+        assigned = np.arange(n, dtype=np.int64) % num
+        if chosen_backlog is not None:
+            # Backlog never steers round-robin; replay it per replica
+            # (each replica's state only changes at its own arrivals).
+            for r in range(num):
+                ts = times[r::num].tolist()
+                b, last, d, s = 0.0, t0, drain[r], service[r]
+                for j, t in enumerate(ts):
+                    obs = b - (t - last) * d
+                    if obs < 0.0:
+                        obs = 0.0
+                    chosen_backlog[r + j * num] = obs
+                    b = obs + s
+                    last = t
+        return RoutingDecision(assigned=assigned, hedged=hedged,
+                               probes=probes,
+                               probe_backlogs=probe_backlogs,
+                               chosen_backlog=chosen_backlog)
+
+    assigned = np.zeros(n, dtype=np.int64)
+    assigned_l = [0] * n
+    hedged_l = None
+    backlog = [0.0] * num
+    charged_at = [t0] * num
+    ts = times.tolist()
+
+    if policy == "least_loaded":
+        for i, t in enumerate(ts):
+            r, obs_r = 0, 0.0
+            first = True
+            for k in range(num):
+                obs = backlog[k] - (t - charged_at[k]) * drain[k]
+                if obs < 0.0:
+                    obs = 0.0
+                if first or obs < obs_r:    # strict: ties keep lowest
+                    r, obs_r, first = k, obs, False
+            if chosen_backlog is not None:
+                chosen_backlog[i] = obs_r
+            assigned_l[i] = r
+            backlog[r] = obs_r + service[r]
+            charged_at[r] = t
+        assigned[:] = assigned_l
+        return RoutingDecision(assigned=assigned, hedged=hedged,
+                               probes=probes,
+                               probe_backlogs=probe_backlogs,
+                               chosen_backlog=chosen_backlog)
+
+    # power_of_two / hedge: O(1) per arrival against the two probes
+    pa = probes[:, 0].tolist()
+    pb = probes[:, 1].tolist()
+    do_hedge = policy == "hedge" and num > 1
+    hedge_backlog = router.hedge_backlog_us
+    if do_hedge:
+        hedged_l = [-1] * n
+    for i, t in enumerate(ts):
+        a = pa[i]
+        b = pb[i]
+        obs_a = backlog[a] - (t - charged_at[a]) * drain[a]
+        if obs_a < 0.0:
+            obs_a = 0.0
+        obs_b = backlog[b] - (t - charged_at[b]) * drain[b]
+        if obs_b < 0.0:
+            obs_b = 0.0
+        if probe_backlogs is not None:
+            probe_backlogs[i, 0] = obs_a
+            probe_backlogs[i, 1] = obs_b
+        if obs_a < obs_b or (obs_a == obs_b and a <= b):
+            r, obs_r = a, obs_a
+        else:
+            r, obs_r = b, obs_b
+        if do_hedge and obs_r > hedge_backlog:
+            other = b if r == a else a
+            if other != r:
+                hedged_l[i] = other
+                obs_other = obs_b if other == b else obs_a
+                backlog[other] = obs_other + service[other]
+                charged_at[other] = t
+        if chosen_backlog is not None:
+            chosen_backlog[i] = obs_r
+        assigned_l[i] = r
+        backlog[r] = obs_r + service[r]
+        charged_at[r] = t
+    assigned[:] = assigned_l
+    if hedged_l is not None:
+        hedged[:] = hedged_l
     return RoutingDecision(assigned=assigned, hedged=hedged, probes=probes,
                            probe_backlogs=probe_backlogs,
                            chosen_backlog=chosen_backlog)
@@ -835,7 +997,8 @@ def simulate_fleet(latency_model, traffic, config: FleetConfig,
 
     router = config.router
     service_us = _service_estimates(specs, models, config.batching)
-    decision = route_requests(arrivals, router, specs, service_us)
+    decision = route_requests_vectorised(arrivals, router, specs,
+                                         service_us)
 
     # -- per-replica arrival vectors + local-position maps ----------------
     route_us = router.route_latency_us

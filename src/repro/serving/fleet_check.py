@@ -1,0 +1,118 @@
+"""``python -m repro.serving.fleet_check`` — router equivalence gate.
+
+The fleet simulator routes every trace through
+:func:`~repro.serving.fleet.route_requests_vectorised`; the scalar
+:func:`~repro.serving.fleet.route_requests` loop is kept as the
+executable specification.  This check runs one traffic trace through
+the *whole* fleet pipeline twice — once per router — across every
+routing policy and a set of job counts, and asserts the final
+:class:`~repro.serving.fleet.FleetReport` JSON is byte-identical.
+
+CI runs it over a multi-second diurnal trace::
+
+    python -m repro.serving.fleet_check --duration-us 2000000 \
+        --target-qps 60000 --jobs 1,2,4
+
+Exit status is non-zero on the first mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.serving import fleet as _fleet
+from repro.serving.fleet import (ROUTING_POLICIES, FleetConfig,
+                                 RouterConfig, TabularLatencyModel,
+                                 route_requests, simulate_fleet,
+                                 uniform_fleet)
+from repro.serving.traffic import trace_preset
+
+#: The quickstart-shaped latency model the serving reports use.
+DEFAULT_MODEL = TabularLatencyModel(batches=(1, 4, 16, 64, 256),
+                                    latency_us=(60, 72, 110, 260, 860))
+
+
+def check_policy(policy: str, trace, jobs_list: List[int],
+                 replicas: int = 6, seed: int = 5) -> dict:
+    """Byte-compare the reference and vectorised routers on ``trace``.
+
+    Returns ``{"policy", "requests", "ref_wall_s", "fast_wall_s"}``;
+    raises ``AssertionError`` on any byte difference.
+    """
+    config = FleetConfig(
+        replicas=uniform_fleet(replicas),
+        router=RouterConfig(policy=policy, seed=seed,
+                            hedge_backlog_us=400.0))
+    t0 = time.perf_counter()
+    saved = _fleet.route_requests_vectorised
+    try:
+        _fleet.route_requests_vectorised = route_requests
+        ref = simulate_fleet(DEFAULT_MODEL, trace, config, jobs=1)
+    finally:
+        _fleet.route_requests_vectorised = saved
+    ref_wall = time.perf_counter() - t0
+    ref_bytes = json.dumps(ref.to_dict(), sort_keys=True)
+
+    fast_wall = 0.0
+    for jobs in jobs_list:
+        t0 = time.perf_counter()
+        fast = simulate_fleet(DEFAULT_MODEL, trace, config, jobs=jobs)
+        fast_wall = time.perf_counter() - t0
+        fast_bytes = json.dumps(fast.to_dict(), sort_keys=True)
+        assert fast_bytes == ref_bytes, (
+            f"{policy} report differs from the scalar reference at "
+            f"--jobs {jobs}")
+    return {"policy": policy, "requests": int(ref.arrivals_us.size),
+            "ref_wall_s": ref_wall, "fast_wall_s": fast_wall}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving.fleet_check",
+        description="Scalar-vs-vectorised fleet router byte-identity.")
+    parser.add_argument("--trace-name", default="diurnal",
+                        help="traffic preset (default %(default)s)")
+    parser.add_argument("--duration-us", type=float, default=2_000_000.0,
+                        help="trace horizon in us (default 2 s)")
+    parser.add_argument("--target-qps", type=float, default=60_000.0,
+                        help="trace target load (default %(default)s)")
+    parser.add_argument("--replicas", type=int, default=6)
+    parser.add_argument("--jobs", default="1,2",
+                        help="comma-separated job counts for the "
+                        "vectorised runs (default %(default)s)")
+    parser.add_argument("--policies", default=",".join(ROUTING_POLICIES),
+                        help="comma-separated routing policies "
+                        "(default: all)")
+    args = parser.parse_args(argv)
+
+    jobs_list = [int(j) for j in args.jobs.split(",") if j]
+    policies = [p for p in args.policies.split(",") if p]
+    trace = replace(trace_preset(args.trace_name,
+                                 target_qps=args.target_qps),
+                    duration_us=args.duration_us)
+    for policy in policies:
+        try:
+            row = check_policy(policy, trace, jobs_list,
+                               replicas=args.replicas)
+        except AssertionError as exc:
+            print(f"FAIL {exc}")
+            return 1
+        speedup = (row["ref_wall_s"] / row["fast_wall_s"]
+                   if row["fast_wall_s"] > 0 else 0.0)
+        print(f"ok {policy:<14} {row['requests']:>8} requests  "
+              f"scalar {row['ref_wall_s']:.2f}s  "
+              f"vectorised {row['fast_wall_s']:.2f}s  "
+              f"({speedup:.1f}x), byte-identical at --jobs "
+              f"{','.join(map(str, jobs_list))}")
+    print(f"fleet router byte-identity held over "
+          f"{args.duration_us / 1e6:.1f} s of {args.trace_name} traffic")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

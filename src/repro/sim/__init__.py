@@ -8,14 +8,19 @@ circular-buffer element check, DMA engines streaming data over the NoC)
 are expressed as processes over this kernel.
 """
 
+from repro.sim.calendar import CalendarQueue, HeapTimeQueue
 from repro.sim.engine import Engine, Event, Process, SimulationError
+from repro.sim.fastforward import FastForward
 from repro.sim.resources import Queue, Resource, Semaphore
 from repro.sim.stats import StatGroup
 from repro.sim.trace import Span, Tracer
 
 __all__ = [
+    "CalendarQueue",
     "Engine",
     "Event",
+    "FastForward",
+    "HeapTimeQueue",
     "Process",
     "Queue",
     "Resource",

@@ -1,0 +1,278 @@
+"""Time-ordered pending-event queues for the DES engine.
+
+Two interchangeable implementations of the same tiny interface:
+
+* :class:`HeapTimeQueue` — a single binary heap, the pre-PR-9 structure.
+  Kept as the straight-line reference for the equivalence property suite.
+* :class:`CalendarQueue` — a bucketed calendar queue (Brown 1988): the
+  near-future time axis is partitioned into fixed-width buckets, each a
+  small heap, with an unsorted *overflow ladder* holding far-future
+  entries.  Inserts land in their bucket in O(1) amortised; pops drain
+  the cursor bucket.  When every bucket is empty the overflow ladder is
+  promoted in one numpy-vectorised batch and the calendar re-based.
+
+Both queues order entries by ``(at, ticket)`` — exactly the tuple order
+the old global heap used — so the engine's interleaving is preserved
+bit-for-bit regardless of which queue backs it.  The engine's
+same-timestamp FIFO fast path lives outside the queue and is untouched.
+
+Interface contract (what :class:`repro.sim.engine.Engine` relies on):
+
+* ``push(at, ticket, callback)`` — insert; ``at`` may be any float not
+  less than the earliest un-popped time (backdated pushes below the
+  calendar base trigger a rare O(n) rebuild and stay correct).
+* ``pop()`` — remove and return the ``(at, ticket, callback)`` with the
+  smallest ``(at, ticket)``.
+* ``head`` — ``(at, ticket)`` of the next entry, or ``None`` when empty;
+  maintained incrementally so the engine's hot loop can tie-check the
+  FIFO fast path without a method call.
+* ``size`` — number of pending entries (drives ``peak_heap_size``).
+* ``shift_all(delta)`` — add ``delta`` to every pending time; a monotone
+  shift preserves ``(at, ticket)`` order, so fast-forward skips can
+  teleport the calendar without re-sorting.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CalendarQueue", "HeapTimeQueue"]
+
+Entry = Tuple[float, int, Any]
+
+
+class HeapTimeQueue:
+    """Single binary heap of ``(at, ticket, callback)`` — the reference."""
+
+    __slots__ = ("_heap", "head", "size")
+
+    def __init__(self) -> None:
+        self._heap: List[Entry] = []
+        self.head: Optional[Tuple[float, int]] = None
+        self.size = 0
+
+    def push(self, at: float, ticket: int, callback: Any) -> None:
+        heappush(self._heap, (at, ticket, callback))
+        self.size += 1
+        top = self._heap[0]
+        self.head = (top[0], top[1])
+
+    def pop(self) -> Entry:
+        entry = heappop(self._heap)
+        self.size -= 1
+        if self._heap:
+            top = self._heap[0]
+            self.head = (top[0], top[1])
+        else:
+            self.head = None
+        return entry
+
+    def shift_all(self, delta: float) -> None:
+        # A uniform shift is monotone in time and leaves tickets alone,
+        # so the heap invariant survives an in-place rewrite.
+        self._heap = [(at + delta, ticket, cb) for at, ticket, cb in self._heap]
+        if self.head is not None:
+            self.head = (self.head[0] + delta, self.head[1])
+
+    def entries(self) -> List[Entry]:
+        return list(self._heap)
+
+
+class CalendarQueue:
+    """Bucketed calendar queue with a numpy-promoted overflow ladder.
+
+    Invariants:
+
+    * every bucket entry has ``base <= at < limit`` and sits in bucket
+      ``int((at - base) / width)`` (clamped to the last bucket on float
+      boundary round-off, which can only move an entry *later*-bucket-ward
+      within its true half-open range);
+    * every overflow entry has ``at >= limit`` — so any bucket entry
+      orders before any overflow entry and ``head`` never needs to
+      compare across the two tiers while buckets are non-empty;
+    * ``cursor`` is the index of the first possibly-non-empty bucket;
+      pushes below the cursor pull it back.
+    """
+
+    __slots__ = (
+        "width",
+        "nbuckets",
+        "base",
+        "limit",
+        "cursor",
+        "_buckets",
+        "_bucket_count",
+        "_ov_at",
+        "_ov_ticket",
+        "_ov_cb",
+        "_ov_min",
+        "head",
+        "size",
+    )
+
+    def __init__(self, width: float = 16.0, nbuckets: int = 256) -> None:
+        if width <= 0:
+            raise ValueError("bucket width must be positive")
+        if nbuckets < 1:
+            raise ValueError("need at least one bucket")
+        self.width = float(width)
+        self.nbuckets = int(nbuckets)
+        self.base = 0.0
+        self.limit = self.base + self.width * self.nbuckets
+        self.cursor = 0
+        self._buckets: List[List[Entry]] = [[] for _ in range(self.nbuckets)]
+        self._bucket_count = 0
+        self._ov_at: List[float] = []
+        self._ov_ticket: List[int] = []
+        self._ov_cb: List[Any] = []
+        self._ov_min: Optional[Tuple[float, int]] = None
+        self.head: Optional[Tuple[float, int]] = None
+        self.size = 0
+
+    # -- insertion ---------------------------------------------------------
+
+    def push(self, at: float, ticket: int, callback: Any) -> None:
+        if at >= self.limit:
+            self._ov_at.append(at)
+            self._ov_ticket.append(ticket)
+            self._ov_cb.append(callback)
+            key = (at, ticket)
+            if self._ov_min is None or key < self._ov_min:
+                self._ov_min = key
+        elif at < self.base:
+            # Backdated push (e.g. after an until-break rewound `now`):
+            # re-base the whole calendar around the new earliest time.
+            self._rebase(at)
+            self._place(at, ticket, callback)
+        else:
+            self._place(at, ticket, callback)
+        self.size += 1
+        key = (at, ticket)
+        if self.head is None or key < self.head:
+            self.head = key
+
+    def _place(self, at: float, ticket: int, callback: Any) -> None:
+        idx = int((at - self.base) / self.width)
+        if idx >= self.nbuckets:  # float round-off at the limit boundary
+            idx = self.nbuckets - 1
+        heappush(self._buckets[idx], (at, ticket, callback))
+        self._bucket_count += 1
+        if idx < self.cursor:
+            self.cursor = idx
+
+    # -- removal -----------------------------------------------------------
+
+    def pop(self) -> Entry:
+        if not self._bucket_count:
+            self._promote()
+        buckets = self._buckets
+        cursor = self.cursor
+        while not buckets[cursor]:
+            cursor += 1
+        entry = heappop(buckets[cursor])
+        self._bucket_count -= 1
+        self.size -= 1
+        if self._bucket_count:
+            while not buckets[cursor]:
+                cursor += 1
+            top = buckets[cursor][0]
+            self.head = (top[0], top[1])
+        elif self.size:
+            self.head = self._ov_min
+        else:
+            self.head = None
+        self.cursor = cursor
+        return entry
+
+    def _promote(self) -> None:
+        """Move the near slice of the overflow ladder into fresh buckets."""
+        if not self._ov_at:
+            raise IndexError("pop from an empty CalendarQueue")
+        assert self._ov_min is not None
+        at = np.asarray(self._ov_at, dtype=np.float64)
+        base = math.floor(self._ov_min[0] / self.width) * self.width
+        limit = base + self.width * self.nbuckets
+        near = at < limit
+        idx_near = np.nonzero(near)[0]
+        self.base = base
+        self.limit = limit
+        for i in idx_near.tolist():
+            self._place(self._ov_at[i], self._ov_ticket[i], self._ov_cb[i])
+        if idx_near.size != at.size:
+            idx_far = np.nonzero(~near)[0]
+            far_at = at[idx_far]
+            order = int(idx_far[int(np.argmin(far_at))])
+            # argmin alone ignores ticket ties at equal times; resolve them.
+            best = (self._ov_at[order], self._ov_ticket[order])
+            for i in idx_far.tolist():
+                key = (self._ov_at[i], self._ov_ticket[i])
+                if key < best:
+                    best = key
+            self._ov_at = [self._ov_at[i] for i in idx_far.tolist()]
+            self._ov_ticket = [self._ov_ticket[i] for i in idx_far.tolist()]
+            self._ov_cb = [self._ov_cb[i] for i in idx_far.tolist()]
+            self._ov_min = best
+        else:
+            self._ov_at = []
+            self._ov_ticket = []
+            self._ov_cb = []
+            self._ov_min = None
+        self.cursor = 0
+
+    # -- maintenance -------------------------------------------------------
+
+    def _rebase(self, earliest: float) -> None:
+        """O(n) rebuild around a new base (rare: backdated push)."""
+        pending: List[Entry] = []
+        for bucket in self._buckets:
+            pending.extend(bucket)
+            bucket.clear()
+        self._bucket_count = 0
+        self.base = math.floor(earliest / self.width) * self.width
+        self.limit = self.base + self.width * self.nbuckets
+        self.cursor = 0
+        keep_at, keep_ticket, keep_cb = [], [], []
+        for at, ticket, cb in pending:
+            if at < self.limit:
+                self._place(at, ticket, cb)
+            else:
+                keep_at.append(at)
+                keep_ticket.append(ticket)
+                keep_cb.append(cb)
+        if keep_at:
+            self._ov_at.extend(keep_at)
+            self._ov_ticket.extend(keep_ticket)
+            self._ov_cb.extend(keep_cb)
+            best = self._ov_min
+            for at, ticket in zip(keep_at, keep_ticket):
+                key = (at, ticket)
+                if best is None or key < best:
+                    best = key
+            self._ov_min = best
+
+    def shift_all(self, delta: float) -> None:
+        """Uniform time shift — order-preserving, used by fast-forward."""
+        self.base += delta
+        self.limit += delta
+        for i, bucket in enumerate(self._buckets):
+            if bucket:
+                self._buckets[i] = [
+                    (at + delta, ticket, cb) for at, ticket, cb in bucket
+                ]
+        if self._ov_at:
+            self._ov_at = [at + delta for at in self._ov_at]
+        if self._ov_min is not None:
+            self._ov_min = (self._ov_min[0] + delta, self._ov_min[1])
+        if self.head is not None:
+            self.head = (self.head[0] + delta, self.head[1])
+
+    def entries(self) -> List[Entry]:
+        out: List[Entry] = []
+        for bucket in self._buckets:
+            out.extend(bucket)
+        out.extend(zip(self._ov_at, self._ov_ticket, self._ov_cb))
+        return out

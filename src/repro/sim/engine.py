@@ -24,25 +24,38 @@ current timestamp.  Routing those through the time heap costs two
 deque for same-timestamp callbacks and only uses the heap for genuine
 time advances.
 
-Ordering semantics are unchanged: every callback — heap or deque —
+Ordering semantics are unchanged: every callback — timed or deque —
 still draws a ticket from the one global counter, and the run loop
-compares the deque head's ticket against the heap top whenever the heap
-top is at the current time, so callbacks at equal timestamps execute in
-exactly the order a pure-heap kernel would run them
+compares the deque head's ticket against the time-queue head whenever
+that head is at the current time, so callbacks at equal timestamps
+execute in exactly the order a pure-heap kernel would run them
 (``tests/property/test_engine_equivalence.py`` proves this against a
 straight-heap reference implementation).
+
+Timed entries live in a :class:`~repro.sim.calendar.CalendarQueue` — a
+bucketed calendar queue with O(1) amortised insert/pop and a
+numpy-promoted overflow ladder for far-future events — which orders by
+the identical ``(at, ticket)`` key the old global heap used, so the
+structure swap is invisible to the event stream.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from collections import deque
 from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from repro.sim.calendar import CalendarQueue
+
 #: Sentinel argument for deque entries whose callback takes no argument.
 _NO_ARG = object()
+
+#: Consecutive already-triggered yields a process may consume inline
+#: before deferring back through the engine (see Process._resume).  The
+#: cap keeps a pathological poll-forever loop reachable by the engine's
+#: ``max_events`` guard instead of spinning outside it.
+_TRAMPOLINE_CAP = 64
 
 
 class SimulationError(RuntimeError):
@@ -156,17 +169,68 @@ class Process(Event):
             if not self._triggered:
                 self.fail(exc)
             return
-        if isinstance(target, Event):
-            target.add_callback(self._on_event)
-        elif isinstance(target, (int, float)):
-            if target < 0:
-                self._resume(None, SimulationError(
-                    f"process {self.name!r} yielded negative delay {target}"))
+        engine = self.engine
+        steps = 0
+        while True:
+            if isinstance(target, Event):
+                if not target._triggered:
+                    target.add_callback(self._on_event)
+                    return
+                # Trampoline: the yielded event already fired (a queue
+                # get/put with capacity, a pre-satisfied dependency).
+                # The normal path draws a ticket, enqueues the wakeup,
+                # and the run loop pops it straight back off.  When
+                # nothing else is runnable at this instant that wakeup
+                # *is* the next callback the engine would execute, so
+                # drive the generator inline — provably the same global
+                # FIFO order, just without the round-trip.  Any pending
+                # immediate callback, or a timed entry at the current
+                # timestamp, holds an older ticket than our would-be
+                # wakeup and must run first, so defer in those cases.
+                # (``_TRAMPOLINE_CAP`` keeps poll-forever loops
+                # reachable by the engine's ``max_events`` guard.)
+                head = engine._timeq.head
+                if (engine._immediate_q
+                        or (head is not None and head[0] == engine.now)
+                        or steps >= _TRAMPOLINE_CAP):
+                    target.add_callback(self._on_event)
+                    return
+                steps += 1
+                # Each inlined wakeup is still one processed event: the
+                # count (and the edge recorder's ticket stream) must be
+                # indistinguishable from the round-trip path.
+                engine.events_processed += 1
+                edges = engine.edges
+                if edges is not None:
+                    ticket = next(engine._counter)
+                    edges.on_wakeup(ticket, target)
+                    edges.on_execute(ticket, engine.now)
+                exc = target._exception
+                try:
+                    if exc is not None:
+                        target = self.generator.throw(exc)
+                    else:
+                        target = self._send(target._value)
+                except StopIteration as stop:
+                    if not self._triggered:
+                        self.succeed(getattr(stop, "value", None))
+                    return
+                except BaseException as exc2:
+                    if not self._triggered:
+                        self.fail(exc2)
+                    return
+            elif isinstance(target, (int, float)):
+                if target < 0:
+                    self._resume(None, SimulationError(
+                        f"process {self.name!r} yielded negative delay "
+                        f"{target}"))
+                    return
+                engine.schedule(engine.now + target, self._start)
                 return
-            self.engine.schedule(self.engine.now + target, self._start)
-        else:
-            self._resume(None, SimulationError(
-                f"process {self.name!r} yielded unsupported {target!r}"))
+            else:
+                self._resume(None, SimulationError(
+                    f"process {self.name!r} yielded unsupported {target!r}"))
+                return
 
     def _wait_on(self, target: Any) -> None:
         # Kept for API compatibility; the hot path inlines this logic
@@ -195,7 +259,8 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0
-        self._heap: List[tuple] = []
+        #: timed entries ordered by (at, ticket); see module docstring
+        self._timeq = CalendarQueue()
         #: same-timestamp callbacks: (ticket, callback, arg) in ticket
         #: order — the scheduling fast-path (see module docstring)
         self._immediate_q: deque = deque()
@@ -220,6 +285,12 @@ class Engine:
         #: event stream is bit-identical to ``None`` (conformance
         #: ``faults`` pillar).
         self.faults = None
+        #: optional :class:`~repro.sim.fastforward.FastForward`; when
+        #: attached, the run loop offers it every genuine time advance
+        #: and it may skip whole steady-state periods (provably
+        #: bit-identical — see the module docstring).  ``None`` (the
+        #: default) costs one attribute check per time advance.
+        self.fast_forward = None
         #: optional :class:`~repro.obs.critical.EdgeRecorder`; every
         #: ticket draw records its causal parent for critical-path
         #: extraction.  Recording never schedules anything and never
@@ -240,7 +311,11 @@ class Engine:
 
     def timeout(self, delay: float) -> Event:
         """An event that fires ``delay`` cycles from now."""
-        ev = Event(self, f"timeout({delay})")
+        # The f-string name is only worth building when a critical-path
+        # recorder will label nodes with it; ``classify_label`` keys on
+        # the "timeout(" prefix either way.
+        ev = Event(self, f"timeout({delay})" if self.edges is not None
+                   else "timeout()")
         # ``succeed`` with its default value is the whole callback — no
         # lambda needed; zero-delay timeouts take the deque fast-path
         # through :meth:`schedule`.
@@ -289,10 +364,10 @@ class Engine:
             edges = self.edges
             if edges is not None:
                 edges.on_schedule(ticket, callback, at - now)
-            heap = self._heap
-            heapq.heappush(heap, (at, ticket, callback))
-            if len(heap) > self.peak_heap_size:
-                self.peak_heap_size = len(heap)
+            timeq = self._timeq
+            timeq.push(at, ticket, callback)
+            if timeq.size > self.peak_heap_size:
+                self.peak_heap_size = timeq.size
 
     def _immediate(self, callback: Callable[[], None]) -> None:
         ticket = next(self._counter)
@@ -330,19 +405,20 @@ class Engine:
         at most ``max_events`` callbacks execute, and the guard raises
         when an (``max_events`` + 1)-th is attempted.
         """
-        heap = self._heap
+        timeq = self._timeq
         imm = self._immediate_q
-        heappop = heapq.heappop
+        timeq_pop = timeq.pop
         popleft = imm.popleft
         processed = 0
         now = self.now
         edges = self.edges
+        ff = self.fast_forward
         wall_start = perf_counter()
         try:
             while True:
                 if imm:
                     # The deque holds callbacks at the current time; a
-                    # heap entry at the same time with an older ticket
+                    # timed entry at the same time with an older ticket
                     # must still run first (global FIFO at equal
                     # timestamps).
                     if (until is not None and now > until):
@@ -351,30 +427,38 @@ class Engine:
                     if processed >= max_events:
                         raise SimulationError(
                             f"exceeded {max_events} events; likely livelock")
-                    if (heap and heap[0][0] == now
-                            and heap[0][1] < imm[0][0]):
-                        entry = heappop(heap)
+                    head = timeq.head
+                    if (head is not None and head[0] == now
+                            and head[1] < imm[0][0]):
+                        entry = timeq_pop()
                         ticket = entry[1]
                         callback = entry[2]
                         arg = _NO_ARG
                     else:
                         ticket, callback, arg = popleft()
-                elif heap:
-                    entry = heap[0]
-                    at = entry[0]
+                else:
+                    head = timeq.head
+                    if head is None:
+                        break
+                    at = head[0]
                     if until is not None and at > until:
                         self.now = until
                         break
+                    if ff is not None and at > now:
+                        skipped = ff.consider(self, at, until,
+                                              max_events, processed)
+                        if skipped:
+                            processed += skipped
+                            head = timeq.head
+                            at = head[0]
                     if processed >= max_events:
                         raise SimulationError(
                             f"exceeded {max_events} events; likely livelock")
-                    heappop(heap)
+                    entry = timeq_pop()
                     self.now = now = at
                     ticket = entry[1]
                     callback = entry[2]
                     arg = _NO_ARG
-                else:
-                    break
                 if edges is not None:
                     edges.on_execute(ticket, now)
                 if arg is _NO_ARG:

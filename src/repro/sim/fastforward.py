@@ -1,0 +1,337 @@
+"""Steady-state fast-forward: analytically skip periodic pipeline phases.
+
+Busy producer/consumer pipelines spend most of their simulated life in a
+*steady state*: the same circular-buffer handoffs repeating with a fixed
+period.  Simulating ten thousand identical periods one event at a time
+is pure waste — if we can prove the engine state recurs, we can skip
+``n`` whole periods in O(pending) time and land in a state *bitwise
+identical* to the one the event-by-event run would have reached.
+
+The proof obligation is discharged structurally, not statistically:
+
+* **Signature.**  At every genuine time advance (the immediate queue is
+  empty, the engine is about to pop a timed entry at ``at``) the
+  detector canonicalises the *complete reachable simulation state*:
+  every pending timed entry as ``(at - ref, callback)``, where
+  callbacks are traversed into the object graph — processes (generator
+  instruction pointer ``f_lasti`` plus canonicalised locals), events
+  (triggered flag, value, waiter list), bound methods, closures —
+  with first-seen indices replacing identities.  Two captures with
+  equal signatures are *isomorphic up to a time shift*: every future
+  event of one is a shifted copy of the other's.
+* **Fail closed.**  Anything the canonicaliser cannot prove periodic
+  refuses the capture: unknown object types (hardware models, resources),
+  absolute timestamps stashed in locals (they differ every period, so
+  the signature never repeats), attached tracers / edge recorders /
+  fault injectors, non-integral times (float ``t0 + n·Δ`` is only
+  guaranteed to equal step-accumulated sums for integer-valued cycles,
+  so fractional steady states are simulated honestly instead).
+* **Confirmation.**  A signature must recur **three** times with equal
+  period ``Δt``, equal per-period event count ``Δe``, and equal
+  per-period telemetry deltas (stall counters, gauges; histogram growth
+  refuses) before the detector engages.
+* **Skip.**  ``n`` periods are skipped by shifting every pending entry
+  time by ``n·Δt`` (a uniform shift is order-preserving, see
+  :meth:`~repro.sim.calendar.CalendarQueue.shift_all`), crediting
+  ``n·Δe`` to ``events_processed``, and replaying ``n×`` the per-period
+  telemetry deltas.  ``n`` is capped so the run still honours ``until``
+  (the final partial period is simulated for real) and trips the
+  ``max_events`` guard at exactly the event index and timestamp the
+  unskipped run would have.
+
+The ticket counter is deliberately *not* advanced across a skip: ticket
+values only order coexisting entries, every pending entry keeps its
+ticket, and every future draw is larger than all pending tickets in
+both runs — so the interleaving, and therefore every observable result,
+is unchanged.  The conformance determinism pillar and
+``tests/property/test_fastforward.py`` verify on == off bitwise.
+
+FC/TBE kernels do **not** engage: their generator locals carry loop
+indices that change every iteration, so the signature honestly never
+repeats.  This optimisation targets stationary pipeline phases (and the
+fleet/serving layers' synthetic steady loads); see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["FastForward"]
+
+#: traversal guards
+_MAX_DEPTH = 64
+_MAX_SIGNATURES = 512
+
+
+class _Refuse(Exception):
+    """Internal: state cannot be proven periodic; fail closed."""
+
+
+class _Canon:
+    """Canonicalises reachable engine state into a hashable structure."""
+
+    def __init__(self, engine, ref_time: float) -> None:
+        self.engine = engine
+        self.ref = ref_time
+        self.memo: Dict[int, int] = {}
+        self.next_index = 0
+
+    def canon(self, obj: Any, depth: int = 0) -> Any:
+        if depth > _MAX_DEPTH:
+            raise _Refuse("state graph too deep")
+        if obj is None or obj is True or obj is False:
+            return obj
+        kind = type(obj)
+        if kind is int or kind is str:
+            return obj
+        if kind is float:
+            if obj != int(obj):
+                # Fractional values may be relative (fine) or absolute
+                # timestamps (period-breaking); integral-only keeps the
+                # skip arithmetic exact, so refuse the ambiguity.
+                raise _Refuse("non-integral float in reachable state")
+            return obj
+        if kind is tuple:
+            return ("T",) + tuple(self.canon(x, depth + 1) for x in obj)
+        if kind is list:
+            return ("L",) + tuple(self.canon(x, depth + 1) for x in obj)
+        if kind is dict:
+            items = [(self.canon(k, depth + 1), self.canon(v, depth + 1))
+                     for k, v in obj.items()]
+            return ("D",) + tuple(sorted(items, key=repr))
+        if obj is self.engine:
+            return ("ENG",)
+        oid = id(obj)
+        seen = self.memo.get(oid)
+        if seen is not None:
+            return ("R", seen)
+        from repro.sim.engine import Event, Process
+        if isinstance(obj, Process):
+            idx = self._register(oid)
+            frame = obj.generator.gi_frame
+            if frame is None:
+                body = ("done",)
+            else:
+                body = (frame.f_lasti,
+                        self.canon(dict(frame.f_locals), depth + 1))
+            return ("P", idx, obj._triggered,
+                    self.canon(obj._value, depth + 1),
+                    self._canon_exc(obj._exception, depth),
+                    self._canon_callbacks(obj, depth), body)
+        if isinstance(obj, Event):
+            idx = self._register(oid)
+            return ("E", idx, obj._triggered,
+                    self.canon(obj._value, depth + 1),
+                    self._canon_exc(obj._exception, depth),
+                    self._canon_callbacks(obj, depth))
+        self_obj = getattr(obj, "__self__", None)
+        if self_obj is not None:  # bound method
+            func = obj.__func__
+            return ("BM", func.__qualname__, self.canon(self_obj, depth + 1))
+        code = getattr(obj, "__code__", None)
+        if code is not None:  # plain function / lambda closure
+            cells = tuple(
+                self.canon(cell.cell_contents, depth + 1)
+                for cell in (obj.__closure__ or ()))
+            defaults = tuple(
+                self.canon(d, depth + 1) for d in (obj.__defaults__ or ()))
+            return ("F", obj.__qualname__, code.co_code, cells, defaults)
+        if hasattr(obj, "gi_frame"):  # bare generator
+            idx = self._register(oid)
+            frame = obj.gi_frame
+            if frame is None:
+                return ("G", idx, "done")
+            return ("G", idx, frame.f_lasti,
+                    self.canon(dict(frame.f_locals), depth + 1))
+        raise _Refuse(f"uncanonicalizable {type(obj).__name__}")
+
+    def _register(self, oid: int) -> int:
+        idx = self.next_index
+        self.memo[oid] = idx
+        self.next_index += 1
+        return idx
+
+    def _canon_exc(self, exc: Optional[BaseException], depth: int) -> Any:
+        if exc is None:
+            return None
+        return ("X", type(exc).__qualname__,
+                self.canon(tuple(exc.args), depth + 1))
+
+    def _canon_callbacks(self, event, depth: int) -> Any:
+        callbacks = event._callbacks
+        if not callbacks:
+            return ()
+        return tuple(self.canon(cb, depth + 1) for cb in callbacks)
+
+
+def _state_signature(engine, ref_time: float) -> str:
+    """Digest of the canonical engine state, relative to ``ref_time``."""
+    if ref_time != int(ref_time):
+        raise _Refuse("non-integral simulation time")
+    entries = sorted(engine._timeq.entries(), key=lambda e: (e[0], e[1]))
+    canon = _Canon(engine, ref_time)
+    shape: List[Any] = []
+    for at, _ticket, callback in entries:
+        if at != int(at):
+            raise _Refuse("non-integral pending time")
+        shape.append((at - ref_time, canon.canon(callback)))
+    return hashlib.sha256(repr(tuple(shape)).encode()).hexdigest()
+
+
+def _obs_snapshot(engine) -> Dict[Tuple[str, Any], float]:
+    """Scalar telemetry values, plus distribution counts (as guards)."""
+    snap: Dict[Tuple[str, Any], float] = {}
+    obs = engine.obs
+    if obs is None or not obs.enabled:
+        return snap
+    for family in obs.registry.families():
+        if family.kind in ("counter", "gauge"):
+            for key, child in family.samples():
+                snap[(family.name, key)] = child.value
+        else:
+            # Distributions can't be replayed linearly: snapshot their
+            # counts so any growth during a period refuses engagement.
+            for key, child in family.samples():
+                snap[("#dist:" + family.name, key)] = float(
+                    getattr(child, "count", 0))
+    return snap
+
+
+def _obs_delta(before: Dict, after: Dict) -> Optional[Dict]:
+    """Per-instrument value deltas, or ``None`` if not linearly replayable."""
+    delta: Dict[Tuple[str, Any], float] = {}
+    for key, value in after.items():
+        prev = before.get(key, 0.0)
+        if key[0].startswith("#dist:"):
+            if value != prev:
+                return None  # histogram/sketch/series grew mid-period
+            continue
+        if value != prev:
+            delta[key] = value - prev
+    return delta
+
+
+def _obs_apply(engine, delta: Dict, n: int) -> None:
+    obs = engine.obs
+    for (name, label_key), amount in delta.items():
+        family = obs.registry.family(name)
+        child = family._children[label_key]
+        child.value += amount * n
+
+
+class FastForward:
+    """Attachable steady-state detector for one :class:`Engine`.
+
+    Enable with ``engine.fast_forward = FastForward()`` (or
+    ``Accelerator(fast_forward=True)``); the engine consults it at every
+    genuine time advance.  All counters are diagnostics only — they are
+    *not* part of the bit-identity contract (wall clock aside, a run
+    with the detector attached is indistinguishable from one without).
+    """
+
+    def __init__(self) -> None:
+        #: signature -> (at, processed, obs_snapshot, confirmed_delta)
+        self._seen: Dict[str, tuple] = {}
+        self._dead = False
+        self._checked_hooks = False
+        #: diagnostics
+        self.engagements = 0
+        self.periods_skipped = 0
+        self.events_skipped = 0
+        self.cycles_skipped = 0.0
+        self.refusals = 0
+        self.captures = 0
+
+    # -- engine hook ------------------------------------------------------
+
+    def consider(self, engine, at: float, until: Optional[float],
+                 max_events: int, processed: int) -> int:
+        """Called pre-pop at a time advance; returns events to credit.
+
+        A non-zero return means ``n`` whole periods were skipped: the
+        time queue has been shifted, telemetry replayed, and the caller
+        must re-read the queue head and add the return value to its
+        processed-event count.
+        """
+        if self._dead:
+            return 0
+        if not self._checked_hooks:
+            self._checked_hooks = True
+            # Tracers record absolute-time spans, edge recorders absolute
+            # causal chains, and fault injectors absolute-time windows:
+            # none can be replayed by a shift, so fail closed for the run.
+            if (engine.tracer.enabled or engine.edges is not None
+                    or engine.faults is not None):
+                self._dead = True
+                self.refusals += 1
+                return 0
+        if until is None:
+            return 0
+        self.captures += 1
+        try:
+            sig = _state_signature(engine, at)
+        except _Refuse:
+            self.refusals += 1
+            return 0
+        obs_snap = _obs_snapshot(engine)
+        record = self._seen.get(sig)
+        if record is None:
+            if len(self._seen) >= _MAX_SIGNATURES:
+                self._dead = True  # no periodicity in sight; stop paying
+                return 0
+            self._seen[sig] = (at, processed, obs_snap, None)
+            return 0
+        prev_at, prev_processed, prev_obs, confirmed = record
+        dt = at - prev_at
+        de = processed - prev_processed
+        if dt <= 0 or de <= 0:
+            self._seen[sig] = (at, processed, obs_snap, None)
+            return 0
+        dobs = _obs_delta(prev_obs, obs_snap)
+        period = (dt, de, tuple(sorted(dobs.items(), key=repr))
+                  if dobs is not None else None)
+        if dobs is None or confirmed != period:
+            # First recurrence (or an unstable one): remember the delta
+            # and require the *next* period to match it exactly.
+            self._seen[sig] = (at, processed, obs_snap, period)
+            return 0
+        return self._skip(engine, at, until, max_events, processed,
+                          dt, de, dobs)
+
+    def _skip(self, engine, at: float, until: float, max_events: int,
+              processed: int, dt: float, de: int, dobs: Dict) -> int:
+        n = int((until - at) // dt)
+        budget = (max_events - processed) // de
+        if n >= budget:
+            # Leave at least one whole period of event budget: if the
+            # max_events guard is going to trip, it must trip during
+            # *real* execution so ``engine.now`` at the raise matches
+            # the unskipped run exactly.
+            n = int(budget) - 1
+        if n <= 0:
+            return 0
+        shift = n * dt
+        engine._timeq.shift_all(shift)
+        if dobs:
+            _obs_apply(engine, dobs, n)
+        self.engagements += 1
+        self.periods_skipped += n
+        self.events_skipped += n * de
+        self.cycles_skipped += shift
+        # The time base jumped: every stored occurrence time is stale,
+        # so restart detection cleanly for any later phase change.
+        self._seen.clear()
+        return n * de
+
+    # -- reporting --------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "engagements": self.engagements,
+            "periods_skipped": self.periods_skipped,
+            "events_skipped": self.events_skipped,
+            "cycles_skipped": self.cycles_skipped,
+            "captures": self.captures,
+            "refusals": self.refusals,
+        }

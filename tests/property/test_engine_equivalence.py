@@ -12,14 +12,13 @@ simulation time, and the event count.
 
 from hypothesis import given, settings
 
+from repro.sim.calendar import HeapTimeQueue
 from repro.sim.engine import _NO_ARG, Engine, SimulationError
 from tests import strategies as shared
 
-import heapq
-
 
 class _HeapShunt:
-    """Deque stand-in that reroutes every append to the time heap.
+    """Deque stand-in that reroutes every append to the time queue.
 
     ``Engine.run`` only touches ``_immediate_q`` when it is truthy, so
     a permanently-falsy shunt forces the run loop down the pure-heap
@@ -35,8 +34,7 @@ class _HeapShunt:
         if arg is not _NO_ARG:
             def callback(callback=callback, arg=arg):
                 return callback(arg)
-        heapq.heappush(self._engine._heap,
-                       (self._engine.now, ticket, callback))
+        self._engine._timeq.push(self._engine.now, ticket, callback)
 
     def popleft(self):
         # run() binds this attribute up front but can never call it:
@@ -51,10 +49,17 @@ class _HeapShunt:
 
 
 class StraightHeapEngine(Engine):
-    """The reference kernel: one heap, ordered by (time, ticket)."""
+    """The reference kernel: one binary heap, ordered by (time, ticket).
+
+    Both the calendar-queue structure *and* the FIFO fast path are
+    stripped: timed entries go to a plain :class:`HeapTimeQueue`, and
+    every would-be immediate callback is shunted into it at the current
+    time — the textbook single-heap DES kernel.
+    """
 
     def __init__(self):
         super().__init__()
+        self._timeq = HeapTimeQueue()
         self._immediate_q = _HeapShunt(self)
 
 
@@ -136,6 +141,7 @@ def test_reference_engine_is_really_heap_only():
     engine.timeout(0)
     engine.timeout(1)
     assert not engine._immediate_q
-    assert len(engine._heap) == 2
+    assert isinstance(engine._timeq, HeapTimeQueue)
+    assert engine._timeq.size == 2
     engine.run()
     assert engine.now == 1

@@ -1,0 +1,216 @@
+"""Steady-state fast-forward — on == off, bitwise, and honest refusal.
+
+Every test runs the same program twice — once with a
+:class:`~repro.sim.fastforward.FastForward` detector attached, once
+without — and asserts the *complete observable outcome* is identical:
+final time, ``events_processed``, per-cause stall attributions, and any
+program-visible side effects.  Engagement itself is asserted separately
+(a detector that silently never skips would pass the identity checks
+while delivering no speedup).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.fastforward import FastForward
+
+
+def _run(build, until, ff=False, max_events=100_000_000):
+    engine = Engine()
+    engine.obs.enabled = True
+    if ff:
+        engine.fast_forward = FastForward()
+    build(engine)
+    error = None
+    try:
+        engine.run(until=until, max_events=max_events)
+    except SimulationError as exc:
+        error = str(exc)
+    stalls = sorted(
+        (key, counter.value) for key, counter in
+        engine.obs.registry.counter("stall_cycles").samples())
+    return {
+        "now": engine.now,
+        "events": engine.events_processed,
+        "stalls": stalls,
+        "error": error,
+    }, engine.fast_forward
+
+
+def _assert_identical(build, until, expect_engaged, max_events=100_000_000):
+    plain, _ = _run(build, until, ff=False, max_events=max_events)
+    fast, ff = _run(build, until, ff=True, max_events=max_events)
+    assert fast == plain
+    if expect_engaged:
+        assert ff.engagements >= 1 and ff.periods_skipped > 0
+    else:
+        assert ff.engagements == 0
+    return ff
+
+
+# -- periodic programs engage and stay bitwise identical -----------------
+
+def test_stateless_periodic_pair_engages():
+    def build(engine):
+        def beat(period):
+            while True:
+                yield period
+        engine.process(beat(3), name="a")
+        engine.process(beat(5), name="b")
+
+    ff = _assert_identical(build, until=200_000, expect_engaged=True)
+    # The skip must cover the overwhelming majority of the horizon.
+    assert ff.cycles_skipped > 150_000
+
+
+def test_periodic_with_stall_attribution_replays_counters():
+    def build(engine):
+        def worker():
+            while True:
+                yield 7
+                engine.obs.stall("pe0.dpe", "cb_element_wait",
+                                 engine.now - 2, engine.now)
+        engine.process(worker(), name="w")
+
+    ff = _assert_identical(build, until=70_000, expect_engaged=True)
+    assert ff.events_skipped > 0
+
+
+def test_periodic_event_handoff_engages():
+    """A two-process rendezvous (event ping-pong with delays)."""
+    def build(engine):
+        box = {"ev": engine.event("ping")}
+
+        def producer():
+            while True:
+                yield 4
+                ev, box["ev"] = box["ev"], engine.event("ping")
+                ev.succeed()
+
+        def consumer():
+            while True:
+                yield box["ev"]
+        engine.process(producer(), name="prod")
+        engine.process(consumer(), name="cons")
+
+    _assert_identical(build, until=100_000, expect_engaged=True)
+
+
+@given(periods=st.lists(st.integers(min_value=1, max_value=9),
+                        min_size=1, max_size=4),
+       until=st.integers(min_value=1_000, max_value=50_000))
+@settings(max_examples=40, deadline=None)
+def test_random_periodic_ensembles_identical(periods, until):
+    def build(engine):
+        def beat(period):
+            while True:
+                yield period
+        for i, p in enumerate(periods):
+            engine.process(beat(p), name=f"p{i}")
+
+    plain, _ = _run(build, until, ff=False)
+    fast, ff = _run(build, until, ff=True)
+    assert fast == plain
+    # Small ensembles of constant-delay loops are exactly the stationary
+    # shape the detector exists for; it must engage on a long horizon.
+    if until >= 10_000:
+        assert ff.engagements >= 1
+
+
+# -- aperiodic / unprovable programs refuse, results still identical -----
+
+def test_loop_counter_refuses():
+    """A local loop index changes every iteration: never engages."""
+    def build(engine):
+        def counted():
+            for i in range(4_000):
+                yield 3
+        engine.process(counted(), name="c")
+
+    _assert_identical(build, until=11_000, expect_engaged=False)
+
+
+def test_non_integral_state_refuses():
+    """A non-integral float in reachable state fails closed."""
+    def build(engine):
+        def beat():
+            jitter = 0.5  # stashed in f_locals: uncanonicalizable
+            while True:
+                yield 3
+        engine.process(beat(), name="f")
+
+    ff = _assert_identical(build, until=10_000, expect_engaged=False)
+    assert ff.refusals > 0
+
+
+def test_dyadic_fraction_identity():
+    """Fractional delays whose captures align integrally may engage —
+    but only ever bit-identically (2.5-cycle beats land on integral
+    times every other period, and dyadic addition is exact)."""
+    def build(engine):
+        def beat():
+            while True:
+                yield 2.5
+        engine.process(beat(), name="f")
+
+    plain, _ = _run(build, until=10_000, ff=False)
+    fast, _ = _run(build, until=10_000, ff=True)
+    assert fast == plain
+
+
+def test_tracer_attached_refuses():
+    def build(engine):
+        engine.tracer.enabled = True
+
+        def beat():
+            while True:
+                yield 3
+        engine.process(beat(), name="t")
+
+    _assert_identical(build, until=10_000, expect_engaged=False)
+
+
+def test_no_until_refuses():
+    engine = Engine()
+    engine.fast_forward = FastForward()
+
+    def finite():
+        for _ in range(50):
+            yield 2
+    engine.process(finite())
+    engine.run()  # drains; no horizon to skip toward
+    assert engine.fast_forward.engagements == 0
+    assert engine.now == 100
+
+
+# -- guard interplay ------------------------------------------------------
+
+@pytest.mark.parametrize("max_events", [50, 137, 1000])
+def test_max_events_guard_trips_identically(max_events):
+    def build(engine):
+        def beat():
+            while True:
+                yield 3
+        engine.process(beat(), name="b")
+
+    # Engagement happens early (periods are single events), but the
+    # guard must still trip at the identical event count and time.
+    _assert_identical(build, until=1_000_000, expect_engaged=True,
+                      max_events=max_events)
+
+
+def test_until_boundary_exact():
+    """The final partial period is simulated for real up to `until`."""
+    def build(engine):
+        def beat():
+            while True:
+                yield 7
+        engine.process(beat(), name="b")
+
+    for until in (69_997, 69_998, 70_000, 70_001):
+        plain, _ = _run(build, until, ff=False)
+        fast, ff = _run(build, until, ff=True)
+        assert fast == plain
+        assert ff.engagements >= 1

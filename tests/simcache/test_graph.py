@@ -1,0 +1,170 @@
+"""The per-operator graph cache (chained-fingerprint memoisation)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.conformance.fuzzer import FuzzConfig, fuzz_graph
+from repro.models.configs import MODEL_ZOO
+from repro.models.dlrm import build_dlrm_graph
+from repro.runtime.executor import GraphExecutor
+from repro.simcache import (GRAPH_CACHE_ENV_VAR, GraphOpCache,
+                            graph_cache_from_env, reset_env_graph_cache,
+                            resolve_graph_cache)
+from repro.simcache.graph import (leaf_fingerprint, node_fingerprint,
+                                  zero_leaf_fingerprint)
+
+
+@pytest.fixture(autouse=True)
+def _no_env_cache(monkeypatch):
+    """Keep these tests independent of the user's REPRO_GRAPH_CACHE."""
+    monkeypatch.delenv(GRAPH_CACHE_ENV_VAR, raising=False)
+    reset_env_graph_cache()
+    yield
+    reset_env_graph_cache()
+
+
+def _case(seed=3):
+    return fuzz_graph(seed, FuzzConfig())
+
+
+class TestFingerprints:
+    def test_node_fingerprint_chains_inputs(self):
+        case = _case()
+        node = next(n for n in case.graph
+                    if n.op not in ("input", "weight"))
+        base = node_fingerprint(node, ["a", "b"])
+        assert node_fingerprint(node, ["a", "b"]) == base
+        assert node_fingerprint(node, ["a", "c"]) != base
+        assert node_fingerprint(node, ["b", "a"]) != base
+
+    def test_leaf_fingerprint_sees_content(self):
+        a = np.arange(6, dtype=np.float32)
+        b = a.copy()
+        assert leaf_fingerprint(a) == leaf_fingerprint(b)
+        b[0] = 1.5
+        assert leaf_fingerprint(a) != leaf_fingerprint(b)
+
+    def test_zero_leaf_fingerprint_is_metadata_keyed(self):
+        fp = zero_leaf_fingerprint((4, 8), "fp16")
+        assert zero_leaf_fingerprint((4, 8), "fp16") == fp
+        assert zero_leaf_fingerprint((8, 4), "fp16") != fp
+        assert zero_leaf_fingerprint((4, 8), "int8") != fp
+        # Distinct namespace from content-hashed leaves.
+        assert not fp.startswith("leaf:")
+
+
+class TestGraphOpCache:
+    def test_memory_tier_roundtrip(self):
+        cache = GraphOpCache()
+        assert cache.lookup("k") is None
+        out = np.arange(4, dtype=np.int32)
+        cache.store("k", out)
+        np.testing.assert_array_equal(cache.lookup("k"), out)
+        assert len(cache) == 1
+        stats = cache.stats()
+        assert stats == {"hits": 1, "misses": 1, "entries": 1,
+                         "hit_rate": 0.5}
+
+    def test_directory_tier_survives_process_restart(self, tmp_path):
+        path = str(tmp_path / "gcache")
+        first = GraphOpCache(path=path)
+        first.store("k", np.arange(6, dtype=np.float32).reshape(2, 3))
+        # A fresh cache (≈ new process) warms from the directory tier.
+        second = GraphOpCache(path=path)
+        hit = second.lookup("k")
+        np.testing.assert_array_equal(
+            hit, np.arange(6, dtype=np.float32).reshape(2, 3))
+        assert second.stats()["hits"] == 1
+        files = os.listdir(path)
+        assert files and all(f.startswith("g1_") and f.endswith(".npy")
+                             for f in files)
+
+
+class TestEnvResolution:
+    def test_unset_means_off(self):
+        assert graph_cache_from_env() is None
+        assert resolve_graph_cache(None) is None
+
+    def test_memory_spellings(self, monkeypatch):
+        for value in ("1", "mem", "memory"):
+            monkeypatch.setenv(GRAPH_CACHE_ENV_VAR, value)
+            reset_env_graph_cache()
+            cache = graph_cache_from_env()
+            assert isinstance(cache, GraphOpCache) and cache.path is None
+
+    def test_path_value_gets_directory_tier(self, monkeypatch, tmp_path):
+        path = str(tmp_path / "env-cache")
+        monkeypatch.setenv(GRAPH_CACHE_ENV_VAR, path)
+        reset_env_graph_cache()
+        cache = graph_cache_from_env()
+        assert cache.path == path and os.path.isdir(path)
+
+    def test_explicit_cache_wins_and_false_forces_off(self, monkeypatch):
+        monkeypatch.setenv(GRAPH_CACHE_ENV_VAR, "mem")
+        reset_env_graph_cache()
+        mine = GraphOpCache()
+        assert resolve_graph_cache(mine) is mine
+        assert resolve_graph_cache(False) is None
+
+
+class TestExecutorIntegration:
+    def test_warm_run_is_bitwise_identical(self):
+        case = _case()
+        fresh, fresh_rep = GraphExecutor(op_cache=False).run(
+            case.graph.copy(), case.feeds, case.weights)
+        cache = GraphOpCache()
+        GraphExecutor(op_cache=cache).run(case.graph.copy(), case.feeds,
+                                          case.weights)
+        assert cache.hits == 0 and cache.misses > 0
+        warm, warm_rep = GraphExecutor(op_cache=cache).run(
+            case.graph.copy(), case.feeds, case.weights)
+        assert cache.hits == cache.misses        # every op replayed
+        for name in fresh:
+            np.testing.assert_array_equal(fresh[name], warm[name])
+        assert fresh_rep.seconds == warm_rep.seconds  # timing not cached
+
+    def test_one_weight_edit_invalidates_only_downstream(self):
+        case = _case()
+        cache = GraphOpCache()
+        GraphExecutor(op_cache=cache).run(case.graph.copy(), case.feeds,
+                                          case.weights)
+        cold_misses = cache.misses
+        bound = [n.name for n in case.graph
+                 if n.op == "weight" and n.name in case.weights]
+        edited = dict(case.weights)
+        name = bound[-1]                         # smallest downstream cone
+        edited[name] = case.weights[name] + 1
+        partial, _ = GraphExecutor(op_cache=cache).run(
+            case.graph.copy(), case.feeds, edited)
+        new_misses = cache.misses - cold_misses
+        assert 0 < new_misses < cold_misses      # cone only, not the graph
+        assert cache.hits > 0
+        fresh, _ = GraphExecutor(op_cache=False).run(
+            case.graph.copy(), case.feeds, edited)
+        for key in fresh:
+            np.testing.assert_array_equal(fresh[key], partial[key])
+
+    def test_unbound_zero_weights_hit_without_hashing(self):
+        # Perf-only DLRM runs leave embedding tables unbound; warm runs
+        # must key them from metadata and never materialise the zeros.
+        graph = build_dlrm_graph(MODEL_ZOO["LC2"], 8)
+        rng = np.random.default_rng(0)
+        feeds = {}
+        for node in graph:
+            if node.op == "input":
+                dt = node.meta.dtype.numpy_dtype
+                if np.issubdtype(dt, np.integer):
+                    feeds[node.name] = rng.integers(
+                        0, 100, node.meta.shape).astype(dt)
+                else:
+                    feeds[node.name] = rng.standard_normal(
+                        node.meta.shape).astype(dt)
+        fresh, _ = GraphExecutor(op_cache=False).run(graph.copy(), feeds)
+        cache = GraphOpCache()
+        GraphExecutor(op_cache=cache).run(graph.copy(), feeds)
+        warm, _ = GraphExecutor(op_cache=cache).run(graph.copy(), feeds)
+        assert cache.hits == cache.misses
+        for name in fresh:
+            np.testing.assert_array_equal(fresh[name], warm[name])

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.bench import (BENCHES, METRICS, TRAJECTORY_SCHEMA_VERSION,
-                         compare, load_trajectory, main,
+                         compare, latest_baseline, load_trajectory, main,
                          render_trajectory, run_bench)
 
 
@@ -45,6 +45,22 @@ class TestWorkloads:
         with pytest.raises(SystemExit):
             run_bench(workloads=["nope"])
 
+    def test_engine_extras_on_every_workload(self, payload):
+        """Regression: the dlrm row used to carry no DES throughput
+        counters, so the trajectory could not track kernel speed for
+        graph workloads.  Every workload now reports them."""
+        for name, result in payload["workloads"].items():
+            extras = result["extras"]
+            assert extras["events_processed"] > 0, name
+            assert extras["events_per_sec_wall"] > 0, name
+            assert extras["peak_heap_size"] > 0, name
+
+    def test_dlrm_reports_graph_cache_walls(self, payload):
+        extras = payload["workloads"]["dlrm"]["extras"]
+        assert extras["executor_cold_wall_s"] > 0
+        assert extras["executor_warm_wall_s"] > 0
+        assert extras["graph_cache_warm_speedup"] > 1.0
+
 
 class TestCompare:
     def test_detects_cycle_regression(self, payload):
@@ -55,6 +71,46 @@ class TestCompare:
 
     def test_within_threshold_is_clean(self, payload):
         assert compare(payload, payload, threshold=0.10) == []
+
+
+class TestLatestBaseline:
+    def write_bench(self, tmp_path, label, created=0.0):
+        path = tmp_path / f"BENCH_{label}.json"
+        path.write_text(json.dumps({
+            "schema_version": 1, "label": label, "created_unix": created,
+            "workloads": {"fc": {"latency_us": 10.0,
+                                 "achieved_tflops": 1.0,
+                                 "sim_cycles": 100.0,
+                                 "wall_time_s": 0.1, "extras": {}}}}))
+        return path
+
+    def test_picks_highest_pr_number_not_mtime(self, tmp_path):
+        self.write_bench(tmp_path, "pr8", created=900.0)
+        self.write_bench(tmp_path, "pr10", created=50.0)
+        assert latest_baseline(str(tmp_path)).endswith("BENCH_pr10.json")
+
+    def test_excludes_current_label(self, tmp_path):
+        self.write_bench(tmp_path, "pr8")
+        self.write_bench(tmp_path, "pr9")
+        path = latest_baseline(str(tmp_path), exclude_label="pr9")
+        assert path.endswith("BENCH_pr8.json")
+
+    def test_none_when_no_eligible_baseline(self, tmp_path):
+        assert latest_baseline(str(tmp_path)) is None
+        self.write_bench(tmp_path, "pr9")
+        assert latest_baseline(str(tmp_path),
+                               exclude_label="pr9") is None
+
+    def test_repo_latest_prior_to_this_pr_is_pr8(self):
+        path = latest_baseline(".", exclude_label="pr9")
+        assert path.endswith("BENCH_pr8.json")
+
+    def test_cli_compare_latest(self, tmp_path, capsys):
+        self.write_bench(tmp_path, "pr1")
+        assert main(["fc", "--label", "smoke", "-o", str(tmp_path),
+                     "--compare", "latest"]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_pr1.json" in out
 
 
 class TestTrajectory:
