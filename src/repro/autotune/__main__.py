@@ -1,0 +1,92 @@
+"""``python -m repro.autotune`` — tune one operator shape's mapping.
+
+Examples::
+
+    # the bench FC shape, default seed
+    python -m repro.autotune fc --m 512 --k 1024 --n 256
+
+    # the bench TBE shape, 3 seeds pooled, JSON report
+    python -m repro.autotune tbe --tables 8 --rows 100000 --dim 64 \\
+        --pooling 16 --batch 32 --seeds 3 --json
+
+    # budgeted smoke search, 4 simulation workers
+    python -m repro.autotune fc --m 512 --k 1024 --n 256 \\
+        --budget 50 --jobs 4
+
+Output (text or ``--json``) is byte-identical for the same seed at any
+``--jobs`` count; every report embeds a ``replay`` command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.autotune.space import FCShape, TBEShape
+from repro.autotune.tuner import autotune, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.autotune",
+        description="Search the mapping space for one operator shape; "
+        "phase 1 ranks with the analytical cost model, phase 2 "
+        "validates the survivors on the cycle-level simulator.")
+    sub = parser.add_subparsers(dest="family", required=True)
+
+    fc = sub.add_parser("fc", help="tune a fully-connected layer")
+    fc.add_argument("--m", type=int, default=512)
+    fc.add_argument("--k", type=int, default=1024)
+    fc.add_argument("--n", type=int, default=256)
+    fc.add_argument("--dtype", default="int8", choices=("int8", "fp16"))
+
+    tbe = sub.add_parser("tbe", help="tune a table-batched embedding")
+    tbe.add_argument("--tables", type=int, default=8)
+    tbe.add_argument("--rows", type=int, default=100_000)
+    tbe.add_argument("--dim", type=int, default=64)
+    tbe.add_argument("--pooling", type=int, default=16)
+    tbe.add_argument("--batch", type=int, default=32)
+
+    for p in (fc, tbe):
+        p.add_argument("--seed", type=int, default=0,
+                       help="search seed (default %(default)s)")
+        p.add_argument("--seeds", type=int, default=1, metavar="N",
+                       help="run N consecutive seeds starting at --seed "
+                       "and pool the survivors (default %(default)s)")
+        p.add_argument("--budget", type=int, default=200,
+                       help="max unique cost-model evaluations per seed "
+                       "(default %(default)s)")
+        p.add_argument("--topk", type=int, default=4,
+                       help="survivors to DES-validate "
+                       "(default %(default)s)")
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="simulation worker processes (default 1); "
+                       "results are byte-identical at any value")
+        p.add_argument("--json", action="store_true",
+                       help="emit the schema-pinned JSON report")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.family == "fc":
+        shape = FCShape(m=args.m, k=args.k, n=args.n, dtype=args.dtype)
+    else:
+        shape = TBEShape(num_tables=args.tables,
+                         rows_per_table=args.rows,
+                         embedding_dim=args.dim,
+                         pooling_factor=args.pooling,
+                         batch_size=args.batch)
+    result = autotune(shape, seed=args.seed, seeds=args.seeds,
+                      budget=args.budget, topk=args.topk, jobs=args.jobs)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_text(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Seeded splitmix64 random stream for deterministic search.
+
+Every draw the autotuner makes — initial candidates, mutation sites,
+crossover masks — comes from a :class:`SplitMix64` stream, so the same
+seed yields a byte-identical search trace on every platform, Python
+version, and ``--jobs`` count.  The generator is Steele et al.'s
+splitmix64: a 64-bit counter advanced by the golden-gamma constant and
+finalised with two xor-shift-multiply rounds.  It is implemented in
+pure integer arithmetic (no numpy ``Generator`` state, no hashing of
+``id()``s), which is what makes the determinism contract checkable by
+the conformance ``autotune`` pillar rather than merely hoped for.
+
+Independent sub-streams come from :meth:`SplitMix64.fork`: the label is
+hashed (FNV-1a) into the child seed, so enabling one search phase can
+never shift the draws of another — the same decomposition the
+conformance runner uses for its per-pillar seed streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+_MASK = (1 << 64) - 1
+#: splitmix64's golden-gamma increment (2^64 / phi, odd).
+_GAMMA = 0x9E3779B97F4A7C15
+
+T = TypeVar("T")
+
+
+def _mix(z: int) -> int:
+    """The splitmix64 finaliser: two xor-shift-multiply rounds."""
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EB & _MASK
+    return z ^ (z >> 31)
+
+
+def _fnv1a(text: str) -> int:
+    """FNV-1a over the UTF-8 bytes of ``text`` (stable across runs)."""
+    h = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        h = ((h ^ byte) * 0x100000001B3) & _MASK
+    return h
+
+
+class SplitMix64:
+    """A tiny, fully deterministic 64-bit random stream."""
+
+    __slots__ = ("_state", "draws")
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK
+        #: number of ``next_u64`` calls made — part of the search trace,
+        #: so replays can assert stream positions match.
+        self.draws = 0
+
+    def next_u64(self) -> int:
+        """The next raw 64-bit draw."""
+        self._state = (self._state + _GAMMA) & _MASK
+        self.draws += 1
+        return _mix(self._state)
+
+    def uniform(self) -> float:
+        """A float in [0, 1) with 53 random bits."""
+        return (self.next_u64() >> 11) * (2.0 ** -53)
+
+    def randrange(self, n: int) -> int:
+        """An integer in [0, n), rejection-sampled for exact uniformity."""
+        if n <= 0:
+            raise ValueError("randrange needs n >= 1")
+        limit = _MASK - (_MASK + 1) % n   # last acceptable draw
+        while True:
+            draw = self.next_u64()
+            if draw <= limit:
+                return draw % n
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return seq[self.randrange(len(seq))]
+
+    def sample(self, seq: Sequence[T], count: int) -> List[T]:
+        """``count`` distinct elements, in draw order (Fisher-Yates)."""
+        pool = list(seq)
+        count = min(count, len(pool))
+        out: List[T] = []
+        for _ in range(count):
+            out.append(pool.pop(self.randrange(len(pool))))
+        return out
+
+    def fork(self, label: str) -> "SplitMix64":
+        """An independent child stream derived from ``label``.
+
+        Forking does not advance this stream, so adding a fork can
+        never shift sibling draws.
+        """
+        return SplitMix64(_mix(self._state ^ _fnv1a(label)))

@@ -1,0 +1,218 @@
+"""Seeded beam + evolutionary search over a mapping space.
+
+Phase 1 of the two-phase recommender (cheap-model-first, then
+measured): rank candidates with :func:`repro.autotune.cost.candidate_cost`
+under a hard evaluation budget, producing a :class:`SearchTrace` whose
+SHA-256 digest is the determinism contract — the conformance
+``autotune`` pillar replays a seed and asserts the digest matches
+byte-for-byte.
+
+Determinism rules the implementation follows everywhere:
+
+* every random draw comes from one :class:`~repro.autotune.rng.SplitMix64`
+  stream per phase (forked by label, so phases cannot shift each
+  other's draws);
+* all candidate orderings are total — ties on cost break on the
+  canonical candidate key, never on id()/hash()/dict order;
+* the budget counts *unique* cost evaluations (memoised by candidate
+  key), so re-visiting a candidate is free and the trace length is a
+  pure function of (space, seed, config).
+
+The search itself is beam-first: seed a random sample, hill-climb by
+expanding single-axis neighbours of the beam, then refine with a small
+evolutionary phase (crossover on the tiling vectors + single-axis
+mutation) that can jump between beam basins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.autotune.cost import CostedCandidate
+from repro.autotune.rng import SplitMix64
+from repro.autotune.space import MappingCandidate, MappingSpace
+
+#: safety valve on beam iterations (the budget is the real limiter)
+_MAX_BEAM_ROUNDS = 32
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Knobs of one search run (all part of the determinism contract)."""
+
+    seed: int = 0
+    budget: int = 200           #: max unique cost-model evaluations
+    init: int = 16              #: random candidates seeding the beam
+    beam_width: int = 8
+    generations: int = 4        #: evolutionary refinement rounds
+    population: int = 12
+    mutation_rate: float = 0.5  #: P(mutate) applied to each child
+
+    def to_dict(self) -> Dict:
+        return {"seed": self.seed, "budget": self.budget,
+                "init": self.init, "beam_width": self.beam_width,
+                "generations": self.generations,
+                "population": self.population,
+                "mutation_rate": self.mutation_rate}
+
+
+@dataclass
+class SearchTrace:
+    """Everything the search did, in order — the replay artefact."""
+
+    seed: int
+    #: (phase, candidate-key-string, cost_s) per unique evaluation
+    events: List[Tuple[str, str, float]] = field(default_factory=list)
+    winner_key: str = ""
+    space_size: int = 0
+    budget_used: int = 0
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON of the trace.
+
+        Floats are serialised with ``repr`` (shortest round-trip form),
+        which is stable across platforms and Python versions — this is
+        what "byte-identical search traces" means operationally.
+        """
+        payload = json.dumps(
+            {"seed": self.seed,
+             "events": [[p, k, repr(c)] for p, k, c in self.events],
+             "winner": self.winner_key,
+             "space_size": self.space_size},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class SearchResult:
+    """Ranked survivors of phase 1."""
+
+    ranked: List[CostedCandidate]   #: cheapest first, fully ordered
+    trace: SearchTrace
+
+    @property
+    def winner(self) -> CostedCandidate:
+        return self.ranked[0]
+
+    def top(self, k: int) -> List[CostedCandidate]:
+        return self.ranked[:k]
+
+
+def key_str(cand: MappingCandidate) -> str:
+    """The candidate key as a compact stable string (trace/JSON id)."""
+    return "/".join(str(part) for part in cand.key())
+
+
+def run_search(space: MappingSpace, config: SearchConfig,
+               cost_fn: Optional[Callable[[MappingCandidate],
+                                          CostedCandidate]] = None
+               ) -> SearchResult:
+    """Search ``space`` under ``config``; deterministic in the seed."""
+    if cost_fn is None:
+        from repro.autotune.cost import candidate_cost
+        cost_fn = lambda c: candidate_cost(space.shape, c,
+                                           config=space.config)
+
+    candidates = space.candidates()
+    if not candidates:
+        raise ValueError(f"mapping space for {space.shape!r} is empty")
+
+    trace = SearchTrace(seed=config.seed, space_size=len(candidates))
+    memo: Dict[Tuple, CostedCandidate] = {}
+
+    def evaluate(cand: MappingCandidate,
+                 phase: str) -> Optional[CostedCandidate]:
+        key = cand.key()
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        if len(memo) >= config.budget:
+            return None                     # budget exhausted
+        costed = cost_fn(cand)
+        memo[key] = costed
+        trace.events.append((phase, key_str(cand), costed.cost_s))
+        return costed
+
+    rng = SplitMix64(config.seed)
+
+    # ---- phase 1a: seeded random init --------------------------------
+    init_rng = rng.fork("init")
+    for cand in space.sample(init_rng, min(config.init, config.budget)):
+        evaluate(cand, "init")
+
+    def ranked_all() -> List[CostedCandidate]:
+        return sorted(memo.values(), key=CostedCandidate.sort_key)
+
+    # ---- phase 1b: beam hill-climb over single-axis neighbours -------
+    for _ in range(_MAX_BEAM_ROUNDS):
+        beam = ranked_all()[:config.beam_width]
+        best_before = beam[0].sort_key() if beam else None
+        exhausted = False
+        for member in beam:
+            for neighbor in space.neighbors(member.candidate):
+                if evaluate(neighbor, "beam") is None:
+                    exhausted = True
+                    break
+            if exhausted:
+                break
+        now_best = ranked_all()[0].sort_key()
+        if exhausted or now_best == best_before:
+            break
+
+    # ---- phase 1c: seeded evolutionary refinement --------------------
+    evo_rng = rng.fork("evolve")
+    for _ in range(config.generations):
+        if len(memo) >= config.budget:
+            break
+        parents = [c.candidate for c in ranked_all()[:config.population]]
+        if len(parents) < 2:
+            break
+        made_progress = False
+        for _ in range(config.population):
+            a = evo_rng.choice(parents)
+            b = evo_rng.choice(parents)
+            child = space.crossover(a, b, evo_rng)
+            if evo_rng.uniform() < config.mutation_rate:
+                child = space.mutate(child, evo_rng)
+            if evaluate(child, "evolve") is not None:
+                made_progress = True
+        if not made_progress:
+            break
+
+    # ---- phase 1d: polish — hill-climb from the incumbent best -------
+    # The evolutionary phase can land a new best on its final child, one
+    # axis away from the true optimum, with nothing left to expand it.
+    # Polishing walks single-axis neighbours of the incumbent until no
+    # neighbour improves (or the budget runs out); deterministic, no
+    # random draws.
+    for _ in range(_MAX_BEAM_ROUNDS):
+        incumbent = ranked_all()[0]
+        exhausted = False
+        for neighbor in space.neighbors(incumbent.candidate):
+            if evaluate(neighbor, "polish") is None:
+                exhausted = True
+                break
+        if exhausted or ranked_all()[0].sort_key() == incumbent.sort_key():
+            break
+
+    ranked = ranked_all()
+    trace.winner_key = key_str(ranked[0].candidate)
+    trace.budget_used = len(memo)
+    return SearchResult(ranked=ranked, trace=trace)
+
+
+def brute_force(space: MappingSpace,
+                cost_fn: Optional[Callable[[MappingCandidate],
+                                           CostedCandidate]] = None
+                ) -> List[CostedCandidate]:
+    """Cost every candidate; the oracle the differential test compares
+    the search against (identical ``sort_key`` tie-breaking)."""
+    if cost_fn is None:
+        from repro.autotune.cost import candidate_cost
+        cost_fn = lambda c: candidate_cost(space.shape, c,
+                                           config=space.config)
+    return sorted((cost_fn(c) for c in space.candidates()),
+                  key=CostedCandidate.sort_key)

@@ -1,0 +1,174 @@
+"""Phase-2 validation: measure the phase-1 survivors in the DES.
+
+The cost model ranks; the simulator decides.  :func:`validate_candidates`
+runs the top-k candidates through the cycle-level simulator
+(:func:`repro.kernels.fc.run_fc` / :func:`repro.kernels.tbe.run_tbe`)
+and returns DES-measured cycle counts.  Simulations fan out over worker
+processes via :func:`repro.parallel.parallel_map` — the worker is a
+module-level function of plain dicts so it crosses the spawn boundary,
+and results come back in input order, which is why ``--jobs 1`` and
+``--jobs 4`` reports are byte-identical.
+
+Candidates with SRAM-placed operands run on a scratchpad-mode
+accelerator (the knob added alongside this module); everything else
+uses the default cache-mode chip.  ``REPRO_SIM_CACHE`` is honoured by
+the kernels themselves, so repeated validations replay from the
+sim-result cache.
+
+:func:`hand_candidate` is the hand-written baseline the tuner must
+beat: the repo's existing mapping idiom (the
+:func:`repro.compiler.partitioner.choose_subgrid` sizing rule and
+default ``k_split`` for FC; the full-grid, depth-1 "production kernel"
+pipelining of the Figure 12 bench row for TBE), expressed as a
+:class:`~repro.autotune.space.MappingCandidate` so both sides are
+measured by the same worker.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.compiler.partitioner import _fit_pow2
+from repro.config import MTIA_V1, ChipConfig
+from repro.kernels.fc import TILE_MN, _default_k_split
+from repro.parallel import parallel_map
+
+from repro.autotune.space import (FCShape, MappingCandidate, MappingSpace,
+                                  TBEShape, candidate_from_dict,
+                                  shape_from_dict)
+
+
+@dataclass(frozen=True)
+class ValidatedCandidate:
+    """One DES measurement of one mapping candidate."""
+
+    candidate: MappingCandidate
+    predicted_s: float          #: phase-1 cost-model seconds
+    sim_cycles: float           #: DES-measured device cycles
+    sim_seconds: float          #: cycles at the nominal clock
+    wall_s: float               #: host time spent simulating
+
+    def sort_key(self):
+        return (self.sim_cycles, self.candidate.key())
+
+
+def _make_accelerator(operands: str, config: ChipConfig):
+    from repro.core.accelerator import Accelerator
+    from repro.memory import SRAMMode
+
+    if operands == "sram":
+        return Accelerator(config=config, sram_mode=SRAMMode.SCRATCHPAD)
+    return Accelerator(config=config)
+
+
+def simulate_candidate(job: Dict) -> Dict:
+    """DES-measure one (shape, candidate) pair.  Module-level and
+    dict-in/dict-out so ``parallel_map`` spawn workers can pickle it."""
+    shape = shape_from_dict(job["shape"])
+    cand = candidate_from_dict(job["candidate"])
+    config = MTIA_V1
+    start = time.perf_counter()
+    if shape.family == "fc":
+        from repro.kernels.fc import run_fc
+
+        acc = _make_accelerator(cand.operands, config)
+        result = run_fc(acc, m=shape.m, k=shape.k, n=shape.n,
+                        dtype=shape.dtype,
+                        subgrid=acc.subgrid((0, 0), cand.rows, cand.cols),
+                        k_split=cand.k_split,
+                        use_multicast=cand.use_multicast,
+                        dual_core=cand.dual_core,
+                        operand_region=cand.operands)
+        cycles = float(result.cycles)
+    else:
+        from repro.kernels.tbe import TBEConfig, run_tbe
+
+        full = TBEConfig(num_tables=shape.num_tables,
+                         rows_per_table=shape.rows_per_table,
+                         embedding_dim=shape.embedding_dim,
+                         pooling_factor=shape.pooling_factor,
+                         batch_size=shape.batch_size)
+        acc = _make_accelerator(cand.operands, config)
+        subgrid = acc.subgrid((0, 0), cand.rows, cand.cols)
+        if cand.fused:
+            result = run_tbe(acc, full, subgrid=subgrid,
+                             prefetch_rows=cand.prefetch_rows,
+                             operand_region=cand.operands)
+            cycles = float(result.cycles)
+        else:
+            # Unfused = one launch per table (the pre-fusion EB form the
+            # compiler's EB->TBE pass merges); launches run back-to-back
+            # on the same device, so cycles add up and the per-launch
+            # dispatch/barrier overhead is measured, not modelled.
+            cycles = 0.0
+            single = TBEConfig(num_tables=1,
+                               rows_per_table=shape.rows_per_table,
+                               embedding_dim=shape.embedding_dim,
+                               pooling_factor=shape.pooling_factor,
+                               batch_size=shape.batch_size)
+            for table in range(shape.num_tables):
+                result = run_tbe(acc, single, subgrid=subgrid,
+                                 prefetch_rows=cand.prefetch_rows,
+                                 operand_region=cand.operands,
+                                 seed=table)
+                cycles += float(result.cycles)
+    wall = time.perf_counter() - start
+    return {"key": "/".join(str(p) for p in cand.key()),
+            "sim_cycles": cycles,
+            "sim_seconds": cycles / (config.frequency_ghz * 1e9),
+            "wall_s": wall}
+
+
+def validate_candidates(shape, costed: List, jobs: int = 1
+                        ) -> List[ValidatedCandidate]:
+    """Run phase-1 survivors through the DES; cheapest-in-cycles first.
+
+    ``costed`` is a list of :class:`repro.autotune.cost.CostedCandidate`.
+    Results are deterministic for any ``jobs`` value: the worker is a
+    pure function of its job dict and ``parallel_map`` preserves input
+    order before this function re-sorts on (cycles, candidate key).
+    """
+    jobs_list = [{"shape": shape.to_dict(),
+                  "candidate": cc.candidate.to_dict()} for cc in costed]
+    raw = parallel_map(simulate_candidate, jobs_list, jobs=jobs)
+    validated = [
+        ValidatedCandidate(candidate=cc.candidate,
+                           predicted_s=cc.cost_s,
+                           sim_cycles=res["sim_cycles"],
+                           sim_seconds=res["sim_seconds"],
+                           wall_s=res["wall_s"])
+        for cc, res in zip(costed, raw)]
+    validated.sort(key=ValidatedCandidate.sort_key)
+    return validated
+
+
+def hand_candidate(shape, config: ChipConfig = MTIA_V1) -> MappingCandidate:
+    """The repo's hand-written mapping for ``shape``, as a candidate."""
+    if shape.family == "fc":
+        rows = _fit_pow2(math.ceil(shape.m / TILE_MN), config.grid_rows)
+        cols = _fit_pow2(math.ceil(shape.n / TILE_MN), config.grid_cols)
+        space = MappingSpace(shape=shape, config=config)
+        # Degrade toward 1x1 if the sized sub-grid does not tile the
+        # shape (choose_subgrid sizes by output tiles, not legality).
+        while rows > 1 and shape.m % (TILE_MN * rows):
+            rows //= 2
+        while cols > 1:
+            cand = MappingCandidate(op="fc", rows=rows, cols=cols,
+                                    k_split=_default_k_split(cols, shape.k))
+            if space.legal(cand)[0]:
+                break
+            cols //= 2
+        cand = MappingCandidate(op="fc", rows=rows, cols=cols,
+                                k_split=_default_k_split(cols, shape.k))
+        ok, reason = space.legal(cand)
+        if not ok:
+            raise ValueError(f"no hand mapping for {shape!r}: {reason}")
+        return cand.canonical()
+    # TBE: full grid, production-kernel pipelining depth (the bench's
+    # Figure 12 row), tables streamed from DRAM, fused launch.
+    return MappingCandidate(op="tbe", rows=config.grid_rows,
+                            cols=config.grid_cols, prefetch_rows=1,
+                            operands="dram", fused=True).canonical()

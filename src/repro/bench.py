@@ -27,10 +27,10 @@ import os
 import re
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 SCHEMA_VERSION = 1
-DEFAULT_LABEL = "pr9"   # bump per PR; the trajectory lives in git
+DEFAULT_LABEL = "pr10"  # bump per PR; the trajectory lives in git
 TRAJECTORY_SCHEMA_VERSION = 1
 
 #: headline metrics every workload reports (inapplicable ones are 0)
@@ -51,7 +51,33 @@ def _engine_extras(acc) -> Dict:
             "peak_heap_size": stats["peak_heap_size"]}
 
 
-def _bench_fc() -> Dict:
+#: seed/budget of the opt-in ``--autotuned`` search (fixed so bench
+#: rows are reproducible; the replay command is in the extras)
+_AUTOTUNE_SEED = 0
+_AUTOTUNE_BUDGET = 60
+
+
+def _autotuned_extras(shape, hand_cycles: float) -> Dict:
+    """Tune the bench shape and report the winner next to the hand row.
+
+    The headline metrics of the row stay the hand-written mapping (the
+    trajectory must remain comparable PR-over-PR); the tuned mapping
+    rides along in ``extras`` with its DES-measured cycles and the
+    speedup over this row's own cycles.
+    """
+    from repro.autotune import autotune
+
+    result = autotune(shape, seed=_AUTOTUNE_SEED,
+                      budget=_AUTOTUNE_BUDGET, topk=2, jobs=1)
+    winner = result.winner
+    return {"autotuned_mapping": winner.candidate.describe(),
+            "autotuned_sim_cycles": winner.sim_cycles,
+            "autotuned_speedup": (hand_cycles / winner.sim_cycles
+                                  if winner.sim_cycles else 0.0),
+            "autotuned_replay": result.replay_command()}
+
+
+def _bench_fc(autotuned: bool = False) -> Dict:
     """The Figure 7 FC mapping on the cycle-level simulator."""
     from repro.core.accelerator import Accelerator
     from repro.kernels.fc import run_fc
@@ -64,6 +90,11 @@ def _bench_fc() -> Dict:
     tops = result.tops(acc.config.frequency_ghz)
     extras = {"m": 512, "k": 1024, "n": 256, "dtype": "int8"}
     extras.update(_engine_extras(acc))
+    if autotuned:
+        from repro.autotune import FCShape
+        extras.update(_autotuned_extras(
+            FCShape(m=512, k=1024, n=256, dtype="int8"),
+            float(result.cycles)))
     return {
         "latency_us": result.cycles / (acc.config.frequency_ghz * 1e3),
         "achieved_tflops": tops,
@@ -73,7 +104,7 @@ def _bench_fc() -> Dict:
     }
 
 
-def _bench_tbe() -> Dict:
+def _bench_tbe(autotuned: bool = False) -> Dict:
     """The Figure 12 TBE gather (production-kernel pipelining)."""
     from repro.core.accelerator import Accelerator
     from repro.kernels.tbe import TBEConfig, run_tbe
@@ -90,6 +121,12 @@ def _bench_tbe() -> Dict:
     extras = {"gather_gbs": gather_gbs,
               "gather_percent_of_dram_bw": 100.0 * gather_gbs / peak_gbs}
     extras.update(_engine_extras(acc))
+    if autotuned:
+        from repro.autotune import TBEShape
+        extras.update(_autotuned_extras(
+            TBEShape(num_tables=8, rows_per_table=100_000,
+                     embedding_dim=64, pooling_factor=16, batch_size=32),
+            float(result.cycles)))
     return {
         "latency_us": result.cycles / (acc.config.frequency_ghz * 1e3),
         "achieved_tflops": 0.0,
@@ -99,7 +136,7 @@ def _bench_tbe() -> Dict:
     }
 
 
-def _bench_dlrm() -> Dict:
+def _bench_dlrm(autotuned: bool = False) -> Dict:
     """LC2 quickstart through the compiled-graph analytical path.
 
     Besides the analytical estimate (the headline metrics, unchanged
@@ -187,20 +224,26 @@ def _bench_dlrm() -> Dict:
 
 BENCHES = {"fc": _bench_fc, "tbe": _bench_tbe, "dlrm": _bench_dlrm}
 
+#: workloads with a mapping space the ``--autotuned`` column can search
+_AUTOTUNABLE = ("fc", "tbe")
 
-def _bench_job(name: str) -> Dict:
+
+def _bench_job(job: Tuple[str, bool]) -> Dict:
     """Module-level so ``--jobs`` spawn workers can pickle it."""
-    return BENCHES[name]()
+    name, autotuned = job
+    return BENCHES[name](autotuned=autotuned and name in _AUTOTUNABLE)
 
 
 def run_bench(label: str = DEFAULT_LABEL,
               workloads: Optional[List[str]] = None,
-              jobs: int = 1) -> Dict:
+              jobs: int = 1, autotuned: bool = False) -> Dict:
     """Run the benchmark suite; returns the BENCH_* payload.
 
     ``jobs > 1`` runs workloads in worker processes.  Simulated metrics
     are identical at any job count; ``wall_time_s`` is only meaningful
     as a trajectory number when measured at ``jobs=1`` on an idle host.
+    ``autotuned=True`` additionally tunes each mapping-searchable
+    workload (fc, tbe) and records the winner in the row's extras.
     """
     names = workloads or sorted(BENCHES)
     for name in names:
@@ -215,7 +258,8 @@ def run_bench(label: str = DEFAULT_LABEL,
         "workloads": {},
     }
     from repro.parallel import parallel_map
-    results = parallel_map(_bench_job, list(names), jobs=jobs)
+    results = parallel_map(_bench_job, [(n, autotuned) for n in names],
+                           jobs=jobs)
     for name, result in zip(names, results):
         payload["workloads"][name] = result
     return payload
@@ -397,6 +441,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "(default 1 = serial); simulated metrics are "
                         "identical at any job count, but wall times "
                         "are only trajectory-comparable at --jobs 1")
+    parser.add_argument("--autotuned", action="store_true",
+                        help="also search each workload's mapping space "
+                        "(repro.autotune, fixed seed) and report the "
+                        "tuned mapping's DES cycles as an extra column; "
+                        "headline metrics stay the hand-written mapping")
     parser.add_argument("--trajectory", action="store_true",
                         help="aggregate all BENCH_*.json in the output "
                         "dir into one trajectory table (and JSON with "
@@ -425,16 +474,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.simcache import reset_env_cache
         reset_env_cache()
 
-    payload = run_bench(args.label, args.workloads or None, jobs=args.jobs)
+    payload = run_bench(args.label, args.workloads or None, jobs=args.jobs,
+                        autotuned=args.autotuned)
     path = os.path.join(args.output_dir, f"BENCH_{args.label}.json")
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     for name, result in sorted(payload["workloads"].items()):
-        print(f"{name:<6} latency {result['latency_us']:10.1f} us  "
-              f"tflops {result['achieved_tflops']:6.2f}  "
-              f"cycles {result['sim_cycles']:12.0f}  "
-              f"wall {result['wall_time_s']:.2f} s")
+        line = (f"{name:<6} latency {result['latency_us']:10.1f} us  "
+                f"tflops {result['achieved_tflops']:6.2f}  "
+                f"cycles {result['sim_cycles']:12.0f}  "
+                f"wall {result['wall_time_s']:.2f} s")
+        extras = result.get("extras", {})
+        if "autotuned_sim_cycles" in extras:
+            line += (f"  tuned {extras['autotuned_sim_cycles']:12.0f} "
+                     f"({extras['autotuned_speedup']:.2f}x, "
+                     f"{extras['autotuned_mapping']})")
+        print(line)
     print(f"wrote {path}")
 
     if args.compare:

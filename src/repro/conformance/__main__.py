@@ -123,6 +123,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  cache violations:       {totals['cache_violations']}")
     if "faults" in config.pillars:
         print(f"  faults violations:      {totals['faults_violations']}")
+    if "autotune" in config.pillars:
+        print(f"  autotune violations:    {totals['autotune_violations']}")
     print(f"  crossval band rate:     {totals['band_violation_rate']:.3f} "
           f"of {totals['crossval_cases']} cases "
           f"(band [{config.band.lo:.2f}, {config.band.hi:.2f}], "
@@ -143,6 +145,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             extra = "; ".join(detail.get("cache", {}).get("violations", []))
         elif case.pillar == "faults":
             extra = "; ".join(detail.get("faults", {}).get("violations", []))
+        elif case.pillar == "autotune":
+            extra = "; ".join(
+                detail.get("autotune", {}).get("violations", []))
         else:
             extra = "; ".join(detail.get("sim", {}).get("violations", [])
                               + detail.get("graph", {}).get("violations",

@@ -699,6 +699,86 @@ def check_fast_forward(seed: int) -> DeterminismResult:
     return res
 
 
+def check_autotune_determinism(seed: int) -> DeterminismResult:
+    """Seeded search replay identity + tuned-mapping re-simulation.
+
+    The autotune contract (PR 10), three invariants per seed:
+
+    * (a) **trace replay** — running the phase-1 search twice with the
+      same seed produces byte-identical traces: same event sequence,
+      same winner, same SHA-256 digest;
+    * (b) **jobs invariance** — the full two-phase ``autotune`` report
+      (JSON with ``sort_keys``) is byte-identical at ``jobs=1`` and
+      ``jobs=2`` — worker fan-out may only change wall time;
+    * (c) **re-simulation identity** — the tuned winner re-simulates to
+      the reported cycle count bit-for-bit (the report is a claim about
+      the DES, not about one lucky run).
+    """
+    import json
+
+    from repro.autotune import (MappingSpace, SearchConfig, autotune,
+                                run_search, simulate_candidate)
+    from repro.autotune.space import FCShape
+
+    rng = np.random.default_rng(seed)
+    shape = FCShape(m=64 * int(rng.integers(1, 3)),
+                    k=32 * int(rng.integers(1, 5)),
+                    n=64 * int(rng.integers(1, 3)))
+    # Keep the per-case space tiny: ablation axes pinned to their
+    # defaults, placement still explored (it exercises both
+    # accelerator modes in phase 2).
+    space = MappingSpace(shape=shape,
+                         restrict={"use_multicast": (True,),
+                                   "dual_core": (True,)})
+    config = SearchConfig(seed=seed, budget=24, init=8, beam_width=4,
+                          generations=2, population=6)
+
+    res = DeterminismResult(seed=seed, kind="autotune")
+
+    # -- (a) search trace replay -----------------------------------------
+    first = run_search(space, config)
+    second = run_search(space, config)
+    res.cycles = float(first.trace.budget_used)
+    if first.trace.events != second.trace.events:
+        res.violations.append(
+            "search replay produced a different event sequence")
+    if first.trace.digest() != second.trace.digest():
+        res.violations.append(
+            f"search trace digests differ: {first.trace.digest()} vs "
+            f"{second.trace.digest()}")
+    if first.trace.winner_key != second.trace.winner_key:
+        res.violations.append(
+            f"search replay picked a different winner: "
+            f"{first.trace.winner_key} vs {second.trace.winner_key}")
+
+    # -- (b) jobs invariance of the full two-phase report ----------------
+    def report(jobs: int) -> str:
+        result = autotune(shape, seed=seed, budget=config.budget,
+                          topk=2, jobs=jobs, space=space,
+                          search_config=config)
+        return json.dumps(result.to_dict(), sort_keys=True)
+
+    serial = report(jobs=1)
+    parallel = report(jobs=2)
+    if serial != parallel:
+        res.violations.append(
+            "autotune report JSON differs between jobs=1 and jobs=2")
+
+    # -- (c) tuned winner re-simulates to the reported cycles ------------
+    winner = json.loads(serial)["winner"]
+    job = {"shape": shape.to_dict(), "candidate": winner["candidate"]}
+    resim_a = simulate_candidate(job)["sim_cycles"]
+    resim_b = simulate_candidate(job)["sim_cycles"]
+    if resim_a != resim_b:
+        res.violations.append(
+            f"winner re-simulation is not stable: {resim_a} vs {resim_b}")
+    if resim_a != winner["sim_cycles"]:
+        res.violations.append(
+            f"winner re-simulates to {resim_a} cycles, report claims "
+            f"{winner['sim_cycles']}")
+    return res
+
+
 def check_critical_noop(seed: int) -> DeterminismResult:
     """Causal edge recording must be a bit-exact no-op, and paths exact.
 

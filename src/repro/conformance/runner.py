@@ -18,7 +18,8 @@ import numpy as np
 from repro.conformance.crossval import (CrossvalBand, crossval_fc,
                                         crossval_tbe, fuzz_fc_shape,
                                         fuzz_tbe_shape)
-from repro.conformance.determinism import (check_cache_determinism,
+from repro.conformance.determinism import (check_autotune_determinism,
+                                           check_cache_determinism,
                                            check_critical_noop,
                                            check_fast_forward,
                                            check_fault_injection_noop,
@@ -33,7 +34,8 @@ from repro.conformance.golden import (TolerancePolicy, compare_outputs,
                                       evaluate_graph)
 from repro.parallel import parallel_map
 
-PILLARS = ("golden", "determinism", "crossval", "cache", "faults")
+PILLARS = ("golden", "determinism", "crossval", "cache", "faults",
+           "autotune")
 
 #: Every N-th crossval case runs the (slower) TBE gather instead of FC.
 _TBE_EVERY = 5
@@ -116,6 +118,10 @@ class ConformanceReport:
         return sum(1 for c in self.by_pillar("faults") if not c.ok)
 
     @property
+    def autotune_violations(self) -> int:
+        return sum(1 for c in self.by_pillar("autotune") if not c.ok)
+
+    @property
     def band_violation_rate(self) -> float:
         cases = self.by_pillar("crossval")
         if not cases:
@@ -125,7 +131,8 @@ class ConformanceReport:
     @property
     def passed(self) -> bool:
         if (self.golden_divergences or self.determinism_violations
-                or self.cache_violations or self.faults_violations):
+                or self.cache_violations or self.faults_violations
+                or self.autotune_violations):
             return False
         if any(c.status == "error" for c in self.cases):
             return False
@@ -142,6 +149,7 @@ class ConformanceReport:
                 "determinism_violations": self.determinism_violations,
                 "cache_violations": self.cache_violations,
                 "faults_violations": self.faults_violations,
+                "autotune_violations": self.autotune_violations,
                 "crossval_cases": len(self.by_pillar("crossval")),
                 "band_violation_rate": self.band_violation_rate,
                 "errors": sum(1 for c in self.cases
@@ -241,6 +249,14 @@ def run_faults_case(seed: int, config: ConformanceConfig) -> CaseResult:
                       details={"faults": result.to_dict()})
 
 
+def run_autotune_case(seed: int, config: ConformanceConfig) -> CaseResult:
+    """Seeded-search replay identity + tuned-mapping re-simulation."""
+    result = check_autotune_determinism(seed)
+    status = "ok" if result.ok else "violation"
+    return CaseResult(seed=seed, pillar="autotune", status=status,
+                      details={"autotune": result.to_dict()})
+
+
 def _case_job(job: Tuple[str, int, int, ConformanceConfig]) -> CaseResult:
     """One (pillar, seed) case — module-level so it survives ``spawn``.
 
@@ -297,4 +313,6 @@ def _run_case(pillar: str, seed: int, index: int,
         return run_cache_case(seed, config)
     if pillar == "faults":
         return run_faults_case(seed, config)
+    if pillar == "autotune":
+        return run_autotune_case(seed, config)
     raise ValueError(f"unknown pillar {pillar!r}")

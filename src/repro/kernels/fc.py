@@ -408,6 +408,7 @@ def run_fc(acc: Accelerator, a: Optional[np.ndarray] = None,
            dual_core: bool = True,
            auto_pad: bool = False,
            seed: int = 0,
+           operand_region: str = "dram",
            cache=None) -> FCResult:
     """Run one FC operator end-to-end on the simulated accelerator.
 
@@ -427,6 +428,15 @@ def run_fc(acc: Accelerator, a: Optional[np.ndarray] = None,
     ablation knobs: disable NoC read coalescing, or run both command
     streams from a single core.
 
+    ``operand_region`` places the A / B^T operands: ``"dram"`` (default)
+    or ``"sram"``, which stages both in the on-chip SRAM scratchpad so
+    the DMA streams run at SRAM bandwidth (the Section 5 tensor
+    placement the compiler aims for; Figure 13's SRAM-resident regime).
+    ``"sram"`` requires an accelerator built with
+    ``sram_mode=SRAMMode.SCRATCHPAD`` — partitioning the SRAM as
+    scratchpad instead of memory-side cache is part of the mapping
+    decision.  The C output always lands in DRAM for the host.
+
     ``cache`` accepts a :class:`repro.simcache.SimCache` (or set the
     ``REPRO_SIM_CACHE`` environment variable) to replay
     content-addressed results instead of re-simulating; replayed
@@ -438,6 +448,15 @@ def run_fc(acc: Accelerator, a: Optional[np.ndarray] = None,
                                       replay_stalls, usable_for)
 
     dtype = resolve_dtype(dtype)
+    if operand_region not in ("dram", "sram"):
+        raise ValueError(f"operand_region must be 'dram' or 'sram', "
+                         f"got {operand_region!r}")
+    if operand_region == "sram":
+        from repro.memory import SRAMMode
+        if acc.memory.sram_mode is not SRAMMode.SCRATCHPAD:
+            raise SimulationError(
+                "operand_region='sram' needs an accelerator with "
+                "sram_mode=SRAMMode.SCRATCHPAD")
     operands_given = a is not None
     rng = np.random.default_rng(seed)
     if a is None:
@@ -486,6 +505,10 @@ def run_fc(acc: Accelerator, a: Optional[np.ndarray] = None,
                           "b_t": simcache.array_digest(b_t)}
                          if operands_given else f"generated:{seed}"),
         }
+        if operand_region != "dram":
+            # Keyed only when non-default so pre-existing DRAM-placed
+            # fingerprints stay valid.
+            payload["operand_region"] = operand_region
         key = simcache.fingerprint(payload)
         entry = sim_cache.lookup(key, "fc",
                                  need_stalls=acc.engine.obs.enabled)
@@ -495,8 +518,14 @@ def run_fc(acc: Accelerator, a: Optional[np.ndarray] = None,
                             cycles=entry.cycles, plan=plan,
                             macs=true_m * true_n * k)
 
-    a_addr = acc.upload(np.ascontiguousarray(a))
-    bt_addr = acc.upload(np.ascontiguousarray(b_t))
+    if operand_region == "sram":
+        a = np.ascontiguousarray(a)
+        b_t = np.ascontiguousarray(b_t)
+        a_addr = acc.upload(a, acc.alloc_sram(a.nbytes))
+        bt_addr = acc.upload(b_t, acc.alloc_sram(b_t.nbytes))
+    else:
+        a_addr = acc.upload(np.ascontiguousarray(a))
+        bt_addr = acc.upload(np.ascontiguousarray(b_t))
     out_np = np.int32 if dtype.name == "int8" else np.float32
     c_addr = acc.alloc_dram(n * m * 4)
     addrs = (a_addr, bt_addr, c_addr)

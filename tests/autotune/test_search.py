@@ -1,0 +1,95 @@
+"""Search loop: budget accounting, memoisation, trace digests."""
+
+from repro.autotune.cost import candidate_cost
+from repro.autotune.search import (SearchConfig, brute_force, key_str,
+                                   run_search)
+from repro.autotune.space import FCShape, MappingSpace, TBEShape
+
+FC = FCShape(m=512, k=1024, n=256)
+TBE = TBEShape(num_tables=8, rows_per_table=100_000, embedding_dim=64,
+               pooling_factor=16, batch_size=32)
+
+
+def test_budget_bounds_unique_evaluations():
+    space = MappingSpace(shape=FC)
+    result = run_search(space, SearchConfig(seed=0, budget=10))
+    assert result.trace.budget_used == 10
+    assert len(result.trace.events) == 10
+    assert len(result.ranked) == 10
+
+
+def test_trace_events_are_unique_candidates():
+    space = MappingSpace(shape=TBE)
+    result = run_search(space, SearchConfig(seed=3, budget=40))
+    keys = [key for _phase, key, _cost in result.trace.events]
+    assert len(keys) == len(set(keys))          # memoised, never re-billed
+
+
+def test_ranked_is_totally_ordered_cheapest_first():
+    space = MappingSpace(shape=FC)
+    result = run_search(space, SearchConfig(seed=1, budget=30))
+    costs = [c.sort_key() for c in result.ranked]
+    assert costs == sorted(costs)
+    assert result.winner is result.ranked[0]
+    assert result.trace.winner_key == key_str(result.winner.candidate)
+
+
+def test_digest_changes_with_seed():
+    space = MappingSpace(shape=FC)
+    a = run_search(space, SearchConfig(seed=0, budget=20))
+    b = run_search(space, SearchConfig(seed=1, budget=20))
+    assert a.trace.digest() != b.trace.digest()
+
+
+def test_search_phases_appear_in_order():
+    space = MappingSpace(shape=TBE)
+    result = run_search(space, SearchConfig(seed=0, budget=120))
+    phases = [phase for phase, _key, _cost in result.trace.events]
+    assert phases[0] == "init"
+    first_of = {p: phases.index(p) for p in dict.fromkeys(phases)}
+    assert first_of["init"] == 0
+    if "beam" in first_of and "evolve" in first_of:
+        assert first_of["beam"] < first_of["evolve"]
+
+
+def test_budget_larger_than_space_evaluates_at_most_space():
+    space = MappingSpace(shape=FC, restrict={"operands": ("dram",),
+                                             "use_multicast": (True,),
+                                             "dual_core": (True,)})
+    result = run_search(space, SearchConfig(seed=0, budget=10_000,
+                                            init=len(space)))
+    assert result.trace.budget_used <= len(space)
+
+
+def test_brute_force_orders_like_search_ranking():
+    space = MappingSpace(shape=FC, restrict={"operands": ("dram",),
+                                             "use_multicast": (True,),
+                                             "dual_core": (True,)})
+    oracle = brute_force(space)
+    assert len(oracle) == len(space)
+    keys = [c.sort_key() for c in oracle]
+    assert keys == sorted(keys)
+    # Exhaustive search agrees with the oracle on every rank.
+    full = run_search(space, SearchConfig(seed=0, budget=10_000,
+                                          init=len(space)))
+    assert [c.candidate for c in full.ranked] == \
+        [c.candidate for c in oracle]
+
+
+def test_cost_fn_injection():
+    """Custom cost functions drive the search (the differential test's
+    hook): a cost that prefers big sub-grids must change the winner."""
+    space = MappingSpace(shape=FC, restrict={"operands": ("dram",),
+                                             "use_multicast": (True,),
+                                             "dual_core": (True,)})
+
+    def inverted(cand):
+        real = candidate_cost(FC, cand)
+        from dataclasses import replace
+        return replace(real, cost_s=-real.candidate.num_pes)
+
+    result = run_search(space, SearchConfig(seed=0, budget=10_000,
+                                            init=len(space)),
+                        cost_fn=inverted)
+    assert result.winner.candidate.num_pes == max(
+        c.num_pes for c in space.candidates())

@@ -61,5 +61,5 @@ def test_report_json_is_stable_and_round_trips():
                             "cases"}
     assert set(payload["totals"]) == {
         "cases", "golden_divergences", "determinism_violations",
-        "cache_violations", "faults_violations", "crossval_cases",
-        "band_violation_rate", "errors"}
+        "cache_violations", "faults_violations", "autotune_violations",
+        "crossval_cases", "band_violation_rate", "errors"}

@@ -162,6 +162,46 @@ def fleet_capacity_schema() -> dict:
     }
 
 
+def autotune_report_schema() -> dict:
+    """Key-set schema of ``python -m repro.autotune --json``."""
+    from repro.autotune import FCShape, autotune
+    result = autotune(FCShape(m=128, k=64, n=128), seed=0, budget=30,
+                      topk=2, jobs=1)
+    data = result.to_dict()
+    return {
+        "top_level": sorted(data),
+        "shape": sorted(data["shape"]),
+        "search": sorted(data["search"]),
+        "search_config": sorted(data["search"]["config"]),
+        "validated_row": sorted(data["validated"][0]),
+        "candidate": sorted(data["validated"][0]["candidate"]),
+        "baseline": sorted(data["baseline"]),
+        "winner": sorted(data["winner"]),
+        "schema_version": data["schema_version"],
+    }
+
+
+def bench_autotuned_schema() -> dict:
+    """Key-set schema of a bench row carrying ``--autotuned`` extras."""
+    from repro.bench import METRICS, _bench_fc
+    row = _bench_fc(autotuned=True)
+    return {
+        "row": sorted(row),
+        "metrics": sorted(METRICS),
+        "extras": sorted(row["extras"]),
+        "autotuned_extras": sorted(k for k in row["extras"]
+                                   if k.startswith("autotuned_")),
+    }
+
+
+def test_autotune_report_schema_is_stable():
+    _check("autotune_report_schema.json", autotune_report_schema())
+
+
+def test_bench_autotuned_row_schema_is_stable():
+    _check("bench_autotuned_row_schema.json", bench_autotuned_schema())
+
+
 def test_profile_json_schema_is_stable():
     _check("profile_quickstart_schema.json", profile_schema())
 

@@ -1,0 +1,85 @@
+"""Operand placement (``operand_region``): DRAM vs SRAM scratchpad.
+
+The autotuner's ``operands`` axis rides on this kernel knob; placement
+must never change computed results (only cycles), must refuse to stage
+into a cache-mode SRAM, and must fingerprint distinctly in the sim
+cache so a DRAM replay is never served for an SRAM run.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Accelerator
+from repro.kernels.fc import run_fc
+from repro.kernels.tbe import (TBEConfig, generate_indices,
+                               generate_tables, run_tbe)
+from repro.memory import SRAMMode
+from repro.sim import SimulationError
+from repro.simcache import SimCache
+
+FC_DIMS = dict(m=128, k=64, n=128)
+TBE_CFG = TBEConfig(num_tables=2, rows_per_table=256, embedding_dim=32,
+                    pooling_factor=4, batch_size=8)
+
+
+def _scratchpad():
+    return Accelerator(sram_mode=SRAMMode.SCRATCHPAD)
+
+
+class TestFCPlacement:
+    def test_sram_output_is_bit_equal_to_dram(self):
+        dram = run_fc(_scratchpad(), **FC_DIMS, seed=5)
+        sram = run_fc(_scratchpad(), **FC_DIMS, seed=5,
+                      operand_region="sram")
+        np.testing.assert_array_equal(dram.c_t, sram.c_t)
+        assert dram.cycles > 0 and sram.cycles > 0
+
+    def test_sram_requires_scratchpad_mode(self):
+        with pytest.raises(SimulationError, match="SCRATCHPAD"):
+            run_fc(Accelerator(sram_mode=SRAMMode.CACHE), **FC_DIMS,
+                   operand_region="sram")
+
+    def test_unknown_region_is_rejected(self):
+        with pytest.raises(ValueError, match="operand_region"):
+            run_fc(_scratchpad(), **FC_DIMS, operand_region="hbm")
+
+    def test_cache_fingerprints_distinguish_placement(self):
+        cache = SimCache()
+        dram = run_fc(_scratchpad(), **FC_DIMS, cache=cache)
+        assert len(cache._memory) == 1
+        sram = run_fc(_scratchpad(), **FC_DIMS, operand_region="sram",
+                      cache=cache)
+        assert len(cache._memory) == 2     # distinct keys, no collision
+        np.testing.assert_array_equal(dram.c_t, sram.c_t)
+        # Replays stay placement-faithful (bit-equal cycles per region).
+        assert run_fc(_scratchpad(), **FC_DIMS,
+                      cache=cache).cycles == dram.cycles
+        assert run_fc(_scratchpad(), **FC_DIMS, operand_region="sram",
+                      cache=cache).cycles == sram.cycles
+
+
+class TestTBEPlacement:
+    def test_sram_output_is_bit_equal_to_dram(self):
+        tables = generate_tables(TBE_CFG)
+        idx = generate_indices(TBE_CFG)
+        dram = run_tbe(_scratchpad(), TBE_CFG, tables, idx)
+        sram = run_tbe(_scratchpad(), TBE_CFG, tables, idx,
+                       operand_region="sram")
+        np.testing.assert_array_equal(dram.output, sram.output)
+        assert dram.cycles > 0 and sram.cycles > 0
+
+    def test_sram_requires_scratchpad_mode(self):
+        with pytest.raises(SimulationError, match="SCRATCHPAD"):
+            run_tbe(Accelerator(sram_mode=SRAMMode.CACHE), TBE_CFG,
+                    operand_region="sram")
+
+    def test_unknown_region_is_rejected(self):
+        with pytest.raises(ValueError, match="operand_region"):
+            run_tbe(_scratchpad(), TBE_CFG, operand_region="local")
+
+    def test_cache_fingerprints_distinguish_placement(self):
+        cache = SimCache()
+        run_tbe(_scratchpad(), TBE_CFG, cache=cache)
+        run_tbe(_scratchpad(), TBE_CFG, operand_region="sram",
+                cache=cache)
+        assert len(cache._memory) == 2

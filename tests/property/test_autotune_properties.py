@@ -1,0 +1,108 @@
+"""Property tests for the mapping-space autotuner.
+
+Three contracts from the PR-10 issue, fuzzed over shape families:
+
+* **legality** — every candidate the enumerator produces is actually
+  runnable: FC candidates pass the real :func:`plan_fc` planner (the
+  enumerator's arithmetic must mirror it exactly), TBE candidates pass
+  the kernel's CB-fit check, and SRAM placements fit the SRAM;
+* **seed determinism** — the same seed yields the identical candidate
+  sequence, winner, and trace digest;
+* **canonicalisation invariance** — the opmodel cost of a candidate
+  does not change when family-irrelevant fields are perturbed
+  (``canonical()`` pins them, and cost must go through it).
+
+Search moves (sample/mutate/crossover) are also proven closed over the
+legal set — an illegal child would crash phase 2.
+"""
+
+from hypothesis import given, settings
+
+from tests import strategies as strat
+
+from repro.autotune.cost import candidate_cost
+from repro.autotune.rng import SplitMix64
+from repro.autotune.search import SearchConfig, run_search
+from repro.autotune.space import MappingSpace
+
+
+def _replace(candidate, **kwargs):
+    from dataclasses import replace
+    return replace(candidate, **kwargs)
+
+
+@given(shape=strat.mapping_shapes())
+def test_every_enumerated_candidate_is_legal(shape):
+    space = MappingSpace(shape=shape)
+    candidates = space.candidates()
+    assert candidates, f"empty space for {shape!r}"
+    for cand in candidates:
+        ok, reason = space.legal(cand)
+        assert ok, f"{cand!r}: {reason}"
+        if cand.operands == "sram":
+            if shape.family == "tbe":
+                assert shape.table_bytes <= space.config.sram.capacity_bytes
+
+
+@given(shape=strat.fc_mapping_shapes())
+@settings(max_examples=15)
+def test_fc_candidates_pass_the_real_planner(shape):
+    """The enumerator's legality arithmetic must mirror plan_fc."""
+    from repro.core import Accelerator
+    from repro.kernels.fc import plan_fc
+
+    acc = Accelerator()
+    space = MappingSpace(shape=shape)
+    for cand in space.candidates():
+        plan = plan_fc(acc.subgrid((0, 0), cand.rows, cand.cols),
+                       shape.m, shape.k, shape.n, shape.dtype,
+                       k_split=cand.k_split,
+                       use_multicast=cand.use_multicast)
+        assert plan.k_split == cand.k_split
+        assert plan.n_split == cand.cols // cand.k_split
+
+
+@given(shape=strat.mapping_shapes(), seed=strat.search_seeds)
+@settings(max_examples=15)
+def test_search_is_seed_deterministic(shape, seed):
+    space = MappingSpace(shape=shape)
+    config = SearchConfig(seed=seed, budget=24, init=8, beam_width=4,
+                          generations=2, population=6)
+    first = run_search(space, config)
+    second = run_search(space, config)
+    assert first.trace.events == second.trace.events
+    assert first.trace.winner_key == second.trace.winner_key
+    assert first.trace.digest() == second.trace.digest()
+    assert [c.candidate for c in first.ranked] == \
+        [c.candidate for c in second.ranked]
+
+
+@given(case=strat.mapping_candidates())
+def test_cost_is_invariant_under_recanonicalisation(case):
+    shape, cand = case
+    base = candidate_cost(shape, cand)
+    if shape.family == "fc":
+        scrambled = _replace(cand, prefetch_rows=7, fused=False)
+    else:
+        scrambled = _replace(cand, k_split=3, use_multicast=False,
+                             dual_core=False)
+    again = candidate_cost(shape, scrambled)
+    assert again.cost_s == base.cost_s
+    assert again.candidate == base.candidate      # both canonical
+    assert again.breakdown == base.breakdown
+
+
+@given(case=strat.mapping_candidates(), seed=strat.search_seeds)
+def test_search_moves_are_closed_over_the_legal_set(case, seed):
+    shape, cand = case
+    space = MappingSpace(shape=shape)
+    rng = SplitMix64(seed)
+    mutated = space.mutate(cand, rng)
+    assert mutated in space
+    other = rng.choice(space.candidates())
+    child = space.crossover(cand, other, rng)
+    assert child in space
+    sampled = space.sample(rng, 5)
+    assert len(sampled) == len(set(c.key() for c in sampled))
+    for s in sampled:
+        assert s in space

@@ -183,6 +183,55 @@ def hardware_fault_plans(draw):
     return FaultPlan.generate(seed, profile, kinds=tuple(sorted(kinds)))
 
 
+# -- autotune ----------------------------------------------------------------
+
+#: seeds for the mapping-space search determinism properties.
+search_seeds = st.integers(0, 2 ** 32 - 1)
+
+
+@st.composite
+def fc_mapping_shapes(draw):
+    """FC shape families with at least one legal mapping each.
+
+    Multiples of the 64/32 tile sizes by construction, small enough
+    that enumerating the whole :class:`MappingSpace` stays cheap.
+    """
+    from repro.autotune.space import FCShape
+    return FCShape(m=64 * draw(st.sampled_from([1, 2, 4, 8])),
+                   k=32 * draw(st.integers(1, 8)),
+                   n=64 * draw(st.sampled_from([1, 2, 4])),
+                   dtype=draw(st.sampled_from(["int8", "fp16"])))
+
+
+@st.composite
+def tbe_mapping_shapes(draw):
+    """TBE shape families (Figure 12 triplets + batch), enumeration-cheap."""
+    from repro.autotune.space import TBEShape
+    return TBEShape(num_tables=draw(st.integers(1, 8)),
+                    rows_per_table=draw(st.sampled_from([64, 256, 1024])),
+                    embedding_dim=draw(st.sampled_from([32, 64, 128])),
+                    pooling_factor=draw(st.integers(1, 32)),
+                    batch_size=draw(st.sampled_from([4, 16, 32])))
+
+
+@st.composite
+def mapping_shapes(draw):
+    """Either operator family, for family-agnostic properties."""
+    if draw(st.booleans()):
+        return draw(fc_mapping_shapes())
+    return draw(tbe_mapping_shapes())
+
+
+@st.composite
+def mapping_candidates(draw):
+    """(shape, candidate) with the candidate drawn from the legal set."""
+    from repro.autotune.space import MappingSpace
+    shape = draw(mapping_shapes())
+    space = MappingSpace(shape=shape)
+    candidates = space.candidates()
+    return shape, candidates[draw(st.integers(0, len(candidates) - 1))]
+
+
 # -- conformance -------------------------------------------------------------
 
 #: op-family subsets for the graph fuzzer; "fc" is always included so
